@@ -1,0 +1,131 @@
+// Experiment C4 (paper §III-C): memory-allocator behaviour under the
+// matrix workload's allocation pattern. The paper observes that naive
+// mutex-protected malloc scales poorly under parallel contention and that
+// arena designs behave better. We compare a global-mutex free-list
+// allocator against per-thread bump arenas, both standalone and as the
+// backing store of the refcount cells (setRcAllocHooks).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/alloc.hpp"
+#include "runtime/matrix.hpp"
+#include "runtime/pool.hpp"
+#include "runtime/refcount.hpp"
+
+namespace mmx::bench {
+namespace {
+
+constexpr int kAllocsPerIter = 512;
+constexpr size_t kBytes = 4096; // a small with-loop temporary
+
+void BM_MutexAllocator_1Thread(benchmark::State& state) {
+  auto& a = rt::MutexAllocator::instance();
+  for (auto _ : state) {
+    for (int i = 0; i < kAllocsPerIter; ++i) {
+      void* p = a.allocate(kBytes);
+      benchmark::DoNotOptimize(p);
+      a.deallocate(p);
+    }
+  }
+  a.trim();
+  state.counters["locks/iter"] = 2.0 * kAllocsPerIter;
+}
+BENCHMARK(BM_MutexAllocator_1Thread)->Unit(benchmark::kMicrosecond);
+
+void BM_ArenaAllocator_1Thread(benchmark::State& state) {
+  auto& a = rt::ArenaAllocator::instance();
+  for (auto _ : state) {
+    for (int i = 0; i < kAllocsPerIter; ++i) {
+      void* p = a.allocate(kBytes);
+      benchmark::DoNotOptimize(p);
+      a.deallocate(p);
+    }
+    a.reset();
+  }
+  state.counters["locks/iter"] = 0;
+}
+BENCHMARK(BM_ArenaAllocator_1Thread)->Unit(benchmark::kMicrosecond);
+
+template <class AllocFn, class FreeFn>
+void contend(unsigned threads, AllocFn&& alloc, FreeFn&& dealloc) {
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < threads; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < kAllocsPerIter; ++i) {
+        void* p = alloc(kBytes);
+        benchmark::DoNotOptimize(p);
+        dealloc(p);
+      }
+    });
+  for (auto& t : ts) t.join();
+}
+
+void BM_MutexAllocator_Contended(benchmark::State& state) {
+  auto& a = rt::MutexAllocator::instance();
+  unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state)
+    contend(threads, [&](size_t b) { return a.allocate(b); },
+            [&](void* p) { a.deallocate(p); });
+  a.trim();
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_MutexAllocator_Contended)
+    ->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ArenaAllocator_Contended(benchmark::State& state) {
+  auto& a = rt::ArenaAllocator::instance();
+  unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    contend(threads, [&](size_t b) { return a.allocate(b); },
+            [&](void* p) { a.deallocate(p); });
+    a.reset();
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_ArenaAllocator_Contended)
+    ->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Matrix churn through the refcount cells, with each allocator behind
+/// them — the actual §III-C scenario (with-loop temporaries).
+void matrixChurn(rt::Executor& exec) {
+  exec.run(0, 256, [](int64_t lo, int64_t hi, unsigned) {
+    for (int64_t i = lo; i < hi; ++i) {
+      rt::Matrix m = rt::Matrix::zeros(rt::Elem::F32, {32, 8});
+      m.f32()[0] = static_cast<float>(i);
+      benchmark::DoNotOptimize(m.f32());
+    } // released here
+  });
+}
+
+void BM_MatrixChurn_DefaultAllocator(benchmark::State& state) {
+  rt::ForkJoinPool pool(4);
+  for (auto _ : state) matrixChurn(pool);
+}
+BENCHMARK(BM_MatrixChurn_DefaultAllocator)->Unit(benchmark::kMicrosecond);
+
+void BM_MatrixChurn_MutexAllocator(benchmark::State& state) {
+  rt::setRcAllocHooks({rt::mutexAllocHook, rt::mutexFreeHook});
+  rt::ForkJoinPool pool(4);
+  for (auto _ : state) matrixChurn(pool);
+  rt::setRcAllocHooks({});
+  rt::MutexAllocator::instance().trim();
+}
+BENCHMARK(BM_MatrixChurn_MutexAllocator)->Unit(benchmark::kMicrosecond);
+
+void BM_MatrixChurn_ArenaAllocator(benchmark::State& state) {
+  rt::setRcAllocHooks({rt::arenaAllocHook, rt::arenaFreeHook});
+  rt::ForkJoinPool pool(4);
+  for (auto _ : state) {
+    matrixChurn(pool);
+    rt::ArenaAllocator::instance().reset();
+  }
+  rt::setRcAllocHooks({});
+}
+BENCHMARK(BM_MatrixChurn_ArenaAllocator)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace mmx::bench

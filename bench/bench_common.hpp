@@ -1,0 +1,191 @@
+// Shared benchmark plumbing: a lazily composed translator and the Fig. 1 /
+// Fig. 8 workload programs used across the experiment binaries.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "driver/translator.hpp"
+#include "runtime/matio.hpp"
+#include "runtime/ssh_synth.hpp"
+#include "ext_matrix/matrix_ext.hpp"
+#include "ext_refcount/refcount_ext.hpp"
+#include "ext_transform/transform_ext.hpp"
+#include "interp/interp.hpp"
+
+namespace mmx::bench {
+
+inline driver::Translator& translator(driver::TranslateOptions opts = {}) {
+  struct Key {
+    bool fusion, slice, par;
+    bool operator<(const Key& o) const {
+      return std::tie(fusion, slice, par) <
+             std::tie(o.fusion, o.slice, o.par);
+    }
+  };
+  static std::map<Key, std::unique_ptr<driver::Translator>> cache;
+  Key k{opts.fusion, opts.sliceElimination, opts.autoParallel};
+  auto it = cache.find(k);
+  if (it == cache.end()) {
+    auto t = std::make_unique<driver::Translator>();
+    t->addExtension(ext_matrix::matrixExtension());
+    t->addExtension(ext_refcount::refcountExtension());
+    t->addExtension(ext_transform::transformExtension());
+    if (!t->compose(opts)) throw std::runtime_error(t->composeDiagnostics());
+    it = cache.emplace(k, std::move(t)).first;
+  }
+  return *it->second;
+}
+
+/// Writes a synthetic SSH field to /tmp once and returns its path, so the
+/// measured programs load it with a cheap readMatrix instead of paying the
+/// (serial) synthesizer inside the timed region.
+std::string benchDataFile(int64_t nlat, int64_t nlon, int64_t ntime);
+
+/// Fig. 1 temporal-mean program over a pre-generated field, repeating the
+/// computation `reps` times so the with-loop dominates the measurement.
+inline std::string temporalMeanProgram(int64_t nlat, int64_t nlon,
+                                       int64_t ntime,
+                                       const std::string& clauses = "",
+                                       int reps = 1) {
+  return R"(
+int main() {
+  Matrix float <3> mat = readMatrix(")" +
+         benchDataFile(nlat, nlon, ntime) + R"(");
+  int m = dimSize(mat, 0);
+  int n = dimSize(mat, 1);
+  int p = dimSize(mat, 2);
+  Matrix float <2> means = init(Matrix float <2>, m, n);
+  for (int rep = 0; rep < )" + std::to_string(reps) + R"(; rep++) {
+    means = with ([0,0] <= [i,j] < [m,n])
+      genarray([m,n],
+        (with ([0] <= [k] < [p]) fold(+, 0.0, mat[i,j,k])) / p))" +
+         clauses + R"(;
+  }
+  printFloat(means[0, 0]);
+  return 0;
+}
+)";
+}
+
+/// Fig. 8 eddy-scoring program (matrixMap over the time dimension).
+inline std::string eddyScoringProgram(int64_t nlat, int64_t nlon,
+                                      int64_t ntime) {
+  return R"(
+(Matrix float <1>, int, int) getTrough(Matrix float <1> ts, int i) {
+  int beginning = i;
+  int n = dimSize(ts, 0);
+  while (i + 1 < n && ts[i] >= ts[i + 1]) { i = i + 1; }
+  while (i + 1 < n && ts[i] < ts[i + 1]) { i = i + 1; }
+  return (ts[beginning : i], beginning, i);
+}
+Matrix float <1> computeArea(Matrix float <1> areaOfInterest) {
+  float y1 = areaOfInterest[0];
+  float y2 = areaOfInterest[end];
+  int x2 = dimSize(areaOfInterest, 0) - 1;
+  float slope = 0.0;
+  if (x2 > 0) { slope = (y1 - y2) / ((float)(0 - x2)); }
+  float b = y1;
+  Matrix float <1> Line = (0 :: x2) * slope + b;
+  float area = with ([0] <= [q] < [dimSize(Line, 0)])
+      fold(+, 0.0, Line[q] - areaOfInterest[q]);
+  return with ([0] <= [q] < [dimSize(Line, 0)])
+      genarray([dimSize(Line, 0)], area);
+}
+Matrix float <1> scoreTS(Matrix float <1> ts) {
+  Matrix float <1> scores = init(Matrix float <1>, dimSize(ts, 0));
+  int i = 0;
+  int n = dimSize(ts, 0);
+  while (i + 1 < n && ts[i] < ts[i + 1]) { i = i + 1; }
+  Matrix float <1> trough = init(Matrix float <1>, 1);
+  int beginning = 0;
+  while (i < n - 1) {
+    (trough, beginning, i) = getTrough(ts, i);
+    if (i <= beginning) { return scores; }
+    scores[beginning : i] = computeArea(trough);
+  }
+  return scores;
+}
+int main() {
+  Matrix float <3> data = readMatrix(")" +
+         benchDataFile(nlat, nlon, ntime) + R"(");
+  Matrix float <3> scores = matrixMap(scoreTS, data, [2]);
+  printFloat(scores[0, 0, 2]);
+  return 0;
+}
+)";
+}
+
+/// Translates once; throws on diagnostics.
+inline std::unique_ptr<ir::Module> compile(const std::string& src,
+                                           driver::TranslateOptions opts = {}) {
+  auto res = translator(opts).translate("bench.xc", src);
+  if (!res.ok) throw std::runtime_error(res.diagnostics);
+  return std::move(res.module);
+}
+
+/// Runs main() once on the given executor.
+inline void runOn(const ir::Module& m, rt::Executor& exec) {
+  interp::Machine vm(m, exec);
+  vm.runMain();
+}
+
+inline std::string benchDataFile(int64_t nlat, int64_t nlon,
+                                 int64_t ntime) {
+  static std::map<std::string, bool> written;
+  std::string path = "/tmp/mmx_bench_" + std::to_string(nlat) + "_" +
+                     std::to_string(nlon) + "_" + std::to_string(ntime) +
+                     ".mmx";
+  if (!written[path]) {
+    rt::SshParams p;
+    p.nlat = nlat;
+    p.nlon = nlon;
+    p.ntime = ntime;
+    p.numEddies = 4;
+    rt::writeMatrixFile(path, rt::synthesizeSsh(p));
+    written[path] = true;
+  }
+  return path;
+}
+
+} // namespace mmx::bench
+
+// --- emitted-C benchmarking -------------------------------------------
+
+#include <cstdlib>
+#include <fstream>
+
+#include "ir/cemit.hpp"
+
+namespace mmx::bench {
+
+/// Translates + emits C + compiles with the system compiler; returns the
+/// binary path (cached per tag). Throws on any failure.
+inline std::string compileCBinary(const std::string& src,
+                                  driver::TranslateOptions opts,
+                                  const std::string& tag) {
+  static std::map<std::string, std::string> cache;
+  auto it = cache.find(tag);
+  if (it != cache.end()) return it->second;
+  auto mod = compile(src, opts);
+  auto c = ir::emitC(*mod);
+  if (!c.ok)
+    throw std::runtime_error("emitC: " +
+                             (c.errors.empty() ? "?" : c.errors.front()));
+  std::string base = "/tmp/mmx_benchc_" + tag;
+  std::ofstream(base + ".c") << c.code;
+  std::string cmd = "cc -O2 -std=gnu99 -msse4.2 -fopenmp " + base + ".c -o " +
+                    base + ".bin -lm 2>" + base + ".err";
+  if (std::system(cmd.c_str()) != 0)
+    throw std::runtime_error("cc failed for " + tag);
+  cache[tag] = base + ".bin";
+  return cache[tag];
+}
+
+/// Runs a compiled benchmark binary once (stdout discarded).
+inline void runCBinary(const std::string& bin) {
+  if (std::system((bin + " > /dev/null").c_str()) != 0)
+    throw std::runtime_error("benchmark binary failed: " + bin);
+}
+
+} // namespace mmx::bench

@@ -1,0 +1,108 @@
+// Experiment C6 (paper §II, §VI): the cost of the extensible-compiler
+// machinery itself — composing grammars, building LALR(1) tables with
+// exact lookaheads, running the modular analyses, and parsing through the
+// context-aware scanner — as a function of how many extensions the user
+// selected. The paper's pitch is that composition is cheap enough to be
+// "just another step in the compilation process".
+#include <benchmark/benchmark.h>
+
+#include "analysis/determinism.hpp"
+#include "analysis/welldef.hpp"
+#include "bench_common.hpp"
+#include "cminus/host_grammar.hpp"
+#include "cminus/sema.hpp"
+#include "ext_tuple/tuple_ext.hpp"
+#include "parse/lalr.hpp"
+
+namespace mmx::bench {
+namespace {
+
+std::vector<ext::GrammarFragment> fragmentSet(int nExts) {
+  std::vector<ext::GrammarFragment> f;
+  f.push_back(cm::hostFragment());
+  f.push_back(cm::tupleFragment());
+  if (nExts >= 1)
+    f.push_back(ext_matrix::matrixExtension()->grammarFragment());
+  if (nExts >= 2)
+    f.push_back(ext_refcount::refcountExtension()->grammarFragment());
+  if (nExts >= 3)
+    f.push_back(ext_transform::transformExtension()->grammarFragment());
+  if (nExts >= 4) f.push_back(cm::tupleAltFragment());
+  return f;
+}
+
+void BM_ComposeAndBuildTables(benchmark::State& state) {
+  int nExts = static_cast<int>(state.range(0));
+  auto frags = fragmentSet(nExts);
+  for (auto _ : state) {
+    grammar::Grammar g;
+    DiagnosticEngine diags;
+    std::vector<const ext::GrammarFragment*> ptrs;
+    for (auto& f : frags) ptrs.push_back(&f);
+    if (!ext::composeGrammar(ptrs, g, diags)) state.SkipWithError("compose");
+    parse::LalrTables t = parse::LalrTables::build(g);
+    benchmark::DoNotOptimize(t.stateCount());
+  }
+  {
+    grammar::Grammar g;
+    DiagnosticEngine diags;
+    std::vector<const ext::GrammarFragment*> ptrs;
+    for (auto& f : frags) ptrs.push_back(&f);
+    ext::composeGrammar(ptrs, g, diags);
+    parse::LalrTables t = parse::LalrTables::build(g);
+    state.counters["extensions"] = nExts;
+    state.counters["productions"] = double(g.productions().size());
+    state.counters["states"] = double(t.stateCount());
+  }
+}
+BENCHMARK(BM_ComposeAndBuildTables)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ModularDeterminismAnalysis(benchmark::State& state) {
+  auto host = ext::mergeFragments(cm::hostFragment(), cm::tupleFragment(),
+                                  "host");
+  auto matrix = ext_matrix::matrixExtension()->grammarFragment();
+  for (auto _ : state) {
+    auto r = analysis::isComposable(host, matrix);
+    benchmark::DoNotOptimize(r.composable);
+  }
+}
+BENCHMARK(BM_ModularDeterminismAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_ParseThroughput(benchmark::State& state) {
+  // Parse the Fig. 8 program repeatedly through the full composition.
+  auto& t = translator();
+  std::string src = eddyScoringProgram(4, 4, 16);
+  // Pre-check it parses.
+  if (!t.translate("warm.xc", src).ok) state.SkipWithError("translate");
+  for (auto _ : state) {
+    auto res = t.translate("bench.xc", src);
+    benchmark::DoNotOptimize(res.ok);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * src.size());
+}
+BENCHMARK(BM_ParseThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_WelldefAnalysis(benchmark::State& state) {
+  grammar::Grammar g;
+  DiagnosticEngine diags;
+  auto frags = fragmentSet(3);
+  std::vector<const ext::GrammarFragment*> ptrs;
+  for (auto& f : frags) ptrs.push_back(&f);
+  ext::composeGrammar(ptrs, g, diags);
+  attr::Registry reg;
+  cm::Sema sema(diags, reg);
+  cm::installHostSemantics(sema);
+  ext_matrix::matrixExtension()->installSemantics(sema);
+  ext_refcount::refcountExtension()->installSemantics(sema);
+  ext_transform::transformExtension()->installSemantics(sema);
+  for (auto _ : state) {
+    auto r = analysis::checkWellDefined(g, reg);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_WelldefAnalysis)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mmx::bench

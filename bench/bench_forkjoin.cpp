@@ -1,0 +1,86 @@
+// Experiment C2 (paper §III-C): the enhanced fork-join model — workers
+// spawned once and parked in a spin gate — versus the naive model that
+// creates and destroys threads per parallel region. The paper adopts the
+// former because "if there is a lot of disjoint parallel computation to
+// be done, then the program pays the price of creating and destroying
+// threads each time".
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "runtime/pool.hpp"
+
+namespace mmx::bench {
+namespace {
+
+void tinyBody(void* ctx, int64_t lo, int64_t hi, unsigned) {
+  auto* sum = static_cast<std::atomic<int64_t>*>(ctx);
+  int64_t s = 0;
+  for (int64_t i = lo; i < hi; ++i) s += i;
+  sum->fetch_add(s, std::memory_order_relaxed);
+}
+
+/// Dispatch latency: many tiny regions — the worst case for per-region
+/// thread creation, the paper's motivating scenario.
+void BM_EnhancedForkJoin_TinyRegions(benchmark::State& state) {
+  unsigned threads = static_cast<unsigned>(state.range(0));
+  rt::ForkJoinPool pool(threads);
+  std::atomic<int64_t> sum{0};
+  for (auto _ : state) pool.parallelFor(0, 64, tinyBody, &sum);
+  benchmark::DoNotOptimize(sum.load());
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_EnhancedForkJoin_TinyRegions)
+    ->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NaiveForkJoin_TinyRegions(benchmark::State& state) {
+  unsigned threads = static_cast<unsigned>(state.range(0));
+  rt::NaiveForkJoin naive(threads);
+  std::atomic<int64_t> sum{0};
+  for (auto _ : state) naive.parallelFor(0, 64, tinyBody, &sum);
+  benchmark::DoNotOptimize(sum.load());
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_NaiveForkJoin_TinyRegions)
+    ->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Larger bodies: the dispatch overhead amortizes; both models converge.
+void workBody(void* ctx, int64_t lo, int64_t hi, unsigned) {
+  auto* sum = static_cast<std::atomic<double>*>(ctx);
+  double s = 0;
+  for (int64_t i = lo; i < hi; ++i) s += static_cast<double>(i) * 1.0001;
+  double cur = sum->load(std::memory_order_relaxed);
+  while (!sum->compare_exchange_weak(cur, cur + s)) {
+  }
+}
+
+void BM_EnhancedForkJoin_LargeRegions(benchmark::State& state) {
+  rt::ForkJoinPool pool(4);
+  std::atomic<double> sum{0};
+  for (auto _ : state) pool.parallelFor(0, 1 << 18, workBody, &sum);
+  state.counters["threads"] = 4;
+}
+BENCHMARK(BM_EnhancedForkJoin_LargeRegions)->Unit(benchmark::kMicrosecond);
+
+void BM_NaiveForkJoin_LargeRegions(benchmark::State& state) {
+  rt::NaiveForkJoin naive(4);
+  std::atomic<double> sum{0};
+  for (auto _ : state) naive.parallelFor(0, 1 << 18, workBody, &sum);
+  state.counters["threads"] = 4;
+}
+BENCHMARK(BM_NaiveForkJoin_LargeRegions)->Unit(benchmark::kMicrosecond);
+
+/// Raw thread create/join cost, for reference: what the naive model pays
+/// per region before any useful work happens.
+void BM_RawThreadCreateJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    std::thread t([] {});
+    t.join();
+  }
+}
+BENCHMARK(BM_RawThreadCreateJoin)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace mmx::bench

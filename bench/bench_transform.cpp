@@ -1,0 +1,105 @@
+// Experiment C5 (paper §V, Figs. 9-11): the effect of programmer-directed
+// transformations on the with-loop's generated code. The paper
+// intentionally reports no absolute numbers ("the resulting performance
+// is really up to the programmer"); what must reproduce is the mechanism
+// and the relative shape: vectorization helps compute-bound inner loops
+// (4 x f32 SSE lanes), tiling helps reuse-heavy access patterns, and the
+// pipeline composes.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace mmx::bench {
+namespace {
+
+constexpr int64_t kLat = 32, kLon = 128, kTime = 64;
+
+driver::TranslateOptions manual() {
+  driver::TranslateOptions o;
+  o.autoParallel = false; // §V: the programmer is in charge
+  return o;
+}
+
+void runVariant(benchmark::State& state, const std::string& clauses,
+                unsigned threads) {
+  auto mod = compile(temporalMeanProgram(kLat, kLon, kTime, clauses),
+                     manual());
+  std::unique_ptr<rt::Executor> exec;
+  if (threads == 1)
+    exec = std::make_unique<rt::SerialExecutor>();
+  else
+    exec = std::make_unique<rt::ForkJoinPool>(threads);
+  for (auto _ : state) runOn(*mod, *exec);
+}
+
+void BM_Transform_Baseline(benchmark::State& state) {
+  runVariant(state, "", 1);
+}
+BENCHMARK(BM_Transform_Baseline)->Unit(benchmark::kMillisecond);
+
+void BM_Transform_Split(benchmark::State& state) {
+  runVariant(state, " transform { split j by 4, jin, jout; }", 1);
+}
+BENCHMARK(BM_Transform_Split)->Unit(benchmark::kMillisecond);
+
+void BM_Transform_SplitVectorize(benchmark::State& state) {
+  runVariant(state,
+             " transform { split j by 4, jin, jout; vectorize jin; }", 1);
+}
+BENCHMARK(BM_Transform_SplitVectorize)->Unit(benchmark::kMillisecond);
+
+void BM_Transform_Fig9Pipeline(benchmark::State& state) {
+  runVariant(state,
+             " transform { split j by 4, jin, jout; vectorize jin; "
+             "parallelize i; }",
+             4);
+}
+BENCHMARK(BM_Transform_Fig9Pipeline)->Unit(benchmark::kMillisecond);
+
+void BM_Transform_Tile8x8(benchmark::State& state) {
+  runVariant(state, " transform { tile i, j by 8, 8; }", 1);
+}
+BENCHMARK(BM_Transform_Tile8x8)->Unit(benchmark::kMillisecond);
+
+void BM_Transform_Unroll4(benchmark::State& state) {
+  runVariant(state, " transform { unroll k by 4; }", 1);
+}
+BENCHMARK(BM_Transform_Unroll4)->Unit(benchmark::kMillisecond);
+
+void BM_Transform_Reorder(benchmark::State& state) {
+  runVariant(state, " transform { reorder j, i; }", 1);
+}
+BENCHMARK(BM_Transform_Reorder)->Unit(benchmark::kMillisecond);
+
+// Tile-size exploration — "They can more easily experiment with different
+// tile sizes ... without having to manually rewrite their code for each
+// configuration": a stencil-ish transposed access where tiling matters.
+void BM_TileSweep(benchmark::State& state) {
+  int64_t tile = state.range(0);
+  std::string prog = R"(
+int main() {
+  Matrix float <2> a = with ([0,0] <= [i,j] < [512,512])
+      genarray([512,512], (float)(i + j));
+  Matrix float <2> tr = init(Matrix float <2>, 512, 512);
+  tr = with ([0,0] <= [i,j] < [512,512])
+      genarray([512,512], a[j, i]))" +
+                     (tile ? " transform { tile i, j by " +
+                                 std::to_string(tile) + ", " +
+                                 std::to_string(tile) + "; }"
+                           : std::string()) +
+                     R"(;
+  printFloat(tr[1, 2]);
+  return 0;
+}
+)";
+  auto mod = compile(prog, manual());
+  rt::SerialExecutor exec;
+  for (auto _ : state) runOn(*mod, exec);
+  state.counters["tile"] = static_cast<double>(tile);
+}
+BENCHMARK(BM_TileSweep)
+    ->Arg(0)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mmx::bench

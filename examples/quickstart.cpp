@@ -1,0 +1,64 @@
+// Quickstart: compose a translator from the host language plus the matrix
+// extension, translate a tiny extended-C program, inspect the generated
+// loop IR and the emitted plain C, and run it.
+//
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "driver/translator.hpp"
+#include "ext_matrix/matrix_ext.hpp"
+#include "interp/interp.hpp"
+#include "ir/cemit.hpp"
+
+static const char* kProgram = R"(
+// Extended C: the with-loop builds a multiplication table in parallel.
+int main() {
+  int n = 5;
+  Matrix int <2> table = with ([0,0] <= [i,j] < [n,n])
+      genarray([n,n], (i + 1) * (j + 1));
+  printInt(table[4, 4]);
+  printInt(table[2, 3]);
+  printFloat(with ([0,0] <= [i,j] < [n,n]) fold(+, 0.0, table[i,j]) / 25);
+  return 0;
+}
+)";
+
+int main() {
+  using namespace mmx;
+
+  // 1. Pick extensions like libraries and compose a custom translator.
+  driver::Translator t;
+  t.addExtension(ext_matrix::matrixExtension());
+  if (!t.compose()) {
+    std::cerr << t.composeDiagnostics();
+    return 1;
+  }
+  std::cout << "composed grammar: " << t.grammar().productions().size()
+            << " productions, " << t.grammar().terminalCount()
+            << " terminals, " << t.parser()->tables().stateCount()
+            << " LALR(1) states, 0 conflicts\n\n";
+
+  // 2. Translate extended C down to the plain-parallel-C level.
+  auto res = t.translate("quickstart.xc", kProgram);
+  if (!res.ok) {
+    std::cerr << res.diagnostics;
+    return 1;
+  }
+  std::cout << "---- generated loop IR ----\n" << ir::dump(*res.module);
+
+  // 3. The same lowering prints as plain C (first lines shown).
+  auto c = ir::emitC(*res.module);
+  if (c.ok) {
+    std::string snippet = c.code.substr(c.code.find("int xc_main"));
+    size_t cut = snippet.find("goto mmx_cleanup");
+    std::cout << "---- emitted C (xc_main) ----\n"
+              << snippet.substr(0, cut) << "  ...\n\n";
+  }
+
+  // 4. Or execute directly on the interpreter + fork-join pool.
+  rt::ForkJoinPool pool(4);
+  interp::Machine vm(*res.module, pool);
+  int code = vm.runMain();
+  std::cout << "---- program output (4 threads) ----\n" << vm.output();
+  return code;
+}

@@ -1,0 +1,105 @@
+#include "analysis/determinism.hpp"
+
+#include <set>
+
+#include "parse/lalr.hpp"
+
+namespace mmx::analysis {
+
+using ext::GrammarFragment;
+using ext::ProdSpec;
+
+DeterminismResult isComposable(const GrammarFragment& host,
+                               const GrammarFragment& extension) {
+  DeterminismResult r;
+
+  std::set<std::string> hostTerms, hostNTs, extTerms, extNTs;
+  for (const auto& t : host.terminals) hostTerms.insert(t.name);
+  for (const auto& n : host.nonterminals) hostNTs.insert(n);
+  for (const auto& t : extension.terminals) extTerms.insert(t.name);
+  for (const auto& n : extension.nonterminals) extNTs.insert(n);
+
+  // Condition (1): host ∪ ext is LALR(1).
+  {
+    grammar::Grammar g;
+    DiagnosticEngine diags;
+    if (!ext::composeGrammar({&host, &extension}, g, diags)) {
+      for (const auto& d : diags.all())
+        r.problems.push_back("composition error: " + d.message);
+      return r;
+    }
+    parse::LalrTables t = parse::LalrTables::build(g);
+    for (const auto& c : t.conflicts())
+      r.problems.push_back("host+" + extension.name + " is not LALR(1): " +
+                           c.description);
+  }
+
+  // Conditions (2)+(3): marking terminals on bridge productions. Two
+  // shapes qualify:
+  //   A -> t beta        (prefix form: t is an extension terminal)
+  //   A -> A t beta      (operator form: left-recursive with the new
+  //                       operator terminal immediately after, e.g.
+  //                       MulE -> MulE '.*' Unary — the parser commits to
+  //                       the extension only at t, which no other
+  //                       extension can also introduce)
+  std::set<std::string> markers;
+  for (const ProdSpec& p : extension.productions) {
+    bool bridge = hostNTs.count(p.lhs) > 0;
+    if (!bridge) continue;
+    if (p.rhs.empty()) {
+      r.problems.push_back("bridge production '" + p.name +
+                           "' is empty; it needs a marking terminal");
+      continue;
+    }
+    if (extTerms.count(p.rhs.front())) {
+      markers.insert(p.rhs.front());
+      continue;
+    }
+    if (p.rhs.size() >= 2 && p.rhs.front() == p.lhs &&
+        extTerms.count(p.rhs[1])) {
+      markers.insert(p.rhs[1]);
+      continue;
+    }
+    r.problems.push_back(
+        "bridge production '" + p.name + "' starts with '" + p.rhs.front() +
+        "', which is not a terminal introduced by extension '" +
+        extension.name + "' — extension syntax must begin with a unique "
+        "marking terminal (or be the left-recursive operator form)");
+  }
+
+  // Marking terminals must not occur anywhere except at the start of
+  // bridge productions.
+  for (const ProdSpec& p : extension.productions) {
+    bool bridge = hostNTs.count(p.lhs) > 0;
+    bool opForm = bridge && p.rhs.size() >= 2 && p.rhs.front() == p.lhs;
+    for (size_t i = 0; i < p.rhs.size(); ++i) {
+      if (bridge && (i == 0 || (opForm && i == 1))) continue;
+      if (markers.count(p.rhs[i]))
+        r.problems.push_back("marking terminal '" + p.rhs[i] +
+                             "' reused inside production '" + p.name +
+                             "'; it may only introduce extension syntax");
+    }
+  }
+
+  r.composable = r.problems.empty();
+  return r;
+}
+
+std::vector<std::string> composedConflicts(
+    const GrammarFragment& host,
+    const std::vector<const GrammarFragment*>& extensions) {
+  std::vector<std::string> out;
+  grammar::Grammar g;
+  DiagnosticEngine diags;
+  std::vector<const GrammarFragment*> all{&host};
+  all.insert(all.end(), extensions.begin(), extensions.end());
+  if (!ext::composeGrammar(all, g, diags)) {
+    for (const auto& d : diags.all()) out.push_back(d.message);
+    return out;
+  }
+  parse::LalrTables t = parse::LalrTables::build(g);
+  for (const auto& c : t.conflicts()) out.push_back(c.description);
+  return out;
+}
+
+} // namespace mmx::analysis

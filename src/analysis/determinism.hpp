@@ -1,0 +1,47 @@
+// Modular determinism analysis (paper §VI-A, after Schwerdfeger & Van Wyk
+// [PLDI'09]): a per-extension check `isComposable(host, ext)` such that
+//
+//   forall i: isLALR(host ∪ ext_i) ∧ isComposable(host, ext_i)
+//       ==>  isLALR(host ∪ ext_1 ∪ ... ∪ ext_n)
+//
+// The conditions implemented here are the paper's operative ones:
+//  (1) host ∪ ext alone is conflict-free LALR(1);
+//  (2) every "bridge" production (extension production whose LHS is a host
+//      nonterminal) starts with a *marking terminal* — a terminal that the
+//      extension itself declares, so no host token can also start the
+//      extension's syntax;
+//  (3) marking terminals appear nowhere else (only as the first symbol of
+//      bridge productions), so the parser commits to the extension only at
+//      its unique entry token.
+//
+// The paper notes the tuples extension fails this check because its
+// constructs begin with the host's '(' — tests/analysis reproduces that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ext/fragment.hpp"
+
+namespace mmx::analysis {
+
+/// Outcome of the determinism analysis for one extension.
+struct DeterminismResult {
+  bool composable = false;
+  std::vector<std::string> problems; // empty iff composable
+};
+
+/// Runs isComposable(host, ext). Extension authors run this before
+/// publishing; users compose only extensions that pass and get the LALR
+/// guarantee for any selection of them.
+DeterminismResult isComposable(const ext::GrammarFragment& host,
+                               const ext::GrammarFragment& extension);
+
+/// Empirical check backing the theorem: composes host + all extensions and
+/// reports any LALR conflicts (used by tests and by the translator driver
+/// as a belt-and-braces verification).
+std::vector<std::string> composedConflicts(
+    const ext::GrammarFragment& host,
+    const std::vector<const ext::GrammarFragment*>& extensions);
+
+} // namespace mmx::analysis

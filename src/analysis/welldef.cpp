@@ -1,0 +1,79 @@
+#include "analysis/welldef.hpp"
+
+#include <set>
+
+namespace mmx::analysis {
+
+using attr::AttrKind;
+using attr::Registry;
+using grammar::Grammar;
+
+WelldefResult checkWellDefined(const Grammar& g, const Registry& reg) {
+  WelldefResult r;
+
+  for (const auto& decl : reg.attributes()) {
+    std::set<std::string> occurs(decl.occurs.begin(), decl.occurs.end());
+    if (occurs.empty()) continue; // attribute never attached to the grammar
+
+    if (decl.kind == AttrKind::Synthesized) {
+      for (const auto& p : g.productions()) {
+        if (!occurs.count(std::string(g.nonterminalName(p.lhs)))) continue;
+        if (reg.findSyn(p.name, decl.id) || decl.hasDefault) continue;
+        r.problems.push_back(
+            "synthesized attribute '" + decl.name + "' (from '" +
+            decl.extension + "') has no equation on production '" + p.name +
+            "' (from '" + p.extension + "') and no default");
+      }
+    } else {
+      for (const auto& p : g.productions()) {
+        for (size_t i = 0; i < p.rhs.size(); ++i) {
+          const grammar::GSym& s = p.rhs[i];
+          if (s.isTerm()) continue;
+          if (!occurs.count(std::string(g.nonterminalName(s.idx)))) continue;
+          if (reg.findInh(p.name, i, decl.id) || decl.autocopy) continue;
+          r.problems.push_back(
+              "inherited attribute '" + decl.name + "' (from '" +
+              decl.extension + "') is not supplied to child " +
+              std::to_string(i) + " of production '" + p.name + "' (from '" +
+              p.extension + "') and is not autocopy");
+        }
+      }
+    }
+  }
+
+  r.ok = r.problems.empty();
+  return r;
+}
+
+WelldefResult checkModularWellDefined(const Grammar& g, const Registry& reg) {
+  WelldefResult r = checkWellDefined(g, reg);
+
+  // Which fragments contribute productions to each nonterminal?
+  auto fragmentsOf = [&](const std::string& nt) {
+    std::set<std::string> frags;
+    for (const auto& p : g.productions())
+      if (g.nonterminalName(p.lhs) == nt) frags.insert(p.extension);
+    return frags;
+  };
+
+  for (const auto& decl : reg.attributes()) {
+    if (decl.extension == "host") continue;
+    bool covered = decl.hasDefault ||
+                   (decl.kind == AttrKind::Inherited && decl.autocopy);
+    if (covered) continue;
+    for (const auto& nt : decl.occurs) {
+      for (const auto& frag : fragmentsOf(nt)) {
+        if (frag == decl.extension) continue;
+        r.problems.push_back(
+            "attribute '" + decl.name + "' of extension '" + decl.extension +
+            "' occurs on '" + nt + "', which has productions from '" + frag +
+            "'; a default equation is required for blind composition");
+      }
+    }
+  }
+
+  r.ok = r.problems.empty();
+  return r;
+}
+
+} // namespace mmx::analysis

@@ -1,0 +1,36 @@
+// Modular well-definedness analysis for attribute grammars (paper §VI-B,
+// after Kaminski & Van Wyk [SLE'12]): guarantees the *composed* attribute
+// grammar has a defining equation for every attribute occurrence.
+//
+// Two levels:
+//  - checkWellDefined: completeness of the composed AG — every synthesized
+//    attribute has an equation (or default) on every production of every
+//    nonterminal it occurs on, and every inherited occurrence is supplied
+//    by its parent productions (or autocopy).
+//  - checkModularWellDefined: additionally enforces the modular rule that
+//    lets extensions compose without seeing each other: an attribute
+//    introduced by extension X and occurring on a host nonterminal must
+//    carry a default equation, because productions added by some other
+//    extension Y can never have X-specific equations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attr/engine.hpp"
+#include "grammar/grammar.hpp"
+
+namespace mmx::analysis {
+
+struct WelldefResult {
+  bool ok = false;
+  std::vector<std::string> problems;
+};
+
+WelldefResult checkWellDefined(const grammar::Grammar& g,
+                               const attr::Registry& reg);
+
+WelldefResult checkModularWellDefined(const grammar::Grammar& g,
+                                      const attr::Registry& reg);
+
+} // namespace mmx::analysis

@@ -1,0 +1,70 @@
+#include "ast/node.hpp"
+
+#include <sstream>
+
+namespace mmx::ast {
+
+NodePtr makeNode(const grammar::Production* prod, std::vector<NodePtr> kids,
+                 SourceRange range) {
+  auto n = std::make_shared<Node>();
+  n->prod = prod;
+  n->kids = std::move(kids);
+  n->range = range;
+  for (auto& k : n->kids) k->parent = n.get();
+  return n;
+}
+
+NodePtr makeLeaf(const lex::Token& tok) {
+  auto n = std::make_shared<Node>();
+  n->token = tok;
+  n->range = tok.range;
+  return n;
+}
+
+NodePtr cloneTree(const NodePtr& n) {
+  if (n->isToken()) return makeLeaf(n->token);
+  std::vector<NodePtr> kids;
+  kids.reserve(n->kids.size());
+  for (const auto& k : n->kids) kids.push_back(cloneTree(k));
+  return makeNode(n->prod, std::move(kids), n->range);
+}
+
+NodePtr findFirst(const NodePtr& n, std::string_view name) {
+  NodePtr found;
+  preorder(n, [&](const NodePtr& x) {
+    if (found) return false;
+    if (x->is(name)) { found = x; return false; }
+    return true;
+  });
+  return found;
+}
+
+std::vector<NodePtr> findAll(const NodePtr& n, std::string_view name) {
+  std::vector<NodePtr> out;
+  preorder(n, [&](const NodePtr& x) {
+    if (x->is(name)) out.push_back(x);
+    return true;
+  });
+  return out;
+}
+
+static void sexpr(const NodePtr& n, std::ostringstream& out) {
+  if (n->isToken()) {
+    out << '\'' << n->text() << '\'';
+    return;
+  }
+  out << '(' << n->prod->name;
+  for (const auto& k : n->kids) {
+    out << ' ';
+    sexpr(k, out);
+  }
+  out << ')';
+}
+
+std::string toSexpr(const NodePtr& n) {
+  std::ostringstream out;
+  sexpr(n, out);
+  return out.str();
+}
+
+} // namespace mmx::ast

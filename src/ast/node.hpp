@@ -1,0 +1,92 @@
+// Extensible syntax trees. The parser builds one generic Node per reduced
+// production (token leaves wrap scanned tokens); all later phases — the
+// attribute-grammar engine, semantic analysis, lowering — work on these
+// trees and dispatch on production names. This mirrors Silver: extensions
+// add productions, and semantics attach to productions by name.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "grammar/grammar.hpp"
+#include "lex/scanner.hpp"
+#include "attr/store.hpp"
+
+namespace mmx::ast {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// A parse/abstract syntax tree node.
+///
+/// Invariants: `prod == nullptr` iff the node is a token leaf; children's
+/// `parent` pointers are maintained by the factories below; trees are
+/// immutable after construction (attribute evaluation only touches the
+/// mutable attribute store).
+class Node {
+public:
+  const grammar::Production* prod = nullptr; // null => token leaf
+  lex::Token token;                          // leaf payload
+  std::vector<NodePtr> kids;
+  Node* parent = nullptr;
+  SourceRange range;
+
+  /// Attribute slots (memoized demand evaluation); see attr/.
+  mutable attr::AttrStore store;
+
+  bool isToken() const { return prod == nullptr; }
+
+  /// Production name for interior nodes, terminal name for leaves is not
+  /// tracked here — leaves are matched positionally by the semantics.
+  std::string_view kind() const {
+    return prod ? std::string_view(prod->name) : std::string_view("<token>");
+  }
+
+  /// True when this node was produced by production `name`.
+  bool is(std::string_view name) const { return prod && prod->name == name; }
+
+  /// i-th child (bounds-checked).
+  const NodePtr& child(size_t i) const { return kids.at(i); }
+
+  /// Token text for leaves.
+  std::string_view text() const { return token.text; }
+
+  size_t arity() const { return kids.size(); }
+};
+
+/// Creates an interior node and wires children's parent pointers.
+/// The children become part of the new tree: a child still attached to
+/// another tree would be re-parented, so clone subtrees you share (see
+/// cloneTree) — higher-order attribute equations in particular must not
+/// splice the original program tree into the trees they build.
+NodePtr makeNode(const grammar::Production* prod, std::vector<NodePtr> kids,
+                 SourceRange range);
+
+/// Deep-copies a tree (fresh attribute stores, parent of the copy unset).
+NodePtr cloneTree(const NodePtr& n);
+
+/// Creates a token leaf.
+NodePtr makeLeaf(const lex::Token& tok);
+
+/// Re-parents `root` as a detached tree (used for higher-order attribute
+/// values: trees built during evaluation have no parent until seeded).
+inline void detach(const NodePtr& root) { root->parent = nullptr; }
+
+/// Depth-first preorder visit. `fn` returns false to prune the subtree.
+template <class Fn> void preorder(const NodePtr& n, Fn&& fn) {
+  if (!fn(n)) return;
+  for (const auto& k : n->kids) preorder(k, fn);
+}
+
+/// Finds the first descendant (including self) with production `name`.
+NodePtr findFirst(const NodePtr& n, std::string_view name);
+
+/// Collects every descendant (including self) with production `name`.
+std::vector<NodePtr> findAll(const NodePtr& n, std::string_view name);
+
+/// Renders the tree as an s-expression of production names and token text
+/// (tests assert against this).
+std::string toSexpr(const NodePtr& n);
+
+} // namespace mmx::ast

@@ -1,0 +1,144 @@
+#include "attr/engine.hpp"
+
+#include <stdexcept>
+
+namespace mmx::attr {
+
+AttrId Registry::declareRaw(std::string name, AttrKind kind,
+                            std::string extension) {
+  AttrDecl d;
+  d.id = static_cast<AttrId>(decls_.size());
+  d.name = std::move(name);
+  d.kind = kind;
+  d.extension = std::move(extension);
+  decls_.push_back(std::move(d));
+  return decls_.back().id;
+}
+
+void Registry::occursOn(AttrId a, std::string nt) {
+  decls_.at(a).occurs.push_back(std::move(nt));
+}
+
+void Registry::synRaw(const std::string& prodName, AttrId a, EvalFn fn) {
+  if (decls_.at(a).kind != AttrKind::Synthesized)
+    throw std::logic_error("syn equation for inherited attribute " +
+                           decls_[a].name);
+  synEq_[{prodName, a}] = std::move(fn);
+}
+
+void Registry::inhRaw(const std::string& prodName, size_t childIdx, AttrId a,
+                      EvalFn fn) {
+  if (decls_.at(a).kind != AttrKind::Inherited)
+    throw std::logic_error("inh equation for synthesized attribute " +
+                           decls_[a].name);
+  inhEq_[{prodName, childIdx, a}] = std::move(fn);
+}
+
+void Registry::synDefault(AttrId a, EvalFn fn) {
+  decls_.at(a).hasDefault = true;
+  synDefault_[a] = std::move(fn);
+}
+
+void Registry::inhAutoCopy(AttrId a) {
+  if (decls_.at(a).kind != AttrKind::Inherited)
+    throw std::logic_error("autocopy on synthesized attribute " +
+                           decls_[a].name);
+  decls_.at(a).autocopy = true;
+}
+
+const EvalFn* Registry::findSyn(const std::string& prodName, AttrId a) const {
+  auto it = synEq_.find({prodName, a});
+  return it == synEq_.end() ? nullptr : &it->second;
+}
+
+const EvalFn* Registry::findInh(const std::string& prodName, size_t childIdx,
+                                AttrId a) const {
+  auto it = inhEq_.find({prodName, childIdx, a});
+  return it == inhEq_.end() ? nullptr : &it->second;
+}
+
+const EvalFn* Registry::findSynDefault(AttrId a) const {
+  auto it = synDefault_.find(a);
+  return it == synDefault_.end() ? nullptr : &it->second;
+}
+
+const std::any& Evaluator::getRaw(const ast::NodePtr& n, AttrId a) {
+  AttrStore::Slot& s = n->store.slot(a);
+  switch (s.state) {
+    case AttrStore::State::Done:
+      return s.value;
+    case AttrStore::State::InProgress:
+      throw CycleError("cycle evaluating attribute '" + reg_.decl(a).name +
+                       "' on " + std::string(n->kind()));
+    case AttrStore::State::Empty:
+      break;
+  }
+  return reg_.decl(a).kind == AttrKind::Synthesized ? evalSyn(n, a, s)
+                                                    : evalInh(n, a, s);
+}
+
+void Evaluator::seedInherited(const ast::NodePtr& root, AttrId a,
+                              std::any value) {
+  if (reg_.decl(a).kind != AttrKind::Inherited)
+    throw std::logic_error("seedInherited on synthesized attribute " +
+                           reg_.decl(a).name);
+  AttrStore::Slot& s = root->store.slot(a);
+  s.value = std::move(value);
+  s.state = AttrStore::State::Done;
+}
+
+const std::any& Evaluator::evalSyn(const ast::NodePtr& n, AttrId a,
+                                   AttrStore::Slot& s) {
+  const EvalFn* fn = nullptr;
+  if (n->prod) fn = reg_.findSyn(n->prod->name, a);
+  if (!fn) fn = reg_.findSynDefault(a);
+  if (!fn)
+    throw MissingEquation("no equation for synthesized attribute '" +
+                          reg_.decl(a).name + "' on production '" +
+                          std::string(n->kind()) + "'");
+  s.state = AttrStore::State::InProgress;
+  s.value = (*fn)(n, *this);
+  s.state = AttrStore::State::Done;
+  return s.value;
+}
+
+const std::any& Evaluator::evalInh(const ast::NodePtr& n, AttrId a,
+                                   AttrStore::Slot& s) {
+  ast::Node* parent = n->parent;
+  if (!parent)
+    throw MissingEquation("inherited attribute '" + reg_.decl(a).name +
+                          "' demanded on a root that was never seeded (" +
+                          std::string(n->kind()) + ")");
+  // Child index within the parent.
+  size_t idx = 0;
+  bool found = false;
+  for (size_t i = 0; i < parent->kids.size(); ++i)
+    if (parent->kids[i].get() == n.get()) { idx = i; found = true; break; }
+  if (!found)
+    throw std::logic_error("node not among its parent's children");
+
+  const EvalFn* fn =
+      parent->prod ? reg_.findInh(parent->prod->name, idx, a) : nullptr;
+  // Recover a shared_ptr for the parent. Parents always outlive children
+  // during evaluation; the aliasing constructor gives a non-owning handle.
+  ast::NodePtr parentPtr(ast::NodePtr{}, parent);
+  s.state = AttrStore::State::InProgress;
+  if (fn) {
+    // Equations are written from the parent's perspective.
+    s.value = (*fn)(parentPtr, *this);
+  } else if (reg_.isAutoCopy(a)) {
+    s.value = getRaw(parentPtr, a);
+  } else {
+    s.state = AttrStore::State::Empty;
+    throw MissingEquation("no equation for inherited attribute '" +
+                          reg_.decl(a).name + "' on child " +
+                          std::to_string(idx) + " of production '" +
+                          std::string(parent->prod ? parent->prod->name
+                                                   : "<token>") +
+                          "'");
+  }
+  s.state = AttrStore::State::Done;
+  return s.value;
+}
+
+} // namespace mmx::attr

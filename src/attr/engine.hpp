@@ -1,0 +1,142 @@
+// Attribute-grammar engine in the style of Silver: declared synthesized and
+// inherited attributes, equations keyed by production, demand-driven
+// memoized evaluation with cycle detection, and higher-order attributes
+// (attribute values that are themselves trees, evaluable after seeding
+// their inherited context with seedInherited()).
+//
+// Extensions contribute: new attribute declarations (with an occurs-on set),
+// equations for their own productions, *aspect* equations adding behaviour
+// for host productions, and defaults. The modular well-definedness analysis
+// (analysis/welldef.hpp) checks the composed registry for completeness.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/node.hpp"
+#include "attr/store.hpp"
+#include "support/diag.hpp"
+
+namespace mmx::attr {
+
+enum class AttrKind { Synthesized, Inherited };
+
+/// Typed handle to a declared attribute.
+template <class T> struct Attribute {
+  AttrId id = 0;
+};
+
+class Evaluator;
+
+/// Equation body: computes the attribute value for `self`.
+using EvalFn = std::function<std::any(const ast::NodePtr& self, Evaluator&)>;
+
+/// Declarations + equations for a composed language. Populated by the host
+/// and each chosen extension after grammar composition.
+class Registry {
+public:
+  /// Declares an attribute. `extension` records the contributing fragment.
+  template <class T>
+  Attribute<T> declare(std::string name, AttrKind kind, std::string extension) {
+    return Attribute<T>{declareRaw(std::move(name), kind, std::move(extension))};
+  }
+  AttrId declareRaw(std::string name, AttrKind kind, std::string extension);
+
+  /// Declares that attribute `a` occurs on nonterminal `nt` (by grammar
+  /// name). The well-definedness analysis checks every production of `nt`
+  /// has an equation (or the attribute has a default).
+  void occursOn(AttrId a, std::string nt);
+
+  /// Synthesized equation for production `prodName`.
+  template <class T>
+  void syn(const std::string& prodName, Attribute<T> a, EvalFn fn) {
+    synRaw(prodName, a.id, std::move(fn));
+  }
+  void synRaw(const std::string& prodName, AttrId a, EvalFn fn);
+
+  /// Inherited equation: production `prodName` defines attribute `a` for
+  /// its `childIdx`-th child.
+  template <class T>
+  void inh(const std::string& prodName, size_t childIdx, Attribute<T> a,
+           EvalFn fn) {
+    inhRaw(prodName, childIdx, a.id, std::move(fn));
+  }
+  void inhRaw(const std::string& prodName, size_t childIdx, AttrId a, EvalFn fn);
+
+  /// Default synthesized equation used when a production has no specific
+  /// one (Silver's `default` / aspect-with-default pattern).
+  void synDefault(AttrId a, EvalFn fn);
+
+  /// Marks an inherited attribute as copy-propagated: a node without a
+  /// specific equation receives its parent's value (Silver's autocopy).
+  void inhAutoCopy(AttrId a);
+
+  // --- introspection (used by Evaluator and the well-definedness check) ---
+  struct AttrDecl {
+    AttrId id;
+    std::string name;
+    AttrKind kind;
+    std::string extension;
+    std::vector<std::string> occurs;
+    bool hasDefault = false;
+    bool autocopy = false;
+  };
+  const std::vector<AttrDecl>& attributes() const { return decls_; }
+  const AttrDecl& decl(AttrId a) const { return decls_[a]; }
+
+  const EvalFn* findSyn(const std::string& prodName, AttrId a) const;
+  const EvalFn* findInh(const std::string& prodName, size_t childIdx,
+                        AttrId a) const;
+  const EvalFn* findSynDefault(AttrId a) const;
+  bool isAutoCopy(AttrId a) const { return decls_[a].autocopy; }
+
+private:
+  std::vector<AttrDecl> decls_;
+  std::map<std::pair<std::string, AttrId>, EvalFn> synEq_;
+  std::map<std::tuple<std::string, size_t, AttrId>, EvalFn> inhEq_;
+  std::map<AttrId, EvalFn> synDefault_;
+};
+
+/// Thrown when demand evaluation revisits an in-progress slot.
+struct CycleError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+/// Thrown when no equation, default, or seed defines a demanded attribute.
+struct MissingEquation : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Demand-driven evaluator over one tree (or several: state is per-node).
+class Evaluator {
+public:
+  explicit Evaluator(const Registry& reg) : reg_(reg) {}
+
+  /// Demands attribute `a` on `n`; memoizes into the node's store.
+  const std::any& getRaw(const ast::NodePtr& n, AttrId a);
+
+  template <class T> const T& get(const ast::NodePtr& n, Attribute<T> a) {
+    return std::any_cast<const T&>(getRaw(n, a.id));
+  }
+
+  /// Seeds an inherited attribute on a (typically detached) tree root —
+  /// how higher-order attribute trees receive their context.
+  void seedInherited(const ast::NodePtr& root, AttrId a, std::any value);
+  template <class T>
+  void seed(const ast::NodePtr& root, Attribute<T> a, T value) {
+    seedInherited(root, a.id, std::any(std::move(value)));
+  }
+
+  const Registry& registry() const { return reg_; }
+
+private:
+  const std::any& evalSyn(const ast::NodePtr& n, AttrId a, AttrStore::Slot& s);
+  const std::any& evalInh(const ast::NodePtr& n, AttrId a, AttrStore::Slot& s);
+
+  const Registry& reg_;
+};
+
+} // namespace mmx::attr

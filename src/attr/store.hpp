@@ -1,0 +1,36 @@
+// Per-node attribute storage: memoized slots with evaluation state for
+// cycle detection. Kept separate from the engine so ast::Node can embed a
+// store without depending on evaluation.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <unordered_map>
+
+namespace mmx::attr {
+
+/// Identifies a declared attribute within a Registry.
+using AttrId = uint32_t;
+
+/// One node's attribute slots.
+class AttrStore {
+public:
+  enum class State : uint8_t { Empty, InProgress, Done };
+
+  struct Slot {
+    State state = State::Empty;
+    std::any value;
+  };
+
+  Slot& slot(AttrId a) { return slots_[a]; }
+  const Slot* find(AttrId a) const {
+    auto it = slots_.find(a);
+    return it == slots_.end() ? nullptr : &it->second;
+  }
+  void clear() { slots_.clear(); }
+
+private:
+  std::unordered_map<AttrId, Slot> slots_;
+};
+
+} // namespace mmx::attr

@@ -1,0 +1,195 @@
+#include "cminus/host_grammar.hpp"
+
+namespace mmx::cm {
+
+using ext::GrammarFragment;
+
+namespace {
+
+void kw(GrammarFragment& f, const char* text) {
+  f.terminals.push_back({std::string("'") + text + "'", text, true, 10, false});
+}
+void punct(GrammarFragment& f, const char* text) {
+  f.terminals.push_back({std::string("'") + text + "'", text, true, 5, false});
+}
+void prod(GrammarFragment& f, const char* name, const char* lhs,
+          std::vector<std::string> rhs) {
+  f.productions.push_back({lhs, std::move(rhs), name});
+}
+
+} // namespace
+
+GrammarFragment hostFragment() {
+  GrammarFragment f;
+  f.name = "host";
+  f.startNT = "TU";
+
+  // --- terminals --------------------------------------------------------
+  f.terminals.push_back({"WS", "[ \\t\\r\\n]+", false, 0, true});
+  f.terminals.push_back({"LINE_COMMENT", "//[^\\n]*", false, 0, true});
+  f.terminals.push_back(
+      {"BLOCK_COMMENT", "/\\*([^*]|\\*+[^*/])*\\*+/", false, 0, true});
+  f.terminals.push_back({"ID", "[A-Za-z_][A-Za-z0-9_]*", false, 0, false});
+  f.terminals.push_back(
+      {"FLOATLIT", "[0-9]+\\.[0-9]+([eE][+\\-]?[0-9]+)?", false, 0, false});
+  f.terminals.push_back({"INTLIT", "[0-9]+", false, 0, false});
+  f.terminals.push_back(
+      {"STRLIT", "\"([^\"\\\\\\n]|\\\\.)*\"", false, 0, false});
+  // ':' and '::' are one token (ranges, whole-dimension selector).
+  f.terminals.push_back({"RANGEOP", "::?", false, 5, false});
+
+  for (const char* k :
+       {"int", "float", "bool", "void", "if", "else", "while", "for",
+        "return", "break", "continue", "true", "false"})
+    kw(f, k);
+  for (const char* p :
+       {"(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "-", "*", "/", "%",
+        "<", ">", "<=", ">=", "==", "!=", "&&", "||", "!", "++", "--"})
+    punct(f, p);
+
+  // --- nonterminals -----------------------------------------------------
+  for (const char* n :
+       {"TU", "DeclSeq", "FnDecl", "RetType", "TypeE", "ParamsOpt", "Params",
+        "Param", "Block", "StmtSeq", "Stmt", "Open", "Closed", "Simple",
+        "ForInit", "ForStep", "Expr", "OrE", "AndE", "CmpE", "AddE", "MulE",
+        "Unary", "Postfix", "Primary", "ArgsOpt", "ExprList", "IndexList",
+        "IndexElem"})
+    f.nonterminals.push_back(n);
+
+  // --- declarations -----------------------------------------------------
+  prod(f, "tu", "TU", {"DeclSeq"});
+  prod(f, "declseq_one", "DeclSeq", {"FnDecl"});
+  prod(f, "declseq_cons", "DeclSeq", {"DeclSeq", "FnDecl"});
+  prod(f, "fn_decl", "FnDecl",
+       {"RetType", "ID", "'('", "ParamsOpt", "')'", "Block"});
+  prod(f, "retty_type", "RetType", {"TypeE"});
+  prod(f, "retty_void", "RetType", {"'void'"});
+  prod(f, "ty_int", "TypeE", {"'int'"});
+  prod(f, "ty_float", "TypeE", {"'float'"});
+  prod(f, "ty_bool", "TypeE", {"'bool'"});
+  prod(f, "paramsopt_none", "ParamsOpt", {});
+  prod(f, "paramsopt_some", "ParamsOpt", {"Params"});
+  prod(f, "params_one", "Params", {"Param"});
+  prod(f, "params_cons", "Params", {"Params", "','", "Param"});
+  prod(f, "param", "Param", {"TypeE", "ID"});
+
+  // --- statements -------------------------------------------------------
+  prod(f, "block", "Block", {"'{'", "StmtSeq", "'}'"});
+  prod(f, "block_empty", "Block", {"'{'", "'}'"});
+  prod(f, "stmtseq_one", "StmtSeq", {"Stmt"});
+  prod(f, "stmtseq_cons", "StmtSeq", {"StmtSeq", "Stmt"});
+  prod(f, "stmt_open", "Stmt", {"Open"});
+  prod(f, "stmt_closed", "Stmt", {"Closed"});
+  prod(f, "closed_simple", "Closed", {"Simple"});
+  prod(f, "closed_ifelse", "Closed",
+       {"'if'", "'('", "Expr", "')'", "Closed", "'else'", "Closed"});
+  prod(f, "open_if", "Open", {"'if'", "'('", "Expr", "')'", "Stmt"});
+  prod(f, "open_ifelse", "Open",
+       {"'if'", "'('", "Expr", "')'", "Closed", "'else'", "Open"});
+  prod(f, "closed_while", "Closed",
+       {"'while'", "'('", "Expr", "')'", "Closed"});
+  prod(f, "open_while", "Open", {"'while'", "'('", "Expr", "')'", "Open"});
+  prod(f, "closed_for", "Closed",
+       {"'for'", "'('", "ForInit", "';'", "Expr", "';'", "ForStep", "')'",
+        "Closed"});
+  prod(f, "open_for", "Open",
+       {"'for'", "'('", "ForInit", "';'", "Expr", "';'", "ForStep", "')'",
+        "Open"});
+  prod(f, "forinit_decl", "ForInit", {"TypeE", "ID", "'='", "Expr"});
+  prod(f, "forinit_assign", "ForInit", {"Expr", "'='", "Expr"});
+  prod(f, "forstep_inc", "ForStep", {"Expr", "'++'"});
+  prod(f, "forstep_dec", "ForStep", {"Expr", "'--'"});
+  prod(f, "forstep_assign", "ForStep", {"Expr", "'='", "Expr"});
+
+  prod(f, "simple_vardecl_init", "Simple",
+       {"TypeE", "ID", "'='", "Expr", "';'"});
+  prod(f, "simple_vardecl", "Simple", {"TypeE", "ID", "';'"});
+  prod(f, "simple_assign", "Simple", {"Expr", "'='", "Expr", "';'"});
+  prod(f, "simple_expr", "Simple", {"Expr", "';'"});
+  prod(f, "simple_ret_void", "Simple", {"'return'", "';'"});
+  prod(f, "simple_ret", "Simple", {"'return'", "Expr", "';'"});
+  prod(f, "simple_break", "Simple", {"'break'", "';'"});
+  prod(f, "simple_continue", "Simple", {"'continue'", "';'"});
+  prod(f, "simple_inc", "Simple", {"Expr", "'++'", "';'"});
+  prod(f, "simple_dec", "Simple", {"Expr", "'--'", "';'"});
+  prod(f, "simple_block", "Simple", {"Block"});
+
+  // --- expressions --------------------------------------------------------
+  prod(f, "expr_pass", "Expr", {"OrE"});
+  prod(f, "or_or", "OrE", {"OrE", "'||'", "AndE"});
+  prod(f, "or_pass", "OrE", {"AndE"});
+  prod(f, "and_and", "AndE", {"AndE", "'&&'", "CmpE"});
+  prod(f, "and_pass", "AndE", {"CmpE"});
+  prod(f, "cmp_lt", "CmpE", {"CmpE", "'<'", "AddE"});
+  prod(f, "cmp_le", "CmpE", {"CmpE", "'<='", "AddE"});
+  prod(f, "cmp_gt", "CmpE", {"CmpE", "'>'", "AddE"});
+  prod(f, "cmp_ge", "CmpE", {"CmpE", "'>='", "AddE"});
+  prod(f, "cmp_eq", "CmpE", {"CmpE", "'=='", "AddE"});
+  prod(f, "cmp_ne", "CmpE", {"CmpE", "'!='", "AddE"});
+  prod(f, "cmp_pass", "CmpE", {"AddE"});
+  prod(f, "add_add", "AddE", {"AddE", "'+'", "MulE"});
+  prod(f, "add_sub", "AddE", {"AddE", "'-'", "MulE"});
+  prod(f, "add_pass", "AddE", {"MulE"});
+  prod(f, "mul_mul", "MulE", {"MulE", "'*'", "Unary"});
+  prod(f, "mul_div", "MulE", {"MulE", "'/'", "Unary"});
+  prod(f, "mul_mod", "MulE", {"MulE", "'%'", "Unary"});
+  prod(f, "mul_pass", "MulE", {"Unary"});
+  prod(f, "un_neg", "Unary", {"'-'", "Unary"});
+  prod(f, "un_not", "Unary", {"'!'", "Unary"});
+  prod(f, "un_cast", "Unary", {"'('", "TypeE", "')'", "Unary"});
+  prod(f, "un_pass", "Unary", {"Postfix"});
+  prod(f, "post_call", "Postfix", {"Postfix", "'('", "ArgsOpt", "')'"});
+  prod(f, "post_index", "Postfix", {"Postfix", "'['", "IndexList", "']'"});
+  prod(f, "post_pass", "Postfix", {"Primary"});
+  prod(f, "argsopt_none", "ArgsOpt", {});
+  prod(f, "argsopt_some", "ArgsOpt", {"ExprList"});
+  prod(f, "exprlist_one", "ExprList", {"Expr"});
+  prod(f, "exprlist_cons", "ExprList", {"ExprList", "','", "Expr"});
+  prod(f, "indexlist_one", "IndexList", {"IndexElem"});
+  prod(f, "indexlist_cons", "IndexList", {"IndexList", "','", "IndexElem"});
+  prod(f, "ixe_expr", "IndexElem", {"Expr"});
+  prod(f, "ixe_range", "IndexElem", {"Expr", "RANGEOP", "Expr"});
+  prod(f, "ixe_all", "IndexElem", {"RANGEOP"});
+  prod(f, "prim_id", "Primary", {"ID"});
+  prod(f, "prim_int", "Primary", {"INTLIT"});
+  prod(f, "prim_float", "Primary", {"FLOATLIT"});
+  prod(f, "prim_str", "Primary", {"STRLIT"});
+  prod(f, "prim_true", "Primary", {"'true'"});
+  prod(f, "prim_false", "Primary", {"'false'"});
+  prod(f, "prim_paren", "Primary", {"'('", "Expr", "')'"});
+  prod(f, "prim_range", "Primary", {"'('", "Expr", "RANGEOP", "Expr", "')'"});
+
+  return f;
+}
+
+GrammarFragment tupleFragment() {
+  GrammarFragment f;
+  f.name = "tuple";
+  f.nonterminals.push_back("TypeList");
+  // Tuple types: (int, float, bool). Two or more members, so `(int)`
+  // stays a cast.
+  prod(f, "ty_tuple", "TypeE", {"'('", "TypeList", "')'"});
+  prod(f, "typelist_two", "TypeList", {"TypeE", "','", "TypeE"});
+  prod(f, "typelist_cons", "TypeList", {"TypeList", "','", "TypeE"});
+  // Anonymous construction (x, y, z) — also the destructuring LHS
+  // (a, b, c) = f(); the assignment statement's semantics decides.
+  prod(f, "prim_tuple", "Primary",
+       {"'('", "Expr", "','", "ExprList", "')'"});
+  return f;
+}
+
+GrammarFragment tupleAltFragment() {
+  GrammarFragment f;
+  f.name = "tuple_alt";
+  f.terminals.push_back({"'(|'", "(|", true, 6, false});
+  f.terminals.push_back({"'|)'", "|)", true, 6, false});
+  f.nonterminals.push_back("ATypeList");
+  prod(f, "aty_tuple", "TypeE", {"'(|'", "ATypeList", "'|)'"});
+  prod(f, "atypelist_two", "ATypeList", {"TypeE", "','", "TypeE"});
+  prod(f, "atypelist_cons", "ATypeList", {"ATypeList", "','", "TypeE"});
+  prod(f, "aprim_tuple", "Primary",
+       {"'(|'", "Expr", "','", "ExprList", "'|)'"});
+  return f;
+}
+
+} // namespace mmx::cm

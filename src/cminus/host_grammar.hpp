@@ -1,0 +1,29 @@
+// The CMINUS host-language grammar fragment ("a rather complete subset of
+// ANSI C"): functions, scalar types, control flow (dangling-else resolved
+// with the open/closed refactoring so the composed grammar stays LALR(1)),
+// a stratified expression grammar, and the generic subscript / range
+// "syntax carriers" whose semantics the matrix extension supplies.
+//
+// The tuple extension's *syntax* is packaged as a separate fragment that
+// the default translator always composes with the host: as §VI-A notes,
+// tuples' leading '(' is not a marking terminal, so the tuple fragment
+// fails the modular determinism analysis and is therefore shipped with the
+// host rather than as an independent extension. tupleAltFragment() is the
+// paper's suggested fix ("(|" / "|)" delimiters), which passes.
+#pragma once
+
+#include "ext/fragment.hpp"
+
+namespace mmx::cm {
+
+/// The host fragment. Start symbol: TU.
+ext::GrammarFragment hostFragment();
+
+/// Tuple syntax with bare parens (fails isComposable; packaged with host).
+ext::GrammarFragment tupleFragment();
+
+/// Tuple syntax with "(|" and "|)" (passes isComposable; used by the
+/// analysis tests to reproduce the paper's discussion).
+ext::GrammarFragment tupleAltFragment();
+
+} // namespace mmx::cm

@@ -1,0 +1,196 @@
+// Extensible semantic analysis + lowering for the composed language.
+//
+// Handlers are keyed by production name — the C++ rendering of attribute
+// equations keyed by production (every defineExpr/defineStmt/defineType
+// call is mirrored into an attr::Registry so the modular well-definedness
+// analysis checks real declarations). Extensions contribute:
+//   - handlers for their own productions (with-loops, matrixMap, ...),
+//   - operator hooks that overload the host's +, *, <, = on their types
+//     (paper §III-A2), and
+//   - builtin function signatures (readMatrix, dimSize, ...).
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/node.hpp"
+#include "attr/engine.hpp"
+#include "cminus/types.hpp"
+#include "ir/ir.hpp"
+#include "support/diag.hpp"
+
+namespace mmx::cm {
+
+/// A checked, lowered expression.
+struct ExprRes {
+  Type type;
+  ir::ExprPtr code;
+
+  static ExprRes error() { return {Type::error(), nullptr}; }
+  bool bad() const { return type.isError() || !code; }
+};
+
+/// Per-variable binding. Tuples occupy several consecutive IR slots.
+struct VarInfo {
+  Type type;
+  std::vector<int32_t> slots;
+  SourceRange declared;
+};
+
+/// User-function signature (rets.size() > 1 models a tuple return).
+struct FuncSig {
+  std::vector<Type> params;
+  std::vector<Type> rets;
+  std::vector<std::string> paramNames;
+};
+
+class Sema {
+public:
+  Sema(DiagnosticEngine& diags, attr::Registry& attrReg);
+
+  // --- handler registration ------------------------------------------
+  using ExprHandler = std::function<ExprRes(Sema&, const ast::NodePtr&)>;
+  using StmtHandler = std::function<void(Sema&, const ast::NodePtr&)>;
+  using TypeHandler = std::function<Type(Sema&, const ast::NodePtr&)>;
+  /// Builtin call: fully checked+lowered by the callback.
+  using CallHandler =
+      std::function<ExprRes(Sema&, const ast::NodePtr& callNode,
+                            std::vector<ExprRes> args)>;
+
+  void defineExpr(const std::string& prod, ExprHandler h,
+                  const std::string& ext);
+  void defineStmt(const std::string& prod, StmtHandler h,
+                  const std::string& ext);
+  void defineType(const std::string& prod, TypeHandler h,
+                  const std::string& ext);
+  void defineBuiltin(const std::string& name, CallHandler h);
+  bool hasBuiltin(const std::string& name) const;
+  /// Invokes a registered builtin handler (call sites use hasBuiltin first).
+  ExprRes builtinCall(const std::string& name, const ast::NodePtr& n,
+                      std::vector<ExprRes> args);
+
+  // --- operator overload hooks (extensions try first) -------------------
+  using BinHook = std::function<std::optional<ExprRes>(
+      Sema&, ir::ArithOp, ExprRes&, ExprRes&, SourceRange)>;
+  using CmpHook = std::function<std::optional<ExprRes>(
+      Sema&, ir::CmpKind, ExprRes&, ExprRes&, SourceRange)>;
+  /// Whole-statement assignment hook; returns true when handled (the
+  /// matrix extension uses this for with-loop/assignment fusion).
+  using AssignHook = std::function<bool(Sema&, const ast::NodePtr& lhs,
+                                        const ast::NodePtr& rhs)>;
+  void addBinHook(BinHook h) { binHooks_.push_back(std::move(h)); }
+  void addCmpHook(CmpHook h) { cmpHooks_.push_back(std::move(h)); }
+  void addAssignHook(AssignHook h) { assignHooks_.push_back(std::move(h)); }
+
+  std::optional<ExprRes> tryBinHooks(ir::ArithOp op, ExprRes& a, ExprRes& b,
+                                     SourceRange r);
+  std::optional<ExprRes> tryCmpHooks(ir::CmpKind op, ExprRes& a, ExprRes& b,
+                                     SourceRange r);
+  bool tryAssignHooks(const ast::NodePtr& lhs, const ast::NodePtr& rhs);
+
+  // --- dispatch -----------------------------------------------------------
+  ExprRes expr(const ast::NodePtr& n);
+  void stmt(const ast::NodePtr& n);
+  Type typeExpr(const ast::NodePtr& n);
+
+  // --- functions --------------------------------------------------------
+  void declareFunction(const std::string& name, FuncSig sig, SourceRange r);
+  const FuncSig* findFunction(const std::string& name) const;
+
+  // --- environment -----------------------------------------------------
+  void pushScope();
+  void popScope();
+  /// Declares a variable in the current scope, allocating IR slots.
+  VarInfo* declareVar(const std::string& name, const Type& t, SourceRange r);
+  VarInfo* lookupVar(const std::string& name);
+
+  // --- lowering state -----------------------------------------------------
+  ir::Function* fn() { return fn_; }
+  /// Appends a statement to the innermost open block.
+  void emit(ir::StmtPtr s);
+  /// Opens a fresh statement sink; popBlock returns it as a Block.
+  void pushBlock();
+  ir::StmtPtr popBlock();
+  /// Fresh unnamed temporary.
+  int32_t newTemp(const Type& t, const char* hint = "t");
+
+  // --- `end` context (innermost matrix index dimension) ------------------
+  struct IndexCtx {
+    int32_t matSlot = -1;
+    uint32_t dim = 0;
+    Type matType;
+  };
+  void pushIndexCtx(IndexCtx c) { indexCtx_.push_back(c); }
+  void popIndexCtx() { indexCtx_.pop_back(); }
+  const IndexCtx* currentIndexCtx() const {
+    return indexCtx_.empty() ? nullptr : &indexCtx_.back();
+  }
+
+  // --- diagnostics -------------------------------------------------------
+  void error(SourceRange r, const std::string& msg) { diags_.error(r, msg); }
+  DiagnosticEngine& diags() { return diags_; }
+
+  // --- options (DESIGN.md ablation switches) ----------------------------
+  bool fusionEnabled = true;          // §III-A4 assignment fusion
+  bool sliceEliminationEnabled = true; // §III-A4 fold slice elimination
+  bool autoParallelEnabled = true;     // §III-C parallel code generation
+
+  // --- whole-program translation ------------------------------------------
+  /// Lowers a parsed translation unit into `out`. Returns false when
+  /// errors were reported (module contents are then unspecified).
+  bool translate(const ast::NodePtr& tu, ir::Module& out);
+
+  // --- shared helpers ----------------------------------------------------
+  static ir::Ty lowerTy(const Type& t);
+  /// Implicit int->float coercion toward `want` (error otherwise).
+  ExprRes coerce(ExprRes r, const Type& want, SourceRange where);
+  /// Identifier text of a node expected to be a single-token leaf chain.
+  static std::string_view idText(const ast::NodePtr& n);
+
+  /// The function currently being lowered started returning values of
+  /// these types (used by `return`).
+  const std::vector<Type>& currentRets() const { return curRets_; }
+
+  // Set by translate(); extensions may inspect the grammar if needed.
+  attr::Registry& attrRegistry() { return attrReg_; }
+
+  /// Cross-extension data (e.g. the matrix extension publishes its
+  /// WithTail hook table here so the transform extension can extend the
+  /// set of transformation specifications, paper §V).
+  std::map<std::string, std::any> extensionData;
+
+private:
+  friend struct HostSemantics;
+  void lowerFunction(const ast::NodePtr& fnDecl);
+
+  DiagnosticEngine& diags_;
+  attr::Registry& attrReg_;
+  attr::Attribute<int> typeAttr_, codeAttr_, stmtAttr_;
+
+  std::map<std::string, ExprHandler> exprH_;
+  std::map<std::string, StmtHandler> stmtH_;
+  std::map<std::string, TypeHandler> typeH_;
+  std::map<std::string, CallHandler> builtins_;
+  std::vector<BinHook> binHooks_;
+  std::vector<CmpHook> cmpHooks_;
+  std::vector<AssignHook> assignHooks_;
+
+  std::map<std::string, FuncSig> functions_;
+
+  ir::Module* mod_ = nullptr;
+  ir::Function* fn_ = nullptr;
+  std::vector<Type> curRets_;
+  std::vector<std::vector<ir::StmtPtr>> blockStack_;
+  std::vector<std::map<std::string, VarInfo>> scopes_;
+  std::vector<IndexCtx> indexCtx_;
+};
+
+/// Installs the host language's semantics (statements, expressions,
+/// operators on scalars, calls, host builtins) into a Sema.
+void installHostSemantics(Sema& s);
+
+} // namespace mmx::cm

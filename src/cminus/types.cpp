@@ -1,0 +1,73 @@
+#include "cminus/types.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mmx::cm {
+
+Type Type::elementType() const {
+  if (k == K::Matrix || k == K::RefPtr) return scalarOfElem(elem);
+  throw std::logic_error("elementType of non-aggregate type " + str());
+}
+
+bool operator==(const Type& a, const Type& b) {
+  if (a.k != b.k) return false;
+  switch (a.k) {
+    case Type::K::Matrix: return a.elem == b.elem && a.rank == b.rank;
+    case Type::K::RefPtr: return a.elem == b.elem;
+    case Type::K::Tuple: return a.elems == b.elems;
+    default: return true;
+  }
+}
+
+std::string Type::str() const {
+  switch (k) {
+    case K::Error: return "<error>";
+    case K::Void: return "void";
+    case K::Int: return "int";
+    case K::Float: return "float";
+    case K::Bool: return "bool";
+    case K::Str: return "string";
+    case K::MatrixAny: return "Matrix <any>";
+    case K::Matrix: {
+      std::ostringstream o;
+      o << "Matrix " << rt::elemName(elem) << " <" << rank << ">";
+      return o.str();
+    }
+    case K::RefPtr: {
+      std::ostringstream o;
+      o << "refptr " << rt::elemName(elem);
+      return o.str();
+    }
+    case K::Tuple: {
+      std::ostringstream o;
+      o << '(';
+      for (size_t i = 0; i < elems.size(); ++i)
+        o << (i ? ", " : "") << elems[i].str();
+      o << ')';
+      return o.str();
+    }
+  }
+  return "?";
+}
+
+rt::Elem elemOfScalar(const Type& t) {
+  switch (t.k) {
+    case Type::K::Int: return rt::Elem::I32;
+    case Type::K::Float: return rt::Elem::F32;
+    case Type::K::Bool: return rt::Elem::Bool;
+    default:
+      throw std::logic_error("no element kind for type " + t.str());
+  }
+}
+
+Type scalarOfElem(rt::Elem e) {
+  switch (e) {
+    case rt::Elem::I32: return Type::intTy();
+    case rt::Elem::F32: return Type::floatTy();
+    case rt::Elem::Bool: return Type::boolTy();
+  }
+  return Type::error();
+}
+
+} // namespace mmx::cm

@@ -1,0 +1,73 @@
+// The extended-C type system. The host contributes the scalar types; the
+// matrix extension contributes Matrix<elem, rank>; the tuple extension
+// contributes tuples; the refcount extension contributes refptr<elem>.
+// (In Silver these kinds arrive with their extensions; here the kind enum
+// is centralized but each kind's semantics live with its extension module.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/matrix.hpp"
+
+namespace mmx::cm {
+
+/// A checked type.
+struct Type {
+  enum class K : uint8_t {
+    Error,     // poisoned: produced after a reported error, never re-reported
+    Void,
+    Int,
+    Float,
+    Bool,
+    Str,
+    Matrix,    // elem + rank          (matrix extension)
+    MatrixAny, // matrix of unknown elem/rank (readMatrix's result;
+               // assignment inserts a runtime metadata check)
+    Tuple,     // elems                (tuple extension)
+    RefPtr,    // elem, rank-1 buffer  (refcount extension)
+  };
+
+  K k = K::Error;
+  rt::Elem elem = rt::Elem::F32; // Matrix / RefPtr
+  uint32_t rank = 0;             // Matrix
+  std::vector<Type> elems;       // Tuple
+
+  static Type error() { return {}; }
+  static Type voidTy() { return Type{K::Void, rt::Elem::F32, 0, {}}; }
+  static Type intTy() { return Type{K::Int, rt::Elem::F32, 0, {}}; }
+  static Type floatTy() { return Type{K::Float, rt::Elem::F32, 0, {}}; }
+  static Type boolTy() { return Type{K::Bool, rt::Elem::F32, 0, {}}; }
+  static Type strTy() { return Type{K::Str, rt::Elem::F32, 0, {}}; }
+  static Type matrix(rt::Elem e, uint32_t rank) {
+    return Type{K::Matrix, e, rank, {}};
+  }
+  static Type matrixAny() { return Type{K::MatrixAny, rt::Elem::F32, 0, {}}; }
+  static Type tuple(std::vector<Type> elems) {
+    Type t{K::Tuple, rt::Elem::F32, 0, std::move(elems)};
+    return t;
+  }
+  static Type refptr(rt::Elem e) { return Type{K::RefPtr, e, 1, {}}; }
+
+  bool isError() const { return k == K::Error; }
+  bool isMatrix() const { return k == K::Matrix || k == K::MatrixAny; }
+  bool isScalarNumeric() const { return k == K::Int || k == K::Float; }
+  bool isScalar() const {
+    return k == K::Int || k == K::Float || k == K::Bool;
+  }
+
+  /// The scalar type of one element (Matrix/RefPtr only).
+  Type elementType() const;
+
+  friend bool operator==(const Type& a, const Type& b);
+  friend bool operator!=(const Type& a, const Type& b) { return !(a == b); }
+
+  std::string str() const;
+};
+
+/// Scalar type <-> matrix element kind.
+rt::Elem elemOfScalar(const Type& t);
+Type scalarOfElem(rt::Elem e);
+
+} // namespace mmx::cm

@@ -1,0 +1,87 @@
+// mmc: the extended-C translator CLI. Usage:
+//   mmc <file.xc> [--emit-ir] [--threads N] [--no-fusion] [--no-parallel]
+//                 [--no-slice-elim]
+// Composes the host with the matrix, refcount, transform, and alt-tuple
+// extensions, translates the program, and runs it on the interpreter.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "driver/translator.hpp"
+#include "ir/cemit.hpp"
+#include "ext_matrix/matrix_ext.hpp"
+#include "ext_refcount/refcount_ext.hpp"
+#include "ext_transform/transform_ext.hpp"
+#include "interp/interp.hpp"
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool emitIr = false;
+  bool emitC = false;
+  unsigned threads = 1;
+  mmx::driver::TranslateOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--emit-ir") emitIr = true;
+    else if (a == "--emit-c") emitC = true;
+    else if (a == "--threads" && i + 1 < argc) threads = std::stoul(argv[++i]);
+    else if (a == "--no-fusion") opts.fusion = false;
+    else if (a == "--no-parallel") opts.autoParallel = false;
+    else if (a == "--no-slice-elim") opts.sliceElimination = false;
+    else path = a;
+  }
+  if (path.empty()) {
+    std::cerr << "usage: mmc <file.xc> [--emit-ir] [--emit-c] [--threads N] "
+                 "[--no-fusion] [--no-parallel] [--no-slice-elim]\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "mmc: cannot open " << path << "\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  mmx::driver::Translator t;
+  t.addExtension(mmx::ext_matrix::matrixExtension());
+  t.addExtension(mmx::ext_refcount::refcountExtension());
+  t.addExtension(mmx::ext_transform::transformExtension());
+  if (!t.compose(opts)) {
+    std::cerr << t.composeDiagnostics();
+    return 1;
+  }
+  auto res = t.translate(path, buf.str());
+  if (!res.ok) {
+    std::cerr << res.diagnostics;
+    return 1;
+  }
+  if (emitIr) {
+    std::cout << mmx::ir::dump(*res.module);
+    return 0;
+  }
+  if (emitC) {
+    auto c = mmx::ir::emitC(*res.module);
+    if (!c.ok) {
+      for (const auto& e : c.errors) std::cerr << "emit error: " << e << "\n";
+      return 1;
+    }
+    std::cout << c.code;
+    return 0;
+  }
+  try {
+    std::unique_ptr<mmx::rt::Executor> exec;
+    if (threads > 1)
+      exec = std::make_unique<mmx::rt::ForkJoinPool>(threads);
+    else
+      exec = std::make_unique<mmx::rt::SerialExecutor>();
+    mmx::interp::Machine vm(*res.module, *exec);
+    int code = vm.runMain();
+    std::cout << vm.output();
+    return code;
+  } catch (const std::exception& e) {
+    std::cerr << "runtime error: " << e.what() << "\n";
+    return 3;
+  }
+}

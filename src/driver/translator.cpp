@@ -1,0 +1,90 @@
+#include "driver/translator.hpp"
+
+#include "cminus/host_grammar.hpp"
+#include "cminus/sema.hpp"
+#include "parse/lalr.hpp"
+
+namespace mmx::driver {
+
+Translator::Translator() = default;
+Translator::~Translator() = default;
+
+void Translator::addExtension(ext::ExtensionPtr e) {
+  extensions_.push_back(std::move(e));
+}
+
+bool Translator::compose(TranslateOptions opts) {
+  opts_ = opts;
+  composeDiags_.clear();
+
+  ext::GrammarFragment host = cm::hostFragment();
+  ext::GrammarFragment tuple = cm::tupleFragment(); // host-packaged (§VI-A)
+  std::vector<ext::GrammarFragment> extFrags;
+  for (const auto& e : extensions_) extFrags.push_back(e->grammarFragment());
+
+  std::vector<const ext::GrammarFragment*> all{&host, &tuple};
+  for (const auto& f : extFrags) all.push_back(&f);
+
+  grammar_ = grammar::Grammar();
+  if (!ext::composeGrammar(all, grammar_, composeDiags_)) return false;
+
+  parser_ = std::make_unique<parse::Parser>(grammar_);
+  if (!parser_->tables().conflicts().empty()) {
+    for (const auto& c : parser_->tables().conflicts())
+      composeDiags_.error({}, "composition is not LALR(1): " + c.description);
+    return false;
+  }
+
+  attrReg_ = std::make_unique<attr::Registry>();
+  sema_ = std::make_unique<cm::Sema>(composeDiags_, *attrReg_);
+  sema_->fusionEnabled = opts.fusion;
+  sema_->sliceEliminationEnabled = opts.sliceElimination;
+  sema_->autoParallelEnabled = opts.autoParallel;
+  cm::installHostSemantics(*sema_);
+  for (const auto& e : extensions_) e->installSemantics(*sema_);
+
+  composed_ = true;
+  return !composeDiags_.hasErrors();
+}
+
+std::string Translator::composeDiagnostics() const {
+  return composeDiags_.render(composeSm_);
+}
+
+TranslateResult Translator::translate(const std::string& name,
+                                      const std::string& source) {
+  TranslateResult res;
+  if (!composed_) {
+    res.diagnostics = "translator was not composed";
+    return res;
+  }
+  SourceManager sm;
+  DiagnosticEngine diags;
+  FileId file = sm.add(name, source);
+
+  res.tree = parser_->parse(sm, file, diags);
+  if (!res.tree) {
+    res.diagnostics = diags.render(sm);
+    return res;
+  }
+
+  // Fresh Sema per program (function tables are per-program) with the same
+  // handler registrations: rebuild from the installed extension set.
+  attr::Registry reg;
+  cm::Sema sema(diags, reg);
+  sema.fusionEnabled = opts_.fusion;
+  sema.sliceEliminationEnabled = opts_.sliceElimination;
+  sema.autoParallelEnabled = opts_.autoParallel;
+  cm::installHostSemantics(sema);
+  for (const auto& e : extensions_) e->installSemantics(sema);
+
+  auto mod = std::make_unique<ir::Module>();
+  bool ok = sema.translate(res.tree, *mod);
+  res.diagnostics = diags.render(sm);
+  if (!ok) return res;
+  res.ok = true;
+  res.module = std::move(mod);
+  return res;
+}
+
+} // namespace mmx::driver

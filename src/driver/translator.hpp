@@ -1,0 +1,78 @@
+// The translator pipeline (paper §II): compose the host specification with
+// the user-chosen extension specifications, build the custom parser, then
+// translate extended-C programs down to the plain-parallel-C level (our
+// loop IR), which can be executed directly (interp/) or printed as C
+// (ir/cemit). Composition runs the modular analyses and refuses to build
+// a translator whose composition has LALR conflicts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attr/engine.hpp"
+#include "ext/extension.hpp"
+#include "grammar/grammar.hpp"
+#include "ir/ir.hpp"
+#include "parse/parser.hpp"
+#include "support/diag.hpp"
+
+namespace mmx::driver {
+
+/// Options threaded into the matrix extension's lowering (the DESIGN.md
+/// ablation switches).
+struct TranslateOptions {
+  bool fusion = true;           // §III-A4 with-loop/assignment fusion
+  bool sliceElimination = true; // §III-A4 fold slice elimination
+  bool autoParallel = true;     // §III-C parallel code generation
+};
+
+/// Result of translating one program.
+struct TranslateResult {
+  bool ok = false;
+  std::unique_ptr<ir::Module> module; // valid when ok
+  ast::NodePtr tree;                  // parse tree (valid when parsed)
+  std::string diagnostics;            // rendered diagnostics (always)
+};
+
+class Translator {
+public:
+  /// A translator over the host language (with the paper's host-packaged
+  /// tuple syntax). Call addExtension() for each chosen extension, then
+  /// compose().
+  Translator();
+  ~Translator();
+
+  Translator(const Translator&) = delete;
+  Translator& operator=(const Translator&) = delete;
+
+  void addExtension(ext::ExtensionPtr e);
+
+  /// Composes grammar + semantics and builds the parser. Returns false
+  /// (with diagnostics()) on name clashes or LALR conflicts in the
+  /// composition.
+  bool compose(TranslateOptions opts = {});
+
+  /// Parses + checks + lowers one source buffer.
+  TranslateResult translate(const std::string& name,
+                            const std::string& source);
+
+  /// Diagnostics from compose().
+  std::string composeDiagnostics() const;
+
+  const grammar::Grammar& grammar() const { return grammar_; }
+  const parse::Parser* parser() const { return parser_.get(); }
+
+private:
+  std::vector<ext::ExtensionPtr> extensions_;
+  grammar::Grammar grammar_;
+  std::unique_ptr<parse::Parser> parser_;
+  std::unique_ptr<attr::Registry> attrReg_;
+  std::unique_ptr<cm::Sema> sema_;
+  DiagnosticEngine composeDiags_;
+  SourceManager composeSm_;
+  bool composed_ = false;
+  TranslateOptions opts_;
+};
+
+} // namespace mmx::driver

@@ -1,0 +1,35 @@
+// The language-extension interface (paper §II): an extension is a grammar
+// fragment (new concrete syntax) plus semantics (type checking, error
+// checking, translation to the host level) registered against the Sema
+// dispatcher. Extensions are composed by the Translator; users pick the
+// set that fits their problem, like libraries.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ext/fragment.hpp"
+
+namespace mmx::cm {
+class Sema; // cminus/sema.hpp; extensions include it from their .cpp
+}
+
+namespace mmx::ext {
+
+class LanguageExtension {
+public:
+  virtual ~LanguageExtension() = default;
+
+  /// Unique extension name (also the fragment name).
+  virtual std::string name() const = 0;
+
+  /// Concrete-syntax contribution.
+  virtual GrammarFragment grammarFragment() const = 0;
+
+  /// Registers handlers, operator hooks, and builtins.
+  virtual void installSemantics(cm::Sema& sema) const = 0;
+};
+
+using ExtensionPtr = std::unique_ptr<LanguageExtension>;
+
+} // namespace mmx::ext

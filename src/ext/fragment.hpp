@@ -1,0 +1,55 @@
+// Grammar fragments: the declarative unit of language composition.
+// The host language is one fragment; each extension contributes another.
+// Fragments reference symbols by name; composition resolves names across
+// all chosen fragments and produces one grammar::Grammar (paper §II, §VI-A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grammar/grammar.hpp"
+#include "support/diag.hpp"
+
+namespace mmx::ext {
+
+/// A terminal declaration within a fragment.
+struct TerminalSpec {
+  std::string name;    // unique across the composition, e.g. "'with'", "ID"
+  std::string pattern; // regex or literal text
+  bool literal = false;
+  int precedence = 0;  // keywords use >0 so they beat ID on length ties
+  bool layout = false;
+};
+
+/// A production: symbols referenced by name. A name resolves to a terminal
+/// if any composed fragment declares a terminal with that name, otherwise
+/// to a nonterminal.
+struct ProdSpec {
+  std::string lhs;
+  std::vector<std::string> rhs;
+  std::string name; // unique production label (semantic node kind)
+};
+
+/// One language fragment (host or extension).
+struct GrammarFragment {
+  std::string name; // "host", "matrix", "tuple", ...
+  std::vector<TerminalSpec> terminals;
+  std::vector<std::string> nonterminals; // NTs introduced by this fragment
+  std::vector<ProdSpec> productions;
+  std::string startNT; // host only; extensions leave empty
+};
+
+/// Merges two fragments into one (used to treat host+matrix as the base
+/// language when checking extensions-of-extensions, e.g. the transform
+/// extension of §V which extends the matrix constructs).
+GrammarFragment mergeFragments(const GrammarFragment& a,
+                               const GrammarFragment& b, std::string name);
+
+/// Composes fragments (host first) into a single grammar. Reports name
+/// clashes and unresolved symbols to `diags`; returns false on error.
+/// On success the grammar has FIRST sets computed and is ready for
+/// LalrTables::build.
+bool composeGrammar(const std::vector<const GrammarFragment*>& fragments,
+                    grammar::Grammar& out, DiagnosticEngine& diags);
+
+} // namespace mmx::ext

@@ -1,0 +1,84 @@
+// Concrete syntax of the matrix extension. Every bridge production into a
+// host nonterminal starts with a marking terminal ('Matrix', 'with',
+// 'matrixMap', 'init', 'end') or is the operator form MulE -> MulE '.*'
+// Unary whose new terminal immediately follows the left-recursive
+// nonterminal — both shapes pass the modular determinism analysis.
+#include "ext_matrix/matrix_ext.hpp"
+
+namespace mmx::ext_matrix {
+
+ext::GrammarFragment matrixGrammarFragment() {
+  ext::GrammarFragment f;
+  f.name = "matrix";
+
+  auto kw = [&](const char* t) {
+    f.terminals.push_back({std::string("'") + t + "'", t, true, 10, false});
+  };
+  kw("Matrix");
+  kw("with");
+  kw("genarray");
+  kw("fold");
+  kw("matrixMap");
+  kw("init");
+  kw("end");
+  kw("min");
+  kw("max");
+  f.terminals.push_back({"'.*'", ".*", true, 6, false});
+
+  for (const char* n : {"MElemTy", "MGenerator", "MRelB", "MWithOp",
+                        "MFoldOp", "MIdList", "WithTail"})
+    f.nonterminals.push_back(n);
+
+  auto prod = [&](const char* name, const char* lhs,
+                  std::vector<std::string> rhs) {
+    f.productions.push_back({lhs, std::move(rhs), name});
+  };
+
+  // Matrix type: Matrix float <3>
+  prod("ty_matrix", "TypeE", {"'Matrix'", "MElemTy", "'<'", "INTLIT", "'>'"});
+  prod("melem_int", "MElemTy", {"'int'"});
+  prod("melem_float", "MElemTy", {"'float'"});
+  prod("melem_bool", "MElemTy", {"'bool'"});
+
+  // Element-wise multiplication operator.
+  prod("mul_ewmul", "MulE", {"MulE", "'.*'", "Unary"});
+
+  // With-loop (Fig. 2).
+  prod("prim_with", "Primary",
+       {"'with'", "'('", "MGenerator", "')'", "MWithOp"});
+  prod("mgen", "MGenerator",
+       {"'['", "ExprList", "']'", "MRelB", "'['", "MIdList", "']'", "MRelB",
+        "'['", "ExprList", "']'"});
+  prod("mrelb_le", "MRelB", {"'<='"});
+  prod("mrelb_lt", "MRelB", {"'<'"});
+  prod("midlist_one", "MIdList", {"ID"});
+  prod("midlist_cons", "MIdList", {"MIdList", "','", "ID"});
+  prod("mwithop_genarray", "MWithOp",
+       {"'genarray'", "'('", "'['", "ExprList", "']'", "','", "Expr", "')'",
+        "WithTail"});
+  prod("mwithop_fold", "MWithOp",
+       {"'fold'", "'('", "MFoldOp", "','", "Expr", "','", "Expr", "')'",
+        "WithTail"});
+  prod("mfold_add", "MFoldOp", {"'+'"});
+  prod("mfold_mul", "MFoldOp", {"'*'"});
+  prod("mfold_min", "MFoldOp", {"'min'"});
+  prod("mfold_max", "MFoldOp", {"'max'"});
+  prod("withtail_none", "WithTail", {});
+
+  // matrixMap(f, m, [dims])
+  prod("prim_matrixmap", "Primary",
+       {"'matrixMap'", "'('", "ID", "','", "Expr", "','", "'['", "ExprList",
+        "']'", "')'"});
+
+  // init(Matrix int <2>, 721, 1440)
+  prod("prim_init", "Primary",
+       {"'init'", "'('", "TypeE", "','", "ExprList", "')'"});
+
+  // `end` inside index selectors (context-aware: a sema check rejects it
+  // outside an index).
+  prod("prim_end", "Primary", {"'end'"});
+
+  return f;
+}
+
+} // namespace mmx::ext_matrix

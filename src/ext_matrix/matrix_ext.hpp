@@ -1,0 +1,38 @@
+// The matrix language extension (paper §III): the Matrix type, overloaded
+// element-wise arithmetic with scalar broadcast ('*' is linear-algebra
+// multiply, '.*' element-wise), MATLAB-style indexing on both sides of
+// assignment, SAC-style with-loops (genarray / fold), matrixMap, and the
+// matrix builtins (init, dimSize, readMatrix, writeMatrix, ...). Lowering
+// expands with-loops into annotated for-loop nests (Fig. 3), applies the
+// §III-A4 fusion/slice-elimination optimizations, and auto-parallelizes
+// the outermost genarray loop (§III-C).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "ast/node.hpp"
+#include "ext/extension.hpp"
+#include "ir/ir.hpp"
+
+namespace mmx::cm {
+class Sema;
+}
+
+namespace mmx::ext_matrix {
+
+/// Creates the extension.
+ext::ExtensionPtr matrixExtension();
+
+/// WithTail hook: receives the freshly generated loop nest of a with-loop
+/// whose tail matched the hook's production, applies transformations, and
+/// returns the replacement nest. Published under Sema::extensionData key
+/// "matrix.withTailHooks" as a WithTailHookMap so transformation
+/// extensions can register new specifications (paper §V).
+using WithTailHook = std::function<ir::StmtPtr(
+    cm::Sema&, const ast::NodePtr& tailNode, ir::StmtPtr loopNest)>;
+using WithTailHookMap = std::map<std::string, WithTailHook>;
+
+inline constexpr const char* kWithTailHooksKey = "matrix.withTailHooks";
+
+} // namespace mmx::ext_matrix

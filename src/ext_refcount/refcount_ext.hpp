@@ -1,0 +1,14 @@
+// The reference-counting pointer extension (paper §III-B): refptr <elem>
+// buffers carry a hidden 4-byte counter; copies retain, reassignment and
+// scope exit release, and the buffer is freed when the count reaches zero.
+// Lowered onto the same refcounted cells the matrix runtime uses (the
+// paper builds matrices on top of these pointers; we share one runtime).
+#pragma once
+
+#include "ext/extension.hpp"
+
+namespace mmx::ext_refcount {
+
+ext::ExtensionPtr refcountExtension();
+
+} // namespace mmx::ext_refcount

@@ -1,0 +1,422 @@
+#include "ext_transform/transform_ext.hpp"
+
+#include "cminus/sema.hpp"
+#include "ext_matrix/matrix_ext.hpp"
+
+namespace mmx::ext_transform {
+
+using cm::Sema;
+
+namespace {
+
+ext::GrammarFragment transformFragment() {
+  ext::GrammarFragment f;
+  f.name = "transform";
+  auto kw = [&](const char* t) {
+    f.terminals.push_back({std::string("'") + t + "'", t, true, 10, false});
+  };
+  kw("transform");
+  kw("split");
+  kw("by");
+  kw("vectorize");
+  kw("parallelize");
+  kw("reorder");
+  kw("tile");
+  kw("unroll");
+  for (const char* n : {"TransformSeq", "TransformStmt", "TransformK",
+                        "TIdList"})
+    f.nonterminals.push_back(n);
+  auto prod = [&](const char* name, const char* lhs,
+                  std::vector<std::string> rhs) {
+    f.productions.push_back({lhs, std::move(rhs), name});
+  };
+  prod("withtail_transform", "WithTail",
+       {"'transform'", "'{'", "TransformSeq", "'}'"});
+  prod("transformseq_one", "TransformSeq", {"TransformStmt"});
+  prod("transformseq_cons", "TransformSeq",
+       {"TransformSeq", "TransformStmt"});
+  prod("tstmt", "TransformStmt", {"TransformK", "';'"});
+  prod("tr_split", "TransformK",
+       {"'split'", "ID", "'by'", "INTLIT", "','", "ID", "','", "ID"});
+  prod("tr_vectorize", "TransformK", {"'vectorize'", "ID"});
+  prod("tr_parallelize", "TransformK", {"'parallelize'", "ID"});
+  prod("tr_reorder", "TransformK", {"'reorder'", "TIdList"});
+  prod("tr_tile", "TransformK",
+       {"'tile'", "ID", "','", "ID", "'by'", "INTLIT", "','", "INTLIT"});
+  prod("tr_unroll", "TransformK", {"'unroll'", "ID", "'by'", "INTLIT"});
+  prod("tidlist_one", "TIdList", {"ID"});
+  prod("tidlist_cons", "TIdList", {"TIdList", "','", "ID"});
+  return f;
+}
+
+// --- IR loop rewriting ----------------------------------------------------
+
+/// Applies `f` to the unique For named `name` within the nest; returns
+/// false if no such loop exists.
+bool rewriteLoop(ir::StmtPtr& node, const std::string& name,
+                 const std::function<ir::StmtPtr(ir::StmtPtr)>& f) {
+  if (!node) return false;
+  if (node->k == ir::Stmt::K::For && node->loopName == name) {
+    node = f(std::move(node));
+    return true;
+  }
+  for (auto& k : node->kids)
+    if (rewriteLoop(k, name, f)) return true;
+  return false;
+}
+
+ir::Stmt* findLoop(ir::Stmt* node, const std::string& name) {
+  if (!node) return nullptr;
+  if (node->k == ir::Stmt::K::For && node->loopName == name) return node;
+  for (auto& k : node->kids)
+    if (ir::Stmt* r = findLoop(k.get(), name)) return r;
+  return nullptr;
+}
+
+/// Prepends `st` at the innermost body along the pure For chain starting
+/// at `body` (loop-index reconstructions sink below inner loops so nests
+/// stay perfectly nested for reorder/tile).
+void insertAtInnermost(ir::StmtPtr& body, ir::StmtPtr st) {
+  ir::StmtPtr* cur = &body;
+  while (*cur && (*cur)->k == ir::Stmt::K::For) cur = &(*cur)->kids[0];
+  if (*cur && (*cur)->k == ir::Stmt::K::Block) {
+    // If the block's sole statement is a For, keep descending.
+    if ((*cur)->kids.size() == 1 && (*cur)->kids[0] &&
+        (*cur)->kids[0]->k == ir::Stmt::K::For) {
+      insertAtInnermost((*cur)->kids[0], std::move(st));
+      return;
+    }
+    (*cur)->kids.insert((*cur)->kids.begin(), std::move(st));
+    return;
+  }
+  std::vector<ir::StmtPtr> kids;
+  kids.push_back(std::move(st));
+  kids.push_back(std::move(*cur));
+  *cur = ir::block(std::move(kids));
+}
+
+/// split X by N, Xin, Xout (paper Fig. 9/10): X's range is covered by
+/// Xout x Xin blocks of N; X is reconstructed as lo + Xout*N + Xin. The
+/// inner bound min(N, total - Xout*N) handles non-divisible extents.
+bool applySplit(Sema& s, ir::StmtPtr& nest, const std::string& x, int n,
+                const std::string& inName, const std::string& outName) {
+  int32_t xinSlot = s.fn()->addLocal("%" + inName, ir::Ty::I32);
+  int32_t xoutSlot = s.fn()->addLocal("%" + outName, ir::Ty::I32);
+
+  return rewriteLoop(nest, x, [&](ir::StmtPtr orig) -> ir::StmtPtr {
+    int32_t xSlot = orig->slot;
+    ir::ExprPtr lo = std::move(orig->exprs[0]);
+    ir::ExprPtr hi = std::move(orig->exprs[1]);
+    ir::StmtPtr body = std::move(orig->kids[0]);
+
+    auto total = [&]() {
+      return ir::arith(ir::ArithOp::Sub, ir::cloneExpr(*hi),
+                       ir::cloneExpr(*lo), ir::Ty::I32);
+    };
+    // X = lo + (Xout * N + Xin), sunk to the innermost body.
+    ir::ExprPtr xVal = ir::arith(
+        ir::ArithOp::Add, ir::cloneExpr(*lo),
+        ir::arith(ir::ArithOp::Add,
+                  ir::arith(ir::ArithOp::Mul,
+                            ir::var(xoutSlot, ir::Ty::I32), ir::constI(n),
+                            ir::Ty::I32),
+                  ir::var(xinSlot, ir::Ty::I32), ir::Ty::I32),
+        ir::Ty::I32);
+    insertAtInnermost(body, ir::assign(xSlot, std::move(xVal)));
+
+    // inner: for Xin in [0, min(N, total - Xout*N))
+    ir::ExprPtr innerHi = ir::arith(
+        ir::ArithOp::Min, ir::constI(n),
+        ir::arith(ir::ArithOp::Sub, total(),
+                  ir::arith(ir::ArithOp::Mul,
+                            ir::var(xoutSlot, ir::Ty::I32), ir::constI(n),
+                            ir::Ty::I32),
+                  ir::Ty::I32),
+        ir::Ty::I32);
+    ir::StmtPtr inner = ir::forLoop(xinSlot, ir::constI(0),
+                                    std::move(innerHi), std::move(body),
+                                    inName);
+    // outer: for Xout in [0, ceil(total / N))
+    ir::ExprPtr outerHi = ir::arith(
+        ir::ArithOp::Div,
+        ir::arith(ir::ArithOp::Add, total(), ir::constI(n - 1), ir::Ty::I32),
+        ir::constI(n), ir::Ty::I32);
+    return ir::forLoop(xoutSlot, ir::constI(0), std::move(outerHi),
+                       std::move(inner), outName);
+  });
+}
+
+/// unroll X by N: the loop body is replicated N times per iteration of a
+/// coarsened loop, with a remainder loop covering non-divisible extents —
+/// a transformation specification *added after the fact*, like `tile`
+/// demonstrating that the set of specifications is itself extensible.
+bool applyUnroll(Sema& s, ir::StmtPtr& nest, const std::string& x, int n,
+                 SourceRange r) {
+  int32_t xoutSlot = s.fn()->addLocal("%" + x + "_u", ir::Ty::I32);
+  bool found = rewriteLoop(nest, x, [&](ir::StmtPtr orig) -> ir::StmtPtr {
+    int32_t xSlot = orig->slot;
+    ir::ExprPtr lo = std::move(orig->exprs[0]);
+    ir::ExprPtr hi = std::move(orig->exprs[1]);
+    ir::StmtPtr body = std::move(orig->kids[0]);
+
+    auto total = [&]() {
+      return ir::arith(ir::ArithOp::Sub, ir::cloneExpr(*hi),
+                       ir::cloneExpr(*lo), ir::Ty::I32);
+    };
+    // Main loop: for xout in [0, total/N), body copies k = 0..N-1 with
+    // X = lo + xout*N + k.
+    std::vector<ir::StmtPtr> copies;
+    for (int k = 0; k < n; ++k) {
+      copies.push_back(ir::assign(
+          xSlot,
+          ir::arith(ir::ArithOp::Add, ir::cloneExpr(*lo),
+                    ir::arith(ir::ArithOp::Add,
+                              ir::arith(ir::ArithOp::Mul,
+                                        ir::var(xoutSlot, ir::Ty::I32),
+                                        ir::constI(n), ir::Ty::I32),
+                              ir::constI(k), ir::Ty::I32),
+                    ir::Ty::I32)));
+      copies.push_back(ir::cloneStmt(*body));
+    }
+    ir::ExprPtr mainHi = ir::arith(ir::ArithOp::Div, total(), ir::constI(n),
+                                   ir::Ty::I32);
+    ir::StmtPtr mainLoop =
+        ir::forLoop(xoutSlot, ir::constI(0), std::move(mainHi),
+                    ir::block(std::move(copies)), x + "_u");
+
+    // Remainder: for X in [lo + (total/N)*N, hi).
+    ir::ExprPtr remLo = ir::arith(
+        ir::ArithOp::Add, ir::cloneExpr(*lo),
+        ir::arith(ir::ArithOp::Mul,
+                  ir::arith(ir::ArithOp::Div, total(), ir::constI(n),
+                            ir::Ty::I32),
+                  ir::constI(n), ir::Ty::I32),
+        ir::Ty::I32);
+    ir::StmtPtr remLoop = ir::forLoop(xSlot, std::move(remLo), std::move(hi),
+                                      std::move(body), x);
+
+    std::vector<ir::StmtPtr> both;
+    both.push_back(std::move(mainLoop));
+    both.push_back(std::move(remLoop));
+    return ir::block(std::move(both));
+  });
+  if (!found)
+    s.error(r, "unroll: no loop named '" + x + "' in this with-loop");
+  return found;
+}
+
+/// Checks a loop body only contains vectorizable statements.
+bool vectorizable(const ir::Stmt& st) {
+  switch (st.k) {
+    case ir::Stmt::K::Block:
+      for (const auto& k : st.kids)
+        if (k && !vectorizable(*k)) return false;
+      return true;
+    case ir::Stmt::K::Assign:
+    case ir::Stmt::K::StoreFlat:
+      return true;
+    case ir::Stmt::K::For:
+      return vectorizable(*st.kids[0]);
+    default:
+      return false;
+  }
+}
+
+/// reorder a, b, c, ...: the named loops must form a perfect nest (in any
+/// order); they are rebuilt outermost-to-innermost as listed.
+bool applyReorder(Sema& s, ir::StmtPtr& nest,
+                  const std::vector<std::string>& order, SourceRange r) {
+  if (order.empty()) return true;
+  // Find the outermost loop of the set and walk the perfect chain.
+  ir::Stmt* top = nullptr;
+  std::string topName;
+  for (const auto& nm : order) {
+    ir::Stmt* l = findLoop(nest.get(), nm);
+    if (!l) {
+      s.error(r, "reorder: no loop named '" + nm + "' in this with-loop");
+      return false;
+    }
+    // The outermost of the set is the one that contains all others.
+    bool containsAll = true;
+    for (const auto& other : order)
+      if (other != nm && !findLoop(l, other)) containsAll = false;
+    if (containsAll) {
+      top = l;
+      topName = nm;
+    }
+  }
+  if (!top) {
+    s.error(r, "reorder: loops do not form a nest");
+    return false;
+  }
+
+  // Collect the chain: each loop's body must lead directly to the next.
+  std::vector<ir::StmtPtr> loops;
+  auto rewriteOk = rewriteLoop(nest, topName,
+                               [&](ir::StmtPtr l) -> ir::StmtPtr {
+    ir::StmtPtr cur = std::move(l);
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (!cur || cur->k != ir::Stmt::K::For ||
+          std::find(order.begin(), order.end(), cur->loopName) ==
+              order.end()) {
+        s.error(r, "reorder: the named loops are not perfectly nested");
+        // Re-assemble what we have to avoid losing the tree.
+        while (!loops.empty()) {
+          ir::StmtPtr inner = std::move(cur);
+          cur = std::move(loops.back());
+          loops.pop_back();
+          cur->kids[0] = std::move(inner);
+        }
+        return cur;
+      }
+      ir::StmtPtr body = std::move(cur->kids[0]);
+      loops.push_back(std::move(cur));
+      cur = std::move(body);
+    }
+    // `cur` is the innermost body. Rebuild in the requested order.
+    ir::StmtPtr rebuilt = std::move(cur);
+    for (size_t i = order.size(); i-- > 0;) {
+      // Find the collected loop with this name.
+      auto it = std::find_if(loops.begin(), loops.end(),
+                             [&](const ir::StmtPtr& p) {
+                               return p->loopName == order[i];
+                             });
+      ir::StmtPtr loop = std::move(*it);
+      loops.erase(it);
+      loop->kids[0] = std::move(rebuilt);
+      rebuilt = std::move(loop);
+    }
+    return rebuilt;
+  });
+  return rewriteOk;
+}
+
+/// The hook installed into the matrix extension's WithTail table.
+ir::StmtPtr transformHook(Sema& s, const ast::NodePtr& tail,
+                          ir::StmtPtr nest) {
+  // withtail_transform: transform { TransformSeq }
+  std::vector<ast::NodePtr> stmts;
+  ast::NodePtr seq = tail->child(2);
+  while (seq->is("transformseq_cons")) {
+    stmts.push_back(seq->child(1));
+    seq = seq->child(0);
+  }
+  stmts.push_back(seq->child(0));
+  std::reverse(stmts.begin(), stmts.end());
+
+  for (const auto& ts : stmts) {
+    const ast::NodePtr& t = ts->child(0);
+    if (t->is("tr_split")) {
+      std::string x(t->child(1)->text());
+      int n = std::stoi(std::string(t->child(3)->text()));
+      std::string inName(t->child(5)->text());
+      std::string outName(t->child(7)->text());
+      if (n < 1) {
+        s.error(t->range, "split factor must be positive");
+        continue;
+      }
+      if (!applySplit(s, nest, x, n, inName, outName))
+        s.error(t->range, "split: no loop named '" + x +
+                              "' in this with-loop (transformation indices "
+                              "must correspond to generated loops)");
+    } else if (t->is("tr_vectorize")) {
+      std::string x(t->child(1)->text());
+      ir::Stmt* l = findLoop(nest.get(), x);
+      if (!l) {
+        s.error(t->range, "vectorize: no loop named '" + x + "'");
+        continue;
+      }
+      if (!vectorizable(*l->kids[0])) {
+        s.error(t->range,
+                "vectorize: loop '" + x + "' contains control flow or "
+                "calls; only arithmetic assignment bodies vectorize");
+        continue;
+      }
+      l->vecWidth = 4; // 128-bit SSE, 4 x f32 (paper §V)
+    } else if (t->is("tr_parallelize")) {
+      std::string x(t->child(1)->text());
+      ir::Stmt* l = findLoop(nest.get(), x);
+      if (!l) {
+        s.error(t->range, "parallelize: no loop named '" + x + "'");
+        continue;
+      }
+      l->parallel = true;
+    } else if (t->is("tr_reorder")) {
+      std::vector<std::string> order;
+      ast::NodePtr il = t->child(1);
+      std::vector<ast::NodePtr> ids;
+      while (il->is("tidlist_cons")) {
+        ids.push_back(il->child(2));
+        il = il->child(0);
+      }
+      ids.push_back(il->child(0));
+      std::reverse(ids.begin(), ids.end());
+      for (auto& id : ids) order.emplace_back(id->text());
+      applyReorder(s, nest, order, t->range);
+    } else if (t->is("tr_unroll")) {
+      std::string x(t->child(1)->text());
+      int n = std::stoi(std::string(t->child(3)->text()));
+      if (n < 1) {
+        s.error(t->range, "unroll factor must be positive");
+        continue;
+      }
+      applyUnroll(s, nest, x, n, t->range);
+    } else if (t->is("tr_tile")) {
+      // Derived transformation: two splits + a reorder (paper §V's
+      // example of adding new transformation specifications).
+      std::string x(t->child(1)->text());
+      std::string y(t->child(3)->text());
+      int n = std::stoi(std::string(t->child(5)->text()));
+      int m = std::stoi(std::string(t->child(7)->text()));
+      if (n < 1 || m < 1) {
+        s.error(t->range, "tile factors must be positive");
+        continue;
+      }
+      bool ok = applySplit(s, nest, x, n, x + "in", x + "out") &&
+                applySplit(s, nest, y, m, y + "in", y + "out");
+      if (!ok) {
+        s.error(t->range, "tile: loops '" + x + "'/'" + y +
+                              "' not found in this with-loop");
+        continue;
+      }
+      applyReorder(s, nest, {x + "out", y + "out", x + "in", y + "in"},
+                   t->range);
+    } else {
+      s.error(t->range, "unknown transformation '" + std::string(t->kind()) +
+                            "'");
+    }
+  }
+  return nest;
+}
+
+void installTransformSemantics(Sema& s) {
+  auto it = s.extensionData.find(ext_matrix::kWithTailHooksKey);
+  if (it == s.extensionData.end()) {
+    // The transform extension extends the matrix constructs (§V); without
+    // them there is nothing to hook.
+    s.extensionData[ext_matrix::kWithTailHooksKey] =
+        ext_matrix::WithTailHookMap{};
+    it = s.extensionData.find(ext_matrix::kWithTailHooksKey);
+  }
+  auto& hooks = *std::any_cast<ext_matrix::WithTailHookMap>(&it->second);
+  hooks["withtail_transform"] = transformHook;
+}
+
+class TransformExtension final : public ext::LanguageExtension {
+public:
+  std::string name() const override { return "transform"; }
+  ext::GrammarFragment grammarFragment() const override {
+    return transformFragment();
+  }
+  void installSemantics(cm::Sema& sema) const override {
+    installTransformSemantics(sema);
+  }
+};
+
+} // namespace
+
+ext::ExtensionPtr transformExtension() {
+  return std::make_unique<TransformExtension>();
+}
+
+} // namespace mmx::ext_transform

@@ -1,0 +1,18 @@
+// The explicit program-transformation extension (paper §V): a `transform`
+// tail on with-loops lets the programmer direct how the generated loop
+// nest is restructured — split / vectorize / parallelize / reorder — plus
+// `tile`, which is *derived* from two splits and a reorder exactly as the
+// paper describes new transformation specifications being added.
+//
+// Split uses a min() bound on the inner loop, so non-divisible extents are
+// handled exactly (the paper assumes divisibility "to keep the example
+// simple"; we keep the same generated shape and add the remainder guard).
+#pragma once
+
+#include "ext/extension.hpp"
+
+namespace mmx::ext_transform {
+
+ext::ExtensionPtr transformExtension();
+
+} // namespace mmx::ext_transform

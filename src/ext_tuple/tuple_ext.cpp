@@ -1,0 +1,29 @@
+#include "ext_tuple/tuple_ext.hpp"
+
+#include "cminus/host_grammar.hpp"
+#include "cminus/sema.hpp"
+
+namespace mmx::ext_tuple {
+
+namespace {
+
+class TupleAltExtension final : public ext::LanguageExtension {
+public:
+  std::string name() const override { return "tuple_alt"; }
+  ext::GrammarFragment grammarFragment() const override {
+    return cm::tupleAltFragment();
+  }
+  void installSemantics(cm::Sema&) const override {
+    // aty_tuple / aprim_tuple handlers are registered by the host install
+    // (shared with the host-packaged bare-paren syntax); destructuring and
+    // returns go through the host assignment/return statements.
+  }
+};
+
+} // namespace
+
+ext::ExtensionPtr tupleAltExtension() {
+  return std::make_unique<TupleAltExtension>();
+}
+
+} // namespace mmx::ext_tuple

@@ -1,0 +1,17 @@
+// Tuple extension packaging (paper §III-B, §VI-A). The bare-paren tuple
+// syntax fails the modular determinism analysis (its initial '(' is a host
+// terminal, not a marking terminal), so the Translator packages it with
+// the host. This module provides the paper's suggested *fix* as an
+// independently composable extension: tuples delimited with "(|" and "|)",
+// which passes isComposable. Its semantics are the host tuple semantics
+// (the alt productions dispatch to the same handlers).
+#pragma once
+
+#include "ext/extension.hpp"
+
+namespace mmx::ext_tuple {
+
+/// The "(| ... |)" tuple extension (passes the determinism analysis).
+ext::ExtensionPtr tupleAltExtension();
+
+} // namespace mmx::ext_tuple

@@ -1,0 +1,61 @@
+// Interpreter for the lowered IR. The same IR that the C emitter prints is
+// executed here on the matrix runtime: parallel-annotated for-loops run on
+// the fork-join pool, vectorize-annotated loops execute 4 lanes at a time
+// with SSE, matrix expressions call the runtime kernels. This makes every
+// paper experiment runnable with no external compiler in the loop.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "runtime/matrix.hpp"
+#include "runtime/pool.hpp"
+
+namespace mmx::interp {
+
+/// A runtime value of the extended language.
+using Value =
+    std::variant<std::monostate, int32_t, float, bool, rt::Matrix, std::string>;
+
+ir::Ty tyOf(const Value& v);
+
+/// Raised for runtime failures the paper defines as checked at run time
+/// (genarray shape-superset violations, index out of bounds, rank
+/// mismatches) and for interpreter-internal errors.
+struct RuntimeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Captured stdout of print* builtins (examples print through this so
+/// tests can assert on program output).
+class Machine {
+public:
+  /// `exec` runs parallel loops; pass a SerialExecutor for 1-thread runs.
+  Machine(const ir::Module& module, rt::Executor& exec);
+
+  /// Calls a function by name. Returns its (possibly tuple) results.
+  std::vector<Value> call(const std::string& name, std::vector<Value> args);
+
+  /// Convenience: runs main() and returns its int exit code (0 if void).
+  int runMain();
+
+  /// Output accumulated by print builtins.
+  const std::string& output() const { return out_; }
+  void clearOutput() { out_.clear(); }
+
+  /// Use SIMD kernels for whole-matrix operations (default true).
+  void setSimdKernels(bool on) { simdKernels_ = on; }
+
+  rt::Executor& executor() { return exec_; }
+
+private:
+  friend class Exec; // defined in interp.cpp
+  const ir::Module& mod_;
+  rt::Executor& exec_;
+  std::string out_;
+  bool simdKernels_ = true;
+};
+
+} // namespace mmx::interp

@@ -1,0 +1,892 @@
+#include "ir/cemit.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace mmx::ir {
+
+namespace {
+
+const char* kPrelude =
+#include "ir/cemit_prelude.inc"
+    ;
+
+// Helpers appended after the prelude (variadic alloc, checked read, ...).
+const char* kAppendix = R"APP(#include <stdarg.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+static mmx_mat* mmx_allocv(int elem, int rank, ...) {
+  long long dims[8];
+  va_list ap;
+  va_start(ap, rank);
+  for (int d = 0; d < rank; ++d) dims[d] = va_arg(ap, long long);
+  va_end(ap);
+  return mmx_alloc(elem, rank, dims);
+}
+
+static mmx_mat* mmx_checked(mmx_mat* m, int elem, int rank) {
+  mmx_check_meta(m, elem, rank);
+  mmx_retain(m);
+  return m;
+}
+
+static int mmx_num_threads(void) {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+)APP";
+
+int ewOpCode(ArithOp op) {
+  switch (op) {
+    case ArithOp::Add: return 0;
+    case ArithOp::Sub: return 1;
+    case ArithOp::Mul:
+    case ArithOp::EwMul: return 2;
+    case ArithOp::Div: return 3;
+    case ArithOp::Mod: return 4;
+    case ArithOp::Min: return 5;
+    case ArithOp::Max: return 6;
+  }
+  return 0;
+}
+
+int cmpOpCode(CmpKind op) {
+  switch (op) {
+    case CmpKind::Lt: return 0;
+    case CmpKind::Le: return 1;
+    case CmpKind::Gt: return 2;
+    case CmpKind::Ge: return 3;
+    case CmpKind::Eq: return 4;
+    case CmpKind::Ne: return 5;
+  }
+  return 0;
+}
+
+std::string cTy(Ty t) {
+  switch (t) {
+    case Ty::Void: return "void";
+    case Ty::I32: return "int";
+    case Ty::F32: return "float";
+    case Ty::Bool: return "int";
+    case Ty::Mat: return "mmx_mat*";
+    case Ty::Str: return "const char*";
+  }
+  return "void";
+}
+
+std::string escapeC(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string floatLit(float f) {
+  std::ostringstream o;
+  o.precision(9);
+  o << f;
+  std::string s = o.str();
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos)
+    s += ".0";
+  return s + "f";
+}
+
+/// Emits one function.
+class FnEmitter {
+public:
+  FnEmitter(const Function& f, std::vector<std::string>& errors)
+      : f_(f), errors_(errors) {
+    names_.reserve(f.locals.size());
+    for (size_t i = 0; i < f.locals.size(); ++i) {
+      std::string n;
+      for (char c : f.locals[i].name)
+        n += (isalnum(static_cast<unsigned char>(c)) ? c : '_');
+      if (n.empty() || isdigit(static_cast<unsigned char>(n[0]))) n = "v" + n;
+      names_.push_back(n + "_" + std::to_string(i));
+    }
+  }
+
+  static std::string signature(const Function& f,
+                               const std::vector<std::string>* names) {
+    std::ostringstream s;
+    bool multi = f.rets.size() > 1;
+    s << (f.rets.empty() || multi ? "void" : cTy(f.rets[0])) << " xc_"
+      << f.name << "(";
+    bool first = true;
+    for (size_t i = 0; i < f.numParams; ++i) {
+      if (!first) s << ", ";
+      first = false;
+      s << cTy(f.locals[i].ty) << ' '
+        << (names ? (*names)[i] : "p" + std::to_string(i));
+    }
+    if (multi) {
+      for (size_t r = 0; r < f.rets.size(); ++r) {
+        if (!first) s << ", ";
+        first = false;
+        s << cTy(f.rets[r]) << "* __out" << r;
+      }
+    }
+    if (first) s << "void";
+    s << ")";
+    return s.str();
+  }
+
+  std::string run() {
+    body_ << signature(f_, &names_) << " {\n";
+    // Local declarations.
+    for (size_t i = f_.numParams; i < f_.locals.size(); ++i) {
+      Ty t = f_.locals[i].ty;
+      if (t == Ty::Void) continue;
+      body_ << "  " << cTy(t) << ' ' << names_[i]
+            << (t == Ty::Mat ? " = NULL" : t == Ty::Str ? " = \"\"" : " = 0")
+            << ";\n";
+    }
+    if (f_.rets.size() == 1)
+      body_ << "  " << cTy(f_.rets[0]) << " __ret"
+            << (f_.rets[0] == Ty::Mat ? " = NULL" : " = 0") << ";\n";
+    // Own the matrix parameters for the function's duration.
+    for (size_t i = 0; i < f_.numParams; ++i)
+      if (f_.locals[i].ty == Ty::Mat)
+        body_ << "  mmx_retain(" << names_[i] << ");\n";
+
+    indent_ = 1;
+    stmt(*f_.body);
+
+    line() << "goto mmx_cleanup;\n";
+    body_ << "mmx_cleanup:;\n";
+    for (size_t i = 0; i < f_.locals.size(); ++i)
+      if (f_.locals[i].ty == Ty::Mat)
+        body_ << "  mmx_release(" << names_[i] << ");\n";
+    if (f_.rets.size() == 1) body_ << "  return __ret;\n";
+    body_ << "}\n";
+    return body_.str();
+  }
+
+private:
+  std::ostream& line() {
+    for (int i = 0; i < indent_; ++i) body_ << "  ";
+    return body_;
+  }
+
+  void err(const std::string& m) { errors_.push_back(f_.name + ": " + m); }
+
+  // --- scalar/matrix expression emission ---------------------------------
+  std::string expr(const Expr& e) {
+    switch (e.k) {
+      case Expr::K::ConstI: return std::to_string(e.i);
+      case Expr::K::ConstF: return floatLit(e.f);
+      case Expr::K::ConstB: return e.i ? "1" : "0";
+      case Expr::K::ConstS: return "\"" + escapeC(e.s) + "\"";
+      case Expr::K::Var: return names_[e.slot];
+      case Expr::K::Arith: return arith(e);
+      case Expr::K::Cmp: return cmp(e);
+      case Expr::K::Logic:
+        return "(" + expr(*e.args[0]) +
+               (e.lop == LogicOp::And ? " && " : " || ") + expr(*e.args[1]) +
+               ")";
+      case Expr::K::Not: return "(!" + expr(*e.args[0]) + ")";
+      case Expr::K::Neg:
+        if (e.ty == Ty::Mat) return matTemp("mmx_negm(" + matVal(*e.args[0]) + ")");
+        return "(-" + expr(*e.args[0]) + ")";
+      case Expr::K::Cast:
+        if (e.ty == Ty::Bool) return "((" + expr(*e.args[0]) + ") != 0)";
+        return "((" + std::string(e.ty == Ty::F32 ? "float" : "int") + ")(" +
+               expr(*e.args[0]) + "))";
+      case Expr::K::Call: return call(e);
+      case Expr::K::DimSize:
+        return "((int)mmx_dim(" + matVal(*e.args[0]) + ", " +
+               expr(*e.args[1]) + "))";
+      case Expr::K::LoadFlat: {
+        std::string m = matVal(*e.args[0]);
+        std::string acc = e.ty == Ty::F32 ? "mmx_f" : e.ty == Ty::Bool
+                                                          ? "mmx_b"
+                                                          : "mmx_i";
+        return acc + "(" + m + ")[mmx_flat(" + m + ", " + expr(*e.args[1]) +
+               ")]";
+      }
+      case Expr::K::RangeLit:
+        return matTemp("mmx_range(" + expr(*e.args[0]) + ", " +
+                       expr(*e.args[1]) + ")");
+      case Expr::K::Index: {
+        std::string t = indexExpr(e);
+        if (e.ty == Ty::Mat) return t;
+        // Scalar result through the selector machinery: one-element matrix.
+        std::string acc = e.ty == Ty::F32 ? "mmx_f" : e.ty == Ty::Bool
+                                                          ? "mmx_b"
+                                                          : "mmx_i";
+        return acc + "(" + t + ")[0]";
+      }
+    }
+    err("unsupported expression");
+    return "0";
+  }
+
+  /// Expression that must be a valid mmx_mat* value (borrowed).
+  std::string matVal(const Expr& e) {
+    if (e.k == Expr::K::Var) return names_[e.slot];
+    return expr(e); // constructor forms route through matTemp
+  }
+
+  /// Stores an owned constructor result into a fresh temp slot; returns
+  /// the temp's name (borrowed from the temp, released at cleanup).
+  std::string matTemp(const std::string& ownedCtor) {
+    std::string t = newTemp();
+    line() << "mmx_set_owned(&" << t << ", " << ownedCtor << ");\n";
+    return t;
+  }
+
+  std::string newTemp() {
+    std::string t = "__mt" + std::to_string(names_.size() + extra_.size());
+    extra_.push_back(t);
+    // Declare lazily at top via placeholder: collected in extras, spliced
+    // by run()? Simpler: emit declaration right here in a fresh scope is
+    // wrong (needs function scope for cleanup) — so declare on first use
+    // at function top via a second pass. To keep one pass, temps are
+    // declared in a preamble string appended later.
+    return t;
+  }
+
+  std::string arith(const Expr& e) {
+    bool aM = e.args[0]->ty == Ty::Mat, bM = e.args[1]->ty == Ty::Mat;
+    if (e.ty == Ty::Mat) {
+      if (aM && bM) {
+        if (e.aop == ArithOp::Mul)
+          return matTemp("mmx_matmul(" + matVal(*e.args[0]) + ", " +
+                         matVal(*e.args[1]) + ")");
+        return matTemp("mmx_ew(" + std::to_string(ewOpCode(e.aop)) + ", " +
+                       matVal(*e.args[0]) + ", " + matVal(*e.args[1]) + ")");
+      }
+      const Expr& m = aM ? *e.args[0] : *e.args[1];
+      const Expr& sc = aM ? *e.args[1] : *e.args[0];
+      std::string fn = sc.ty == Ty::F32 ? "mmx_ew_sf" : "mmx_ew_si";
+      return matTemp(fn + "(" + std::to_string(ewOpCode(e.aop)) + ", " +
+                     matVal(m) + ", " + expr(sc) + ", " + (aM ? "0" : "1") +
+                     ")");
+    }
+    std::string a = expr(*e.args[0]), b = expr(*e.args[1]);
+    bool flt = e.ty == Ty::F32;
+    switch (e.aop) {
+      case ArithOp::Add: return "(" + a + " + " + b + ")";
+      case ArithOp::Sub: return "(" + a + " - " + b + ")";
+      case ArithOp::Mul:
+      case ArithOp::EwMul: return "(" + a + " * " + b + ")";
+      case ArithOp::Div:
+        return flt ? "(" + a + " / " + b + ")"
+                   : "mmx_opi(3, " + a + ", " + b + ")";
+      case ArithOp::Mod:
+        return flt ? "fmodf(" + a + ", " + b + ")"
+                   : "mmx_opi(4, " + a + ", " + b + ")";
+      case ArithOp::Min:
+        return (flt ? "mmx_min_f(" : "mmx_min_i(") + a + ", " + b + ")";
+      case ArithOp::Max:
+        return (flt ? "mmx_max_f(" : "mmx_max_i(") + a + ", " + b + ")";
+    }
+    return "0";
+  }
+
+  std::string cmp(const Expr& e) {
+    bool aM = e.args[0]->ty == Ty::Mat, bM = e.args[1]->ty == Ty::Mat;
+    if (e.ty == Ty::Mat) {
+      if (aM && bM)
+        return matTemp("mmx_cmp(" + std::to_string(cmpOpCode(e.cop)) + ", " +
+                       matVal(*e.args[0]) + ", " + matVal(*e.args[1]) + ")");
+      const Expr& m = aM ? *e.args[0] : *e.args[1];
+      const Expr& sc = aM ? *e.args[1] : *e.args[0];
+      std::string fn = sc.ty == Ty::F32 ? "mmx_cmp_sf" : "mmx_cmp_si";
+      return matTemp(fn + "(" + std::to_string(cmpOpCode(e.cop)) + ", " +
+                     matVal(m) + ", " + expr(sc) + ", " + (aM ? "0" : "1") +
+                     ")");
+    }
+    return "(" + expr(*e.args[0]) + " " + cmpName(e.cop) + " " +
+           expr(*e.args[1]) + ")";
+  }
+
+  std::string call(const Expr& e) {
+    const std::string& c = e.s;
+    auto arg = [&](size_t i) { return expr(*e.args[i]); };
+    if (c == "initMatrix") {
+      std::string s = "mmx_allocv(" + arg(0) + ", " +
+                      std::to_string(e.args.size() - 1);
+      for (size_t i = 1; i < e.args.size(); ++i)
+        s += ", (long long)(" + arg(i) + ")";
+      s += ")";
+      return matTemp(s);
+    }
+    if (c == "readMatrix") return matTemp("mmx_read(" + arg(0) + ")");
+    if (c == "writeMatrix")
+      return "mmx_write(" + arg(0) + ", " + matVal(*e.args[1]) + ")";
+    if (c == "checkMatrixMeta")
+      return matTemp("mmx_checked(" + matVal(*e.args[0]) + ", " + arg(1) +
+                     ", " + arg(2) + ")");
+    if (c == "cloneMatrix")
+      return matTemp("mmx_clone(" + matVal(*e.args[0]) + ")");
+    if (c == "matToFloat")
+      return matTemp("mmx_to_float(" + matVal(*e.args[0]) + ")");
+    if (c == "checkGenBounds")
+      return "mmx_check_gen_bounds(" + arg(0) + ", " + arg(1) + ")";
+    if (c == "printInt") return "printf(\"%d\\n\", " + arg(0) + ")";
+    if (c == "printFloat") return "printf(\"%g\\n\", (double)" + arg(0) + ")";
+    if (c == "printBool")
+      return "printf(\"%s\\n\", (" + arg(0) + ") ? \"true\" : \"false\")";
+    if (c == "printStr") return "printf(\"%s\\n\", " + arg(0) + ")";
+    if (c == "printShape") {
+      // Shape printing is diagnostic-only; emit dims then the kind name.
+      return "do { mmx_mat* __m = " + matVal(*e.args[0]) +
+             "; for (int __d = 0; __d < __m->rank; ++__d) "
+             "printf(\"%s%lld\", __d ? \"x\" : \"\", __m->dims[__d]); "
+             "printf(\" %s\\n\", __m->elem == 0 ? \"int\" : __m->elem == 1 ? "
+             "\"float\" : \"bool\"); } while (0)";
+    }
+    if (c == "numThreads") return "mmx_num_threads()";
+    if (c == "refCount") {
+      // Counts can differ from the interpreter by emitter temporaries.
+      return "(" + matVal(*e.args[0]) + "->refcount)";
+    }
+    err("builtin '" + c +
+        "' is interpreter-only (simulator-backed); emitted programs should "
+        "read data with readMatrix instead");
+    return "0";
+  }
+
+  std::string indexExpr(const Expr& e) {
+    std::string m = matVal(*e.args[0]);
+    std::string t = newTemp();
+    line() << "{ mmx_sel __s[" << e.dims.size() << "];\n";
+    ++indent_;
+    emitSelectors(e.dims, m);
+    line() << "mmx_set_owned(&" << t << ", mmx_index(" << m << ", __s));\n";
+    --indent_;
+    line() << "}\n";
+    return t;
+  }
+
+  void emitSelectors(const std::vector<IndexDim>& dims, const std::string&) {
+    for (size_t d = 0; d < dims.size(); ++d) {
+      std::string sd = "__s[" + std::to_string(d) + "]";
+      line() << "memset(&" << sd << ", 0, sizeof(" << sd << "));\n";
+      // Sub-expressions may emit temp-assignment lines of their own, so
+      // they must be fully evaluated before this selector's line starts.
+      switch (dims[d].kind) {
+        case IndexDim::Kind::Scalar: {
+          std::string a = expr(*dims[d].a);
+          line() << sd << ".kind = 0; " << sd << ".a = " << a << ";\n";
+          break;
+        }
+        case IndexDim::Kind::Range: {
+          std::string a = expr(*dims[d].a);
+          std::string b = expr(*dims[d].b);
+          line() << sd << ".kind = 1; " << sd << ".a = " << a << "; " << sd
+                 << ".b = " << b << ";\n";
+          break;
+        }
+        case IndexDim::Kind::All:
+          line() << sd << ".kind = 2;\n";
+          break;
+        case IndexDim::Kind::Mask: {
+          std::string mv = matVal(*dims[d].a);
+          line() << sd << ".kind = 3; " << sd << ".mask = " << mv << ";\n";
+          break;
+        }
+      }
+    }
+  }
+
+  // --- statements ---------------------------------------------------------
+  void stmt(const Stmt& s) {
+    switch (s.k) {
+      case Stmt::K::Block:
+        for (const auto& k : s.kids)
+          if (k) stmt(*k);
+        return;
+      case Stmt::K::Assign: {
+        const Expr& e = *s.exprs[0];
+        if (f_.locals[s.slot].ty == Ty::Mat) {
+          if (e.k == Expr::K::Var) {
+            line() << "mmx_set(&" << names_[s.slot] << ", " << names_[e.slot]
+                   << ");\n";
+          } else {
+            std::string v = expr(e); // routes through a temp slot
+            line() << "mmx_set(&" << names_[s.slot] << ", " << v << ");\n";
+          }
+        } else {
+          std::string v = expr(e);
+          line() << names_[s.slot] << " = " << v << ";\n";
+        }
+        return;
+      }
+      case Stmt::K::StoreFlat: {
+        std::string m = names_[s.slot];
+        Ty et = s.exprs[1]->ty;
+        std::string acc = et == Ty::F32 ? "mmx_f" : et == Ty::Bool
+                                                        ? "mmx_b"
+                                                        : "mmx_i";
+        std::string idx = expr(*s.exprs[0]);
+        std::string val = expr(*s.exprs[1]);
+        line() << acc << "(" << m << ")[mmx_flat(" << m << ", " << idx
+               << ")] = " << val << ";\n";
+        return;
+      }
+      case Stmt::K::IndexStore: {
+        std::string m = names_[s.slot];
+        line() << "{ mmx_sel __s[" << s.dims.size() << "];\n";
+        ++indent_;
+        emitSelectors(s.dims, m);
+        const Expr& v = *s.exprs[0];
+        if (v.ty == Ty::Mat) {
+          line() << "mmx_index_store(" << m << ", __s, " << matVal(v)
+                 << ");\n";
+        } else {
+          std::string fn = v.ty == Ty::F32 ? "mmx_index_store_f"
+                           : v.ty == Ty::Bool ? "mmx_index_store_b"
+                                              : "mmx_index_store_i";
+          line() << fn << "(" << m << ", __s, " << expr(v) << ");\n";
+        }
+        --indent_;
+        line() << "}\n";
+        return;
+      }
+      case Stmt::K::For:
+        emitFor(s);
+        return;
+      case Stmt::K::While: {
+        line() << "for (;;) {\n";
+        ++indent_;
+        std::string cond = expr(*s.exprs[0]);
+        line() << "if (!(" << cond << ")) break;\n";
+        stmt(*s.kids[0]);
+        --indent_;
+        line() << "}\n";
+        return;
+      }
+      case Stmt::K::If: {
+        std::string cond = expr(*s.exprs[0]);
+        line() << "if (" << cond << ") {\n";
+        ++indent_;
+        stmt(*s.kids[0]);
+        --indent_;
+        line() << "}";
+        if (s.kids.size() > 1 && s.kids[1]) {
+          body_ << " else {\n";
+          ++indent_;
+          stmt(*s.kids[1]);
+          --indent_;
+          line() << "}";
+        }
+        body_ << "\n";
+        return;
+      }
+      case Stmt::K::Ret: {
+        if (f_.rets.size() == 1) {
+          if (f_.rets[0] == Ty::Mat)
+            line() << "mmx_set(&__ret, " << matVal(*s.exprs[0]) << ");\n";
+          else
+            line() << "__ret = " << expr(*s.exprs[0]) << ";\n";
+        } else if (f_.rets.size() > 1) {
+          for (size_t r = 0; r < s.exprs.size(); ++r) {
+            if (f_.rets[r] == Ty::Mat) {
+              std::string v = matVal(*s.exprs[r]);
+              line() << "mmx_retain(" << v << "); *__out" << r << " = " << v
+                     << ";\n";
+            } else {
+              line() << "*__out" << r << " = " << expr(*s.exprs[r]) << ";\n";
+            }
+          }
+        }
+        line() << "goto mmx_cleanup;\n";
+        return;
+      }
+      case Stmt::K::CallStmt: {
+        std::string c = expr(*s.exprs[0]);
+        line() << c << ";\n";
+        return;
+      }
+      case Stmt::K::CallAssign:
+        emitCallAssign(s);
+        return;
+      case Stmt::K::Break:
+        line() << "break;\n";
+        return;
+      case Stmt::K::Continue:
+        line() << "continue;\n";
+        return;
+    }
+  }
+
+  void emitCallAssign(const Stmt& s) {
+    std::ostringstream args;
+    for (size_t i = 0; i < s.exprs.size(); ++i) {
+      if (i) args << ", ";
+      args << (s.exprs[i]->ty == Ty::Mat ? matVal(*s.exprs[i])
+                                         : expr(*s.exprs[i]));
+    }
+    if (s.dsts.empty()) {
+      line() << "xc_" << s.callee << "(" << args.str() << ");\n";
+      return;
+    }
+    if (s.dsts.size() == 1) {
+      if (f_.locals[s.dsts[0]].ty == Ty::Mat)
+        line() << "mmx_set_owned(&" << names_[s.dsts[0]] << ", xc_"
+               << s.callee << "(" << args.str() << "));\n";
+      else
+        line() << names_[s.dsts[0]] << " = xc_" << s.callee << "("
+               << args.str() << ");\n";
+      return;
+    }
+    // Multi-value call: receive into locals, then move into slots.
+    line() << "{\n";
+    ++indent_;
+    for (size_t r = 0; r < s.dsts.size(); ++r) {
+      Ty t = f_.locals[s.dsts[r]].ty;
+      line() << cTy(t) << " __r" << r << (t == Ty::Mat ? " = NULL" : " = 0")
+             << ";\n";
+    }
+    line() << "xc_" << s.callee << "(" << args.str();
+    for (size_t r = 0; r < s.dsts.size(); ++r) body_ << ", &__r" << r;
+    body_ << ");\n";
+    for (size_t r = 0; r < s.dsts.size(); ++r) {
+      if (f_.locals[s.dsts[r]].ty == Ty::Mat)
+        line() << "mmx_set_owned(&" << names_[s.dsts[r]] << ", __r" << r
+               << ");\n";
+      else
+        line() << names_[s.dsts[r]] << " = __r" << r << ";\n";
+    }
+    --indent_;
+    line() << "}\n";
+  }
+
+  // --- loops -----------------------------------------------------------
+  void collectAssigned(const Stmt& s, std::set<int32_t>& out) const {
+    switch (s.k) {
+      case Stmt::K::Assign: out.insert(s.slot); break;
+      case Stmt::K::CallAssign:
+        for (int32_t d : s.dsts) out.insert(d);
+        break;
+      case Stmt::K::For: out.insert(s.slot); break;
+      default: break;
+    }
+    for (const auto& k : s.kids)
+      if (k) collectAssigned(*k, out);
+  }
+
+  /// Slots written by plain Assign only — inner serial loop variables stay
+  /// scalar inside vectorized regions (the interpreter does the same).
+  void collectVecAssigned(const Stmt& s, std::set<int32_t>& out) const {
+    if (s.k == Stmt::K::Assign) out.insert(s.slot);
+    for (const auto& k : s.kids)
+      if (k) collectVecAssigned(*k, out);
+  }
+
+  void emitFor(const Stmt& s) {
+    if (s.parallel) {
+      emitParallelFor(s);
+      return;
+    }
+    if (s.vecWidth == 4) {
+      emitVectorFor(s);
+      return;
+    }
+    std::string lo = expr(*s.exprs[0]);
+    std::string hi = expr(*s.exprs[1]);
+    std::string v = names_[s.slot];
+    std::string hiv = "__h" + std::to_string(tempId_++);
+    line() << "{ int " << hiv << " = " << hi << ";\n";
+    ++indent_;
+    line() << "for (" << v << " = " << lo << "; " << v << " < " << hiv
+           << "; " << v << "++) {\n";
+    ++indent_;
+    stmt(*s.kids[0]);
+    --indent_;
+    line() << "}\n";
+    --indent_;
+    line() << "}\n";
+  }
+
+  void emitParallelFor(const Stmt& s) {
+    std::set<int32_t> assigned;
+    assigned.insert(s.slot);
+    collectAssigned(*s.kids[0], assigned);
+
+    std::string lo = expr(*s.exprs[0]);
+    std::string hi = expr(*s.exprs[1]);
+    line() << "{ long long __plo = " << lo << ", __phi = " << hi << ";\n";
+    ++indent_;
+    line() << "#pragma omp parallel for\n";
+    line() << "for (long long __t = __plo; __t < __phi; __t++) {\n";
+    ++indent_;
+    // Per-iteration shadows of everything the body assigns: private by
+    // construction, with or without OpenMP.
+    for (int32_t slot : assigned) {
+      Ty t = f_.locals[slot].ty;
+      if (slot == s.slot) {
+        line() << "int " << names_[slot] << " = (int)__t;\n";
+      } else {
+        line() << cTy(t) << ' ' << names_[slot]
+               << (t == Ty::Mat ? " = NULL" : " = 0") << ";\n";
+      }
+    }
+    stmt(*s.kids[0]);
+    for (int32_t slot : assigned)
+      if (f_.locals[slot].ty == Ty::Mat)
+        line() << "mmx_release(" << names_[slot] << ");\n";
+    --indent_;
+    line() << "}\n";
+    --indent_;
+    line() << "}\n";
+  }
+
+  // --- vectorized loops (SSE, Fig. 11) -----------------------------------
+  void emitVectorFor(const Stmt& s) {
+    std::string lo = expr(*s.exprs[0]);
+    std::string hi = expr(*s.exprs[1]);
+    std::string v = names_[s.slot];
+
+    vecAssigned_.clear();
+    std::set<int32_t> assigned;
+    collectVecAssigned(*s.kids[0], assigned);
+
+    line() << "{ long long __vl = " << lo << ", __vh = " << hi
+           << "; long long __vi = __vl;\n";
+    ++indent_;
+    line() << "for (; __vi + 4 <= __vh; __vi += 4) {\n";
+    ++indent_;
+    line() << "__m128i __vx = _mm_add_epi32(_mm_set1_epi32((int)__vi), "
+              "_mm_setr_epi32(0, 1, 2, 3));\n";
+    vecVar_ = s.slot;
+    for (int32_t slot : assigned) {
+      if (slot == s.slot) continue;
+      Ty t = f_.locals[slot].ty;
+      if (t == Ty::F32)
+        line() << "__m128 __v_" << names_[slot] << " = _mm_setzero_ps();\n";
+      else if (t == Ty::I32)
+        line() << "__m128i __v_" << names_[slot]
+               << " = _mm_setzero_si128();\n";
+      else {
+        err("vectorized loop assigns non-arithmetic local '" +
+            f_.locals[slot].name + "'");
+      }
+      vecAssigned_.insert(slot);
+    }
+    vecStmt(*s.kids[0]);
+    vecVar_ = -1;
+    vecAssigned_.clear();
+    --indent_;
+    line() << "}\n";
+    // Scalar remainder.
+    line() << "for (; __vi < __vh; __vi++) {\n";
+    ++indent_;
+    line() << v << " = (int)__vi;\n";
+    stmt(*s.kids[0]);
+    --indent_;
+    line() << "}\n";
+    --indent_;
+    line() << "}\n";
+  }
+
+  void vecStmt(const Stmt& s) {
+    switch (s.k) {
+      case Stmt::K::Block:
+        for (const auto& k : s.kids)
+          if (k) vecStmt(*k);
+        return;
+      case Stmt::K::Assign:
+        line() << "__v_" << names_[s.slot] << " = " << vecExpr(*s.exprs[0])
+               << ";\n";
+        return;
+      case Stmt::K::For: {
+        // Serial inner loop; bounds must be lane-invariant.
+        std::string lo = vecLane0Int(*s.exprs[0]);
+        std::string hi = vecLane0Int(*s.exprs[1]);
+        std::string v = names_[s.slot];
+        std::string hiv = "__h" + std::to_string(tempId_++);
+        line() << "{ int " << hiv << " = " << hi << ";\n";
+        ++indent_;
+        line() << "for (" << v << " = " << lo << "; " << v << " < " << hiv
+               << "; " << v << "++) {\n";
+        ++indent_;
+        vecStmt(*s.kids[0]);
+        --indent_;
+        line() << "}\n";
+        --indent_;
+        line() << "}\n";
+        return;
+      }
+      case Stmt::K::StoreFlat: {
+        std::string m = names_[s.slot];
+        std::string ix = vecExprI(*s.exprs[0]);
+        Ty et = s.exprs[1]->ty;
+        if (et == Ty::F32)
+          line() << "mmx_vscatter_f(mmx_f(" << m << "), " << ix << ", "
+                 << vecExprF(*s.exprs[1]) << ");\n";
+        else
+          line() << "mmx_vscatter_i(mmx_i(" << m << "), " << ix << ", "
+                 << vecExprI(*s.exprs[1]) << ");\n";
+        return;
+      }
+      default:
+        err("statement inside a vectorized loop is not vectorizable");
+    }
+  }
+
+  /// Lane-0 scalar value of an int expression inside a vector region.
+  std::string vecLane0Int(const Expr& e) {
+    if (e.k == Expr::K::Var && !vecAssigned_.count(e.slot) &&
+        e.slot != vecVar_)
+      return names_[e.slot];
+    return "_mm_cvtsi128_si32(" + vecExprI(e) + ")";
+  }
+
+  std::string vecExpr(const Expr& e) {
+    return e.ty == Ty::F32 ? vecExprF(e) : vecExprI(e);
+  }
+
+  std::string vecExprF(const Expr& e) {
+    switch (e.k) {
+      case Expr::K::ConstF: return "_mm_set1_ps(" + floatLit(e.f) + ")";
+      case Expr::K::ConstI:
+        return "_mm_set1_ps((float)" + std::to_string(e.i) + ")";
+      case Expr::K::Var:
+        if (vecAssigned_.count(e.slot)) return "__v_" + names_[e.slot];
+        if (e.slot == vecVar_) return "_mm_cvtepi32_ps(__vx)";
+        return "_mm_set1_ps(" + names_[e.slot] + ")";
+      case Expr::K::Arith: {
+        std::string a = vecExprF(*e.args[0]);
+        std::string b = vecExprF(*e.args[1]);
+        switch (e.aop) {
+          case ArithOp::Add: return "_mm_add_ps(" + a + ", " + b + ")";
+          case ArithOp::Sub: return "_mm_sub_ps(" + a + ", " + b + ")";
+          case ArithOp::Mul:
+          case ArithOp::EwMul: return "_mm_mul_ps(" + a + ", " + b + ")";
+          case ArithOp::Div: return "_mm_div_ps(" + a + ", " + b + ")";
+          case ArithOp::Min: return "_mm_min_ps(" + a + ", " + b + ")";
+          case ArithOp::Max: return "_mm_max_ps(" + a + ", " + b + ")";
+          case ArithOp::Mod: break;
+        }
+        err("operator has no SSE form in a vectorized loop");
+        return "_mm_setzero_ps()";
+      }
+      case Expr::K::Neg:
+        return "_mm_sub_ps(_mm_setzero_ps(), " + vecExprF(*e.args[0]) + ")";
+      case Expr::K::Cast:
+        return "_mm_cvtepi32_ps(" + vecExprI(*e.args[0]) + ")";
+      case Expr::K::LoadFlat:
+        return "mmx_vgather_f(mmx_f(" + names_[e.args[0]->slot] + "), " +
+               vecExprI(*e.args[1]) + ")";
+      default:
+        err("expression is not vectorizable");
+        return "_mm_setzero_ps()";
+    }
+  }
+
+  std::string vecExprI(const Expr& e) {
+    switch (e.k) {
+      case Expr::K::ConstI:
+        return "_mm_set1_epi32(" + std::to_string(e.i) + ")";
+      case Expr::K::Var:
+        if (e.slot == vecVar_) return "__vx";
+        if (vecAssigned_.count(e.slot)) return "__v_" + names_[e.slot];
+        return "_mm_set1_epi32(" + names_[e.slot] + ")";
+      case Expr::K::Arith: {
+        std::string a = vecExprI(*e.args[0]);
+        std::string b = vecExprI(*e.args[1]);
+        switch (e.aop) {
+          case ArithOp::Add: return "_mm_add_epi32(" + a + ", " + b + ")";
+          case ArithOp::Sub: return "_mm_sub_epi32(" + a + ", " + b + ")";
+          case ArithOp::Mul:
+          case ArithOp::EwMul: return "_mm_mullo_epi32(" + a + ", " + b + ")";
+          default: break;
+        }
+        err("integer operator has no SSE form in a vectorized loop");
+        return "_mm_setzero_si128()";
+      }
+      case Expr::K::Neg:
+        return "_mm_sub_epi32(_mm_setzero_si128(), " +
+               vecExprI(*e.args[0]) + ")";
+      case Expr::K::Cast:
+        return "_mm_cvttps_epi32(" + vecExprF(*e.args[0]) + ")";
+      case Expr::K::DimSize:
+        return "_mm_set1_epi32((int)mmx_dim(" + names_[e.args[0]->slot] +
+               ", " + std::to_string(e.args[1]->i) + "))";
+      case Expr::K::LoadFlat:
+        return "mmx_vgather_i(mmx_i(" + names_[e.args[0]->slot] + "), " +
+               vecExprI(*e.args[1]) + ")";
+      default:
+        err("expression is not vectorizable");
+        return "_mm_setzero_si128()";
+    }
+  }
+
+public:
+  /// Extra matrix temporaries created while emitting; declared by the
+  /// caller at function scope (before the body) and released at cleanup.
+  const std::vector<std::string>& extraTemps() const { return extra_; }
+
+private:
+  const Function& f_;
+  std::vector<std::string>& errors_;
+  std::ostringstream body_;
+  std::vector<std::string> names_;
+  std::vector<std::string> extra_;
+  int indent_ = 0;
+  int tempId_ = 0;
+  int32_t vecVar_ = -1;
+  std::set<int32_t> vecAssigned_;
+};
+
+} // namespace
+
+CEmitResult emitC(const Module& m) {
+  CEmitResult res;
+  std::ostringstream out;
+  out << kPrelude << kAppendix << "\n/* ---- forward declarations ---- */\n";
+  for (const auto& f : m.functions)
+    out << FnEmitter::signature(*f, nullptr) << ";\n";
+  out << "\n";
+
+  for (const auto& f : m.functions) {
+    FnEmitter fe(*f, res.errors);
+    std::string body = fe.run();
+    // Splice the extra temp declarations after the opening brace, and
+    // their releases before the cleanup label's releases.
+    const auto& temps = fe.extraTemps();
+    if (!temps.empty()) {
+      std::string decls;
+      for (const auto& t : temps) decls += "  mmx_mat* " + t + " = NULL;\n";
+      size_t brace = body.find("{\n");
+      body.insert(brace + 2, decls);
+      std::string rels;
+      for (const auto& t : temps) rels += "  mmx_release(" + t + ");\n";
+      size_t cleanup = body.find("mmx_cleanup:;\n");
+      body.insert(cleanup + std::string("mmx_cleanup:;\n").size(), rels);
+    }
+    out << body << "\n";
+  }
+
+  out << "int main(void) {\n";
+  const Function* mainFn = m.find("main");
+  if (mainFn && mainFn->rets.size() == 1 && mainFn->rets[0] == Ty::I32)
+    out << "  return xc_main();\n";
+  else
+    out << "  xc_main();\n  return 0;\n";
+  out << "}\n";
+
+  res.ok = res.errors.empty();
+  res.code = out.str();
+  return res;
+}
+
+} // namespace mmx::ir

@@ -1,0 +1,32 @@
+// C emitter: prints a lowered module as one self-contained C file — the
+// "plain (parallel) C code" the paper's translator produces for an
+// ordinary C compiler. Parallel loops become `#pragma omp parallel for`
+// with explicit privatization (Fig. 11); vectorized loops become SSE
+// intrinsics over 4 x f32 / 4 x i32 lanes; matrices are refcounted structs
+// managed by an emitted prelude (the §III-B cells, rendered in C).
+//
+// Builtin coverage: everything a file-driven program needs (readMatrix /
+// writeMatrix / initMatrix / dimSize / print* / checkGenBounds /
+// cloneMatrix / matToFloat / min / max / numThreads). Simulator-backed
+// builtins (synthSsh, connComp, detectEddies) are interpreter-only;
+// emitting a program that uses them is reported as an error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace mmx::ir {
+
+struct CEmitResult {
+  bool ok = false;
+  std::string code;                 // valid when ok
+  std::vector<std::string> errors;  // unsupported constructs
+};
+
+/// Emits the module as a C99 translation unit. Compile with:
+///   cc -O2 -msse4.2 -fopenmp out.c -o prog
+CEmitResult emitC(const Module& m);
+
+} // namespace mmx::ir

@@ -1,0 +1,174 @@
+// The loop-level intermediate representation — the "plain C" the paper's
+// extensions translate down to. With-loops expand into annotated for-loop
+// nests here (Fig. 3); the §V transformation extension rewrites these
+// loops (split/vectorize/parallelize/reorder/tile); the C emitter prints
+// them as parallel C (Figs. 10-11) and the interpreter executes them on
+// the matrix runtime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mmx::ir {
+
+/// Scalar and aggregate types of the lowered language.
+enum class Ty : uint8_t { Void, I32, F32, Bool, Mat, Str };
+
+const char* tyName(Ty t);
+
+/// Arithmetic operators (element-wise over matrices when an operand is a
+/// matrix; '*' on two matrices is linear-algebra matmul, '.*' lowers to
+/// EwMul).
+enum class ArithOp : uint8_t { Add, Sub, Mul, EwMul, Div, Mod, Min, Max };
+/// Comparisons (produce Bool, or a Bool matrix when an operand is a matrix).
+enum class CmpKind : uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+/// Short-circuit logical ops on scalars.
+enum class LogicOp : uint8_t { And, Or };
+
+const char* arithName(ArithOp);
+const char* cmpName(CmpKind);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One dimension of a MATLAB-style index (paper §III-A3).
+struct IndexDim {
+  enum class Kind : uint8_t { Scalar, Range, All, Mask };
+  Kind kind = Kind::Scalar;
+  ExprPtr a; // Scalar: the index; Range: lower bound; Mask: bool matrix
+  ExprPtr b; // Range: upper bound (inclusive, per the paper)
+};
+
+/// Expression node. `ty` is the checked result type.
+struct Expr {
+  enum class K : uint8_t {
+    ConstI, ConstF, ConstB, ConstS,
+    Var,        // local slot
+    Arith,      // args[0] op args[1]
+    Cmp,        // args[0] cmp args[1]
+    Logic,      // args[0] &&/|| args[1] (scalars, short-circuit)
+    Not,        // !args[0]
+    Neg,        // -args[0]
+    Cast,       // (ty) args[0]  (i32 <-> f32)
+    Call,       // builtin: callee(args...) — see interp/builtins
+    Index,      // args[0] = matrix; dims = per-dimension selectors
+    RangeLit,   // (a :: b) inclusive 1-D i32 matrix; args[0..1]
+    DimSize,    // dimSize(args[0], args[1])
+    LoadFlat,   // low-level: element args[1] of matrix args[0] (row-major)
+  };
+
+  K k;
+  Ty ty = Ty::Void;
+  int32_t slot = -1;      // Var
+  int32_t i = 0;          // ConstI / ConstB(0|1)
+  float f = 0.f;          // ConstF
+  std::string s;          // ConstS / Call callee
+  ArithOp aop{};
+  CmpKind cop{};
+  LogicOp lop{};
+  std::vector<ExprPtr> args;
+  std::vector<IndexDim> dims; // Index
+};
+
+ExprPtr constI(int32_t v);
+ExprPtr constF(float v);
+ExprPtr constB(bool v);
+ExprPtr constS(std::string v);
+ExprPtr var(int32_t slot, Ty ty);
+ExprPtr arith(ArithOp op, ExprPtr a, ExprPtr b, Ty ty);
+ExprPtr cmp(CmpKind op, ExprPtr a, ExprPtr b, Ty ty = Ty::Bool);
+ExprPtr logic(LogicOp op, ExprPtr a, ExprPtr b);
+ExprPtr notE(ExprPtr a);
+ExprPtr negE(ExprPtr a, Ty ty);
+ExprPtr cast(Ty to, ExprPtr a);
+ExprPtr call(std::string callee, std::vector<ExprPtr> args, Ty ty);
+ExprPtr loadFlat(ExprPtr mat, ExprPtr flat, Ty elemTy);
+ExprPtr dimSize(ExprPtr mat, ExprPtr d);
+
+/// Deep copy (the transformation extension rewrites loop bodies).
+ExprPtr cloneExpr(const Expr& e);
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node.
+struct Stmt {
+  enum class K : uint8_t {
+    Block,      // kids
+    Assign,     // locals[slot] = expr0
+    IndexStore, // target matrix in locals[slot], dims selectors, expr0 value
+    StoreFlat,  // low-level: locals[slot] matrix, expr0 = flat idx, expr1 = value
+    For,        // for (slot = expr0; slot < expr1; slot += 1) kids[0]
+    While,      // while (expr0) kids[0]
+    If,         // if (expr0) kids[0] else kids[1] (kids[1] may be null)
+    Ret,        // return exprs (0, 1, or a tuple's worth)
+    CallStmt,   // expr0 is a void builtin call (e.g. writeMatrix)
+    CallAssign, // locals[dsts...] = callee(exprs...)  (user functions)
+    Break, Continue,
+  };
+
+  K k;
+  int32_t slot = -1;           // Assign / IndexStore / StoreFlat / For var
+  std::vector<ExprPtr> exprs;
+  std::vector<StmtPtr> kids;
+  std::vector<IndexDim> dims;  // IndexStore
+  std::vector<int32_t> dsts;   // CallAssign
+  std::string callee;          // CallAssign
+
+  // --- loop annotations (For only) ------------------------------------
+  bool parallel = false; // run iterations on the fork-join pool
+  int vecWidth = 1;      // 4 => SSE-vectorized (paper §V)
+  std::string loopName;  // source index name; transform clauses target this
+};
+
+StmtPtr block(std::vector<StmtPtr> kids);
+StmtPtr assign(int32_t slot, ExprPtr e);
+StmtPtr storeFlat(int32_t matSlot, ExprPtr flat, ExprPtr value);
+StmtPtr forLoop(int32_t slot, ExprPtr lo, ExprPtr hi, StmtPtr body,
+                std::string name);
+StmtPtr whileLoop(ExprPtr cond, StmtPtr body);
+StmtPtr ifStmt(ExprPtr cond, StmtPtr thenS, StmtPtr elseS);
+StmtPtr ret(std::vector<ExprPtr> vals);
+StmtPtr callStmt(ExprPtr callExpr);
+StmtPtr callAssign(std::vector<int32_t> dsts, std::string callee,
+                   std::vector<ExprPtr> args);
+
+StmtPtr cloneStmt(const Stmt& s);
+
+/// A local variable (parameters are the first `params` locals).
+struct Local {
+  std::string name;
+  Ty ty = Ty::Void;
+};
+
+/// A lowered function. Multiple return types model tuple returns.
+struct Function {
+  std::string name;
+  size_t numParams = 0;
+  std::vector<Ty> rets;
+  std::vector<Local> locals;
+  StmtPtr body;
+
+  /// Adds a local and returns its slot.
+  int32_t addLocal(std::string name, Ty ty) {
+    locals.push_back({std::move(name), ty});
+    return static_cast<int32_t>(locals.size() - 1);
+  }
+};
+
+/// A lowered program.
+struct Module {
+  std::vector<std::unique_ptr<Function>> functions;
+
+  Function* find(const std::string& name) const;
+  Function* add(std::string name);
+};
+
+/// Renders the IR as readable pseudo-C (tests assert on loop structure;
+/// this is not the compilable emitter — see cemit.hpp).
+std::string dump(const Module& m);
+std::string dump(const Function& f);
+
+} // namespace mmx::ir

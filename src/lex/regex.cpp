@@ -1,0 +1,332 @@
+#include "lex/regex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+namespace mmx::lex {
+
+namespace {
+
+std::unique_ptr<RegexNode> makeClass(std::bitset<256> cls) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = RegexNode::Kind::Class;
+  n->cls = cls;
+  return n;
+}
+
+std::unique_ptr<RegexNode> makeNode(RegexNode::Kind k,
+                                    std::vector<std::unique_ptr<RegexNode>> kids) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = k;
+  n->kids = std::move(kids);
+  return n;
+}
+
+/// Recursive-descent regex parser over the supported subset.
+class RegexParser {
+public:
+  explicit RegexParser(std::string_view s) : s_(s) {}
+
+  std::unique_ptr<RegexNode> parse() {
+    auto n = parseAlt();
+    if (pos_ != s_.size())
+      fail("unexpected character");
+    return n;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::invalid_argument("regex \"" + std::string(s_) + "\" at offset " +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  bool atEnd() const { return pos_ >= s_.size(); }
+  char peek() const { return s_[pos_]; }
+
+  std::unique_ptr<RegexNode> parseAlt() {
+    std::vector<std::unique_ptr<RegexNode>> alts;
+    alts.push_back(parseConcat());
+    while (!atEnd() && peek() == '|') {
+      ++pos_;
+      alts.push_back(parseConcat());
+    }
+    if (alts.size() == 1) return std::move(alts[0]);
+    return makeNode(RegexNode::Kind::Alt, std::move(alts));
+  }
+
+  std::unique_ptr<RegexNode> parseConcat() {
+    std::vector<std::unique_ptr<RegexNode>> seq;
+    while (!atEnd() && peek() != '|' && peek() != ')')
+      seq.push_back(parsePostfix());
+    if (seq.empty()) return makeNode(RegexNode::Kind::Empty, {});
+    if (seq.size() == 1) return std::move(seq[0]);
+    return makeNode(RegexNode::Kind::Concat, std::move(seq));
+  }
+
+  std::unique_ptr<RegexNode> parsePostfix() {
+    auto n = parseAtom();
+    while (!atEnd()) {
+      char c = peek();
+      RegexNode::Kind k;
+      if (c == '*') k = RegexNode::Kind::Star;
+      else if (c == '+') k = RegexNode::Kind::Plus;
+      else if (c == '?') k = RegexNode::Kind::Opt;
+      else break;
+      ++pos_;
+      std::vector<std::unique_ptr<RegexNode>> kid;
+      kid.push_back(std::move(n));
+      n = makeNode(k, std::move(kid));
+    }
+    return n;
+  }
+
+  std::unique_ptr<RegexNode> parseAtom() {
+    if (atEnd()) fail("expected atom");
+    char c = s_[pos_];
+    if (c == '(') {
+      ++pos_;
+      auto n = parseAlt();
+      if (atEnd() || peek() != ')') fail("missing ')'");
+      ++pos_;
+      return n;
+    }
+    if (c == '[') return parseCharClass();
+    if (c == '.') {
+      ++pos_;
+      std::bitset<256> cls;
+      cls.set();
+      cls.reset(static_cast<uint8_t>('\n'));
+      return makeClass(cls);
+    }
+    if (c == '\\') {
+      ++pos_;
+      std::bitset<256> cls;
+      cls.set(static_cast<uint8_t>(parseEscape()));
+      return makeClass(cls);
+    }
+    if (c == '*' || c == '+' || c == '?' || c == ')' || c == ']')
+      fail("unexpected metacharacter");
+    ++pos_;
+    std::bitset<256> cls;
+    cls.set(static_cast<uint8_t>(c));
+    return makeClass(cls);
+  }
+
+  char parseEscape() {
+    if (atEnd()) fail("dangling escape");
+    char c = s_[pos_++];
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      default: return c; // \\, \*, \[, \", ... — the character itself
+    }
+  }
+
+  std::unique_ptr<RegexNode> parseCharClass() {
+    assert(peek() == '[');
+    ++pos_;
+    bool negate = false;
+    if (!atEnd() && peek() == '^') { negate = true; ++pos_; }
+    std::bitset<256> cls;
+    bool first = true;
+    while (true) {
+      if (atEnd()) fail("missing ']'");
+      char c = peek();
+      if (c == ']' && !first) { ++pos_; break; }
+      first = false;
+      char lo;
+      if (c == '\\') { ++pos_; lo = parseEscape(); }
+      else { lo = c; ++pos_; }
+      if (!atEnd() && peek() == '-' && pos_ + 1 < s_.size() && s_[pos_ + 1] != ']') {
+        ++pos_; // '-'
+        char hi;
+        if (peek() == '\\') { ++pos_; hi = parseEscape(); }
+        else { hi = peek(); ++pos_; }
+        if (static_cast<uint8_t>(hi) < static_cast<uint8_t>(lo))
+          fail("inverted range in character class");
+        for (int b = static_cast<uint8_t>(lo); b <= static_cast<uint8_t>(hi); ++b)
+          cls.set(static_cast<size_t>(b));
+      } else {
+        cls.set(static_cast<uint8_t>(lo));
+      }
+    }
+    if (negate) cls.flip();
+    return makeClass(cls);
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Thompson NFA
+
+struct Nfa {
+  // Transitions: state -> list of (class, target). Epsilon edges separate.
+  struct Edge { std::bitset<256> cls; uint32_t to; };
+  std::vector<std::vector<Edge>> edges;
+  std::vector<std::vector<uint32_t>> eps;
+  uint32_t start = 0, accept = 0;
+
+  uint32_t newState() {
+    edges.emplace_back();
+    eps.emplace_back();
+    return static_cast<uint32_t>(edges.size() - 1);
+  }
+};
+
+/// Builds the fragment for `n` between fresh states; returns (in, out).
+std::pair<uint32_t, uint32_t> build(Nfa& nfa, const RegexNode& n) {
+  using K = RegexNode::Kind;
+  switch (n.kind) {
+    case K::Class: {
+      uint32_t a = nfa.newState(), b = nfa.newState();
+      nfa.edges[a].push_back({n.cls, b});
+      return {a, b};
+    }
+    case K::Empty: {
+      uint32_t a = nfa.newState(), b = nfa.newState();
+      nfa.eps[a].push_back(b);
+      return {a, b};
+    }
+    case K::Concat: {
+      auto [in, out] = build(nfa, *n.kids.front());
+      for (size_t i = 1; i < n.kids.size(); ++i) {
+        auto [ki, ko] = build(nfa, *n.kids[i]);
+        nfa.eps[out].push_back(ki);
+        out = ko;
+      }
+      return {in, out};
+    }
+    case K::Alt: {
+      uint32_t a = nfa.newState(), b = nfa.newState();
+      for (const auto& k : n.kids) {
+        auto [ki, ko] = build(nfa, *k);
+        nfa.eps[a].push_back(ki);
+        nfa.eps[ko].push_back(b);
+      }
+      return {a, b};
+    }
+    case K::Star: {
+      uint32_t a = nfa.newState(), b = nfa.newState();
+      auto [ki, ko] = build(nfa, *n.kids[0]);
+      nfa.eps[a].push_back(ki);
+      nfa.eps[a].push_back(b);
+      nfa.eps[ko].push_back(ki);
+      nfa.eps[ko].push_back(b);
+      return {a, b};
+    }
+    case K::Plus: {
+      auto [ki, ko] = build(nfa, *n.kids[0]);
+      uint32_t b = nfa.newState();
+      nfa.eps[ko].push_back(ki);
+      nfa.eps[ko].push_back(b);
+      return {ki, b};
+    }
+    case K::Opt: {
+      uint32_t a = nfa.newState(), b = nfa.newState();
+      auto [ki, ko] = build(nfa, *n.kids[0]);
+      nfa.eps[a].push_back(ki);
+      nfa.eps[a].push_back(b);
+      nfa.eps[ko].push_back(b);
+      return {a, b};
+    }
+  }
+  throw std::logic_error("unreachable regex kind");
+}
+
+void epsClosure(const Nfa& nfa, std::vector<uint32_t>& states) {
+  std::vector<uint8_t> seen(nfa.eps.size(), 0);
+  std::queue<uint32_t> q;
+  for (uint32_t s : states) { seen[s] = 1; q.push(s); }
+  while (!q.empty()) {
+    uint32_t s = q.front();
+    q.pop();
+    for (uint32_t t : nfa.eps[s])
+      if (!seen[t]) { seen[t] = 1; q.push(t); states.push_back(t); }
+  }
+  std::sort(states.begin(), states.end());
+}
+
+} // namespace
+
+std::unique_ptr<RegexNode> parseRegex(std::string_view pattern) {
+  return RegexParser(pattern).parse();
+}
+
+std::unique_ptr<RegexNode> literalRegex(std::string_view s) {
+  std::vector<std::unique_ptr<RegexNode>> seq;
+  for (char c : s) {
+    std::bitset<256> cls;
+    cls.set(static_cast<uint8_t>(c));
+    seq.push_back(makeClass(cls));
+  }
+  if (seq.empty()) return makeNode(RegexNode::Kind::Empty, {});
+  if (seq.size() == 1) return std::move(seq[0]);
+  return makeNode(RegexNode::Kind::Concat, std::move(seq));
+}
+
+Dfa compileRegex(const RegexNode& re) {
+  Nfa nfa;
+  auto [in, out] = build(nfa, re);
+  nfa.start = in;
+  nfa.accept = out;
+
+  // Subset construction.
+  Dfa dfa;
+  std::map<std::vector<uint32_t>, int32_t> ids;
+  std::vector<std::vector<uint32_t>> subsets;
+
+  std::vector<uint32_t> start{nfa.start};
+  epsClosure(nfa, start);
+  ids[start] = 0;
+  subsets.push_back(start);
+
+  for (size_t cur = 0; cur < subsets.size(); ++cur) {
+    // Materialize the row lazily: compute successors per byte. To avoid a
+    // 256x inner NFA walk we group bytes by the union of matching edges.
+    const auto subset = subsets[cur];
+    dfa.next.resize((cur + 1) * 256, Dfa::kDead);
+    bool acc = false;
+    for (uint32_t s : subset)
+      if (s == nfa.accept) acc = true;
+    dfa.accepting.push_back(acc ? 1 : 0);
+
+    for (int b = 0; b < 256; ++b) {
+      std::vector<uint32_t> tgt;
+      for (uint32_t s : subset)
+        for (const auto& e : nfa.edges[s])
+          if (e.cls.test(static_cast<size_t>(b))) tgt.push_back(e.to);
+      if (tgt.empty()) continue;
+      std::sort(tgt.begin(), tgt.end());
+      tgt.erase(std::unique(tgt.begin(), tgt.end()), tgt.end());
+      epsClosure(nfa, tgt);
+      auto [it, inserted] = ids.emplace(tgt, static_cast<int32_t>(subsets.size()));
+      if (inserted) subsets.push_back(tgt);
+      dfa.next[cur * 256 + static_cast<size_t>(b)] = it->second;
+    }
+  }
+  dfa.numStates = static_cast<uint32_t>(subsets.size());
+  dfa.next.resize(dfa.numStates * 256, Dfa::kDead);
+  return dfa;
+}
+
+size_t Dfa::longestMatch(std::string_view text, size_t pos) const {
+  int32_t s = 0;
+  size_t best = 0;
+  size_t i = pos;
+  while (i < text.size()) {
+    s = step(s, static_cast<uint8_t>(text[i]));
+    if (s == kDead) break;
+    ++i;
+    if (accepting[static_cast<size_t>(s)]) best = i - pos;
+  }
+  return best;
+}
+
+} // namespace mmx::lex

@@ -1,0 +1,53 @@
+// A small regular-expression engine sufficient for C-family tokens:
+// literals, escapes, character classes, '.', grouping, '|', '*', '+', '?'.
+// Regexes compile to Thompson NFAs and then to per-terminal DFAs; the
+// context-aware scanner (scanner.hpp) runs only the DFAs the parser state
+// permits.
+#pragma once
+
+#include <bitset>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmx::lex {
+
+/// Byte-class regex AST.
+struct RegexNode {
+  enum class Kind { Class, Concat, Alt, Star, Plus, Opt, Empty };
+  Kind kind = Kind::Empty;
+  std::bitset<256> cls;                        // Kind::Class
+  std::vector<std::unique_ptr<RegexNode>> kids; // Concat/Alt/Star/Plus/Opt
+};
+
+/// Parses a regex. Throws std::invalid_argument with a description on
+/// malformed input (terminal definitions are compile-time data for the
+/// translator, so hard failure is appropriate).
+std::unique_ptr<RegexNode> parseRegex(std::string_view pattern);
+
+/// Builds a regex that matches exactly the literal string `s` (used for
+/// keywords and operators; no metacharacter interpretation).
+std::unique_ptr<RegexNode> literalRegex(std::string_view s);
+
+/// A deterministic finite automaton over bytes. State 0 is the start state.
+/// `next[s*256+b]` is the successor or kDead.
+struct Dfa {
+  static constexpr int32_t kDead = -1;
+  uint32_t numStates = 0;
+  std::vector<int32_t> next;     // numStates * 256
+  std::vector<uint8_t> accepting; // numStates
+
+  int32_t step(int32_t s, uint8_t b) const { return next[size_t(s) * 256 + b]; }
+
+  /// Longest-match length of this DFA against text starting at `pos`,
+  /// or 0 if no (non-empty) match.
+  size_t longestMatch(std::string_view text, size_t pos) const;
+};
+
+/// Compiles a regex AST to a DFA via Thompson construction + subset
+/// construction. Empty-string-accepting regexes are allowed but the scanner
+/// ignores empty matches.
+Dfa compileRegex(const RegexNode& re);
+
+} // namespace mmx::lex

@@ -1,0 +1,92 @@
+#include "lex/scanner.hpp"
+
+namespace mmx::lex {
+
+TerminalId LexSpec::add(TerminalDef def) {
+  defs_.push_back(std::move(def));
+  return static_cast<TerminalId>(defs_.size() - 1);
+}
+
+Scanner::Scanner(const LexSpec& spec) {
+  dfas_.reserve(spec.count());
+  for (TerminalId t = 0; t < spec.count(); ++t) {
+    const TerminalDef& d = spec.def(t);
+    auto re = d.literal ? literalRegex(d.pattern) : parseRegex(d.pattern);
+    dfas_.push_back({compileRegex(*re), d.precedence, d.layout});
+    if (d.layout) layoutTerms_.push_back(t);
+  }
+}
+
+ScanResult Scanner::scan(std::string_view text, FileId file, size_t& pos,
+                         const DynBitset& allowed) const {
+  // Skip maximal runs of layout.
+  for (;;) {
+    size_t best = 0;
+    for (TerminalId t : layoutTerms_) {
+      size_t len = dfas_[t].dfa.longestMatch(text, pos);
+      if (len > best) best = len;
+    }
+    if (best == 0) break;
+    pos += best;
+  }
+
+  if (pos >= text.size()) {
+    ScanResult r;
+    r.status = ScanResult::Status::Eof;
+    r.token.range = {{file, static_cast<uint32_t>(pos)},
+                     static_cast<uint32_t>(pos)};
+    return r;
+  }
+
+  size_t bestLen = 0;
+  int bestPrec = 0;
+  std::vector<TerminalId> winners;
+  for (TerminalId t = 0; t < dfas_.size(); ++t) {
+    if (dfas_[t].layout) continue;
+    if (t < allowed.size() && !allowed.test(t)) continue;
+    size_t len = dfas_[t].dfa.longestMatch(text, pos);
+    if (len == 0) continue;
+    if (len > bestLen ||
+        (len == bestLen && dfas_[t].precedence > bestPrec)) {
+      bestLen = len;
+      bestPrec = dfas_[t].precedence;
+      winners.clear();
+      winners.push_back(t);
+    } else if (len == bestLen && dfas_[t].precedence == bestPrec) {
+      winners.push_back(t);
+    }
+  }
+
+  ScanResult r;
+  if (winners.empty()) {
+    r.status = ScanResult::Status::NoMatch;
+    r.token.range = {{file, static_cast<uint32_t>(pos)},
+                     static_cast<uint32_t>(pos + 1)};
+    r.token.text = text.substr(pos, 1);
+    return r;
+  }
+  if (winners.size() > 1) {
+    r.status = ScanResult::Status::Ambiguous;
+    r.matched = winners;
+    r.token.range = {{file, static_cast<uint32_t>(pos)},
+                     static_cast<uint32_t>(pos + bestLen)};
+    r.token.text = text.substr(pos, bestLen);
+    return r;
+  }
+  r.status = ScanResult::Status::Ok;
+  r.token.term = winners[0];
+  r.token.range = {{file, static_cast<uint32_t>(pos)},
+                   static_cast<uint32_t>(pos + bestLen)};
+  r.token.text = text.substr(pos, bestLen);
+  pos += bestLen;
+  return r;
+}
+
+ScanResult Scanner::scanAny(std::string_view text, FileId file,
+                            size_t& pos) const {
+  DynBitset all(dfas_.size());
+  for (size_t i = 0; i < dfas_.size(); ++i) all.set(i);
+  return scan(text, file, pos, all);
+}
+
+} // namespace mmx::lex

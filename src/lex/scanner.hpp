@@ -1,0 +1,98 @@
+// Context-aware scanner in the style of Copper [Van Wyk & Schwerdfeger,
+// GPCE'07]: the parser supplies, at each step, the set of terminals that are
+// valid in the current LR state, and the scanner matches ONLY those. This is
+// what lets independently developed extensions reuse keywords (e.g. `end`
+// is a keyword inside matrix index brackets but an ordinary identifier
+// elsewhere).
+//
+// Disambiguation: maximal munch first, then higher lexical precedence
+// (keywords are declared with higher precedence than identifiers); a
+// same-length, same-precedence ambiguity is a scanner error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lex/regex.hpp"
+#include "support/bitset.hpp"
+#include "support/diag.hpp"
+#include "support/source.hpp"
+
+namespace mmx::lex {
+
+/// Index of a terminal within a LexSpec / composed grammar.
+using TerminalId = uint32_t;
+
+/// Declaration of one terminal symbol.
+struct TerminalDef {
+  std::string name;     // display name, e.g. "ID", "'with'"
+  std::string pattern;  // regex, or literal text when `literal`
+  bool literal = false; // keywords/operators: no metacharacters
+  int precedence = 0;   // higher wins length ties (keywords > ID)
+  bool layout = false;  // whitespace/comments: always valid, discarded
+};
+
+/// The terminal vocabulary of a composed language.
+class LexSpec {
+public:
+  /// Adds a terminal; returns its id. Name collisions are the caller's
+  /// responsibility (the grammar composer checks them).
+  TerminalId add(TerminalDef def);
+
+  const TerminalDef& def(TerminalId t) const { return defs_[t]; }
+  size_t count() const { return defs_.size(); }
+
+private:
+  std::vector<TerminalDef> defs_;
+};
+
+/// One scanned token.
+struct Token {
+  TerminalId term = 0;
+  SourceRange range;
+  std::string_view text;
+};
+
+/// Result of a scan step.
+struct ScanResult {
+  enum class Status { Ok, Eof, NoMatch, Ambiguous };
+  Status status = Status::Eof;
+  Token token;                      // valid when Ok
+  std::vector<TerminalId> matched;  // when Ambiguous: the tied terminals
+};
+
+/// Compiled scanner. Immutable and shareable after construction; scanning
+/// state (the cursor) lives in ScanCursor so one scanner can serve many
+/// parses.
+class Scanner {
+public:
+  /// Compiles every terminal's DFA. Throws std::invalid_argument on a
+  /// malformed regex.
+  explicit Scanner(const LexSpec& spec);
+
+  size_t terminalCount() const { return dfas_.size(); }
+
+  /// Scans one token at `pos` in `text`, considering only terminals with a
+  /// set bit in `allowed` (layout terminals are always considered and
+  /// skipped). Advances `pos` past layout and the matched token.
+  ScanResult scan(std::string_view text, FileId file, size_t& pos,
+                  const DynBitset& allowed) const;
+
+  /// Convenience: scan with *all* terminals allowed (context-free mode,
+  /// used by tests to demonstrate why context-awareness is needed).
+  ScanResult scanAny(std::string_view text, FileId file, size_t& pos) const;
+
+private:
+  struct Entry {
+    Dfa dfa;
+    int precedence;
+    bool layout;
+  };
+  std::vector<Entry> dfas_;
+  std::vector<TerminalId> layoutTerms_;
+};
+
+} // namespace mmx::lex

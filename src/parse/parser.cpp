@@ -1,0 +1,124 @@
+#include "parse/parser.hpp"
+
+#include <sstream>
+
+namespace mmx::parse {
+
+Parser::Parser(const grammar::Grammar& g)
+    : g_(g), tables_(LalrTables::build(g)), scanner_(g.lexSpec()) {}
+
+ast::NodePtr Parser::parse(const SourceManager& sm, FileId file,
+                           DiagnosticEngine& diags) const {
+  std::string_view text = sm.text(file);
+  size_t pos = 0;
+
+  std::vector<uint32_t> states{0};
+  std::vector<ast::NodePtr> values;
+
+  const size_t eofCol = tables_.eofColumn();
+
+  // One-token lookahead, refreshed per state (context-aware: the token we
+  // scan depends on the state we scan it in).
+  std::optional<lex::Token> look;
+  size_t lookPos = pos; // cursor after consuming `look`
+
+  auto scanFor = [&](uint32_t state) -> bool {
+    if (look) return true;
+    size_t p = pos;
+    lex::ScanResult r =
+        scanner_.scan(text, file, p, tables_.validTerminals(state));
+    switch (r.status) {
+      case lex::ScanResult::Status::Ok:
+        look = r.token;
+        lookPos = p;
+        return true;
+      case lex::ScanResult::Status::Eof:
+        look.reset();
+        lookPos = p;
+        return true; // EOF handled by caller via eof column
+      case lex::ScanResult::Status::NoMatch: {
+        std::ostringstream msg;
+        msg << "no valid token here; expected one of: "
+            << tables_.expectedTerminals(g_, state);
+        diags.error(r.token.range, msg.str());
+        return false;
+      }
+      case lex::ScanResult::Status::Ambiguous: {
+        std::ostringstream msg;
+        msg << "lexically ambiguous token '" << r.token.text << "' matches";
+        for (auto t : r.matched) msg << ' ' << g_.lexSpec().def(t).name;
+        msg << " (add lexical precedence to the extension's terminals)";
+        diags.error(r.token.range, msg.str());
+        return false;
+      }
+    }
+    return false;
+  };
+
+  for (;;) {
+    uint32_t state = states.back();
+    if (!scanFor(state)) return nullptr;
+
+    uint32_t col;
+    if (look)
+      col = look->term;
+    else
+      col = static_cast<uint32_t>(eofCol);
+
+    Action a = tables_.action(state, col);
+    switch (a.kind) {
+      case Action::Kind::Shift: {
+        values.push_back(ast::makeLeaf(*look));
+        states.push_back(a.target);
+        pos = lookPos;
+        look.reset();
+        break;
+      }
+      case Action::Kind::Reduce: {
+        const grammar::Production& p = g_.production(a.target);
+        size_t n = p.rhs.size();
+        std::vector<ast::NodePtr> kids(values.end() - n, values.end());
+        values.erase(values.end() - n, values.end());
+        states.erase(states.end() - n, states.end());
+
+        SourceRange r;
+        if (!kids.empty()) {
+          r.begin = kids.front()->range.begin;
+          r.end = kids.back()->range.end;
+        } else {
+          uint32_t off = look ? look->range.begin.offset
+                              : static_cast<uint32_t>(pos);
+          r = {{file, off}, off};
+        }
+        values.push_back(ast::makeNode(&p, std::move(kids), r));
+
+        int32_t next = tables_.gotoState(states.back(), p.lhs);
+        if (next < 0) {
+          diags.error(r, "internal parser error: missing goto after reduce " +
+                             p.name);
+          return nullptr;
+        }
+        states.push_back(static_cast<uint32_t>(next));
+        break;
+      }
+      case Action::Kind::Accept:
+        return values.back();
+      case Action::Kind::Error: {
+        std::ostringstream msg;
+        if (look)
+          msg << "unexpected token '" << look->text << "'";
+        else
+          msg << "unexpected end of input";
+        msg << "; expected one of: " << tables_.expectedTerminals(g_, state);
+        SourceRange where =
+            look ? look->range
+                 : SourceRange{{file, static_cast<uint32_t>(pos)},
+                               static_cast<uint32_t>(pos)};
+        diags.error(where, msg.str());
+        return nullptr;
+      }
+    }
+  }
+}
+
+} // namespace mmx::parse

@@ -1,0 +1,45 @@
+// Table-driven LALR(1) parser integrated with the context-aware scanner.
+// At every step the scanner is restricted to the current state's valid
+// terminals — the Copper discipline that makes keyword-sharing extensions
+// compose (e.g. `end` scans as a keyword only inside matrix index brackets).
+//
+// The parser builds generic ast::Node trees: one interior node per reduce
+// (chain productions are preserved; semantics skip through them), one leaf
+// per shifted token.
+#pragma once
+
+#include <optional>
+
+#include "ast/node.hpp"
+#include "grammar/grammar.hpp"
+#include "lex/scanner.hpp"
+#include "parse/lalr.hpp"
+#include "support/diag.hpp"
+
+namespace mmx::parse {
+
+/// A compiled parser for one composed grammar. Immutable after
+/// construction; parse() is re-entrant (no shared mutable state).
+class Parser {
+public:
+  /// Builds scanner + tables. The grammar must outlive the parser.
+  /// LALR conflicts are tolerated here (resolved shift-first) but exposed
+  /// via tables().conflicts(); the driver refuses to build translators
+  /// whose *composition* introduced conflicts (see analysis/).
+  explicit Parser(const grammar::Grammar& g);
+
+  /// Parses `file`'s text from the source manager. Returns the tree for
+  /// the start symbol, or nullptr after reporting diagnostics.
+  ast::NodePtr parse(const SourceManager& sm, FileId file,
+                     DiagnosticEngine& diags) const;
+
+  const LalrTables& tables() const { return tables_; }
+  const grammar::Grammar& grammar() const { return g_; }
+
+private:
+  const grammar::Grammar& g_;
+  LalrTables tables_;
+  lex::Scanner scanner_;
+};
+
+} // namespace mmx::parse

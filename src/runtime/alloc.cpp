@@ -1,0 +1,135 @@
+#include "runtime/alloc.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace mmx::rt {
+
+namespace {
+int bucketFor(size_t bytes) {
+  int b = 0;
+  size_t cap = 16;
+  while (cap < bytes && b < 23) {
+    cap <<= 1;
+    ++b;
+  }
+  return b;
+}
+size_t bucketBytes(int b) { return size_t{16} << b; }
+} // namespace
+
+MutexAllocator& MutexAllocator::instance() {
+  static MutexAllocator a;
+  return a;
+}
+
+MutexAllocator::~MutexAllocator() { trim(); }
+
+void* MutexAllocator::allocate(size_t bytes) {
+  // Allocation header: bucket index stored in front (16 bytes to keep the
+  // payload SSE-aligned).
+  int b = bucketFor(bytes + 16);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++acquisitions_;
+  Block* blk = freeList_[b];
+  if (blk) {
+    freeList_[b] = blk->next;
+  } else {
+    blk = static_cast<Block*>(::operator new(bucketBytes(b),
+                                             std::align_val_t{16}));
+  }
+  blk->bytes = static_cast<size_t>(b);
+  return reinterpret_cast<char*>(blk) + 16;
+}
+
+void MutexAllocator::deallocate(void* p) {
+  if (!p) return;
+  Block* blk = reinterpret_cast<Block*>(static_cast<char*>(p) - 16);
+  int b = static_cast<int>(blk->bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++acquisitions_;
+  blk->next = freeList_[b];
+  freeList_[b] = blk;
+}
+
+void MutexAllocator::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int b = 0; b < kBuckets; ++b) {
+    Block* blk = freeList_[b];
+    while (blk) {
+      Block* next = blk->next;
+      ::operator delete(blk, std::align_val_t{16});
+      blk = next;
+    }
+    freeList_[b] = nullptr;
+  }
+}
+
+ArenaAllocator& ArenaAllocator::instance() {
+  static ArenaAllocator a;
+  return a;
+}
+
+ArenaAllocator::ThreadArena& ArenaAllocator::localArena() {
+  thread_local ThreadArena* arena = nullptr;
+  if (!arena) {
+    arena = new ThreadArena();
+    std::lock_guard<std::mutex> lock(registryMu_);
+    arenas_.push_back(arena);
+  }
+  return *arena;
+}
+
+void* ArenaAllocator::allocate(size_t bytes) {
+  // 16-byte aligned bump pointer.
+  size_t need = (bytes + 15) & ~size_t{15};
+  ThreadArena& a = localArena();
+  Chunk* c = a.head;
+  if (!c || c->used + need > c->cap) {
+    size_t cap = need > kChunkSize ? need : kChunkSize;
+    c = static_cast<Chunk*>(::operator new(sizeof(Chunk) + cap,
+                                           std::align_val_t{16}));
+    c->next = a.head;
+    c->used = 0;
+    c->cap = cap;
+    a.head = c;
+  }
+  void* p = reinterpret_cast<char*>(c + 1) + c->used;
+  c->used += need;
+  return p;
+}
+
+void ArenaAllocator::deallocate(void*) noexcept {}
+
+void ArenaAllocator::reset() {
+  std::lock_guard<std::mutex> lock(registryMu_);
+  for (ThreadArena* a : arenas_) {
+    Chunk* c = a->head;
+    while (c) {
+      Chunk* next = c->next;
+      ::operator delete(c, std::align_val_t{16});
+      c = next;
+    }
+    a->head = nullptr;
+  }
+}
+
+size_t ArenaAllocator::chunkCount() const {
+  auto* self = const_cast<ArenaAllocator*>(this);
+  std::lock_guard<std::mutex> lock(self->registryMu_);
+  size_t n = 0;
+  for (ThreadArena* a : self->arenas_)
+    for (Chunk* c = a->head; c; c = c->next) ++n;
+  return n;
+}
+
+void* mutexAllocHook(size_t bytes) {
+  return MutexAllocator::instance().allocate(bytes);
+}
+void mutexFreeHook(void* p) { MutexAllocator::instance().deallocate(p); }
+void* arenaAllocHook(size_t bytes) {
+  return ArenaAllocator::instance().allocate(bytes);
+}
+void arenaFreeHook(void* p) { ArenaAllocator::instance().deallocate(p); }
+
+} // namespace mmx::rt

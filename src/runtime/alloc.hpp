@@ -1,0 +1,91 @@
+// Allocators for the §III-C memory-management discussion: a global-mutex
+// allocator modelling "naive malloc" contention, and a per-thread arena
+// allocator modelling the arena/Hoard-style designs the paper surveys.
+// bench_alloc compares them under parallel matrix churn; the refcount
+// cells (refcount.hpp) can be pointed at either via setRcAllocHooks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mmx::rt {
+
+/// Malloc/free behind one global mutex, with a size-bucketed free list so
+/// the measured cost is the *lock contention*, not the underlying malloc.
+class MutexAllocator {
+public:
+  static MutexAllocator& instance();
+
+  void* allocate(size_t bytes);
+  void deallocate(void* p);
+
+  /// Frees everything on the free lists (between bench runs).
+  void trim();
+
+  uint64_t lockAcquisitions() const { return acquisitions_; }
+
+private:
+  MutexAllocator() = default;
+  ~MutexAllocator();
+
+  struct Block {
+    Block* next;
+    size_t bytes;
+  };
+  static constexpr int kBuckets = 24; // size classes 2^4 .. 2^27
+
+  std::mutex mu_;
+  Block* freeList_[kBuckets] = {};
+  uint64_t acquisitions_ = 0;
+};
+
+/// Per-thread bump arenas: allocation is lock-free (thread-local chunk),
+/// deallocation is deferred until reset(). Models the allocation pattern
+/// of with-loop temporaries: many short-lived buffers freed together.
+class ArenaAllocator {
+public:
+  static ArenaAllocator& instance();
+
+  void* allocate(size_t bytes);
+  /// No-op (arena memory is reclaimed wholesale by reset()).
+  void deallocate(void* p) noexcept;
+
+  /// Releases every thread's chunks. Call only while no other thread is
+  /// allocating (quiescent points between parallel regions).
+  void reset();
+
+  size_t chunkCount() const;
+
+private:
+  ArenaAllocator() = default;
+
+  struct alignas(16) Chunk {
+    Chunk* next;
+    size_t used;
+    size_t cap;
+    size_t pad_; // keeps sizeof(Chunk) a multiple of 16 => payload aligned
+    // payload follows
+  };
+  static_assert(sizeof(Chunk) % 16 == 0);
+  struct ThreadArena {
+    Chunk* head = nullptr;
+  };
+
+  static constexpr size_t kChunkSize = 1 << 20;
+
+  ThreadArena& localArena();
+
+  // Registry of all thread arenas so reset() can reach them.
+  std::mutex registryMu_;
+  std::vector<ThreadArena*> arenas_;
+};
+
+// C-style hooks matching rt::RcAllocHooks.
+void* mutexAllocHook(size_t bytes);
+void mutexFreeHook(void* p);
+void* arenaAllocHook(size_t bytes);
+void arenaFreeHook(void* p);
+
+} // namespace mmx::rt

@@ -1,0 +1,106 @@
+#include "runtime/conncomp.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mmx::rt {
+
+namespace {
+/// Union-find with path halving.
+struct DisjointSet {
+  std::vector<int32_t> parent;
+
+  explicit DisjointSet(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int32_t find(int32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(int32_t a, int32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[b < a ? a : b] = b < a ? b : a;
+  }
+};
+} // namespace
+
+Matrix connectedComponents(const Matrix& binary, int32_t* outComponents) {
+  if (binary.rank() != 2 || binary.elem() != Elem::Bool)
+    throw std::invalid_argument("connectedComponents: rank-2 bool required");
+  int64_t h = binary.dim(0), w = binary.dim(1);
+  const uint8_t* in = binary.boolean();
+  Matrix out = Matrix::zeros(Elem::I32, {h, w});
+  int32_t* lab = out.i32();
+
+  // Pass 1: provisional labels + equivalences.
+  DisjointSet ds(1); // index 0 = background, never united
+  int32_t nextLabel = 1;
+  for (int64_t i = 0; i < h; ++i) {
+    for (int64_t j = 0; j < w; ++j) {
+      if (!in[i * w + j]) continue;
+      int32_t up = i > 0 ? lab[(i - 1) * w + j] : 0;
+      int32_t left = j > 0 ? lab[i * w + j - 1] : 0;
+      if (!up && !left) {
+        lab[i * w + j] = nextLabel++;
+        ds.parent.push_back(lab[i * w + j]);
+      } else if (up && left) {
+        lab[i * w + j] = up < left ? up : left;
+        ds.unite(up, left);
+      } else {
+        lab[i * w + j] = up ? up : left;
+      }
+    }
+  }
+
+  // Pass 2: resolve equivalences to dense labels.
+  std::vector<int32_t> dense(static_cast<size_t>(nextLabel), 0);
+  int32_t count = 0;
+  for (int64_t k = 0; k < h * w; ++k) {
+    if (!lab[k]) continue;
+    int32_t root = ds.find(lab[k]);
+    if (!dense[root]) dense[root] = ++count;
+    lab[k] = dense[root];
+  }
+  if (outComponents) *outComponents = count;
+  return out;
+}
+
+Matrix detectEddies2D(const Matrix& ssh2d, float lo, float hi, float step,
+                      int64_t minSize, int64_t maxSize) {
+  if (ssh2d.rank() != 2 || ssh2d.elem() != Elem::F32)
+    throw std::invalid_argument("detectEddies2D: rank-2 f32 required");
+  if (step <= 0) throw std::invalid_argument("detectEddies2D: step > 0");
+  int64_t h = ssh2d.dim(0), w = ssh2d.dim(1);
+  const float* s = ssh2d.f32();
+
+  Matrix result = Matrix::zeros(Elem::I32, {h, w});
+  int32_t* res = result.i32();
+  Matrix bin = Matrix::zeros(Elem::Bool, {h, w});
+  uint8_t* b = bin.boolean();
+  int32_t labelBase = 0;
+
+  for (float th = lo; th < hi; th += step) {
+    for (int64_t k = 0; k < h * w; ++k) b[k] = s[k] < th;
+    int32_t nComp = 0;
+    Matrix labels = connectedComponents(bin, &nComp);
+    if (!nComp) continue;
+    const int32_t* lb = labels.i32();
+    // Component sizes at this threshold.
+    std::vector<int64_t> size(static_cast<size_t>(nComp) + 1, 0);
+    for (int64_t k = 0; k < h * w; ++k) ++size[lb[k]];
+    for (int64_t k = 0; k < h * w; ++k) {
+      int32_t l = lb[k];
+      if (l && !res[k] && size[l] >= minSize && size[l] <= maxSize)
+        res[k] = labelBase + l;
+    }
+    labelBase += nComp;
+  }
+  return result;
+}
+
+} // namespace mmx::rt

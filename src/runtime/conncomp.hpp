@@ -1,0 +1,23 @@
+// Connected-component labeling of boolean grids (the connComp function of
+// Fig. 4 and the thresholding eddy detector of §IV). Two-pass union-find,
+// 4-connectivity; labels are dense positive integers, background is 0.
+#pragma once
+
+#include "runtime/matrix.hpp"
+
+namespace mmx::rt {
+
+/// Labels connected components of a rank-2 bool matrix. Returns a rank-2
+/// i32 matrix of the same shape; `outComponents` (optional) receives the
+/// number of components found.
+Matrix connectedComponents(const Matrix& binary, int32_t* outComponents = nullptr);
+
+/// The iterative-thresholding eddy detector sketched in Fig. 4: for each
+/// threshold in [lo, hi) step `step`, binarize `ssh2d < threshold` and
+/// label; a cell's final label is the one from the first threshold at
+/// which it belongs to a component whose size is within [minSize, maxSize]
+/// (the "criteria typical of ocean eddies").
+Matrix detectEddies2D(const Matrix& ssh2d, float lo, float hi, float step,
+                      int64_t minSize, int64_t maxSize);
+
+} // namespace mmx::rt

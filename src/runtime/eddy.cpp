@@ -1,0 +1,63 @@
+#include "runtime/eddy.hpp"
+
+#include <stdexcept>
+
+namespace mmx::rt {
+
+Trough getTrough(const float* ts, int n, int i) {
+  Trough t;
+  t.begin = i;
+  // Walk downwards.
+  while (i + 1 < n && ts[i] >= ts[i + 1]) i = i + 1;
+  // Walk upwards.
+  while (i + 1 < n && ts[i] < ts[i + 1]) i = i + 1;
+  t.end = i;
+  t.values.assign(ts + t.begin, ts + t.end + 1); // inclusive range
+  return t;
+}
+
+float computeArea(const std::vector<float>& areaOfInterest) {
+  if (areaOfInterest.empty()) return 0.f;
+  float y1 = areaOfInterest.front();
+  float y2 = areaOfInterest.back();
+  int x1 = 0;
+  int x2 = static_cast<int>(areaOfInterest.size()) - 1;
+  if (x1 == x2) return 0.f;
+  float m = (y1 - y2) / static_cast<float>(x1 - x2);
+  float b = y1 - m * static_cast<float>(x1);
+  float area = 0.f;
+  for (int x = 0; x <= x2; ++x)
+    area += (m * static_cast<float>(x) + b) - areaOfInterest[x];
+  return area;
+}
+
+void scoreTS(const float* ts, int n, float* out) {
+  for (int k = 0; k < n; ++k) out[k] = 0.f;
+  if (n < 2) return;
+  // Trim until the first local maximum.
+  int i = 0;
+  while (i + 1 < n && ts[i] < ts[i + 1]) i = i + 1;
+  while (i < n - 1) {
+    Trough t = getTrough(ts, n, i);
+    if (t.end <= t.begin) break; // flat tail: no further troughs
+    float area = computeArea(t.values);
+    for (int k = t.begin; k <= t.end; ++k) out[k] = area;
+    i = t.end;
+  }
+}
+
+Matrix scoreAllSeries(Executor& exec, const Matrix& ssh) {
+  if (ssh.rank() != 3 || ssh.elem() != Elem::F32)
+    throw std::invalid_argument("scoreAllSeries: rank-3 f32 required");
+  int64_t nlat = ssh.dim(0), nlon = ssh.dim(1), nt = ssh.dim(2);
+  Matrix out = Matrix::zeros(Elem::F32, ssh.dims());
+  const float* in = ssh.f32();
+  float* o = out.f32();
+  exec.run(0, nlat * nlon, [&](int64_t lo, int64_t hi, unsigned) {
+    for (int64_t ij = lo; ij < hi; ++ij)
+      scoreTS(in + ij * nt, static_cast<int>(nt), o + ij * nt);
+  });
+  return out;
+}
+
+} // namespace mmx::rt

@@ -1,0 +1,38 @@
+// C++ oracle for the ocean-eddy trough-scoring algorithm of Fig. 8
+// (getTrough / computeArea / scoreTS). Integration tests run the paper's
+// extended-C program through the translator+interpreter and compare its
+// output against these functions, element for element.
+#pragma once
+
+#include <vector>
+
+#include "runtime/matrix.hpp"
+#include "runtime/pool.hpp"
+
+namespace mmx::rt {
+
+/// A trough: the subsequence [begin, end] of the series between two local
+/// maxima (paper Fig. 8, getTrough).
+struct Trough {
+  std::vector<float> values;
+  int begin = 0;
+  int end = 0;
+};
+
+/// Walks down then up from index i (getTrough). Precondition: i is at a
+/// local maximum or the series start after trimming.
+Trough getTrough(const float* ts, int n, int i);
+
+/// Area between the peak-to-peak line and the trough (computeArea):
+/// sum over the trough of (line(x) - trough(x)).
+float computeArea(const std::vector<float>& areaOfInterest);
+
+/// Scores one time series: every point of each trough receives that
+/// trough's area (scoreTS). `out` must have n floats.
+void scoreTS(const float* ts, int n, float* out);
+
+/// Maps scoreTS over the third dimension of a rank-3 SSH matrix — the
+/// matrixMap(scoreTS, data, [2]) of Fig. 8 — in parallel over (lat, lon).
+Matrix scoreAllSeries(Executor& exec, const Matrix& ssh);
+
+} // namespace mmx::rt

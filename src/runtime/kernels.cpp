@@ -1,0 +1,357 @@
+#include "runtime/kernels.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/simd.hpp"
+
+namespace mmx::rt {
+
+namespace {
+
+void requireSameShape(const Matrix& a, const Matrix& b, const char* what) {
+  if (a.elem() != b.elem() || a.rank() != b.rank())
+    throw std::invalid_argument(std::string(what) + ": kind/rank mismatch");
+  for (uint32_t d = 0; d < a.rank(); ++d)
+    if (a.dim(d) != b.dim(d))
+      throw std::invalid_argument(std::string(what) + ": shape mismatch");
+}
+
+template <class T> T applyBin(BinOp op, T a, T b) {
+  switch (op) {
+    case BinOp::Add: return a + b;
+    case BinOp::Sub: return a - b;
+    case BinOp::Mul: return a * b;
+    case BinOp::Div: return a / b;
+    case BinOp::Mod:
+      if constexpr (std::is_integral_v<T>) return a % b;
+      else return std::fmod(a, b);
+    case BinOp::Min: return a < b ? a : b;
+    case BinOp::Max: return a > b ? a : b;
+  }
+  return T{};
+}
+
+template <class T> bool applyCmp(CmpOp op, T a, T b) {
+  switch (op) {
+    case CmpOp::Lt: return a < b;
+    case CmpOp::Le: return a <= b;
+    case CmpOp::Gt: return a > b;
+    case CmpOp::Ge: return a >= b;
+    case CmpOp::Eq: return a == b;
+    case CmpOp::Ne: return a != b;
+  }
+  return false;
+}
+
+Vec4f applyBinV(BinOp op, Vec4f a, Vec4f b) {
+  switch (op) {
+    case BinOp::Add: return a + b;
+    case BinOp::Sub: return a - b;
+    case BinOp::Mul: return a * b;
+    case BinOp::Div: return a / b;
+    case BinOp::Min: return a.min(b);
+    case BinOp::Max: return a.max(b);
+    case BinOp::Mod: break; // no SSE mod; caller falls back to scalar
+  }
+  return Vec4f::zero();
+}
+
+Vec4i applyBinVI(BinOp op, Vec4i a, Vec4i b) {
+  switch (op) {
+    case BinOp::Add: return a + b;
+    case BinOp::Sub: return a - b;
+    case BinOp::Mul: return a * b;
+    default: break; // others fall back to scalar
+  }
+  return Vec4i::zero();
+}
+
+bool simdSupportsF(BinOp op) { return op != BinOp::Mod; }
+bool simdSupportsI(BinOp op) {
+  return op == BinOp::Add || op == BinOp::Sub || op == BinOp::Mul;
+}
+
+// Generic element-wise driver: b may be null (scalar broadcast via sb).
+struct EwCtx {
+  BinOp op;
+  const Matrix* a;
+  const Matrix* b;
+  Matrix* out;
+  float sf;
+  int32_t si;
+  bool simd;
+};
+
+void ewRangeF(EwCtx& c, int64_t lo, int64_t hi) {
+  const float* a = c.a->f32();
+  float* o = c.out->f32();
+  int64_t i = lo;
+  if (c.simd && simdSupportsF(c.op)) {
+    if (c.b) {
+      const float* b = c.b->f32();
+      for (; i + 4 <= hi; i += 4)
+        applyBinV(c.op, Vec4f::load(a + i), Vec4f::load(b + i)).store(o + i);
+    } else {
+      Vec4f s = Vec4f::splat(c.sf);
+      for (; i + 4 <= hi; i += 4)
+        applyBinV(c.op, Vec4f::load(a + i), s).store(o + i);
+    }
+  }
+  if (c.b) {
+    const float* b = c.b->f32();
+    for (; i < hi; ++i) o[i] = applyBin(c.op, a[i], b[i]);
+  } else {
+    for (; i < hi; ++i) o[i] = applyBin(c.op, a[i], c.sf);
+  }
+}
+
+void ewRangeI(EwCtx& c, int64_t lo, int64_t hi) {
+  const int32_t* a = c.a->i32();
+  int32_t* o = c.out->i32();
+  int64_t i = lo;
+  if (c.simd && simdSupportsI(c.op)) {
+    if (c.b) {
+      const int32_t* b = c.b->i32();
+      for (; i + 4 <= hi; i += 4)
+        applyBinVI(c.op, Vec4i::load(a + i), Vec4i::load(b + i)).store(o + i);
+    } else {
+      Vec4i s = Vec4i::splat(c.si);
+      for (; i + 4 <= hi; i += 4)
+        applyBinVI(c.op, Vec4i::load(a + i), s).store(o + i);
+    }
+  }
+  if (c.b) {
+    const int32_t* b = c.b->i32();
+    for (; i < hi; ++i) o[i] = applyBin(c.op, a[i], b[i]);
+  } else {
+    for (; i < hi; ++i) o[i] = applyBin(c.op, a[i], c.si);
+  }
+}
+
+void ewDispatch(Executor& exec, EwCtx& c) {
+  int64_t n = c.a->size();
+  exec.run(0, n, [&c](int64_t lo, int64_t hi, unsigned) {
+    if (c.a->elem() == Elem::F32)
+      ewRangeF(c, lo, hi);
+    else
+      ewRangeI(c, lo, hi);
+  });
+}
+
+void ensureOut(Matrix& out, Elem e, const Matrix& like) {
+  if (out.null() || out.elem() != e || out.size() != like.size() ||
+      out.rank() != like.rank())
+    out = Matrix::zeros(e, like.dims());
+}
+
+} // namespace
+
+void ewBinary(Executor& exec, BinOp op, const Matrix& a, const Matrix& b,
+              Matrix& out, bool simd) {
+  requireSameShape(a, b, "ewBinary");
+  if (a.elem() == Elem::Bool)
+    throw std::invalid_argument("ewBinary: arithmetic on bool matrix");
+  ensureOut(out, a.elem(), a);
+  EwCtx c{op, &a, &b, &out, 0.f, 0, simd};
+  ewDispatch(exec, c);
+}
+
+void ewBinaryScalarF(Executor& exec, BinOp op, const Matrix& a, float s,
+                     Matrix& out, bool simd) {
+  if (a.elem() != Elem::F32)
+    throw std::invalid_argument("ewBinaryScalarF: f32 matrix required");
+  ensureOut(out, Elem::F32, a);
+  EwCtx c{op, &a, nullptr, &out, s, 0, simd};
+  ewDispatch(exec, c);
+}
+
+void ewBinaryScalarI(Executor& exec, BinOp op, const Matrix& a, int32_t s,
+                     Matrix& out, bool simd) {
+  if (a.elem() != Elem::I32)
+    throw std::invalid_argument("ewBinaryScalarI: i32 matrix required");
+  ensureOut(out, Elem::I32, a);
+  EwCtx c{op, &a, nullptr, &out, 0.f, s, simd};
+  ewDispatch(exec, c);
+}
+
+namespace {
+struct CmpCtx {
+  CmpOp op;
+  const Matrix* a;
+  const Matrix* b;
+  Matrix* out;
+  float sf;
+  int32_t si;
+};
+
+void cmpRange(CmpCtx& c, int64_t lo, int64_t hi) {
+  uint8_t* o = c.out->boolean();
+  if (c.a->elem() == Elem::F32) {
+    const float* a = c.a->f32();
+    if (c.b) {
+      const float* b = c.b->f32();
+      for (int64_t i = lo; i < hi; ++i) o[i] = applyCmp(c.op, a[i], b[i]);
+    } else {
+      for (int64_t i = lo; i < hi; ++i) o[i] = applyCmp(c.op, a[i], c.sf);
+    }
+  } else {
+    const int32_t* a = c.a->i32();
+    if (c.b) {
+      const int32_t* b = c.b->i32();
+      for (int64_t i = lo; i < hi; ++i) o[i] = applyCmp(c.op, a[i], b[i]);
+    } else {
+      for (int64_t i = lo; i < hi; ++i) o[i] = applyCmp(c.op, a[i], c.si);
+    }
+  }
+}
+} // namespace
+
+void ewCompare(Executor& exec, CmpOp op, const Matrix& a, const Matrix& b,
+               Matrix& out) {
+  requireSameShape(a, b, "ewCompare");
+  ensureOut(out, Elem::Bool, a);
+  CmpCtx c{op, &a, &b, &out, 0.f, 0};
+  exec.run(0, a.size(),
+           [&c](int64_t lo, int64_t hi, unsigned) { cmpRange(c, lo, hi); });
+}
+
+void ewCompareScalarF(Executor& exec, CmpOp op, const Matrix& a, float s,
+                      Matrix& out) {
+  ensureOut(out, Elem::Bool, a);
+  CmpCtx c{op, &a, nullptr, &out, s, 0};
+  exec.run(0, a.size(),
+           [&c](int64_t lo, int64_t hi, unsigned) { cmpRange(c, lo, hi); });
+}
+
+void ewCompareScalarI(Executor& exec, CmpOp op, const Matrix& a, int32_t s,
+                      Matrix& out) {
+  ensureOut(out, Elem::Bool, a);
+  CmpCtx c{op, &a, nullptr, &out, 0.f, s};
+  exec.run(0, a.size(),
+           [&c](int64_t lo, int64_t hi, unsigned) { cmpRange(c, lo, hi); });
+}
+
+Matrix matmul(Executor& exec, const Matrix& a, const Matrix& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.elem() != b.elem())
+    throw std::invalid_argument("matmul: two rank-2 matrices of one kind");
+  if (a.dim(1) != b.dim(0))
+    throw std::invalid_argument("matmul: inner dimensions disagree");
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Matrix out = Matrix::zeros(a.elem(), {m, n});
+  if (a.elem() == Elem::F32) {
+    const float* A = a.f32();
+    const float* B = b.f32();
+    float* O = out.f32();
+    exec.run(0, m, [&](int64_t lo, int64_t hi, unsigned) {
+      for (int64_t i = lo; i < hi; ++i)
+        for (int64_t kk = 0; kk < k; ++kk) {
+          float av = A[i * k + kk];
+          const float* Brow = B + kk * n;
+          float* Orow = O + i * n;
+          for (int64_t j = 0; j < n; ++j) Orow[j] += av * Brow[j];
+        }
+    });
+  } else if (a.elem() == Elem::I32) {
+    const int32_t* A = a.i32();
+    const int32_t* B = b.i32();
+    int32_t* O = out.i32();
+    exec.run(0, m, [&](int64_t lo, int64_t hi, unsigned) {
+      for (int64_t i = lo; i < hi; ++i)
+        for (int64_t kk = 0; kk < k; ++kk) {
+          int32_t av = A[i * k + kk];
+          for (int64_t j = 0; j < n; ++j)
+            O[i * n + j] += av * B[kk * n + j];
+        }
+    });
+  } else {
+    throw std::invalid_argument("matmul: bool matrices not supported");
+  }
+  return out;
+}
+
+namespace {
+/// Identity element so partial accumulators don't double-apply the fold's
+/// base value (it must be folded in exactly once). Only the associative
+/// fold operators the extension accepts are listed.
+template <class T> T identityOf(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return T{0};
+    case BinOp::Mul: return T{1};
+    case BinOp::Min: return std::numeric_limits<T>::max();
+    case BinOp::Max: return std::numeric_limits<T>::lowest();
+    default:
+      throw std::invalid_argument("reduce: fold operator must be associative "
+                                  "(+, *, min, max)");
+  }
+}
+} // namespace
+
+float reduceF32(Executor& exec, BinOp op, float init, const Matrix& a,
+                bool simd) {
+  if (a.elem() != Elem::F32)
+    throw std::invalid_argument("reduceF32: f32 matrix required");
+  const float ident = identityOf<float>(op);
+  unsigned nt = exec.threads();
+  std::vector<float> partial(nt, ident);
+  const float* d = a.f32();
+  exec.run(0, a.size(), [&](int64_t lo, int64_t hi, unsigned tid) {
+    float acc = ident;
+    int64_t i = lo;
+    if (simd && op == BinOp::Add) {
+      Vec4f vacc = Vec4f::zero();
+      for (; i + 4 <= hi; i += 4) vacc = vacc + Vec4f::load(d + i);
+      acc += vacc.hsum();
+    }
+    for (; i < hi; ++i) acc = applyBin(op, acc, d[i]);
+    partial[tid] = acc;
+  });
+  float r = init;
+  for (float p : partial) r = applyBin(op, r, p);
+  return r;
+}
+
+int32_t reduceI32(Executor& exec, BinOp op, int32_t init, const Matrix& a) {
+  if (a.elem() != Elem::I32)
+    throw std::invalid_argument("reduceI32: i32 matrix required");
+  const int32_t ident = identityOf<int32_t>(op);
+  unsigned nt = exec.threads();
+  std::vector<int32_t> partial(nt, ident);
+  const int32_t* d = a.i32();
+  exec.run(0, a.size(), [&](int64_t lo, int64_t hi, unsigned tid) {
+    int32_t acc = ident;
+    for (int64_t i = lo; i < hi; ++i) acc = applyBin(op, acc, d[i]);
+    partial[tid] = acc;
+  });
+  int32_t r = init;
+  for (int32_t p : partial) r = applyBin(op, r, p);
+  return r;
+}
+
+void sumInnermost3D(Executor& exec, const Matrix& a, Matrix& out, bool simd) {
+  if (a.rank() != 3 || a.elem() != Elem::F32)
+    throw std::invalid_argument("sumInnermost3D: rank-3 f32 required");
+  int64_t m = a.dim(0), n = a.dim(1), p = a.dim(2);
+  if (out.null() || out.rank() != 2 || out.dim(0) != m || out.dim(1) != n)
+    out = Matrix::zeros(Elem::F32, {m, n});
+  const float* D = a.f32();
+  float* O = out.f32();
+  exec.run(0, m * n, [&](int64_t lo, int64_t hi, unsigned) {
+    for (int64_t ij = lo; ij < hi; ++ij) {
+      const float* row = D + ij * p;
+      float acc = 0.f;
+      int64_t k = 0;
+      if (simd) {
+        Vec4f vacc = Vec4f::zero();
+        for (; k + 4 <= p; k += 4) vacc = vacc + Vec4f::load(row + k);
+        acc = vacc.hsum();
+      }
+      for (; k < p; ++k) acc += row[k];
+      O[ij] = acc;
+    }
+  });
+}
+
+} // namespace mmx::rt

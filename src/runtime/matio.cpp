@@ -1,0 +1,54 @@
+#include "runtime/matio.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace mmx::rt {
+
+static constexpr char kMagic[4] = {'M', 'M', 'X', '1'};
+
+void writeMatrixFile(const std::string& path, const Matrix& m) {
+  if (m.null()) throw std::runtime_error("writeMatrixFile: null matrix");
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("writeMatrixFile: cannot open " + path);
+  f.write(kMagic, 4);
+  uint8_t e = static_cast<uint8_t>(m.elem());
+  uint8_t r = static_cast<uint8_t>(m.rank());
+  f.write(reinterpret_cast<const char*>(&e), 1);
+  f.write(reinterpret_cast<const char*>(&r), 1);
+  for (uint32_t d = 0; d < m.rank(); ++d) {
+    int64_t dim = m.dim(d);
+    f.write(reinterpret_cast<const char*>(&dim), 8);
+  }
+  f.write(m.data<char>(),
+          static_cast<std::streamsize>(m.size() * elemSize(m.elem())));
+  if (!f) throw std::runtime_error("writeMatrixFile: write failed: " + path);
+}
+
+Matrix readMatrixFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("readMatrixFile: cannot open " + path);
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("readMatrixFile: bad magic in " + path);
+  uint8_t e = 0, r = 0;
+  f.read(reinterpret_cast<char*>(&e), 1);
+  f.read(reinterpret_cast<char*>(&r), 1);
+  if (!f || e > 2 || r == 0 || r > Matrix::kMaxRank)
+    throw std::runtime_error("readMatrixFile: bad header in " + path);
+  std::vector<int64_t> dims(r);
+  for (uint8_t d = 0; d < r; ++d) {
+    f.read(reinterpret_cast<char*>(&dims[d]), 8);
+    if (!f || dims[d] < 0)
+      throw std::runtime_error("readMatrixFile: bad dimension in " + path);
+  }
+  Matrix m = Matrix::zeros(static_cast<Elem>(e), dims);
+  f.read(m.data<char>(),
+         static_cast<std::streamsize>(m.size() * elemSize(m.elem())));
+  if (!f) throw std::runtime_error("readMatrixFile: truncated data in " + path);
+  return m;
+}
+
+} // namespace mmx::rt

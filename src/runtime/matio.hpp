@@ -1,0 +1,19 @@
+// Binary matrix file I/O: the runtime behind the extension's readMatrix /
+// writeMatrix built-ins. Format: magic "MMX1", u8 elem kind, u8 rank,
+// i64 dims[rank], then raw row-major element data (little-endian host).
+#pragma once
+
+#include <string>
+
+#include "runtime/matrix.hpp"
+
+namespace mmx::rt {
+
+/// Writes `m` to `path`. Throws std::runtime_error on I/O failure.
+void writeMatrixFile(const std::string& path, const Matrix& m);
+
+/// Reads a matrix written by writeMatrixFile. Throws std::runtime_error on
+/// I/O failure or malformed content.
+Matrix readMatrixFile(const std::string& path);
+
+} // namespace mmx::rt

@@ -1,0 +1,141 @@
+#include "runtime/matrix.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace mmx::rt {
+
+size_t elemSize(Elem e) {
+  switch (e) {
+    case Elem::I32: return 4;
+    case Elem::F32: return 4;
+    case Elem::Bool: return 1;
+  }
+  return 0;
+}
+
+const char* elemName(Elem e) {
+  switch (e) {
+    case Elem::I32: return "int";
+    case Elem::F32: return "float";
+    case Elem::Bool: return "bool";
+  }
+  return "?";
+}
+
+static int64_t countOf(const std::vector<int64_t>& dims) {
+  int64_t n = 1;
+  for (int64_t d : dims) {
+    if (d < 0) throw std::invalid_argument("negative matrix dimension");
+    n *= d;
+  }
+  return n;
+}
+
+Matrix Matrix::zeros(Elem e, const std::vector<int64_t>& dims) {
+  if (dims.empty() || dims.size() > kMaxRank)
+    throw std::invalid_argument("matrix rank must be 1.." +
+                                std::to_string(kMaxRank));
+  int64_t n = countOf(dims);
+  size_t bytes = sizeof(Header) + static_cast<size_t>(n) * elemSize(e);
+  RcPtr<char> buf = RcPtr<char>::allocate(bytes); // zero-initialized
+  Matrix m(std::move(buf));
+  Header* h = m.hdr();
+  h->elem = e;
+  h->rank = static_cast<uint32_t>(dims.size());
+  for (size_t i = 0; i < dims.size(); ++i) h->dims[i] = dims[i];
+  return m;
+}
+
+Matrix Matrix::fromF32(const std::vector<int64_t>& dims,
+                       const std::vector<float>& data) {
+  Matrix m = zeros(Elem::F32, dims);
+  if (static_cast<int64_t>(data.size()) != m.size())
+    throw std::invalid_argument("fromF32: data/shape mismatch");
+  std::memcpy(m.f32(), data.data(), data.size() * sizeof(float));
+  return m;
+}
+
+Matrix Matrix::fromI32(const std::vector<int64_t>& dims,
+                       const std::vector<int32_t>& data) {
+  Matrix m = zeros(Elem::I32, dims);
+  if (static_cast<int64_t>(data.size()) != m.size())
+    throw std::invalid_argument("fromI32: data/shape mismatch");
+  std::memcpy(m.i32(), data.data(), data.size() * sizeof(int32_t));
+  return m;
+}
+
+Matrix Matrix::fromBool(const std::vector<int64_t>& dims,
+                        const std::vector<uint8_t>& data) {
+  Matrix m = zeros(Elem::Bool, dims);
+  if (static_cast<int64_t>(data.size()) != m.size())
+    throw std::invalid_argument("fromBool: data/shape mismatch");
+  std::memcpy(m.boolean(), data.data(), data.size());
+  return m;
+}
+
+std::vector<int64_t> Matrix::dims() const {
+  const Header* h = hdr();
+  return std::vector<int64_t>(h->dims, h->dims + h->rank);
+}
+
+int64_t Matrix::size() const {
+  const Header* h = hdr();
+  int64_t n = 1;
+  for (uint32_t i = 0; i < h->rank; ++i) n *= h->dims[i];
+  return n;
+}
+
+int64_t Matrix::offsetOf(const int64_t* idx) const {
+  const Header* h = hdr();
+  int64_t off = 0;
+  for (uint32_t i = 0; i < h->rank; ++i) {
+    assert(idx[i] >= 0 && idx[i] < h->dims[i]);
+    off = off * h->dims[i] + idx[i];
+  }
+  return off;
+}
+
+Matrix Matrix::clone() const {
+  if (null()) return {};
+  Matrix m = zeros(elem(), dims());
+  std::memcpy(m.data<char>(), data<char>(),
+              static_cast<size_t>(size()) * elemSize(elem()));
+  return m;
+}
+
+bool Matrix::equals(const Matrix& o, float tolF32) const {
+  if (null() || o.null()) return null() == o.null();
+  if (elem() != o.elem() || rank() != o.rank()) return false;
+  for (uint32_t d = 0; d < rank(); ++d)
+    if (dim(d) != o.dim(d)) return false;
+  int64_t n = size();
+  switch (elem()) {
+    case Elem::F32:
+      for (int64_t i = 0; i < n; ++i)
+        if (std::fabs(f32()[i] - o.f32()[i]) > tolF32) return false;
+      return true;
+    case Elem::I32:
+      return std::memcmp(i32(), o.i32(), n * 4) == 0;
+    case Elem::Bool:
+      for (int64_t i = 0; i < n; ++i)
+        if ((boolean()[i] != 0) != (o.boolean()[i] != 0)) return false;
+      return true;
+  }
+  return false;
+}
+
+std::string Matrix::shapeString() const {
+  if (null()) return "<null>";
+  std::ostringstream out;
+  for (uint32_t i = 0; i < rank(); ++i) {
+    if (i) out << 'x';
+    out << dim(i);
+  }
+  out << ' ' << elemName(elem());
+  return out.str();
+}
+
+} // namespace mmx::rt

@@ -1,0 +1,97 @@
+// The matrix runtime object (paper §III-A1, §III-C): dense row-major
+// storage of int / float / bool elements with arbitrary rank, built on the
+// reference-counting cells of refcount.hpp. Matrix handles copy in O(1)
+// (retain) — the deep-copy/no-copy distinction is what the paper's
+// with-loop fusion optimization is about, and tests assert on it.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "runtime/refcount.hpp"
+
+namespace mmx::rt {
+
+/// Element kinds supported by the extension ("matrices can only contain
+/// integers, booleans, or floating point numbers").
+enum class Elem : uint8_t { I32, F32, Bool };
+
+size_t elemSize(Elem e);
+const char* elemName(Elem e);
+
+/// A rank-<=8 dense matrix handle. Copying shares the buffer (refcounted);
+/// use clone() for a deep copy. Default-constructed handles are null.
+class Matrix {
+public:
+  static constexpr uint32_t kMaxRank = 8;
+
+  Matrix() = default;
+
+  /// Zero-initialized matrix (the extension's init()).
+  static Matrix zeros(Elem e, const std::vector<int64_t>& dims);
+
+  /// Convenience constructors used by tests and examples.
+  static Matrix fromF32(const std::vector<int64_t>& dims,
+                        const std::vector<float>& data);
+  static Matrix fromI32(const std::vector<int64_t>& dims,
+                        const std::vector<int32_t>& data);
+  static Matrix fromBool(const std::vector<int64_t>& dims,
+                         const std::vector<uint8_t>& data);
+
+  bool null() const { return !buf_; }
+  Elem elem() const { return hdr()->elem; }
+  uint32_t rank() const { return hdr()->rank; }
+  int64_t dim(uint32_t d) const { return hdr()->dims[d]; }
+  std::vector<int64_t> dims() const;
+  /// Total element count.
+  int64_t size() const;
+
+  /// Raw data access (T must match elem()).
+  template <class T> T* data() const {
+    return reinterpret_cast<T*>(payload() + sizeof(Header));
+  }
+  float* f32() const { return data<float>(); }
+  int32_t* i32() const { return data<int32_t>(); }
+  uint8_t* boolean() const { return data<uint8_t>(); }
+
+  /// Row-major linear offset of an index vector.
+  int64_t offsetOf(const int64_t* idx) const;
+
+  /// Deep copy (fresh buffer, count 1).
+  Matrix clone() const;
+
+  /// Reference count of the underlying buffer (tests/fusion asserts).
+  int32_t useCount() const { return buf_.useCount(); }
+
+  /// True if both handles share one buffer.
+  bool sharesBufferWith(const Matrix& o) const {
+    return buf_.get() == o.buf_.get();
+  }
+
+  /// Element-level equality (same elem kind, dims, and contents).
+  bool equals(const Matrix& o, float tolF32 = 0.0f) const;
+
+  std::string shapeString() const; // "721x1440x954 f32"
+
+private:
+  struct alignas(16) Header {
+    uint32_t rank;
+    Elem elem;
+    uint8_t pad_[11];
+    int64_t dims[kMaxRank];
+  };
+  static_assert(sizeof(Header) % 16 == 0,
+                "element data must stay 16-byte aligned for SSE");
+
+  Header* hdr() const { return reinterpret_cast<Header*>(payload()); }
+  char* payload() const { return reinterpret_cast<char*>(buf_.get()); }
+
+  explicit Matrix(RcPtr<char> buf) : buf_(std::move(buf)) {}
+
+  RcPtr<char> buf_;
+};
+
+} // namespace mmx::rt

@@ -1,0 +1,109 @@
+#include "runtime/pool.hpp"
+
+#include <algorithm>
+#include <immintrin.h>
+
+namespace mmx::rt {
+
+namespace {
+/// Spin-then-yield wait. Pure spinning deadlocks progress on machines with
+/// fewer cores than threads, so after a short busy phase we yield.
+template <class Pred> void spinUntil(Pred&& done) {
+  for (int i = 0; i < 256; ++i) {
+    if (done()) return;
+    _mm_pause();
+  }
+  while (!done()) std::this_thread::yield();
+}
+/// Static partition shared by both executors.
+void staticChunk(int64_t lo, int64_t hi, unsigned tid, unsigned n,
+                 int64_t& clo, int64_t& chi) {
+  int64_t total = hi - lo;
+  int64_t base = total / n;
+  int64_t rem = total % n;
+  clo = lo + base * tid + std::min<int64_t>(tid, rem);
+  chi = clo + base + (tid < static_cast<unsigned>(rem) ? 1 : 0);
+}
+
+} // namespace
+
+void ForkJoinPool::chunkOf(int64_t lo, int64_t hi, unsigned tid, unsigned n,
+                           int64_t& clo, int64_t& chi) {
+  staticChunk(lo, hi, tid, n, clo, chi);
+}
+
+ForkJoinPool::ForkJoinPool(unsigned nThreads)
+    : nThreads_(nThreads ? nThreads : 1) {
+  workers_.reserve(nThreads_ - 1);
+  for (unsigned t = 1; t < nThreads_; ++t)
+    workers_.emplace_back([this, t] { workerLoop(t); });
+}
+
+ForkJoinPool::~ForkJoinPool() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  gen_.fetch_add(1, std::memory_order_release); // release parked workers
+  for (auto& w : workers_) w.join();
+}
+
+void ForkJoinPool::workerLoop(unsigned tid) {
+  uint64_t seen = 0;
+  for (;;) {
+    // Park in the spin gate until the main thread advances the generation.
+    spinUntil([&] { return gen_.load(std::memory_order_acquire) != seen; });
+    seen = gen_.load(std::memory_order_acquire);
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+
+    int64_t clo, chi;
+    chunkOf(lo_, hi_, tid, nThreads_, clo, chi);
+    if (chi > clo) fn_(ctx_, clo, chi, tid);
+
+    // Stop barrier: last one out lets the main thread continue.
+    running_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ForkJoinPool::parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) {
+  if (hi <= lo) return;
+  if (nThreads_ == 1) {
+    fn(ctx, lo, hi, 0);
+    return;
+  }
+
+  // Publish the work item, then open the gate.
+  fn_ = fn;
+  ctx_ = ctx;
+  lo_ = lo;
+  hi_ = hi;
+  running_.store(nThreads_ - 1, std::memory_order_relaxed);
+  gen_.fetch_add(1, std::memory_order_release);
+
+  // Main thread is worker 0.
+  int64_t clo, chi;
+  chunkOf(lo, hi, 0, nThreads_, clo, chi);
+  if (chi > clo) fn(ctx, clo, chi, 0);
+
+  // Wait in the stop barrier for the workers.
+  spinUntil([&] { return running_.load(std::memory_order_acquire) == 0; });
+}
+
+void NaiveForkJoin::parallelFor(int64_t lo, int64_t hi, RangeFn fn,
+                                void* ctx) {
+  if (hi <= lo) return;
+  if (nThreads_ == 1) {
+    fn(ctx, lo, hi, 0);
+    return;
+  }
+  std::vector<std::thread> ts;
+  ts.reserve(nThreads_ - 1);
+  for (unsigned t = 1; t < nThreads_; ++t) {
+    int64_t clo, chi;
+    staticChunk(lo, hi, t, nThreads_, clo, chi);
+    if (chi > clo) ts.emplace_back([=] { fn(ctx, clo, chi, t); });
+  }
+  int64_t clo, chi;
+  staticChunk(lo, hi, 0, nThreads_, clo, chi);
+  if (chi > clo) fn(ctx, clo, chi, 0);
+  for (auto& t : ts) t.join();
+}
+
+} // namespace mmx::rt

@@ -1,0 +1,106 @@
+// Enhanced fork-join thread pool (paper §III-C, after SAC's multithreaded
+// runtime): worker threads are spawned once at startup and parked in a
+// spin gate; a parallel region releases all of them with a single
+// generation-counter store, each executes its static chunk of the
+// iteration space, passes through a stop barrier, and re-parks. The main
+// thread executes its own chunk and waits in the stop barrier.
+//
+// NaiveForkJoin is the baseline the paper argues against: it spawns and
+// joins fresh threads for every parallel region (bench_forkjoin measures
+// the difference).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mmx::rt {
+
+/// Loop body: [lo, hi) sub-range plus the executing worker id
+/// (0 = main thread, 1..N-1 = pool workers).
+using RangeFn = void (*)(void* ctx, int64_t lo, int64_t hi, unsigned tid);
+
+/// Abstract fork-join executor so kernels and the interpreter can run on
+/// either implementation.
+class Executor {
+public:
+  virtual ~Executor() = default;
+  virtual unsigned threads() const = 0;
+  /// Runs `fn` over [lo, hi) split into one static chunk per thread
+  /// (the with-loop partitioning of §III-C).
+  virtual void parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) = 0;
+
+  /// Lambda convenience (Fn: void(int64_t lo, int64_t hi, unsigned tid)).
+  template <class Fn> void run(int64_t lo, int64_t hi, Fn&& fn) {
+    auto thunk = [](void* c, int64_t l, int64_t h, unsigned t) {
+      (*static_cast<Fn*>(c))(l, h, t);
+    };
+    parallelFor(lo, hi, thunk, &fn);
+  }
+};
+
+/// Serial executor (threads() == 1); baseline for scaling sweeps.
+class SerialExecutor final : public Executor {
+public:
+  unsigned threads() const override { return 1; }
+  void parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) override {
+    if (hi > lo) fn(ctx, lo, hi, 0);
+  }
+};
+
+/// The enhanced fork-join pool.
+class ForkJoinPool final : public Executor {
+public:
+  /// Spawns nThreads-1 workers (the main thread is worker 0). nThreads
+  /// must be >= 1. Workers spin briefly then yield — correct (if slower)
+  /// on machines with fewer cores than threads.
+  explicit ForkJoinPool(unsigned nThreads);
+  ~ForkJoinPool() override;
+
+  ForkJoinPool(const ForkJoinPool&) = delete;
+  ForkJoinPool& operator=(const ForkJoinPool&) = delete;
+
+  unsigned threads() const override { return nThreads_; }
+  void parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) override;
+
+  /// Number of release/park cycles each worker has completed (tests).
+  uint64_t generation() const {
+    return gen_.load(std::memory_order_relaxed);
+  }
+
+private:
+  void workerLoop(unsigned tid);
+  static void chunkOf(int64_t lo, int64_t hi, unsigned tid, unsigned n,
+                      int64_t& clo, int64_t& chi);
+
+  unsigned nThreads_;
+  std::vector<std::thread> workers_;
+
+  // Start gate: workers spin until gen_ advances past their last seen
+  // value. Work descriptor is published before the gen_ store (release).
+  std::atomic<uint64_t> gen_{0};
+  std::atomic<bool> shutdown_{false};
+
+  // Current work item.
+  RangeFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  int64_t lo_ = 0, hi_ = 0;
+
+  // Stop barrier: count of workers still running the current region.
+  std::atomic<unsigned> running_{0};
+};
+
+/// Baseline: fork/join per region with fresh std::threads.
+class NaiveForkJoin final : public Executor {
+public:
+  explicit NaiveForkJoin(unsigned nThreads) : nThreads_(nThreads ? nThreads : 1) {}
+  unsigned threads() const override { return nThreads_; }
+  void parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) override;
+
+private:
+  unsigned nThreads_;
+};
+
+} // namespace mmx::rt

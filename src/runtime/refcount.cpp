@@ -1,0 +1,76 @@
+#include "runtime/refcount.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace mmx::rt {
+
+namespace {
+
+// 16-byte header keeps the payload SSE-aligned; the live 4 bytes are the
+// counter, as in the paper ("we attach an extra 4 bytes to every piece of
+// memory that gets allocated").
+struct alignas(16) RcHeader {
+  std::atomic<int32_t> count;
+};
+static_assert(sizeof(RcHeader) == 16);
+
+RcAllocHooks g_hooks{};
+std::atomic<int64_t> g_live{0};
+
+RcHeader* headerOf(const void* payload) noexcept {
+  return const_cast<RcHeader*>(reinterpret_cast<const RcHeader*>(payload) - 1);
+}
+
+void* rawAlloc(size_t bytes) {
+  if (g_hooks.alloc) return g_hooks.alloc(bytes);
+  return ::operator new(bytes, std::align_val_t{16});
+}
+
+void rawFree(void* p) {
+  if (g_hooks.free) {
+    g_hooks.free(p);
+    return;
+  }
+  ::operator delete(p, std::align_val_t{16});
+}
+
+} // namespace
+
+void setRcAllocHooks(RcAllocHooks hooks) { g_hooks = hooks; }
+
+void* rcAlloc(size_t bytes) {
+  auto* h = static_cast<RcHeader*>(rawAlloc(sizeof(RcHeader) + bytes));
+  new (h) RcHeader{};
+  h->count.store(1, std::memory_order_relaxed);
+  g_live.fetch_add(1, std::memory_order_relaxed);
+  return h + 1;
+}
+
+void rcRetain(void* p) noexcept {
+  headerOf(p)->count.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool rcRelease(void* p) noexcept {
+  if (!p) return false;
+  RcHeader* h = headerOf(p);
+  // Release ordering so prior writes to the payload are visible to the
+  // thread that performs the free; acquire on the final decrement.
+  if (h->count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    g_live.fetch_sub(1, std::memory_order_relaxed);
+    h->~RcHeader();
+    rawFree(h);
+    return true;
+  }
+  return false;
+}
+
+int32_t rcCount(const void* p) noexcept {
+  return headerOf(p)->count.load(std::memory_order_relaxed);
+}
+
+int64_t rcLiveBlocks() noexcept {
+  return g_live.load(std::memory_order_relaxed);
+}
+
+} // namespace mmx::rt

@@ -1,0 +1,84 @@
+// 128-bit SSE vector wrappers (paper §V: "we use Intel's SSE which uses
+// 128 [bit] vectors. We fill each vector with 4 32-bit single-precision
+// floating point numbers"). The vectorize transformation lowers inner
+// loops to these operations; the interpreter executes them 4-wide.
+#pragma once
+
+#include <cstdint>
+#include <immintrin.h>
+
+namespace mmx::rt {
+
+/// Four packed f32 lanes.
+struct Vec4f {
+  __m128 v;
+
+  static Vec4f load(const float* p) { return {_mm_loadu_ps(p)}; }
+  static Vec4f splat(float x) { return {_mm_set1_ps(x)}; }
+  static Vec4f zero() { return {_mm_setzero_ps()}; }
+  void store(float* p) const { _mm_storeu_ps(p, v); }
+
+  friend Vec4f operator+(Vec4f a, Vec4f b) { return {_mm_add_ps(a.v, b.v)}; }
+  friend Vec4f operator-(Vec4f a, Vec4f b) { return {_mm_sub_ps(a.v, b.v)}; }
+  friend Vec4f operator*(Vec4f a, Vec4f b) { return {_mm_mul_ps(a.v, b.v)}; }
+  friend Vec4f operator/(Vec4f a, Vec4f b) { return {_mm_div_ps(a.v, b.v)}; }
+
+  Vec4f min(Vec4f b) const { return {_mm_min_ps(v, b.v)}; }
+  Vec4f max(Vec4f b) const { return {_mm_max_ps(v, b.v)}; }
+
+  float lane(int i) const {
+    alignas(16) float t[4];
+    _mm_store_ps(t, v);
+    return t[i];
+  }
+
+  /// Horizontal sum of the four lanes.
+  float hsum() const {
+    __m128 s = _mm_hadd_ps(v, v);
+    s = _mm_hadd_ps(s, s);
+    return _mm_cvtss_f32(s);
+  }
+  float hmin() const {
+    float m = lane(0);
+    for (int i = 1; i < 4; ++i) m = lane(i) < m ? lane(i) : m;
+    return m;
+  }
+  float hmax() const {
+    float m = lane(0);
+    for (int i = 1; i < 4; ++i) m = lane(i) > m ? lane(i) : m;
+    return m;
+  }
+};
+
+/// Four packed i32 lanes.
+struct Vec4i {
+  __m128i v;
+
+  static Vec4i load(const int32_t* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  static Vec4i splat(int32_t x) { return {_mm_set1_epi32(x)}; }
+  static Vec4i zero() { return {_mm_setzero_si128()}; }
+  void store(int32_t* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+
+  friend Vec4i operator+(Vec4i a, Vec4i b) {
+    return {_mm_add_epi32(a.v, b.v)};
+  }
+  friend Vec4i operator-(Vec4i a, Vec4i b) {
+    return {_mm_sub_epi32(a.v, b.v)};
+  }
+  friend Vec4i operator*(Vec4i a, Vec4i b) {
+    return {_mm_mullo_epi32(a.v, b.v)}; // SSE4.1
+  }
+
+  int32_t lane(int i) const {
+    alignas(16) int32_t t[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(t), v);
+    return t[i];
+  }
+  int32_t hsum() const { return lane(0) + lane(1) + lane(2) + lane(3); }
+};
+
+} // namespace mmx::rt

@@ -1,0 +1,104 @@
+#include "runtime/ssh_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmx::rt {
+
+namespace {
+/// SplitMix64: small, seedable, reproducible across platforms.
+struct SplitMix {
+  uint64_t s;
+  uint64_t next() {
+    s += 0x9e3779b97f4a7c15ull;
+    uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform float in [0,1).
+  float uni() { return static_cast<float>(next() >> 40) * 0x1p-24f; }
+  float range(float lo, float hi) { return lo + (hi - lo) * uni(); }
+};
+
+/// Deterministic per-cell noise (hash of coordinates + seed).
+float cellNoise(uint64_t seed, int64_t i, int64_t j, int64_t t) {
+  SplitMix m{seed ^ (static_cast<uint64_t>(i) * 0x100000001b3ull) ^
+             (static_cast<uint64_t>(j) * 0x9e3779b1ull) ^
+             (static_cast<uint64_t>(t) * 0x85ebca6bull)};
+  return m.uni() * 2.f - 1.f;
+}
+} // namespace
+
+std::vector<EddyTrack> makeTracks(const SshParams& p) {
+  SplitMix rng{p.seed};
+  std::vector<EddyTrack> tracks;
+  tracks.reserve(p.numEddies);
+  for (int e = 0; e < p.numEddies; ++e) {
+    EddyTrack t;
+    t.lat0 = rng.range(0.15f, 0.85f) * p.nlat;
+    t.lon0 = rng.range(0.15f, 0.85f) * p.nlon;
+    t.vlat = rng.range(-0.08f, 0.08f);
+    t.vlon = rng.range(-0.15f, 0.15f);
+    t.radius = rng.range(2.0f, 4.0f);
+    t.depth = rng.range(0.8f, 1.6f);
+    int span = static_cast<int>(rng.range(0.4f, 0.8f) * p.ntime);
+    t.t0 = static_cast<int>(rng.range(0.f, 0.2f) * p.ntime);
+    t.t1 = std::min<int>(t.t0 + span, static_cast<int>(p.ntime));
+    tracks.push_back(t);
+  }
+  return tracks;
+}
+
+Matrix synthesizeSsh(const SshParams& p) {
+  Matrix m = Matrix::zeros(Elem::F32, {p.nlat, p.nlon, p.ntime});
+  auto tracks = makeTracks(p);
+  float* d = m.f32();
+  const float twoPi = 6.2831853f;
+
+  for (int64_t i = 0; i < p.nlat; ++i) {
+    for (int64_t j = 0; j < p.nlon; ++j) {
+      float* series = d + (i * p.nlon + j) * p.ntime;
+      for (int64_t t = 0; t < p.ntime; ++t) {
+        // Large-scale swell + small bumps.
+        float v = p.baseAmp *
+                      std::sin(twoPi * (0.013f * i + 0.007f * j + 0.002f * t)) +
+                  p.noiseAmp * cellNoise(p.seed, i, j, t);
+        // Eddy depressions.
+        for (const EddyTrack& e : tracks) {
+          if (t < e.t0 || t >= e.t1) continue;
+          float clat = e.lat0 + e.vlat * (t - e.t0);
+          float clon = e.lon0 + e.vlon * (t - e.t0);
+          float di = i - clat, dj = j - clon;
+          float r2 = (di * di + dj * dj) / (2.f * e.radius * e.radius);
+          if (r2 < 9.f) v -= e.depth * std::exp(-r2);
+        }
+        series[t] = v;
+      }
+    }
+  }
+  return m;
+}
+
+Matrix eddyGroundTruth(const SshParams& p, float radiusScale) {
+  Matrix m = Matrix::zeros(Elem::Bool, {p.nlat, p.nlon, p.ntime});
+  auto tracks = makeTracks(p);
+  uint8_t* d = m.boolean();
+  for (int64_t i = 0; i < p.nlat; ++i)
+    for (int64_t j = 0; j < p.nlon; ++j)
+      for (int64_t t = 0; t < p.ntime; ++t) {
+        bool hit = false;
+        for (const EddyTrack& e : tracks) {
+          if (t < e.t0 || t >= e.t1) continue;
+          float clat = e.lat0 + e.vlat * (t - e.t0);
+          float clon = e.lon0 + e.vlon * (t - e.t0);
+          float di = i - clat, dj = j - clon;
+          float r = radiusScale * e.radius;
+          if (di * di + dj * dj <= r * r) { hit = true; break; }
+        }
+        d[(i * p.nlon + j) * p.ntime + t] = hit;
+      }
+  return m;
+}
+
+} // namespace mmx::rt

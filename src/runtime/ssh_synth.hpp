@@ -1,0 +1,47 @@
+// Synthetic sea-surface-height data (substitute for the proprietary
+// NASA/AVISO satellite SSH product the paper uses, shape 721x1440x954).
+// Travelling Gaussian depressions model mesoscale eddies: each leaves the
+// trough signature of Fig. 7 in the per-point time series (two local
+// maxima around a local minimum), on top of low-amplitude deterministic
+// "ocean restlessness" noise. Everything is seeded and reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/matrix.hpp"
+
+namespace mmx::rt {
+
+/// One synthetic eddy track.
+struct EddyTrack {
+  float lat0, lon0;   // start centre (grid units)
+  float vlat, vlon;   // drift per time step (grid units)
+  float radius;       // Gaussian sigma (grid units)
+  float depth;        // centre depression (positive; subtracted from SSH)
+  int t0, t1;         // active time steps [t0, t1)
+};
+
+/// Parameters of the synthetic field.
+struct SshParams {
+  int64_t nlat = 72;
+  int64_t nlon = 144;
+  int64_t ntime = 96;
+  uint64_t seed = 42;
+  int numEddies = 6;
+  float noiseAmp = 0.05f; // small "bumps" of Fig. 7
+  float baseAmp = 0.3f;   // smooth large-scale swell
+};
+
+/// Deterministic pseudo-random eddy tracks for the given parameters.
+std::vector<EddyTrack> makeTracks(const SshParams& p);
+
+/// Generates the rank-3 f32 SSH matrix (lat x lon x time).
+Matrix synthesizeSsh(const SshParams& p);
+
+/// Ground truth: true where some eddy centre is within `radiusScale`
+/// sigmas at time t (rank-3 bool, same shape). Used to sanity-check the
+/// detection pipeline end to end.
+Matrix eddyGroundTruth(const SshParams& p, float radiusScale = 1.0f);
+
+} // namespace mmx::rt

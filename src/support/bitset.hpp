@@ -1,0 +1,74 @@
+// A small dynamic bitset used for terminal sets (scanner valid-lookahead
+// sets, LALR lookahead sets). Header-only.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace mmx {
+
+/// Fixed-universe dynamic bitset. All operations assume both operands were
+/// created with the same universe size.
+class DynBitset {
+public:
+  DynBitset() = default;
+  explicit DynBitset(size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  size_t size() const { return nbits_; }
+
+  void set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void clear() { for (auto& w : words_) w = 0; }
+
+  bool any() const {
+    for (auto w : words_) if (w) return true;
+    return false;
+  }
+
+  size_t count() const {
+    size_t n = 0;
+    for (auto w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// this |= other; returns true if this changed. `other` may have a
+  /// smaller universe (extra high bits in `this` are left alone).
+  bool merge(const DynBitset& other) {
+    bool changed = false;
+    size_t n = words_.size() < other.words_.size() ? words_.size()
+                                                   : other.words_.size();
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t nw = words_[i] | other.words_[i];
+      if (nw != words_[i]) { words_[i] = nw; changed = true; }
+    }
+    return changed;
+  }
+
+  /// Calls fn(i) for every set bit, ascending.
+  template <class Fn> void forEach(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w) {
+        unsigned b = static_cast<unsigned>(__builtin_ctzll(w));
+        fn(wi * 64 + b);
+        w &= w - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const DynBitset& a, const DynBitset& b) {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+
+private:
+  size_t nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+} // namespace mmx

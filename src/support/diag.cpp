@@ -1,0 +1,42 @@
+#include "support/diag.hpp"
+
+#include <sstream>
+
+namespace mmx {
+
+bool DiagnosticEngine::hasErrors() const {
+  for (const auto& d : diags_)
+    if (d.severity == Severity::Error) return true;
+  return false;
+}
+
+size_t DiagnosticEngine::errorCount() const {
+  size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.severity == Severity::Error) ++n;
+  return n;
+}
+
+static const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string DiagnosticEngine::render(const SourceManager& sm) const {
+  std::ostringstream out;
+  for (const auto& d : diags_) {
+    if (d.range.valid()) {
+      LineCol lc = sm.lineCol(d.range.begin);
+      out << sm.name(d.range.begin.file) << ':' << lc.line << ':' << lc.col
+          << ": ";
+    }
+    out << severityName(d.severity) << ": " << d.message << '\n';
+  }
+  return out.str();
+}
+
+} // namespace mmx

@@ -1,0 +1,49 @@
+// Diagnostics: errors/warnings/notes carrying source locations. The engine
+// collects diagnostics during scanning, parsing, semantic analysis, and
+// the modular composability analyses, and can render them against a
+// SourceManager.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source.hpp"
+
+namespace mmx {
+
+enum class Severity { Note, Warning, Error };
+
+/// One reported problem.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceRange range;     // may be invalid for file-level problems
+  std::string message;
+};
+
+/// Accumulates diagnostics. Analyses append; drivers render and decide
+/// whether to continue (translation stops after errors, warnings don't).
+class DiagnosticEngine {
+public:
+  void error(SourceRange r, std::string msg) {
+    diags_.push_back({Severity::Error, r, std::move(msg)});
+  }
+  void warning(SourceRange r, std::string msg) {
+    diags_.push_back({Severity::Warning, r, std::move(msg)});
+  }
+  void note(SourceRange r, std::string msg) {
+    diags_.push_back({Severity::Note, r, std::move(msg)});
+  }
+
+  bool hasErrors() const;
+  size_t errorCount() const;
+  const std::vector<Diagnostic>& all() const { return diags_; }
+  void clear() { diags_.clear(); }
+
+  /// Renders every diagnostic as "file:line:col: severity: message\n".
+  std::string render(const SourceManager& sm) const;
+
+private:
+  std::vector<Diagnostic> diags_;
+};
+
+} // namespace mmx

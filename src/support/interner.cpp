@@ -1,0 +1,23 @@
+#include "support/interner.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mmx {
+
+Symbol Interner::intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return Symbol(it->second);
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return Symbol(id);
+}
+
+std::string_view Interner::text(Symbol s) const {
+  if (!s.valid() || s.id() >= strings_.size())
+    throw std::out_of_range("Interner::text: invalid symbol");
+  return strings_[s.id()];
+}
+
+} // namespace mmx

@@ -1,0 +1,62 @@
+// String interner: maps strings to small dense integer Symbols so that
+// grammar symbols, attribute names, and identifiers can be compared and
+// hashed in O(1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace mmx {
+
+/// An interned string. Symbols produced by the same Interner compare equal
+/// iff their source strings are equal. The default-constructed Symbol is
+/// invalid and compares unequal to every interned symbol.
+class Symbol {
+public:
+  constexpr Symbol() = default;
+
+  constexpr bool valid() const { return id_ != kInvalid; }
+  constexpr uint32_t id() const { return id_; }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend constexpr bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  friend constexpr bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+private:
+  friend class Interner;
+  explicit constexpr Symbol(uint32_t id) : id_(id) {}
+  static constexpr uint32_t kInvalid = 0xffffffffu;
+  uint32_t id_ = kInvalid;
+};
+
+/// Owns the string table backing Symbols. Not thread-safe; each Translator
+/// owns one Interner and all parsing/analysis for that translator happens on
+/// one thread (the generated *programs* run in parallel, not the compiler).
+class Interner {
+public:
+  /// Interns `s`, returning the canonical Symbol for it.
+  Symbol intern(std::string_view s);
+
+  /// Returns the string for a symbol interned by this interner.
+  std::string_view text(Symbol s) const;
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return strings_.size(); }
+
+private:
+  // Deque: growing never moves existing elements, so string_view keys into
+  // stored strings stay valid (a vector would move SSO buffers on realloc).
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+} // namespace mmx
+
+namespace std {
+template <> struct hash<mmx::Symbol> {
+  size_t operator()(mmx::Symbol s) const noexcept { return s.id(); }
+};
+} // namespace std

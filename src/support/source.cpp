@@ -1,0 +1,47 @@
+#include "support/source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmx {
+
+FileId SourceManager::add(std::string name, std::string text) {
+  File f;
+  f.name = std::move(name);
+  f.text = std::move(text);
+  f.lineStarts.push_back(0);
+  for (uint32_t i = 0; i < f.text.size(); ++i)
+    if (f.text[i] == '\n') f.lineStarts.push_back(i + 1);
+  files_.push_back(std::move(f));
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+std::string_view SourceManager::name(FileId f) const {
+  if (f >= files_.size()) throw std::out_of_range("SourceManager::name");
+  return files_[f].name;
+}
+
+std::string_view SourceManager::text(FileId f) const {
+  if (f >= files_.size()) throw std::out_of_range("SourceManager::text");
+  return files_[f].text;
+}
+
+LineCol SourceManager::lineCol(SourceLoc loc) const {
+  if (!loc.valid() || loc.file >= files_.size()) return {};
+  const auto& starts = files_[loc.file].lineStarts;
+  auto it = std::upper_bound(starts.begin(), starts.end(), loc.offset);
+  uint32_t line = static_cast<uint32_t>(it - starts.begin()); // 1-based
+  uint32_t col = loc.offset - starts[line - 1] + 1;
+  return {line, col};
+}
+
+std::string_view SourceManager::snippet(SourceRange r) const {
+  if (!r.valid() || r.begin.file >= files_.size()) return {};
+  std::string_view t = files_[r.begin.file].text;
+  uint32_t b = std::min<uint32_t>(r.begin.offset, t.size());
+  uint32_t e = std::min<uint32_t>(r.end, t.size());
+  if (e < b) e = b;
+  return t.substr(b, e - b);
+}
+
+} // namespace mmx

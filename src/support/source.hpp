@@ -1,0 +1,67 @@
+// Source buffers and locations. A SourceManager owns the text of every file
+// (or in-memory snippet) handed to a translator and converts byte offsets to
+// human-readable line/column pairs for diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmx {
+
+/// Identifies a buffer registered with a SourceManager.
+using FileId = uint32_t;
+inline constexpr FileId kNoFile = 0xffffffffu;
+
+/// A byte position within one source buffer.
+struct SourceLoc {
+  FileId file = kNoFile;
+  uint32_t offset = 0;
+
+  bool valid() const { return file != kNoFile; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Half-open byte range [begin, end) within one buffer.
+struct SourceRange {
+  SourceLoc begin;
+  uint32_t end = 0; // byte offset one past the last byte, same file as begin
+
+  bool valid() const { return begin.valid(); }
+  uint32_t length() const { return end - begin.offset; }
+};
+
+/// 1-based line/column pair, derived on demand.
+struct LineCol {
+  uint32_t line = 0;
+  uint32_t col = 0;
+};
+
+/// Owns source text. Buffers are immutable once added.
+class SourceManager {
+public:
+  /// Registers a buffer under the given display name; returns its id.
+  FileId add(std::string name, std::string text);
+
+  std::string_view name(FileId f) const;
+  std::string_view text(FileId f) const;
+
+  /// Converts an offset to 1-based line/column (O(log #lines)).
+  LineCol lineCol(SourceLoc loc) const;
+
+  /// The source text covered by a range.
+  std::string_view snippet(SourceRange r) const;
+
+  size_t fileCount() const { return files_.size(); }
+
+private:
+  struct File {
+    std::string name;
+    std::string text;
+    std::vector<uint32_t> lineStarts; // byte offset of each line start
+  };
+  std::vector<File> files_;
+};
+
+} // namespace mmx

@@ -1,0 +1,175 @@
+// Experiment A1 (paper §VI-A): the modular determinism analysis.
+//  - The matrix extension passes ("The domain-specific matrix extension
+//    does pass this test").
+//  - The bare-paren tuple extension FAILS because '(' is not a marking
+//    terminal ("the tuples extension does not, however") and is therefore
+//    packaged with the host.
+//  - The "(| |)" variant the paper suggests passes.
+//  - Compositions of passing extensions are conflict-free LALR(1) — the
+//    theorem's conclusion, verified empirically.
+#include "analysis/determinism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cminus/host_grammar.hpp"
+#include "ext_matrix/matrix_ext.hpp"
+#include "ext_refcount/refcount_ext.hpp"
+#include "ext_transform/transform_ext.hpp"
+#include "ext_tuple/tuple_ext.hpp"
+
+namespace mmx::analysis {
+namespace {
+
+ext::GrammarFragment hostWithTuples() {
+  // The Translator always packages the bare-paren tuple syntax with the
+  // host, so the "host" other extensions compose against includes it.
+  return ext::mergeFragments(cm::hostFragment(), cm::tupleFragment(),
+                             "host");
+}
+
+TEST(Determinism, HostAloneIsLalr1) {
+  auto host = hostWithTuples();
+  auto conflicts = composedConflicts(host, {});
+  EXPECT_TRUE(conflicts.empty()) << conflicts.front();
+}
+
+TEST(Determinism, MatrixExtensionPasses) {
+  auto host = hostWithTuples();
+  auto matrix = ext_matrix::matrixExtension()->grammarFragment();
+  DeterminismResult r = isComposable(host, matrix);
+  EXPECT_TRUE(r.composable)
+      << (r.problems.empty() ? "" : r.problems.front());
+}
+
+TEST(Determinism, RefcountExtensionPasses) {
+  auto host = hostWithTuples();
+  auto rc = ext_refcount::refcountExtension()->grammarFragment();
+  DeterminismResult r = isComposable(host, rc);
+  EXPECT_TRUE(r.composable)
+      << (r.problems.empty() ? "" : r.problems.front());
+}
+
+TEST(Determinism, BareParenTupleExtensionFails) {
+  // Treat tuples as an independent extension of the plain host: its
+  // initial '(' is a host terminal, so the marking condition fails —
+  // exactly the paper's negative example.
+  DeterminismResult r = isComposable(cm::hostFragment(), cm::tupleFragment());
+  EXPECT_FALSE(r.composable);
+  bool mentionsMarking = false;
+  for (const auto& p : r.problems)
+    if (p.find("marking terminal") != std::string::npos)
+      mentionsMarking = true;
+  EXPECT_TRUE(mentionsMarking);
+}
+
+TEST(Determinism, AltDelimiterTupleExtensionPasses) {
+  // The paper: "One could modify the tuple terminals to be '(|' and '|)'
+  // ... and thus pass this analysis."
+  DeterminismResult r =
+      isComposable(cm::hostFragment(), cm::tupleAltFragment());
+  EXPECT_TRUE(r.composable)
+      << (r.problems.empty() ? "" : r.problems.front());
+}
+
+TEST(Determinism, TransformExtensionPassesAgainstHostPlusMatrix) {
+  // §V's transformation extension extends the matrix constructs; its base
+  // language is host+matrix.
+  auto base = ext::mergeFragments(
+      hostWithTuples(), ext_matrix::matrixExtension()->grammarFragment(),
+      "host+matrix");
+  auto tf = ext_transform::transformExtension()->grammarFragment();
+  DeterminismResult r = isComposable(base, tf);
+  EXPECT_TRUE(r.composable)
+      << (r.problems.empty() ? "" : r.problems.front());
+}
+
+TEST(Determinism, FullCompositionIsConflictFree) {
+  // The theorem's conclusion, checked directly: host ∪ all passing
+  // extensions is LALR(1).
+  auto host = hostWithTuples();
+  auto matrix = ext_matrix::matrixExtension()->grammarFragment();
+  auto rc = ext_refcount::refcountExtension()->grammarFragment();
+  auto tf = ext_transform::transformExtension()->grammarFragment();
+  auto alt = cm::tupleAltFragment();
+  auto conflicts = composedConflicts(host, {&matrix, &rc, &tf, &alt});
+  EXPECT_TRUE(conflicts.empty()) << conflicts.front();
+}
+
+TEST(Determinism, NonMarkedExtensionIsRejected) {
+  // An extension whose new statement begins with a host token.
+  ext::GrammarFragment bad;
+  bad.name = "bad";
+  bad.terminals.push_back({"'atomic'", "atomic", true, 10, false});
+  // Starts with host '{' instead of its own keyword: not marked.
+  bad.productions.push_back(
+      {"Simple", {"'{'", "'atomic'", "'}'"}, "bad_atomic"});
+  DeterminismResult r = isComposable(cm::hostFragment(), bad);
+  EXPECT_FALSE(r.composable);
+}
+
+TEST(Determinism, MarkerReuseInsideExtensionIsRejected) {
+  ext::GrammarFragment bad;
+  bad.name = "bad2";
+  bad.terminals.push_back({"'gadget'", "gadget", true, 10, false});
+  bad.nonterminals.push_back("GadgetBody");
+  bad.productions.push_back(
+      {"Simple", {"'gadget'", "GadgetBody", "';'"}, "g_stmt"});
+  // Reuses the marking terminal in a non-initial position.
+  bad.productions.push_back(
+      {"GadgetBody", {"ID", "'gadget'", "ID"}, "g_body"});
+  DeterminismResult r = isComposable(cm::hostFragment(), bad);
+  EXPECT_FALSE(r.composable);
+  bool mentionsReuse = false;
+  for (const auto& p : r.problems)
+    if (p.find("reused") != std::string::npos) mentionsReuse = true;
+  EXPECT_TRUE(mentionsReuse);
+}
+
+TEST(Determinism, OperatorFormExtensionPasses) {
+  // MulE -> MulE '.**' Unary: left-recursive with a fresh operator token.
+  ext::GrammarFragment op;
+  op.name = "powop";
+  op.terminals.push_back({"'.**'", ".**", true, 6, false});
+  op.productions.push_back({"MulE", {"MulE", "'.**'", "Unary"}, "mul_pow"});
+  DeterminismResult r = isComposable(cm::hostFragment(), op);
+  EXPECT_TRUE(r.composable)
+      << (r.problems.empty() ? "" : r.problems.front());
+}
+
+TEST(Determinism, ConflictingExtensionReportedThroughLalrCheck) {
+  // Extension that makes the composition ambiguous: a second production
+  // for parenthesized expressions.
+  ext::GrammarFragment amb;
+  amb.name = "amb";
+  amb.terminals.push_back({"'wrap'", "wrap", true, 10, false});
+  amb.productions.push_back({"Primary", {"'('", "Expr", "')'"}, "prim_paren2"});
+  DeterminismResult r = isComposable(cm::hostFragment(), amb);
+  EXPECT_FALSE(r.composable);
+  bool mentionsLalr = false;
+  for (const auto& p : r.problems)
+    if (p.find("LALR") != std::string::npos) mentionsLalr = true;
+  EXPECT_TRUE(mentionsLalr);
+}
+
+TEST(Determinism, TwoIndependentKeywordExtensionsCompose) {
+  // The point of the theorem: extensions that never saw each other
+  // compose. Both also reuse the identifier-looking words as keywords
+  // only in their own context.
+  ext::GrammarFragment e1, e2;
+  e1.name = "alpha";
+  e1.terminals.push_back({"'alpha'", "alpha", true, 10, false});
+  e1.productions.push_back({"Primary", {"'alpha'", "'('", "Expr", "')'"},
+                            "prim_alpha"});
+  e2.name = "beta";
+  e2.terminals.push_back({"'beta'", "beta", true, 10, false});
+  e2.productions.push_back({"Primary", {"'beta'", "'('", "Expr", "')'"},
+                            "prim_beta"});
+  auto host = cm::hostFragment();
+  EXPECT_TRUE(isComposable(host, e1).composable);
+  EXPECT_TRUE(isComposable(host, e2).composable);
+  auto conflicts = composedConflicts(host, {&e1, &e2});
+  EXPECT_TRUE(conflicts.empty()) << conflicts.front();
+}
+
+} // namespace
+} // namespace mmx::analysis

@@ -1,0 +1,134 @@
+// Experiment A2 (paper §VI-B): the modular well-definedness analysis over
+// attribute-grammar declarations. All shipped extensions pass; synthetic
+// broken extensions (missing equations, non-host attribute without a
+// default) are caught.
+#include "analysis/welldef.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cminus/host_grammar.hpp"
+#include "cminus/sema.hpp"
+#include "ext_matrix/matrix_ext.hpp"
+#include "ext_refcount/refcount_ext.hpp"
+#include "ext_transform/transform_ext.hpp"
+
+namespace mmx::analysis {
+namespace {
+
+/// Builds the composed grammar + attr registry as the Translator does.
+struct Composition {
+  grammar::Grammar g;
+  attr::Registry reg;
+  DiagnosticEngine diags;
+  std::unique_ptr<cm::Sema> sema;
+
+  explicit Composition(bool withExtensions) {
+    auto host = cm::hostFragment();
+    auto tuple = cm::tupleFragment();
+    auto matrix = ext_matrix::matrixExtension()->grammarFragment();
+    auto rc = ext_refcount::refcountExtension()->grammarFragment();
+    auto tf = ext_transform::transformExtension()->grammarFragment();
+    std::vector<const ext::GrammarFragment*> frags{&host, &tuple};
+    if (withExtensions) {
+      frags.push_back(&matrix);
+      frags.push_back(&rc);
+      frags.push_back(&tf);
+    }
+    EXPECT_TRUE(ext::composeGrammar(frags, g, diags));
+    sema = std::make_unique<cm::Sema>(diags, reg);
+    cm::installHostSemantics(*sema);
+    if (withExtensions) {
+      ext_matrix::matrixExtension()->installSemantics(*sema);
+      ext_refcount::refcountExtension()->installSemantics(*sema);
+      ext_transform::transformExtension()->installSemantics(*sema);
+    }
+  }
+};
+
+TEST(Welldef, HostAloneIsComplete) {
+  Composition c(false);
+  WelldefResult r = checkWellDefined(c.g, c.reg);
+  EXPECT_TRUE(r.ok) << (r.problems.empty() ? "" : r.problems.front());
+}
+
+TEST(Welldef, FullCompositionIsComplete) {
+  // "All extensions described above pass this analysis."
+  Composition c(true);
+  WelldefResult r = checkWellDefined(c.g, c.reg);
+  EXPECT_TRUE(r.ok) << (r.problems.empty() ? "" : r.problems.front());
+}
+
+TEST(Welldef, MissingEquationIsReportedWithBothParties) {
+  Composition c(true);
+  // A new attribute that occurs on Primary but has equations nowhere.
+  attr::AttrId orphan = c.reg.declareRaw(
+      "orphanAttr", attr::AttrKind::Synthesized, "extX");
+  c.reg.occursOn(orphan, "Primary");
+  WelldefResult r = checkWellDefined(c.g, c.reg);
+  ASSERT_FALSE(r.ok);
+  // The report names the attribute's extension and a production's
+  // extension, so composition failures are attributable.
+  bool found = false;
+  for (const auto& p : r.problems)
+    if (p.find("orphanAttr") != std::string::npos &&
+        p.find("extX") != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Welldef, DefaultEquationSatisfiesAllProductions) {
+  Composition c(true);
+  attr::AttrId a =
+      c.reg.declareRaw("docString", attr::AttrKind::Synthesized, "extDocs");
+  c.reg.occursOn(a, "Primary");
+  c.reg.synDefault(a, [](const ast::NodePtr&, attr::Evaluator&) {
+    return std::any(std::string());
+  });
+  WelldefResult r = checkWellDefined(c.g, c.reg);
+  EXPECT_TRUE(r.ok) << (r.problems.empty() ? "" : r.problems.front());
+}
+
+TEST(Welldef, ModularRuleRequiresDefaultsForForeignAttributes) {
+  // Even a *currently complete* extension attribute violates the modular
+  // rule if it occurs on a host nonterminal without a default: some other
+  // extension's productions could never supply equations.
+  Composition c(true);
+  attr::AttrId a =
+      c.reg.declareRaw("cost", attr::AttrKind::Synthesized, "extCost");
+  c.reg.occursOn(a, "Primary");
+  // Exhaustively add equations for every current Primary production.
+  for (const auto& p : c.g.productions())
+    if (c.g.nonterminalName(p.lhs) == "Primary")
+      c.reg.synRaw(p.name, a, [](const ast::NodePtr&, attr::Evaluator&) {
+        return std::any(1);
+      });
+  EXPECT_TRUE(checkWellDefined(c.g, c.reg).ok);
+  WelldefResult modular = checkModularWellDefined(c.g, c.reg);
+  ASSERT_FALSE(modular.ok);
+  bool mentionsDefault = false;
+  for (const auto& p : modular.problems)
+    if (p.find("default") != std::string::npos) mentionsDefault = true;
+  EXPECT_TRUE(mentionsDefault);
+}
+
+TEST(Welldef, InheritedAttributesNeedSupplyOrAutocopy) {
+  Composition c(false);
+  attr::AttrId env =
+      c.reg.declareRaw("env2", attr::AttrKind::Inherited, "host");
+  c.reg.occursOn(env, "Expr");
+  WelldefResult r = checkWellDefined(c.g, c.reg);
+  ASSERT_FALSE(r.ok); // nobody supplies env2 to Expr children
+  c.reg.inhAutoCopy(env);
+  WelldefResult r2 = checkWellDefined(c.g, c.reg);
+  EXPECT_TRUE(r2.ok) << (r2.problems.empty() ? "" : r2.problems.front());
+}
+
+TEST(Welldef, UnattachedAttributeIsVacuouslyFine) {
+  Composition c(false);
+  c.reg.declareRaw("unused", attr::AttrKind::Synthesized, "extY");
+  EXPECT_TRUE(checkWellDefined(c.g, c.reg).ok);
+  EXPECT_TRUE(checkModularWellDefined(c.g, c.reg).ok);
+}
+
+} // namespace
+} // namespace mmx::analysis

@@ -1,0 +1,214 @@
+#include "attr/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parse/parser.hpp"
+#include "../parse/exprlang.hpp"
+
+namespace mmx::attr {
+namespace {
+
+using test::ExprLang;
+
+struct Fixture : ::testing::Test {
+  ExprLang lang;
+  SourceManager sm;
+  DiagnosticEngine diags;
+
+  ast::NodePtr parse(const std::string& text) {
+    parse::Parser parser(lang.g);
+    FileId f = sm.add("t.xc", text);
+    ast::NodePtr root = parser.parse(sm, f, diags);
+    EXPECT_TRUE(root) << diags.render(sm);
+    return root;
+  }
+};
+
+/// Declares a synthesized integer "eval" attribute over the expression
+/// grammar where each identifier's value is its length.
+Attribute<int> declareEval(Registry& reg) {
+  auto eval = reg.declare<int>("eval", AttrKind::Synthesized, "host");
+  reg.occursOn(eval.id, "E");
+  reg.occursOn(eval.id, "T");
+  reg.occursOn(eval.id, "F");
+  reg.syn("e_add", eval, [eval](const ast::NodePtr& n, Evaluator& ev) {
+    return std::any(ev.get(n->child(0), eval) + ev.get(n->child(2), eval));
+  });
+  reg.syn("e_t", eval, [eval](const ast::NodePtr& n, Evaluator& ev) {
+    return std::any(ev.get(n->child(0), eval));
+  });
+  reg.syn("t_mul", eval, [eval](const ast::NodePtr& n, Evaluator& ev) {
+    return std::any(ev.get(n->child(0), eval) * ev.get(n->child(2), eval));
+  });
+  reg.syn("t_f", eval, [eval](const ast::NodePtr& n, Evaluator& ev) {
+    return std::any(ev.get(n->child(0), eval));
+  });
+  reg.syn("f_paren", eval, [eval](const ast::NodePtr& n, Evaluator& ev) {
+    return std::any(ev.get(n->child(1), eval));
+  });
+  reg.syn("f_id", eval, [](const ast::NodePtr& n, Evaluator&) {
+    return std::any(static_cast<int>(n->child(0)->text().size()));
+  });
+  return eval;
+}
+
+TEST_F(Fixture, SynthesizedEvaluation) {
+  Registry reg;
+  auto eval = declareEval(reg);
+  Evaluator ev(reg);
+  // "ab + xyz * dd" -> 2 + 3*2 = 8
+  EXPECT_EQ(ev.get(parse("ab + xyz * dd"), eval), 8);
+}
+
+TEST_F(Fixture, MemoizationEvaluatesOnce) {
+  Registry reg;
+  auto eval = declareEval(reg);
+  int calls = 0;
+  auto counter = reg.declare<int>("counter", AttrKind::Synthesized, "host");
+  reg.synDefault(counter.id, [&calls, eval](const ast::NodePtr& n,
+                                            Evaluator& ev) {
+    ++calls;
+    return std::any(ev.get(n, eval));
+  });
+  Evaluator ev(reg);
+  auto root = parse("a + b");
+  EXPECT_EQ(ev.get(root, counter), 2);
+  EXPECT_EQ(ev.get(root, counter), 2);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(Fixture, MissingEquationThrowsWithProductionName) {
+  Registry reg;
+  auto a = reg.declare<int>("orphan", AttrKind::Synthesized, "extX");
+  Evaluator ev(reg);
+  auto root = parse("x");
+  try {
+    ev.get(root, a);
+    FAIL() << "expected MissingEquation";
+  } catch (const MissingEquation& e) {
+    EXPECT_NE(std::string(e.what()).find("orphan"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("e_t"), std::string::npos);
+  }
+}
+
+TEST_F(Fixture, DefaultEquationUsedWhenNoSpecificOne) {
+  Registry reg;
+  auto a = reg.declare<int>("answer", AttrKind::Synthesized, "host");
+  reg.synDefault(a.id, [](const ast::NodePtr&, Evaluator&) {
+    return std::any(42);
+  });
+  Evaluator ev(reg);
+  EXPECT_EQ(ev.get(parse("x"), a), 42);
+}
+
+TEST_F(Fixture, SpecificEquationBeatsDefault) {
+  Registry reg;
+  auto a = reg.declare<int>("answer", AttrKind::Synthesized, "host");
+  reg.synDefault(a.id, [](const ast::NodePtr&, Evaluator&) {
+    return std::any(42);
+  });
+  reg.syn("e_t", a, [](const ast::NodePtr&, Evaluator&) {
+    return std::any(7);
+  });
+  Evaluator ev(reg);
+  EXPECT_EQ(ev.get(parse("x"), a), 7);
+}
+
+TEST_F(Fixture, CycleDetected) {
+  Registry reg;
+  auto a = reg.declare<int>("selfloop", AttrKind::Synthesized, "host");
+  reg.synDefault(a.id, [a](const ast::NodePtr& n, Evaluator& ev) {
+    return std::any(ev.get(n, a)); // demands itself
+  });
+  Evaluator ev(reg);
+  EXPECT_THROW(ev.get(parse("x"), a), CycleError);
+}
+
+TEST_F(Fixture, InheritedDepthViaAutoCopyAndEquations) {
+  Registry reg;
+  auto depth = reg.declare<int>("depth", AttrKind::Inherited, "host");
+  // e_add increments depth for its operands; everything else copies.
+  reg.inhAutoCopy(depth.id);
+  reg.inh("e_add", 0, depth, [depth](const ast::NodePtr& parent, Evaluator& ev) {
+    return std::any(ev.get(parent, depth) + 1);
+  });
+  reg.inh("e_add", 2, depth, [depth](const ast::NodePtr& parent, Evaluator& ev) {
+    return std::any(ev.get(parent, depth) + 1);
+  });
+  Evaluator ev(reg);
+  auto root = parse("a + b + c");
+  ev.seed(root, depth, 0);
+  // root=(e_add (e_add a b) c): the inner e_add has depth 1, 'c' subtree 1,
+  // and a/b subtrees 2.
+  auto inner = root->child(0);
+  EXPECT_EQ(ev.get(inner, depth), 1);
+  EXPECT_EQ(ev.get(inner->child(0), depth), 2); // through autocopy chain
+  EXPECT_EQ(ev.get(root->child(2), depth), 1);
+}
+
+TEST_F(Fixture, UnseededInheritedOnRootThrows) {
+  Registry reg;
+  auto depth = reg.declare<int>("depth", AttrKind::Inherited, "host");
+  reg.inhAutoCopy(depth.id);
+  Evaluator ev(reg);
+  EXPECT_THROW(ev.get(parse("x"), depth), MissingEquation);
+}
+
+TEST_F(Fixture, SeedOverridesForDetachedTrees) {
+  Registry reg;
+  auto depth = reg.declare<int>("depth", AttrKind::Inherited, "host");
+  reg.inhAutoCopy(depth.id);
+  Evaluator ev(reg);
+  auto root = parse("x");
+  ev.seed(root, depth, 9);
+  EXPECT_EQ(ev.get(root, depth), 9);
+  EXPECT_EQ(ev.get(root->child(0), depth), 9); // autocopy below the seed
+}
+
+// Higher-order attribute: an attribute whose value is a freshly built tree
+// (paper §V uses these for the loop transformations). We synthesize a
+// "mirror" tree that swaps the operands of every e_add and check we can
+// evaluate attributes on it after seeding.
+TEST_F(Fixture, HigherOrderAttributeTreesAreEvaluable) {
+  Registry reg;
+  auto eval = declareEval(reg);
+  auto mirror =
+      reg.declare<ast::NodePtr>("mirror", AttrKind::Synthesized, "host");
+  reg.synDefault(mirror.id, [](const ast::NodePtr& n, Evaluator&) {
+    return std::any(ast::cloneTree(n)); // default: a fresh copy
+  });
+  reg.syn("e_add", mirror, [mirror](const ast::NodePtr& n, Evaluator& ev) {
+    // A new node with reversed operand order; children are clones, never
+    // the original program tree (makeNode re-parents its children).
+    auto m = ast::makeNode(n->prod,
+                           {ev.get(n->child(2), mirror),
+                            ast::cloneTree(n->child(1)),
+                            ev.get(n->child(0), mirror)},
+                           n->range);
+    return std::any(m);
+  });
+  Evaluator ev(reg);
+  auto root = parse("ab + xyz");
+  auto m = ev.get(root, mirror);
+  ASSERT_TRUE(m);
+  EXPECT_TRUE(m->is("e_add"));
+  // The mirrored tree's first child is the original RHS subtree ("xyz"->3).
+  // Fresh nodes get fresh attribute stores; evaluation works on them.
+  Evaluator ev2(reg);
+  EXPECT_EQ(ev2.get(m, eval), 5);
+}
+
+TEST_F(Fixture, RegistryRejectsKindMismatches) {
+  Registry reg;
+  auto syn = reg.declare<int>("s", AttrKind::Synthesized, "host");
+  auto inh = reg.declare<int>("i", AttrKind::Inherited, "host");
+  EXPECT_THROW(reg.inhRaw("e_add", 0, syn.id, {}), std::logic_error);
+  EXPECT_THROW(reg.synRaw("e_add", inh.id, {}), std::logic_error);
+  EXPECT_THROW(reg.inhAutoCopy(syn.id), std::logic_error);
+  Evaluator ev(reg);
+  auto root = parse("x");
+  EXPECT_THROW(ev.seedInherited(root, syn.id, std::any(1)), std::logic_error);
+}
+
+} // namespace
+} // namespace mmx::attr

@@ -1,0 +1,162 @@
+// Translator pipeline behaviour: composition guards, option plumbing,
+// extension selection (the §II "pick extensions like libraries" story),
+// and error paths.
+#include "driver/translator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ext_matrix/matrix_ext.hpp"
+#include "ext_refcount/refcount_ext.hpp"
+#include "ext_transform/transform_ext.hpp"
+#include "ext_tuple/tuple_ext.hpp"
+#include "interp/interp.hpp"
+
+namespace mmx::driver {
+namespace {
+
+TEST(Translator, HostOnlyProgramsWork) {
+  Translator t;
+  ASSERT_TRUE(t.compose()) << t.composeDiagnostics();
+  auto res = t.translate("p.xc",
+                         "int main() { printInt(6 * 7); return 0; }");
+  ASSERT_TRUE(res.ok) << res.diagnostics;
+  rt::SerialExecutor ex;
+  interp::Machine vm(*res.module, ex);
+  EXPECT_EQ(vm.runMain(), 0);
+  EXPECT_EQ(vm.output(), "42\n");
+}
+
+TEST(Translator, MatrixSyntaxUnavailableWithoutTheExtension) {
+  // Extensions are opt-in: without ext_matrix, `Matrix` is just an
+  // identifier and the program fails to parse as a declaration.
+  Translator t;
+  ASSERT_TRUE(t.compose());
+  auto res = t.translate(
+      "p.xc", "int main() { Matrix float <1> v = init(Matrix float <1>, 2); "
+              "return 0; }");
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Translator, TransformWithoutMatrixFailsToCompose) {
+  // The transform extension bridges into the matrix extension's WithTail;
+  // composing it alone must be rejected, not crash.
+  Translator t;
+  t.addExtension(ext_transform::transformExtension());
+  EXPECT_FALSE(t.compose());
+  EXPECT_NE(t.composeDiagnostics().find("WithTail"), std::string::npos);
+}
+
+TEST(Translator, ExtensionOrderIrrelevantForSemantics) {
+  auto run = [](bool matrixFirst) {
+    Translator t;
+    if (matrixFirst) {
+      t.addExtension(ext_matrix::matrixExtension());
+      t.addExtension(ext_refcount::refcountExtension());
+    } else {
+      t.addExtension(ext_refcount::refcountExtension());
+      t.addExtension(ext_matrix::matrixExtension());
+    }
+    EXPECT_TRUE(t.compose()) << t.composeDiagnostics();
+    auto res = t.translate("p.xc", R"(
+int main() {
+  refptr float p = rcalloc(float, 3);
+  p[1] = 2.5;
+  Matrix float <1> v = init(Matrix float <1>, 2);
+  v[0] = p[1] * 2.0;
+  printFloat(v[0]);
+  return 0;
+})");
+    EXPECT_TRUE(res.ok) << res.diagnostics;
+    rt::SerialExecutor ex;
+    interp::Machine vm(*res.module, ex);
+    vm.runMain();
+    return vm.output();
+  };
+  EXPECT_EQ(run(true), "5\n");
+  EXPECT_EQ(run(false), "5\n");
+}
+
+TEST(Translator, AltTupleExtensionComposesAndRuns) {
+  Translator t;
+  t.addExtension(ext_tuple::tupleAltExtension());
+  ASSERT_TRUE(t.compose()) << t.composeDiagnostics();
+  auto res = t.translate("p.xc", R"(
+(| int, int |) two() { return (| 3, 4 |); }
+int main() {
+  int a = 0;
+  int b = 0;
+  (a, b) = two();
+  printInt(a * 10 + b);
+  return 0;
+})");
+  ASSERT_TRUE(res.ok) << res.diagnostics;
+  rt::SerialExecutor ex;
+  interp::Machine vm(*res.module, ex);
+  vm.runMain();
+  EXPECT_EQ(vm.output(), "34\n");
+}
+
+TEST(Translator, TranslateBeforeComposeIsAnError) {
+  Translator t;
+  auto res = t.translate("p.xc", "int main() { return 0; }");
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.diagnostics.find("not composed"), std::string::npos);
+}
+
+TEST(Translator, ParseErrorsCarryLocations) {
+  Translator t;
+  ASSERT_TRUE(t.compose());
+  auto res = t.translate("bad.xc", "int main() { int x = ; return 0; }");
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.diagnostics.find("bad.xc:1:"), std::string::npos)
+      << res.diagnostics;
+}
+
+TEST(Translator, MultipleTranslationsAreIndependent) {
+  Translator t;
+  t.addExtension(ext_matrix::matrixExtension());
+  ASSERT_TRUE(t.compose());
+  // An erroneous program must not poison later translations.
+  EXPECT_FALSE(t.translate("a.xc", "int main() { return nope; }").ok);
+  auto res = t.translate("b.xc", "int main() { return 0; }");
+  EXPECT_TRUE(res.ok) << res.diagnostics;
+  // Same function names across programs are fine (fresh Sema each time).
+  auto res2 = t.translate("c.xc", "int f() { return 1; } "
+                                  "int main() { return f(); }");
+  EXPECT_TRUE(res2.ok) << res2.diagnostics;
+}
+
+TEST(Translator, OptionsReachTheLowering) {
+  Translator t;
+  t.addExtension(ext_matrix::matrixExtension());
+  TranslateOptions opts;
+  opts.autoParallel = false;
+  ASSERT_TRUE(t.compose(opts));
+  auto res = t.translate("p.xc", R"(
+int main() {
+  Matrix int <1> v = with ([0] <= [i] < [4]) genarray([4], i);
+  printInt(v[3]);
+  return 0;
+})");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(ir::dump(*res.module).find("#pragma parallel"),
+            std::string::npos);
+}
+
+TEST(Translator, GrammarAccessorsExposeComposition) {
+  Translator t;
+  t.addExtension(ext_matrix::matrixExtension());
+  ASSERT_TRUE(t.compose());
+  // Host + tuple + matrix productions present.
+  bool sawWith = false, sawTuple = false;
+  for (const auto& p : t.grammar().productions()) {
+    if (p.name == "prim_with") sawWith = true;
+    if (p.name == "prim_tuple") sawTuple = true;
+  }
+  EXPECT_TRUE(sawWith);
+  EXPECT_TRUE(sawTuple);
+  EXPECT_TRUE(t.parser()->tables().conflicts().empty());
+}
+
+} // namespace
+} // namespace mmx::driver

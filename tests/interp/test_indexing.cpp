@@ -1,0 +1,283 @@
+// MATLAB-style indexing semantics (paper §III-A3) executed through the IR:
+// the four selector kinds on both sides of assignment, in combinations, on
+// matrices of arbitrary rank.
+#include <gtest/gtest.h>
+
+#include "interp/interp.hpp"
+
+namespace mmx::interp {
+namespace {
+
+using namespace mmx::ir;
+using rt::Matrix;
+
+/// Builds a function "idx" taking a matrix and returning expr-with-dims
+/// applied to it, then runs it on `input`.
+Value runIndex(std::vector<IndexDim> dims, const Matrix& input) {
+  Module m;
+  Function* f = m.add("idx");
+  f->numParams = 1;
+  f->rets = {Ty::Mat}; // checked loosely; scalar results also pass through
+  f->addLocal("m", Ty::Mat);
+  auto e = std::make_unique<Expr>();
+  e->k = Expr::K::Index;
+  e->ty = Ty::Mat;
+  e->args.push_back(var(0, Ty::Mat));
+  e->dims = std::move(dims);
+  std::vector<ExprPtr> rv;
+  rv.push_back(std::move(e));
+  std::vector<StmtPtr> body;
+  body.push_back(ret(std::move(rv)));
+  f->body = block(std::move(body));
+  rt::SerialExecutor ex;
+  Machine vm(m, ex);
+  return vm.call("idx", {input})[0];
+}
+
+IndexDim scalarD(int32_t v) {
+  IndexDim d;
+  d.kind = IndexDim::Kind::Scalar;
+  d.a = constI(v);
+  return d;
+}
+IndexDim rangeD(int32_t a, int32_t b) {
+  IndexDim d;
+  d.kind = IndexDim::Kind::Range;
+  d.a = constI(a);
+  d.b = constI(b);
+  return d;
+}
+IndexDim allD() {
+  IndexDim d;
+  d.kind = IndexDim::Kind::All;
+  return d;
+}
+
+Matrix m34() {
+  // [[0,1,2,3],[10,11,12,13],[20,21,22,23]]
+  std::vector<float> v;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j) v.push_back(static_cast<float>(10 * i + j));
+  return Matrix::fromF32({3, 4}, v);
+}
+
+TEST(Indexing, AllScalarsExtractElement) {
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(1));
+  dims.push_back(scalarD(2));
+  Value r = runIndex(std::move(dims), m34());
+  EXPECT_FLOAT_EQ(std::get<float>(r), 12.f);
+}
+
+TEST(Indexing, RangeIsInclusive) {
+  // data[0:1, 1:3] -> 2x3 (paper: 0:4 yields five elements)
+  std::vector<IndexDim> dims;
+  dims.push_back(rangeD(0, 1));
+  dims.push_back(rangeD(1, 3));
+  Matrix r = std::get<Matrix>(runIndex(std::move(dims), m34()));
+  EXPECT_TRUE(r.equals(Matrix::fromF32({2, 3}, {1, 2, 3, 11, 12, 13})));
+}
+
+TEST(Indexing, WholeDimensionColon) {
+  // data[1, :] -> vector of row 1 (scalar dim dropped)
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(1));
+  dims.push_back(allD());
+  Matrix r = std::get<Matrix>(runIndex(std::move(dims), m34()));
+  EXPECT_EQ(r.rank(), 1u);
+  EXPECT_TRUE(r.equals(Matrix::fromF32({4}, {10, 11, 12, 13})));
+}
+
+TEST(Indexing, ColumnExtraction) {
+  std::vector<IndexDim> dims;
+  dims.push_back(allD());
+  dims.push_back(scalarD(0));
+  Matrix r = std::get<Matrix>(runIndex(std::move(dims), m34()));
+  EXPECT_TRUE(r.equals(Matrix::fromF32({3}, {0, 10, 20})));
+}
+
+TEST(Indexing, LogicalMaskSelectsRows) {
+  // data[mask, :] with mask = {true,false,true} -> 2x4
+  Module m;
+  Function* f = m.add("idx");
+  f->numParams = 2;
+  f->rets = {Ty::Mat};
+  f->addLocal("m", Ty::Mat);
+  f->addLocal("mask", Ty::Mat);
+  auto e = std::make_unique<Expr>();
+  e->k = Expr::K::Index;
+  e->ty = Ty::Mat;
+  e->args.push_back(var(0, Ty::Mat));
+  IndexDim d0;
+  d0.kind = IndexDim::Kind::Mask;
+  d0.a = var(1, Ty::Mat);
+  e->dims.push_back(std::move(d0));
+  e->dims.push_back(allD());
+  std::vector<ExprPtr> rv;
+  rv.push_back(std::move(e));
+  std::vector<StmtPtr> body;
+  body.push_back(ret(std::move(rv)));
+  f->body = block(std::move(body));
+  rt::SerialExecutor ex;
+  Machine vm(m, ex);
+  Matrix mask = Matrix::fromBool({3}, {1, 0, 1});
+  Matrix r = std::get<Matrix>(vm.call("idx", {m34(), mask})[0]);
+  EXPECT_TRUE(
+      r.equals(Matrix::fromF32({2, 4}, {0, 1, 2, 3, 20, 21, 22, 23})));
+}
+
+TEST(Indexing, PaperCombination) {
+  // Rank-3: data[0, end, :] — scalar, scalar(end), all → rank-1 of dim 2.
+  Matrix d = Matrix::zeros(rt::Elem::F32, {2, 3, 4});
+  for (int64_t i = 0; i < d.size(); ++i) d.f32()[i] = static_cast<float>(i);
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(0));
+  dims.push_back(scalarD(2)); // `end` of a 3-wide dim lowers to dimSize-1=2
+  dims.push_back(allD());
+  Matrix r = std::get<Matrix>(runIndex(std::move(dims), d));
+  EXPECT_EQ(r.rank(), 1u);
+  EXPECT_EQ(r.dim(0), 4);
+  EXPECT_FLOAT_EQ(r.f32()[0], 8.f); // d[0,2,0] = 0*12 + 2*4 + 0
+}
+
+TEST(Indexing, SliceAlongThirdDimension) {
+  // Fig. 1's mat[i, j, :]: the per-point time series.
+  Matrix d = Matrix::zeros(rt::Elem::F32, {2, 2, 5});
+  for (int64_t i = 0; i < d.size(); ++i) d.f32()[i] = static_cast<float>(i);
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(1));
+  dims.push_back(scalarD(0));
+  dims.push_back(allD());
+  Matrix r = std::get<Matrix>(runIndex(std::move(dims), d));
+  EXPECT_TRUE(r.equals(Matrix::fromF32({5}, {10, 11, 12, 13, 14})));
+}
+
+TEST(Indexing, EmptyMaskYieldsEmptyMatrix) {
+  Module m;
+  Function* f = m.add("idx");
+  f->numParams = 2;
+  f->rets = {Ty::Mat};
+  f->addLocal("m", Ty::Mat);
+  f->addLocal("mask", Ty::Mat);
+  auto e = std::make_unique<Expr>();
+  e->k = Expr::K::Index;
+  e->ty = Ty::Mat;
+  e->args.push_back(var(0, Ty::Mat));
+  IndexDim d0;
+  d0.kind = IndexDim::Kind::Mask;
+  d0.a = var(1, Ty::Mat);
+  e->dims.push_back(std::move(d0));
+  e->dims.push_back(allD());
+  std::vector<ExprPtr> rv;
+  rv.push_back(std::move(e));
+  std::vector<StmtPtr> body;
+  body.push_back(ret(std::move(rv)));
+  f->body = block(std::move(body));
+  rt::SerialExecutor ex;
+  Machine vm(m, ex);
+  Matrix mask = Matrix::fromBool({3}, {0, 0, 0});
+  Matrix r = std::get<Matrix>(vm.call("idx", {m34(), mask})[0]);
+  EXPECT_EQ(r.dim(0), 0);
+}
+
+TEST(Indexing, OutOfBoundsReported) {
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(5));
+  dims.push_back(scalarD(0));
+  EXPECT_THROW(runIndex(std::move(dims), m34()), RuntimeError);
+}
+
+TEST(Indexing, RankMismatchReported) {
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(0));
+  EXPECT_THROW(runIndex(std::move(dims), m34()), RuntimeError);
+}
+
+// ---- indexed assignment (LHS) -------------------------------------------
+
+/// Builds "upd(m, v)" performing m[dims] = v and returning m.
+Value runIndexStore(std::vector<IndexDim> dims, const Matrix& input,
+                    Value val) {
+  Module m;
+  Function* f = m.add("upd");
+  f->numParams = 2;
+  f->rets = {Ty::Mat};
+  f->addLocal("m", Ty::Mat);
+  f->addLocal("v", tyOf(val));
+  auto st = std::make_unique<Stmt>();
+  st->k = Stmt::K::IndexStore;
+  st->slot = 0;
+  st->dims = std::move(dims);
+  st->exprs.push_back(var(1, tyOf(val)));
+  std::vector<StmtPtr> body;
+  body.push_back(std::move(st));
+  std::vector<ExprPtr> rv;
+  rv.push_back(var(0, Ty::Mat));
+  body.push_back(ret(std::move(rv)));
+  f->body = block(std::move(body));
+  rt::SerialExecutor ex;
+  Machine vm(m, ex);
+  return vm.call("upd", {input.clone(), std::move(val)})[0];
+}
+
+TEST(IndexStore, ScalarElementAssignment) {
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(0));
+  dims.push_back(scalarD(3));
+  Matrix r = std::get<Matrix>(runIndexStore(std::move(dims), m34(), 99.f));
+  EXPECT_FLOAT_EQ(r.f32()[3], 99.f);
+  EXPECT_FLOAT_EQ(r.f32()[4], 10.f); // neighbours untouched
+}
+
+TEST(IndexStore, ScalarBroadcastOverRange) {
+  std::vector<IndexDim> dims;
+  dims.push_back(allD());
+  dims.push_back(rangeD(1, 2));
+  Matrix r = std::get<Matrix>(runIndexStore(std::move(dims), m34(), 0.f));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(r.f32()[i * 4 + 1], 0.f);
+    EXPECT_FLOAT_EQ(r.f32()[i * 4 + 2], 0.f);
+    EXPECT_NE(r.f32()[i * 4 + 3], 0.f);
+  }
+}
+
+TEST(IndexStore, MatrixValueIntoSlice) {
+  // scores[beginning:i] = computeArea(...) of Fig. 8: a vector into an
+  // inclusive range.
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(1));
+  dims.push_back(rangeD(1, 3));
+  Matrix v = Matrix::fromF32({3}, {7, 8, 9});
+  Matrix r = std::get<Matrix>(runIndexStore(std::move(dims), m34(), v));
+  EXPECT_FLOAT_EQ(r.f32()[4 + 1], 7.f);
+  EXPECT_FLOAT_EQ(r.f32()[4 + 2], 8.f);
+  EXPECT_FLOAT_EQ(r.f32()[4 + 3], 9.f);
+}
+
+TEST(IndexStore, SizeMismatchReported) {
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(1));
+  dims.push_back(rangeD(1, 3));
+  Matrix v = Matrix::fromF32({2}, {7, 8});
+  EXPECT_THROW(runIndexStore(std::move(dims), m34(), v), RuntimeError);
+}
+
+TEST(IndexStore, ElementKindMismatchReported) {
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(1));
+  dims.push_back(rangeD(1, 3));
+  Matrix v = Matrix::fromI32({3}, {7, 8, 9});
+  EXPECT_THROW(runIndexStore(std::move(dims), m34(), v), RuntimeError);
+}
+
+TEST(IndexStore, WholeMatrixThroughColons) {
+  std::vector<IndexDim> dims;
+  dims.push_back(allD());
+  dims.push_back(allD());
+  Matrix v = Matrix::zeros(rt::Elem::F32, {3, 4});
+  Matrix r = std::get<Matrix>(runIndexStore(std::move(dims), m34(), v));
+  for (int64_t i = 0; i < 12; ++i) EXPECT_FLOAT_EQ(r.f32()[i], 0.f);
+}
+
+} // namespace
+} // namespace mmx::interp

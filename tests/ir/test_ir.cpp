@@ -1,0 +1,129 @@
+// IR utilities: construction helpers, deep cloning (the transformation
+// extension's foundation), and the pseudo-C dump the structure tests
+// assert against.
+#include "ir/ir.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx::ir {
+namespace {
+
+Function* makeFn(Module& m) {
+  Function* f = m.add("f");
+  f->numParams = 0;
+  f->addLocal("x", Ty::I32);
+  f->addLocal("y", Ty::F32);
+  f->addLocal("mat", Ty::Mat);
+  return f;
+}
+
+TEST(Ir, DumpRendersOperatorsAndTypes) {
+  Module m;
+  Function* f = makeFn(m);
+  std::vector<StmtPtr> body;
+  body.push_back(assign(
+      0, arith(ArithOp::Add, constI(1),
+               arith(ArithOp::Mul, constI(2), constI(3), Ty::I32), Ty::I32)));
+  body.push_back(assign(1, cast(Ty::F32, var(0, Ty::I32))));
+  f->body = block(std::move(body));
+  std::string d = dump(*f);
+  EXPECT_NE(d.find("x = (1 + (2 * 3));"), std::string::npos) << d;
+  EXPECT_NE(d.find("y = (float)(x);"), std::string::npos);
+}
+
+TEST(Ir, DumpShowsLoopAnnotations) {
+  Module m;
+  Function* f = makeFn(m);
+  StmtPtr loop = forLoop(0, constI(0), constI(8),
+                         storeFlat(2, var(0, Ty::I32), constF(1.f)), "i");
+  loop->parallel = true;
+  loop->vecWidth = 4;
+  std::vector<StmtPtr> body;
+  body.push_back(std::move(loop));
+  f->body = block(std::move(body));
+  std::string d = dump(*f);
+  EXPECT_NE(d.find("#pragma parallel"), std::string::npos);
+  EXPECT_NE(d.find("#pragma vectorize 4"), std::string::npos);
+  EXPECT_NE(d.find("for (x = 0; x < 8; x++)"), std::string::npos);
+}
+
+TEST(Ir, CloneStmtIsDeepAndPreservesAnnotations) {
+  Module m;
+  Function* f = makeFn(m);
+  (void)f;
+  StmtPtr loop = forLoop(0, constI(0), constI(10),
+                         assign(1, arith(ArithOp::Add, var(1, Ty::F32),
+                                         constF(2.f), Ty::F32)),
+                         "i");
+  loop->parallel = true;
+  loop->vecWidth = 4;
+  StmtPtr copy = cloneStmt(*loop);
+
+  EXPECT_TRUE(copy->parallel);
+  EXPECT_EQ(copy->vecWidth, 4);
+  EXPECT_EQ(copy->loopName, "i");
+  // Mutating the copy leaves the original untouched.
+  copy->loopName = "j";
+  copy->exprs[1]->i = 99;
+  EXPECT_EQ(loop->loopName, "i");
+  EXPECT_EQ(loop->exprs[1]->i, 10);
+  // The body is a distinct allocation.
+  EXPECT_NE(copy->kids[0].get(), loop->kids[0].get());
+}
+
+TEST(Ir, CloneExprCopiesIndexSelectors) {
+  auto e = std::make_unique<Expr>();
+  e->k = Expr::K::Index;
+  e->ty = Ty::Mat;
+  e->args.push_back(var(2, Ty::Mat));
+  IndexDim d0;
+  d0.kind = IndexDim::Kind::Range;
+  d0.a = constI(1);
+  d0.b = constI(5);
+  e->dims.push_back(std::move(d0));
+  IndexDim d1;
+  d1.kind = IndexDim::Kind::All;
+  e->dims.push_back(std::move(d1));
+
+  ExprPtr c = cloneExpr(*e);
+  ASSERT_EQ(c->dims.size(), 2u);
+  EXPECT_EQ(c->dims[0].kind, IndexDim::Kind::Range);
+  EXPECT_EQ(c->dims[0].b->i, 5);
+  c->dims[0].b->i = 9;
+  EXPECT_EQ(e->dims[0].b->i, 5);
+}
+
+TEST(Ir, ModuleFindByName) {
+  Module m;
+  m.add("alpha");
+  m.add("beta");
+  EXPECT_NE(m.find("alpha"), nullptr);
+  EXPECT_NE(m.find("beta"), nullptr);
+  EXPECT_EQ(m.find("gamma"), nullptr);
+}
+
+TEST(Ir, DumpMultiReturnSignature) {
+  Module m;
+  Function* f = m.add("pair");
+  f->numParams = 1;
+  f->rets = {Ty::I32, Ty::F32};
+  f->addLocal("a", Ty::I32);
+  std::vector<ExprPtr> rv;
+  rv.push_back(var(0, Ty::I32));
+  rv.push_back(constF(1.f));
+  std::vector<StmtPtr> body;
+  body.push_back(ret(std::move(rv)));
+  f->body = block(std::move(body));
+  std::string d = dump(*f);
+  EXPECT_NE(d.find("int, float pair(int a)"), std::string::npos) << d;
+  EXPECT_NE(d.find("return a, 1f;"), std::string::npos);
+}
+
+TEST(Ir, TyAndOpNames) {
+  EXPECT_STREQ(tyName(Ty::Mat), "matrix");
+  EXPECT_STREQ(arithName(ArithOp::EwMul), ".*");
+  EXPECT_STREQ(cmpName(CmpKind::Ge), ">=");
+}
+
+} // namespace
+} // namespace mmx::ir

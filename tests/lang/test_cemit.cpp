@@ -1,0 +1,230 @@
+// C emitter tests: the emitted "plain parallel C" must (a) contain the
+// structures of Figs. 10-11 (OpenMP pragma, SSE intrinsics, split loops),
+// and (b) actually compile with the system C compiler and produce the
+// same results as the interpreter.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "ir/cemit.hpp"
+#include "runtime/matio.hpp"
+#include "runtime/ssh_synth.hpp"
+#include "xc_helper.hpp"
+
+namespace mmx::test {
+namespace {
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const std::string& name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+std::string emitOk(const std::string& src,
+                   driver::TranslateOptions opts = {}) {
+  auto res = translateXc(src, opts);
+  EXPECT_TRUE(res.ok) << res.diagnostics;
+  if (!res.ok) return {};
+  auto c = ir::emitC(*res.module);
+  EXPECT_TRUE(c.ok) << (c.errors.empty() ? "" : c.errors.front());
+  return c.code;
+}
+
+/// Compiles the C text with the system compiler and runs it; returns the
+/// program stdout. Registers a test failure on any step going wrong.
+std::string compileAndRun(const std::string& cCode, const char* tag) {
+  std::string base = std::string(::testing::TempDir()) + "cemit_" + tag;
+  std::string cPath = base + ".c";
+  std::string binPath = base + ".bin";
+  std::ofstream(cPath) << cCode;
+  std::string cmd = "cc -O2 -std=gnu99 -msse4.2 -fopenmp " + cPath + " -o " +
+                    binPath + " -lm 2>" + base + ".err";
+  if (std::system(cmd.c_str()) != 0) {
+    std::ifstream err(base + ".err");
+    std::string msg((std::istreambuf_iterator<char>(err)),
+                    std::istreambuf_iterator<char>());
+    ADD_FAILURE() << "cc failed:\n" << msg << "\n--- code:\n" << cCode;
+    return {};
+  }
+  std::string outPath = base + ".out";
+  if (std::system((binPath + " >" + outPath).c_str()) != 0) {
+    ADD_FAILURE() << "emitted binary exited nonzero";
+    return {};
+  }
+  std::ifstream out(outPath);
+  std::string text((std::istreambuf_iterator<char>(out)),
+                   std::istreambuf_iterator<char>());
+  std::remove(cPath.c_str());
+  std::remove(binPath.c_str());
+  std::remove(outPath.c_str());
+  std::remove((base + ".err").c_str());
+  return text;
+}
+
+TEST(CEmit, ScalarProgramCompilesAndMatchesInterpreter) {
+  const char* src = R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() {
+      printInt(fib(15));
+      printFloat(2.5 * 4.0);
+      printBool(3 < 4 && !(2 == 2) || true);
+      return 0;
+    })";
+  std::string c = emitOk(src);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(compileAndRun(c, "scalar"), runOk(src));
+}
+
+TEST(CEmit, TupleFunctionsUseOutParameters) {
+  const char* src = R"(
+    (int, int) divmod(int a, int b) { return (a / b, a % b); }
+    int main() {
+      int d = 0;
+      int r = 0;
+      (d, r) = divmod(47, 7);
+      printInt(d);
+      printInt(r);
+      return 0;
+    })";
+  std::string c = emitOk(src);
+  ASSERT_FALSE(c.empty());
+  EXPECT_NE(c.find("int* __out0"), std::string::npos);
+  EXPECT_EQ(compileAndRun(c, "tuple"), runOk(src));
+}
+
+std::string meansProgram(const std::string& in, const std::string& out,
+                         const std::string& clauses) {
+  return R"(
+int main() {
+  Matrix float <3> mat = readMatrix(")" + in + R"(");
+  int m = dimSize(mat, 0);
+  int n = dimSize(mat, 1);
+  int p = dimSize(mat, 2);
+  Matrix float <2> means = init(Matrix float <2>, m, n);
+  means = with ([0,0] <= [i,j] < [m,n])
+    genarray([m,n],
+      (with ([0] <= [k] < [p]) fold(+, 0.0, mat[i,j,k])) / p))" + clauses + R"(;
+  writeMatrix(")" + out + R"(", means);
+  printFloat(means[0, 0]);
+  return 0;
+})";
+}
+
+TEST(CEmit, TemporalMeanCompiledMatchesInterpreter) {
+  TempPath in("cemit_in.mmx"), outC("cemit_c.mmx"), outI("cemit_i.mmx");
+  rt::SshParams p;
+  p.nlat = 6;
+  p.nlon = 9;
+  p.ntime = 11;
+  rt::writeMatrixFile(in.path, rt::synthesizeSsh(p));
+
+  std::string interpOut = runOk(meansProgram(in.path, outI.path, ""));
+  std::string c = emitOk(meansProgram(in.path, outC.path, ""));
+  ASSERT_FALSE(c.empty());
+  std::string compiledOut = compileAndRun(c, "means");
+  EXPECT_EQ(compiledOut, interpOut);
+  EXPECT_TRUE(rt::readMatrixFile(outC.path)
+                  .equals(rt::readMatrixFile(outI.path), 1e-4f));
+}
+
+TEST(CEmit, Fig11TransformedProgramEmitsOmpAndSse) {
+  TempPath in("cemit_in11.mmx"), out("cemit_o11.mmx");
+  rt::SshParams p;
+  p.nlat = 4;
+  p.nlon = 16;
+  p.ntime = 8;
+  rt::writeMatrixFile(in.path, rt::synthesizeSsh(p));
+
+  std::string prog = meansProgram(in.path, out.path, R"(
+    transform {
+      split j by 4, jin, jout;
+      vectorize jin;
+      parallelize i;
+    })");
+  std::string c = emitOk(prog);
+  ASSERT_FALSE(c.empty());
+  // Fig. 11's artifacts: an OpenMP parallel-for on the outer loop and
+  // 128-bit SSE operations in the vectorized inner loop.
+  EXPECT_NE(c.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_NE(c.find("_mm_add_ps"), std::string::npos);
+  EXPECT_NE(c.find("_mm_div_ps"), std::string::npos);
+  EXPECT_NE(c.find("mmx_vscatter_f"), std::string::npos);
+  // Fig. 10's artifact: the split loops with the index reconstruction.
+  EXPECT_NE(c.find("jout"), std::string::npos);
+  EXPECT_NE(c.find("jin"), std::string::npos);
+
+  std::string interpOut = runOk(prog);
+  EXPECT_EQ(compileAndRun(c, "fig11"), interpOut);
+}
+
+TEST(CEmit, IndexingAndRangesCompile) {
+  TempPath in("cemit_idx.mmx");
+  rt::writeMatrixFile(in.path,
+                      rt::Matrix::fromF32({3, 4}, {0, 1, 2, 3, 10, 11, 12, 13,
+                                                   20, 21, 22, 23}));
+  std::string src = R"(
+int main() {
+  Matrix float <2> m = readMatrix(")" + in.path + R"(");
+  Matrix float <1> row = m[1, :];
+  printFloat(row[2]);
+  Matrix float <2> blk = m[0 : 1, 1 : 2];
+  printFloat(blk[1, 1]);
+  m[2, 0 : 1] = 99.0;
+  printFloat(m[2, 0] + m[2, 1]);
+  Matrix float <1> line = (0 :: 3) * 2.0 + 1.0;
+  printFloat(line[3]);
+  printFloat(m[0, end]);
+  return 0;
+})";
+  std::string c = emitOk(src);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(compileAndRun(c, "idx"), runOk(src));
+}
+
+TEST(CEmit, LogicalIndexingCompiles) {
+  std::string src = R"(
+int main() {
+  Matrix int <1> v = (1 :: 8);
+  Matrix int <1> odd = v[v % 2 == 1];
+  printInt(dimSize(odd, 0));
+  printInt(odd[3]);
+  v[v > 4] = 0;
+  printInt(v[3] + v[6]);
+  return 0;
+})";
+  std::string c = emitOk(src);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(compileAndRun(c, "logical"), runOk(src));
+}
+
+TEST(CEmit, SimulatorBuiltinsAreRejectedWithClearMessage) {
+  auto res = translateXc("int main() { Matrix float <3> m = "
+                         "synthSsh(2, 2, 2, 1, 1); printShape(m); return 0; }");
+  ASSERT_TRUE(res.ok) << res.diagnostics;
+  auto c = ir::emitC(*res.module);
+  EXPECT_FALSE(c.ok);
+  ASSERT_FALSE(c.errors.empty());
+  EXPECT_NE(c.errors.front().find("interpreter-only"), std::string::npos);
+}
+
+TEST(CEmit, RefcountProgramCompiles) {
+  std::string src = R"(
+int main() {
+  refptr float p = rcalloc(float, 4);
+  p[0] = 2.0;
+  refptr float q = p;
+  q[1] = 3.0;
+  printFloat(p[0] + p[1]);
+  return 0;
+})";
+  std::string c = emitOk(src);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(compileAndRun(c, "refcount"), runOk(src));
+}
+
+} // namespace
+} // namespace mmx::test

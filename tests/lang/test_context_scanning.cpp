@@ -1,0 +1,125 @@
+// Context-aware scanning at the language level (paper §VI-A): extension
+// keywords are recognized only where the composed parser's state admits
+// them, so extensions can reuse words that host programs use as
+// identifiers — "it is possible that two different languages will want to
+// use the same keyword".
+#include "xc_helper.hpp"
+
+namespace mmx::test {
+namespace {
+
+TEST(ContextScanning, MinMaxAreOrdinaryIdentifiersInHostCode) {
+  // `min`/`max` are matrix-extension fold operators; in expression and
+  // declaration positions they scan as identifiers (and the min/max
+  // builtin calls still work by name).
+  const char* src = R"(
+int main() {
+  int min = 10;
+  int max = 3;
+  printInt(min - max);
+  Matrix float <1> v = init(Matrix float <1>, 3);
+  v[0] = 5.0; v[1] = -2.0; v[2] = 8.0;
+  printFloat(with ([0] <= [i] < [3]) fold(min, 99.0, v[i]));
+  printFloat(with ([0] <= [i] < [3]) fold(max, -99.0, v[i]));
+  return 0;
+})";
+  EXPECT_EQ(runOk(src), "7\n-2\n8\n");
+}
+
+TEST(ContextScanning, MatrixKeywordVsIdentifier) {
+  // `Matrix` opens type syntax, which is only admitted in declaration and
+  // cast positions; everywhere else the scanner yields an identifier, so
+  // a variable named `Matrix` coexists with the matrix type.
+  const char* src = R"(
+int main() {
+  int Matrix = 6;
+  Matrix float <1> v = init(Matrix float <1>, 2);
+  int doubled = Matrix * 2;   // plain expression: identifier
+  v[0] = (float)(doubled);
+  printFloat(v[0]);
+  return 0;
+})";
+  EXPECT_EQ(runOk(src), "12\n");
+}
+
+TEST(ContextScanning, GenarrayFoldUsableAsVariableNames) {
+  // `genarray`/`fold` only follow a with-loop's generator, so they remain
+  // free identifiers everywhere else. (`with` itself *starts* extension
+  // expressions, so — like `end` — it is effectively reserved wherever an
+  // expression may begin; that asymmetry is inherent to the approach.)
+  const char* src = R"(
+int main() {
+  int genarray = 1;
+  int fold = 2;
+  printInt(genarray + fold);
+  printInt(with ([0] <= [i] < [3]) fold(+, 0, genarray + i));
+  return 0;
+})";
+  EXPECT_EQ(runOk(src), "3\n6\n");
+}
+
+TEST(ContextScanning, RefcountKeywordsContextual) {
+  // `refptr` only opens type syntax; a variable of that name works in
+  // expressions. (`rcalloc` starts expressions and is thus reserved
+  // there, like `with`.)
+  const char* src = R"(
+int main() {
+  int refptr = 5;
+  refptr float p = rcalloc(float, 2);
+  p[0] = (float)(2 * refptr);  // after '*' only expressions start
+  printFloat(p[0]);
+  return 0;
+})";
+  EXPECT_EQ(runOk(src), "10\n");
+}
+
+TEST(ContextScanning, EndShadowedInsideIndices) {
+  // `end` can be *declared* (declaration positions admit only ID), but in
+  // expressions the extension keyword wins — inside an index it means
+  // last-element; elsewhere the extension's own check rejects it, so a
+  // variable named `end` is effectively unusable in expressions, exactly
+  // like MATLAB (documented behaviour).
+  const char* src = R"(
+int main() {
+  int end = 0;
+  Matrix int <1> v = (5 :: 9);
+  printInt(v[end]);     // keyword: v[4] = 9
+  return 0;
+})";
+  EXPECT_EQ(runOk(src), "9\n");
+  expectError("int main() { int end = 0; printInt(end + 1); return 0; }",
+              "inside a matrix index");
+}
+
+TEST(ContextScanning, MaximalMunchPrefixedIdentifiers) {
+  // Identifiers that merely start with a keyword never get split.
+  const char* src = R"(
+int main() {
+  int withdrawal = 1;
+  int formula = 2;     // starts with 'for'
+  int interest = 3;    // starts with 'int'
+  int ending = 4;      // starts with 'end'
+  int minute = 5;      // starts with 'min'
+  printInt(withdrawal + formula + interest + ending + minute);
+  return 0;
+})";
+  EXPECT_EQ(runOk(src), "15\n");
+}
+
+TEST(ContextScanning, TransformBlockKeywordsDontLeak) {
+  const char* src = R"(
+int main() {
+  int vectorize = 7;
+  int parallelize = 8;
+  Matrix float <1> a = with ([0] <= [i] < [8])
+      genarray([8], (float)(i + vectorize))
+      transform { vectorize i; parallelize i; };
+  printFloat(a[1]);
+  printInt(parallelize);
+  return 0;
+})";
+  EXPECT_EQ(runOk(src), "8\n8\n");
+}
+
+} // namespace
+} // namespace mmx::test

@@ -1,0 +1,259 @@
+// Host-language (CMINUS) feature coverage: scalars, operators, control
+// flow, functions, scoping, and the diagnostics the type checker must
+// produce.
+#include "xc_helper.hpp"
+
+namespace mmx::test {
+namespace {
+
+TEST(HostLang, ArithmeticAndPrecedence) {
+  EXPECT_EQ(runOk("int main() { printInt(2 + 3 * 4); return 0; }"), "14\n");
+  EXPECT_EQ(runOk("int main() { printInt((2 + 3) * 4); return 0; }"),
+            "20\n");
+  EXPECT_EQ(runOk("int main() { printInt(10 % 3); printInt(10 / 3); "
+                  "return 0; }"),
+            "1\n3\n");
+  EXPECT_EQ(runOk("int main() { printInt(2 - 3 - 4); return 0; }"), "-5\n");
+}
+
+TEST(HostLang, FloatArithmeticAndCast) {
+  EXPECT_EQ(runOk("int main() { printFloat(1.5 + 2.25); return 0; }"),
+            "3.75\n");
+  EXPECT_EQ(runOk("int main() { printFloat((float)(7) / 2.0); return 0; }"),
+            "3.5\n");
+  EXPECT_EQ(runOk("int main() { printInt((int)(3.99)); return 0; }"),
+            "3\n");
+  // int widens to float implicitly.
+  EXPECT_EQ(runOk("int main() { printFloat(1 + 0.5); return 0; }"),
+            "1.5\n");
+}
+
+TEST(HostLang, BooleansAndShortCircuit) {
+  EXPECT_EQ(runOk("int main() { printBool(true && false); "
+                  "printBool(true || false); printBool(!false); "
+                  "return 0; }"),
+            "false\ntrue\ntrue\n");
+  EXPECT_EQ(runOk("int main() { printBool(1 < 2 && 2.5 >= 2.5); return 0; }"),
+            "true\n");
+}
+
+TEST(HostLang, IfElseChains) {
+  const char* src = R"(
+    int classify(int x) {
+      if (x < 0) { return 0 - 1; }
+      else if (x == 0) { return 0; }
+      else { return 1; }
+    }
+    int main() {
+      printInt(classify(0 - 5));
+      printInt(classify(0));
+      printInt(classify(9));
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "-1\n0\n1\n");
+}
+
+TEST(HostLang, DanglingElseBindsToNearestIf) {
+  const char* src = R"(
+    int main() {
+      int x = 5;
+      if (x > 0)
+        if (x > 10) printInt(1);
+        else printInt(2);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "2\n");
+}
+
+TEST(HostLang, WhileAndForLoops) {
+  EXPECT_EQ(runOk("int main() { int s = 0; int i = 0; "
+                  "while (i < 5) { s = s + i; i = i + 1; } "
+                  "printInt(s); return 0; }"),
+            "10\n");
+  EXPECT_EQ(runOk("int main() { int s = 0; "
+                  "for (int i = 0; i < 10; i++) { s = s + i; } "
+                  "printInt(s); return 0; }"),
+            "45\n");
+}
+
+TEST(HostLang, NonCanonicalForLowersToWhile) {
+  EXPECT_EQ(runOk("int main() { int s = 0; "
+                  "for (int i = 10; i > 0; i = i - 2) { s = s + i; } "
+                  "printInt(s); return 0; }"),
+            "30\n");
+}
+
+TEST(HostLang, BreakAndContinue) {
+  EXPECT_EQ(runOk("int main() { int s = 0; "
+                  "for (int i = 0; i < 100; i++) { "
+                  "  if (i >= 5) { break; } "
+                  "  if (i % 2 == 0) { continue; } "
+                  "  s = s + i; } "
+                  "printInt(s); return 0; }"),
+            "4\n"); // 1 + 3
+}
+
+TEST(HostLang, FunctionsAndRecursion) {
+  const char* src = R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { printInt(fib(12)); return 0; })";
+  EXPECT_EQ(runOk(src), "144\n");
+}
+
+TEST(HostLang, VoidFunctions) {
+  const char* src = R"(
+    void shout(int n) {
+      printInt(n * 2);
+      return;
+    }
+    int main() { shout(21); return 0; })";
+  EXPECT_EQ(runOk(src), "42\n");
+}
+
+TEST(HostLang, ScopingAndShadowing) {
+  const char* src = R"(
+    int main() {
+      int x = 1;
+      {
+        int x = 2;
+        printInt(x);
+      }
+      printInt(x);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "2\n1\n");
+}
+
+TEST(HostLang, IncrementDecrementStatements) {
+  EXPECT_EQ(runOk("int main() { int i = 5; i++; i++; i--; printInt(i); "
+                  "return 0; }"),
+            "6\n");
+}
+
+TEST(HostLang, Comments) {
+  EXPECT_EQ(runOk("// leading comment\n"
+                  "int main() { /* block */ printInt(1); // eol\n"
+                  "return 0; }"),
+            "1\n");
+}
+
+// ---- tuples (host-packaged, §III-B) -------------------------------------
+
+TEST(HostLang, TupleReturnAndDestructuring) {
+  const char* src = R"(
+    (int, int) divmod(int a, int b) {
+      return (a / b, a % b);
+    }
+    int main() {
+      int d = 0;
+      int r = 0;
+      (d, r) = divmod(17, 5);
+      printInt(d);
+      printInt(r);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "3\n2\n");
+}
+
+TEST(HostLang, TupleVariableDeclarationAndUse) {
+  const char* src = R"(
+    (int, float, bool) triple() { return (7, 2.5, true); }
+    int main() {
+      (int, float, bool) t = triple();
+      int a = 0;
+      float b = 0.0;
+      bool c = false;
+      (a, b, c) = t;
+      printInt(a);
+      printFloat(b);
+      printBool(c);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "7\n2.5\ntrue\n");
+}
+
+TEST(HostLang, TupleLiteralSwap) {
+  const char* src = R"(
+    int main() {
+      int a = 1;
+      int b = 2;
+      (a, b) = (b, a);
+      printInt(a);
+      printInt(b);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "2\n1\n");
+}
+
+// ---- diagnostics ----------------------------------------------------------
+
+TEST(HostLangErrors, UndeclaredVariable) {
+  expectError("int main() { printInt(nope); return 0; }",
+              "undeclared variable 'nope'");
+}
+
+TEST(HostLangErrors, TypeMismatchInAssignment) {
+  expectError("int main() { int x = 0; x = 1.5; return 0; }",
+              "type mismatch");
+}
+
+TEST(HostLangErrors, RedeclarationInSameScope) {
+  expectError("int main() { int x = 0; int x = 1; return 0; }",
+              "already declared");
+}
+
+TEST(HostLangErrors, CallArityChecked) {
+  expectError("int f(int a) { return a; } int main() { return f(1, 2); }",
+              "expected 1 arguments, found 2");
+}
+
+TEST(HostLangErrors, UnknownFunction) {
+  expectError("int main() { return zap(); }", "undeclared function 'zap'");
+}
+
+TEST(HostLangErrors, ReturnTypeChecked) {
+  expectError("int main() { return true; }", "type mismatch");
+}
+
+TEST(HostLangErrors, VoidReturnWithValue) {
+  expectError("void f() { return 3; } int main() { return 0; }",
+              "void function cannot return a value");
+}
+
+TEST(HostLangErrors, MissingMain) {
+  expectError("int f() { return 0; }", "no main function");
+}
+
+TEST(HostLangErrors, ConditionMustBeBool) {
+  expectError("int main() { if (3) { } return 0; }", "expected bool");
+}
+
+TEST(HostLangErrors, TupleArityMismatch) {
+  expectError("(int, int) f() { return (1, 2); }"
+              "int main() { int a = 0; int b = 0; int c = 0;"
+              "(a, b, c) = f(); return 0; }",
+              "tuple");
+}
+
+TEST(HostLangErrors, TupleUsedAsScalar) {
+  expectError("int main() { (int, int) t = (1, 2); printInt(t); return 0; }",
+              "destructured");
+}
+
+TEST(HostLangErrors, SyntaxErrorHasExpectedSet) {
+  auto res = translateXc("int main() { int x = ; return 0; }");
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.diagnostics.find("expected one of"), std::string::npos);
+}
+
+TEST(HostLangErrors, DuplicateFunction) {
+  expectError("int f() { return 0; } int f() { return 1; } "
+              "int main() { return 0; }",
+              "declared twice");
+}
+
+} // namespace
+} // namespace mmx::test

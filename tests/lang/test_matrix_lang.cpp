@@ -1,0 +1,418 @@
+// Matrix extension feature coverage (paper §III): types, operators,
+// indexing modes, with-loops, matrixMap, builtins, and the extension's
+// semantic checks.
+#include "xc_helper.hpp"
+
+namespace mmx::test {
+namespace {
+
+TEST(MatrixLang, InitAndElementAccess) {
+  const char* src = R"(
+    int main() {
+      Matrix int <2> m = init(Matrix int <2>, 2, 3);
+      m[1, 2] = 7;
+      m[0, 0] = m[1, 2] + 1;
+      printInt(m[0, 0]);
+      printInt(m[1, 2]);
+      printInt(m[0, 1]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "8\n7\n0\n");
+}
+
+TEST(MatrixLang, DimSize) {
+  const char* src = R"(
+    int main() {
+      Matrix float <3> m = init(Matrix float <3>, 4, 5, 6);
+      printInt(dimSize(m, 0));
+      printInt(dimSize(m, 1));
+      printInt(dimSize(m, 2));
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "4\n5\n6\n");
+}
+
+TEST(MatrixLang, ElementWiseOperators) {
+  const char* src = R"(
+    int main() {
+      Matrix float <1> a = init(Matrix float <1>, 3);
+      Matrix float <1> b = init(Matrix float <1>, 3);
+      a[0] = 1.0; a[1] = 2.0; a[2] = 3.0;
+      b[0] = 10.0; b[1] = 20.0; b[2] = 30.0;
+      Matrix float <1> c = a + b;
+      Matrix float <1> d = b - a;
+      Matrix float <1> e = a .* b;
+      Matrix float <1> f = b / a;
+      printFloat(c[1]);
+      printFloat(d[2]);
+      printFloat(e[0]);
+      printFloat(f[1]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "22\n27\n10\n10\n");
+}
+
+TEST(MatrixLang, ScalarBroadcast) {
+  const char* src = R"(
+    int main() {
+      Matrix float <1> a = init(Matrix float <1>, 3);
+      a[0] = 1.0; a[1] = 2.0; a[2] = 3.0;
+      Matrix float <1> b = a * 2.0 + 1.0;
+      Matrix float <1> c = 10.0 - a;
+      printFloat(b[2]);
+      printFloat(c[0]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "7\n9\n");
+}
+
+TEST(MatrixLang, IntMatrixPromotesAgainstFloatScalar) {
+  // Fig. 8's Line = (x1::x2) * m + b where m, b are floats.
+  const char* src = R"(
+    int main() {
+      Matrix float <1> line = (0 :: 3) * 0.5 + 1.0;
+      printFloat(line[0]);
+      printFloat(line[3]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "1\n2.5\n");
+}
+
+TEST(MatrixLang, MatrixMultiplyVsElementWise) {
+  const char* src = R"(
+    int main() {
+      Matrix float <2> a = init(Matrix float <2>, 2, 2);
+      Matrix float <2> b = init(Matrix float <2>, 2, 2);
+      a[0,0] = 1.0; a[0,1] = 2.0; a[1,0] = 3.0; a[1,1] = 4.0;
+      b[0,0] = 5.0; b[0,1] = 6.0; b[1,0] = 7.0; b[1,1] = 8.0;
+      Matrix float <2> mm = a * b;   // linear algebra
+      Matrix float <2> ew = a .* b;  // element-wise
+      printFloat(mm[0,0]);
+      printFloat(mm[1,1]);
+      printFloat(ew[0,0]);
+      printFloat(ew[1,1]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "19\n50\n5\n32\n");
+}
+
+TEST(MatrixLang, ComparisonYieldsBoolMatrixForLogicalIndexing) {
+  // The paper's §III-A3(d): v % 2 == 1 selects odd rows.
+  const char* src = R"(
+    int main() {
+      Matrix int <1> v = (1 :: 4);       // 1 2 3 4
+      Matrix int <2> m = init(Matrix int <2>, 4, 2);
+      m[0,0] = 10; m[1,0] = 20; m[2,0] = 30; m[3,0] = 40;
+      Matrix int <2> odd = m[v % 2 == 1, :];
+      printInt(dimSize(odd, 0));
+      printInt(odd[0, 0]);
+      printInt(odd[1, 0]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "2\n10\n30\n");
+}
+
+TEST(MatrixLang, RangeAndColonIndexing) {
+  const char* src = R"(
+    int main() {
+      Matrix int <2> m = init(Matrix int <2>, 3, 4);
+      m = with ([0,0] <= [i,j] < [3,4]) genarray([3,4], i * 10 + j);
+      Matrix int <2> blk = m[0 : 1, 1 : 3];
+      printInt(dimSize(blk, 0));
+      printInt(dimSize(blk, 1));
+      printInt(blk[1, 2]);
+      Matrix int <1> row = m[2, :];
+      printInt(row[3]);
+      Matrix int <1> col = m[:, 0];
+      printInt(col[1]);
+      return 0;
+    })";
+  // blk = rows 0..1, cols 1..3 (inclusive); blk[1,2] = m[1,3] = 13.
+  EXPECT_EQ(runOk(src), "2\n3\n13\n23\n10\n");
+}
+
+TEST(MatrixLang, EndKeywordInIndices) {
+  const char* src = R"(
+    int main() {
+      Matrix int <1> v = (10 :: 15);  // 10..15
+      printInt(v[end]);
+      printInt(v[end - 2]);
+      Matrix int <1> tail = v[end - 1 : end];
+      printInt(tail[0]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "15\n13\n14\n");
+}
+
+TEST(MatrixLang, EndIsAnOrdinaryNameOutsideIndices) {
+  // Context-aware scanning: `end` can still be declared as a variable
+  // (declaration positions only admit ID); only inside expressions does
+  // the keyword win.
+  const char* src = R"(
+    int main() {
+      int end = 42;
+      Matrix int <1> v = (1 :: 3);
+      printInt(v[end - end]);  // end inside an index = last element
+      return 0;
+    })";
+  // end-end = 2-2 = 0 -> v[0] = 1... wait: inside the index, both `end`s
+  // are the keyword (value 2), so index 0.
+  EXPECT_EQ(runOk(src), "1\n");
+}
+
+TEST(MatrixLang, IndexedAssignmentForms) {
+  const char* src = R"(
+    int main() {
+      Matrix float <1> v = init(Matrix float <1>, 6);
+      v[:] = 1.0;                 // broadcast everywhere
+      v[1 : 3] = 2.0;             // broadcast into a range
+      Matrix float <1> w = init(Matrix float <1>, 2);
+      w[0] = 8.0; w[1] = 9.0;
+      v[4 : 5] = w;               // matrix into a range
+      printFloat(v[0]);
+      printFloat(v[2]);
+      printFloat(v[4]);
+      printFloat(v[5]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "1\n2\n8\n9\n");
+}
+
+TEST(MatrixLang, LogicalIndexedStore) {
+  const char* src = R"(
+    int main() {
+      Matrix int <1> v = (1 :: 6);
+      v[v % 2 == 0] = 0;
+      printInt(v[0]);
+      printInt(v[1]);
+      printInt(v[5]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "1\n0\n0\n");
+}
+
+TEST(MatrixLang, WithLoopGenarray) {
+  const char* src = R"(
+    int main() {
+      Matrix int <2> sq = with ([0,0] <= [i,j] < [3,3])
+          genarray([3,3], i * j);
+      printInt(sq[2, 2]);
+      printInt(sq[1, 2]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "4\n2\n");
+}
+
+TEST(MatrixLang, WithLoopBoundForms) {
+  // <= and < on either side of the generator.
+  const char* src = R"(
+    int main() {
+      Matrix int <1> a = with ([0] <= [i] < [4]) genarray([4], i);
+      Matrix int <1> b = with ([0] < [i] <= [3]) genarray([4], i);
+      printInt(a[0]); printInt(a[3]);
+      printInt(b[1]); printInt(b[3]); printInt(b[0]);
+      return 0;
+    })";
+  // b fills indices 1..3; index 0 stays 0.
+  EXPECT_EQ(runOk(src), "0\n3\n1\n3\n0\n");
+}
+
+TEST(MatrixLang, GenarrayPartialFill) {
+  // Shape is a superset of the generator: untouched cells stay 0.
+  const char* src = R"(
+    int main() {
+      Matrix int <1> v = with ([1] <= [i] < [3]) genarray([5], 9);
+      printInt(v[0]); printInt(v[1]); printInt(v[2]);
+      printInt(v[3]); printInt(v[4]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "0\n9\n9\n0\n0\n");
+}
+
+TEST(MatrixLang, WithLoopFoldOps) {
+  const char* src = R"(
+    int main() {
+      Matrix float <1> v = init(Matrix float <1>, 4);
+      v[0] = 3.0; v[1] = -7.0; v[2] = 2.0; v[3] = 5.0;
+      printFloat(with ([0] <= [i] < [4]) fold(+, 100.0, v[i]));
+      printFloat(with ([0] <= [i] < [4]) fold(min, 99.0, v[i]));
+      printFloat(with ([0] <= [i] < [4]) fold(max, -99.0, v[i]));
+      printFloat(with ([0] <= [i] < [3]) fold(*, 1.0, 2.0));
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "103\n-7\n5\n8\n");
+}
+
+TEST(MatrixLang, NestedWithLoops) {
+  // Fig. 1's genarray-around-fold shape.
+  const char* src = R"(
+    int main() {
+      Matrix float <2> m = with ([0,0] <= [i,j] < [3,4])
+          genarray([3,4], (float)(i * 4 + j));
+      Matrix float <1> rowsum = with ([0] <= [i] < [3])
+          genarray([3],
+            with ([0] <= [j] < [4]) fold(+, 0.0, m[i, j]));
+      printFloat(rowsum[0]);
+      printFloat(rowsum[2]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "6\n38\n"); // 0+1+2+3, 8+9+10+11
+}
+
+TEST(MatrixLang, MatrixMapOverThirdDimension) {
+  // Fig. 5 equivalence: matrixMap(f, m, [0,1]) == slice loop.
+  const char* src = R"(
+    Matrix float <2> dbl(Matrix float <2> x) {
+      return x * 2.0;
+    }
+    int main() {
+      Matrix float <3> m = with ([0,0,0] <= [i,j,k] < [2,3,4])
+          genarray([2,3,4], (float)(i + j + k));
+      Matrix float <3> r = matrixMap(dbl, m, [0, 1]);
+      printFloat(r[1, 2, 3]);
+      printFloat(r[0, 0, 0]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "12\n0\n");
+}
+
+TEST(MatrixLang, MatrixMapParallelMatchesSerial) {
+  const char* src = R"(
+    Matrix float <1> norm(Matrix float <1> ts) {
+      float total = with ([0] <= [i] < [dimSize(ts, 0)]) fold(+, 0.0, ts[i]);
+      return ts - total / dimSize(ts, 0);
+    }
+    int main() {
+      Matrix float <3> m = synthSsh(5, 4, 16, 11, 2);
+      Matrix float <3> r = matrixMap(norm, m, [2]);
+      float s = with ([0,0,0] <= [i,j,k] < [5,4,16]) fold(+, 0.0, r[i,j,k]);
+      if (s < 0.001 && s > -0.001) { printStr("ok"); }
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src, 1), "ok\n");
+  EXPECT_EQ(runOk(src, 4), "ok\n");
+}
+
+TEST(MatrixLang, ReadWriteRoundTrip) {
+  std::string path = std::string(::testing::TempDir()) + "rt_lang.mmx";
+  std::string src = R"(
+    int main() {
+      Matrix float <2> m = with ([0,0] <= [i,j] < [3,3])
+          genarray([3,3], (float)(i * 3 + j));
+      writeMatrix(")" + path + R"(", m);
+      Matrix float <2> r = readMatrix(")" + path + R"(");
+      printFloat(r[2, 2]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "8\n");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixLang, ReadMatrixMetadataCheckedAtRuntime) {
+  std::string path = std::string(::testing::TempDir()) + "rt_meta.mmx";
+  std::string src = R"(
+    int main() {
+      Matrix float <2> m = init(Matrix float <2>, 2, 2);
+      writeMatrix(")" + path + R"(", m);
+      Matrix int <3> bad = readMatrix(")" + path + R"(");
+      return 0;
+    })";
+  RunOutcome o = runXc(src);
+  EXPECT_TRUE(o.translated) << o.diagnostics;
+  EXPECT_FALSE(o.ran);
+  EXPECT_NE(o.runtimeError.find("metadata mismatch"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---- semantic checks of the extension ----------------------------------
+
+TEST(MatrixLangErrors, GeneratorArityChecked) {
+  expectError("int main() { Matrix int <1> v = with ([0,0] <= [i] < [3]) "
+              "genarray([3], i); return 0; }",
+              "index variables");
+}
+
+TEST(MatrixLangErrors, GenarrayShapeArityChecked) {
+  expectError("int main() { Matrix int <2> v = with ([0,0] <= [i,j] < "
+              "[3,3]) genarray([3], i); return 0; }",
+              "genarray shape");
+}
+
+TEST(MatrixLangErrors, RankMismatchInArithmetic) {
+  expectError("int main() { Matrix float <1> a = init(Matrix float <1>, 2);"
+              "Matrix float <2> b = init(Matrix float <2>, 2, 2);"
+              "Matrix float <2> c = a + b; return 0; }",
+              "same rank");
+}
+
+TEST(MatrixLangErrors, ElementTypeMismatch) {
+  expectError("int main() { Matrix float <1> a = init(Matrix float <1>, 2);"
+              "Matrix int <1> b = init(Matrix int <1>, 2);"
+              "Matrix int <1> c = a + b; return 0; }",
+              "same element type");
+}
+
+TEST(MatrixLangErrors, StarNeedsRank2) {
+  expectError("int main() { Matrix float <1> a = init(Matrix float <1>, 2);"
+              "Matrix float <1> c = a * a; return 0; }",
+              "rank-2");
+}
+
+TEST(MatrixLangErrors, SelectorCountChecked) {
+  expectError("int main() { Matrix int <2> m = init(Matrix int <2>, 2, 2);"
+              "printInt(m[0]); return 0; }",
+              "selectors");
+}
+
+TEST(MatrixLangErrors, EndOutsideIndexRejected) {
+  expectError("int main() { printInt(end); return 0; }",
+              "inside a matrix index");
+}
+
+TEST(MatrixLangErrors, GenarraySupersetCheckedAtRuntime) {
+  // "the shape in the operation must be a superset of the indexes in the
+  // generator, which is something that can be checked at runtime".
+  RunOutcome o = runXc(
+      "int main() { Matrix int <1> v = with ([0] <= [i] < [10]) "
+      "genarray([5], i); return 0; }");
+  EXPECT_TRUE(o.translated) << o.diagnostics;
+  EXPECT_FALSE(o.ran);
+  EXPECT_NE(o.runtimeError.find("superset"), std::string::npos);
+}
+
+TEST(MatrixLangErrors, MatrixMapSignatureChecked) {
+  expectError("Matrix float <2> f(Matrix float <2> x) { return x; }"
+              "int main() { Matrix float <3> m = synthSsh(2,2,4,1,1);"
+              "Matrix float <3> r = matrixMap(f, m, [2]); return 0; }",
+              "signature");
+}
+
+TEST(MatrixLangErrors, MatrixMapDimsValidated) {
+  expectError("Matrix float <1> f(Matrix float <1> x) { return x; }"
+              "int main() { Matrix float <3> m = synthSsh(2,2,4,1,1);"
+              "Matrix float <3> r = matrixMap(f, m, [7]); return 0; }",
+              "out of range");
+}
+
+TEST(MatrixLangErrors, MatrixNeedsInitializer) {
+  expectError("int main() { Matrix float <1> v; return 0; }",
+              "must be initialized");
+}
+
+TEST(MatrixLangErrors, InitDimensionCountChecked) {
+  expectError("int main() { Matrix float <2> v = init(Matrix float <2>, 4);"
+              " return 0; }",
+              "dimension sizes");
+}
+
+TEST(MatrixLangErrors, IndexOutOfBoundsAtRuntime) {
+  RunOutcome o = runXc(
+      "int main() { Matrix int <1> v = init(Matrix int <1>, 3);"
+      "printInt(v[7]); return 0; }");
+  EXPECT_TRUE(o.translated) << o.diagnostics;
+  EXPECT_FALSE(o.ran);
+  EXPECT_NE(o.runtimeError.find("out of bounds"), std::string::npos);
+}
+
+} // namespace
+} // namespace mmx::test

@@ -1,0 +1,91 @@
+// Refcount extension coverage (paper §III-B): allocation, sharing,
+// counts, automatic free at zero (observed through rclive()).
+#include "xc_helper.hpp"
+
+namespace mmx::test {
+namespace {
+
+TEST(RefcountLang, AllocIndexAndStore) {
+  const char* src = R"(
+    int main() {
+      refptr float p = rcalloc(float, 5);
+      p[0] = 1.5;
+      p[4] = 2.5;
+      printFloat(p[0] + p[4]);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "4\n");
+}
+
+TEST(RefcountLang, CopySharesAndCounts) {
+  const char* src = R"(
+    int main() {
+      refptr int p = rcalloc(int, 3);
+      printInt(rccount(p));
+      refptr int q = p;
+      printInt(rccount(p));
+      q[1] = 42;
+      printInt(p[1]);  // shared storage
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "1\n2\n42\n");
+}
+
+TEST(RefcountLang, ReassignmentReleasesOldBuffer) {
+  const char* src = R"(
+    int main() {
+      int before = rclive();
+      refptr int p = rcalloc(int, 8);
+      refptr int q = rcalloc(int, 8);
+      printInt(rclive() - before);  // 2 live buffers
+      q = p;                        // old q buffer freed at count 0
+      printInt(rclive() - before);  // 1 live buffer
+      printInt(rccount(p));         // p and q share it
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "2\n1\n2\n");
+}
+
+TEST(RefcountLang, FunctionReturnKeepsBufferAlive) {
+  const char* src = R"(
+    refptr float make(int n) {
+      refptr float p = rcalloc(float, n);
+      p[0] = 3.5;
+      return p;
+    }
+    int main() {
+      int before = rclive();
+      refptr float p = make(4);
+      printFloat(p[0]);
+      printInt(rclive() - before);
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "3.5\n1\n");
+}
+
+TEST(RefcountLang, MatricesAreBuiltOnTheSameCells) {
+  // §III-C: "we build the underlying implementation of matrices on top of
+  // the reference counting pointers" — rccount works on matrices too.
+  const char* src = R"(
+    int main() {
+      Matrix float <1> a = init(Matrix float <1>, 4);
+      printInt(rccount(a));
+      Matrix float <1> b = a;
+      printInt(rccount(a));
+      return 0;
+    })";
+  EXPECT_EQ(runOk(src), "1\n2\n");
+}
+
+TEST(RefcountLangErrors, TypeChecked) {
+  expectError("int main() { refptr int p = rcalloc(float, 3); return 0; }",
+              "type mismatch");
+}
+
+TEST(RefcountLangErrors, CountNeedsRefptr) {
+  expectError("int main() { printInt(rccount(5)); return 0; }",
+              "rccount needs");
+}
+
+} // namespace
+} // namespace mmx::test

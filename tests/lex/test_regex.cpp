@@ -1,0 +1,120 @@
+#include "lex/regex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx::lex {
+namespace {
+
+size_t match(const std::string& pattern, std::string_view text,
+             size_t pos = 0) {
+  auto re = parseRegex(pattern);
+  Dfa d = compileRegex(*re);
+  return d.longestMatch(text, pos);
+}
+
+size_t matchLit(const std::string& lit, std::string_view text,
+                size_t pos = 0) {
+  auto re = literalRegex(lit);
+  Dfa d = compileRegex(*re);
+  return d.longestMatch(text, pos);
+}
+
+TEST(Regex, LiteralMatchesExactly) {
+  EXPECT_EQ(matchLit("with", "with (x)"), 4u);
+  EXPECT_EQ(matchLit("with", "wit"), 0u);
+  EXPECT_EQ(matchLit("with", "withy"), 4u); // prefix match; munch decided later
+}
+
+TEST(Regex, LiteralTreatsMetacharsLiterally) {
+  EXPECT_EQ(matchLit("a*b", "a*b"), 3u);
+  EXPECT_EQ(matchLit("a*b", "aab"), 0u);
+  EXPECT_EQ(matchLit("(", "("), 1u);
+}
+
+TEST(Regex, CharClassRanges) {
+  EXPECT_EQ(match("[a-z]+", "hello World"), 5u);
+  EXPECT_EQ(match("[A-Za-z_][A-Za-z0-9_]*", "_id42+1"), 5u);
+  EXPECT_EQ(match("[0-9]+", "12345"), 5u);
+  EXPECT_EQ(match("[0-9]+", "x1"), 0u);
+}
+
+TEST(Regex, NegatedClass) {
+  EXPECT_EQ(match("[^0-9]+", "abc123"), 3u);
+}
+
+TEST(Regex, DotMatchesAllButNewline) {
+  EXPECT_EQ(match(".+", "ab\ncd"), 2u);
+}
+
+TEST(Regex, StarPlusOpt) {
+  EXPECT_EQ(match("ab*", "a"), 1u);
+  EXPECT_EQ(match("ab*", "abbb"), 4u);
+  EXPECT_EQ(match("ab+", "a"), 0u);
+  EXPECT_EQ(match("ab+", "abb"), 3u);
+  EXPECT_EQ(match("ab?", "abb"), 2u);
+}
+
+TEST(Regex, Alternation) {
+  EXPECT_EQ(match("foo|foobar", "foobar"), 6u); // longest wins inside one DFA
+  EXPECT_EQ(match("cat|dog", "dog"), 3u);
+}
+
+TEST(Regex, GroupingWithPostfix) {
+  EXPECT_EQ(match("(ab)+", "ababx"), 4u);
+  EXPECT_EQ(match("(a|b)*c", "abbac"), 5u);
+}
+
+TEST(Regex, Escapes) {
+  EXPECT_EQ(match("\\*", "*"), 1u);
+  EXPECT_EQ(match("a\\+b", "a+b"), 3u);
+  EXPECT_EQ(match("[\\t ]+", "\t  x"), 3u);
+  EXPECT_EQ(match("\\n", "\n"), 1u);
+}
+
+TEST(Regex, CFloatLiteralPattern) {
+  const std::string f = "[0-9]+\\.[0-9]+([eE][+\\-]?[0-9]+)?";
+  EXPECT_EQ(match(f, "3.14"), 4u);
+  EXPECT_EQ(match(f, "3.14e-2 "), 7u);
+  EXPECT_EQ(match(f, "3"), 0u);
+  EXPECT_EQ(match(f, "3."), 0u);
+}
+
+TEST(Regex, CStringLiteralPattern) {
+  const std::string s = "\"([^\"\\\\\\n]|\\\\.)*\"";
+  EXPECT_EQ(match(s, "\"ssh.data\" rest"), 10u);
+  EXPECT_EQ(match(s, "\"a\\\"b\""), 6u); // embedded escaped quote
+  EXPECT_EQ(match(s, "\"unterminated"), 0u);
+}
+
+TEST(Regex, LineCommentPattern) {
+  EXPECT_EQ(match("//[^\\n]*", "// trim\nx"), 7u);
+}
+
+TEST(Regex, BlockCommentPattern) {
+  const std::string c = "/\\*([^*]|\\*+[^*/])*\\*+/";
+  EXPECT_EQ(match(c, "/* hi */ after"), 8u);
+  EXPECT_EQ(match(c, "/* a * b */x"), 11u);
+  EXPECT_EQ(match(c, "/* open"), 0u);
+}
+
+TEST(Regex, MatchFromOffset) {
+  EXPECT_EQ(match("[0-9]+", "ab12cd", 2), 2u);
+}
+
+TEST(Regex, MalformedPatternsThrow) {
+  EXPECT_THROW(parseRegex("(ab"), std::invalid_argument);
+  EXPECT_THROW(parseRegex("[a-"), std::invalid_argument);
+  EXPECT_THROW(parseRegex("*a"), std::invalid_argument);
+  EXPECT_THROW(parseRegex("[z-a]"), std::invalid_argument);
+  EXPECT_THROW(parseRegex("a\\"), std::invalid_argument);
+}
+
+TEST(Regex, EmptyRegexMatchesEmptyOnly) {
+  auto re = parseRegex("");
+  Dfa d = compileRegex(*re);
+  EXPECT_EQ(d.longestMatch("abc", 0), 0u);
+  EXPECT_TRUE(d.accepting[0]);
+}
+
+} // namespace
+} // namespace mmx::lex

@@ -1,0 +1,146 @@
+#include "lex/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx::lex {
+namespace {
+
+/// Builds the little vocabulary used across these tests:
+/// layout, ID, INT, and the keywords `with` / `end`.
+struct Vocab {
+  LexSpec spec;
+  TerminalId ws, id, num, kwWith, kwEnd, lbrack;
+
+  Vocab() {
+    ws = spec.add({"WS", "[ \\t\\r\\n]+", false, 0, true});
+    id = spec.add({"ID", "[A-Za-z_][A-Za-z0-9_]*", false, 0, false});
+    num = spec.add({"INT", "[0-9]+", false, 0, false});
+    kwWith = spec.add({"'with'", "with", true, 10, false});
+    kwEnd = spec.add({"'end'", "end", true, 10, false});
+    lbrack = spec.add({"'['", "[", true, 10, false});
+  }
+
+  DynBitset allow(std::initializer_list<TerminalId> ts) const {
+    DynBitset b(spec.count());
+    for (auto t : ts) b.set(t);
+    return b;
+  }
+};
+
+TEST(Scanner, SkipsLayoutBeforeToken) {
+  Vocab v;
+  Scanner sc(v.spec);
+  size_t pos = 0;
+  auto r = sc.scan("   \t x", 0, pos, v.allow({v.id}));
+  ASSERT_EQ(r.status, ScanResult::Status::Ok);
+  EXPECT_EQ(r.token.text, "x");
+  EXPECT_EQ(pos, 6u);
+}
+
+TEST(Scanner, KeywordBeatsIdentifierByPrecedence) {
+  Vocab v;
+  Scanner sc(v.spec);
+  size_t pos = 0;
+  auto r = sc.scan("with", 0, pos, v.allow({v.id, v.kwWith}));
+  ASSERT_EQ(r.status, ScanResult::Status::Ok);
+  EXPECT_EQ(r.token.term, v.kwWith);
+}
+
+TEST(Scanner, MaximalMunchBeatsPrecedence) {
+  // `withloop` is an identifier even though `with` (higher precedence)
+  // matches a prefix.
+  Vocab v;
+  Scanner sc(v.spec);
+  size_t pos = 0;
+  auto r = sc.scan("withloop", 0, pos, v.allow({v.id, v.kwWith}));
+  ASSERT_EQ(r.status, ScanResult::Status::Ok);
+  EXPECT_EQ(r.token.term, v.id);
+  EXPECT_EQ(r.token.text, "withloop");
+}
+
+TEST(Scanner, ContextDisambiguatesEndKeywordFromIdentifier) {
+  // THE context-aware scanning payoff (paper §VI-A): `end` is a keyword
+  // where the parser allows it, an ordinary identifier elsewhere.
+  Vocab v;
+  Scanner sc(v.spec);
+
+  size_t pos = 0; // context: inside matrix index — 'end' allowed, ID not
+  auto r1 = sc.scan("end", 0, pos, v.allow({v.kwEnd, v.num}));
+  ASSERT_EQ(r1.status, ScanResult::Status::Ok);
+  EXPECT_EQ(r1.token.term, v.kwEnd);
+
+  pos = 0; // context: expression — only ID allowed
+  auto r2 = sc.scan("end", 0, pos, v.allow({v.id, v.num}));
+  ASSERT_EQ(r2.status, ScanResult::Status::Ok);
+  EXPECT_EQ(r2.token.term, v.id);
+  EXPECT_EQ(r2.token.text, "end");
+}
+
+TEST(Scanner, DisallowedTerminalIsInvisible) {
+  Vocab v;
+  Scanner sc(v.spec);
+  size_t pos = 0;
+  auto r = sc.scan("42", 0, pos, v.allow({v.id})); // numbers not valid here
+  EXPECT_EQ(r.status, ScanResult::Status::NoMatch);
+}
+
+TEST(Scanner, EofAfterTrailingLayout) {
+  Vocab v;
+  Scanner sc(v.spec);
+  size_t pos = 0;
+  auto r = sc.scan("  \n", 0, pos, v.allow({v.id}));
+  EXPECT_EQ(r.status, ScanResult::Status::Eof);
+  EXPECT_EQ(pos, 3u);
+}
+
+TEST(Scanner, AmbiguityReportedWhenSameLengthSamePrecedence) {
+  LexSpec spec;
+  spec.add({"A", "abc", true, 5, false});
+  spec.add({"B", "ab[c]", false, 5, false});
+  Scanner sc(spec);
+  size_t pos = 0;
+  DynBitset allow(spec.count());
+  allow.set(0);
+  allow.set(1);
+  auto r = sc.scan("abc", 0, pos, allow);
+  ASSERT_EQ(r.status, ScanResult::Status::Ambiguous);
+  EXPECT_EQ(r.matched.size(), 2u);
+}
+
+TEST(Scanner, TokenRangeIsByteAccurate) {
+  Vocab v;
+  Scanner sc(v.spec);
+  size_t pos = 0;
+  auto r = sc.scan("  abc ", 7, pos, v.allow({v.id}));
+  ASSERT_EQ(r.status, ScanResult::Status::Ok);
+  EXPECT_EQ(r.token.range.begin.file, 7u);
+  EXPECT_EQ(r.token.range.begin.offset, 2u);
+  EXPECT_EQ(r.token.range.end, 5u);
+}
+
+TEST(Scanner, ScanAnyConsidersEverything) {
+  Vocab v;
+  Scanner sc(v.spec);
+  size_t pos = 0;
+  auto r = sc.scanAny("with", 0, pos);
+  ASSERT_EQ(r.status, ScanResult::Status::Ok);
+  EXPECT_EQ(r.token.term, v.kwWith);
+}
+
+TEST(Scanner, SequentialTokens) {
+  Vocab v;
+  Scanner sc(v.spec);
+  size_t pos = 0;
+  auto all = v.allow({v.id, v.num, v.kwWith, v.kwEnd, v.lbrack});
+  std::vector<std::string> texts;
+  for (;;) {
+    auto r = sc.scan("with m [ end 42", 0, pos, all);
+    if (r.status != ScanResult::Status::Ok) break;
+    texts.emplace_back(r.token.text);
+  }
+  EXPECT_EQ(texts,
+            (std::vector<std::string>{"with", "m", "[", "end", "42"}));
+}
+
+} // namespace
+} // namespace mmx::lex

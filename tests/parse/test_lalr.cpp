@@ -1,0 +1,148 @@
+#include "parse/lalr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exprlang.hpp"
+
+namespace mmx::parse {
+namespace {
+
+using grammar::GSym;
+using test::ExprLang;
+
+TEST(Grammar, FirstSetsOfExprGrammar) {
+  ExprLang l;
+  // FIRST(E) = FIRST(T) = FIRST(F) = { '(', id }
+  for (auto nt : {l.E, l.T, l.F}) {
+    EXPECT_TRUE(l.g.first(nt).test(l.tId));
+    EXPECT_TRUE(l.g.first(nt).test(l.tLp));
+    EXPECT_FALSE(l.g.first(nt).test(l.tPlus));
+    EXPECT_FALSE(l.g.nullable(nt));
+  }
+}
+
+TEST(Grammar, NullableDetection) {
+  grammar::Grammar g;
+  auto a = g.addTerminal({"a", "a", true, 0, false});
+  auto A = g.addNonterminal("A");
+  auto B = g.addNonterminal("B");
+  g.addProduction(A, {GSym::nonterm(B), GSym::term(a)}, "p1", "host");
+  g.addProduction(B, {}, "p2", "host");
+  g.addProduction(B, {GSym::term(a)}, "p3", "host");
+  g.setStart(A);
+  g.computeFirstSets();
+  EXPECT_TRUE(g.nullable(B));
+  EXPECT_FALSE(g.nullable(A));
+  EXPECT_TRUE(g.first(A).test(a)); // through nullable B
+}
+
+TEST(Lalr, ExprGrammarIsConflictFree) {
+  ExprLang l;
+  LalrTables t = LalrTables::build(l.g);
+  EXPECT_TRUE(t.conflicts().empty());
+  EXPECT_GT(t.stateCount(), 5u);
+}
+
+TEST(Lalr, ValidTerminalsMatchClassicTable) {
+  ExprLang l;
+  LalrTables t = LalrTables::build(l.g);
+  // State 0 can start an expression: '(' and id only.
+  const auto& v = t.validTerminals(0);
+  EXPECT_TRUE(v.test(l.tId));
+  EXPECT_TRUE(v.test(l.tLp));
+  EXPECT_FALSE(v.test(l.tPlus));
+  EXPECT_FALSE(v.test(l.tRp));
+  EXPECT_FALSE(t.eofValid(0));
+}
+
+TEST(Lalr, ShiftReduceConflictDetectedAndShiftWins) {
+  // Dangling-else skeleton: S -> i S | i S e S | x
+  grammar::Grammar g;
+  auto ti = g.addTerminal({"i", "i", true, 0, false});
+  auto te = g.addTerminal({"e", "e", true, 0, false});
+  auto tx = g.addTerminal({"x", "x", true, 0, false});
+  auto S = g.addNonterminal("S");
+  g.addProduction(S, {GSym::term(ti), GSym::nonterm(S)}, "s_if", "host");
+  g.addProduction(S, {GSym::term(ti), GSym::nonterm(S), GSym::term(te),
+                      GSym::nonterm(S)},
+                  "s_ifelse", "host");
+  g.addProduction(S, {GSym::term(tx)}, "s_x", "host");
+  g.setStart(S);
+  g.computeFirstSets();
+
+  LalrTables t = LalrTables::build(g);
+  ASSERT_FALSE(t.conflicts().empty());
+  const Conflict& c = t.conflicts()[0];
+  EXPECT_EQ(c.kind, Conflict::Kind::ShiftReduce);
+  EXPECT_EQ(c.kept.kind, Action::Kind::Shift);
+  EXPECT_EQ(c.terminal, te);
+}
+
+TEST(Lalr, ReduceReduceConflictDetected) {
+  // S -> A | B ; A -> a ; B -> a
+  grammar::Grammar g;
+  auto ta = g.addTerminal({"a", "a", true, 0, false});
+  auto S = g.addNonterminal("S");
+  auto A = g.addNonterminal("A");
+  auto B = g.addNonterminal("B");
+  g.addProduction(S, {GSym::nonterm(A)}, "s_a", "host");
+  g.addProduction(S, {GSym::nonterm(B)}, "s_b", "ext1");
+  g.addProduction(A, {GSym::term(ta)}, "a_a", "host");
+  g.addProduction(B, {GSym::term(ta)}, "b_a", "ext1");
+  g.setStart(S);
+  g.computeFirstSets();
+
+  LalrTables t = LalrTables::build(g);
+  ASSERT_FALSE(t.conflicts().empty());
+  const Conflict& c = t.conflicts()[0];
+  EXPECT_EQ(c.kind, Conflict::Kind::ReduceReduce);
+  // Extension attribution feeds the modular determinism analysis.
+  EXPECT_EQ(c.extensionA, "host");
+  EXPECT_EQ(c.extensionB, "ext1");
+}
+
+TEST(Lalr, LalrNotSlr) {
+  // Grammar that is LALR(1) but not SLR(1) (classic):
+  //   S -> A a | b A c | d c | b d a ;  A -> d
+  grammar::Grammar g;
+  auto ta = g.addTerminal({"a", "a", true, 0, false});
+  auto tb = g.addTerminal({"b", "b", true, 0, false});
+  auto tc = g.addTerminal({"c", "c", true, 0, false});
+  auto td = g.addTerminal({"d", "d", true, 0, false});
+  auto S = g.addNonterminal("S");
+  auto A = g.addNonterminal("A");
+  g.addProduction(S, {GSym::nonterm(A), GSym::term(ta)}, "s1", "host");
+  g.addProduction(S, {GSym::term(tb), GSym::nonterm(A), GSym::term(tc)}, "s2",
+                  "host");
+  g.addProduction(S, {GSym::term(td), GSym::term(tc)}, "s3", "host");
+  g.addProduction(S, {GSym::term(tb), GSym::term(td), GSym::term(ta)}, "s4",
+                  "host");
+  g.addProduction(A, {GSym::term(td)}, "a1", "host");
+  g.setStart(S);
+  g.computeFirstSets();
+
+  // SLR would conflict on 'a'/'c' after d; exact LALR(1) lookaheads do not.
+  LalrTables t = LalrTables::build(g);
+  EXPECT_TRUE(t.conflicts().empty());
+}
+
+TEST(Lalr, EofOnlyAcceptedAtEnd) {
+  ExprLang l;
+  LalrTables t = LalrTables::build(l.g);
+  size_t statesAcceptingEof = 0;
+  for (uint32_t s = 0; s < t.stateCount(); ++s)
+    if (t.eofValid(s)) ++statesAcceptingEof;
+  EXPECT_GT(statesAcceptingEof, 0u);
+  EXPECT_LT(statesAcceptingEof, t.stateCount());
+}
+
+TEST(Lalr, ExpectedTerminalsRendersNames) {
+  ExprLang l;
+  LalrTables t = LalrTables::build(l.g);
+  std::string e = t.expectedTerminals(l.g, 0);
+  EXPECT_NE(e.find("id"), std::string::npos);
+  EXPECT_NE(e.find("'('"), std::string::npos);
+}
+
+} // namespace
+} // namespace mmx::parse

@@ -1,0 +1,145 @@
+#include "runtime/alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "runtime/refcount.hpp"
+
+namespace mmx::rt {
+namespace {
+
+TEST(MutexAllocator, RoundTripAndReuse) {
+  auto& a = MutexAllocator::instance();
+  void* p = a.allocate(100);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 100);
+  a.deallocate(p);
+  void* q = a.allocate(100); // same bucket: should reuse the block
+  EXPECT_EQ(q, p);
+  a.deallocate(q);
+  a.trim();
+}
+
+TEST(MutexAllocator, PayloadAligned) {
+  auto& a = MutexAllocator::instance();
+  for (size_t sz : {1u, 17u, 4096u}) {
+    void* p = a.allocate(sz);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+    a.deallocate(p);
+  }
+  a.trim();
+}
+
+TEST(MutexAllocator, DistinctSizesDistinctBuckets) {
+  auto& a = MutexAllocator::instance();
+  void* small = a.allocate(10);
+  void* big = a.allocate(100000);
+  EXPECT_NE(small, big);
+  a.deallocate(small);
+  a.deallocate(big);
+  void* small2 = a.allocate(10);
+  EXPECT_EQ(small2, small);
+  a.deallocate(small2);
+  a.trim();
+}
+
+TEST(MutexAllocator, CountsLockAcquisitions) {
+  auto& a = MutexAllocator::instance();
+  uint64_t before = a.lockAcquisitions();
+  void* p = a.allocate(8);
+  a.deallocate(p);
+  EXPECT_EQ(a.lockAcquisitions(), before + 2);
+  a.trim();
+}
+
+TEST(MutexAllocator, ParallelChurnIsCorrect) {
+  auto& a = MutexAllocator::instance();
+  constexpr int kThreads = 4, kIters = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&a, t] {
+      for (int i = 0; i < kIters; ++i) {
+        auto* p = static_cast<uint32_t*>(a.allocate(64));
+        *p = static_cast<uint32_t>(t * kIters + i);
+        EXPECT_EQ(*p, static_cast<uint32_t>(t * kIters + i));
+        a.deallocate(p);
+      }
+    });
+  for (auto& t : ts) t.join();
+  a.trim();
+}
+
+TEST(ArenaAllocator, BumpAllocationsAreDisjoint) {
+  auto& a = ArenaAllocator::instance();
+  a.reset();
+  char* p = static_cast<char*>(a.allocate(100));
+  char* q = static_cast<char*>(a.allocate(100));
+  EXPECT_NE(p, q);
+  std::memset(p, 1, 100);
+  std::memset(q, 2, 100);
+  EXPECT_EQ(p[99], 1);
+  EXPECT_EQ(q[0], 2);
+  a.reset();
+}
+
+TEST(ArenaAllocator, Aligned16) {
+  auto& a = ArenaAllocator::instance();
+  a.reset();
+  for (size_t sz : {1u, 5u, 31u, 100u}) {
+    void* p = a.allocate(sz);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+  }
+  a.reset();
+}
+
+TEST(ArenaAllocator, LargeAllocationGetsOwnChunk) {
+  auto& a = ArenaAllocator::instance();
+  a.reset();
+  void* big = a.allocate(4 << 20);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xcd, 4 << 20);
+  a.reset();
+  EXPECT_EQ(a.chunkCount(), 0u);
+}
+
+TEST(ArenaAllocator, ParallelThreadsGetPrivateArenas) {
+  auto& a = ArenaAllocator::instance();
+  a.reset();
+  constexpr int kThreads = 4;
+  std::vector<void*> firsts(kThreads, nullptr);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] { firsts[t] = a.allocate(64); });
+  for (auto& t : ts) t.join();
+  for (int i = 0; i < kThreads; ++i)
+    for (int j = i + 1; j < kThreads; ++j) EXPECT_NE(firsts[i], firsts[j]);
+  a.reset();
+}
+
+TEST(RcAllocHooks, RefcountCellsRunOnArena) {
+  auto& a = ArenaAllocator::instance();
+  a.reset();
+  setRcAllocHooks({arenaAllocHook, arenaFreeHook});
+  void* p = rcAlloc(256);
+  EXPECT_EQ(rcCount(p), 1);
+  rcRelease(p); // arena free is a no-op; cell accounting still works
+  setRcAllocHooks({});
+  a.reset();
+}
+
+TEST(RcAllocHooks, RefcountCellsRunOnMutexAllocator) {
+  setRcAllocHooks({mutexAllocHook, mutexFreeHook});
+  void* p = rcAlloc(64);
+  rcRetain(p);
+  EXPECT_FALSE(rcRelease(p));
+  EXPECT_TRUE(rcRelease(p));
+  setRcAllocHooks({});
+  MutexAllocator::instance().trim();
+}
+
+} // namespace
+} // namespace mmx::rt

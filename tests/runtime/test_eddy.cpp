@@ -1,0 +1,147 @@
+#include "runtime/eddy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/ssh_synth.hpp"
+
+namespace mmx::rt {
+namespace {
+
+TEST(GetTrough, WalksDownThenUp) {
+  //            0    1    2    3    4   5
+  float ts[] = {2.f, 1.f, 0.f, 1.f, 2.f, 1.f};
+  Trough t = getTrough(ts, 6, 0);
+  EXPECT_EQ(t.begin, 0);
+  EXPECT_EQ(t.end, 4); // stops at the next local max
+  ASSERT_EQ(t.values.size(), 5u);
+  EXPECT_FLOAT_EQ(t.values[2], 0.f);
+}
+
+TEST(GetTrough, PlateauCountsAsDescent) {
+  float ts[] = {1.f, 1.f, 0.f, 1.f};
+  Trough t = getTrough(ts, 4, 0);
+  EXPECT_EQ(t.begin, 0);
+  EXPECT_EQ(t.end, 3);
+}
+
+TEST(GetTrough, TailClampsToSeriesEnd) {
+  float ts[] = {2.f, 1.f, 0.f};
+  Trough t = getTrough(ts, 3, 0);
+  EXPECT_EQ(t.end, 2);
+}
+
+TEST(ComputeArea, SymmetricVee) {
+  // Line from 2 to 2 over 5 points = flat at 2; data = 2,1,0,1,2.
+  // Differences: 0,1,2,1,0 => area 4.
+  EXPECT_FLOAT_EQ(computeArea({2, 1, 0, 1, 2}), 4.f);
+}
+
+TEST(ComputeArea, SlantedLine) {
+  // Endpoints 0 and 4 over 5 points: line = 0,1,2,3,4; data 0,0,0,0,4.
+  EXPECT_FLOAT_EQ(computeArea({0, 0, 0, 0, 4}), 1 + 2 + 3);
+}
+
+TEST(ComputeArea, DegenerateInputs) {
+  EXPECT_FLOAT_EQ(computeArea({}), 0.f);
+  EXPECT_FLOAT_EQ(computeArea({5.f}), 0.f);
+  EXPECT_FLOAT_EQ(computeArea({1.f, 2.f}), 0.f); // line == data
+}
+
+TEST(ScoreTS, SingleTroughScoresItsExtent) {
+  //             trim^  v-------trough-------v
+  float ts[] = {0.f, 1.f, 0.f, -1.f, 0.f, 1.f, 0.5f};
+  float out[7];
+  scoreTS(ts, 7, out);
+  // Trim ends at index 1 (first local max). Trough spans [1,5]; area of
+  // {1,0,-1,0,1} vs flat line at 1: 0+1+2+1+0 = 4. The shared endpoint 5
+  // is then overwritten by the next (degenerate) trough {1, 0.5} — the
+  // paper's scores[beginning::i] assignment does exactly this.
+  EXPECT_FLOAT_EQ(out[0], 0.f);
+  for (int k = 1; k <= 4; ++k) EXPECT_FLOAT_EQ(out[k], 4.f) << k;
+  EXPECT_FLOAT_EQ(out[5], 0.f);
+  EXPECT_FLOAT_EQ(out[6], 0.f);
+}
+
+TEST(ScoreTS, DeepTroughOutscoresShallowOne) {
+  // Two troughs: shallow then deep — the paper's ranking property.
+  float ts[] = {0, 1, 0.5f, 1, 1, -2, 1, 0};
+  float out[8];
+  scoreTS(ts, 8, out);
+  float shallow = out[2];
+  float deep = out[5];
+  EXPECT_GT(deep, shallow);
+  EXPECT_GT(deep, 0.f);
+}
+
+TEST(ScoreTS, MonotoneSeriesScoresZero) {
+  float up[] = {0, 1, 2, 3, 4};
+  float out[5];
+  scoreTS(up, 5, out);
+  for (float v : out) EXPECT_FLOAT_EQ(v, 0.f);
+}
+
+TEST(ScoreTS, ShortSeries) {
+  float one[] = {1.f};
+  float out1[1] = {9.f};
+  scoreTS(one, 1, out1);
+  EXPECT_FLOAT_EQ(out1[0], 0.f);
+}
+
+TEST(ScoreAllSeries, MatchesPerSeriesOracle) {
+  SshParams p;
+  p.nlat = 6;
+  p.nlon = 5;
+  p.ntime = 40;
+  p.numEddies = 2;
+  Matrix ssh = synthesizeSsh(p);
+  ForkJoinPool pool(4);
+  Matrix scores = scoreAllSeries(pool, ssh);
+  ASSERT_EQ(scores.rank(), 3u);
+
+  std::vector<float> expect(p.ntime);
+  for (int64_t ij = 0; ij < p.nlat * p.nlon; ++ij) {
+    scoreTS(ssh.f32() + ij * p.ntime, static_cast<int>(p.ntime),
+            expect.data());
+    for (int64_t k = 0; k < p.ntime; ++k)
+      ASSERT_FLOAT_EQ(scores.f32()[ij * p.ntime + k], expect[k])
+          << "series " << ij << " step " << k;
+  }
+}
+
+TEST(ScoreAllSeries, EddyPointsOutscoreQuietPoints) {
+  // End-to-end sanity on synthetic data: the max trough score across the
+  // map should sit on a point an eddy actually crossed.
+  SshParams p;
+  p.nlat = 24;
+  p.nlon = 24;
+  p.ntime = 64;
+  p.numEddies = 3;
+  p.noiseAmp = 0.02f;
+  Matrix ssh = synthesizeSsh(p);
+  SerialExecutor ex;
+  Matrix scores = scoreAllSeries(ex, ssh);
+  Matrix truth = eddyGroundTruth(p, 1.5f);
+
+  // Max score per (lat, lon).
+  float bestScore = -1.f;
+  int64_t bestIdx = -1;
+  for (int64_t ij = 0; ij < p.nlat * p.nlon; ++ij) {
+    for (int64_t k = 0; k < p.ntime; ++k) {
+      float s = scores.f32()[ij * p.ntime + k];
+      if (s > bestScore) {
+        bestScore = s;
+        bestIdx = ij;
+      }
+    }
+  }
+  ASSERT_GE(bestIdx, 0);
+  bool touched = false;
+  for (int64_t k = 0; k < p.ntime; ++k)
+    if (truth.boolean()[bestIdx * p.ntime + k]) touched = true;
+  EXPECT_TRUE(touched) << "highest-scoring point never met an eddy";
+}
+
+} // namespace
+} // namespace mmx::rt

@@ -1,0 +1,77 @@
+#include "runtime/matio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace mmx::rt {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(MatIO, RoundTripF32) {
+  TempFile f("roundtrip_f32.mmx");
+  Matrix m = Matrix::fromF32({2, 3}, {1.5f, -2.f, 3.f, 0.f, 1e6f, -0.25f});
+  writeMatrixFile(f.path, m);
+  Matrix r = readMatrixFile(f.path);
+  EXPECT_TRUE(m.equals(r));
+}
+
+TEST(MatIO, RoundTripI32AndBool) {
+  TempFile fi("roundtrip_i32.mmx");
+  Matrix mi = Matrix::fromI32({4}, {-1, 0, 7, 1 << 30});
+  writeMatrixFile(fi.path, mi);
+  EXPECT_TRUE(mi.equals(readMatrixFile(fi.path)));
+
+  TempFile fb("roundtrip_bool.mmx");
+  Matrix mb = Matrix::fromBool({2, 2}, {1, 0, 0, 1});
+  writeMatrixFile(fb.path, mb);
+  EXPECT_TRUE(mb.equals(readMatrixFile(fb.path)));
+}
+
+TEST(MatIO, RoundTripRank3) {
+  TempFile f("roundtrip_r3.mmx");
+  Matrix m = Matrix::zeros(Elem::F32, {3, 4, 5});
+  for (int64_t i = 0; i < m.size(); ++i) m.f32()[i] = static_cast<float>(i);
+  writeMatrixFile(f.path, m);
+  EXPECT_TRUE(m.equals(readMatrixFile(f.path)));
+}
+
+TEST(MatIO, MissingFileThrows) {
+  EXPECT_THROW(readMatrixFile("/nonexistent/nowhere.mmx"),
+               std::runtime_error);
+}
+
+TEST(MatIO, BadMagicThrows) {
+  TempFile f("badmagic.mmx");
+  std::ofstream(f.path, std::ios::binary) << "NOPE data here";
+  EXPECT_THROW(readMatrixFile(f.path), std::runtime_error);
+}
+
+TEST(MatIO, TruncatedDataThrows) {
+  TempFile f("trunc.mmx");
+  Matrix m = Matrix::zeros(Elem::F32, {100});
+  writeMatrixFile(f.path, m);
+  // Chop the file short.
+  std::ifstream in(f.path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(f.path, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() / 2);
+  EXPECT_THROW(readMatrixFile(f.path), std::runtime_error);
+}
+
+TEST(MatIO, NullMatrixWriteThrows) {
+  EXPECT_THROW(writeMatrixFile("/tmp/never.mmx", Matrix()),
+               std::runtime_error);
+}
+
+} // namespace
+} // namespace mmx::rt

@@ -1,0 +1,145 @@
+#include "runtime/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mmx::rt {
+namespace {
+
+/// Shared checks for any Executor: full coverage, no overlap, correct sums.
+void checkCoverage(Executor& ex, int64_t n) {
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ex.run(0, n, [&](int64_t lo, int64_t hi, unsigned) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "iteration " << i;
+}
+
+TEST(SerialExecutor, CoversRangeOnce) {
+  SerialExecutor ex;
+  checkCoverage(ex, 1000);
+  EXPECT_EQ(ex.threads(), 1u);
+}
+
+TEST(ForkJoinPool, CoversRangeOnceManyThreads) {
+  for (unsigned nt : {1u, 2u, 3u, 4u, 8u}) {
+    ForkJoinPool pool(nt);
+    checkCoverage(pool, 1013); // prime: uneven chunking
+  }
+}
+
+TEST(ForkJoinPool, RepeatedRegionsReuseWorkers) {
+  ForkJoinPool pool(4);
+  std::atomic<int64_t> sum{0};
+  for (int r = 0; r < 200; ++r)
+    pool.run(0, 100, [&](int64_t lo, int64_t hi, unsigned) {
+      int64_t s = 0;
+      for (int64_t i = lo; i < hi; ++i) s += i;
+      sum.fetch_add(s);
+    });
+  EXPECT_EQ(sum.load(), 200 * (99 * 100 / 2));
+  EXPECT_EQ(pool.generation(), 200u); // one release per region
+}
+
+TEST(ForkJoinPool, EmptyRangeIsNoop) {
+  ForkJoinPool pool(4);
+  bool called = false;
+  pool.run(5, 5, [&](int64_t, int64_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+  pool.run(5, 3, [&](int64_t, int64_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ForkJoinPool, RangeSmallerThanThreadCount) {
+  ForkJoinPool pool(8);
+  std::atomic<int> count{0};
+  pool.run(0, 3, [&](int64_t lo, int64_t hi, unsigned) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ForkJoinPool, TidsAreDistinctAndInRange) {
+  ForkJoinPool pool(4);
+  std::vector<std::atomic<int>> used(4);
+  for (auto& u : used) u.store(0);
+  pool.run(0, 4000, [&](int64_t, int64_t, unsigned tid) {
+    ASSERT_LT(tid, 4u);
+    used[tid].fetch_add(1);
+  });
+  // With 4000 iterations every thread gets a non-empty chunk.
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(used[t].load(), 1) << t;
+}
+
+TEST(ForkJoinPool, MainThreadParticipates) {
+  ForkJoinPool pool(2);
+  std::thread::id mainId = std::this_thread::get_id();
+  std::atomic<bool> mainRan{false};
+  pool.run(0, 2, [&](int64_t, int64_t, unsigned tid) {
+    if (tid == 0) {
+      EXPECT_EQ(std::this_thread::get_id(), mainId);
+      mainRan.store(true);
+    }
+  });
+  EXPECT_TRUE(mainRan.load());
+}
+
+TEST(ForkJoinPool, NonZeroLowerBound) {
+  ForkJoinPool pool(3);
+  std::atomic<int64_t> sum{0};
+  pool.run(100, 200, [&](int64_t lo, int64_t hi, unsigned) {
+    int64_t s = 0;
+    for (int64_t i = lo; i < hi; ++i) s += i;
+    sum.fetch_add(s);
+  });
+  int64_t expect = 0;
+  for (int64_t i = 100; i < 200; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ForkJoinPool, StressManySmallRegions) {
+  // The enhanced fork-join point: thousands of regions must be cheap and
+  // correct (no lost generations, no deadlock).
+  ForkJoinPool pool(4);
+  std::atomic<int64_t> total{0};
+  for (int r = 0; r < 2000; ++r)
+    pool.run(0, 8, [&](int64_t lo, int64_t hi, unsigned) {
+      total.fetch_add(hi - lo);
+    });
+  EXPECT_EQ(total.load(), 2000 * 8);
+}
+
+TEST(NaiveForkJoin, CoversRangeOnce) {
+  NaiveForkJoin ex(4);
+  checkCoverage(ex, 257);
+}
+
+TEST(NaiveForkJoin, MatchesPoolResults) {
+  auto work = [](Executor& ex) {
+    std::vector<int64_t> out(500, 0);
+    ex.run(0, 500, [&](int64_t lo, int64_t hi, unsigned) {
+      for (int64_t i = lo; i < hi; ++i) out[i] = i * i;
+    });
+    return out;
+  };
+  ForkJoinPool pool(3);
+  NaiveForkJoin naive(3);
+  SerialExecutor serial;
+  auto a = work(pool), b = work(naive), c = work(serial);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(b, c);
+}
+
+TEST(ForkJoinPool, ZeroThreadsClampedToOne) {
+  ForkJoinPool pool(0);
+  EXPECT_EQ(pool.threads(), 1u);
+  checkCoverage(pool, 10);
+}
+
+} // namespace
+} // namespace mmx::rt

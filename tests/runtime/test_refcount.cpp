@@ -1,0 +1,120 @@
+#include "runtime/refcount.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace mmx::rt {
+namespace {
+
+TEST(Refcount, AllocStartsAtOne) {
+  void* p = rcAlloc(64);
+  EXPECT_EQ(rcCount(p), 1);
+  EXPECT_TRUE(rcRelease(p));
+}
+
+TEST(Refcount, RetainReleaseBalance) {
+  void* p = rcAlloc(16);
+  rcRetain(p);
+  rcRetain(p);
+  EXPECT_EQ(rcCount(p), 3);
+  EXPECT_FALSE(rcRelease(p));
+  EXPECT_FALSE(rcRelease(p));
+  EXPECT_EQ(rcCount(p), 1);
+  EXPECT_TRUE(rcRelease(p)); // freed exactly at zero
+}
+
+TEST(Refcount, ReleaseNullIsNoop) { EXPECT_FALSE(rcRelease(nullptr)); }
+
+TEST(Refcount, PayloadIs16ByteAligned) {
+  for (size_t sz : {1u, 7u, 64u, 1000u}) {
+    void* p = rcAlloc(sz);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u) << sz;
+    rcRelease(p);
+  }
+}
+
+TEST(Refcount, LiveBlockAccounting) {
+  int64_t before = rcLiveBlocks();
+  void* a = rcAlloc(8);
+  void* b = rcAlloc(8);
+  EXPECT_EQ(rcLiveBlocks(), before + 2);
+  rcRelease(a);
+  rcRelease(b);
+  EXPECT_EQ(rcLiveBlocks(), before);
+}
+
+TEST(Refcount, PayloadIsUsable) {
+  auto* p = static_cast<int32_t*>(rcAlloc(4 * sizeof(int32_t)));
+  for (int i = 0; i < 4; ++i) p[i] = i * 7;
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(p[i], i * 7);
+  rcRelease(p);
+}
+
+TEST(Refcount, ConcurrentRetainRelease) {
+  void* p = rcAlloc(8);
+  constexpr int kThreads = 8, kIters = 5000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        rcRetain(p);
+        rcRelease(p);
+      }
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(rcCount(p), 1);
+  EXPECT_TRUE(rcRelease(p));
+}
+
+TEST(RcPtr, CopySharesAndCounts) {
+  auto a = RcPtr<float>::allocate(10);
+  EXPECT_EQ(a.useCount(), 1);
+  {
+    RcPtr<float> b = a;
+    EXPECT_EQ(a.useCount(), 2);
+    EXPECT_EQ(b.get(), a.get());
+  }
+  EXPECT_EQ(a.useCount(), 1);
+}
+
+TEST(RcPtr, MoveTransfersWithoutCounting) {
+  auto a = RcPtr<int32_t>::allocate(4);
+  int32_t* raw = a.get();
+  RcPtr<int32_t> b = std::move(a);
+  EXPECT_FALSE(a);
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_EQ(b.useCount(), 1);
+}
+
+TEST(RcPtr, AssignmentReleasesOldTarget) {
+  int64_t before = rcLiveBlocks();
+  {
+    auto a = RcPtr<int32_t>::allocate(4);
+    auto b = RcPtr<int32_t>::allocate(4);
+    EXPECT_EQ(rcLiveBlocks(), before + 2);
+    b = a; // old b buffer must be freed
+    EXPECT_EQ(rcLiveBlocks(), before + 1);
+    EXPECT_EQ(a.useCount(), 2);
+  }
+  EXPECT_EQ(rcLiveBlocks(), before);
+}
+
+TEST(RcPtr, SelfAssignmentSafe) {
+  auto a = RcPtr<int32_t>::allocate(2);
+  a[0] = 5;
+  auto& ref = a;
+  a = ref;
+  EXPECT_EQ(a.useCount(), 1);
+  EXPECT_EQ(a[0], 5);
+}
+
+TEST(RcPtr, AllocateZeroInitializes) {
+  auto a = RcPtr<int32_t>::allocate(100);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(a[i], 0);
+}
+
+} // namespace
+} // namespace mmx::rt

@@ -1,0 +1,116 @@
+#include "runtime/ssh_synth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx::rt {
+namespace {
+
+TEST(SshSynth, ShapeMatchesParams) {
+  SshParams p;
+  p.nlat = 10;
+  p.nlon = 20;
+  p.ntime = 30;
+  Matrix m = synthesizeSsh(p);
+  EXPECT_EQ(m.rank(), 3u);
+  EXPECT_EQ(m.dim(0), 10);
+  EXPECT_EQ(m.dim(1), 20);
+  EXPECT_EQ(m.dim(2), 30);
+  EXPECT_EQ(m.elem(), Elem::F32);
+}
+
+TEST(SshSynth, DeterministicForSameSeed) {
+  SshParams p;
+  p.nlat = 8;
+  p.nlon = 8;
+  p.ntime = 16;
+  EXPECT_TRUE(synthesizeSsh(p).equals(synthesizeSsh(p)));
+}
+
+TEST(SshSynth, DifferentSeedsDiffer) {
+  SshParams a, b;
+  a.nlat = b.nlat = 8;
+  a.nlon = b.nlon = 8;
+  a.ntime = b.ntime = 16;
+  b.seed = 777;
+  EXPECT_FALSE(synthesizeSsh(a).equals(synthesizeSsh(b)));
+}
+
+TEST(SshSynth, EddyCentresAreDepressed) {
+  SshParams p;
+  p.nlat = 32;
+  p.nlon = 32;
+  p.ntime = 48;
+  p.noiseAmp = 0.01f;
+  Matrix m = synthesizeSsh(p);
+  auto tracks = makeTracks(p);
+  ASSERT_FALSE(tracks.empty());
+
+  // At an active timestep, the eddy centre must be well below the field
+  // mean (depth >= 0.8 vs base amplitude 0.3).
+  const EddyTrack& e = tracks[0];
+  int t = (e.t0 + e.t1) / 2;
+  int64_t ci = static_cast<int64_t>(e.lat0 + e.vlat * (t - e.t0));
+  int64_t cj = static_cast<int64_t>(e.lon0 + e.vlon * (t - e.t0));
+  ASSERT_GE(ci, 0);
+  ASSERT_LT(ci, p.nlat);
+  float centre = m.f32()[(ci * p.nlon + cj) * p.ntime + t];
+  EXPECT_LT(centre, -0.3f);
+}
+
+TEST(SshSynth, TroughSignatureExistsInTimeSeries) {
+  // Fig. 7's shape: at a point an eddy crosses, the series must dip and
+  // recover (a strict interior minimum well below its neighbourhood max).
+  SshParams p;
+  p.nlat = 32;
+  p.nlon = 32;
+  p.ntime = 64;
+  p.noiseAmp = 0.01f;
+  Matrix m = synthesizeSsh(p);
+  auto tracks = makeTracks(p);
+  const EddyTrack& e = tracks[0];
+  int tmid = (e.t0 + e.t1) / 2;
+  int64_t ci = static_cast<int64_t>(e.lat0 + e.vlat * (tmid - e.t0));
+  int64_t cj = static_cast<int64_t>(e.lon0 + e.vlon * (tmid - e.t0));
+  const float* series = m.f32() + (ci * p.nlon + cj) * p.ntime;
+  float minv = series[0], maxv = series[0];
+  for (int64_t t = 0; t < p.ntime; ++t) {
+    minv = std::min(minv, series[t]);
+    maxv = std::max(maxv, series[t]);
+  }
+  EXPECT_GT(maxv - minv, 0.6f) << "no trough signature at eddy crossing";
+}
+
+TEST(SshSynth, TracksStayMostlyInGrid) {
+  SshParams p;
+  auto tracks = makeTracks(p);
+  EXPECT_EQ(static_cast<int>(tracks.size()), p.numEddies);
+  for (const auto& e : tracks) {
+    EXPECT_GE(e.lat0, 0.f);
+    EXPECT_LT(e.lat0, static_cast<float>(p.nlat));
+    EXPECT_GT(e.depth, 0.f);
+    EXPECT_GT(e.radius, 0.f);
+    EXPECT_LE(e.t1, p.ntime);
+    EXPECT_LT(e.t0, e.t1);
+  }
+}
+
+TEST(SshSynth, GroundTruthMarksEddyCentres) {
+  SshParams p;
+  p.nlat = 32;
+  p.nlon = 32;
+  p.ntime = 48;
+  Matrix truth = eddyGroundTruth(p);
+  auto tracks = makeTracks(p);
+  const EddyTrack& e = tracks[0];
+  int t = (e.t0 + e.t1) / 2;
+  int64_t ci = static_cast<int64_t>(e.lat0 + e.vlat * (t - e.t0));
+  int64_t cj = static_cast<int64_t>(e.lon0 + e.vlon * (t - e.t0));
+  EXPECT_TRUE(truth.boolean()[(ci * p.nlon + cj) * p.ntime + t]);
+  // And plenty of the ocean is quiet.
+  int64_t marked = 0;
+  for (int64_t i = 0; i < truth.size(); ++i) marked += truth.boolean()[i];
+  EXPECT_LT(marked, truth.size() / 4);
+}
+
+} // namespace
+} // namespace mmx::rt

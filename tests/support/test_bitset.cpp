@@ -1,0 +1,78 @@
+#include "support/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx {
+namespace {
+
+TEST(DynBitset, SetTestReset) {
+  DynBitset b(100);
+  EXPECT_FALSE(b.test(63));
+  b.set(63);
+  b.set(64);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+}
+
+TEST(DynBitset, CountAndAny) {
+  DynBitset b(130);
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.count(), 0u);
+  b.set(0);
+  b.set(129);
+  EXPECT_TRUE(b.any());
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(DynBitset, MergeReportsChange) {
+  DynBitset a(70), b(70);
+  b.set(69);
+  EXPECT_TRUE(a.merge(b));
+  EXPECT_FALSE(a.merge(b)); // already merged
+  EXPECT_TRUE(a.test(69));
+}
+
+TEST(DynBitset, MergeSmallerUniverseIsSafe) {
+  DynBitset big(130), small(60);
+  small.set(3);
+  EXPECT_TRUE(big.merge(small));
+  EXPECT_TRUE(big.test(3));
+  // And the reverse direction only merges the overlapping words.
+  big.set(10);
+  EXPECT_TRUE(small.merge(big));
+  EXPECT_TRUE(small.test(10));
+}
+
+TEST(DynBitset, ForEachVisitsAscending) {
+  DynBitset b(200);
+  b.set(5);
+  b.set(64);
+  b.set(199);
+  std::vector<size_t> seen;
+  b.forEach([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{5, 64, 199}));
+}
+
+TEST(DynBitset, EqualityComparesContentAndSize) {
+  DynBitset a(64), b(64), c(65);
+  a.set(1);
+  EXPECT_NE(a, b);
+  b.set(1);
+  EXPECT_EQ(a, b);
+  c.set(1);
+  EXPECT_NE(a, c); // different universes
+}
+
+TEST(DynBitset, ClearResetsAll) {
+  DynBitset a(128);
+  a.set(0);
+  a.set(127);
+  a.clear();
+  EXPECT_FALSE(a.any());
+}
+
+} // namespace
+} // namespace mmx

@@ -1,0 +1,45 @@
+#include "support/diag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx {
+namespace {
+
+TEST(Diagnostics, ErrorsAreCounted) {
+  DiagnosticEngine d;
+  EXPECT_FALSE(d.hasErrors());
+  d.warning({}, "w");
+  EXPECT_FALSE(d.hasErrors());
+  d.error({}, "e1");
+  d.error({}, "e2");
+  EXPECT_TRUE(d.hasErrors());
+  EXPECT_EQ(d.errorCount(), 2u);
+  EXPECT_EQ(d.all().size(), 3u);
+}
+
+TEST(Diagnostics, RenderIncludesLocation) {
+  SourceManager sm;
+  FileId f = sm.add("prog.xc", "int x\nfloat y;");
+  DiagnosticEngine d;
+  d.error({{f, 6}, 11}, "expected ';'");
+  std::string out = d.render(sm);
+  EXPECT_NE(out.find("prog.xc:2:1: error: expected ';'"), std::string::npos);
+}
+
+TEST(Diagnostics, RenderWithoutLocationOmitsIt) {
+  SourceManager sm;
+  DiagnosticEngine d;
+  d.note({}, "composed 3 extensions");
+  EXPECT_EQ(d.render(sm), "note: composed 3 extensions\n");
+}
+
+TEST(Diagnostics, ClearEmpties) {
+  DiagnosticEngine d;
+  d.error({}, "x");
+  d.clear();
+  EXPECT_FALSE(d.hasErrors());
+  EXPECT_TRUE(d.all().empty());
+}
+
+} // namespace
+} // namespace mmx

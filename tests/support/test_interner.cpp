@@ -1,0 +1,63 @@
+#include "support/interner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx {
+namespace {
+
+TEST(Interner, InternReturnsSameSymbolForSameString) {
+  Interner in;
+  Symbol a = in.intern("hello");
+  Symbol b = in.intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Interner, DistinctStringsGetDistinctSymbols) {
+  Interner in;
+  Symbol a = in.intern("foo");
+  Symbol b = in.intern("bar");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Interner, TextRoundTrips) {
+  Interner in;
+  Symbol a = in.intern("matrixMap");
+  EXPECT_EQ(in.text(a), "matrixMap");
+}
+
+TEST(Interner, DefaultSymbolIsInvalid) {
+  Symbol s;
+  EXPECT_FALSE(s.valid());
+  Interner in;
+  EXPECT_NE(s, in.intern("x"));
+}
+
+TEST(Interner, TextOfInvalidSymbolThrows) {
+  Interner in;
+  EXPECT_THROW(in.text(Symbol{}), std::out_of_range);
+}
+
+// Regression guard for the SSO/reallocation pitfall: intern enough short
+// strings to force repeated growth, then verify every lookup still works.
+TEST(Interner, ManyShortStringsRemainStable) {
+  Interner in;
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 5000; ++i)
+    syms.push_back(in.intern("s" + std::to_string(i)));
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(in.text(syms[i]), "s" + std::to_string(i));
+    EXPECT_EQ(in.intern("s" + std::to_string(i)), syms[i]);
+  }
+}
+
+TEST(Interner, EmptyStringIsInternable) {
+  Interner in;
+  Symbol e = in.intern("");
+  EXPECT_TRUE(e.valid());
+  EXPECT_EQ(in.text(e), "");
+}
+
+} // namespace
+} // namespace mmx

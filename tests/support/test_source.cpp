@@ -1,0 +1,63 @@
+#include "support/source.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx {
+namespace {
+
+TEST(SourceManager, SingleLineLineCol) {
+  SourceManager sm;
+  FileId f = sm.add("a.xc", "int x;");
+  EXPECT_EQ(sm.lineCol({f, 0}).line, 1u);
+  EXPECT_EQ(sm.lineCol({f, 0}).col, 1u);
+  EXPECT_EQ(sm.lineCol({f, 4}).col, 5u);
+}
+
+TEST(SourceManager, MultiLineLineCol) {
+  SourceManager sm;
+  FileId f = sm.add("a.xc", "ab\ncd\nef");
+  EXPECT_EQ(sm.lineCol({f, 0}).line, 1u);
+  EXPECT_EQ(sm.lineCol({f, 3}).line, 2u);
+  EXPECT_EQ(sm.lineCol({f, 3}).col, 1u);
+  EXPECT_EQ(sm.lineCol({f, 7}).line, 3u);
+  EXPECT_EQ(sm.lineCol({f, 7}).col, 2u);
+}
+
+TEST(SourceManager, LocationAtNewlineBelongsToItsLine) {
+  SourceManager sm;
+  FileId f = sm.add("a.xc", "ab\ncd");
+  EXPECT_EQ(sm.lineCol({f, 2}).line, 1u); // the '\n' itself
+  EXPECT_EQ(sm.lineCol({f, 2}).col, 3u);
+}
+
+TEST(SourceManager, SnippetExtractsRange) {
+  SourceManager sm;
+  FileId f = sm.add("a.xc", "Matrix float <3> mat;");
+  SourceRange r{{f, 0}, 6};
+  EXPECT_EQ(sm.snippet(r), "Matrix");
+}
+
+TEST(SourceManager, SnippetClampsOutOfRange) {
+  SourceManager sm;
+  FileId f = sm.add("a.xc", "abc");
+  SourceRange r{{f, 2}, 99};
+  EXPECT_EQ(sm.snippet(r), "c");
+}
+
+TEST(SourceManager, MultipleFilesIndependent) {
+  SourceManager sm;
+  FileId a = sm.add("a.xc", "aaa");
+  FileId b = sm.add("b.xc", "bbbb");
+  EXPECT_EQ(sm.name(a), "a.xc");
+  EXPECT_EQ(sm.name(b), "b.xc");
+  EXPECT_EQ(sm.text(b), "bbbb");
+  EXPECT_EQ(sm.fileCount(), 2u);
+}
+
+TEST(SourceManager, InvalidLocGivesZeroLineCol) {
+  SourceManager sm;
+  EXPECT_EQ(sm.lineCol(SourceLoc{}).line, 0u);
+}
+
+} // namespace
+} // namespace mmx
