@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forkjoin.dir/bench_forkjoin.cpp.o"
+  "CMakeFiles/bench_forkjoin.dir/bench_forkjoin.cpp.o.d"
+  "bench_forkjoin"
+  "bench_forkjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forkjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

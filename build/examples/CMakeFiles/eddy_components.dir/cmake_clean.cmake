@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddy_components.dir/eddy_components.cpp.o"
+  "CMakeFiles/eddy_components.dir/eddy_components.cpp.o.d"
+  "eddy_components"
+  "eddy_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddy_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddy_scoring.dir/eddy_scoring.cpp.o"
+  "CMakeFiles/eddy_scoring.dir/eddy_scoring.cpp.o.d"
+  "eddy_scoring"
+  "eddy_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddy_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

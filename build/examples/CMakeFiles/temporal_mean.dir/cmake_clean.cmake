@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_mean.dir/temporal_mean.cpp.o"
+  "CMakeFiles/temporal_mean.dir/temporal_mean.cpp.o.d"
+  "temporal_mean"
+  "temporal_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_playground.dir/transform_playground.cpp.o"
+  "CMakeFiles/transform_playground.dir/transform_playground.cpp.o.d"
+  "transform_playground"
+  "transform_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

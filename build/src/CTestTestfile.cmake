@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lex")
+subdirs("grammar")
+subdirs("ast")
+subdirs("attr")
+subdirs("parse")
+subdirs("ext")
+subdirs("analysis")
+subdirs("runtime")
+subdirs("ir")
+subdirs("interp")
+subdirs("cminus")
+subdirs("ext_matrix")
+subdirs("ext_refcount")
+subdirs("ext_transform")
+subdirs("ext_tuple")
+subdirs("driver")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_analysis.dir/determinism.cpp.o"
+  "CMakeFiles/mmx_analysis.dir/determinism.cpp.o.d"
+  "CMakeFiles/mmx_analysis.dir/welldef.cpp.o"
+  "CMakeFiles/mmx_analysis.dir/welldef.cpp.o.d"
+  "libmmx_analysis.a"
+  "libmmx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_ast.dir/node.cpp.o"
+  "CMakeFiles/mmx_ast.dir/node.cpp.o.d"
+  "libmmx_ast.a"
+  "libmmx_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_attr.dir/engine.cpp.o"
+  "CMakeFiles/mmx_attr.dir/engine.cpp.o.d"
+  "libmmx_attr.a"
+  "libmmx_attr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_cminus.dir/host_grammar.cpp.o"
+  "CMakeFiles/mmx_cminus.dir/host_grammar.cpp.o.d"
+  "CMakeFiles/mmx_cminus.dir/host_sema.cpp.o"
+  "CMakeFiles/mmx_cminus.dir/host_sema.cpp.o.d"
+  "CMakeFiles/mmx_cminus.dir/sema.cpp.o"
+  "CMakeFiles/mmx_cminus.dir/sema.cpp.o.d"
+  "CMakeFiles/mmx_cminus.dir/types.cpp.o"
+  "CMakeFiles/mmx_cminus.dir/types.cpp.o.d"
+  "libmmx_cminus.a"
+  "libmmx_cminus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_cminus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

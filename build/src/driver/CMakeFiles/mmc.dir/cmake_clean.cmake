@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmc.dir/mmc_main.cpp.o"
+  "CMakeFiles/mmc.dir/mmc_main.cpp.o.d"
+  "mmc"
+  "mmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

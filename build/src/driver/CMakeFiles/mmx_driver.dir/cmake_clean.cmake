@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_driver.dir/translator.cpp.o"
+  "CMakeFiles/mmx_driver.dir/translator.cpp.o.d"
+  "libmmx_driver.a"
+  "libmmx_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

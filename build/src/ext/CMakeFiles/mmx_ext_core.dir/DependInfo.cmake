@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ext/fragment.cpp" "src/ext/CMakeFiles/mmx_ext_core.dir/fragment.cpp.o" "gcc" "src/ext/CMakeFiles/mmx_ext_core.dir/fragment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grammar/CMakeFiles/mmx_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mmx_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/mmx_lex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

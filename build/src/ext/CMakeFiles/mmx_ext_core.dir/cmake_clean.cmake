@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_ext_core.dir/fragment.cpp.o"
+  "CMakeFiles/mmx_ext_core.dir/fragment.cpp.o.d"
+  "libmmx_ext_core.a"
+  "libmmx_ext_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_ext_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

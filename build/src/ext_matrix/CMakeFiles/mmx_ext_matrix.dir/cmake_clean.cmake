@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_ext_matrix.dir/grammar.cpp.o"
+  "CMakeFiles/mmx_ext_matrix.dir/grammar.cpp.o.d"
+  "CMakeFiles/mmx_ext_matrix.dir/sema.cpp.o"
+  "CMakeFiles/mmx_ext_matrix.dir/sema.cpp.o.d"
+  "libmmx_ext_matrix.a"
+  "libmmx_ext_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_ext_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_ext_refcount.dir/refcount_ext.cpp.o"
+  "CMakeFiles/mmx_ext_refcount.dir/refcount_ext.cpp.o.d"
+  "libmmx_ext_refcount.a"
+  "libmmx_ext_refcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_ext_refcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

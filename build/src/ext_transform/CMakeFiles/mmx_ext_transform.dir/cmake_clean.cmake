@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_ext_transform.dir/transform_ext.cpp.o"
+  "CMakeFiles/mmx_ext_transform.dir/transform_ext.cpp.o.d"
+  "libmmx_ext_transform.a"
+  "libmmx_ext_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_ext_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

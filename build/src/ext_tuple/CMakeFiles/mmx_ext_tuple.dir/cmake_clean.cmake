@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_ext_tuple.dir/tuple_ext.cpp.o"
+  "CMakeFiles/mmx_ext_tuple.dir/tuple_ext.cpp.o.d"
+  "libmmx_ext_tuple.a"
+  "libmmx_ext_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_ext_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

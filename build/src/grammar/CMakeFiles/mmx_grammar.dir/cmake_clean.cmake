@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_grammar.dir/grammar.cpp.o"
+  "CMakeFiles/mmx_grammar.dir/grammar.cpp.o.d"
+  "libmmx_grammar.a"
+  "libmmx_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

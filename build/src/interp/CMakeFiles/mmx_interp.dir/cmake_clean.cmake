@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_interp.dir/interp.cpp.o"
+  "CMakeFiles/mmx_interp.dir/interp.cpp.o.d"
+  "libmmx_interp.a"
+  "libmmx_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_ir.dir/cemit.cpp.o"
+  "CMakeFiles/mmx_ir.dir/cemit.cpp.o.d"
+  "CMakeFiles/mmx_ir.dir/ir.cpp.o"
+  "CMakeFiles/mmx_ir.dir/ir.cpp.o.d"
+  "libmmx_ir.a"
+  "libmmx_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_lex.dir/regex.cpp.o"
+  "CMakeFiles/mmx_lex.dir/regex.cpp.o.d"
+  "CMakeFiles/mmx_lex.dir/scanner.cpp.o"
+  "CMakeFiles/mmx_lex.dir/scanner.cpp.o.d"
+  "libmmx_lex.a"
+  "libmmx_lex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_lex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_parse.dir/lalr.cpp.o"
+  "CMakeFiles/mmx_parse.dir/lalr.cpp.o.d"
+  "CMakeFiles/mmx_parse.dir/parser.cpp.o"
+  "CMakeFiles/mmx_parse.dir/parser.cpp.o.d"
+  "libmmx_parse.a"
+  "libmmx_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

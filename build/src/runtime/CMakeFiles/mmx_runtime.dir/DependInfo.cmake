@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/alloc.cpp" "src/runtime/CMakeFiles/mmx_runtime.dir/alloc.cpp.o" "gcc" "src/runtime/CMakeFiles/mmx_runtime.dir/alloc.cpp.o.d"
+  "/root/repo/src/runtime/conncomp.cpp" "src/runtime/CMakeFiles/mmx_runtime.dir/conncomp.cpp.o" "gcc" "src/runtime/CMakeFiles/mmx_runtime.dir/conncomp.cpp.o.d"
+  "/root/repo/src/runtime/eddy.cpp" "src/runtime/CMakeFiles/mmx_runtime.dir/eddy.cpp.o" "gcc" "src/runtime/CMakeFiles/mmx_runtime.dir/eddy.cpp.o.d"
+  "/root/repo/src/runtime/kernels.cpp" "src/runtime/CMakeFiles/mmx_runtime.dir/kernels.cpp.o" "gcc" "src/runtime/CMakeFiles/mmx_runtime.dir/kernels.cpp.o.d"
+  "/root/repo/src/runtime/matio.cpp" "src/runtime/CMakeFiles/mmx_runtime.dir/matio.cpp.o" "gcc" "src/runtime/CMakeFiles/mmx_runtime.dir/matio.cpp.o.d"
+  "/root/repo/src/runtime/matrix.cpp" "src/runtime/CMakeFiles/mmx_runtime.dir/matrix.cpp.o" "gcc" "src/runtime/CMakeFiles/mmx_runtime.dir/matrix.cpp.o.d"
+  "/root/repo/src/runtime/pool.cpp" "src/runtime/CMakeFiles/mmx_runtime.dir/pool.cpp.o" "gcc" "src/runtime/CMakeFiles/mmx_runtime.dir/pool.cpp.o.d"
+  "/root/repo/src/runtime/refcount.cpp" "src/runtime/CMakeFiles/mmx_runtime.dir/refcount.cpp.o" "gcc" "src/runtime/CMakeFiles/mmx_runtime.dir/refcount.cpp.o.d"
+  "/root/repo/src/runtime/ssh_synth.cpp" "src/runtime/CMakeFiles/mmx_runtime.dir/ssh_synth.cpp.o" "gcc" "src/runtime/CMakeFiles/mmx_runtime.dir/ssh_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

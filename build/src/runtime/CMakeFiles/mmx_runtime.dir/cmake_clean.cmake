@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_runtime.dir/alloc.cpp.o"
+  "CMakeFiles/mmx_runtime.dir/alloc.cpp.o.d"
+  "CMakeFiles/mmx_runtime.dir/conncomp.cpp.o"
+  "CMakeFiles/mmx_runtime.dir/conncomp.cpp.o.d"
+  "CMakeFiles/mmx_runtime.dir/eddy.cpp.o"
+  "CMakeFiles/mmx_runtime.dir/eddy.cpp.o.d"
+  "CMakeFiles/mmx_runtime.dir/kernels.cpp.o"
+  "CMakeFiles/mmx_runtime.dir/kernels.cpp.o.d"
+  "CMakeFiles/mmx_runtime.dir/matio.cpp.o"
+  "CMakeFiles/mmx_runtime.dir/matio.cpp.o.d"
+  "CMakeFiles/mmx_runtime.dir/matrix.cpp.o"
+  "CMakeFiles/mmx_runtime.dir/matrix.cpp.o.d"
+  "CMakeFiles/mmx_runtime.dir/pool.cpp.o"
+  "CMakeFiles/mmx_runtime.dir/pool.cpp.o.d"
+  "CMakeFiles/mmx_runtime.dir/refcount.cpp.o"
+  "CMakeFiles/mmx_runtime.dir/refcount.cpp.o.d"
+  "CMakeFiles/mmx_runtime.dir/ssh_synth.cpp.o"
+  "CMakeFiles/mmx_runtime.dir/ssh_synth.cpp.o.d"
+  "libmmx_runtime.a"
+  "libmmx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_support.dir/diag.cpp.o"
+  "CMakeFiles/mmx_support.dir/diag.cpp.o.d"
+  "CMakeFiles/mmx_support.dir/interner.cpp.o"
+  "CMakeFiles/mmx_support.dir/interner.cpp.o.d"
+  "CMakeFiles/mmx_support.dir/source.cpp.o"
+  "CMakeFiles/mmx_support.dir/source.cpp.o.d"
+  "libmmx_support.a"
+  "libmmx_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

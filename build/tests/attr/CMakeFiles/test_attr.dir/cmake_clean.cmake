@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attr.dir/test_engine.cpp.o"
+  "CMakeFiles/test_attr.dir/test_engine.cpp.o.d"
+  "test_attr"
+  "test_attr.pdb"
+  "test_attr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

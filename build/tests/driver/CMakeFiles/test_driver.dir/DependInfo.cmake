@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/driver/test_translator.cpp" "tests/driver/CMakeFiles/test_driver.dir/test_translator.cpp.o" "gcc" "tests/driver/CMakeFiles/test_driver.dir/test_translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/mmx_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext_matrix/CMakeFiles/mmx_ext_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext_refcount/CMakeFiles/mmx_ext_refcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext_transform/CMakeFiles/mmx_ext_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext_tuple/CMakeFiles/mmx_ext_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/mmx_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mmx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/mmx_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/cminus/CMakeFiles/mmx_cminus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mmx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mmx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/attr/CMakeFiles/mmx_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/mmx_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/mmx_ext_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/mmx_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/mmx_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mmx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

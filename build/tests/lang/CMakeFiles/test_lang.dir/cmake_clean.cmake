@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang.dir/test_cemit.cpp.o"
+  "CMakeFiles/test_lang.dir/test_cemit.cpp.o.d"
+  "CMakeFiles/test_lang.dir/test_context_scanning.cpp.o"
+  "CMakeFiles/test_lang.dir/test_context_scanning.cpp.o.d"
+  "CMakeFiles/test_lang.dir/test_figures.cpp.o"
+  "CMakeFiles/test_lang.dir/test_figures.cpp.o.d"
+  "CMakeFiles/test_lang.dir/test_host_lang.cpp.o"
+  "CMakeFiles/test_lang.dir/test_host_lang.cpp.o.d"
+  "CMakeFiles/test_lang.dir/test_lang_property.cpp.o"
+  "CMakeFiles/test_lang.dir/test_lang_property.cpp.o.d"
+  "CMakeFiles/test_lang.dir/test_matrix_lang.cpp.o"
+  "CMakeFiles/test_lang.dir/test_matrix_lang.cpp.o.d"
+  "CMakeFiles/test_lang.dir/test_refcount_lang.cpp.o"
+  "CMakeFiles/test_lang.dir/test_refcount_lang.cpp.o.d"
+  "CMakeFiles/test_lang.dir/test_transform_lang.cpp.o"
+  "CMakeFiles/test_lang.dir/test_transform_lang.cpp.o.d"
+  "test_lang"
+  "test_lang.pdb"
+  "test_lang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

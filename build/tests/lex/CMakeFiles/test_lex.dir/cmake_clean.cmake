@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lex.dir/test_regex.cpp.o"
+  "CMakeFiles/test_lex.dir/test_regex.cpp.o.d"
+  "CMakeFiles/test_lex.dir/test_scanner.cpp.o"
+  "CMakeFiles/test_lex.dir/test_scanner.cpp.o.d"
+  "test_lex"
+  "test_lex.pdb"
+  "test_lex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parse/test_lalr.cpp" "tests/parse/CMakeFiles/test_parse.dir/test_lalr.cpp.o" "gcc" "tests/parse/CMakeFiles/test_parse.dir/test_lalr.cpp.o.d"
+  "/root/repo/tests/parse/test_parser.cpp" "tests/parse/CMakeFiles/test_parse.dir/test_parser.cpp.o" "gcc" "tests/parse/CMakeFiles/test_parse.dir/test_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parse/CMakeFiles/mmx_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/mmx_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/mmx_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/mmx_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mmx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

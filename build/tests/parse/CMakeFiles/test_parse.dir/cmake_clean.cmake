@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parse.dir/test_lalr.cpp.o"
+  "CMakeFiles/test_parse.dir/test_lalr.cpp.o.d"
+  "CMakeFiles/test_parse.dir/test_parser.cpp.o"
+  "CMakeFiles/test_parse.dir/test_parser.cpp.o.d"
+  "test_parse"
+  "test_parse.pdb"
+  "test_parse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

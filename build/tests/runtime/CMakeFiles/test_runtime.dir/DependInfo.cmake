@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_alloc.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_alloc.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_alloc.cpp.o.d"
+  "/root/repo/tests/runtime/test_conncomp.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_conncomp.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_conncomp.cpp.o.d"
+  "/root/repo/tests/runtime/test_eddy.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_eddy.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_eddy.cpp.o.d"
+  "/root/repo/tests/runtime/test_kernels.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_kernels.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/runtime/test_matio.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_matio.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_matio.cpp.o.d"
+  "/root/repo/tests/runtime/test_matrix.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_matrix.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/runtime/test_pool.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_pool.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_pool.cpp.o.d"
+  "/root/repo/tests/runtime/test_refcount.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_refcount.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_refcount.cpp.o.d"
+  "/root/repo/tests/runtime/test_ssh_synth.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_ssh_synth.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_ssh_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/mmx_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

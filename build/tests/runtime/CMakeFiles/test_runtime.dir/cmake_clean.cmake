@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/test_alloc.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_alloc.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_conncomp.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_conncomp.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_eddy.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_eddy.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_kernels.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_kernels.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_matio.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_matio.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_matrix.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_matrix.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_pool.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_pool.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_refcount.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_refcount.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_ssh_synth.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_ssh_synth.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/test_bitset.cpp" "tests/support/CMakeFiles/test_support.dir/test_bitset.cpp.o" "gcc" "tests/support/CMakeFiles/test_support.dir/test_bitset.cpp.o.d"
+  "/root/repo/tests/support/test_diag.cpp" "tests/support/CMakeFiles/test_support.dir/test_diag.cpp.o" "gcc" "tests/support/CMakeFiles/test_support.dir/test_diag.cpp.o.d"
+  "/root/repo/tests/support/test_interner.cpp" "tests/support/CMakeFiles/test_support.dir/test_interner.cpp.o" "gcc" "tests/support/CMakeFiles/test_support.dir/test_interner.cpp.o.d"
+  "/root/repo/tests/support/test_source.cpp" "tests/support/CMakeFiles/test_support.dir/test_source.cpp.o" "gcc" "tests/support/CMakeFiles/test_support.dir/test_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mmx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

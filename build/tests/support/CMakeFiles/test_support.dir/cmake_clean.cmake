@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/test_bitset.cpp.o"
+  "CMakeFiles/test_support.dir/test_bitset.cpp.o.d"
+  "CMakeFiles/test_support.dir/test_diag.cpp.o"
+  "CMakeFiles/test_support.dir/test_diag.cpp.o.d"
+  "CMakeFiles/test_support.dir/test_interner.cpp.o"
+  "CMakeFiles/test_support.dir/test_interner.cpp.o.d"
+  "CMakeFiles/test_support.dir/test_source.cpp.o"
+  "CMakeFiles/test_support.dir/test_source.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
