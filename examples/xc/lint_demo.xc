@@ -1,0 +1,10 @@
+// IR-lint showcase for `mmc --analyze`: `seed` may be read before it is
+// assigned, and the first store to `total` is dead.
+int main() {
+  int seed;
+  int total;
+  total = seed + 1;
+  total = 5;
+  printInt(total);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 1: per-point temporal mean of synthetic sea-surface-height data.
+// The genarray nest auto-parallelizes; the inner fold is a reduction and
+// runs serially. Try: mmc examples/xc/temporal_mean.xc --analyze
+int main() {
+  Matrix float <3> mat = synthSsh(12, 24, 16, 42, 6);
+  int m = dimSize(mat, 0);
+  int n = dimSize(mat, 1);
+  int p = dimSize(mat, 2);
+  Matrix float <2> means = init(Matrix float <2>, m, n);
+  means = with ([0,0] <= [i,j] < [m,n])
+    genarray([m,n],
+      (with ([0] <= [k] < [p]) fold(+, 0.0, mat[i,j,k])) / p);
+  printFloat(with ([0,0] <= [x,y] < [m,n]) fold(+, 0.0, means[x,y]));
+  return 0;
+}

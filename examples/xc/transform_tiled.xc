@@ -1,0 +1,21 @@
+// Fig. 9: the temporal mean with explicit transform clauses — split the
+// j loop, vectorize the inner strip, parallelize the i loop. All three
+// targets are provably safe, so `--analyze` reports the nest as safe and
+// the pragmas survive enforcement.
+int main() {
+  Matrix float <3> mat = synthSsh(6, 16, 12, 5, 2);
+  int m = dimSize(mat, 0);
+  int n = dimSize(mat, 1);
+  int p = dimSize(mat, 2);
+  Matrix float <2> means = init(Matrix float <2>, m, n);
+  means = with ([0,0] <= [i,j] < [m,n])
+    genarray([m,n],
+      (with ([0] <= [k] < [p]) fold(+, 0.0, mat[i,j,k])) / p)
+    transform {
+      split j by 4, jin, jout;
+      vectorize jin;
+      parallelize i;
+    };
+  printFloat(with ([0,0] <= [x,y] < [m,n]) fold(+, 0.0, means[x,y]));
+  return 0;
+}

@@ -1,0 +1,17 @@
+// A `parallelize` clause aimed at the fold accumulator loop: the race
+// analysis classifies loop k as a reduction, warns, and demotes it, so
+// the program still prints the serial result. Under --strict-parallel
+// this is a hard error.
+int main() {
+  Matrix float <3> mat = synthSsh(6, 16, 12, 5, 2);
+  int m = dimSize(mat, 0);
+  int n = dimSize(mat, 1);
+  int p = dimSize(mat, 2);
+  Matrix float <2> means = init(Matrix float <2>, m, n);
+  means = with ([0,0] <= [i,j] < [m,n])
+    genarray([m,n],
+      (with ([0] <= [k] < [p]) fold(+, 0.0, mat[i,j,k])) / p)
+    transform { parallelize k; };
+  printFloat(with ([0,0] <= [x,y] < [m,n]) fold(+, 0.0, means[x,y]));
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "analysis/constprop.hpp"
+
+#include "analysis/dataflow.hpp"
+
+namespace mmx::analysis {
+
+ConstVal evalConst(const ir::Expr& e, const ConstEnv& env) {
+  switch (e.k) {
+    case ir::Expr::K::ConstI: return ConstVal::intVal(e.i);
+    case ir::Expr::K::ConstB: return ConstVal::intVal(e.i);
+    case ir::Expr::K::Var:
+      if (e.slot >= 0 && static_cast<size_t>(e.slot) < env.size())
+        return env[e.slot];
+      return ConstVal::unknown();
+    case ir::Expr::K::DimSize: {
+      // dimSize(m, d) with a variable matrix and constant dimension is a
+      // shape symbol; anything else is unknown.
+      const ir::Expr& m = *e.args[0];
+      ConstVal d = evalConst(*e.args[1], env);
+      if (m.k == ir::Expr::K::Var && d.isInt())
+        return ConstVal::shape(m.slot, static_cast<int32_t>(d.i));
+      return ConstVal::unknown();
+    }
+    case ir::Expr::K::Neg: {
+      ConstVal a = evalConst(*e.args[0], env);
+      return a.isInt() ? ConstVal::intVal(-a.i) : ConstVal::unknown();
+    }
+    case ir::Expr::K::Cast: {
+      if (e.ty != ir::Ty::I32) return ConstVal::unknown();
+      ConstVal a = evalConst(*e.args[0], env);
+      return a.isInt() ? a : ConstVal::unknown();
+    }
+    case ir::Expr::K::Arith: {
+      ConstVal a = evalConst(*e.args[0], env);
+      ConstVal b = evalConst(*e.args[1], env);
+      if (!a.isInt() || !b.isInt()) return ConstVal::unknown();
+      switch (e.aop) {
+        case ir::ArithOp::Add: return ConstVal::intVal(a.i + b.i);
+        case ir::ArithOp::Sub: return ConstVal::intVal(a.i - b.i);
+        case ir::ArithOp::Mul:
+        case ir::ArithOp::EwMul: return ConstVal::intVal(a.i * b.i);
+        case ir::ArithOp::Div:
+          return b.i ? ConstVal::intVal(a.i / b.i) : ConstVal::unknown();
+        case ir::ArithOp::Mod:
+          return b.i ? ConstVal::intVal(a.i % b.i) : ConstVal::unknown();
+        case ir::ArithOp::Min: return ConstVal::intVal(std::min(a.i, b.i));
+        case ir::ArithOp::Max: return ConstVal::intVal(std::max(a.i, b.i));
+      }
+      return ConstVal::unknown();
+    }
+    default: return ConstVal::unknown();
+  }
+}
+
+namespace {
+
+/// Transfer policy for the forward engine: kill written slots, bind
+/// Assign results, and record the env at every For header.
+struct ConstTransfer {
+  using State = ConstEnv;
+
+  std::map<const ir::Stmt*, ConstEnv>& atLoop;
+
+  State copy(const State& s) { return s; }
+
+  bool join(State& into, const State& from) {
+    bool changed = false;
+    for (size_t i = 0; i < into.size(); ++i) {
+      if (into[i].k == ConstVal::K::Unknown) continue;
+      if (i >= from.size() || !(into[i] == from[i])) {
+        into[i] = ConstVal::unknown();
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  void transfer(const ir::Stmt& s, State& st) {
+    switch (s.k) {
+      case ir::Stmt::K::Assign:
+        st[s.slot] = evalConst(*s.exprs[0], st);
+        break;
+      case ir::Stmt::K::For: {
+        // Record the entry env (first visit wins the pre-fixpoint copy;
+        // later visits overwrite with the joined — i.e. sound — env).
+        atLoop[&s] = st;
+        st[s.slot] = ConstVal::unknown(); // the loop var varies
+        break;
+      }
+      default:
+        for (int32_t w : writtenSlots(s))
+          if (w >= 0 && static_cast<size_t>(w) < st.size())
+            st[w] = ConstVal::unknown();
+        break;
+    }
+  }
+};
+
+} // namespace
+
+ConstShapeProp::ConstShapeProp(const ir::Function& f) {
+  if (!f.body) return;
+  ConstTransfer t{atLoop_};
+  ForwardEngine<ConstTransfer> engine(t);
+  engine.run(*f.body, ConstEnv(f.locals.size()));
+}
+
+} // namespace mmx::analysis

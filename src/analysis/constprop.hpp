@@ -1,0 +1,70 @@
+// Constant/shape propagation over one ir::Function — a forward dataflow
+// pass on the dataflow.hpp engine. Two kinds of facts are tracked per
+// int-typed slot:
+//
+//   * compile-time integer constants (`n = 7`, `n = 3 * 4`), and
+//   * shape symbols: `n = dimSize(m, d)` records the symbolic identity
+//     (m, d) so two slots loaded from the same dimension compare equal.
+//
+// parsafe uses the environment captured at each For header to resolve
+// affine index coefficients (a stride that folds to the constant 0 is a
+// same-cell race, a nonzero constant distributes iterations); the shape
+// symbols let it match strides against loop extents structurally.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace mmx::analysis {
+
+/// Abstract value of one slot: unknown (top), a known int constant, or a
+/// symbolic shape `dimSize(matSlot, dim)`.
+struct ConstVal {
+  enum class K : uint8_t { Unknown, Int, Shape };
+  K k = K::Unknown;
+  int64_t i = 0;        // Int
+  int32_t matSlot = -1; // Shape
+  int32_t dim = 0;      // Shape
+
+  static ConstVal unknown() { return {}; }
+  static ConstVal intVal(int64_t v) { return {K::Int, v, -1, 0}; }
+  static ConstVal shape(int32_t m, int32_t d) { return {K::Shape, 0, m, d}; }
+
+  bool isInt() const { return k == K::Int; }
+  friend bool operator==(const ConstVal& a, const ConstVal& b) {
+    if (a.k != b.k) return false;
+    if (a.k == K::Int) return a.i == b.i;
+    if (a.k == K::Shape) return a.matSlot == b.matSlot && a.dim == b.dim;
+    return true;
+  }
+};
+
+/// Slot -> abstract value at one program point.
+using ConstEnv = std::vector<ConstVal>;
+
+/// Evaluates `e` under `env`. Folds integer arithmetic, propagates Var
+/// bindings, and tags dimSize() reads as shape symbols.
+ConstVal evalConst(const ir::Expr& e, const ConstEnv& env);
+
+/// Runs the pass over `f` and captures the environment holding at the
+/// entry of every For statement (i.e. before the first iteration).
+class ConstShapeProp {
+public:
+  explicit ConstShapeProp(const ir::Function& f);
+
+  /// Environment at the For's header; nullptr for statements that are not
+  /// For loops of `f` (or unreachable ones).
+  const ConstEnv* atLoop(const ir::Stmt* forStmt) const {
+    auto it = atLoop_.find(forStmt);
+    return it == atLoop_.end() ? nullptr : &it->second;
+  }
+
+private:
+  std::map<const ir::Stmt*, ConstEnv> atLoop_;
+};
+
+} // namespace mmx::analysis

@@ -1,0 +1,339 @@
+// A reusable forward/backward dataflow framework over the structured loop
+// IR (ir::Stmt/ir::Expr trees). In the spirit of Farzan & Kincaid's
+// compositional program analysis, the engine computes per-fragment
+// summaries bottom-up over the statement tree instead of iterating a CFG:
+// blocks compose transfer functions sequentially, branches join, and loops
+// run their body to a fixpoint (the domains used here are finite-height,
+// so iteration converges; a cap guards against pathological clients).
+//
+// Clients implement a small "transfer" policy class:
+//
+//   struct MyTransfer {
+//     using State = ...;                         // the abstract state
+//     State copy(const State&);                  // clone a state
+//     bool join(State& into, const State& from); // true if `into` changed
+//     void transfer(const ir::Stmt& s, State&);  // leaf statements only
+//   };
+//
+// and run it with ForwardEngine<MyTransfer> (states flow with execution)
+// or BackwardEngine<MyTransfer> (states flow against it — for liveness
+// style analyses). The engine owns all control-flow plumbing: statement
+// order, if-joins, loop fixpoints, and break/continue/return edges.
+//
+// Three passes are built on top of this engine: parallel-safety / race
+// detection (parsafe.hpp), definite-initialization + dead-store lints
+// (lint.hpp), and constant/shape propagation (constprop.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace mmx::analysis {
+
+// ---------------------------------------------------------------------------
+// Syntactic helpers shared by all passes.
+
+/// Preorder walk over every sub-expression of `e`, including IndexDim
+/// selector expressions.
+void forEachExpr(const ir::Expr& e, const std::function<void(const ir::Expr&)>& f);
+
+/// Walks every expression evaluated directly by `s` (not by its kids):
+/// operands, selectors, call arguments.
+void forEachStmtExpr(const ir::Stmt& s,
+                     const std::function<void(const ir::Expr&)>& f);
+
+/// Preorder walk over `root` and every nested statement.
+void forEachStmt(const ir::Stmt& root,
+                 const std::function<void(const ir::Stmt&)>& f);
+
+/// Mutable preorder walk.
+void forEachStmt(ir::Stmt& root, const std::function<void(ir::Stmt&)>& f);
+
+/// Slots read by the expressions `s` itself evaluates. For IndexStore /
+/// StoreFlat the target slot is included (the matrix handle is read to
+/// reach the buffer). Deduplicated, unordered.
+std::vector<int32_t> readSlots(const ir::Stmt& s);
+
+/// Slots whose *frame value* this statement writes: Assign and For write
+/// `slot`, CallAssign writes `dsts`. StoreFlat/IndexStore mutate a matrix
+/// buffer, not the frame slot, and are deliberately excluded — buffer
+/// effects are parsafe's concern.
+std::vector<int32_t> writtenSlots(const ir::Stmt& s);
+
+/// True if any sub-expression of `e` reads `slot`.
+bool exprReadsSlot(const ir::Expr& e, int32_t slot);
+
+/// Structural equality of expression trees (same kinds, operators, slots,
+/// constants, selectors). Used to match read indexes against write
+/// indexes (`A.data[e] = A.data[e] + 1` is race-free when the two `e`s
+/// are the same expression).
+bool exprEquals(const ir::Expr& a, const ir::Expr& b);
+
+/// Structural equality of index selector lists.
+bool dimsEqual(const std::vector<ir::IndexDim>& a,
+               const std::vector<ir::IndexDim>& b);
+
+// ---------------------------------------------------------------------------
+// Engine internals shared by both directions.
+
+namespace detail {
+/// Loop-body fixpoints are re-run until the entry state stabilizes; the
+/// domains used here have small finite height, so this cap is only a
+/// guard against a client with an infinitely ascending domain.
+inline constexpr int kMaxLoopIterations = 16;
+} // namespace detail
+
+// ---------------------------------------------------------------------------
+// Forward engine: states flow in execution order.
+
+template <class T>
+class ForwardEngine {
+public:
+  using State = typename T::State;
+
+  explicit ForwardEngine(T& t) : t_(t) {}
+
+  /// Runs the analysis over `root` starting from `in`; returns the state
+  /// on normal fall-through exit (nullopt when every path breaks or
+  /// returns). States reaching a `Ret` are joined into `exitState`.
+  std::optional<State> run(const ir::Stmt& root, State in) {
+    exitState.reset();
+    return exec(root, std::move(in));
+  }
+
+  /// Join of all states that reached a Ret during the last run().
+  std::optional<State> exitState;
+
+private:
+  struct LoopCtx {
+    std::optional<State> breakOut;    // joined states from Break
+    std::optional<State> continueOut; // joined states from Continue
+  };
+
+  void joinInto(std::optional<State>& into, const State& from) {
+    if (!into)
+      into = t_.copy(from);
+    else
+      t_.join(*into, from);
+  }
+
+  // Returns the fall-through state, or nullopt if control never falls
+  // through (break/continue/return on every path).
+  std::optional<State> exec(const ir::Stmt& s, State in) {
+    switch (s.k) {
+      case ir::Stmt::K::Block: {
+        std::optional<State> cur = std::move(in);
+        for (const auto& k : s.kids) {
+          if (!k) continue;
+          if (!cur) break; // unreachable tail
+          cur = exec(*k, std::move(*cur));
+        }
+        return cur;
+      }
+      case ir::Stmt::K::If: {
+        t_.transfer(s, in); // the condition's reads
+        State thenIn = t_.copy(in);
+        std::optional<State> thenOut = exec(*s.kids[0], std::move(thenIn));
+        std::optional<State> elseOut;
+        if (s.kids.size() > 1 && s.kids[1])
+          elseOut = exec(*s.kids[1], std::move(in));
+        else
+          elseOut = std::move(in); // no else: condition-false falls through
+        if (!thenOut) return elseOut;
+        if (!elseOut) return thenOut;
+        t_.join(*thenOut, *elseOut);
+        return thenOut;
+      }
+      case ir::Stmt::K::For:
+      case ir::Stmt::K::While:
+        return execLoop(s, std::move(in));
+      case ir::Stmt::K::Ret:
+        t_.transfer(s, in);
+        joinInto(exitState, in);
+        return std::nullopt;
+      case ir::Stmt::K::Break:
+        t_.transfer(s, in);
+        if (!loops_.empty()) joinInto(loops_.back().breakOut, in);
+        return std::nullopt;
+      case ir::Stmt::K::Continue:
+        t_.transfer(s, in);
+        if (!loops_.empty()) joinInto(loops_.back().continueOut, in);
+        return std::nullopt;
+      default:
+        t_.transfer(s, in);
+        return std::optional<State>(std::move(in));
+    }
+  }
+
+  std::optional<State> execLoop(const ir::Stmt& s, State in) {
+    // Header effects (bounds / condition evaluated, loop var written).
+    t_.transfer(s, in);
+
+    // The state entering the body is the join of the pre-loop state and
+    // every back edge (body fall-through + continue). Iterate to fixpoint.
+    State entry = t_.copy(in);
+    std::optional<State> afterBody;
+    std::optional<State> breakOut;
+    for (int iter = 0; iter < detail::kMaxLoopIterations; ++iter) {
+      loops_.push_back({});
+      afterBody = exec(*s.kids[0], t_.copy(entry));
+      LoopCtx ctx = std::move(loops_.back());
+      loops_.pop_back();
+
+      bool changed = false;
+      if (afterBody) changed |= t_.join(entry, *afterBody);
+      if (ctx.continueOut) changed |= t_.join(entry, *ctx.continueOut);
+      if (ctx.breakOut) joinInto(breakOut, *ctx.breakOut);
+      // Loop var is rewritten before each iteration.
+      t_.transfer(s, entry);
+      if (!changed) break;
+    }
+
+    // Exit = zero-iterations path joined with the stable body exit and
+    // any break.
+    std::optional<State> out(std::move(in));
+    if (afterBody) t_.join(*out, *afterBody);
+    if (breakOut) t_.join(*out, *breakOut);
+    return out;
+  }
+
+  T& t_;
+  std::vector<LoopCtx> loops_;
+};
+
+// ---------------------------------------------------------------------------
+// Backward engine: states flow against execution order (liveness-style).
+// `transfer` sees each leaf statement with the state that held *after* it
+// and must rewrite it into the state holding before it.
+
+template <class T>
+class BackwardEngine {
+public:
+  using State = typename T::State;
+
+  explicit BackwardEngine(T& t) : t_(t) {}
+
+  /// Runs backward over `root` with `out` holding after the last
+  /// statement; returns the state before the first. `atExit` is the state
+  /// assumed at every Ret (usually empty liveness).
+  State run(const ir::Stmt& root, State out, State atExit) {
+    atExit_ = t_.copy(atExit);
+    return exec(root, std::move(out));
+  }
+
+private:
+  struct LoopCtx {
+    State breakState;    // state after the loop (what Break jumps to)
+    State continueState; // state at the loop header (what Continue jumps to)
+  };
+
+  State exec(const ir::Stmt& s, State out) {
+    switch (s.k) {
+      case ir::Stmt::K::Block: {
+        State cur = std::move(out);
+        for (size_t i = s.kids.size(); i-- > 0;) {
+          if (!s.kids[i]) continue;
+          cur = exec(*s.kids[i], std::move(cur));
+        }
+        return cur;
+      }
+      case ir::Stmt::K::If: {
+        State thenIn = exec(*s.kids[0], t_.copy(out));
+        if (s.kids.size() > 1 && s.kids[1]) {
+          State elseIn = exec(*s.kids[1], std::move(out));
+          t_.join(thenIn, elseIn);
+        } else {
+          t_.join(thenIn, out);
+        }
+        t_.transfer(s, thenIn); // the condition's reads
+        return thenIn;
+      }
+      case ir::Stmt::K::For:
+      case ir::Stmt::K::While:
+        return execLoop(s, std::move(out));
+      case ir::Stmt::K::Ret: {
+        State in = t_.copy(atExit_);
+        t_.transfer(s, in);
+        return in;
+      }
+      case ir::Stmt::K::Break: {
+        State in = loops_.empty() ? t_.copy(atExit_)
+                                  : t_.copy(loops_.back().breakState);
+        t_.transfer(s, in);
+        return in;
+      }
+      case ir::Stmt::K::Continue: {
+        State in = loops_.empty() ? t_.copy(atExit_)
+                                  : t_.copy(loops_.back().continueState);
+        t_.transfer(s, in);
+        return in;
+      }
+      default:
+        t_.transfer(s, out);
+        return out;
+    }
+  }
+
+  State execLoop(const ir::Stmt& s, State out) {
+    // header holds before each iteration's body; it is also what a
+    // Continue jumps to (via the next header evaluation) and feeds the
+    // back edge. Iterate until the header state stabilizes.
+    State header = t_.copy(out); // zero-iterations: exit state
+    t_.transfer(s, header);      // bounds read / loop var written
+    for (int iter = 0; iter < detail::kMaxLoopIterations; ++iter) {
+      loops_.push_back({t_.copy(out), t_.copy(header)});
+      State bodyOut = t_.copy(header); // back edge: body exit re-enters header
+      t_.join(bodyOut, out);           // ... or leaves the loop
+      State bodyIn = exec(*s.kids[0], std::move(bodyOut));
+      loops_.pop_back();
+
+      State newHeader = std::move(bodyIn);
+      t_.join(newHeader, out); // zero iterations
+      t_.transfer(s, newHeader);
+      bool changed = t_.join(header, newHeader);
+      if (!changed) break;
+    }
+    return header;
+  }
+
+  T& t_;
+  State atExit_{};
+  std::vector<LoopCtx> loops_;
+};
+
+// ---------------------------------------------------------------------------
+// A small reusable state: a slot set (bitset over f.locals).
+
+struct SlotSet {
+  std::vector<bool> bits;
+
+  explicit SlotSet(size_t n = 0) : bits(n, false) {}
+  bool get(int32_t i) const {
+    return i >= 0 && static_cast<size_t>(i) < bits.size() && bits[i];
+  }
+  void set(int32_t i, bool v = true) {
+    if (i >= 0 && static_cast<size_t>(i) < bits.size()) bits[i] = v;
+  }
+  /// Union; returns true when `this` changed.
+  bool unionWith(const SlotSet& o) {
+    bool changed = false;
+    for (size_t i = 0; i < bits.size() && i < o.bits.size(); ++i)
+      if (o.bits[i] && !bits[i]) bits[i] = changed = true;
+    return changed;
+  }
+  /// Intersection; returns true when `this` changed.
+  bool intersectWith(const SlotSet& o) {
+    bool changed = false;
+    for (size_t i = 0; i < bits.size(); ++i) {
+      bool v = bits[i] && (i < o.bits.size() && o.bits[i]);
+      if (v != bits[i]) bits[i] = v, changed = true;
+    }
+    return changed;
+  }
+};
+
+} // namespace mmx::analysis

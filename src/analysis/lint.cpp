@@ -1,0 +1,112 @@
+#include "analysis/lint.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/dataflow.hpp"
+
+namespace mmx::analysis {
+
+namespace {
+
+/// Lint-worthy slots: named user variables, not "%..." compiler temps.
+bool userVisible(const ir::Function& f, int32_t slot) {
+  if (slot < 0 || static_cast<size_t>(slot) >= f.locals.size()) return false;
+  const std::string& n = f.locals[slot].name;
+  return !n.empty() && n[0] != '%';
+}
+
+bool exprHasEffects(const ir::Expr& e) {
+  bool effects = false;
+  forEachExpr(e, [&](const ir::Expr& x) {
+    if (x.k == ir::Expr::K::Call) effects = true;
+  });
+  return effects;
+}
+
+// ---------------------------------------------------------------------------
+// Definite initialization (forward; intersection join, so the engine's
+// loop fixpoint shrinks states monotonically — the final, smallest state
+// is always pushed through the body once, making flag accumulation exact).
+
+struct InitTransfer {
+  using State = SlotSet;
+
+  const ir::Function& f;
+  DiagnosticEngine& diags;
+  std::set<int32_t> reported;
+
+  State copy(const State& s) { return s; }
+  bool join(State& a, const State& b) { return a.intersectWith(b); }
+
+  void transfer(const ir::Stmt& s, State& st) {
+    for (int32_t r : readSlots(s)) {
+      if (st.get(r) || !userVisible(f, r)) continue;
+      if (reported.insert(r).second)
+        diags.warning(s.range, "'" + f.locals[r].name +
+                                   "' may be used before it is assigned");
+      st.set(r); // one report per variable
+    }
+    for (int32_t w : writtenSlots(s)) st.set(w);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Dead stores (backward liveness; union join grows states monotonically,
+// so "was this store ever live on any visit" converges to the fixpoint
+// answer and survivors are exactly the dead stores).
+
+struct LiveTransfer {
+  using State = SlotSet;
+
+  const ir::Function& f;
+  std::map<const ir::Stmt*, bool> everLive; // Assign stmt -> observed live
+
+  State copy(const State& s) { return s; }
+  bool join(State& a, const State& b) { return a.unionWith(b); }
+
+  void transfer(const ir::Stmt& s, State& st) {
+    if (s.k == ir::Stmt::K::Assign && userVisible(f, s.slot)) {
+      bool& live = everLive[&s];
+      live = live || st.get(s.slot);
+    }
+    for (int32_t w : writtenSlots(s)) st.set(w, false);
+    for (int32_t r : readSlots(s)) st.set(r);
+  }
+};
+
+} // namespace
+
+void lintFunction(const ir::Function& f, DiagnosticEngine& diags) {
+  if (!f.body) return;
+
+  InitTransfer init{f, diags, {}};
+  ForwardEngine<InitTransfer> fwd(init);
+  SlotSet entry(f.locals.size());
+  for (size_t i = 0; i < f.numParams && i < f.locals.size(); ++i)
+    entry.set(static_cast<int32_t>(i));
+  fwd.run(*f.body, std::move(entry));
+
+  LiveTransfer live{f, {}};
+  BackwardEngine<LiveTransfer> bwd(live);
+  bwd.run(*f.body, SlotSet(f.locals.size()), SlotSet(f.locals.size()));
+  // Report in program order (the analysis map is keyed by pointer).
+  forEachStmt(*f.body, [&](const ir::Stmt& s) {
+    auto it = live.everLive.find(&s);
+    if (it == live.everLive.end() || it->second) return;
+    // Matrix-handle rebinds and side-effecting right-hand sides are kept;
+    // scalar stores nothing observes are reported.
+    if (f.locals[s.slot].ty == ir::Ty::Mat) return;
+    if (s.exprs.empty() || exprHasEffects(*s.exprs[0])) return;
+    diags.warning(s.range, "value assigned to '" + f.locals[s.slot].name +
+                               "' is never used");
+  });
+}
+
+void lintModule(const ir::Module& m, DiagnosticEngine& diags) {
+  for (const auto& f : m.functions)
+    if (f) lintFunction(*f, diags);
+}
+
+} // namespace mmx::analysis

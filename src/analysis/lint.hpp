@@ -1,0 +1,26 @@
+// IR-level lints on the dataflow engine:
+//
+//  * definite initialization (forward, must-analysis): warns when a named
+//    local may be read before any assignment reaches it;
+//  * dead stores (backward liveness): warns when a scalar assignment is
+//    never observed — not read before the next write or the function end.
+//
+// Both report through the DiagnosticEngine against the Stmt source ranges
+// stamped during lowering. Compiler temporaries (slots named "%...") and
+// assignments kept for their side effects (IO calls) are exempt. The
+// lints are advisory: drivers run them under `mmc --analyze`, never as
+// part of plain translation.
+#pragma once
+
+#include "ir/ir.hpp"
+#include "support/diag.hpp"
+
+namespace mmx::analysis {
+
+/// Runs both lints over one function.
+void lintFunction(const ir::Function& f, DiagnosticEngine& diags);
+
+/// Runs both lints over every function of the module.
+void lintModule(const ir::Module& m, DiagnosticEngine& diags);
+
+} // namespace mmx::analysis

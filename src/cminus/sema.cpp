@@ -112,7 +112,13 @@ void Sema::stmt(const ast::NodePtr& n) {
                         std::string(n->kind()) + "'");
     return;
   }
+  // Everything emitted while this statement lowers reports against its
+  // source range (restored afterwards: parents keep emitting glue after
+  // their children lower).
+  SourceRange prev = curStmtRange_;
+  curStmtRange_ = n->range;
   it->second(*this, n);
+  curStmtRange_ = prev;
 }
 
 Type Sema::typeExpr(const ast::NodePtr& n) {
@@ -176,6 +182,7 @@ VarInfo* Sema::lookupVar(const std::string& name) {
 
 void Sema::emit(ir::StmtPtr s) {
   assert(!blockStack_.empty());
+  if (s && !s->range.valid()) s->range = curStmtRange_;
   blockStack_.back().push_back(std::move(s));
 }
 

@@ -183,6 +183,9 @@ private:
 
   ir::Module* mod_ = nullptr;
   ir::Function* fn_ = nullptr;
+  /// Range of the source statement currently being lowered; emit() stamps
+  /// it onto IR statements so analyses can report against the source.
+  SourceRange curStmtRange_{};
   std::vector<Type> curRets_;
   std::vector<std::vector<ir::StmtPtr>> blockStack_;
   std::vector<std::map<std::string, VarInfo>> scopes_;

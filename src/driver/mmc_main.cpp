@@ -1,6 +1,7 @@
 // mmc: the extended-C translator CLI. Usage:
-//   mmc <file.xc> [--emit-ir] [--threads N] [--no-fusion] [--no-parallel]
-//                 [--no-slice-elim]
+//   mmc <file.xc> [--emit-ir] [--emit-c] [--analyze] [--threads N]
+//                 [--no-fusion] [--no-parallel] [--no-slice-elim]
+//                 [--strict-parallel] [-Wparallel] [-Wno-parallel]
 // Composes the host with the matrix, refcount, transform, and alt-tuple
 // extensions, translates the program, and runs it on the interpreter.
 #include <cstring>
@@ -15,27 +16,67 @@
 #include "ext_transform/transform_ext.hpp"
 #include "interp/interp.hpp"
 
+namespace {
+
+int usage(const char* problem) {
+  if (problem) std::cerr << "mmc: " << problem << "\n";
+  std::cerr << "usage: mmc <file.xc> [--emit-ir] [--emit-c] [--analyze] "
+               "[--threads N]\n"
+               "           [--no-fusion] [--no-parallel] [--no-slice-elim]\n"
+               "           [--strict-parallel] [-Wparallel] [-Wno-parallel]\n";
+  return 2;
+}
+
+/// Strict positive-integer parse: the whole string must be digits.
+bool parseThreads(const std::string& s, unsigned& out) {
+  if (s.empty() || s.size() > 9) return false;
+  unsigned v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (v == 0) return false;
+  out = v;
+  return true;
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
   std::string path;
   bool emitIr = false;
   bool emitC = false;
+  bool analyze = false;
   unsigned threads = 1;
   mmx::driver::TranslateOptions opts;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--emit-ir") emitIr = true;
     else if (a == "--emit-c") emitC = true;
-    else if (a == "--threads" && i + 1 < argc) threads = std::stoul(argv[++i]);
-    else if (a == "--no-fusion") opts.fusion = false;
+    else if (a == "--analyze") analyze = true;
+    else if (a == "--threads") {
+      if (i + 1 >= argc)
+        return usage("--threads requires a value");
+      std::string v = argv[++i];
+      if (!parseThreads(v, threads))
+        return usage(("invalid --threads value '" + v +
+                      "' (expected a positive integer)")
+                         .c_str());
+    } else if (a == "--no-fusion") opts.fusion = false;
     else if (a == "--no-parallel") opts.autoParallel = false;
     else if (a == "--no-slice-elim") opts.sliceElimination = false;
+    else if (a == "--strict-parallel") opts.strictParallel = true;
+    else if (a == "-Wparallel") opts.warnParallel = true;
+    else if (a == "-Wno-parallel") opts.warnParallel = false;
+    else if (!a.empty() && a[0] == '-')
+      return usage(("unknown option '" + a + "'").c_str());
+    else if (!path.empty())
+      return usage(("unexpected extra input file '" + a + "' (already have '" +
+                    path + "')")
+                       .c_str());
     else path = a;
   }
-  if (path.empty()) {
-    std::cerr << "usage: mmc <file.xc> [--emit-ir] [--emit-c] [--threads N] "
-                 "[--no-fusion] [--no-parallel] [--no-slice-elim]\n";
-    return 2;
-  }
+  if (path.empty()) return usage(nullptr);
   std::ifstream in(path);
   if (!in) {
     std::cerr << "mmc: cannot open " << path << "\n";
@@ -44,6 +85,7 @@ int main(int argc, char** argv) {
   std::stringstream buf;
   buf << in.rdbuf();
 
+  opts.analyze = analyze;
   mmx::driver::Translator t;
   t.addExtension(mmx::ext_matrix::matrixExtension());
   t.addExtension(mmx::ext_refcount::refcountExtension());
@@ -53,9 +95,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto res = t.translate(path, buf.str());
-  if (!res.ok) {
-    std::cerr << res.diagnostics;
-    return 1;
+  if (!res.diagnostics.empty()) std::cerr << res.diagnostics;
+  if (!res.ok) return 1;
+  if (analyze) {
+    std::cout << res.analysisReport;
+    return 0;
   }
   if (emitIr) {
     std::cout << mmx::ir::dump(*res.module);

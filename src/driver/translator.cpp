@@ -1,5 +1,7 @@
 #include "driver/translator.hpp"
 
+#include "analysis/lint.hpp"
+#include "analysis/parsafe.hpp"
 #include "cminus/host_grammar.hpp"
 #include "cminus/sema.hpp"
 #include "parse/lalr.hpp"
@@ -80,8 +82,22 @@ TranslateResult Translator::translate(const std::string& name,
 
   auto mod = std::make_unique<ir::Module>();
   bool ok = sema.translate(res.tree, *mod);
+  if (ok) {
+    // Post-lowering parallel-safety enforcement: loops the §III-C
+    // auto-parallelizer or a `parallelize` clause marked parallel are
+    // demoted to serial unless the race analysis proves them safe.
+    analysis::ParSafeOptions po;
+    po.warnParallel = opts_.warnParallel;
+    po.strictParallel = opts_.strictParallel;
+    analysis::enforceParallelSafety(*mod, diags, po);
+    if (opts_.analyze) {
+      analysis::ParSafe ps(*mod);
+      res.analysisReport = analysis::renderAnalysis(*mod, ps.analyzeAll());
+      analysis::lintModule(*mod, diags);
+    }
+  }
   res.diagnostics = diags.render(sm);
-  if (!ok) return res;
+  if (!ok || diags.hasErrors()) return res;
   res.ok = true;
   res.module = std::move(mod);
   return res;

@@ -25,6 +25,9 @@ struct TranslateOptions {
   bool fusion = true;           // §III-A4 with-loop/assignment fusion
   bool sliceElimination = true; // §III-A4 fold slice elimination
   bool autoParallel = true;     // §III-C parallel code generation
+  bool warnParallel = true;     // -Wparallel: warn when loops are demoted
+  bool strictParallel = false;  // unsafe `parallelize` is an error
+  bool analyze = false;         // collect the --analyze report + IR lints
 };
 
 /// Result of translating one program.
@@ -33,6 +36,7 @@ struct TranslateResult {
   std::unique_ptr<ir::Module> module; // valid when ok
   ast::NodePtr tree;                  // parse tree (valid when parsed)
   std::string diagnostics;            // rendered diagnostics (always)
+  std::string analysisReport;         // parallel-safety report (analyze)
 };
 
 class Translator {

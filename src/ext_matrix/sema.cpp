@@ -397,8 +397,10 @@ ir::StmtPtr applyTail(Sema& s, const ast::NodePtr& tail, ir::StmtPtr nest,
                       bool allowAutoParallel) {
   if (tail->is("withtail_none")) {
     if (allowAutoParallel && s.autoParallelEnabled &&
-        nest->k == ir::Stmt::K::For)
+        nest->k == ir::Stmt::K::For) {
       nest->parallel = true;
+      nest->parSrc = ir::Stmt::Par::Auto;
+    }
     return nest;
   }
   auto it = s.extensionData.find(kWithTailHooksKey);
@@ -697,7 +699,10 @@ ExprRes lowerMatrixMap(Sema& s, const ast::NodePtr& n) {
   ir::StmtPtr loop = ir::forLoop(t, ir::constI(0),
                                  ir::var(total, ir::Ty::I32), std::move(body),
                                  "mm_t");
-  if (s.autoParallelEnabled) loop->parallel = true;
+  if (s.autoParallelEnabled) {
+    loop->parallel = true;
+    loop->parSrc = ir::Stmt::Par::Auto;
+  }
   s.emit(std::move(loop));
 
   return ExprRes{src.type, ir::var(res, ir::Ty::Mat)};

@@ -341,6 +341,8 @@ ir::StmtPtr transformHook(Sema& s, const ast::NodePtr& tail,
         continue;
       }
       l->parallel = true;
+      l->parSrc = ir::Stmt::Par::Explicit;
+      if (!l->range.valid()) l->range = t->range;
     } else if (t->is("tr_reorder")) {
       std::vector<std::string> order;
       ast::NodePtr il = t->child(1);

@@ -233,7 +233,9 @@ StmtPtr cloneStmt(const Stmt& s) {
   for (const auto& d : s.dims) n->dims.push_back(cloneDim(d));
   n->dsts = s.dsts;
   n->callee = s.callee;
+  n->range = s.range;
   n->parallel = s.parallel;
+  n->parSrc = s.parSrc;
   n->vecWidth = s.vecWidth;
   n->loopName = s.loopName;
   return n;

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "support/source.hpp"
+
 namespace mmx::ir {
 
 /// Scalar and aggregate types of the lowered language.
@@ -117,8 +119,19 @@ struct Stmt {
   std::vector<int32_t> dsts;   // CallAssign
   std::string callee;          // CallAssign
 
+  /// Source statement this IR statement was lowered from (stamped by the
+  /// Sema emit path; invalid for synthesized glue). Analyses report their
+  /// findings against this range.
+  SourceRange range;
+
   // --- loop annotations (For only) ------------------------------------
+  /// Who asked for `parallel`: the §III-C auto-parallelizer or an explicit
+  /// §V `parallelize` clause. The parallel-safety pass demotes unsafe
+  /// `Auto` loops silently and diagnoses unsafe `Explicit` ones.
+  enum class Par : uint8_t { None, Auto, Explicit };
+
   bool parallel = false; // run iterations on the fork-join pool
+  Par parSrc = Par::None;
   int vecWidth = 1;      // 4 => SSE-vectorized (paper §V)
   std::string loopName;  // source index name; transform clauses target this
 };

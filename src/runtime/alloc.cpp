@@ -70,6 +70,13 @@ ArenaAllocator& ArenaAllocator::instance() {
   return a;
 }
 
+ArenaAllocator::~ArenaAllocator() {
+  reset();
+  std::lock_guard<std::mutex> lock(registryMu_);
+  for (ThreadArena* a : arenas_) delete a;
+  arenas_.clear();
+}
+
 ArenaAllocator::ThreadArena& ArenaAllocator::localArena() {
   thread_local ThreadArena* arena = nullptr;
   if (!arena) {

@@ -60,6 +60,9 @@ public:
 
 private:
   ArenaAllocator() = default;
+  /// Reclaims every registered arena (process-exit cleanup of the
+  /// singleton; thread_local arena pointers are dead by then).
+  ~ArenaAllocator();
 
   struct alignas(16) Chunk {
     Chunk* next;

@@ -1,0 +1,240 @@
+// The dataflow engine (analysis/dataflow): syntactic helpers, structural
+// expression equality, and the forward/backward engines driven by small
+// hand-written policies over hand-built IR — straight-line composition,
+// if-joins, loop fixpoints, and break/return edges.
+#include "analysis/dataflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/ir.hpp"
+
+namespace mmx {
+namespace {
+
+using analysis::BackwardEngine;
+using analysis::ForwardEngine;
+using analysis::SlotSet;
+
+/// f() with locals x (0), y (1), z (2), mat (3).
+ir::Function* scaffold(ir::Module& m) {
+  ir::Function* f = m.add("f");
+  f->numParams = 0;
+  f->addLocal("x", ir::Ty::I32);
+  f->addLocal("y", ir::Ty::I32);
+  f->addLocal("z", ir::Ty::I32);
+  f->addLocal("mat", ir::Ty::Mat);
+  return f;
+}
+
+bool contains(const std::vector<int32_t>& v, int32_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(Dataflow, ReadAndWrittenSlots) {
+  // mat[x + y] = z reads x, y, z and the matrix handle; writes nothing
+  // frame-visible.
+  ir::StmtPtr st = ir::storeFlat(
+      3,
+      ir::arith(ir::ArithOp::Add, ir::var(0, ir::Ty::I32),
+                ir::var(1, ir::Ty::I32), ir::Ty::I32),
+      ir::var(2, ir::Ty::I32));
+  auto reads = analysis::readSlots(*st);
+  EXPECT_TRUE(contains(reads, 0));
+  EXPECT_TRUE(contains(reads, 1));
+  EXPECT_TRUE(contains(reads, 2));
+  EXPECT_TRUE(contains(reads, 3)) << "the matrix handle is read";
+  EXPECT_TRUE(analysis::writtenSlots(*st).empty())
+      << "buffer stores do not write frame slots";
+
+  ir::StmtPtr as = ir::assign(1, ir::var(0, ir::Ty::I32));
+  auto w = analysis::writtenSlots(*as);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], 1);
+  EXPECT_TRUE(analysis::exprReadsSlot(*as->exprs[0], 0));
+  EXPECT_FALSE(analysis::exprReadsSlot(*as->exprs[0], 1));
+}
+
+TEST(Dataflow, ExprEqualsIsStructural) {
+  ir::ExprPtr a = ir::arith(ir::ArithOp::Add, ir::var(0, ir::Ty::I32),
+                            ir::constI(1), ir::Ty::I32);
+  ir::ExprPtr b = ir::arith(ir::ArithOp::Add, ir::var(0, ir::Ty::I32),
+                            ir::constI(1), ir::Ty::I32);
+  ir::ExprPtr c = ir::arith(ir::ArithOp::Add, ir::var(0, ir::Ty::I32),
+                            ir::constI(2), ir::Ty::I32);
+  ir::ExprPtr d = ir::arith(ir::ArithOp::Mul, ir::var(0, ir::Ty::I32),
+                            ir::constI(1), ir::Ty::I32);
+  EXPECT_TRUE(analysis::exprEquals(*a, *b));
+  EXPECT_FALSE(analysis::exprEquals(*a, *c)) << "different constant";
+  EXPECT_FALSE(analysis::exprEquals(*a, *d)) << "different operator";
+  EXPECT_TRUE(analysis::exprEquals(*ir::cloneExpr(*a), *a));
+}
+
+// A forward must-analysis: "slots definitely assigned". Intersection join,
+// so a slot survives an If only when both arms assign it.
+struct DefAssigned {
+  using State = SlotSet;
+  State copy(const State& s) { return s; }
+  bool join(State& into, const State& from) {
+    return into.intersectWith(from);
+  }
+  void transfer(const ir::Stmt& s, State& st) {
+    for (int32_t w : analysis::writtenSlots(s)) st.set(w);
+  }
+};
+
+TEST(Dataflow, ForwardStraightLineComposes) {
+  ir::Module m;
+  ir::Function* f = scaffold(m);
+  std::vector<ir::StmtPtr> body;
+  body.push_back(ir::assign(0, ir::constI(1)));
+  body.push_back(ir::assign(1, ir::var(0, ir::Ty::I32)));
+  f->body = ir::block(std::move(body));
+
+  DefAssigned t;
+  ForwardEngine<DefAssigned> eng(t);
+  auto out = eng.run(*f->body, SlotSet(f->locals.size()));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->get(0));
+  EXPECT_TRUE(out->get(1));
+  EXPECT_FALSE(out->get(2));
+}
+
+TEST(Dataflow, ForwardIfJoinsWithIntersection) {
+  ir::Module m;
+  ir::Function* f = scaffold(m);
+  // if (x < 1) { y = 1; z = 1; } else { y = 2; }
+  std::vector<ir::StmtPtr> thenKids;
+  thenKids.push_back(ir::assign(1, ir::constI(1)));
+  thenKids.push_back(ir::assign(2, ir::constI(1)));
+  ir::StmtPtr s = ir::ifStmt(
+      ir::cmp(ir::CmpKind::Lt, ir::var(0, ir::Ty::I32), ir::constI(1)),
+      ir::block(std::move(thenKids)), ir::assign(1, ir::constI(2)));
+  DefAssigned t;
+  ForwardEngine<DefAssigned> eng(t);
+  auto out = eng.run(*s, SlotSet(f->locals.size()));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->get(1)) << "assigned on both arms";
+  EXPECT_FALSE(out->get(2)) << "assigned on one arm only";
+}
+
+TEST(Dataflow, ForwardLoopKeepsZeroIterationPath) {
+  ir::Module m;
+  ir::Function* f = scaffold(m);
+  // for (x = 0; x < 8; x++) { y = 1; }
+  ir::StmtPtr loop = ir::forLoop(0, ir::constI(0), ir::constI(8),
+                                 ir::assign(1, ir::constI(1)), "x");
+  DefAssigned t;
+  ForwardEngine<DefAssigned> eng(t);
+  auto out = eng.run(*loop, SlotSet(f->locals.size()));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->get(0)) << "the loop header writes the loop variable";
+  EXPECT_FALSE(out->get(1)) << "the body may run zero times";
+}
+
+TEST(Dataflow, ForwardRetFeedsExitStateNotFallThrough) {
+  ir::Module m;
+  ir::Function* f = scaffold(m);
+  // x = 1; if (x < 1) { y = 1; return; } z = 1;
+  std::vector<ir::StmtPtr> thenKids;
+  thenKids.push_back(ir::assign(1, ir::constI(1)));
+  thenKids.push_back(ir::ret({}));
+  std::vector<ir::StmtPtr> body;
+  body.push_back(ir::assign(0, ir::constI(1)));
+  body.push_back(ir::ifStmt(
+      ir::cmp(ir::CmpKind::Lt, ir::var(0, ir::Ty::I32), ir::constI(1)),
+      ir::block(std::move(thenKids)), nullptr));
+  body.push_back(ir::assign(2, ir::constI(1)));
+  f->body = ir::block(std::move(body));
+
+  DefAssigned t;
+  ForwardEngine<DefAssigned> eng(t);
+  auto out = eng.run(*f->body, SlotSet(f->locals.size()));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->get(1)) << "the then-arm returned; its state must not "
+                               "leak into the fall-through";
+  EXPECT_TRUE(out->get(2));
+  ASSERT_TRUE(eng.exitState.has_value());
+  EXPECT_TRUE(eng.exitState->get(1)) << "state at the early return";
+  EXPECT_FALSE(eng.exitState->get(2));
+}
+
+TEST(Dataflow, ForwardBreakJoinsAtLoopExit) {
+  ir::Module m;
+  ir::Function* f = scaffold(m);
+  // for (x ...) { y = 1; if (x < 3) { z = 1; break; } }
+  std::vector<ir::StmtPtr> thenKids;
+  thenKids.push_back(ir::assign(2, ir::constI(1)));
+  {
+    auto br = std::make_unique<ir::Stmt>();
+    br->k = ir::Stmt::K::Break;
+    thenKids.push_back(std::move(br));
+  }
+  std::vector<ir::StmtPtr> bodyKids;
+  bodyKids.push_back(ir::assign(1, ir::constI(1)));
+  bodyKids.push_back(ir::ifStmt(
+      ir::cmp(ir::CmpKind::Lt, ir::var(0, ir::Ty::I32), ir::constI(3)),
+      ir::block(std::move(thenKids)), nullptr));
+  ir::StmtPtr loop = ir::forLoop(0, ir::constI(0), ir::constI(8),
+                                 ir::block(std::move(bodyKids)), "x");
+  DefAssigned t;
+  ForwardEngine<DefAssigned> eng(t);
+  auto out = eng.run(*loop, SlotSet(f->locals.size()));
+  ASSERT_TRUE(out.has_value());
+  // z only on the break path, y only on iterating paths, neither definite.
+  EXPECT_FALSE(out->get(1));
+  EXPECT_FALSE(out->get(2));
+  EXPECT_TRUE(out->get(0));
+}
+
+// Backward liveness: a slot is live before a statement if read by it, or
+// live after it and not overwritten. Union join.
+struct Liveness {
+  using State = SlotSet;
+  State copy(const State& s) { return s; }
+  bool join(State& into, const State& from) { return into.unionWith(from); }
+  void transfer(const ir::Stmt& s, State& st) {
+    for (int32_t w : analysis::writtenSlots(s)) st.set(w, false);
+    for (int32_t r : analysis::readSlots(s)) st.set(r);
+  }
+};
+
+TEST(Dataflow, BackwardLivenessStraightLine) {
+  ir::Module m;
+  ir::Function* f = scaffold(m);
+  // y = x + 1; with y live after: x must be live before, y must not.
+  ir::StmtPtr s = ir::assign(
+      1, ir::arith(ir::ArithOp::Add, ir::var(0, ir::Ty::I32), ir::constI(1),
+                   ir::Ty::I32));
+  SlotSet after(f->locals.size());
+  after.set(1);
+  Liveness t;
+  BackwardEngine<Liveness> eng(t);
+  SlotSet before =
+      eng.run(*s, std::move(after), SlotSet(f->locals.size()));
+  EXPECT_TRUE(before.get(0));
+  EXPECT_FALSE(before.get(1)) << "killed by the assignment";
+}
+
+TEST(Dataflow, BackwardLoopCarriesLivenessAroundBackEdge) {
+  ir::Module m;
+  ir::Function* f = scaffold(m);
+  // for (x ...) { y = z; z = 1; } — z is live into the loop: the first
+  // iteration reads it before the body's own write (a loop-carried read
+  // only the fixpoint over the back edge discovers).
+  std::vector<ir::StmtPtr> bodyKids;
+  bodyKids.push_back(ir::assign(1, ir::var(2, ir::Ty::I32)));
+  bodyKids.push_back(ir::assign(2, ir::constI(1)));
+  ir::StmtPtr loop = ir::forLoop(0, ir::constI(0), ir::constI(8),
+                                 ir::block(std::move(bodyKids)), "x");
+  Liveness t;
+  BackwardEngine<Liveness> eng(t);
+  SlotSet before = eng.run(*loop, SlotSet(f->locals.size()),
+                           SlotSet(f->locals.size()));
+  EXPECT_TRUE(before.get(2)) << "read on the first iteration";
+  EXPECT_FALSE(before.get(1)) << "always written before any read";
+}
+
+} // namespace
+} // namespace mmx

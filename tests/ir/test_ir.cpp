@@ -119,6 +119,48 @@ TEST(Ir, DumpMultiReturnSignature) {
   EXPECT_NE(d.find("return a, 1f;"), std::string::npos);
 }
 
+TEST(Ir, CloneStmtPreservesParallelProvenanceAndRange) {
+  // The parallel-safety pass keys its policy off parSrc and reports
+  // against the stamped range; transform clauses clone loops wholesale,
+  // so both must survive cloneStmt.
+  StmtPtr loop = forLoop(0, constI(0), constI(4),
+                         storeFlat(2, var(0, Ty::I32), constF(1.f)), "i");
+  loop->parallel = true;
+  loop->parSrc = Stmt::Par::Explicit;
+  loop->range.begin.file = FileId{1};
+  loop->range.begin.offset = 7;
+  loop->range.end = 21;
+  StmtPtr copy = cloneStmt(*loop);
+  EXPECT_EQ(copy->parSrc, Stmt::Par::Explicit);
+  EXPECT_TRUE(copy->range.valid());
+  EXPECT_EQ(copy->range.begin.offset, 7u);
+  EXPECT_EQ(copy->range.end, 21u);
+  copy->parSrc = Stmt::Par::Auto;
+  EXPECT_EQ(loop->parSrc, Stmt::Par::Explicit);
+}
+
+TEST(Ir, DumpAnnotationRoundTripThroughClone) {
+  // Printing a deep-cloned loop must render the same annotation lines as
+  // the original (parallel + vectorize + the loop header).
+  Module m;
+  Function* f = makeFn(m);
+  StmtPtr loop = forLoop(0, constI(0), constI(8),
+                         storeFlat(2, var(0, Ty::I32), constF(2.f)), "row");
+  loop->parallel = true;
+  loop->vecWidth = 4;
+  std::vector<StmtPtr> body;
+  body.push_back(cloneStmt(*loop));
+  f->body = block(std::move(body));
+  std::string cloned = dump(*f);
+  std::vector<StmtPtr> body2;
+  body2.push_back(std::move(loop));
+  f->body = block(std::move(body2));
+  EXPECT_EQ(cloned, dump(*f));
+  EXPECT_NE(cloned.find("#pragma parallel"), std::string::npos) << cloned;
+  EXPECT_NE(cloned.find("#pragma vectorize 4"), std::string::npos);
+  EXPECT_NE(cloned.find("for (x = 0; x < 8; x++)"), std::string::npos);
+}
+
 TEST(Ir, TyAndOpNames) {
   EXPECT_STREQ(tyName(Ty::Mat), "matrix");
   EXPECT_STREQ(arithName(ArithOp::EwMul), ".*");

@@ -2,6 +2,8 @@
 // identities across ranks/shapes, indexing equivalence against a C++
 // reference, matmul against the runtime kernel, and thread-count
 // invariance of every parallel construct.
+#include <unistd.h>
+
 #include "runtime/kernels.hpp"
 #include "runtime/matio.hpp"
 #include "xc_helper.hpp"
@@ -11,8 +13,11 @@ namespace {
 
 struct TempPath {
   std::string path;
+  // The pid keeps parameterized instances of one test apart when ctest
+  // runs them as concurrent processes sharing TempDir.
   explicit TempPath(const std::string& name)
-      : path(std::string(::testing::TempDir()) + name) {}
+      : path(std::string(::testing::TempDir()) + std::to_string(::getpid()) +
+             "_" + name) {}
   ~TempPath() { std::remove(path.c_str()); }
 };
 

@@ -16,14 +16,16 @@ namespace mmx::test {
 inline driver::Translator& sharedTranslator(driver::TranslateOptions opts = {}) {
   // Cache translators per option set: table construction is the slow part.
   struct Key {
-    bool fusion, slice, par;
+    bool fusion, slice, par, warnPar, strictPar, analyze;
     bool operator<(const Key& o) const {
-      return std::tie(fusion, slice, par) <
-             std::tie(o.fusion, o.slice, o.par);
+      return std::tie(fusion, slice, par, warnPar, strictPar, analyze) <
+             std::tie(o.fusion, o.slice, o.par, o.warnPar, o.strictPar,
+                      o.analyze);
     }
   };
   static std::map<Key, std::unique_ptr<driver::Translator>> cache;
-  Key k{opts.fusion, opts.sliceElimination, opts.autoParallel};
+  Key k{opts.fusion, opts.sliceElimination, opts.autoParallel,
+        opts.warnParallel, opts.strictParallel, opts.analyze};
   auto it = cache.find(k);
   if (it == cache.end()) {
     auto t = std::make_unique<driver::Translator>();
