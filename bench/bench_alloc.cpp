@@ -11,6 +11,7 @@
 
 #include "runtime/alloc.hpp"
 #include "runtime/matrix.hpp"
+#include "bench_stats.hpp"
 #include "runtime/pool.hpp"
 #include "runtime/refcount.hpp"
 

@@ -31,7 +31,8 @@ inline driver::Translator& translator(driver::TranslateOptions opts = {}) {
     t->addExtension(ext_matrix::matrixExtension());
     t->addExtension(ext_refcount::refcountExtension());
     t->addExtension(ext_transform::transformExtension());
-    if (!t->compose(opts)) throw std::runtime_error(t->composeDiagnostics());
+    if (!t->compose(opts))
+      throw std::runtime_error(t->renderComposeDiagnostics());
     it = cache.emplace(k, std::move(t)).first;
   }
   return *it->second;
@@ -120,7 +121,7 @@ int main() {
 inline std::unique_ptr<ir::Module> compile(const std::string& src,
                                            driver::TranslateOptions opts = {}) {
   auto res = translator(opts).translate("bench.xc", src);
-  if (!res.ok) throw std::runtime_error(res.diagnostics);
+  if (!res.ok) throw std::runtime_error(res.renderDiagnostics());
   return std::move(res.module);
 }
 

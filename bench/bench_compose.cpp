@@ -12,6 +12,7 @@
 #include "cminus/host_grammar.hpp"
 #include "cminus/sema.hpp"
 #include "ext_tuple/tuple_ext.hpp"
+#include "bench_stats.hpp"
 #include "parse/lalr.hpp"
 
 namespace mmx::bench {

@@ -8,6 +8,7 @@
 
 #include <atomic>
 
+#include "bench_stats.hpp"
 #include "runtime/pool.hpp"
 
 namespace mmx::bench {

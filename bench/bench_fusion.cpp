@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "bench_stats.hpp"
 
 namespace mmx::bench {
 namespace {

@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "bench_stats.hpp"
 #include "runtime/kernels.hpp"
 #include "runtime/ssh_synth.hpp"
 
@@ -21,11 +22,9 @@ namespace {
 void BM_TemporalMeanThreads(benchmark::State& state) {
   static auto mod = compile(temporalMeanProgram(48, 96, 48));
   unsigned threads = static_cast<unsigned>(state.range(0));
-  std::unique_ptr<rt::Executor> exec;
-  if (threads == 1)
-    exec = std::make_unique<rt::SerialExecutor>();
-  else
-    exec = std::make_unique<rt::ForkJoinPool>(threads);
+  std::unique_ptr<rt::Executor> exec = rt::makeExecutor(
+      threads == 1 ? rt::ExecutorKind::Serial : rt::ExecutorKind::ForkJoin,
+      threads);
   for (auto _ : state) runOn(*mod, *exec);
   state.counters["threads"] = threads;
   state.counters["cells"] = 48.0 * 96 * 48;
@@ -37,11 +36,9 @@ BENCHMARK(BM_TemporalMeanThreads)
 void BM_EddyScoringThreads(benchmark::State& state) {
   static auto mod = compile(eddyScoringProgram(16, 16, 64));
   unsigned threads = static_cast<unsigned>(state.range(0));
-  std::unique_ptr<rt::Executor> exec;
-  if (threads == 1)
-    exec = std::make_unique<rt::SerialExecutor>();
-  else
-    exec = std::make_unique<rt::ForkJoinPool>(threads);
+  std::unique_ptr<rt::Executor> exec = rt::makeExecutor(
+      threads == 1 ? rt::ExecutorKind::Serial : rt::ExecutorKind::ForkJoin,
+      threads);
   for (auto _ : state) runOn(*mod, *exec);
   state.counters["threads"] = threads;
   state.counters["series"] = 16.0 * 16;
@@ -59,11 +56,9 @@ void BM_KernelSumThreads(benchmark::State& state) {
   p.nlon = 128;
   p.ntime = 64;
   static rt::Matrix ssh = rt::synthesizeSsh(p);
-  std::unique_ptr<rt::Executor> exec;
-  if (threads == 1)
-    exec = std::make_unique<rt::SerialExecutor>();
-  else
-    exec = std::make_unique<rt::ForkJoinPool>(threads);
+  std::unique_ptr<rt::Executor> exec = rt::makeExecutor(
+      threads == 1 ? rt::ExecutorKind::Serial : rt::ExecutorKind::ForkJoin,
+      threads);
   rt::Matrix out;
   for (auto _ : state) {
     rt::sumInnermost3D(*exec, ssh, out, true);

@@ -1,0 +1,41 @@
+// Stats emission for the benchmark binaries: when MMX_STATS_JSON names a
+// file, metrics are enabled for the whole run and the flat counter/timer
+// JSON (the same format as `mmc --stats-json`) is written there at exit.
+// The benches use benchmark_main, so this hooks process start/end from a
+// static registrar instead of a custom main().
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/metrics.hpp"
+
+namespace mmx::bench {
+
+class StatsJsonAtExit {
+public:
+  StatsJsonAtExit() {
+    const char* path = std::getenv("MMX_STATS_JSON");
+    if (!path || !*path) return;
+    path_ = path;
+    metrics::enable(true);
+  }
+  ~StatsJsonAtExit() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    out << metrics::renderStatsJson(metrics::snapshot());
+  }
+
+private:
+  std::string path_;
+};
+
+// One registrar per binary (the header is included once per bench .cpp).
+inline StatsJsonAtExit g_statsJsonAtExit;
+
+} // namespace mmx::bench

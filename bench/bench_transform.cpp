@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "bench_stats.hpp"
 
 namespace mmx::bench {
 namespace {
@@ -24,11 +25,9 @@ void runVariant(benchmark::State& state, const std::string& clauses,
                 unsigned threads) {
   auto mod = compile(temporalMeanProgram(kLat, kLon, kTime, clauses),
                      manual());
-  std::unique_ptr<rt::Executor> exec;
-  if (threads == 1)
-    exec = std::make_unique<rt::SerialExecutor>();
-  else
-    exec = std::make_unique<rt::ForkJoinPool>(threads);
+  std::unique_ptr<rt::Executor> exec = rt::makeExecutor(
+      threads == 1 ? rt::ExecutorKind::Serial : rt::ExecutorKind::ForkJoin,
+      threads);
   for (auto _ : state) runOn(*mod, *exec);
 }
 

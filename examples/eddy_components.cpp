@@ -46,17 +46,17 @@ int main(int argc, char** argv) {
   driver::Translator t;
   t.addExtension(ext_matrix::matrixExtension());
   if (!t.compose()) {
-    std::cerr << t.composeDiagnostics();
+    std::cerr << t.renderComposeDiagnostics();
     return 1;
   }
   std::string out = "/tmp/eddy_labels.mmx";
   auto res = t.translate("fig4.xc", program(nlat, nlon, ntime, out));
   if (!res.ok) {
-    std::cerr << res.diagnostics;
+    std::cerr << res.renderDiagnostics();
     return 1;
   }
-  rt::ForkJoinPool pool(4);
-  interp::Machine vm(*res.module, pool);
+  auto pool = rt::makeExecutor(rt::ExecutorKind::ForkJoin, 4);
+  interp::Machine vm(*res.module, *pool);
   vm.runMain();
 
   rt::Matrix labels = rt::readMatrixFile(out);

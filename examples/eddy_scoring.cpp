@@ -78,18 +78,18 @@ int main(int argc, char** argv) {
   driver::Translator t;
   t.addExtension(ext_matrix::matrixExtension());
   if (!t.compose()) {
-    std::cerr << t.composeDiagnostics();
+    std::cerr << t.renderComposeDiagnostics();
     return 1;
   }
   std::string out = "/tmp/temporal_scores.mmx";
   auto res = t.translate("fig8.xc", program(nlat, nlon, ntime, out));
   if (!res.ok) {
-    std::cerr << res.diagnostics;
+    std::cerr << res.renderDiagnostics();
     return 1;
   }
 
-  rt::ForkJoinPool pool(threads);
-  interp::Machine vm(*res.module, pool);
+  auto pool = rt::makeExecutor(rt::ExecutorKind::ForkJoin, threads);
+  interp::Machine vm(*res.module, *pool);
   auto t0 = std::chrono::steady_clock::now();
   vm.runMain();
   double ms = std::chrono::duration<double, std::milli>(

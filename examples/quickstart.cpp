@@ -30,7 +30,7 @@ int main() {
   driver::Translator t;
   t.addExtension(ext_matrix::matrixExtension());
   if (!t.compose()) {
-    std::cerr << t.composeDiagnostics();
+    std::cerr << t.renderComposeDiagnostics();
     return 1;
   }
   std::cout << "composed grammar: " << t.grammar().productions().size()
@@ -41,7 +41,7 @@ int main() {
   // 2. Translate extended C down to the plain-parallel-C level.
   auto res = t.translate("quickstart.xc", kProgram);
   if (!res.ok) {
-    std::cerr << res.diagnostics;
+    std::cerr << res.renderDiagnostics();
     return 1;
   }
   std::cout << "---- generated loop IR ----\n" << ir::dump(*res.module);
@@ -56,8 +56,8 @@ int main() {
   }
 
   // 4. Or execute directly on the interpreter + fork-join pool.
-  rt::ForkJoinPool pool(4);
-  interp::Machine vm(*res.module, pool);
+  auto pool = rt::makeExecutor(rt::ExecutorKind::ForkJoin, 4);
+  interp::Machine vm(*res.module, *pool);
   int code = vm.runMain();
   std::cout << "---- program output (4 threads) ----\n" << vm.output();
   return code;

@@ -42,13 +42,13 @@ int main(int argc, char** argv) {
   driver::Translator t;
   t.addExtension(ext_matrix::matrixExtension());
   if (!t.compose()) {
-    std::cerr << t.composeDiagnostics();
+    std::cerr << t.renderComposeDiagnostics();
     return 1;
   }
   std::string out = "/tmp/temporal_means.mmx";
   auto res = t.translate("fig1.xc", program(nlat, nlon, ntime, out));
   if (!res.ok) {
-    std::cerr << res.diagnostics;
+    std::cerr << res.renderDiagnostics();
     return 1;
   }
 
@@ -57,11 +57,9 @@ int main(int argc, char** argv) {
 
   double base = 0;
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
-    std::unique_ptr<rt::Executor> exec;
-    if (threads == 1)
-      exec = std::make_unique<rt::SerialExecutor>();
-    else
-      exec = std::make_unique<rt::ForkJoinPool>(threads);
+    std::unique_ptr<rt::Executor> exec = rt::makeExecutor(
+        threads == 1 ? rt::ExecutorKind::Serial : rt::ExecutorKind::ForkJoin,
+        threads);
     interp::Machine vm(*res.module, *exec);
     auto t0 = std::chrono::steady_clock::now();
     vm.runMain();

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   driver::TranslateOptions opts;
   opts.autoParallel = false;
   if (!t.compose(opts)) {
-    std::cerr << t.composeDiagnostics();
+    std::cerr << t.renderComposeDiagnostics();
     return 1;
   }
 
@@ -73,11 +73,11 @@ int main(int argc, char** argv) {
   for (const Stage& st : stages) {
     auto res = t.translate("fig9.xc", program(m, n, p, st.clauses));
     if (!res.ok) {
-      std::cerr << res.diagnostics;
+      std::cerr << res.renderDiagnostics();
       return 1;
     }
-    rt::ForkJoinPool pool(4);
-    interp::Machine vm(*res.module, pool);
+    auto pool = rt::makeExecutor(rt::ExecutorKind::ForkJoin, 4);
+    interp::Machine vm(*res.module, *pool);
     vm.runMain(); // warm-up + correctness
     std::string first = vm.output();
     vm.clearOutput();

@@ -6,6 +6,7 @@
 
 #include "analysis/constprop.hpp"
 #include "analysis/dataflow.hpp"
+#include "support/metrics.hpp"
 
 // Implementation notes — the documented approximations
 // ----------------------------------------------------
@@ -1024,10 +1025,12 @@ std::vector<LoopFinding> enforceParallelSafety(ir::Module& m,
                                                const ParSafeOptions& opts) {
   ParSafe ps(m);
   std::vector<LoopFinding> demoted;
+  uint64_t checked = 0;
   for (const auto& f : m.functions) {
     if (!f->body) continue;
     forEachStmt(*f->body, [&](ir::Stmt& s) {
       if (s.k != ir::Stmt::K::For || !s.parallel) return;
+      ++checked;
       LoopFinding lf = ps.classifyLoop(*f, s);
       if (lf.cls == LoopClass::Safe) return;
 
@@ -1048,6 +1051,10 @@ std::vector<LoopFinding> enforceParallelSafety(ir::Module& m,
       }
       demoted.push_back(std::move(lf));
     });
+  }
+  if (metrics::enabled()) {
+    metrics::counter("parallel.checked").add(checked);
+    metrics::counter("parallel.demoted").add(demoted.size());
   }
   return demoted;
 }

@@ -2,7 +2,24 @@
 
 #include <stdexcept>
 
+#include "support/metrics.hpp"
+
 namespace mmx::attr {
+
+namespace {
+
+// Demand-driven evaluation telemetry: cache hits measure how much the
+// memoisation in AttrStore saves over naive re-evaluation.
+void countCacheHit() {
+  static const metrics::Counter c = metrics::counter("attr.cacheHits");
+  c.add();
+}
+void countEval() {
+  static const metrics::Counter c = metrics::counter("attr.evals");
+  c.add();
+}
+
+} // namespace
 
 AttrId Registry::declareRaw(std::string name, AttrKind kind,
                             std::string extension) {
@@ -66,6 +83,7 @@ const std::any& Evaluator::getRaw(const ast::NodePtr& n, AttrId a) {
   AttrStore::Slot& s = n->store.slot(a);
   switch (s.state) {
     case AttrStore::State::Done:
+      if (metrics::enabled()) countCacheHit();
       return s.value;
     case AttrStore::State::InProgress:
       throw CycleError("cycle evaluating attribute '" + reg_.decl(a).name +
@@ -96,6 +114,7 @@ const std::any& Evaluator::evalSyn(const ast::NodePtr& n, AttrId a,
     throw MissingEquation("no equation for synthesized attribute '" +
                           reg_.decl(a).name + "' on production '" +
                           std::string(n->kind()) + "'");
+  if (metrics::enabled()) countEval();
   s.state = AttrStore::State::InProgress;
   s.value = (*fn)(n, *this);
   s.state = AttrStore::State::Done;
@@ -122,6 +141,7 @@ const std::any& Evaluator::evalInh(const ast::NodePtr& n, AttrId a,
   // Recover a shared_ptr for the parent. Parents always outlive children
   // during evaluation; the aliasing constructor gives a non-owning handle.
   ast::NodePtr parentPtr(ast::NodePtr{}, parent);
+  if (metrics::enabled()) countEval();
   s.state = AttrStore::State::InProgress;
   if (fn) {
     // Equations are written from the parent's perspective.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "support/metrics.hpp"
+
 namespace mmx::cm {
 
 Sema::Sema(DiagnosticEngine& diags, attr::Registry& attrReg)
@@ -25,7 +27,7 @@ Sema::Sema(DiagnosticEngine& diags, attr::Registry& attrReg)
 
 void Sema::defineExpr(const std::string& prod, ExprHandler h,
                       const std::string& ext) {
-  (void)ext;
+  prodExt_[prod] = ext;
   attrReg_.synRaw(prod, typeAttr_.id,
                   [](const ast::NodePtr&, attr::Evaluator&) {
                     return std::any(0);
@@ -39,7 +41,7 @@ void Sema::defineExpr(const std::string& prod, ExprHandler h,
 
 void Sema::defineStmt(const std::string& prod, StmtHandler h,
                       const std::string& ext) {
-  (void)ext;
+  prodExt_[prod] = ext;
   attrReg_.synRaw(prod, stmtAttr_.id,
                   [](const ast::NodePtr&, attr::Evaluator&) {
                     return std::any(0);
@@ -49,8 +51,13 @@ void Sema::defineStmt(const std::string& prod, StmtHandler h,
 
 void Sema::defineType(const std::string& prod, TypeHandler h,
                       const std::string& ext) {
-  (void)ext;
+  prodExt_[prod] = ext;
   typeH_[prod] = std::move(h);
+}
+
+const std::string* Sema::extensionOf(const std::string& prod) const {
+  auto it = prodExt_.find(prod);
+  return it == prodExt_.end() || it->second.empty() ? nullptr : &it->second;
 }
 
 void Sema::defineBuiltin(const std::string& name, CallHandler h) {
@@ -96,20 +103,28 @@ bool Sema::tryAssignHooks(const ast::NodePtr& lhs, const ast::NodePtr& rhs) {
 }
 
 ExprRes Sema::expr(const ast::NodePtr& n) {
-  auto it = exprH_.find(std::string(n->kind()));
+  std::string kind(n->kind());
+  auto it = exprH_.find(kind);
   if (it == exprH_.end()) {
     error(n->range, "no semantics registered for expression production '" +
-                        std::string(n->kind()) + "'");
+                        kind + "'");
     return ExprRes::error();
+  }
+  // Diagnostics emitted by the handler record the extension that owns
+  // this production (structured-diagnostics satellite of ISSUE 2).
+  if (const std::string* ext = extensionOf(kind)) {
+    DiagnosticEngine::OriginScope scope(diags_, *ext);
+    return it->second(*this, n);
   }
   return it->second(*this, n);
 }
 
 void Sema::stmt(const ast::NodePtr& n) {
-  auto it = stmtH_.find(std::string(n->kind()));
+  std::string kind(n->kind());
+  auto it = stmtH_.find(kind);
   if (it == stmtH_.end()) {
     error(n->range, "no semantics registered for statement production '" +
-                        std::string(n->kind()) + "'");
+                        kind + "'");
     return;
   }
   // Everything emitted while this statement lowers reports against its
@@ -117,16 +132,26 @@ void Sema::stmt(const ast::NodePtr& n) {
   // their children lower).
   SourceRange prev = curStmtRange_;
   curStmtRange_ = n->range;
-  it->second(*this, n);
+  if (const std::string* ext = extensionOf(kind)) {
+    DiagnosticEngine::OriginScope scope(diags_, *ext);
+    it->second(*this, n);
+  } else {
+    it->second(*this, n);
+  }
   curStmtRange_ = prev;
 }
 
 Type Sema::typeExpr(const ast::NodePtr& n) {
-  auto it = typeH_.find(std::string(n->kind()));
+  std::string kind(n->kind());
+  auto it = typeH_.find(kind);
   if (it == typeH_.end()) {
     error(n->range, "no semantics registered for type production '" +
-                        std::string(n->kind()) + "'");
+                        kind + "'");
     return Type::error();
+  }
+  if (const std::string* ext = extensionOf(kind)) {
+    DiagnosticEngine::OriginScope scope(diags_, *ext);
+    return it->second(*this, n);
   }
   return it->second(*this, n);
 }
@@ -259,40 +284,51 @@ std::string_view Sema::idText(const ast::NodePtr& n) {
 bool Sema::translate(const ast::NodePtr& tu, ir::Module& out) {
   mod_ = &out;
 
-  // Pass 1: collect function signatures.
-  auto decls = ast::findAll(tu, "fn_decl");
-  for (const auto& d : decls) {
-    // fn_decl: RetType ID ( ParamsOpt ) Block
-    std::string name(d->child(1)->text());
-    FuncSig sig;
-    const ast::NodePtr& retN = d->child(0);
-    if (retN->is("retty_void")) {
-      // no returns
-    } else {
-      Type rt = typeExpr(retN->child(0));
-      if (rt.k == Type::K::Tuple)
-        sig.rets = rt.elems;
-      else if (!rt.isError())
-        sig.rets = {rt};
-    }
-    // Params.
-    for (const auto& p : ast::findAll(d->child(3), "param")) {
-      Type pt = typeExpr(p->child(0));
-      if (pt.k == Type::K::Tuple) {
-        error(p->range, "tuple-typed parameters are not supported");
-        pt = Type::error();
+  // Pass 1 is the interface-level typecheck (signatures, declared types);
+  // pass 2 checks bodies while lowering them. The phase split mirrors how
+  // --time-report and --trace-json present the pipeline.
+  std::vector<ast::NodePtr> decls;
+  {
+    metrics::ScopedTimer typecheckTimer("typecheck");
+
+    // Pass 1: collect function signatures.
+    decls = ast::findAll(tu, "fn_decl");
+    for (const auto& d : decls) {
+      // fn_decl: RetType ID ( ParamsOpt ) Block
+      std::string name(d->child(1)->text());
+      FuncSig sig;
+      const ast::NodePtr& retN = d->child(0);
+      if (retN->is("retty_void")) {
+        // no returns
+      } else {
+        Type rt = typeExpr(retN->child(0));
+        if (rt.k == Type::K::Tuple)
+          sig.rets = rt.elems;
+        else if (!rt.isError())
+          sig.rets = {rt};
       }
-      sig.params.push_back(pt);
-      sig.paramNames.emplace_back(p->child(1)->text());
+      // Params.
+      for (const auto& p : ast::findAll(d->child(3), "param")) {
+        Type pt = typeExpr(p->child(0));
+        if (pt.k == Type::K::Tuple) {
+          error(p->range, "tuple-typed parameters are not supported");
+          pt = Type::error();
+        }
+        sig.params.push_back(pt);
+        sig.paramNames.emplace_back(p->child(1)->text());
+      }
+      declareFunction(name, std::move(sig), d->range);
     }
-    declareFunction(name, std::move(sig), d->range);
+
+    if (!findFunction("main"))
+      diags_.error({}, "program has no main function");
   }
 
-  if (!findFunction("main"))
-    diags_.error({}, "program has no main function");
-
   // Pass 2: lower bodies.
-  for (const auto& d : decls) lowerFunction(d);
+  {
+    metrics::ScopedTimer lowerTimer("lower");
+    for (const auto& d : decls) lowerFunction(d);
+  }
 
   mod_ = nullptr;
   return !diags_.hasErrors();

@@ -67,6 +67,10 @@ public:
                   const std::string& ext);
   void defineType(const std::string& prod, TypeHandler h,
                   const std::string& ext);
+  /// Name of the extension that registered handlers for `prod`, or
+  /// nullptr when unknown/empty. Diagnostic origin stamping uses this.
+  const std::string* extensionOf(const std::string& prod) const;
+
   void defineBuiltin(const std::string& name, CallHandler h);
   bool hasBuiltin(const std::string& name) const;
   /// Invokes a registered builtin handler (call sites use hasBuiltin first).
@@ -174,6 +178,8 @@ private:
   std::map<std::string, ExprHandler> exprH_;
   std::map<std::string, StmtHandler> stmtH_;
   std::map<std::string, TypeHandler> typeH_;
+  std::map<std::string, std::string> prodExt_; // production -> extension
+
   std::map<std::string, CallHandler> builtins_;
   std::vector<BinHook> binHooks_;
   std::vector<CmpHook> cmpHooks_;

@@ -1,0 +1,162 @@
+#include "driver/invocation.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+namespace mmx::driver {
+
+namespace {
+
+/// Strict positive-integer parse: the whole string must be digits.
+bool parsePositive(const std::string& s, unsigned& out) {
+  if (s.empty() || s.size() > 9) return false;
+  unsigned v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (v == 0) return false;
+  out = v;
+  return true;
+}
+
+/// One row of the flag table. `apply` consumes the flag's value (empty for
+/// valueless flags) and reports problems through its return value.
+struct FlagSpec {
+  const char* flag;    // e.g. "--threads"
+  const char* metavar; // nullptr for valueless flags
+  const char* help;
+  std::function<std::string(CompilerInvocation&, const std::string&)> apply;
+};
+
+/// THE table: every mmc option, once. parseArgv and helpText both walk it.
+const std::vector<FlagSpec>& flagTable() {
+  auto set = [](bool CompilerInvocation::*field, bool value) {
+    return [field, value](CompilerInvocation& inv,
+                          const std::string&) -> std::string {
+      inv.*field = value;
+      return {};
+    };
+  };
+  auto setOpt = [](bool TranslateOptions::*field, bool value) {
+    return [field, value](CompilerInvocation& inv,
+                          const std::string&) -> std::string {
+      inv.opts.*field = value;
+      return {};
+    };
+  };
+  static const std::vector<FlagSpec> table = {
+      {"--emit-ir", nullptr, "print the lowered loop IR and exit",
+       set(&CompilerInvocation::emitIr, true)},
+      {"--emit-c", nullptr, "print plain parallel C (OpenMP+SSE) and exit",
+       set(&CompilerInvocation::emitC, true)},
+      {"--analyze", nullptr,
+       "print the parallel-safety report + IR lints and exit",
+       set(&CompilerInvocation::analyze, true)},
+      {"--threads", "N", "run with N threads (default 1)",
+       [](CompilerInvocation& inv, const std::string& v) -> std::string {
+         if (!parsePositive(v, inv.threads))
+           return "invalid --threads value '" + v +
+                  "' (expected a positive integer)";
+         return {};
+       }},
+      {"--executor", "KIND",
+       "executor: serial, forkjoin, or naive (default: serial for 1 "
+       "thread, forkjoin beyond)",
+       [](CompilerInvocation& inv, const std::string& v) -> std::string {
+         auto k = rt::executorKindFromString(v);
+         if (!k)
+           return "invalid --executor value '" + v +
+                  "' (expected serial, forkjoin, or naive)";
+         inv.executor = *k;
+         inv.executorExplicit = true;
+         return {};
+       }},
+      {"--no-fusion", nullptr, "disable with-loop/assignment fusion (ablation)",
+       setOpt(&TranslateOptions::fusion, false)},
+      {"--no-parallel", nullptr, "disable parallel code generation (ablation)",
+       setOpt(&TranslateOptions::autoParallel, false)},
+      {"--no-slice-elim", nullptr, "disable fold slice elimination (ablation)",
+       setOpt(&TranslateOptions::sliceElimination, false)},
+      {"--strict-parallel", nullptr,
+       "treat an unsafe `parallelize` clause as an error",
+       setOpt(&TranslateOptions::strictParallel, true)},
+      {"-Wparallel", nullptr, "warn when loops are demoted to serial (default)",
+       setOpt(&TranslateOptions::warnParallel, true)},
+      {"-Wno-parallel", nullptr, "silence loop-demotion warnings",
+       setOpt(&TranslateOptions::warnParallel, false)},
+      {"--time-report", nullptr,
+       "print a phase-timing + counter table to stderr",
+       set(&CompilerInvocation::timeReport, true)},
+      {"--stats-json", "FILE", "write flat counter/timer JSON to FILE",
+       [](CompilerInvocation& inv, const std::string& v) -> std::string {
+         inv.statsJsonPath = v;
+         return {};
+       }},
+      {"--trace-json", "FILE",
+       "write Chrome trace-event JSON to FILE (about:tracing / Perfetto)",
+       [](CompilerInvocation& inv, const std::string& v) -> std::string {
+         inv.traceJsonPath = v;
+         return {};
+       }},
+      {"--help", nullptr, "show this help",
+       set(&CompilerInvocation::showHelp, true)},
+  };
+  return table;
+}
+
+} // namespace
+
+CompilerInvocation::ParseResult
+CompilerInvocation::parseArgv(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& f : flagTable())
+      if (a == f.flag) {
+        spec = &f;
+        break;
+      }
+    if (spec) {
+      std::string value;
+      if (spec->metavar) {
+        if (i + 1 >= argc)
+          return {false, std::string(spec->flag) + " requires a value"};
+        value = argv[++i];
+      }
+      std::string err = spec->apply(*this, value);
+      if (!err.empty()) return {false, err};
+      continue;
+    }
+    if (!a.empty() && a[0] == '-')
+      return {false, "unknown option '" + a + "'"};
+    if (!inputPath.empty())
+      return {false, "unexpected extra input file '" + a +
+                         "' (already have '" + inputPath + "')"};
+    inputPath = a;
+  }
+  opts.analyze = analyze;
+  if (!showHelp && inputPath.empty()) return {false, "no input file"};
+  return {};
+}
+
+std::string CompilerInvocation::helpText() {
+  std::ostringstream out;
+  out << "usage: mmc <file.xc> [options]\n\noptions:\n";
+  size_t w = 0;
+  auto label = [](const FlagSpec& f) {
+    std::string s = f.flag;
+    if (f.metavar) s += std::string(" <") + f.metavar + ">";
+    return s;
+  };
+  for (const FlagSpec& f : flagTable()) w = std::max(w, label(f).size());
+  for (const FlagSpec& f : flagTable()) {
+    std::string l = label(f);
+    out << "  " << l << std::string(w - l.size() + 2, ' ') << f.help << "\n";
+  }
+  return out.str();
+}
+
+} // namespace mmx::driver

@@ -1,0 +1,65 @@
+// CompilerInvocation: one declarative description of an mmc run. A single
+// flag table in invocation.cpp drives argv parsing, the --help text, and
+// defaulting (previously TranslateOptions and ad-hoc mmc_main flag code
+// duplicated each other). Tools embedding the pipeline (tests, benches)
+// can fill the struct directly and skip argv entirely.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "driver/translator.hpp"
+#include "runtime/pool.hpp"
+
+namespace mmx::driver {
+
+struct CompilerInvocation {
+  std::string inputPath;
+  TranslateOptions opts;
+
+  // Output selection.
+  bool emitIr = false;
+  bool emitC = false;
+  bool analyze = false;
+  bool showHelp = false;
+
+  // Execution.
+  unsigned threads = 1;
+  rt::ExecutorKind executor = rt::ExecutorKind::ForkJoin;
+  bool executorExplicit = false; // --executor given (else derived from threads)
+
+  // Observability (ISSUE 2).
+  bool timeReport = false;       // --time-report: human table on stderr
+  std::string statsJsonPath;     // --stats-json <file>: flat counters
+  std::string traceJsonPath;     // --trace-json <file>: Chrome trace events
+
+  /// True when any observability output was requested (the metrics
+  /// registry is only enabled in that case — no-op otherwise).
+  bool metricsRequested() const {
+    return timeReport || !statsJsonPath.empty() || !traceJsonPath.empty();
+  }
+
+  /// The executor this invocation runs on: --executor wins; otherwise
+  /// serial for 1 thread, the enhanced fork-join pool beyond.
+  std::unique_ptr<rt::Executor> makeExecutor() const {
+    if (executorExplicit) return rt::makeExecutor(executor, threads);
+    return rt::makeExecutor(threads > 1 ? rt::ExecutorKind::ForkJoin
+                                        : rt::ExecutorKind::Serial,
+                            threads);
+  }
+
+  struct ParseResult {
+    bool ok = true;
+    std::string error; // set when !ok
+  };
+
+  /// Parses argv (argv[0] is skipped) into this invocation. Unknown
+  /// options, missing/invalid values, and extra positionals fail with a
+  /// message; defaults come from the member initializers above.
+  ParseResult parseArgv(int argc, const char* const* argv);
+
+  /// Usage text generated from the same flag table parseArgv() uses.
+  static std::string helpText();
+};
+
+} // namespace mmx::driver

@@ -1,131 +1,132 @@
-// mmc: the extended-C translator CLI. Usage:
-//   mmc <file.xc> [--emit-ir] [--emit-c] [--analyze] [--threads N]
-//                 [--no-fusion] [--no-parallel] [--no-slice-elim]
-//                 [--strict-parallel] [-Wparallel] [-Wno-parallel]
-// Composes the host with the matrix, refcount, transform, and alt-tuple
-// extensions, translates the program, and runs it on the interpreter.
-#include <cstring>
+// mmc: the extended-C translator CLI. Run `mmc --help` for the full flag
+// list — it is generated from the CompilerInvocation table, the single
+// declaration of every option. Composes the host with the matrix,
+// refcount, transform, and alt-tuple extensions, translates the program,
+// and runs it on the interpreter.
+//
+// Observability: --time-report prints a phase/counters table to stderr;
+// --stats-json <file> writes flat counters; --trace-json <file> writes
+// Chrome trace-event JSON (open in about:tracing or Perfetto).
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "driver/invocation.hpp"
 #include "driver/translator.hpp"
 #include "ir/cemit.hpp"
 #include "ext_matrix/matrix_ext.hpp"
 #include "ext_refcount/refcount_ext.hpp"
 #include "ext_transform/transform_ext.hpp"
 #include "interp/interp.hpp"
+#include "support/metrics.hpp"
 
 namespace {
 
-int usage(const char* problem) {
-  if (problem) std::cerr << "mmc: " << problem << "\n";
-  std::cerr << "usage: mmc <file.xc> [--emit-ir] [--emit-c] [--analyze] "
-               "[--threads N]\n"
-               "           [--no-fusion] [--no-parallel] [--no-slice-elim]\n"
-               "           [--strict-parallel] [-Wparallel] [-Wno-parallel]\n";
+int usage(const std::string& problem) {
+  if (!problem.empty()) std::cerr << "mmc: " << problem << "\n";
+  std::cerr << mmx::driver::CompilerInvocation::helpText();
   return 2;
 }
 
-/// Strict positive-integer parse: the whole string must be digits.
-bool parseThreads(const std::string& s, unsigned& out) {
-  if (s.empty() || s.size() > 9) return false;
-  unsigned v = 0;
-  for (char c : s) {
-    if (c < '0' || c > '9') return false;
-    v = v * 10 + static_cast<unsigned>(c - '0');
-  }
-  if (v == 0) return false;
-  out = v;
+/// Writes the requested observability outputs; returns false (with a
+/// message on stderr) when a file cannot be written.
+bool emitMetrics(const mmx::driver::CompilerInvocation& inv) {
+  if (!inv.metricsRequested()) return true;
+  mmx::metrics::Snapshot snap = mmx::metrics::snapshot();
+  if (inv.timeReport) std::cerr << mmx::metrics::renderTimeReport(snap);
+  auto writeFile = [](const std::string& path,
+                      const std::string& body) -> bool {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "mmc: cannot write " << path << "\n";
+      return false;
+    }
+    out << body;
+    return true;
+  };
+  if (!inv.statsJsonPath.empty() &&
+      !writeFile(inv.statsJsonPath, mmx::metrics::renderStatsJson(snap)))
+    return false;
+  if (!inv.traceJsonPath.empty() &&
+      !writeFile(inv.traceJsonPath, mmx::metrics::renderTraceJson(snap)))
+    return false;
   return true;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-  std::string path;
-  bool emitIr = false;
-  bool emitC = false;
-  bool analyze = false;
-  unsigned threads = 1;
-  mmx::driver::TranslateOptions opts;
-  for (int i = 1; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a == "--emit-ir") emitIr = true;
-    else if (a == "--emit-c") emitC = true;
-    else if (a == "--analyze") analyze = true;
-    else if (a == "--threads") {
-      if (i + 1 >= argc)
-        return usage("--threads requires a value");
-      std::string v = argv[++i];
-      if (!parseThreads(v, threads))
-        return usage(("invalid --threads value '" + v +
-                      "' (expected a positive integer)")
-                         .c_str());
-    } else if (a == "--no-fusion") opts.fusion = false;
-    else if (a == "--no-parallel") opts.autoParallel = false;
-    else if (a == "--no-slice-elim") opts.sliceElimination = false;
-    else if (a == "--strict-parallel") opts.strictParallel = true;
-    else if (a == "-Wparallel") opts.warnParallel = true;
-    else if (a == "-Wno-parallel") opts.warnParallel = false;
-    else if (!a.empty() && a[0] == '-')
-      return usage(("unknown option '" + a + "'").c_str());
-    else if (!path.empty())
-      return usage(("unexpected extra input file '" + a + "' (already have '" +
-                    path + "')")
-                       .c_str());
-    else path = a;
+  mmx::driver::CompilerInvocation inv;
+  auto parsed = inv.parseArgv(argc, argv);
+  if (!parsed.ok) return usage(parsed.error);
+  if (inv.showHelp) {
+    std::cout << mmx::driver::CompilerInvocation::helpText();
+    return 0;
   }
-  if (path.empty()) return usage(nullptr);
-  std::ifstream in(path);
+
+  std::ifstream in(inv.inputPath);
   if (!in) {
-    std::cerr << "mmc: cannot open " << path << "\n";
+    std::cerr << "mmc: cannot open " << inv.inputPath << "\n";
     return 2;
   }
   std::stringstream buf;
   buf << in.rdbuf();
 
-  opts.analyze = analyze;
+  if (inv.metricsRequested()) mmx::metrics::enable(true);
+
   mmx::driver::Translator t;
   t.addExtension(mmx::ext_matrix::matrixExtension());
   t.addExtension(mmx::ext_refcount::refcountExtension());
   t.addExtension(mmx::ext_transform::transformExtension());
-  if (!t.compose(opts)) {
-    std::cerr << t.composeDiagnostics();
+  if (!t.compose(inv.opts)) {
+    std::cerr << t.renderComposeDiagnostics();
+    emitMetrics(inv);
     return 1;
   }
-  auto res = t.translate(path, buf.str());
-  if (!res.diagnostics.empty()) std::cerr << res.diagnostics;
-  if (!res.ok) return 1;
-  if (analyze) {
+  auto res = t.translate(inv.inputPath, buf.str());
+  std::cerr << res.renderDiagnostics();
+  if (!res.ok) {
+    emitMetrics(inv);
+    return 1;
+  }
+  if (inv.analyze) {
     std::cout << res.analysisReport;
-    return 0;
+    return emitMetrics(inv) ? 0 : 2;
   }
-  if (emitIr) {
+  if (inv.emitIr) {
     std::cout << mmx::ir::dump(*res.module);
-    return 0;
+    return emitMetrics(inv) ? 0 : 2;
   }
-  if (emitC) {
-    auto c = mmx::ir::emitC(*res.module);
-    if (!c.ok) {
-      for (const auto& e : c.errors) std::cerr << "emit error: " << e << "\n";
-      return 1;
+  if (inv.emitC) {
+    std::string code;
+    {
+      mmx::metrics::ScopedTimer emitTimer("emit");
+      auto c = mmx::ir::emitC(*res.module);
+      if (!c.ok) {
+        for (const auto& e : c.errors)
+          std::cerr << "emit error: " << e << "\n";
+        emitMetrics(inv);
+        return 1;
+      }
+      code = std::move(c.code);
     }
-    std::cout << c.code;
-    return 0;
+    std::cout << code;
+    return emitMetrics(inv) ? 0 : 2;
   }
   try {
-    std::unique_ptr<mmx::rt::Executor> exec;
-    if (threads > 1)
-      exec = std::make_unique<mmx::rt::ForkJoinPool>(threads);
-    else
-      exec = std::make_unique<mmx::rt::SerialExecutor>();
+    std::unique_ptr<mmx::rt::Executor> exec = inv.makeExecutor();
     mmx::interp::Machine vm(*res.module, *exec);
-    int code = vm.runMain();
+    int code;
+    {
+      mmx::metrics::ScopedTimer runTimer("run");
+      code = vm.runMain();
+    }
     std::cout << vm.output();
+    if (!emitMetrics(inv)) return 2;
     return code;
   } catch (const std::exception& e) {
     std::cerr << "runtime error: " << e.what() << "\n";
+    emitMetrics(inv);
     return 3;
   }
 }

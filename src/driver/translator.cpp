@@ -1,12 +1,25 @@
 #include "driver/translator.hpp"
 
+#include <set>
+
 #include "analysis/lint.hpp"
 #include "analysis/parsafe.hpp"
 #include "cminus/host_grammar.hpp"
 #include "cminus/sema.hpp"
 #include "parse/lalr.hpp"
+#include "support/metrics.hpp"
 
 namespace mmx::driver {
+
+bool TranslateResult::hasErrors() const {
+  for (const auto& d : diagnostics)
+    if (d.severity == Severity::Error) return true;
+  return false;
+}
+
+std::string TranslateResult::renderDiagnostics() const {
+  return mmx::renderDiagnostics(diagnostics, sourceManager.get());
+}
 
 Translator::Translator() = default;
 Translator::~Translator() = default;
@@ -16,8 +29,22 @@ void Translator::addExtension(ext::ExtensionPtr e) {
 }
 
 bool Translator::compose(TranslateOptions opts) {
+  metrics::ScopedTimer composeTimer("compose");
   opts_ = opts;
   composeDiags_.clear();
+
+  // Duplicate extension registrations compose into nonsense grammars
+  // (every symbol "clashes with itself"); reject them up front with the
+  // offending extension named in the structured diagnostic.
+  std::set<std::string> extNames;
+  for (const auto& e : extensions_) {
+    if (!extNames.insert(e->name()).second) {
+      DiagnosticEngine::OriginScope origin(composeDiags_, e->name());
+      composeDiags_.error({}, "extension '" + e->name() +
+                                  "' registered more than once");
+    }
+  }
+  if (composeDiags_.hasErrors()) return false;
 
   ext::GrammarFragment host = cm::hostFragment();
   ext::GrammarFragment tuple = cm::tupleFragment(); // host-packaged (§VI-A)
@@ -31,6 +58,13 @@ bool Translator::compose(TranslateOptions opts) {
   if (!ext::composeGrammar(all, grammar_, composeDiags_)) return false;
 
   parser_ = std::make_unique<parse::Parser>(grammar_);
+  {
+    static const metrics::Counter states = metrics::counter("parse.lalrStates");
+    static const metrics::Counter conflicts =
+        metrics::counter("parse.lalrConflicts");
+    states.add(parser_->tables().stateCount());
+    conflicts.add(parser_->tables().conflicts().size());
+  }
   if (!parser_->tables().conflicts().empty()) {
     for (const auto& c : parser_->tables().conflicts())
       composeDiags_.error({}, "composition is not LALR(1): " + c.description);
@@ -49,7 +83,7 @@ bool Translator::compose(TranslateOptions opts) {
   return !composeDiags_.hasErrors();
 }
 
-std::string Translator::composeDiagnostics() const {
+std::string Translator::renderComposeDiagnostics() const {
   return composeDiags_.render(composeSm_);
 }
 
@@ -57,16 +91,21 @@ TranslateResult Translator::translate(const std::string& name,
                                       const std::string& source) {
   TranslateResult res;
   if (!composed_) {
-    res.diagnostics = "translator was not composed";
+    res.diagnostics.push_back(
+        {Severity::Error, {}, "translator was not composed", ""});
     return res;
   }
-  SourceManager sm;
+  res.sourceManager = std::make_shared<SourceManager>();
+  SourceManager& sm = *res.sourceManager;
   DiagnosticEngine diags;
   FileId file = sm.add(name, source);
 
-  res.tree = parser_->parse(sm, file, diags);
+  {
+    metrics::ScopedTimer parseTimer("parse");
+    res.tree = parser_->parse(sm, file, diags);
+  }
   if (!res.tree) {
-    res.diagnostics = diags.render(sm);
+    res.diagnostics = diags.take();
     return res;
   }
 
@@ -81,23 +120,27 @@ TranslateResult Translator::translate(const std::string& name,
   for (const auto& e : extensions_) e->installSemantics(sema);
 
   auto mod = std::make_unique<ir::Module>();
-  bool ok = sema.translate(res.tree, *mod);
+  bool ok = sema.translate(res.tree, *mod); // typecheck + lower phases
   if (ok) {
     // Post-lowering parallel-safety enforcement: loops the §III-C
     // auto-parallelizer or a `parallelize` clause marked parallel are
     // demoted to serial unless the race analysis proves them safe.
-    analysis::ParSafeOptions po;
-    po.warnParallel = opts_.warnParallel;
-    po.strictParallel = opts_.strictParallel;
-    analysis::enforceParallelSafety(*mod, diags, po);
+    {
+      metrics::ScopedTimer optTimer("optimize");
+      analysis::ParSafeOptions po;
+      po.warnParallel = opts_.warnParallel;
+      po.strictParallel = opts_.strictParallel;
+      analysis::enforceParallelSafety(*mod, diags, po);
+    }
     if (opts_.analyze) {
+      metrics::ScopedTimer analyzeTimer("analyze");
       analysis::ParSafe ps(*mod);
       res.analysisReport = analysis::renderAnalysis(*mod, ps.analyzeAll());
       analysis::lintModule(*mod, diags);
     }
   }
-  res.diagnostics = diags.render(sm);
-  if (!ok || diags.hasErrors()) return res;
+  res.diagnostics = diags.take();
+  if (!ok || res.hasErrors()) return res;
   res.ok = true;
   res.module = std::move(mod);
   return res;

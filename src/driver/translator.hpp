@@ -4,6 +4,13 @@
 // loop IR), which can be executed directly (interp/) or printed as C
 // (ir/cemit). Composition runs the modular analyses and refuses to build
 // a translator whose composition has LALR conflicts.
+//
+// Observability (ISSUE 2): every pipeline phase runs under a
+// metrics::ScopedTimer (compose / parse / typecheck / lower / optimize /
+// analyze) so --time-report, --stats-json, and --trace-json can account
+// for where translation time goes. Diagnostics are structured
+// (std::vector<Diagnostic> with severity, range, and originating
+// extension); the classic rendered string is derived on demand.
 #pragma once
 
 #include <memory>
@@ -35,8 +42,18 @@ struct TranslateResult {
   bool ok = false;
   std::unique_ptr<ir::Module> module; // valid when ok
   ast::NodePtr tree;                  // parse tree (valid when parsed)
-  std::string diagnostics;            // rendered diagnostics (always)
-  std::string analysisReport;         // parallel-safety report (analyze)
+  /// Structured diagnostics (always populated; severity + source range +
+  /// originating extension name).
+  std::vector<Diagnostic> diagnostics;
+  /// Resolves the diagnostics' source ranges; null only for the
+  /// translate-before-compose error path.
+  std::shared_ptr<SourceManager> sourceManager;
+  std::string analysisReport; // parallel-safety report (analyze)
+
+  bool hasErrors() const;
+  /// Derived convenience: the classic "file:line:col: severity: message"
+  /// rendering (mmc output is unchanged from the string-first API).
+  std::string renderDiagnostics() const;
 };
 
 class Translator {
@@ -53,16 +70,20 @@ public:
   void addExtension(ext::ExtensionPtr e);
 
   /// Composes grammar + semantics and builds the parser. Returns false
-  /// (with diagnostics()) on name clashes or LALR conflicts in the
-  /// composition.
+  /// (with composeDiagnostics()) on duplicate extension names, symbol
+  /// clashes, or LALR conflicts in the composition.
   bool compose(TranslateOptions opts = {});
 
   /// Parses + checks + lowers one source buffer.
   TranslateResult translate(const std::string& name,
                             const std::string& source);
 
-  /// Diagnostics from compose().
-  std::string composeDiagnostics() const;
+  /// Structured diagnostics from compose().
+  const std::vector<Diagnostic>& composeDiagnostics() const {
+    return composeDiags_.all();
+  }
+  /// Rendered convenience form of composeDiagnostics().
+  std::string renderComposeDiagnostics() const;
 
   const grammar::Grammar& grammar() const { return grammar_; }
   const parse::Parser* parser() const { return parser_.get(); }

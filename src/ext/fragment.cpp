@@ -26,6 +26,7 @@ bool composeGrammar(const std::vector<const GrammarFragment*>& fragments,
   // Pass 1: declare all terminals, checking for cross-fragment clashes.
   std::map<std::string, std::pair<lex::TerminalId, std::string>> termByName;
   for (const GrammarFragment* f : fragments) {
+    DiagnosticEngine::OriginScope origin(diags, f->name);
     for (const TerminalSpec& t : f->terminals) {
       auto it = termByName.find(t.name);
       if (it != termByName.end()) {
@@ -44,6 +45,7 @@ bool composeGrammar(const std::vector<const GrammarFragment*>& fragments,
   // add productions to host nonterminals — but a nonterminal must not
   // collide with a terminal name).
   for (const GrammarFragment* f : fragments) {
+    DiagnosticEngine::OriginScope origin(diags, f->name);
     for (const std::string& nt : f->nonterminals) {
       if (termByName.count(nt)) {
         diags.error({}, "nonterminal '" + nt + "' of fragment '" + f->name +
@@ -58,6 +60,7 @@ bool composeGrammar(const std::vector<const GrammarFragment*>& fragments,
   // Pass 3: productions, resolving symbol names.
   std::set<std::string> prodNames;
   for (const GrammarFragment* f : fragments) {
+    DiagnosticEngine::OriginScope origin(diags, f->name);
     for (const ProdSpec& p : f->productions) {
       if (!prodNames.insert(p.name).second) {
         diags.error({}, "duplicate production name '" + p.name + "' (fragment '" +

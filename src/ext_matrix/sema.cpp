@@ -7,6 +7,7 @@
 
 #include "cminus/sema.hpp"
 #include "ext_matrix/matrix_ext.hpp"
+#include "support/metrics.hpp"
 
 namespace mmx::ext_matrix {
 
@@ -18,6 +19,13 @@ using cm::VarInfo;
 namespace {
 
 constexpr const char* kExt = "matrix";
+
+// Optimization counters (§III-A4/§III-C): how often each rewrite fired
+// during lowering. Only touched when metrics are on.
+void countOpt(const char* which) {
+  if (!metrics::enabled()) return;
+  metrics::counter(which).add();
+}
 
 // --- local tree helpers (mirrors host_sema's internal ones) ---------------
 
@@ -309,6 +317,7 @@ ExprRes lowerIndexExpr(Sema& s, const ast::NodePtr& n) {
     if (s.sliceEliminationEnabled) {
       // Direct flat load — the §III-A4 fast path (Fig. 3 uses exactly
       // this shape).
+      countOpt("matrix.sliceElims");
       ir::ExprPtr flat = flatOffset(baseSlot, sel.dims);
       return ExprRes{et, ir::loadFlat(ir::var(baseSlot, ir::Ty::Mat),
                                       std::move(flat), Sema::lowerTy(et))};
@@ -398,6 +407,7 @@ ir::StmtPtr applyTail(Sema& s, const ast::NodePtr& tail, ir::StmtPtr nest,
   if (tail->is("withtail_none")) {
     if (allowAutoParallel && s.autoParallelEnabled &&
         nest->k == ir::Stmt::K::For) {
+      countOpt("matrix.autoParallel");
       nest->parallel = true;
       nest->parSrc = ir::Stmt::Par::Auto;
     }
@@ -700,6 +710,7 @@ ExprRes lowerMatrixMap(Sema& s, const ast::NodePtr& n) {
                                  ir::var(total, ir::Ty::I32), std::move(body),
                                  "mm_t");
   if (s.autoParallelEnabled) {
+    countOpt("matrix.autoParallel");
     loop->parallel = true;
     loop->parSrc = ir::Stmt::Par::Auto;
   }
@@ -731,6 +742,7 @@ bool matrixAssignHook(Sema& s, const ast::NodePtr& lhs,
     if (e.bad()) return true;
     if (s.fusionEnabled || !e.type.isMatrix()) {
       // Fused: the with-loop's buffer simply becomes the variable.
+      if (e.type.isMatrix()) countOpt("matrix.fusions");
       s.emit(ir::assign(v->slots[0], std::move(e.code)));
     } else {
       // Library semantics: materialize a temporary, then copy it into

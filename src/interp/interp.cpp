@@ -13,6 +13,7 @@
 #include "runtime/matio.hpp"
 #include "runtime/simd.hpp"
 #include "runtime/ssh_synth.hpp"
+#include "support/metrics.hpp"
 
 namespace mmx::interp {
 
@@ -183,6 +184,18 @@ public:
   Exec(Machine& m, const ir::Function& f, bool inParallel)
       : m_(m), f_(f), inParallel_(inParallel || t_onWorkerThread) {}
 
+  // Statement/lane counts are plain members bumped unconditionally (an
+  // increment is cheaper than re-checking metrics::enabled() per
+  // statement) and batched into the registry once per call frame.
+  ~Exec() {
+    if (!metrics::enabled() || (stmts_ == 0 && laneOps_ == 0)) return;
+    static const metrics::Counter stmts = metrics::counter("interp.stmts");
+    static const metrics::Counter lanes =
+        metrics::counter("interp.vectorLaneOps");
+    if (stmts_) stmts.add(stmts_);
+    if (laneOps_) lanes.add(laneOps_);
+  }
+
   std::vector<Value> run(std::vector<Value> args) {
     if (args.size() != f_.numParams)
       fail("call to " + f_.name + ": expected " +
@@ -201,6 +214,7 @@ private:
 
   // ---- statements -----------------------------------------------------
   Flow exec(const Stmt& s) {
+    ++stmts_;
     switch (s.k) {
       case Stmt::K::Block:
         for (const auto& k : s.kids) {
@@ -269,7 +283,11 @@ private:
     int64_t lo = asI(eval(*s.exprs[0]));
     int64_t hi = asI(eval(*s.exprs[1]));
 
-    if (s.parallel && !inParallel_ && m_.exec_.threads() > 1 && hi > lo) {
+    // Parallel regions always go through the executor — also at one
+    // thread, where SerialExecutor runs the chunk inline. That keeps
+    // 1-thread semantics identical to N-thread (workers get a frame
+    // copy) and gives every region a pool trace span.
+    if (s.parallel && !inParallel_ && hi > lo) {
       execParallelFor(s, lo, hi);
       return Flow::Normal;
     }
@@ -417,6 +435,7 @@ private:
       case Expr::K::Arith: {
         VVal a = evalVec(*e.args[0]);
         VVal b = evalVec(*e.args[1]);
+        laneOps_ += 4;
         if (e.ty == Ty::F32) return VVal::ofF(vecArithF(e.aop, a.toF(), b.toF()));
         return vecArithI(e.aop, a, b);
       }
@@ -955,6 +974,9 @@ private:
   std::unordered_map<int32_t, VVal> vecEnv_;
   int32_t vecVar_ = -1;
   int64_t vecBase_ = 0;
+
+  uint64_t stmts_ = 0;
+  uint64_t laneOps_ = 0;
 
   static std::mutex outMu_;
 };

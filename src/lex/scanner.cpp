@@ -1,5 +1,7 @@
 #include "lex/scanner.hpp"
 
+#include "support/metrics.hpp"
+
 namespace mmx::lex {
 
 TerminalId LexSpec::add(TerminalDef def) {
@@ -78,6 +80,27 @@ ScanResult Scanner::scan(std::string_view text, FileId file, size_t& pos,
   r.token.range = {{file, static_cast<uint32_t>(pos)},
                    static_cast<uint32_t>(pos + bestLen)};
   r.token.text = text.substr(pos, bestLen);
+
+  if (metrics::enabled()) {
+    static const metrics::Counter tokens = metrics::counter("lex.tokens");
+    static const metrics::Counter resolved =
+        metrics::counter("lex.contextResolved");
+    tokens.add();
+    // A token counts as context-resolved when a terminal the parse state
+    // excluded would also have matched at least this long here — i.e. the
+    // Copper-style restriction, not lexical precedence, decided the scan
+    // (e.g. `end` as ID outside matrix index brackets). Only measured
+    // when metrics are on; the extra DFA runs cost nothing when off.
+    for (TerminalId t = 0; t < dfas_.size(); ++t) {
+      if (dfas_[t].layout || t == winners[0]) continue;
+      if (t >= allowed.size() || allowed.test(t)) continue; // not excluded
+      if (dfas_[t].dfa.longestMatch(text, pos) >= bestLen) {
+        resolved.add();
+        break;
+      }
+    }
+  }
+
   pos += bestLen;
   return r;
 }

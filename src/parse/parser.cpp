@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/metrics.hpp"
+
 namespace mmx::parse {
 
 Parser::Parser(const grammar::Grammar& g)
@@ -55,6 +57,20 @@ ast::NodePtr Parser::parse(const SourceManager& sm, FileId file,
     return false;
   };
 
+  // Shift/reduce activity, batched into the metrics registry on exit
+  // (thread-local aggregation keeps the loop itself branch-free).
+  uint64_t shifts = 0, reduces = 0;
+  struct Flush {
+    const uint64_t *shifts, *reduces;
+    ~Flush() {
+      if (!metrics::enabled()) return;
+      static const metrics::Counter s = metrics::counter("parse.shifts");
+      static const metrics::Counter r = metrics::counter("parse.reduces");
+      s.add(*shifts);
+      r.add(*reduces);
+    }
+  } flush{&shifts, &reduces};
+
   for (;;) {
     uint32_t state = states.back();
     if (!scanFor(state)) return nullptr;
@@ -68,6 +84,7 @@ ast::NodePtr Parser::parse(const SourceManager& sm, FileId file,
     Action a = tables_.action(state, col);
     switch (a.kind) {
       case Action::Kind::Shift: {
+        ++shifts;
         values.push_back(ast::makeLeaf(*look));
         states.push_back(a.target);
         pos = lookPos;
@@ -75,6 +92,7 @@ ast::NodePtr Parser::parse(const SourceManager& sm, FileId file,
         break;
       }
       case Action::Kind::Reduce: {
+        ++reduces;
         const grammar::Production& p = g_.production(a.target);
         size_t n = p.rhs.size();
         std::vector<ast::NodePtr> kids(values.end() - n, values.end());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <immintrin.h>
 
+#include "support/metrics.hpp"
+
 namespace mmx::rt {
 
 namespace {
@@ -25,7 +27,70 @@ void staticChunk(int64_t lo, int64_t hi, unsigned tid, unsigned n,
   chi = clo + base + (tid < static_cast<unsigned>(rem) ? 1 : 0);
 }
 
+// Runtime pool metrics (ISSUE 2). All are no-ops while metrics are
+// disabled; the clock is only read when enabled.
+const metrics::Counter& regionCounter() {
+  static const metrics::Counter c = metrics::counter("pool.regions");
+  return c;
+}
+const metrics::Counter& spinCounter() {
+  static const metrics::Counter c = metrics::counter("pool.worker.spin_ns");
+  return c;
+}
+const metrics::Counter& workCounter() {
+  static const metrics::Counter c = metrics::counter("pool.worker.work_ns");
+  return c;
+}
+const metrics::Counter& stopWaitCounter() {
+  static const metrics::Counter c = metrics::counter("pool.stopwait_ns");
+  return c;
+}
+
+/// Emits the per-region span + counter around a region body. The span is
+/// emitted by every executor so 1-thread traces still show regions.
+template <class Body> void tracedRegion(Body&& body) {
+  if (!metrics::enabled()) {
+    body();
+    return;
+  }
+  regionCounter().add();
+  uint64_t start = metrics::nowNs();
+  body();
+  metrics::traceSpan("parallelFor", "pool", start, metrics::nowNs() - start);
+}
+
 } // namespace
+
+std::string_view toString(ExecutorKind k) {
+  switch (k) {
+    case ExecutorKind::Serial: return "serial";
+    case ExecutorKind::ForkJoin: return "forkjoin";
+    case ExecutorKind::Naive: return "naive";
+  }
+  return "?";
+}
+
+std::optional<ExecutorKind> executorKindFromString(std::string_view s) {
+  if (s == "serial") return ExecutorKind::Serial;
+  if (s == "forkjoin") return ExecutorKind::ForkJoin;
+  if (s == "naive") return ExecutorKind::Naive;
+  return std::nullopt;
+}
+
+std::unique_ptr<Executor> makeExecutor(ExecutorKind k, unsigned threads) {
+  switch (k) {
+    case ExecutorKind::Serial: return std::make_unique<SerialExecutor>();
+    case ExecutorKind::ForkJoin: return std::make_unique<ForkJoinPool>(threads);
+    case ExecutorKind::Naive: return std::make_unique<NaiveForkJoin>(threads);
+  }
+  return nullptr;
+}
+
+void SerialExecutor::parallelFor(int64_t lo, int64_t hi, RangeFn fn,
+                                 void* ctx) {
+  if (hi <= lo) return;
+  tracedRegion([&] { fn(ctx, lo, hi, 0); });
+}
 
 void ForkJoinPool::chunkOf(int64_t lo, int64_t hi, unsigned tid, unsigned n,
                            int64_t& clo, int64_t& chi) {
@@ -49,13 +114,24 @@ void ForkJoinPool::workerLoop(unsigned tid) {
   uint64_t seen = 0;
   for (;;) {
     // Park in the spin gate until the main thread advances the generation.
+    // When metrics are on, gate time counts as spin and region execution
+    // as work — the per-worker split Fig. 9-style overhead studies need.
+    uint64_t parked = metrics::enabled() ? metrics::nowNs() : 0;
     spinUntil([&] { return gen_.load(std::memory_order_acquire) != seen; });
     seen = gen_.load(std::memory_order_acquire);
     if (shutdown_.load(std::memory_order_relaxed)) return;
 
+    uint64_t released = 0;
+    if (metrics::enabled()) {
+      released = metrics::nowNs();
+      spinCounter().add(released - parked);
+    }
+
     int64_t clo, chi;
     chunkOf(lo_, hi_, tid, nThreads_, clo, chi);
     if (chi > clo) fn_(ctx_, clo, chi, tid);
+
+    if (released) workCounter().add(metrics::nowNs() - released);
 
     // Stop barrier: last one out lets the main thread continue.
     running_.fetch_sub(1, std::memory_order_acq_rel);
@@ -65,45 +141,55 @@ void ForkJoinPool::workerLoop(unsigned tid) {
 void ForkJoinPool::parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) {
   if (hi <= lo) return;
   if (nThreads_ == 1) {
-    fn(ctx, lo, hi, 0);
+    tracedRegion([&] { fn(ctx, lo, hi, 0); });
     return;
   }
 
-  // Publish the work item, then open the gate.
-  fn_ = fn;
-  ctx_ = ctx;
-  lo_ = lo;
-  hi_ = hi;
-  running_.store(nThreads_ - 1, std::memory_order_relaxed);
-  gen_.fetch_add(1, std::memory_order_release);
+  tracedRegion([&] {
+    // Publish the work item, then open the gate.
+    fn_ = fn;
+    ctx_ = ctx;
+    lo_ = lo;
+    hi_ = hi;
+    running_.store(nThreads_ - 1, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
 
-  // Main thread is worker 0.
-  int64_t clo, chi;
-  chunkOf(lo, hi, 0, nThreads_, clo, chi);
-  if (chi > clo) fn(ctx, clo, chi, 0);
+    // Main thread is worker 0.
+    int64_t clo, chi;
+    chunkOf(lo, hi, 0, nThreads_, clo, chi);
+    if (chi > clo) fn(ctx, clo, chi, 0);
 
-  // Wait in the stop barrier for the workers.
-  spinUntil([&] { return running_.load(std::memory_order_acquire) == 0; });
+    // Wait in the stop barrier for the workers.
+    if (metrics::enabled()) {
+      uint64_t waitStart = metrics::nowNs();
+      spinUntil([&] { return running_.load(std::memory_order_acquire) == 0; });
+      stopWaitCounter().add(metrics::nowNs() - waitStart);
+    } else {
+      spinUntil([&] { return running_.load(std::memory_order_acquire) == 0; });
+    }
+  });
 }
 
 void NaiveForkJoin::parallelFor(int64_t lo, int64_t hi, RangeFn fn,
                                 void* ctx) {
   if (hi <= lo) return;
   if (nThreads_ == 1) {
-    fn(ctx, lo, hi, 0);
+    tracedRegion([&] { fn(ctx, lo, hi, 0); });
     return;
   }
-  std::vector<std::thread> ts;
-  ts.reserve(nThreads_ - 1);
-  for (unsigned t = 1; t < nThreads_; ++t) {
+  tracedRegion([&] {
+    std::vector<std::thread> ts;
+    ts.reserve(nThreads_ - 1);
+    for (unsigned t = 1; t < nThreads_; ++t) {
+      int64_t clo, chi;
+      staticChunk(lo, hi, t, nThreads_, clo, chi);
+      if (chi > clo) ts.emplace_back([=] { fn(ctx, clo, chi, t); });
+    }
     int64_t clo, chi;
-    staticChunk(lo, hi, t, nThreads_, clo, chi);
-    if (chi > clo) ts.emplace_back([=] { fn(ctx, clo, chi, t); });
-  }
-  int64_t clo, chi;
-  staticChunk(lo, hi, 0, nThreads_, clo, chi);
-  if (chi > clo) fn(ctx, clo, chi, 0);
-  for (auto& t : ts) t.join();
+    staticChunk(lo, hi, 0, nThreads_, clo, chi);
+    if (chi > clo) fn(ctx, clo, chi, 0);
+    for (auto& t : ts) t.join();
+  });
 }
 
 } // namespace mmx::rt

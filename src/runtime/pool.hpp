@@ -13,6 +13,9 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -28,6 +31,9 @@ class Executor {
 public:
   virtual ~Executor() = default;
   virtual unsigned threads() const = 0;
+  /// Stable implementation name ("serial", "forkjoin", "naive") used by
+  /// sweeps and reports to label results uniformly.
+  virtual std::string_view name() const = 0;
   /// Runs `fn` over [lo, hi) split into one static chunk per thread
   /// (the with-loop partitioning of §III-C).
   virtual void parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) = 0;
@@ -45,9 +51,8 @@ public:
 class SerialExecutor final : public Executor {
 public:
   unsigned threads() const override { return 1; }
-  void parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) override {
-    if (hi > lo) fn(ctx, lo, hi, 0);
-  }
+  std::string_view name() const override { return "serial"; }
+  void parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) override;
 };
 
 /// The enhanced fork-join pool.
@@ -63,6 +68,7 @@ public:
   ForkJoinPool& operator=(const ForkJoinPool&) = delete;
 
   unsigned threads() const override { return nThreads_; }
+  std::string_view name() const override { return "forkjoin"; }
   void parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) override;
 
   /// Number of release/park cycles each worker has completed (tests).
@@ -97,10 +103,23 @@ class NaiveForkJoin final : public Executor {
 public:
   explicit NaiveForkJoin(unsigned nThreads) : nThreads_(nThreads ? nThreads : 1) {}
   unsigned threads() const override { return nThreads_; }
+  std::string_view name() const override { return "naive"; }
   void parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) override;
 
 private:
   unsigned nThreads_;
 };
+
+/// The executor implementations selectable by sweeps and the CLI.
+enum class ExecutorKind { Serial, ForkJoin, Naive };
+
+/// "serial" / "forkjoin" / "naive" (matches Executor::name()).
+std::string_view toString(ExecutorKind k);
+std::optional<ExecutorKind> executorKindFromString(std::string_view s);
+
+/// Uniform construction point: interp drivers, benches, tests, and sweeps
+/// select executors through this factory instead of naming concrete
+/// classes. Serial ignores `threads`; ForkJoin/Naive clamp 0 to 1.
+std::unique_ptr<Executor> makeExecutor(ExecutorKind k, unsigned threads);
 
 } // namespace mmx::rt

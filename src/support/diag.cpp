@@ -17,7 +17,7 @@ size_t DiagnosticEngine::errorCount() const {
   return n;
 }
 
-static const char* severityName(Severity s) {
+const char* severityName(Severity s) {
   switch (s) {
     case Severity::Note: return "note";
     case Severity::Warning: return "warning";
@@ -26,17 +26,26 @@ static const char* severityName(Severity s) {
   return "?";
 }
 
-std::string DiagnosticEngine::render(const SourceManager& sm) const {
+std::string renderDiagnostic(const Diagnostic& d, const SourceManager* sm) {
   std::ostringstream out;
-  for (const auto& d : diags_) {
-    if (d.range.valid()) {
-      LineCol lc = sm.lineCol(d.range.begin);
-      out << sm.name(d.range.begin.file) << ':' << lc.line << ':' << lc.col
-          << ": ";
-    }
-    out << severityName(d.severity) << ": " << d.message << '\n';
+  if (sm && d.range.valid()) {
+    LineCol lc = sm->lineCol(d.range.begin);
+    out << sm->name(d.range.begin.file) << ':' << lc.line << ':' << lc.col
+        << ": ";
   }
+  out << severityName(d.severity) << ": " << d.message << '\n';
   return out.str();
+}
+
+std::string renderDiagnostics(const std::vector<Diagnostic>& ds,
+                              const SourceManager* sm) {
+  std::string out;
+  for (const auto& d : ds) out += renderDiagnostic(d, sm);
+  return out;
+}
+
+std::string DiagnosticEngine::render(const SourceManager& sm) const {
+  return renderDiagnostics(diags_, &sm);
 }
 
 } // namespace mmx

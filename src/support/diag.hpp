@@ -13,30 +13,70 @@ namespace mmx {
 
 enum class Severity { Note, Warning, Error };
 
+const char* severityName(Severity s);
+
 /// One reported problem.
 struct Diagnostic {
   Severity severity = Severity::Error;
   SourceRange range;     // may be invalid for file-level problems
   std::string message;
+  /// Name of the language extension (grammar fragment) whose syntax or
+  /// semantics produced this diagnostic; empty for host/driver problems.
+  std::string extension;
 };
+
+/// Renders one diagnostic as "file:line:col: severity: message\n" (the
+/// extension name is structured data only; rendering is unchanged from the
+/// string-first days). Pass sm = nullptr when no SourceManager is
+/// available (locations are then omitted).
+std::string renderDiagnostic(const Diagnostic& d, const SourceManager* sm);
+
+/// Renders a diagnostic list (the TranslateResult convenience form).
+std::string renderDiagnostics(const std::vector<Diagnostic>& ds,
+                              const SourceManager* sm);
 
 /// Accumulates diagnostics. Analyses append; drivers render and decide
 /// whether to continue (translation stops after errors, warnings don't).
 class DiagnosticEngine {
 public:
   void error(SourceRange r, std::string msg) {
-    diags_.push_back({Severity::Error, r, std::move(msg)});
+    diags_.push_back({Severity::Error, r, std::move(msg), origin()});
   }
   void warning(SourceRange r, std::string msg) {
-    diags_.push_back({Severity::Warning, r, std::move(msg)});
+    diags_.push_back({Severity::Warning, r, std::move(msg), origin()});
   }
   void note(SourceRange r, std::string msg) {
-    diags_.push_back({Severity::Note, r, std::move(msg)});
+    diags_.push_back({Severity::Note, r, std::move(msg), origin()});
   }
+
+  /// Origin stack: while an extension's handler (or a per-fragment
+  /// composition pass) runs, its name is pushed here so every diagnostic
+  /// it emits records the originating extension. RAII via OriginScope.
+  void pushOrigin(std::string ext) { origins_.push_back(std::move(ext)); }
+  void popOrigin() { origins_.pop_back(); }
+  const std::string& origin() const {
+    static const std::string kNone;
+    return origins_.empty() ? kNone : origins_.back();
+  }
+
+  class OriginScope {
+  public:
+    OriginScope(DiagnosticEngine& de, std::string ext) : de_(de) {
+      de_.pushOrigin(std::move(ext));
+    }
+    ~OriginScope() { de_.popOrigin(); }
+    OriginScope(const OriginScope&) = delete;
+    OriginScope& operator=(const OriginScope&) = delete;
+
+  private:
+    DiagnosticEngine& de_;
+  };
 
   bool hasErrors() const;
   size_t errorCount() const;
   const std::vector<Diagnostic>& all() const { return diags_; }
+  /// Moves the accumulated diagnostics out (engine is left empty).
+  std::vector<Diagnostic> take() { return std::move(diags_); }
   void clear() { diags_.clear(); }
 
   /// Renders every diagnostic as "file:line:col: severity: message\n".
@@ -44,6 +84,7 @@ public:
 
 private:
   std::vector<Diagnostic> diags_;
+  std::vector<std::string> origins_;
 };
 
 } // namespace mmx

@@ -1,0 +1,405 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace mmx::metrics {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+constexpr size_t kMaxCounters = 256;
+constexpr size_t kMaxTimers = 128;
+constexpr size_t kMaxTraceEvents = 1u << 20;
+
+struct TimerCell {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> totalNs{0};
+  std::atomic<uint64_t> maxNs{0};
+
+  void record(uint64_t ns) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    totalNs.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t prev = maxNs.load(std::memory_order_relaxed);
+    while (ns > prev &&
+           !maxNs.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// One thread's shard. Lives until the thread exits, then flushes into the
+/// registry's retired totals so finished pool workers keep contributing to
+/// later snapshots.
+struct ThreadShard {
+  std::array<std::atomic<uint64_t>, kMaxCounters> counters{};
+  std::array<TimerCell, kMaxTimers> timers{};
+  unsigned tid = 0;
+
+  ~ThreadShard();
+};
+
+struct TraceBuf {
+  struct Ev {
+    const char* name;
+    const char* category;
+    uint64_t startNs;
+    uint64_t durNs;
+    unsigned tid;
+  };
+  std::mutex mu;
+  std::vector<Ev> events;
+  uint64_t dropped = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, uint32_t, std::less<>> counterIds;
+  std::vector<std::string> counterNames;
+  std::map<std::string, uint32_t, std::less<>> timerIds;
+  std::vector<std::string> timerNames;
+
+  std::vector<ThreadShard*> shards; // live threads
+  // Totals flushed by exited threads.
+  std::array<std::atomic<uint64_t>, kMaxCounters> retiredCounters{};
+  std::array<TimerCell, kMaxTimers> retiredTimers{};
+
+  std::atomic<unsigned> nextTid{0};
+  TraceBuf trace;
+};
+
+Registry& registry() {
+  // Leaked intentionally: shards of detached threads may flush during
+  // process teardown, after static destructors would have run.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+ThreadShard::~ThreadShard() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (size_t i = 0; i < kMaxCounters; ++i) {
+    uint64_t v = counters[i].load(std::memory_order_relaxed);
+    if (v) r.retiredCounters[i].fetch_add(v, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < kMaxTimers; ++i) {
+    TimerCell& c = timers[i];
+    uint64_t n = c.count.load(std::memory_order_relaxed);
+    if (!n) continue;
+    r.retiredTimers[i].count.fetch_add(n, std::memory_order_relaxed);
+    r.retiredTimers[i].totalNs.fetch_add(
+        c.totalNs.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    uint64_t m = c.maxNs.load(std::memory_order_relaxed);
+    uint64_t prev = r.retiredTimers[i].maxNs.load(std::memory_order_relaxed);
+    while (m > prev && !r.retiredTimers[i].maxNs.compare_exchange_weak(
+                           prev, m, std::memory_order_relaxed)) {
+    }
+  }
+  r.shards.erase(std::remove(r.shards.begin(), r.shards.end(), this),
+                 r.shards.end());
+}
+
+ThreadShard& shard() {
+  thread_local struct Owner {
+    ThreadShard* p = nullptr;
+    ~Owner() { delete p; }
+  } owner;
+  if (!owner.p) {
+    auto* s = new ThreadShard();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    s->tid = r.nextTid.fetch_add(1, std::memory_order_relaxed);
+    r.shards.push_back(s);
+    owner.p = s;
+  }
+  return *owner.p;
+}
+
+uint64_t processStartNs() {
+  static const uint64_t t0 = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return t0;
+}
+
+// Touch the anchor at static-init time so nowNs() is relative to (roughly)
+// process start even if metrics are first enabled late.
+const uint64_t g_anchor = processStartNs();
+
+void appendJsonString(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// ns -> "12.345" microseconds with stable formatting.
+std::string usString(uint64_t ns) {
+  std::ostringstream o;
+  o << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+    << static_cast<char>('0' + (ns % 100) / 10)
+    << static_cast<char>('0' + ns % 10);
+  return o.str();
+}
+
+std::string humanNs(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ull)
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  else if (ns >= 1000000ull)
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  else if (ns >= 1000ull)
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(ns) / 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  return buf;
+}
+
+} // namespace
+
+void enable(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+uint64_t nowNs() {
+  uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - g_anchor;
+}
+
+unsigned threadId() { return shard().tid; }
+
+Counter counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counterIds.find(name);
+  if (it != r.counterIds.end()) return Counter(it->second);
+  if (r.counterNames.size() >= kMaxCounters)
+    return Counter(kMaxCounters - 1); // overflow bucket; never expected
+  uint32_t id = static_cast<uint32_t>(r.counterNames.size());
+  r.counterNames.emplace_back(name);
+  r.counterIds.emplace(std::string(name), id);
+  return Counter(id);
+}
+
+void Counter::add(uint64_t delta) const {
+  if (!enabled()) return;
+  shard().counters[id_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::value() const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  uint64_t v = r.retiredCounters[id_].load(std::memory_order_relaxed);
+  for (ThreadShard* s : r.shards)
+    v += s->counters[id_].load(std::memory_order_relaxed);
+  return v;
+}
+
+Timer timer(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.timerIds.find(name);
+  if (it != r.timerIds.end()) return Timer(it->second);
+  if (r.timerNames.size() >= kMaxTimers) return Timer(kMaxTimers - 1);
+  uint32_t id = static_cast<uint32_t>(r.timerNames.size());
+  r.timerNames.emplace_back(name);
+  r.timerIds.emplace(std::string(name), id);
+  return Timer(id);
+}
+
+void Timer::record(uint64_t ns) const {
+  if (!enabled()) return;
+  shard().timers[id_].record(ns);
+}
+
+void traceSpan(const char* name, const char* category, uint64_t startNs,
+               uint64_t durNs) {
+  if (!enabled()) return;
+  unsigned tid = threadId();
+  TraceBuf& t = registry().trace;
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (t.events.size() >= kMaxTraceEvents) {
+    ++t.dropped;
+    return;
+  }
+  t.events.push_back({name, category, startNs, durNs, tid});
+}
+
+ScopedTimer::ScopedTimer(const char* name, const char* category)
+    : name_(name), category_(category) {
+  if (!enabled()) return;
+  armed_ = true;
+  start_ = nowNs();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!armed_) return;
+  uint64_t dur = nowNs() - start_;
+  timer(name_).record(dur);
+  traceSpan(name_, category_, start_, dur);
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (size_t i = 0; i < kMaxCounters; ++i)
+    r.retiredCounters[i].store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < kMaxTimers; ++i) {
+    r.retiredTimers[i].count.store(0, std::memory_order_relaxed);
+    r.retiredTimers[i].totalNs.store(0, std::memory_order_relaxed);
+    r.retiredTimers[i].maxNs.store(0, std::memory_order_relaxed);
+  }
+  for (ThreadShard* s : r.shards) {
+    for (size_t i = 0; i < kMaxCounters; ++i)
+      s->counters[i].store(0, std::memory_order_relaxed);
+    for (size_t i = 0; i < kMaxTimers; ++i) {
+      s->timers[i].count.store(0, std::memory_order_relaxed);
+      s->timers[i].totalNs.store(0, std::memory_order_relaxed);
+      s->timers[i].maxNs.store(0, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> tlock(r.trace.mu);
+  r.trace.events.clear();
+  r.trace.dropped = 0;
+}
+
+Snapshot snapshot() {
+  Snapshot out;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+
+  for (size_t i = 0; i < r.counterNames.size(); ++i) {
+    uint64_t v = r.retiredCounters[i].load(std::memory_order_relaxed);
+    for (ThreadShard* s : r.shards)
+      v += s->counters[i].load(std::memory_order_relaxed);
+    if (v) out.counters.push_back({r.counterNames[i], v});
+  }
+  std::sort(out.counters.begin(), out.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+
+  for (size_t i = 0; i < r.timerNames.size(); ++i) {
+    Snapshot::TimerRow row;
+    row.name = r.timerNames[i];
+    auto fold = [&row](TimerCell& c) {
+      row.count += c.count.load(std::memory_order_relaxed);
+      row.totalNs += c.totalNs.load(std::memory_order_relaxed);
+      row.maxNs = std::max(row.maxNs, c.maxNs.load(std::memory_order_relaxed));
+    };
+    fold(r.retiredTimers[i]);
+    for (ThreadShard* s : r.shards) fold(s->timers[i]);
+    if (row.count) out.timers.push_back(std::move(row));
+  }
+  std::sort(out.timers.begin(), out.timers.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+
+  std::lock_guard<std::mutex> tlock(r.trace.mu);
+  out.events.reserve(r.trace.events.size());
+  for (const TraceBuf::Ev& e : r.trace.events)
+    out.events.push_back({e.name, e.category, e.startNs, e.durNs, e.tid});
+  out.droppedEvents = r.trace.dropped;
+  return out;
+}
+
+std::string renderTimeReport(const Snapshot& s) {
+  std::ostringstream out;
+  out << "=== time report ===\n";
+  if (s.timers.empty()) {
+    out << "(no phases recorded)\n";
+  } else {
+    size_t w = 5;
+    for (const auto& t : s.timers) w = std::max(w, t.name.size());
+    char head[128];
+    std::snprintf(head, sizeof(head), "%-*s %9s %12s %12s %12s\n",
+                  static_cast<int>(w), "phase", "count", "total", "avg",
+                  "max");
+    out << head;
+    for (const auto& t : s.timers) {
+      char line[192];
+      std::snprintf(line, sizeof(line), "%-*s %9llu %12s %12s %12s\n",
+                    static_cast<int>(w), t.name.c_str(),
+                    static_cast<unsigned long long>(t.count),
+                    humanNs(t.totalNs).c_str(),
+                    humanNs(t.count ? t.totalNs / t.count : 0).c_str(),
+                    humanNs(t.maxNs).c_str());
+      out << line;
+    }
+  }
+  if (!s.counters.empty()) {
+    out << "=== counters ===\n";
+    size_t w = 0;
+    for (const auto& c : s.counters) w = std::max(w, c.name.size());
+    for (const auto& c : s.counters) {
+      char line[160];
+      std::snprintf(line, sizeof(line), "%-*s %12llu\n", static_cast<int>(w),
+                    c.name.c_str(), static_cast<unsigned long long>(c.value));
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+std::string renderStatsJson(const Snapshot& s) {
+  std::ostringstream out;
+  out << "{\n";
+  bool first = true;
+  auto emit = [&](const std::string& key, uint64_t v) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  ";
+    appendJsonString(out, key);
+    out << ": " << v;
+  };
+  for (const auto& c : s.counters) emit(c.name, c.value);
+  for (const auto& t : s.timers) {
+    emit(t.name + ".count", t.count);
+    emit(t.name + ".ns", t.totalNs);
+    emit(t.name + ".max_ns", t.maxNs);
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string renderTraceJson(const Snapshot& s) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : s.events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":";
+    appendJsonString(out, e.name);
+    out << ",\"cat\":";
+    appendJsonString(out, e.category);
+    out << ",\"ph\":\"X\",\"ts\":" << usString(e.startNs)
+        << ",\"dur\":" << usString(e.durNs) << ",\"pid\":1,\"tid\":" << e.tid
+        << "}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out.str();
+}
+
+} // namespace mmx::metrics

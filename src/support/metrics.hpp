@@ -1,0 +1,141 @@
+// Pipeline observability (ISSUE 2): monotonic scoped timers, named
+// counters, and Chrome trace-event spans behind one global registry.
+//
+// Design constraints:
+//   - No-op when disabled: every instrumentation entry point is a relaxed
+//     atomic load plus a predicted branch; no clocks are read and no
+//     allocation happens. bench_forkjoin bounds the disabled overhead.
+//   - Thread-local aggregation: counters and timers accumulate into
+//     per-thread shards of relaxed atomics (no contention between pool
+//     workers); snapshot() sums live shards plus totals flushed by
+//     threads that already exited.
+//   - Machine-readable: snapshot() renders as a human table
+//     (--time-report), a flat JSON object (--stats-json), or Chrome
+//     trace-event JSON (--trace-json, viewable in about:tracing/Perfetto).
+//
+// Instrumented sites pass string literals (or otherwise immortal strings)
+// as names; handles are resolved once per call site:
+//   static const metrics::Counter c = metrics::counter("lex.tokens");
+//   c.add();
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmx::metrics {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/// Master switch. Instrumentation sites test this before doing any work.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void enable(bool on);
+
+/// Zeroes every counter/timer and drops buffered trace events. Names stay
+/// registered (handles remain valid).
+void reset();
+
+/// Monotonic nanoseconds since process start.
+uint64_t nowNs();
+
+/// Small dense id for the calling thread (0 = first thread to ask; pool
+/// workers get successive ids). Stable for the thread's lifetime.
+unsigned threadId();
+
+/// Handle to a named monotonic counter.
+class Counter {
+public:
+  /// Adds `delta` to the calling thread's shard. No-op while disabled.
+  void add(uint64_t delta = 1) const;
+  /// Sum over all shards (racing adds may or may not be included).
+  uint64_t value() const;
+
+private:
+  friend Counter counter(std::string_view name);
+  explicit Counter(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+/// Finds or registers the counter `name`. Cache the handle in a static.
+Counter counter(std::string_view name);
+
+/// Handle to a named duration accumulator (count / total / max).
+class Timer {
+public:
+  /// Records one interval. No-op while disabled.
+  void record(uint64_t ns) const;
+
+private:
+  friend Timer timer(std::string_view name);
+  explicit Timer(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+Timer timer(std::string_view name);
+
+/// Appends one complete trace span (pre-measured). No-op while disabled.
+/// `name` and `category` must outlive the registry (string literals).
+void traceSpan(const char* name, const char* category, uint64_t startNs,
+               uint64_t durNs);
+
+/// RAII phase timer: records into timer(name) and emits a trace span.
+/// Arms itself from enabled() at construction; inert when disabled.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(const char* name, const char* category = "phase");
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+  const char* name_;
+  const char* category_;
+  uint64_t start_ = 0;
+  bool armed_ = false;
+};
+
+/// A consistent copy of everything recorded so far.
+struct Snapshot {
+  struct CounterRow {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct TimerRow {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t totalNs = 0;
+    uint64_t maxNs = 0;
+  };
+  struct TraceEvent {
+    std::string name;
+    std::string category;
+    uint64_t startNs = 0;
+    uint64_t durNs = 0;
+    unsigned tid = 0;
+  };
+  std::vector<CounterRow> counters; // name-sorted; zero-valued rows omitted
+  std::vector<TimerRow> timers;     // name-sorted; zero-count rows omitted
+  std::vector<TraceEvent> events;   // in emission order
+  uint64_t droppedEvents = 0;       // spans beyond the buffer cap
+};
+
+Snapshot snapshot();
+
+/// Human-readable table of phase timers followed by counters.
+std::string renderTimeReport(const Snapshot& s);
+
+/// One flat JSON object: counters verbatim, timers as "<name>.ns",
+/// "<name>.count", "<name>.max_ns".
+std::string renderStatsJson(const Snapshot& s);
+
+/// Chrome trace-event JSON ("X" complete events, microsecond timestamps).
+std::string renderTraceJson(const Snapshot& s);
+
+} // namespace mmx::metrics

@@ -150,21 +150,21 @@ int main() {
 }
 )";
   auto plain = test::translateXc(src);
-  ASSERT_TRUE(plain.ok) << plain.diagnostics;
-  EXPECT_EQ(plain.diagnostics, "") << "lints must not fire without --analyze";
+  ASSERT_TRUE(plain.ok) << plain.renderDiagnostics();
+  EXPECT_TRUE(plain.diagnostics.empty()) << "lints must not fire without --analyze";
 
   driver::TranslateOptions opts;
   opts.analyze = true;
   auto analyzed = test::translateXc(src, opts);
-  ASSERT_TRUE(analyzed.ok) << analyzed.diagnostics;
-  EXPECT_NE(analyzed.diagnostics.find(
+  ASSERT_TRUE(analyzed.ok) << analyzed.renderDiagnostics();
+  EXPECT_NE(analyzed.renderDiagnostics().find(
                 "'seed' may be used before it is assigned"),
             std::string::npos)
-      << analyzed.diagnostics;
-  EXPECT_NE(analyzed.diagnostics.find(
+      << analyzed.renderDiagnostics();
+  EXPECT_NE(analyzed.renderDiagnostics().find(
                 "value assigned to 'sum' is never used"),
             std::string::npos)
-      << analyzed.diagnostics;
+      << analyzed.renderDiagnostics();
 }
 
 } // namespace

@@ -268,8 +268,8 @@ int main() {
 
 TEST(ParSafeLang, SafeGenarrayNestStaysParallel) {
   auto res = test::translateXc(meansProgram(""));
-  ASSERT_TRUE(res.ok) << res.diagnostics;
-  EXPECT_EQ(res.diagnostics, "") << res.diagnostics;
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  EXPECT_TRUE(res.diagnostics.empty()) << res.renderDiagnostics();
   std::string irText = ir::dump(*res.module);
   EXPECT_NE(irText.find("#pragma parallel"), std::string::npos)
       << "auto-parallel nest was demoted:\n" << irText;
@@ -281,14 +281,14 @@ TEST(ParSafeLang, ParallelizeOnFoldAccumulatorWarnsAndDemotes) {
   // `parallelize i` is safe and must survive enforcement untouched.
   auto res = test::translateXc(
       meansProgram("\n    transform { parallelize i; parallelize k; }"));
-  ASSERT_TRUE(res.ok) << res.diagnostics;
-  EXPECT_NE(res.diagnostics.find("cannot parallelize loop 'k'"),
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  EXPECT_NE(res.renderDiagnostics().find("cannot parallelize loop 'k'"),
             std::string::npos)
-      << res.diagnostics;
-  EXPECT_NE(res.diagnostics.find("reduction into"), std::string::npos)
-      << res.diagnostics;
-  EXPECT_NE(res.diagnostics.find("warning"), std::string::npos)
-      << res.diagnostics;
+      << res.renderDiagnostics();
+  EXPECT_NE(res.renderDiagnostics().find("reduction into"), std::string::npos)
+      << res.renderDiagnostics();
+  EXPECT_NE(res.renderDiagnostics().find("warning"), std::string::npos)
+      << res.renderDiagnostics();
   // The fold loop lost its pragma; the safe explicit i loop keeps its own.
   std::string irText = ir::dump(*res.module);
   size_t pragmas = 0;
@@ -304,8 +304,8 @@ TEST(ParSafeLang, StrictParallelFailsTranslationOnUnsafeClause) {
   auto res = test::translateXc(
       meansProgram("\n    transform { parallelize k; }"), opts);
   EXPECT_FALSE(res.ok);
-  EXPECT_NE(res.diagnostics.find("error"), std::string::npos)
-      << res.diagnostics;
+  EXPECT_NE(res.renderDiagnostics().find("error"), std::string::npos)
+      << res.renderDiagnostics();
 }
 
 TEST(ParSafeLang, WnoParallelSilencesAutoDemotionWarnings) {
@@ -326,17 +326,17 @@ int main() {
 }
 )";
   auto res = test::translateXc(src);
-  ASSERT_TRUE(res.ok) << res.diagnostics;
-  EXPECT_NE(res.diagnostics.find("not auto-parallelizing"), std::string::npos)
-      << res.diagnostics;
-  EXPECT_NE(res.diagnostics.find("'noisy'"), std::string::npos)
-      << res.diagnostics;
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  EXPECT_NE(res.renderDiagnostics().find("not auto-parallelizing"), std::string::npos)
+      << res.renderDiagnostics();
+  EXPECT_NE(res.renderDiagnostics().find("'noisy'"), std::string::npos)
+      << res.renderDiagnostics();
 
   driver::TranslateOptions opts;
   opts.warnParallel = false;
   auto quiet = test::translateXc(src, opts);
-  ASSERT_TRUE(quiet.ok) << quiet.diagnostics;
-  EXPECT_EQ(quiet.diagnostics, "");
+  ASSERT_TRUE(quiet.ok) << quiet.renderDiagnostics();
+  EXPECT_TRUE(quiet.diagnostics.empty());
 }
 
 TEST(ParSafeLang, ResultsIdenticalAcrossThreadCounts) {
@@ -353,7 +353,7 @@ TEST(ParSafeLang, AnalyzeReportListsLoopClassifications) {
   driver::TranslateOptions opts;
   opts.analyze = true;
   auto res = test::translateXc(meansProgram(""), opts);
-  ASSERT_TRUE(res.ok) << res.diagnostics;
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
   EXPECT_NE(res.analysisReport.find("parallel-safety analysis:"),
             std::string::npos)
       << res.analysisReport;

@@ -1,0 +1,126 @@
+// Composition failure paths (paper §VI-A: "the modular analyses cannot
+// guarantee every pair of independently-developed extensions composes"):
+// the translator must reject bad compositions with structured diagnostics
+// naming the offending extension, never crash or mis-parse.
+#include <gtest/gtest.h>
+
+#include "driver/translator.hpp"
+#include "ext/extension.hpp"
+#include "ext_matrix/matrix_ext.hpp"
+
+namespace mmx::driver {
+namespace {
+
+/// An extension whose only production duplicates the host's
+/// `Primary -> '(' Expr ')'` under a different label. Both reductions are
+/// viable in every state that completes the parenthesised form, so the
+/// composed grammar has a guaranteed reduce-reduce conflict.
+class ParenCloneExtension : public ext::LanguageExtension {
+public:
+  std::string name() const override { return "parenclone"; }
+  ext::GrammarFragment grammarFragment() const override {
+    ext::GrammarFragment f;
+    f.name = name();
+    f.productions.push_back({"Primary", {"'('", "Expr", "')'"}, "clone_paren"});
+    return f;
+  }
+  void installSemantics(cm::Sema&) const override {}
+};
+
+/// Grammatically empty extension used for duplicate-registration tests.
+class EmptyExtension : public ext::LanguageExtension {
+public:
+  explicit EmptyExtension(std::string n) : name_(std::move(n)) {}
+  std::string name() const override { return name_; }
+  ext::GrammarFragment grammarFragment() const override {
+    ext::GrammarFragment f;
+    f.name = name_;
+    return f;
+  }
+  void installSemantics(cm::Sema&) const override {}
+
+private:
+  std::string name_;
+};
+
+TEST(ComposeFailure, LalrConflictingExtensionIsRejected) {
+  Translator t;
+  t.addExtension(std::make_unique<ParenCloneExtension>());
+  EXPECT_FALSE(t.compose());
+  const auto& diags = t.composeDiagnostics();
+  ASSERT_FALSE(diags.empty());
+  bool sawConflict = false;
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.severity, Severity::Error);
+    if (d.message.find("not LALR(1)") != std::string::npos) sawConflict = true;
+  }
+  EXPECT_TRUE(sawConflict) << t.renderComposeDiagnostics();
+}
+
+TEST(ComposeFailure, DuplicateExtensionRegistrationIsRejected) {
+  Translator t;
+  t.addExtension(ext_matrix::matrixExtension());
+  t.addExtension(ext_matrix::matrixExtension());
+  EXPECT_FALSE(t.compose());
+  const auto& diags = t.composeDiagnostics();
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].severity, Severity::Error);
+  EXPECT_NE(diags[0].message.find("registered more than once"),
+            std::string::npos);
+  // The structured diagnostic names the offending extension.
+  EXPECT_EQ(diags[0].extension, "matrix");
+}
+
+TEST(ComposeFailure, DuplicateNameAcrossDistinctExtensionsIsRejected) {
+  Translator t;
+  t.addExtension(std::make_unique<EmptyExtension>("twin"));
+  t.addExtension(std::make_unique<EmptyExtension>("twin"));
+  EXPECT_FALSE(t.compose());
+  EXPECT_NE(t.renderComposeDiagnostics().find("'twin'"), std::string::npos);
+}
+
+TEST(ComposeFailure, TerminalClashNamesBothExtensions) {
+  // Two extensions declaring the same terminal: the fragment-level clash
+  // diagnostic carries the second fragment as its origin.
+  class KwExtension : public ext::LanguageExtension {
+  public:
+    explicit KwExtension(std::string n) : name_(std::move(n)) {}
+    std::string name() const override { return name_; }
+    ext::GrammarFragment grammarFragment() const override {
+      ext::GrammarFragment f;
+      f.name = name_;
+      f.terminals.push_back({"'gadget'", "gadget", true, 1, false});
+      return f;
+    }
+    void installSemantics(cm::Sema&) const override {}
+
+  private:
+    std::string name_;
+  };
+
+  Translator t;
+  t.addExtension(std::make_unique<KwExtension>("gizmoA"));
+  t.addExtension(std::make_unique<KwExtension>("gizmoB"));
+  EXPECT_FALSE(t.compose());
+  bool sawClash = false;
+  for (const auto& d : t.composeDiagnostics())
+    if (d.message.find("'gadget'") != std::string::npos) {
+      sawClash = true;
+      EXPECT_EQ(d.extension, "gizmoB"); // stamped by the composing fragment
+    }
+  EXPECT_TRUE(sawClash) << t.renderComposeDiagnostics();
+}
+
+TEST(ComposeFailure, FailedComposeDoesNotPoisonAFreshTranslator) {
+  {
+    Translator bad;
+    bad.addExtension(std::make_unique<ParenCloneExtension>());
+    EXPECT_FALSE(bad.compose());
+  }
+  Translator good;
+  good.addExtension(ext_matrix::matrixExtension());
+  EXPECT_TRUE(good.compose()) << good.renderComposeDiagnostics();
+}
+
+} // namespace
+} // namespace mmx::driver

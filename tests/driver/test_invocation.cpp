@@ -1,0 +1,113 @@
+// CompilerInvocation: the declarative flag table behind mmc. Parsing,
+// defaulting, error paths, and the generated help text.
+#include "driver/invocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mmx::driver {
+namespace {
+
+CompilerInvocation::ParseResult parse(CompilerInvocation& inv,
+                                      std::vector<const char*> args) {
+  args.insert(args.begin(), "mmc");
+  return inv.parseArgv(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CompilerInvocation, DefaultsMatchTranslateOptions) {
+  CompilerInvocation inv;
+  auto r = parse(inv, {"prog.xc"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(inv.inputPath, "prog.xc");
+  EXPECT_TRUE(inv.opts.fusion);
+  EXPECT_TRUE(inv.opts.sliceElimination);
+  EXPECT_TRUE(inv.opts.autoParallel);
+  EXPECT_TRUE(inv.opts.warnParallel);
+  EXPECT_FALSE(inv.opts.strictParallel);
+  EXPECT_EQ(inv.threads, 1u);
+  EXPECT_FALSE(inv.emitIr);
+  EXPECT_FALSE(inv.metricsRequested());
+}
+
+TEST(CompilerInvocation, AblationFlagsMapOntoOptions) {
+  CompilerInvocation inv;
+  auto r = parse(inv, {"p.xc", "--no-fusion", "--no-slice-elim",
+                       "--no-parallel", "--strict-parallel", "-Wno-parallel"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(inv.opts.fusion);
+  EXPECT_FALSE(inv.opts.sliceElimination);
+  EXPECT_FALSE(inv.opts.autoParallel);
+  EXPECT_FALSE(inv.opts.warnParallel);
+  EXPECT_TRUE(inv.opts.strictParallel);
+}
+
+TEST(CompilerInvocation, ThreadsAndExecutorSelection) {
+  CompilerInvocation inv;
+  auto r = parse(inv, {"p.xc", "--threads", "4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(inv.threads, 4u);
+  EXPECT_EQ(inv.makeExecutor()->name(), "forkjoin");
+
+  CompilerInvocation one;
+  ASSERT_TRUE(parse(one, {"p.xc"}).ok);
+  EXPECT_EQ(one.makeExecutor()->name(), "serial");
+
+  CompilerInvocation naive;
+  ASSERT_TRUE(parse(naive, {"p.xc", "--threads", "4", "--executor",
+                            "naive"}).ok);
+  EXPECT_EQ(naive.makeExecutor()->name(), "naive");
+}
+
+TEST(CompilerInvocation, ObservabilityFlags) {
+  CompilerInvocation inv;
+  auto r = parse(inv, {"p.xc", "--time-report", "--stats-json", "s.json",
+                       "--trace-json", "t.json"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(inv.timeReport);
+  EXPECT_EQ(inv.statsJsonPath, "s.json");
+  EXPECT_EQ(inv.traceJsonPath, "t.json");
+  EXPECT_TRUE(inv.metricsRequested());
+}
+
+TEST(CompilerInvocation, ErrorsOnUnknownFlagMissingValueExtraInput) {
+  CompilerInvocation a;
+  EXPECT_FALSE(parse(a, {"p.xc", "--frobnicate"}).ok);
+
+  CompilerInvocation b;
+  EXPECT_FALSE(parse(b, {"p.xc", "--threads"}).ok);
+
+  CompilerInvocation c;
+  EXPECT_FALSE(parse(c, {"p.xc", "q.xc"}).ok);
+
+  CompilerInvocation d;
+  EXPECT_FALSE(parse(d, {}).ok); // input required without --help
+
+  CompilerInvocation e;
+  EXPECT_FALSE(parse(e, {"p.xc", "--executor", "quantum"}).ok);
+
+  CompilerInvocation f;
+  EXPECT_FALSE(parse(f, {"p.xc", "--threads", "zero"}).ok);
+}
+
+TEST(CompilerInvocation, HelpWorksWithoutInput) {
+  CompilerInvocation inv;
+  auto r = parse(inv, {"--help"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(inv.showHelp);
+}
+
+TEST(CompilerInvocation, HelpTextListsEveryFlagOnce) {
+  std::string help = CompilerInvocation::helpText();
+  for (const char* flag :
+       {"--emit-ir", "--emit-c", "--analyze", "--threads", "--executor",
+        "--no-fusion", "--no-parallel", "--no-slice-elim", "--strict-parallel",
+        "-Wparallel", "-Wno-parallel", "--time-report", "--stats-json",
+        "--trace-json", "--help"}) {
+    size_t first = help.find(flag);
+    EXPECT_NE(first, std::string::npos) << flag << " missing from help";
+  }
+}
+
+} // namespace
+} // namespace mmx::driver

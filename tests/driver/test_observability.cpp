@@ -1,0 +1,128 @@
+// End-to-end observability (ISSUE 2 acceptance): translating and running
+// a program with metrics enabled must produce phase spans for
+// compose/parse/typecheck/optimize/lower plus one pool `parallelFor` span
+// per region, and the Chrome trace / stats JSON renders must be valid.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "driver/translator.hpp"
+#include "ext_matrix/matrix_ext.hpp"
+#include "interp/interp.hpp"
+#include "support/metrics.hpp"
+
+namespace mmx::driver {
+namespace {
+
+constexpr const char* kProgram = R"(
+int main() {
+  Matrix float <2> m = with ([0,0] <= [i,j] < [8,8])
+      genarray([8,8], (float)(i + j));
+  printFloat(m[3, 4]);
+  return 0;
+})";
+
+class ObservabilityTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    metrics::enable(true);
+    metrics::reset();
+  }
+  void TearDown() override {
+    metrics::reset();
+    metrics::enable(false);
+  }
+
+  /// Full pipeline with metrics on; returns the snapshot.
+  metrics::Snapshot runPipeline(unsigned threads) {
+    Translator t;
+    t.addExtension(ext_matrix::matrixExtension());
+    EXPECT_TRUE(t.compose()) << t.renderComposeDiagnostics();
+    auto res = t.translate("obs.xc", kProgram);
+    EXPECT_TRUE(res.ok) << res.renderDiagnostics();
+    auto exec = rt::makeExecutor(threads > 1 ? rt::ExecutorKind::ForkJoin
+                                             : rt::ExecutorKind::Serial,
+                                 threads);
+    interp::Machine vm(*res.module, *exec);
+    EXPECT_EQ(vm.runMain(), 0);
+    return metrics::snapshot();
+  }
+
+  static size_t countSpans(const metrics::Snapshot& s,
+                           const std::string& name) {
+    size_t n = 0;
+    for (const auto& e : s.events)
+      if (e.name == name) ++n;
+    return n;
+  }
+};
+
+TEST_F(ObservabilityTest, TraceHasAllPhaseSpansAndAPoolSpanPerRegion) {
+  metrics::Snapshot s = runPipeline(/*threads=*/2);
+  for (const char* phase :
+       {"compose", "parse", "typecheck", "optimize", "lower"})
+    EXPECT_EQ(countSpans(s, phase), 1u) << "missing phase span: " << phase;
+  // The program has exactly one auto-parallelized with-loop region.
+  EXPECT_EQ(countSpans(s, "parallelFor"), 1u);
+  uint64_t regions = 0;
+  for (const auto& row : s.counters)
+    if (row.name == "pool.regions") regions = row.value;
+  EXPECT_EQ(regions, 1u);
+}
+
+TEST_F(ObservabilityTest, SerialExecutorStillTracesRegions) {
+  // mmc defaults to the serial executor at one thread; region spans must
+  // not silently disappear there.
+  metrics::Snapshot s = runPipeline(/*threads=*/1);
+  EXPECT_EQ(countSpans(s, "parallelFor"), 1u);
+}
+
+TEST_F(ObservabilityTest, PipelineCountersAreRecorded) {
+  metrics::Snapshot s = runPipeline(/*threads=*/2);
+  auto value = [&](const std::string& name) -> uint64_t {
+    for (const auto& row : s.counters)
+      if (row.name == name) return row.value;
+    return 0;
+  };
+  EXPECT_GT(value("lex.tokens"), 0u);
+  EXPECT_GT(value("parse.shifts"), 0u);
+  EXPECT_GT(value("parse.reduces"), 0u);
+  EXPECT_GT(value("parse.lalrStates"), 0u);
+  EXPECT_GT(value("interp.stmts"), 0u);
+  EXPECT_EQ(value("matrix.autoParallel"), 1u);
+  EXPECT_EQ(value("parallel.checked"), 1u);
+  EXPECT_EQ(value("parallel.demoted"), 0u);
+}
+
+TEST_F(ObservabilityTest, TraceJsonIsWellFormedChromeFormat) {
+  metrics::Snapshot s = runPipeline(/*threads=*/2);
+  std::string json = metrics::renderTraceJson(s);
+  // Shape: {"traceEvents":[{...,"ph":"X",...}, ...]}
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 80);
+  for (const char* key : {"\"name\":", "\"cat\":", "\"ph\":\"X\"", "\"ts\":",
+                          "\"dur\":", "\"pid\":", "\"tid\":"})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  for (const char* phase :
+       {"\"compose\"", "\"parse\"", "\"typecheck\"", "\"optimize\"",
+        "\"lower\"", "\"parallelFor\""})
+    EXPECT_NE(json.find(phase), std::string::npos) << phase;
+  // Balanced braces/brackets (cheap structural validity check; CI runs a
+  // real JSON parser over the mmc-produced files).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(ObservabilityTest, TimersCoverThePhases) {
+  metrics::Snapshot s = runPipeline(/*threads=*/2);
+  std::set<std::string> names;
+  for (const auto& row : s.timers) names.insert(row.name);
+  for (const char* phase :
+       {"compose", "parse", "typecheck", "optimize", "lower"})
+    EXPECT_TRUE(names.count(phase)) << "missing timer: " << phase;
+}
+
+} // namespace
+} // namespace mmx::driver

@@ -16,10 +16,10 @@ namespace {
 
 TEST(Translator, HostOnlyProgramsWork) {
   Translator t;
-  ASSERT_TRUE(t.compose()) << t.composeDiagnostics();
+  ASSERT_TRUE(t.compose()) << t.renderComposeDiagnostics();
   auto res = t.translate("p.xc",
                          "int main() { printInt(6 * 7); return 0; }");
-  ASSERT_TRUE(res.ok) << res.diagnostics;
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
   rt::SerialExecutor ex;
   interp::Machine vm(*res.module, ex);
   EXPECT_EQ(vm.runMain(), 0);
@@ -43,7 +43,7 @@ TEST(Translator, TransformWithoutMatrixFailsToCompose) {
   Translator t;
   t.addExtension(ext_transform::transformExtension());
   EXPECT_FALSE(t.compose());
-  EXPECT_NE(t.composeDiagnostics().find("WithTail"), std::string::npos);
+  EXPECT_NE(t.renderComposeDiagnostics().find("WithTail"), std::string::npos);
 }
 
 TEST(Translator, ExtensionOrderIrrelevantForSemantics) {
@@ -56,7 +56,7 @@ TEST(Translator, ExtensionOrderIrrelevantForSemantics) {
       t.addExtension(ext_refcount::refcountExtension());
       t.addExtension(ext_matrix::matrixExtension());
     }
-    EXPECT_TRUE(t.compose()) << t.composeDiagnostics();
+    EXPECT_TRUE(t.compose()) << t.renderComposeDiagnostics();
     auto res = t.translate("p.xc", R"(
 int main() {
   refptr float p = rcalloc(float, 3);
@@ -66,7 +66,7 @@ int main() {
   printFloat(v[0]);
   return 0;
 })");
-    EXPECT_TRUE(res.ok) << res.diagnostics;
+    EXPECT_TRUE(res.ok) << res.renderDiagnostics();
     rt::SerialExecutor ex;
     interp::Machine vm(*res.module, ex);
     vm.runMain();
@@ -79,7 +79,7 @@ int main() {
 TEST(Translator, AltTupleExtensionComposesAndRuns) {
   Translator t;
   t.addExtension(ext_tuple::tupleAltExtension());
-  ASSERT_TRUE(t.compose()) << t.composeDiagnostics();
+  ASSERT_TRUE(t.compose()) << t.renderComposeDiagnostics();
   auto res = t.translate("p.xc", R"(
 (| int, int |) two() { return (| 3, 4 |); }
 int main() {
@@ -89,7 +89,7 @@ int main() {
   printInt(a * 10 + b);
   return 0;
 })");
-  ASSERT_TRUE(res.ok) << res.diagnostics;
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
   rt::SerialExecutor ex;
   interp::Machine vm(*res.module, ex);
   vm.runMain();
@@ -100,7 +100,7 @@ TEST(Translator, TranslateBeforeComposeIsAnError) {
   Translator t;
   auto res = t.translate("p.xc", "int main() { return 0; }");
   EXPECT_FALSE(res.ok);
-  EXPECT_NE(res.diagnostics.find("not composed"), std::string::npos);
+  EXPECT_NE(res.renderDiagnostics().find("not composed"), std::string::npos);
 }
 
 TEST(Translator, ParseErrorsCarryLocations) {
@@ -108,8 +108,8 @@ TEST(Translator, ParseErrorsCarryLocations) {
   ASSERT_TRUE(t.compose());
   auto res = t.translate("bad.xc", "int main() { int x = ; return 0; }");
   EXPECT_FALSE(res.ok);
-  EXPECT_NE(res.diagnostics.find("bad.xc:1:"), std::string::npos)
-      << res.diagnostics;
+  EXPECT_NE(res.renderDiagnostics().find("bad.xc:1:"), std::string::npos)
+      << res.renderDiagnostics();
 }
 
 TEST(Translator, MultipleTranslationsAreIndependent) {
@@ -119,11 +119,11 @@ TEST(Translator, MultipleTranslationsAreIndependent) {
   // An erroneous program must not poison later translations.
   EXPECT_FALSE(t.translate("a.xc", "int main() { return nope; }").ok);
   auto res = t.translate("b.xc", "int main() { return 0; }");
-  EXPECT_TRUE(res.ok) << res.diagnostics;
+  EXPECT_TRUE(res.ok) << res.renderDiagnostics();
   // Same function names across programs are fine (fresh Sema each time).
   auto res2 = t.translate("c.xc", "int f() { return 1; } "
                                   "int main() { return f(); }");
-  EXPECT_TRUE(res2.ok) << res2.diagnostics;
+  EXPECT_TRUE(res2.ok) << res2.renderDiagnostics();
 }
 
 TEST(Translator, OptionsReachTheLowering) {

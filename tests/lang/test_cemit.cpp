@@ -24,7 +24,7 @@ struct TempPath {
 std::string emitOk(const std::string& src,
                    driver::TranslateOptions opts = {}) {
   auto res = translateXc(src, opts);
-  EXPECT_TRUE(res.ok) << res.diagnostics;
+  EXPECT_TRUE(res.ok) << res.renderDiagnostics();
   if (!res.ok) return {};
   auto c = ir::emitC(*res.module);
   EXPECT_TRUE(c.ok) << (c.errors.empty() ? "" : c.errors.front());
@@ -204,7 +204,7 @@ int main() {
 TEST(CEmit, SimulatorBuiltinsAreRejectedWithClearMessage) {
   auto res = translateXc("int main() { Matrix float <3> m = "
                          "synthSsh(2, 2, 2, 1, 1); printShape(m); return 0; }");
-  ASSERT_TRUE(res.ok) << res.diagnostics;
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
   auto c = ir::emitC(*res.module);
   EXPECT_FALSE(c.ok);
   ASSERT_FALSE(c.errors.empty());

@@ -81,7 +81,7 @@ TEST(Fig3, GeneratedLoopStructure) {
   // (no extra copy), the innermost access a direct flat load (the slice
   // was eliminated), and the outer loop parallel.
   auto res = translateXc(fig1Program("/dev/null"));
-  ASSERT_TRUE(res.ok) << res.diagnostics;
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
   std::string irText = ir::dump(*res.module);
 
   EXPECT_NE(irText.find("for (i"), std::string::npos) << irText;
@@ -96,20 +96,20 @@ TEST(Fig3, AblationsChangeTheGeneratedCode) {
   driver::TranslateOptions noFusion;
   noFusion.fusion = false;
   auto res = translateXc(fig1Program("/dev/null"), noFusion);
-  ASSERT_TRUE(res.ok) << res.diagnostics;
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
   EXPECT_NE(ir::dump(*res.module).find("cloneMatrix"), std::string::npos);
 
   driver::TranslateOptions noPar;
   noPar.autoParallel = false;
   auto res2 = translateXc(fig1Program("/dev/null"), noPar);
-  ASSERT_TRUE(res2.ok) << res2.diagnostics;
+  ASSERT_TRUE(res2.ok) << res2.renderDiagnostics();
   EXPECT_EQ(ir::dump(*res2.module).find("#pragma parallel"),
             std::string::npos);
 
   driver::TranslateOptions noSlice;
   noSlice.sliceElimination = false;
   auto res3 = translateXc(fig1Program("/dev/null"), noSlice);
-  ASSERT_TRUE(res3.ok) << res3.diagnostics;
+  ASSERT_TRUE(res3.ok) << res3.renderDiagnostics();
   // Unoptimized scalar indexing goes through the selector machinery,
   // visible as bracketed index expressions instead of .data[] loads.
   EXPECT_EQ(ir::dump(*res3.module).find("mat.data["), std::string::npos);
@@ -285,7 +285,7 @@ TEST(Fig9, TransformedResultEqualsUntransformed) {
 TEST(Fig10, SplitProducesTwoLoopsWithReconstruction) {
   auto res = translateXc(fig9Program("/dev/null", R"(
     transform { split j by 4, jin, jout; })"));
-  ASSERT_TRUE(res.ok) << res.diagnostics;
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
   std::string irText = ir::dump(*res.module);
   // Fig. 10: the j loop is replaced by jout/jin loops and j is rebuilt
   // as jout*4 + jin.
@@ -303,7 +303,7 @@ TEST(Fig11, VectorizeAndParallelizeAnnotate) {
       vectorize jin;
       parallelize i;
     })"));
-  ASSERT_TRUE(res.ok) << res.diagnostics;
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
   std::string irText = ir::dump(*res.module);
   EXPECT_NE(irText.find("#pragma vectorize 4"), std::string::npos) << irText;
   EXPECT_NE(irText.find("#pragma parallel"), std::string::npos);

@@ -246,7 +246,7 @@ TEST(HostLangErrors, TupleUsedAsScalar) {
 TEST(HostLangErrors, SyntaxErrorHasExpectedSet) {
   auto res = translateXc("int main() { int x = ; return 0; }");
   EXPECT_FALSE(res.ok);
-  EXPECT_NE(res.diagnostics.find("expected one of"), std::string::npos);
+  EXPECT_NE(res.renderDiagnostics().find("expected one of"), std::string::npos);
 }
 
 TEST(HostLangErrors, DuplicateFunction) {

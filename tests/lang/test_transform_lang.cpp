@@ -74,7 +74,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(TransformLang, UnrollReplicatesBodyInIr) {
   auto res = translateXc(scaled1D(32, "transform { unroll i by 4; }"));
-  ASSERT_TRUE(res.ok) << res.diagnostics;
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
   std::string irText = ir::dump(*res.module);
   // Coarsened loop plus a remainder loop over the original name.
   EXPECT_NE(irText.find("for (%i_u"), std::string::npos) << irText;

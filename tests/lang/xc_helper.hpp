@@ -32,7 +32,7 @@ inline driver::Translator& sharedTranslator(driver::TranslateOptions opts = {}) 
     t->addExtension(ext_matrix::matrixExtension());
     t->addExtension(ext_refcount::refcountExtension());
     t->addExtension(ext_transform::transformExtension());
-    EXPECT_TRUE(t->compose(opts)) << t->composeDiagnostics();
+    EXPECT_TRUE(t->compose(opts)) << t->renderComposeDiagnostics();
     it = cache.emplace(k, std::move(t)).first;
   }
   return *it->second;
@@ -48,7 +48,7 @@ struct RunOutcome {
   bool ran = false;
   int exitCode = -1;
   std::string output;
-  std::string diagnostics;
+  std::string diagnostics; // rendered, for assertion messages
   std::string runtimeError;
 };
 
@@ -56,14 +56,12 @@ inline RunOutcome runXc(const std::string& src, unsigned threads = 1,
                         driver::TranslateOptions opts = {}) {
   RunOutcome out;
   auto res = translateXc(src, opts);
-  out.diagnostics = res.diagnostics;
+  out.diagnostics = res.renderDiagnostics();
   if (!res.ok) return out;
   out.translated = true;
-  std::unique_ptr<rt::Executor> exec;
-  if (threads > 1)
-    exec = std::make_unique<rt::ForkJoinPool>(threads);
-  else
-    exec = std::make_unique<rt::SerialExecutor>();
+  std::unique_ptr<rt::Executor> exec = rt::makeExecutor(
+      threads > 1 ? rt::ExecutorKind::ForkJoin : rt::ExecutorKind::Serial,
+      threads);
   interp::Machine vm(*res.module, *exec);
   try {
     out.exitCode = vm.runMain();
@@ -89,8 +87,9 @@ inline std::string runOk(const std::string& src, unsigned threads = 1,
 inline void expectError(const std::string& src, const std::string& needle) {
   auto res = translateXc(src);
   EXPECT_FALSE(res.ok) << "program unexpectedly translated";
-  EXPECT_NE(res.diagnostics.find(needle), std::string::npos)
-      << "diagnostics were:\n" << res.diagnostics;
+  std::string rendered = res.renderDiagnostics();
+  EXPECT_NE(rendered.find(needle), std::string::npos)
+      << "diagnostics were:\n" << rendered;
 }
 
 } // namespace mmx::test

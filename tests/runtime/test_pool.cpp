@@ -141,5 +141,39 @@ TEST(ForkJoinPool, ZeroThreadsClampedToOne) {
   checkCoverage(pool, 10);
 }
 
+TEST(ExecutorFactory, MakesEachKindWithMatchingName) {
+  auto serial = makeExecutor(ExecutorKind::Serial, 1);
+  EXPECT_EQ(serial->name(), "serial");
+  EXPECT_EQ(serial->threads(), 1u);
+  checkCoverage(*serial, 100);
+
+  auto fj = makeExecutor(ExecutorKind::ForkJoin, 3);
+  EXPECT_EQ(fj->name(), "forkjoin");
+  EXPECT_EQ(fj->threads(), 3u);
+  checkCoverage(*fj, 1013);
+
+  auto naive = makeExecutor(ExecutorKind::Naive, 2);
+  EXPECT_EQ(naive->name(), "naive");
+  EXPECT_EQ(naive->threads(), 2u);
+  checkCoverage(*naive, 100);
+}
+
+TEST(ExecutorFactory, KindRoundTripsThroughStrings) {
+  for (ExecutorKind k :
+       {ExecutorKind::Serial, ExecutorKind::ForkJoin, ExecutorKind::Naive}) {
+    auto parsed = executorKindFromString(toString(k));
+    ASSERT_TRUE(parsed.has_value()) << toString(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(executorKindFromString("quantum").has_value());
+  EXPECT_FALSE(executorKindFromString("").has_value());
+}
+
+TEST(ExecutorFactory, NamesMatchConcreteClasses) {
+  EXPECT_EQ(SerialExecutor().name(), "serial");
+  EXPECT_EQ(ForkJoinPool(2).name(), "forkjoin");
+  EXPECT_EQ(NaiveForkJoin(2).name(), "naive");
+}
+
 } // namespace
 } // namespace mmx::rt

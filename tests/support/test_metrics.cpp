@@ -1,0 +1,163 @@
+// Tests for the pipeline observability layer: counters, timers, trace
+// spans, the disabled no-op guarantee, cross-thread aggregation, and the
+// three render formats.
+#include "support/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mmx::metrics {
+namespace {
+
+/// Re-enables metrics for one test and restores the prior state (tests
+/// share one process-wide registry).
+class MetricsGuard {
+public:
+  MetricsGuard() : was_(enabled()) {
+    enable(true);
+    reset();
+  }
+  ~MetricsGuard() {
+    reset();
+    enable(was_);
+  }
+
+private:
+  bool was_;
+};
+
+TEST(Metrics, DisabledCountersAreNoops) {
+  enable(false);
+  Counter c = counter("test.disabled");
+  c.add(42);
+  EXPECT_EQ(c.value(), 0u);
+  Timer t = timer("test.disabledTimer");
+  t.record(1000);
+  traceSpan("x", "y", 0, 10);
+  Snapshot s = snapshot();
+  for (const auto& row : s.counters) EXPECT_NE(row.name, "test.disabled");
+  for (const auto& row : s.timers) EXPECT_NE(row.name, "test.disabledTimer");
+  EXPECT_TRUE(s.events.empty());
+}
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsGuard g;
+  Counter c = counter("test.counter");
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  Snapshot s = snapshot();
+  bool found = false;
+  for (const auto& row : s.counters)
+    if (row.name == "test.counter") {
+      found = true;
+      EXPECT_EQ(row.value, 10u);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, SameNameSameHandle) {
+  MetricsGuard g;
+  counter("test.shared").add(3);
+  counter("test.shared").add(4);
+  EXPECT_EQ(counter("test.shared").value(), 7u);
+}
+
+TEST(Metrics, ResetZeroesButKeepsHandlesValid) {
+  MetricsGuard g;
+  Counter c = counter("test.reset");
+  c.add(5);
+  reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Metrics, TimerRecordsCountTotalMax) {
+  MetricsGuard g;
+  Timer t = timer("test.timer");
+  t.record(100);
+  t.record(300);
+  t.record(200);
+  Snapshot s = snapshot();
+  bool found = false;
+  for (const auto& row : s.timers)
+    if (row.name == "test.timer") {
+      found = true;
+      EXPECT_EQ(row.count, 3u);
+      EXPECT_EQ(row.totalNs, 600u);
+      EXPECT_EQ(row.maxNs, 300u);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, CountsSurviveThreadExit) {
+  MetricsGuard g;
+  Counter c = counter("test.threads");
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i)
+    threads.emplace_back([&] {
+      for (int k = 0; k < 1000; ++k) c.add();
+    });
+  for (auto& t : threads) t.join();
+  // The worker shards were destroyed with the threads; their totals must
+  // have been flushed into the registry.
+  EXPECT_EQ(c.value(), 4000u);
+}
+
+TEST(Metrics, ScopedTimerEmitsTimerAndSpan) {
+  MetricsGuard g;
+  { ScopedTimer t("test.phase", "testcat"); }
+  Snapshot s = snapshot();
+  bool timerFound = false;
+  for (const auto& row : s.timers)
+    if (row.name == "test.phase") timerFound = true;
+  EXPECT_TRUE(timerFound);
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_EQ(s.events[0].name, "test.phase");
+  EXPECT_EQ(s.events[0].category, "testcat");
+}
+
+TEST(Metrics, NowNsIsMonotonic) {
+  uint64_t a = nowNs();
+  uint64_t b = nowNs();
+  EXPECT_LE(a, b);
+}
+
+TEST(Metrics, StatsJsonIsFlatAndContainsRows) {
+  MetricsGuard g;
+  counter("test.json").add(7);
+  timer("test.jsonTimer").record(1234);
+  std::string json = renderStatsJson(snapshot());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"test.json\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.jsonTimer.ns\": 1234"), std::string::npos);
+  EXPECT_NE(json.find("\"test.jsonTimer.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"test.jsonTimer.max_ns\": 1234"), std::string::npos);
+}
+
+TEST(Metrics, TraceJsonHasTraceEventsArray) {
+  MetricsGuard g;
+  traceSpan("spanA", "phase", 1000, 2000);
+  std::string json = renderTraceJson(snapshot());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"spanA\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Microsecond timestamps: 1000ns -> 1.000us, 2000ns -> 2.000us.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos) << json;
+}
+
+TEST(Metrics, TimeReportMentionsPhaseAndCounter) {
+  MetricsGuard g;
+  counter("test.reportCounter").add(1);
+  timer("test.reportPhase").record(5000);
+  std::string report = renderTimeReport(snapshot());
+  EXPECT_NE(report.find("test.reportPhase"), std::string::npos) << report;
+  EXPECT_NE(report.find("test.reportCounter"), std::string::npos) << report;
+}
+
+} // namespace
+} // namespace mmx::metrics
