@@ -18,13 +18,15 @@ namespace mmx::bench {
 inline driver::Translator& translator(driver::TranslateOptions opts = {}) {
   struct Key {
     bool fusion, slice, par;
+    int bounds; // BoundsCheckMode is baked in at compose time
     bool operator<(const Key& o) const {
-      return std::tie(fusion, slice, par) <
-             std::tie(o.fusion, o.slice, o.par);
+      return std::tie(fusion, slice, par, bounds) <
+             std::tie(o.fusion, o.slice, o.par, o.bounds);
     }
   };
   static std::map<Key, std::unique_ptr<driver::Translator>> cache;
-  Key k{opts.fusion, opts.sliceElimination, opts.autoParallel};
+  Key k{opts.fusion, opts.sliceElimination, opts.autoParallel,
+        static_cast<int>(opts.boundsChecks)};
   auto it = cache.find(k);
   if (it == cache.end()) {
     auto t = std::make_unique<driver::Translator>();
@@ -117,17 +119,33 @@ int main() {
 )";
 }
 
+/// Translates once; throws on diagnostics. Keeps the whole result so
+/// callers can reach the shapecheck guard plan for Auto-mode backends.
+inline driver::TranslateResult compileXc(const std::string& src,
+                                         driver::TranslateOptions opts = {}) {
+  auto res = translator(opts).translate("bench.xc", src);
+  if (!res.ok) throw std::runtime_error(res.renderDiagnostics());
+  return res;
+}
+
 /// Translates once; throws on diagnostics.
 inline std::unique_ptr<ir::Module> compile(const std::string& src,
                                            driver::TranslateOptions opts = {}) {
-  auto res = translator(opts).translate("bench.xc", src);
-  if (!res.ok) throw std::runtime_error(res.renderDiagnostics());
-  return std::move(res.module);
+  return std::move(compileXc(src, opts).module);
 }
 
 /// Runs main() once on the given executor.
 inline void runOn(const ir::Module& m, rt::Executor& exec) {
   interp::Machine vm(m, exec);
+  vm.runMain();
+}
+
+/// Runs main() once honoring the translate result's --bounds-checks mode
+/// and guard plan (the interpreter-side auto-vs-on comparison).
+inline void runOnWithBounds(const driver::TranslateResult& res,
+                            rt::Executor& exec) {
+  interp::Machine vm(*res.module, exec);
+  vm.setBoundsChecks(res.boundsChecks, res.guardPlan);
   vm.runMain();
 }
 
@@ -168,8 +186,11 @@ inline std::string compileCBinary(const std::string& src,
   static std::map<std::string, std::string> cache;
   auto it = cache.find(tag);
   if (it != cache.end()) return it->second;
-  auto mod = compile(src, opts);
-  auto c = ir::emitC(*mod);
+  auto res = compileXc(src, opts);
+  ir::CEmitOptions eo;
+  eo.boundsChecks = res.boundsChecks;
+  eo.plan = res.guardPlan;
+  auto c = ir::emitC(*res.module, eo);
   if (!c.ok)
     throw std::runtime_error("emitC: " +
                              (c.errors.empty() ? "?" : c.errors.front()));

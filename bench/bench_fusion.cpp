@@ -142,5 +142,32 @@ void BM_EmittedC_UnfusedLibraryCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_EmittedC_UnfusedLibraryCopy)->Unit(benchmark::kMillisecond);
 
+// ---- runtime-guard elision (ISSUE 3) -----------------------------------
+// The affine-index kernels above are exactly the programs where the
+// shapecheck pass proves every guard redundant: --bounds-checks=auto
+// drops the per-access checks from the emitted C, on keeps the
+// historical (byte-identical) output. CI writes this pair to
+// BENCH_shapecheck.json.
+
+void BM_EmittedC_BoundsOn(benchmark::State& state) {
+  driver::TranslateOptions opts;
+  opts.boundsChecks = ir::BoundsCheckMode::On;
+  std::string bin =
+      compileCBinary(temporalMeanProgram(cLat, cLon, cTime, "", 40), opts,
+                     "bounds_on");
+  for (auto _ : state) runCBinary(bin);
+}
+BENCHMARK(BM_EmittedC_BoundsOn)->Unit(benchmark::kMillisecond);
+
+void BM_EmittedC_BoundsAuto(benchmark::State& state) {
+  driver::TranslateOptions opts;
+  opts.boundsChecks = ir::BoundsCheckMode::Auto;
+  std::string bin =
+      compileCBinary(temporalMeanProgram(cLat, cLon, cTime, "", 40), opts,
+                     "bounds_auto");
+  for (auto _ : state) runCBinary(bin);
+}
+BENCHMARK(BM_EmittedC_BoundsAuto)->Unit(benchmark::kMillisecond);
+
 } // namespace
 } // namespace mmx::bench

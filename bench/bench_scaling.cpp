@@ -71,5 +71,38 @@ BENCHMARK(BM_KernelSumThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(12)
     ->Unit(benchmark::kMillisecond);
 
+// ---- guard elision across the thread sweep (ISSUE 3) -------------------
+// The interpreter-side auto-vs-on pair: `auto` consults the shapecheck
+// guard plan, `on` keeps every runtime check. Same workload as
+// BM_TemporalMeanThreads, so the elision win composes with scaling.
+
+void BM_TemporalMeanBoundsOn(benchmark::State& state) {
+  driver::TranslateOptions opts;
+  opts.boundsChecks = ir::BoundsCheckMode::On;
+  static auto res = compileXc(temporalMeanProgram(48, 96, 48), opts);
+  unsigned threads = static_cast<unsigned>(state.range(0));
+  std::unique_ptr<rt::Executor> exec = rt::makeExecutor(
+      threads == 1 ? rt::ExecutorKind::Serial : rt::ExecutorKind::ForkJoin,
+      threads);
+  for (auto _ : state) runOnWithBounds(res, *exec);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_TemporalMeanBoundsOn)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TemporalMeanBoundsAuto(benchmark::State& state) {
+  driver::TranslateOptions opts;
+  opts.boundsChecks = ir::BoundsCheckMode::Auto;
+  static auto res = compileXc(temporalMeanProgram(48, 96, 48), opts);
+  unsigned threads = static_cast<unsigned>(state.range(0));
+  std::unique_ptr<rt::Executor> exec = rt::makeExecutor(
+      threads == 1 ? rt::ExecutorKind::Serial : rt::ExecutorKind::ForkJoin,
+      threads);
+  for (auto _ : state) runOnWithBounds(res, *exec);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_TemporalMeanBoundsAuto)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 } // namespace mmx::bench

@@ -98,6 +98,10 @@ void lintFunction(const ir::Function& f, DiagnosticEngine& diags) {
     // Matrix-handle rebinds and side-effecting right-hand sides are kept;
     // scalar stores nothing observes are reported.
     if (f.locals[s.slot].ty == ir::Ty::Mat) return;
+    // Synthesized lowering glue (e.g. the `q = qout*8 + qin` index
+    // reconstruction a `split` inserts) carries no source range; the user
+    // never wrote the store, so there is nothing actionable to report.
+    if (!s.range.valid()) return;
     if (s.exprs.empty() || exprHasEffects(*s.exprs[0])) return;
     diags.warning(s.range, "value assigned to '" + f.locals[s.slot].name +
                                "' is never used");

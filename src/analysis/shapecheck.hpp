@@ -1,0 +1,56 @@
+// Interprocedural symbolic shape & bounds verification over the lowered
+// IR — the reproduction's SAC/ABCD-style guard-elision pass (ISSUE 3).
+//
+// The pass extends the constprop shape lattice to symbolic dimensions:
+// every int-typed slot carries an affine form over interned atoms
+// (dimSize(value, k), int parameters, loop induction ranges), and every
+// Mat-typed slot carries a value identity plus per-dimension forms. A
+// forward fixpoint over the structured IR propagates these through
+// assignments, with-loop nests, matrixMap and call summaries, then
+// classifies every runtime guard the backends emit:
+//
+//   proven-safe      the guard can never fire — codegen may elide it
+//                    (--bounds-checks=auto), recorded in the GuardPlan;
+//   proven-violating the guard fires whenever it is evaluated — reported
+//                    at compile time against the extension-stamped source
+//                    range (warning under -Wshape, error under
+//                    --strict-shape);
+//   unknown          kept as emitted.
+//
+// Counters are mode-independent: `elided` counts proven-safe sites even
+// when --bounds-checks=on keeps them, so auto-vs-on runs compare cleanly.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/guards.hpp"
+#include "ir/ir.hpp"
+#include "support/diag.hpp"
+
+namespace mmx::analysis {
+
+struct ShapeCheckOptions {
+  bool warnShape = true;    // report proven violations as warnings
+  bool strictShape = false; // ... as errors instead
+};
+
+/// Per-module guard census. A "site" is one guarded IR node (an indexing
+/// expression counts once however many dimensions it checks).
+struct ShapeCheckStats {
+  uint64_t guardsTotal = 0;     // statically enumerated guard sites
+  uint64_t guardsSafe = 0;      // proven redundant (elidable)
+  uint64_t guardsViolating = 0; // proven to fail whenever evaluated
+  uint64_t borrowedParams = 0;  // retain/release pairs proven elidable
+
+  uint64_t guardsKept() const { return guardsTotal - guardsSafe; }
+};
+
+/// Runs the verification over `m`, filling `plan` with the blessed guard
+/// sites and borrowed parameters, and reporting proven violations on
+/// `diags` per `opts`. The returned stats feed the
+/// shapecheck.guards.{elided,kept,violations} counters.
+ShapeCheckStats checkShapes(const ir::Module& m, ir::GuardPlan& plan,
+                            DiagnosticEngine& diags,
+                            const ShapeCheckOptions& opts = {});
+
+} // namespace mmx::analysis

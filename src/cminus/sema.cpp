@@ -186,11 +186,16 @@ VarInfo* Sema::declareVar(const std::string& name, const Type& t,
   info.type = t;
   info.declared = r;
   if (t.k == Type::K::Tuple) {
-    for (size_t i = 0; i < t.elems.size(); ++i)
-      info.slots.push_back(
-          fn_->addLocal(name + "." + std::to_string(i), lowerTy(t.elems[i])));
+    for (size_t i = 0; i < t.elems.size(); ++i) {
+      int32_t slot =
+          fn_->addLocal(name + "." + std::to_string(i), lowerTy(t.elems[i]));
+      stampMatrixMeta(*fn_, slot, t.elems[i]);
+      info.slots.push_back(slot);
+    }
   } else {
-    info.slots.push_back(fn_->addLocal(name, lowerTy(t)));
+    int32_t slot = fn_->addLocal(name, lowerTy(t));
+    stampMatrixMeta(*fn_, slot, t);
+    info.slots.push_back(slot);
   }
   auto [it, ok] = scopes_.back().emplace(name, std::move(info));
   (void)ok;
@@ -221,9 +226,24 @@ ir::StmtPtr Sema::popBlock() {
 }
 
 int32_t Sema::newTemp(const Type& t, const char* hint) {
-  return fn_->addLocal(std::string("%") + hint +
-                           std::to_string(fn_->locals.size()),
-                       lowerTy(t));
+  int32_t slot = fn_->addLocal(std::string("%") + hint +
+                                   std::to_string(fn_->locals.size()),
+                               lowerTy(t));
+  stampMatrixMeta(*fn_, slot, t);
+  return slot;
+}
+
+void Sema::stampMatrixMeta(ir::Function& f, int32_t slot, const Type& t) {
+  // Declared matrix metadata for the analyses: a Mat slot whose static type
+  // is concrete can only ever hold values of that element kind and rank
+  // (MatrixAny-to-Matrix coercions pass through checkMatrixMeta first).
+  if (t.k == Type::K::Matrix) {
+    f.locals[slot].matRank = static_cast<int32_t>(t.rank);
+    f.locals[slot].matElem = static_cast<int32_t>(t.elem);
+  } else if (t.k == Type::K::RefPtr) {
+    f.locals[slot].matRank = 1;
+    f.locals[slot].matElem = static_cast<int32_t>(t.elem);
+  }
 }
 
 ir::Ty Sema::lowerTy(const Type& t) {

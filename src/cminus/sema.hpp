@@ -121,6 +121,8 @@ public:
   ir::StmtPtr popBlock();
   /// Fresh unnamed temporary.
   int32_t newTemp(const Type& t, const char* hint = "t");
+  /// Stamps ir::Local::matRank/matElem from the static type of a slot.
+  static void stampMatrixMeta(ir::Function& f, int32_t slot, const Type& t);
 
   // --- `end` context (innermost matrix index dimension) ------------------
   struct IndexCtx {
@@ -142,6 +144,8 @@ public:
   bool fusionEnabled = true;          // §III-A4 assignment fusion
   bool sliceEliminationEnabled = true; // §III-A4 fold slice elimination
   bool autoParallelEnabled = true;     // §III-C parallel code generation
+  bool warnShape = true;               // -Wshape: warn on proven violations
+  bool strictShape = false;            // proven shape violations are errors
 
   // --- whole-program translation ------------------------------------------
   /// Lowers a parsed translation unit into `out`. Returns false when

@@ -87,6 +87,29 @@ const std::vector<FlagSpec>& flagTable() {
        setOpt(&TranslateOptions::warnParallel, true)},
       {"-Wno-parallel", nullptr, "silence loop-demotion warnings",
        setOpt(&TranslateOptions::warnParallel, false)},
+      {"--bounds-checks", "MODE",
+       "runtime guards: on, off, or auto = elide proven-safe guards "
+       "(default auto)",
+       [](CompilerInvocation& inv, const std::string& v) -> std::string {
+         if (v == "on")
+           inv.opts.boundsChecks = ir::BoundsCheckMode::On;
+         else if (v == "off")
+           inv.opts.boundsChecks = ir::BoundsCheckMode::Off;
+         else if (v == "auto")
+           inv.opts.boundsChecks = ir::BoundsCheckMode::Auto;
+         else
+           return "invalid --bounds-checks value '" + v +
+                  "' (expected on, off, or auto)";
+         return {};
+       }},
+      {"--strict-shape", nullptr,
+       "treat proven shape/bounds violations as errors",
+       setOpt(&TranslateOptions::strictShape, true)},
+      {"-Wshape", nullptr,
+       "warn on proven shape/bounds violations (default)",
+       setOpt(&TranslateOptions::warnShape, true)},
+      {"-Wno-shape", nullptr, "silence proven shape/bounds warnings",
+       setOpt(&TranslateOptions::warnShape, false)},
       {"--time-report", nullptr,
        "print a phase-timing + counter table to stderr",
        set(&CompilerInvocation::timeReport, true)},

@@ -85,13 +85,17 @@ int main(int argc, char** argv) {
   }
   auto res = t.translate(inv.inputPath, buf.str());
   std::cerr << res.renderDiagnostics();
+  if (inv.analyze) {
+    // The report (whatever was produced before translation stopped) still
+    // prints, and the exit code reflects any error-severity diagnostic —
+    // not just outright translation failure — so CI can gate on analysis.
+    std::cout << res.analysisReport;
+    if (!emitMetrics(inv)) return 2;
+    return res.ok && !res.hasErrors() ? 0 : 1;
+  }
   if (!res.ok) {
     emitMetrics(inv);
     return 1;
-  }
-  if (inv.analyze) {
-    std::cout << res.analysisReport;
-    return emitMetrics(inv) ? 0 : 2;
   }
   if (inv.emitIr) {
     std::cout << mmx::ir::dump(*res.module);
@@ -101,7 +105,10 @@ int main(int argc, char** argv) {
     std::string code;
     {
       mmx::metrics::ScopedTimer emitTimer("emit");
-      auto c = mmx::ir::emitC(*res.module);
+      mmx::ir::CEmitOptions eo;
+      eo.boundsChecks = res.boundsChecks;
+      eo.plan = res.guardPlan;
+      auto c = mmx::ir::emitC(*res.module, eo);
       if (!c.ok) {
         for (const auto& e : c.errors)
           std::cerr << "emit error: " << e << "\n";
@@ -116,6 +123,7 @@ int main(int argc, char** argv) {
   try {
     std::unique_ptr<mmx::rt::Executor> exec = inv.makeExecutor();
     mmx::interp::Machine vm(*res.module, *exec);
+    vm.setBoundsChecks(res.boundsChecks, res.guardPlan);
     int code;
     {
       mmx::metrics::ScopedTimer runTimer("run");

@@ -4,6 +4,7 @@
 
 #include "analysis/lint.hpp"
 #include "analysis/parsafe.hpp"
+#include "analysis/shapecheck.hpp"
 #include "cminus/host_grammar.hpp"
 #include "cminus/sema.hpp"
 #include "parse/lalr.hpp"
@@ -76,6 +77,8 @@ bool Translator::compose(TranslateOptions opts) {
   sema_->fusionEnabled = opts.fusion;
   sema_->sliceEliminationEnabled = opts.sliceElimination;
   sema_->autoParallelEnabled = opts.autoParallel;
+  sema_->warnShape = opts.warnShape;
+  sema_->strictShape = opts.strictShape;
   cm::installHostSemantics(*sema_);
   for (const auto& e : extensions_) e->installSemantics(*sema_);
 
@@ -116,6 +119,8 @@ TranslateResult Translator::translate(const std::string& name,
   sema.fusionEnabled = opts_.fusion;
   sema.sliceEliminationEnabled = opts_.sliceElimination;
   sema.autoParallelEnabled = opts_.autoParallel;
+  sema.warnShape = opts_.warnShape;
+  sema.strictShape = opts_.strictShape;
   cm::installHostSemantics(sema);
   for (const auto& e : extensions_) e->installSemantics(sema);
 
@@ -132,6 +137,32 @@ TranslateResult Translator::translate(const std::string& name,
       po.strictParallel = opts_.strictParallel;
       analysis::enforceParallelSafety(*mod, diags, po);
     }
+    {
+      // Symbolic shape & bounds verification over the final IR (after
+      // transforms and demotions): fills the guard plan Auto-mode
+      // backends consult and reports proven violations per -Wshape /
+      // --strict-shape.
+      metrics::ScopedTimer shapeTimer("shapecheck");
+      auto plan = std::make_shared<ir::GuardPlan>();
+      analysis::ShapeCheckOptions so;
+      so.warnShape = opts_.warnShape;
+      so.strictShape = opts_.strictShape;
+      analysis::ShapeCheckStats st =
+          analysis::checkShapes(*mod, *plan, diags, so);
+      res.guardPlan = std::move(plan);
+      static const metrics::Counter elided =
+          metrics::counter("shapecheck.guards.elided");
+      static const metrics::Counter kept =
+          metrics::counter("shapecheck.guards.kept");
+      static const metrics::Counter violations =
+          metrics::counter("shapecheck.guards.violations");
+      static const metrics::Counter pairs =
+          metrics::counter("shapecheck.refcount.elidedPairs");
+      elided.add(st.guardsSafe);
+      kept.add(st.guardsKept());
+      violations.add(st.guardsViolating);
+      pairs.add(st.borrowedParams);
+    }
     if (opts_.analyze) {
       metrics::ScopedTimer analyzeTimer("analyze");
       analysis::ParSafe ps(*mod);
@@ -140,6 +171,7 @@ TranslateResult Translator::translate(const std::string& name,
     }
   }
   res.diagnostics = diags.take();
+  res.boundsChecks = opts_.boundsChecks;
   if (!ok || res.hasErrors()) return res;
   res.ok = true;
   res.module = std::move(mod);

@@ -20,6 +20,7 @@
 #include "attr/engine.hpp"
 #include "ext/extension.hpp"
 #include "grammar/grammar.hpp"
+#include "ir/guards.hpp"
 #include "ir/ir.hpp"
 #include "parse/parser.hpp"
 #include "support/diag.hpp"
@@ -35,6 +36,11 @@ struct TranslateOptions {
   bool warnParallel = true;     // -Wparallel: warn when loops are demoted
   bool strictParallel = false;  // unsafe `parallelize` is an error
   bool analyze = false;         // collect the --analyze report + IR lints
+  /// --bounds-checks mode the backends should honor; Auto consults the
+  /// shapecheck guard plan attached to the TranslateResult.
+  ir::BoundsCheckMode boundsChecks = ir::BoundsCheckMode::Auto;
+  bool warnShape = true;   // -Wshape: warn on proven shape violations
+  bool strictShape = false; // proven shape violations are errors
 };
 
 /// Result of translating one program.
@@ -49,6 +55,12 @@ struct TranslateResult {
   /// translate-before-compose error path.
   std::shared_ptr<SourceManager> sourceManager;
   std::string analysisReport; // parallel-safety report (analyze)
+  /// Shapecheck verdicts: guard sites proven redundant and parameters
+  /// whose retain/release pair codegen may drop. Valid when ok; shared
+  /// with the backends (emitC options, the interpreter Machine).
+  std::shared_ptr<const ir::GuardPlan> guardPlan;
+  /// The mode translation ran under, for backends driven off the result.
+  ir::BoundsCheckMode boundsChecks = ir::BoundsCheckMode::Auto;
 
   bool hasErrors() const;
   /// Derived convenience: the classic "file:line:col: severity: message"

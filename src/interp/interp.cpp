@@ -212,6 +212,14 @@ public:
 private:
   enum class Flow { Normal, Break, Continue, Return };
 
+  /// True when the runtime guard at `site` (the IR node's address, the
+  /// key the shapecheck pass recorded) should be skipped this run.
+  bool skipGuard(const void* site) const {
+    if (m_.boundsChecks_ == ir::BoundsCheckMode::On) return false;
+    if (m_.boundsChecks_ == ir::BoundsCheckMode::Off) return true;
+    return m_.guardPlan_ && m_.guardPlan_->blessed(site);
+  }
+
   // ---- statements -----------------------------------------------------
   Flow exec(const Stmt& s) {
     ++stmts_;
@@ -229,7 +237,7 @@ private:
       case Stmt::K::StoreFlat: {
         const Matrix& mtx = asM(locals_[s.slot]);
         int64_t idx = asI(eval(*s.exprs[0]));
-        if (idx < 0 || idx >= mtx.size())
+        if (!skipGuard(&s) && (idx < 0 || idx >= mtx.size()))
           fail("flat index " + std::to_string(idx) + " out of bounds for " +
                mtx.shapeString());
         Value v = eval(*s.exprs[1]);
@@ -596,7 +604,7 @@ private:
         Value hold;
         const Matrix& m = matOperand(*e.args[0], hold);
         int32_t d = asI(eval(*e.args[1]));
-        if (d < 0 || static_cast<uint32_t>(d) >= m.rank())
+        if (!skipGuard(&e) && (d < 0 || static_cast<uint32_t>(d) >= m.rank()))
           fail("dimSize: dimension " + std::to_string(d) + " out of range for " +
                m.shapeString());
         return static_cast<int32_t>(m.dim(static_cast<uint32_t>(d)));
@@ -605,7 +613,7 @@ private:
         Value hold;
         const Matrix& m = matOperand(*e.args[0], hold);
         int64_t idx = asI(eval(*e.args[1]));
-        if (idx < 0 || idx >= m.size())
+        if (!skipGuard(&e) && (idx < 0 || idx >= m.size()))
           fail("flat index " + std::to_string(idx) + " out of bounds for " +
                m.shapeString());
         return loadElem(m, idx);
@@ -728,8 +736,9 @@ private:
 
   // ---- MATLAB indexing (§III-A3) ---------------------------------------
   std::vector<Selector> resolveSelectors(const Matrix& m,
-                                         const std::vector<ir::IndexDim>& dims) {
-    if (dims.size() != m.rank())
+                                         const std::vector<ir::IndexDim>& dims,
+                                         bool skipChecks = false) {
+    if (!skipChecks && dims.size() != m.rank())
       fail("indexing a " + m.shapeString() + " matrix with " +
            std::to_string(dims.size()) + " selectors");
     std::vector<Selector> sel(dims.size());
@@ -738,7 +747,7 @@ private:
       switch (dims[d].kind) {
         case ir::IndexDim::Kind::Scalar: {
           int64_t i = asI(eval(*dims[d].a));
-          if (i < 0 || i >= n)
+          if (!skipChecks && (i < 0 || i >= n))
             fail("index " + std::to_string(i) + " out of bounds for dim " +
                  std::to_string(d) + " of " + m.shapeString());
           sel[d].idxs = {i};
@@ -748,7 +757,7 @@ private:
         case ir::IndexDim::Kind::Range: {
           int64_t a = asI(eval(*dims[d].a));
           int64_t b = asI(eval(*dims[d].b)); // inclusive, per the paper
-          if (a < 0 || b >= n || a > b + 1)
+          if (!skipChecks && (a < 0 || b >= n || a > b + 1))
             fail("range " + std::to_string(a) + ":" + std::to_string(b) +
                  " out of bounds for dim " + std::to_string(d) + " of " +
                  m.shapeString());
@@ -760,8 +769,8 @@ private:
           break;
         case ir::IndexDim::Kind::Mask: {
           Matrix mask = asM(eval(*dims[d].a));
-          if (mask.elem() != rt::Elem::Bool || mask.rank() != 1 ||
-              mask.dim(0) != n)
+          if (!skipChecks && (mask.elem() != rt::Elem::Bool ||
+                              mask.rank() != 1 || mask.dim(0) != n))
             fail("logical index for dim " + std::to_string(d) +
                  " must be a bool vector of length " + std::to_string(n));
           for (int64_t i = 0; i < n; ++i)
@@ -799,7 +808,7 @@ private:
 
   Value evalIndex(const Expr& e) {
     Matrix m = asM(eval(*e.args[0]));
-    auto sel = resolveSelectors(m, e.dims);
+    auto sel = resolveSelectors(m, e.dims, skipGuard(&e));
 
     std::vector<int64_t> outDims;
     for (const auto& s : sel)
@@ -826,7 +835,8 @@ private:
 
   void execIndexStore(const Stmt& s) {
     Matrix m = asM(locals_[s.slot]);
-    auto sel = resolveSelectors(m, s.dims);
+    bool blessed = skipGuard(&s);
+    auto sel = resolveSelectors(m, s.dims, blessed);
     Value v = eval(*s.exprs[0]);
 
     int64_t count = 1;
@@ -838,11 +848,11 @@ private:
       return;
     }
     const Matrix& src = asM(v);
-    if (src.size() != count)
+    if (!blessed && src.size() != count)
       fail("indexed assignment: selected " + std::to_string(count) +
            " cells but the value has " + std::to_string(src.size()) +
            " elements");
-    if (src.elem() != m.elem())
+    if (!blessed && src.elem() != m.elem())
       fail("indexed assignment: element kind mismatch");
     size_t esz = rt::elemSize(m.elem());
     const char* sp = src.data<char>();
@@ -889,7 +899,7 @@ private:
     if (c == "checkGenBounds") {
       int32_t hi = asI(arg(0));
       int32_t dim = asI(arg(1));
-      if (hi > dim)
+      if (!skipGuard(&e) && hi > dim)
         fail("genarray: generator upper bound " + std::to_string(hi) +
              " exceeds result dimension " + std::to_string(dim) +
              " (the shape must be a superset of the generator)");
@@ -899,7 +909,7 @@ private:
       Matrix m = asM(arg(0));
       auto wantElem = static_cast<rt::Elem>(asI(arg(1)));
       auto wantRank = static_cast<uint32_t>(asI(arg(2)));
-      if (m.elem() != wantElem || m.rank() != wantRank)
+      if (!skipGuard(&e) && (m.elem() != wantElem || m.rank() != wantRank))
         fail("matrix metadata mismatch: value is " + m.shapeString() +
              " but the declared type expects " +
              std::string(rt::elemName(wantElem)) + " rank " +

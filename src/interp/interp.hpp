@@ -5,10 +5,12 @@
 // paper experiment runnable with no external compiler in the loop.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "ir/guards.hpp"
 #include "ir/ir.hpp"
 #include "runtime/matrix.hpp"
 #include "runtime/pool.hpp"
@@ -48,6 +50,15 @@ public:
   /// Use SIMD kernels for whole-matrix operations (default true).
   void setSimdKernels(bool on) { simdKernels_ = on; }
 
+  /// Bounds-check policy (ISSUE 3). `On` (default) keeps every runtime
+  /// guard; `Off` drops them all; `Auto` consults the shapecheck guard
+  /// plan and skips only the sites the analysis proved can never fire.
+  void setBoundsChecks(ir::BoundsCheckMode mode,
+                       std::shared_ptr<const ir::GuardPlan> plan = nullptr) {
+    boundsChecks_ = mode;
+    guardPlan_ = std::move(plan);
+  }
+
   rt::Executor& executor() { return exec_; }
 
 private:
@@ -56,6 +67,8 @@ private:
   rt::Executor& exec_;
   std::string out_;
   bool simdKernels_ = true;
+  ir::BoundsCheckMode boundsChecks_ = ir::BoundsCheckMode::On;
+  std::shared_ptr<const ir::GuardPlan> guardPlan_;
 };
 
 } // namespace mmx::interp

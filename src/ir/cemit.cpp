@@ -43,6 +43,173 @@ static int mmx_num_threads(void) {
 }
 )APP";
 
+// Unchecked helper variants, appended only under --bounds-checks=off/auto
+// so the default (=on) output stays byte-identical to the historical
+// emitter. Each mirrors its prelude counterpart minus the mmx_fail guard;
+// codegen routes a call here only when the guard is structurally absent
+// (off) or the shapecheck pass proved it redundant (auto).
+const char* kNcAppendix = R"NCAPP(
+/* ---- unchecked variants (--bounds-checks=off / proven-safe sites) ----- */
+static mmx_mat* mmx_alloc_nc(int elem, int rank, const long long* dims) {
+  long long n = 1;
+  for (int d = 0; d < rank; ++d) n *= dims[d];
+  mmx_mat* m = (mmx_mat*)calloc(1, sizeof(mmx_mat) + (size_t)n * mmx_esize(elem));
+  if (!m) mmx_fail("out of memory");
+  m->refcount = 1;
+  m->elem = elem;
+  m->rank = rank;
+  for (int d = 0; d < rank; ++d) m->dims[d] = dims[d];
+  return m;
+}
+
+static mmx_mat* mmx_allocv_nc(int elem, int rank, ...) {
+  long long dims[8];
+  va_list ap;
+  va_start(ap, rank);
+  for (int d = 0; d < rank; ++d) dims[d] = va_arg(ap, long long);
+  va_end(ap);
+  return mmx_alloc_nc(elem, rank, dims);
+}
+
+static mmx_mat* mmx_checked_nc(mmx_mat* m, int elem, int rank) {
+  (void)elem;
+  (void)rank;
+  mmx_retain(m);
+  return m;
+}
+
+static mmx_mat* mmx_ew_nc(int op, mmx_mat* a, mmx_mat* b) {
+  mmx_mat* r = mmx_alloc_nc(a->elem, a->rank, a->dims);
+  long long n = mmx_count(a);
+  if (a->elem == 1)
+    for (long long k = 0; k < n; ++k)
+      mmx_f(r)[k] = mmx_opf(op, mmx_f(a)[k], mmx_f(b)[k]);
+  else
+    for (long long k = 0; k < n; ++k)
+      mmx_i(r)[k] = mmx_opi(op, mmx_i(a)[k], mmx_i(b)[k]);
+  return r;
+}
+
+static mmx_mat* mmx_cmp_nc(int op, mmx_mat* a, mmx_mat* b) {
+  mmx_mat* r = mmx_alloc_nc(2, a->rank, a->dims);
+  long long n = mmx_count(a);
+  if (a->elem == 1)
+    for (long long k = 0; k < n; ++k)
+      mmx_b(r)[k] = (unsigned char)mmx_cmpf(op, mmx_f(a)[k], mmx_f(b)[k]);
+  else
+    for (long long k = 0; k < n; ++k)
+      mmx_b(r)[k] = (unsigned char)mmx_cmpi(op, mmx_i(a)[k], mmx_i(b)[k]);
+  return r;
+}
+
+static mmx_mat* mmx_matmul_nc(mmx_mat* a, mmx_mat* b) {
+  long long m = a->dims[0], kk = a->dims[1], n = b->dims[1];
+  long long dims[2] = {m, n};
+  mmx_mat* r = mmx_alloc_nc(a->elem, 2, dims);
+  if (a->elem == 1) {
+    for (long long i = 0; i < m; ++i)
+      for (long long k = 0; k < kk; ++k) {
+        float av = mmx_f(a)[i * kk + k];
+        for (long long j = 0; j < n; ++j)
+          mmx_f(r)[i * n + j] += av * mmx_f(b)[k * n + j];
+      }
+  } else {
+    for (long long i = 0; i < m; ++i)
+      for (long long k = 0; k < kk; ++k) {
+        int av = mmx_i(a)[i * kk + k];
+        for (long long j = 0; j < n; ++j)
+          mmx_i(r)[i * n + j] += av * mmx_i(b)[k * n + j];
+      }
+  }
+  return r;
+}
+
+static void mmx_resolve_sels_nc(mmx_mat* m, const mmx_sel* sels,
+                                mmx_rsel* rs) {
+  for (int d = 0; d < m->rank; ++d) {
+    long long n = m->dims[d];
+    const mmx_sel* s = &sels[d];
+    rs[d].keep = s->kind != 0;
+    switch (s->kind) {
+      case 0:
+        rs[d].idx = (long long*)malloc(sizeof(long long));
+        rs[d].idx[0] = s->a;
+        rs[d].count = 1;
+        break;
+      case 1: {
+        rs[d].count = s->b - s->a + 1;
+        rs[d].idx = (long long*)malloc(sizeof(long long) * (size_t)(rs[d].count > 0 ? rs[d].count : 1));
+        for (long long k = 0; k < rs[d].count; ++k) rs[d].idx[k] = s->a + k;
+        break;
+      }
+      case 2:
+        rs[d].count = n;
+        rs[d].idx = (long long*)malloc(sizeof(long long) * (size_t)(n > 0 ? n : 1));
+        for (long long k = 0; k < n; ++k) rs[d].idx[k] = k;
+        break;
+      default: {
+        mmx_mat* mk = s->mask;
+        rs[d].count = 0;
+        rs[d].idx = (long long*)malloc(sizeof(long long) * (size_t)(n > 0 ? n : 1));
+        for (long long k = 0; k < n; ++k)
+          if (mmx_b(mk)[k]) rs[d].idx[rs[d].count++] = k;
+        break;
+      }
+    }
+  }
+}
+
+static mmx_mat* mmx_index_nc(mmx_mat* m, const mmx_sel* sels) {
+  mmx_rsel rs[8];
+  mmx_resolve_sels_nc(m, sels, rs);
+  long long dims[8];
+  int outRank = 0;
+  for (int d = 0; d < m->rank; ++d)
+    if (rs[d].keep) dims[outRank++] = rs[d].count;
+  if (outRank == 0) {
+    long long one = 1;
+    dims[0] = one;
+    outRank = 1;
+  }
+  mmx_mat* r = mmx_alloc_nc(m->elem, outRank, dims);
+  struct mmx_copy_ctx ctx = {m, mmx_data(r), mmx_esize(m->elem)};
+  mmx_foreach(m, rs, mmx_copy_cell, &ctx);
+  mmx_free_sels(m, rs);
+  return r;
+}
+
+static void mmx_index_store_nc(mmx_mat* m, const mmx_sel* sels, mmx_mat* v) {
+  mmx_rsel rs[8];
+  mmx_resolve_sels_nc(m, sels, rs);
+  struct mmx_store_ctx ctx = {m, v, mmx_esize(m->elem)};
+  mmx_foreach(m, rs, mmx_store_cell, &ctx);
+  mmx_free_sels(m, rs);
+}
+
+static void mmx_index_store_f_nc(mmx_mat* m, const mmx_sel* sels, float v) {
+  mmx_rsel rs[8];
+  mmx_resolve_sels_nc(m, sels, rs);
+  struct mmx_bcast_ctx ctx = {m, v, 0, 0};
+  mmx_foreach(m, rs, mmx_bcast_f, &ctx);
+  mmx_free_sels(m, rs);
+}
+static void mmx_index_store_i_nc(mmx_mat* m, const mmx_sel* sels, int v) {
+  mmx_rsel rs[8];
+  mmx_resolve_sels_nc(m, sels, rs);
+  struct mmx_bcast_ctx ctx = {m, 0, v, 0};
+  mmx_foreach(m, rs, mmx_bcast_i, &ctx);
+  mmx_free_sels(m, rs);
+}
+static void mmx_index_store_b_nc(mmx_mat* m, const mmx_sel* sels,
+                                 unsigned char v) {
+  mmx_rsel rs[8];
+  mmx_resolve_sels_nc(m, sels, rs);
+  struct mmx_bcast_ctx ctx = {m, 0, 0, v};
+  mmx_foreach(m, rs, mmx_bcast_b, &ctx);
+  mmx_free_sels(m, rs);
+}
+)NCAPP";
+
 int ewOpCode(ArithOp op) {
   switch (op) {
     case ArithOp::Add: return 0;
@@ -109,8 +276,10 @@ std::string floatLit(float f) {
 /// Emits one function.
 class FnEmitter {
 public:
-  FnEmitter(const Function& f, std::vector<std::string>& errors)
-      : f_(f), errors_(errors) {
+  FnEmitter(const Function& f, std::vector<std::string>& errors,
+            BoundsCheckMode mode = BoundsCheckMode::On,
+            const GuardPlan* plan = nullptr)
+      : f_(f), errors_(errors), mode_(mode), plan_(plan) {
     names_.reserve(f.locals.size());
     for (size_t i = 0; i < f.locals.size(); ++i) {
       std::string n;
@@ -147,6 +316,14 @@ public:
   }
 
   std::string run() {
+    // Borrowed parameters (shapecheck-proven never reassigned): their
+    // per-call retain/release pair is elided whenever guard elision is
+    // active — the caller's reference outlives the call.
+    std::set<int32_t> borrowed;
+    if (mode_ != BoundsCheckMode::On && plan_) {
+      auto it = plan_->borrowedParams.find(&f_);
+      if (it != plan_->borrowedParams.end()) borrowed = it->second;
+    }
     body_ << signature(f_, &names_) << " {\n";
     // Local declarations.
     for (size_t i = f_.numParams; i < f_.locals.size(); ++i) {
@@ -161,7 +338,7 @@ public:
             << (f_.rets[0] == Ty::Mat ? " = NULL" : " = 0") << ";\n";
     // Own the matrix parameters for the function's duration.
     for (size_t i = 0; i < f_.numParams; ++i)
-      if (f_.locals[i].ty == Ty::Mat)
+      if (f_.locals[i].ty == Ty::Mat && !borrowed.count((int32_t)i))
         body_ << "  mmx_retain(" << names_[i] << ");\n";
 
     indent_ = 1;
@@ -170,7 +347,8 @@ public:
     line() << "goto mmx_cleanup;\n";
     body_ << "mmx_cleanup:;\n";
     for (size_t i = 0; i < f_.locals.size(); ++i)
-      if (f_.locals[i].ty == Ty::Mat)
+      if (f_.locals[i].ty == Ty::Mat &&
+          !(i < f_.numParams && borrowed.count((int32_t)i)))
         body_ << "  mmx_release(" << names_[i] << ");\n";
     if (f_.rets.size() == 1) body_ << "  return __ret;\n";
     body_ << "}\n";
@@ -184,6 +362,14 @@ private:
   }
 
   void err(const std::string& m) { errors_.push_back(f_.name + ": " + m); }
+
+  /// True when the guard at `site` (the IR node's address, the key the
+  /// shapecheck pass used) should be dropped from the emitted code.
+  bool skip(const void* site) const {
+    if (mode_ == BoundsCheckMode::On) return false;
+    if (mode_ == BoundsCheckMode::Off) return true;
+    return plan_ && plan_->blessed(site);
+  }
 
   // --- scalar/matrix expression emission ---------------------------------
   std::string expr(const Expr& e) {
@@ -209,6 +395,9 @@ private:
                expr(*e.args[0]) + "))";
       case Expr::K::Call: return call(e);
       case Expr::K::DimSize:
+        if (skip(&e))
+          return "((int)" + matVal(*e.args[0]) + "->dims[" +
+                 expr(*e.args[1]) + "])";
         return "((int)mmx_dim(" + matVal(*e.args[0]) + ", " +
                expr(*e.args[1]) + "))";
       case Expr::K::LoadFlat: {
@@ -216,6 +405,8 @@ private:
         std::string acc = e.ty == Ty::F32 ? "mmx_f" : e.ty == Ty::Bool
                                                           ? "mmx_b"
                                                           : "mmx_i";
+        if (skip(&e))
+          return acc + "(" + m + ")[" + expr(*e.args[1]) + "]";
         return acc + "(" + m + ")[mmx_flat(" + m + ", " + expr(*e.args[1]) +
                ")]";
       }
@@ -265,10 +456,13 @@ private:
     bool aM = e.args[0]->ty == Ty::Mat, bM = e.args[1]->ty == Ty::Mat;
     if (e.ty == Ty::Mat) {
       if (aM && bM) {
+        const char* sfx = skip(&e) ? "_nc" : "";
         if (e.aop == ArithOp::Mul)
-          return matTemp("mmx_matmul(" + matVal(*e.args[0]) + ", " +
-                         matVal(*e.args[1]) + ")");
-        return matTemp("mmx_ew(" + std::to_string(ewOpCode(e.aop)) + ", " +
+          return matTemp("mmx_matmul" + std::string(sfx) + "(" +
+                         matVal(*e.args[0]) + ", " + matVal(*e.args[1]) +
+                         ")");
+        return matTemp("mmx_ew" + std::string(sfx) + "(" +
+                       std::to_string(ewOpCode(e.aop)) + ", " +
                        matVal(*e.args[0]) + ", " + matVal(*e.args[1]) + ")");
       }
       const Expr& m = aM ? *e.args[0] : *e.args[1];
@@ -303,7 +497,8 @@ private:
     bool aM = e.args[0]->ty == Ty::Mat, bM = e.args[1]->ty == Ty::Mat;
     if (e.ty == Ty::Mat) {
       if (aM && bM)
-        return matTemp("mmx_cmp(" + std::to_string(cmpOpCode(e.cop)) + ", " +
+        return matTemp("mmx_cmp" + std::string(skip(&e) ? "_nc" : "") + "(" +
+                       std::to_string(cmpOpCode(e.cop)) + ", " +
                        matVal(*e.args[0]) + ", " + matVal(*e.args[1]) + ")");
       const Expr& m = aM ? *e.args[0] : *e.args[1];
       const Expr& sc = aM ? *e.args[1] : *e.args[0];
@@ -320,8 +515,8 @@ private:
     const std::string& c = e.s;
     auto arg = [&](size_t i) { return expr(*e.args[i]); };
     if (c == "initMatrix") {
-      std::string s = "mmx_allocv(" + arg(0) + ", " +
-                      std::to_string(e.args.size() - 1);
+      std::string s = std::string(skip(&e) ? "mmx_allocv_nc(" : "mmx_allocv(") +
+                      arg(0) + ", " + std::to_string(e.args.size() - 1);
       for (size_t i = 1; i < e.args.size(); ++i)
         s += ", (long long)(" + arg(i) + ")";
       s += ")";
@@ -331,14 +526,17 @@ private:
     if (c == "writeMatrix")
       return "mmx_write(" + arg(0) + ", " + matVal(*e.args[1]) + ")";
     if (c == "checkMatrixMeta")
-      return matTemp("mmx_checked(" + matVal(*e.args[0]) + ", " + arg(1) +
-                     ", " + arg(2) + ")");
+      return matTemp(std::string(skip(&e) ? "mmx_checked_nc(" : "mmx_checked(") +
+                     matVal(*e.args[0]) + ", " + arg(1) + ", " + arg(2) + ")");
     if (c == "cloneMatrix")
       return matTemp("mmx_clone(" + matVal(*e.args[0]) + ")");
     if (c == "matToFloat")
       return matTemp("mmx_to_float(" + matVal(*e.args[0]) + ")");
-    if (c == "checkGenBounds")
+    if (c == "checkGenBounds") {
+      if (skip(&e)) // keep the operand evaluation, drop the comparison
+        return "((void)(" + arg(0) + "), (void)(" + arg(1) + "))";
       return "mmx_check_gen_bounds(" + arg(0) + ", " + arg(1) + ")";
+    }
     if (c == "printInt") return "printf(\"%d\\n\", " + arg(0) + ")";
     if (c == "printFloat") return "printf(\"%g\\n\", (double)" + arg(0) + ")";
     if (c == "printBool")
@@ -369,7 +567,8 @@ private:
     line() << "{ mmx_sel __s[" << e.dims.size() << "];\n";
     ++indent_;
     emitSelectors(e.dims, m);
-    line() << "mmx_set_owned(&" << t << ", mmx_index(" << m << ", __s));\n";
+    line() << "mmx_set_owned(&" << t << ", mmx_index"
+           << (skip(&e) ? "_nc" : "") << "(" << m << ", __s));\n";
     --indent_;
     line() << "}\n";
     return t;
@@ -437,8 +636,11 @@ private:
                                                         : "mmx_i";
         std::string idx = expr(*s.exprs[0]);
         std::string val = expr(*s.exprs[1]);
-        line() << acc << "(" << m << ")[mmx_flat(" << m << ", " << idx
-               << ")] = " << val << ";\n";
+        if (skip(&s))
+          line() << acc << "(" << m << ")[" << idx << "] = " << val << ";\n";
+        else
+          line() << acc << "(" << m << ")[mmx_flat(" << m << ", " << idx
+                 << ")] = " << val << ";\n";
         return;
       }
       case Stmt::K::IndexStore: {
@@ -447,14 +649,15 @@ private:
         ++indent_;
         emitSelectors(s.dims, m);
         const Expr& v = *s.exprs[0];
+        const char* sfx = skip(&s) ? "_nc" : "";
         if (v.ty == Ty::Mat) {
-          line() << "mmx_index_store(" << m << ", __s, " << matVal(v)
-                 << ");\n";
+          line() << "mmx_index_store" << sfx << "(" << m << ", __s, "
+                 << matVal(v) << ");\n";
         } else {
           std::string fn = v.ty == Ty::F32 ? "mmx_index_store_f"
                            : v.ty == Ty::Bool ? "mmx_index_store_b"
                                               : "mmx_index_store_i";
-          line() << fn << "(" << m << ", __s, " << expr(v) << ");\n";
+          line() << fn << sfx << "(" << m << ", __s, " << expr(v) << ");\n";
         }
         --indent_;
         line() << "}\n";
@@ -838,6 +1041,8 @@ public:
 private:
   const Function& f_;
   std::vector<std::string>& errors_;
+  BoundsCheckMode mode_ = BoundsCheckMode::On;
+  const GuardPlan* plan_ = nullptr;
   std::ostringstream body_;
   std::vector<std::string> names_;
   std::vector<std::string> extra_;
@@ -849,16 +1054,20 @@ private:
 
 } // namespace
 
-CEmitResult emitC(const Module& m) {
+CEmitResult emitC(const Module& m) { return emitC(m, CEmitOptions{}); }
+
+CEmitResult emitC(const Module& m, const CEmitOptions& opts) {
   CEmitResult res;
   std::ostringstream out;
-  out << kPrelude << kAppendix << "\n/* ---- forward declarations ---- */\n";
+  out << kPrelude << kAppendix;
+  if (opts.boundsChecks != BoundsCheckMode::On) out << kNcAppendix;
+  out << "\n/* ---- forward declarations ---- */\n";
   for (const auto& f : m.functions)
     out << FnEmitter::signature(*f, nullptr) << ";\n";
   out << "\n";
 
   for (const auto& f : m.functions) {
-    FnEmitter fe(*f, res.errors);
+    FnEmitter fe(*f, res.errors, opts.boundsChecks, opts.plan.get());
     std::string body = fe.run();
     // Splice the extra temp declarations after the opening brace, and
     // their releases before the cleanup label's releases.

@@ -12,9 +12,11 @@
 // emitting a program that uses them is reported as an error.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ir/guards.hpp"
 #include "ir/ir.hpp"
 
 namespace mmx::ir {
@@ -25,8 +27,20 @@ struct CEmitResult {
   std::vector<std::string> errors;  // unsupported constructs
 };
 
+/// Bounds-check emission policy (ISSUE 3). `On` emits every runtime guard
+/// (the historical output, byte-for-byte). `Off` lowers every guarded
+/// operation to its unchecked form. `Auto` consults the shapecheck
+/// GuardPlan: sites the analysis proved safe use the unchecked form,
+/// everything else keeps its guard. Under Auto the plan's borrowed
+/// parameters also drop their per-call retain/release pair.
+struct CEmitOptions {
+  BoundsCheckMode boundsChecks = BoundsCheckMode::On;
+  std::shared_ptr<const GuardPlan> plan; // consulted when Auto
+};
+
 /// Emits the module as a C99 translation unit. Compile with:
 ///   cc -O2 -msse4.2 -fopenmp out.c -o prog
 CEmitResult emitC(const Module& m);
+CEmitResult emitC(const Module& m, const CEmitOptions& opts);
 
 } // namespace mmx::ir

@@ -1,0 +1,37 @@
+// Shared vocabulary between the shapecheck analysis (src/analysis) and the
+// backends (C emitter, interpreter): which runtime guards may be dropped.
+//
+// The analysis produces a GuardPlan; the backends consume it under a
+// BoundsCheckMode. The plan is keyed by the *address* of the guarded IR
+// node (an Expr for DimSize/LoadFlat/Index/checkMatrixMeta/Mat arithmetic,
+// a Stmt for StoreFlat/IndexStore/checkGenBounds call statements) — node
+// addresses are unique within a module and stable once lowering is done.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace mmx::ir {
+
+struct Function;
+
+/// --bounds-checks: On emits every guard (the pre-analysis output), Off
+/// drops all of them unconditionally (trusted input), Auto drops exactly
+/// the guards the shapecheck pass proved redundant.
+enum class BoundsCheckMode : uint8_t { On, Off, Auto };
+
+/// Result of the shapecheck verification pass.
+struct GuardPlan {
+  /// IR nodes (Expr* or Stmt*) whose runtime guard is proven redundant.
+  std::unordered_set<const void*> safe;
+  /// Per function: Mat-typed parameter slots the body provably never
+  /// writes through, so the entry retain / cleanup release pair can go
+  /// (the caller's reference keeps the value alive for the whole call).
+  std::map<const Function*, std::set<int32_t>> borrowedParams;
+
+  bool blessed(const void* node) const { return safe.count(node) != 0; }
+};
+
+} // namespace mmx::ir

@@ -154,6 +154,11 @@ StmtPtr cloneStmt(const Stmt& s);
 struct Local {
   std::string name;
   Ty ty = Ty::Void;
+  /// Declared matrix metadata for Mat-typed slots, stamped from the static
+  /// type during lowering; -1 = unknown (MatrixAny) or not a matrix.
+  /// matElem uses the rt::Elem encoding (0 = int, 1 = float, 2 = bool).
+  int32_t matRank = -1;
+  int32_t matElem = -1;
 };
 
 /// A lowered function. Multiple return types model tuple returns.

@@ -193,6 +193,107 @@ TEST(Indexing, RankMismatchReported) {
   EXPECT_THROW(runIndex(std::move(dims), m34()), RuntimeError);
 }
 
+// ---- range bounds (the `lo:hi` / `lo:end` selector path) ----------------
+
+TEST(Indexing, RangeUpperBoundPastDimReported) {
+  // data[0, 1:4] on a 4-wide dim: `end` is 3, so 4 is one past it.
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(0));
+  dims.push_back(rangeD(1, 4));
+  EXPECT_THROW(runIndex(std::move(dims), m34()), RuntimeError);
+}
+
+TEST(Indexing, RangeNegativeLowerBoundReported) {
+  std::vector<IndexDim> dims;
+  dims.push_back(rangeD(-1, 1));
+  dims.push_back(allD());
+  EXPECT_THROW(runIndex(std::move(dims), m34()), RuntimeError);
+}
+
+TEST(Indexing, RangeReversedBoundsReported) {
+  // lo may exceed hi by at most one (the empty range); 3:0 is an error.
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(0));
+  dims.push_back(rangeD(3, 0));
+  EXPECT_THROW(runIndex(std::move(dims), m34()), RuntimeError);
+}
+
+TEST(Indexing, EmptyRangeIsAllowed) {
+  // lo == hi+1 selects zero elements — legal, mirrors `1:0` slices.
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(0));
+  dims.push_back(rangeD(1, 0));
+  Matrix r = std::get<Matrix>(runIndex(std::move(dims), m34()));
+  EXPECT_EQ(r.rank(), 1u);
+  EXPECT_EQ(r.dim(0), 0);
+}
+
+TEST(Indexing, RangeUpToEndSelectsTail) {
+  // data[1, 1:end] where `end` has been lowered to dimSize-1 = 3.
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(1));
+  dims.push_back(rangeD(1, 3));
+  Matrix r = std::get<Matrix>(runIndex(std::move(dims), m34()));
+  EXPECT_TRUE(r.equals(Matrix::fromF32({3}, {11, 12, 13})));
+}
+
+// ---- logical-mask bounds -------------------------------------------------
+
+TEST(Indexing, MaskLengthMismatchReported) {
+  // A 4-long mask over a 3-row dimension must be rejected.
+  Module m;
+  Function* f = m.add("idx");
+  f->numParams = 2;
+  f->rets = {Ty::Mat};
+  f->addLocal("m", Ty::Mat);
+  f->addLocal("mask", Ty::Mat);
+  auto e = std::make_unique<Expr>();
+  e->k = Expr::K::Index;
+  e->ty = Ty::Mat;
+  e->args.push_back(var(0, Ty::Mat));
+  IndexDim d0;
+  d0.kind = IndexDim::Kind::Mask;
+  d0.a = var(1, Ty::Mat);
+  e->dims.push_back(std::move(d0));
+  e->dims.push_back(allD());
+  std::vector<ExprPtr> rv;
+  rv.push_back(std::move(e));
+  std::vector<StmtPtr> body;
+  body.push_back(ret(std::move(rv)));
+  f->body = block(std::move(body));
+  rt::SerialExecutor ex;
+  Machine vm(m, ex);
+  Matrix mask = Matrix::fromBool({4}, {1, 0, 1, 0});
+  EXPECT_THROW(vm.call("idx", {m34(), mask}), RuntimeError);
+}
+
+TEST(Indexing, NonBoolMaskReported) {
+  Module m;
+  Function* f = m.add("idx");
+  f->numParams = 2;
+  f->rets = {Ty::Mat};
+  f->addLocal("m", Ty::Mat);
+  f->addLocal("mask", Ty::Mat);
+  auto e = std::make_unique<Expr>();
+  e->k = Expr::K::Index;
+  e->ty = Ty::Mat;
+  e->args.push_back(var(0, Ty::Mat));
+  IndexDim d0;
+  d0.kind = IndexDim::Kind::Mask;
+  d0.a = var(1, Ty::Mat);
+  e->dims.push_back(std::move(d0));
+  e->dims.push_back(allD());
+  std::vector<ExprPtr> rv;
+  rv.push_back(std::move(e));
+  std::vector<StmtPtr> body;
+  body.push_back(ret(std::move(rv)));
+  f->body = block(std::move(body));
+  rt::SerialExecutor ex;
+  Machine vm(m, ex);
+  Matrix mask = Matrix::fromI32({3}, {1, 0, 1});
+  EXPECT_THROW(vm.call("idx", {m34(), mask}), RuntimeError);
+}
+
 // ---- indexed assignment (LHS) -------------------------------------------
 
 /// Builds "upd(m, v)" performing m[dims] = v and returning m.
@@ -268,6 +369,78 @@ TEST(IndexStore, ElementKindMismatchReported) {
   dims.push_back(rangeD(1, 3));
   Matrix v = Matrix::fromI32({3}, {7, 8, 9});
   EXPECT_THROW(runIndexStore(std::move(dims), m34(), v), RuntimeError);
+}
+
+TEST(IndexStore, RangePastEndReported) {
+  // m[1, 2:4] = v: the range runs one past `end` (3) — rejected before
+  // any element is written.
+  std::vector<IndexDim> dims;
+  dims.push_back(scalarD(1));
+  dims.push_back(rangeD(2, 4));
+  Matrix v = Matrix::fromF32({3}, {7, 8, 9});
+  EXPECT_THROW(runIndexStore(std::move(dims), m34(), v), RuntimeError);
+}
+
+TEST(IndexStore, MaskBroadcastAssignsSelectedRows) {
+  // m[mask, :] = 0 zeroes rows 0 and 2 only.
+  Module m;
+  Function* f = m.add("upd");
+  f->numParams = 2;
+  f->rets = {Ty::Mat};
+  f->addLocal("m", Ty::Mat);
+  f->addLocal("mask", Ty::Mat);
+  auto st = std::make_unique<Stmt>();
+  st->k = Stmt::K::IndexStore;
+  st->slot = 0;
+  IndexDim d0;
+  d0.kind = IndexDim::Kind::Mask;
+  d0.a = var(1, Ty::Mat);
+  st->dims.push_back(std::move(d0));
+  st->dims.push_back(allD());
+  st->exprs.push_back(constF(0.f));
+  std::vector<StmtPtr> body;
+  body.push_back(std::move(st));
+  std::vector<ExprPtr> rv;
+  rv.push_back(var(0, Ty::Mat));
+  body.push_back(ret(std::move(rv)));
+  f->body = block(std::move(body));
+  rt::SerialExecutor ex;
+  Machine vm(m, ex);
+  Matrix mask = Matrix::fromBool({3}, {1, 0, 1});
+  Matrix r = std::get<Matrix>(vm.call("upd", {m34().clone(), mask})[0]);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(r.f32()[j], 0.f);
+    EXPECT_FLOAT_EQ(r.f32()[4 + j], static_cast<float>(10 + j));
+    EXPECT_FLOAT_EQ(r.f32()[8 + j], 0.f);
+  }
+}
+
+TEST(IndexStore, MaskLengthMismatchReported) {
+  Module m;
+  Function* f = m.add("upd");
+  f->numParams = 2;
+  f->rets = {Ty::Mat};
+  f->addLocal("m", Ty::Mat);
+  f->addLocal("mask", Ty::Mat);
+  auto st = std::make_unique<Stmt>();
+  st->k = Stmt::K::IndexStore;
+  st->slot = 0;
+  IndexDim d0;
+  d0.kind = IndexDim::Kind::Mask;
+  d0.a = var(1, Ty::Mat);
+  st->dims.push_back(std::move(d0));
+  st->dims.push_back(allD());
+  st->exprs.push_back(constF(0.f));
+  std::vector<StmtPtr> body;
+  body.push_back(std::move(st));
+  std::vector<ExprPtr> rv;
+  rv.push_back(var(0, Ty::Mat));
+  body.push_back(ret(std::move(rv)));
+  f->body = block(std::move(body));
+  rt::SerialExecutor ex;
+  Machine vm(m, ex);
+  Matrix mask = Matrix::fromBool({2}, {1, 0});
+  EXPECT_THROW(vm.call("upd", {m34().clone(), mask}), RuntimeError);
 }
 
 TEST(IndexStore, WholeMatrixThroughColons) {

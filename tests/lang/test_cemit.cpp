@@ -201,6 +201,121 @@ int main() {
   EXPECT_EQ(compileAndRun(c, "logical"), runOk(src));
 }
 
+/// Compiles the C text and runs it expecting a runtime guard to fire:
+/// returns the binary's exit code (mmx_fail exits 3) and its stderr text.
+struct FailRun {
+  int exitCode = -1;
+  std::string err;
+};
+FailRun compileAndRunFail(const std::string& cCode, const char* tag) {
+  FailRun fr;
+  std::string base = std::string(::testing::TempDir()) + "cemitf_" + tag;
+  std::string cPath = base + ".c";
+  std::string binPath = base + ".bin";
+  std::ofstream(cPath) << cCode;
+  std::string cmd = "cc -O2 -std=gnu99 -msse4.2 -fopenmp " + cPath + " -o " +
+                    binPath + " -lm 2>" + base + ".err";
+  if (std::system(cmd.c_str()) != 0) {
+    ADD_FAILURE() << "cc failed for " << tag;
+    return fr;
+  }
+  int rc = std::system((binPath + " >/dev/null 2>" + base + ".err").c_str());
+  fr.exitCode = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  std::ifstream err(base + ".err");
+  fr.err.assign(std::istreambuf_iterator<char>(err),
+                std::istreambuf_iterator<char>());
+  std::remove(cPath.c_str());
+  std::remove(binPath.c_str());
+  std::remove((base + ".err").c_str());
+  return fr;
+}
+
+TEST(CEmit, RangeToEndCompiledMatchesInterpreter) {
+  // `lo:end` with a runtime lower bound — the range path the guards
+  // protect — must agree between interpreter and emitted C.
+  std::string src = R"(
+int main() {
+  Matrix float <1> v = (0 :: 9) * 1.5;
+  int lo = dimSize(v, 0) - 4;
+  Matrix float <1> tail = v[lo : end];
+  printInt(dimSize(tail, 0));
+  printFloat(tail[0] + tail[3]);
+  v[lo : end] = 0.0;
+  printFloat(v[5] + v[6]);
+  return 0;
+})";
+  std::string c = emitOk(src);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(compileAndRun(c, "rangeend"), runOk(src));
+}
+
+TEST(CEmit, RangePastEndFailsAtRuntime) {
+  // v[2:n] with n == dimSize: one past `end`. The interpreter raises a
+  // RuntimeError; the emitted binary hits the same guard and exits 3.
+  std::string src = R"(
+int main() {
+  Matrix float <1> v = (0 :: 5) * 1.0;
+  int n = dimSize(v, 0);
+  Matrix float <1> bad = v[2 : n];
+  printFloat(bad[0]);
+  return 0;
+})";
+  RunOutcome interp = runXc(src);
+  ASSERT_TRUE(interp.translated) << interp.diagnostics;
+  EXPECT_FALSE(interp.ran);
+  EXPECT_FALSE(interp.runtimeError.empty());
+
+  auto res = translateXc(src);
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  auto c = ir::emitC(*res.module);
+  ASSERT_TRUE(c.ok);
+  FailRun fr = compileAndRunFail(c.code, "rangeoob");
+  EXPECT_EQ(fr.exitCode, 3) << fr.err;
+  EXPECT_NE(fr.err.find("runtime error"), std::string::npos) << fr.err;
+}
+
+TEST(CEmit, MaskLengthMismatchFailsAtRuntime) {
+  // Logical indexing with a mask shorter than the indexed dimension must
+  // be rejected by both backends, not silently read out of bounds.
+  std::string src = R"(
+int main() {
+  Matrix int <1> v = (1 :: 8);
+  Matrix int <1> w = (1 :: 5);
+  Matrix int <1> sel = v[w > 3];
+  printInt(dimSize(sel, 0));
+  return 0;
+})";
+  RunOutcome interp = runXc(src);
+  ASSERT_TRUE(interp.translated) << interp.diagnostics;
+  EXPECT_FALSE(interp.ran);
+  EXPECT_FALSE(interp.runtimeError.empty());
+
+  auto res = translateXc(src);
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  auto c = ir::emitC(*res.module);
+  ASSERT_TRUE(c.ok);
+  FailRun fr = compileAndRunFail(c.code, "maskoob");
+  EXPECT_EQ(fr.exitCode, 3) << fr.err;
+  EXPECT_NE(fr.err.find("runtime error"), std::string::npos) << fr.err;
+}
+
+TEST(CEmit, MaskStoreCompiledMatchesInterpreter) {
+  // Masked assignment with a runtime threshold (float mask path).
+  std::string src = R"(
+int main() {
+  Matrix float <1> v = (0 :: 9) * 0.5;
+  float cut = v[6];
+  v[v > cut] = -1.0;
+  printFloat(v[5] + v[6] + v[9]);
+  Matrix float <1> kept = v[v > 0.0];
+  printInt(dimSize(kept, 0));
+  return 0;
+})";
+  std::string c = emitOk(src);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(compileAndRun(c, "maskstore"), runOk(src));
+}
+
 TEST(CEmit, SimulatorBuiltinsAreRejectedWithClearMessage) {
   auto res = translateXc("int main() { Matrix float <3> m = "
                          "synthSsh(2, 2, 2, 1, 1); printShape(m); return 0; }");

@@ -17,15 +17,18 @@ inline driver::Translator& sharedTranslator(driver::TranslateOptions opts = {}) 
   // Cache translators per option set: table construction is the slow part.
   struct Key {
     bool fusion, slice, par, warnPar, strictPar, analyze;
+    bool warnShape, strictShape;
     bool operator<(const Key& o) const {
-      return std::tie(fusion, slice, par, warnPar, strictPar, analyze) <
+      return std::tie(fusion, slice, par, warnPar, strictPar, analyze,
+                      warnShape, strictShape) <
              std::tie(o.fusion, o.slice, o.par, o.warnPar, o.strictPar,
-                      o.analyze);
+                      o.analyze, o.warnShape, o.strictShape);
     }
   };
   static std::map<Key, std::unique_ptr<driver::Translator>> cache;
   Key k{opts.fusion, opts.sliceElimination, opts.autoParallel,
-        opts.warnParallel, opts.strictParallel, opts.analyze};
+        opts.warnParallel, opts.strictParallel, opts.analyze,
+        opts.warnShape, opts.strictShape};
   auto it = cache.find(k);
   if (it == cache.end()) {
     auto t = std::make_unique<driver::Translator>();
