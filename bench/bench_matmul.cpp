@@ -1,0 +1,156 @@
+// Matmul engine benchmarks (ISSUE 4): naive i-k-j versus the tiled,
+// packed, SIMD engine, across square and skinny shapes, single-threaded
+// and over the fork-join pool — plus the emitted-C blocked matmul under
+// increasing OMP_NUM_THREADS. `MMX_STATS_JSON=... ./bench_matmul` also
+// dumps the kernel.matmul.* and pool.* counters next to the timings.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hpp"
+#include "bench_stats.hpp"
+#include "runtime/gemm.hpp"
+
+namespace mmx::bench {
+namespace {
+
+rt::Matrix denseF32(int64_t rows, int64_t cols, uint32_t seed) {
+  rt::Matrix m = rt::Matrix::zeros(rt::Elem::F32, {rows, cols});
+  uint32_t s = seed * 2654435761u + 1;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    s = s * 1664525u + 1013904223u;
+    m.f32()[i] = static_cast<float>(static_cast<int32_t>(s >> 16) % 97) / 8.0f;
+  }
+  return m;
+}
+
+void setFlops(benchmark::State& state, int64_t m, int64_t k, int64_t n) {
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(m) * static_cast<double>(k) *
+          static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// ---- square shapes, single thread: the ISSUE's >=3x criterion ---------
+
+void BM_MatmulNaive_F32(benchmark::State& state) {
+  int64_t n = state.range(0);
+  rt::SerialExecutor ser;
+  rt::Matrix a = denseF32(n, n, 1), b = denseF32(n, n, 2);
+  for (auto _ : state) {
+    rt::Matrix c = rt::matmulNaive(ser, a, b);
+    benchmark::DoNotOptimize(c.f32()[0]);
+  }
+  setFlops(state, n, n, n);
+}
+BENCHMARK(BM_MatmulNaive_F32)
+    ->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MatmulTiled_F32(benchmark::State& state) {
+  int64_t n = state.range(0);
+  rt::SerialExecutor ser;
+  rt::Matrix a = denseF32(n, n, 1), b = denseF32(n, n, 2);
+  for (auto _ : state) {
+    rt::Matrix c = rt::matmulTiled(ser, a, b);
+    benchmark::DoNotOptimize(c.f32()[0]);
+  }
+  setFlops(state, n, n, n);
+}
+BENCHMARK(BM_MatmulTiled_F32)
+    ->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- thread scaling over the 2D tile grid -----------------------------
+
+void BM_MatmulTiled_Threads(benchmark::State& state) {
+  unsigned threads = static_cast<unsigned>(state.range(0));
+  rt::ForkJoinPool pool(threads);
+  rt::Matrix a = denseF32(768, 768, 1), b = denseF32(768, 768, 2);
+  for (auto _ : state) {
+    rt::Matrix c = rt::matmulTiled(pool, a, b);
+    benchmark::DoNotOptimize(c.f32()[0]);
+  }
+  setFlops(state, 768, 768, 768);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_MatmulTiled_Threads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- skinny shapes: the 2D grid must not serialize on the short axis --
+
+void BM_MatmulTallSkinny(benchmark::State& state) {
+  // 4096x128 * 128x32: one NC column panel; row panels carry parallelism.
+  bool tiled = state.range(0) != 0;
+  rt::ForkJoinPool pool(4);
+  rt::Matrix a = denseF32(4096, 128, 1), b = denseF32(128, 32, 2);
+  for (auto _ : state) {
+    rt::Matrix c = tiled ? rt::matmulTiled(pool, a, b)
+                         : rt::matmulNaive(pool, a, b);
+    benchmark::DoNotOptimize(c.f32()[0]);
+  }
+  setFlops(state, 4096, 128, 32);
+  state.SetLabel(tiled ? "tiled" : "naive");
+}
+BENCHMARK(BM_MatmulTallSkinny)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_MatmulShortWide(benchmark::State& state) {
+  // 32x128 * 128x4096: one MC row panel; column panels carry parallelism.
+  bool tiled = state.range(0) != 0;
+  rt::ForkJoinPool pool(4);
+  rt::Matrix a = denseF32(32, 128, 1), b = denseF32(128, 4096, 2);
+  for (auto _ : state) {
+    rt::Matrix c = tiled ? rt::matmulTiled(pool, a, b)
+                         : rt::matmulNaive(pool, a, b);
+    benchmark::DoNotOptimize(c.f32()[0]);
+  }
+  setFlops(state, 32, 128, 4096);
+  state.SetLabel(tiled ? "tiled" : "naive");
+}
+BENCHMARK(BM_MatmulShortWide)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// ---- emitted C: the blocked OpenMP cores under a thread sweep ---------
+
+std::string matmulDataFile(int64_t rows, int64_t cols, uint32_t seed) {
+  static std::map<std::string, bool> written;
+  std::string path = "/tmp/mmx_benchmm_" + std::to_string(rows) + "x" +
+                     std::to_string(cols) + "_" + std::to_string(seed) +
+                     ".mmx";
+  if (!written[path]) {
+    rt::writeMatrixFile(path, denseF32(rows, cols, seed));
+    written[path] = true;
+  }
+  return path;
+}
+
+void BM_EmittedC_MatmulOmp(benchmark::State& state) {
+  int64_t n = 512;
+  std::string src = R"(
+int main() {
+  Matrix float <2> a = readMatrix(")" + matmulDataFile(n, n, 1) + R"(");
+  Matrix float <2> b = readMatrix(")" + matmulDataFile(n, n, 2) + R"(");
+  Matrix float <2> c = a * b;
+  printFloat(c[0, 0]);
+  return 0;
+})";
+  std::string bin = compileCBinary(src, {}, "matmul_omp");
+  std::string cmd = "OMP_NUM_THREADS=" + std::to_string(state.range(0)) +
+                    " " + bin + " > /dev/null";
+  for (auto _ : state)
+    if (std::system(cmd.c_str()) != 0) {
+      state.SkipWithError("emitted matmul binary failed");
+      return;
+    }
+  // The work runs in a child process, so CPU-time-based rate counters
+  // would be meaningless here; wall time is the scaling signal.
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_EmittedC_MatmulOmp)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mmx::bench

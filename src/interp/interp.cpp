@@ -44,6 +44,11 @@ namespace {
 /// region) must run serially, never re-enter the pool.
 thread_local bool t_onWorkerThread = false;
 
+/// Grain for the interpreter's own tight element loops (scalar-op-matrix
+/// fallbacks): matches the runtime kernels' threshold below which a pool
+/// round-trip costs more than the loop body.
+constexpr int64_t kScalarLoopGrain = 4096;
+
 int32_t asI(const Value& v) {
   if (auto* p = std::get_if<int32_t>(&v)) return *p;
   if (auto* p = std::get_if<bool>(&v)) return *p ? 1 : 0;
@@ -327,8 +332,11 @@ private:
       std::mutex* errMu;
     } ctx{&s, this, &failed, &errMsg, &errMu};
 
-    m_.exec_.parallelFor(
-        lo, hi,
+    // Grain 2: a one-iteration "parallel" loop runs inline on the calling
+    // thread instead of paying a pool release/park round-trip; anything
+    // larger still forks (interpreted iterations are expensive).
+    m_.exec_.parallelForGrain(
+        lo, hi, /*minGrain=*/2,
         [](void* c, int64_t clo, int64_t chi, unsigned) {
           auto* x = static_cast<Ctx*>(c);
           bool wasWorker = t_onWorkerThread;
@@ -695,14 +703,16 @@ private:
       float sv = asF(s);
       const float* src = m.f32();
       float* dst = out.f32();
-      kexec().run(0, n, [&](int64_t lo, int64_t hi, unsigned) {
+      kexec().run(0, n, kScalarLoopGrain,
+                  [&](int64_t lo, int64_t hi, unsigned) {
         for (int64_t i = lo; i < hi; ++i) dst[i] = scalarArith(op, sv, src[i]);
       });
     } else {
       int32_t sv = asI(s);
       const int32_t* src = m.i32();
       int32_t* dst = out.i32();
-      kexec().run(0, n, [&](int64_t lo, int64_t hi, unsigned) {
+      kexec().run(0, n, kScalarLoopGrain,
+                  [&](int64_t lo, int64_t hi, unsigned) {
         for (int64_t i = lo; i < hi; ++i) dst[i] = scalarArith(op, sv, src[i]);
       });
     }

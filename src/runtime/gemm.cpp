@@ -1,0 +1,356 @@
+#include "runtime/gemm.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "runtime/kernels.hpp"
+#include "runtime/simd.hpp"
+#include "support/metrics.hpp"
+
+namespace mmx::rt {
+
+namespace {
+
+using GB = GemmBlocking;
+
+const metrics::Counter& tilesCounter() {
+  static const metrics::Counter c = metrics::counter("kernel.matmul.tiles");
+  return c;
+}
+const metrics::Counter& packedBytesCounter() {
+  static const metrics::Counter c =
+      metrics::counter("kernel.matmul.packedBytes");
+  return c;
+}
+
+void checkMatmulArgs(const Matrix& a, const Matrix& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.elem() != b.elem())
+    throw std::invalid_argument("matmul: two rank-2 matrices of one kind");
+  if (a.dim(1) != b.dim(0))
+    throw std::invalid_argument("matmul: inner dimensions disagree");
+  if (a.elem() == Elem::Bool)
+    throw std::invalid_argument("matmul: bool matrices not supported");
+}
+
+int64_t ceilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// ---- packing ----------------------------------------------------------
+// A panel of `mc` rows x `kcLen` cols (A pre-offset to its top-left) into
+// MR-row strips: strip s holds kcLen interleaved columns of rows
+// [s*MR, s*MR+MR), zero-padded past mc, so the micro-kernel reads MR
+// values per k with stride 1.
+template <class T>
+void packA(const T* A, int64_t lda, int64_t mc, int64_t kcLen, T* Ap) {
+  for (int64_t ir = 0; ir < mc; ir += GB::MR) {
+    int64_t mr = std::min(GB::MR, mc - ir);
+    // Row-contiguous reads, MR-strided writes (the strip stays in cache;
+    // the source rows stream).
+    if (mr < GB::MR)
+      for (int64_t k = 0; k < kcLen * GB::MR; ++k) Ap[k] = T{};
+    for (int64_t r = 0; r < mr; ++r) {
+      const T* src = A + (ir + r) * lda;
+      for (int64_t k = 0; k < kcLen; ++k) Ap[k * GB::MR + r] = src[k];
+    }
+    Ap += kcLen * GB::MR;
+  }
+}
+
+// B panel of `kcLen` rows x `nc` cols (B pre-offset) into NR-column
+// strips: strip s holds kcLen rows of columns [s*NR, s*NR+NR),
+// zero-padded past nc.
+template <class T>
+void packB(const T* B, int64_t ldb, int64_t kcLen, int64_t nc, T* Bp) {
+  for (int64_t jr = 0; jr < nc; jr += GB::NR) {
+    int64_t nr = std::min(GB::NR, nc - jr);
+    for (int64_t k = 0; k < kcLen; ++k) {
+      const T* src = B + k * ldb + jr;
+      int64_t c = 0;
+      for (; c < nr; ++c) *Bp++ = src[c];
+      for (; c < GB::NR; ++c) *Bp++ = T{};
+    }
+  }
+}
+
+// ---- micro-kernels ----------------------------------------------------
+// C[0..mr) x [0..nr) += (MR-strip of Ap) * (NR-strip of Bp), kcLen deep.
+// The full 4x8 tile lives in eight Vec4 accumulators; edge tiles compute
+// the padded tile in a local buffer with the same mul-then-add rounding,
+// then add only the valid region to C.
+
+inline void microKernelF32(const float* Ap, const float* Bp, int64_t kcLen,
+                           float* C, int64_t ldc, int64_t mr, int64_t nr) {
+  if (mr == GB::MR && nr == GB::NR) {
+    Vec4f c00 = Vec4f::zero(), c01 = Vec4f::zero();
+    Vec4f c10 = Vec4f::zero(), c11 = Vec4f::zero();
+    Vec4f c20 = Vec4f::zero(), c21 = Vec4f::zero();
+    Vec4f c30 = Vec4f::zero(), c31 = Vec4f::zero();
+    // Unrolled by two k steps (pointer-bumped); each accumulator still
+    // sees its madds in ascending-k order, so rounding is unchanged.
+    const float* a = Ap;
+    const float* b = Bp;
+    auto step = [&] {
+      Vec4f b0 = Vec4f::load(b);
+      Vec4f b1 = Vec4f::load(b + 4);
+      Vec4f a0 = Vec4f::splat(a[0]);
+      c00 = c00.mulAdd(a0, b0);
+      c01 = c01.mulAdd(a0, b1);
+      Vec4f a1 = Vec4f::splat(a[1]);
+      c10 = c10.mulAdd(a1, b0);
+      c11 = c11.mulAdd(a1, b1);
+      Vec4f a2 = Vec4f::splat(a[2]);
+      c20 = c20.mulAdd(a2, b0);
+      c21 = c21.mulAdd(a2, b1);
+      Vec4f a3 = Vec4f::splat(a[3]);
+      c30 = c30.mulAdd(a3, b0);
+      c31 = c31.mulAdd(a3, b1);
+      a += GB::MR;
+      b += GB::NR;
+    };
+    int64_t k = 0;
+    for (; k + 1 < kcLen; k += 2) {
+      step();
+      step();
+    }
+    if (k < kcLen) step();
+    (Vec4f::load(C) + c00).store(C);
+    (Vec4f::load(C + 4) + c01).store(C + 4);
+    float* C1 = C + ldc;
+    (Vec4f::load(C1) + c10).store(C1);
+    (Vec4f::load(C1 + 4) + c11).store(C1 + 4);
+    float* C2 = C + 2 * ldc;
+    (Vec4f::load(C2) + c20).store(C2);
+    (Vec4f::load(C2 + 4) + c21).store(C2 + 4);
+    float* C3 = C + 3 * ldc;
+    (Vec4f::load(C3) + c30).store(C3);
+    (Vec4f::load(C3 + 4) + c31).store(C3 + 4);
+    return;
+  }
+  float tmp[GB::MR * GB::NR] = {};
+  for (int64_t k = 0; k < kcLen; ++k) {
+    const float* a = Ap + k * GB::MR;
+    const float* b = Bp + k * GB::NR;
+    for (int64_t r = 0; r < GB::MR; ++r) {
+      float av = a[r];
+      for (int64_t c = 0; c < GB::NR; ++c) tmp[r * GB::NR + c] += av * b[c];
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r)
+    for (int64_t c = 0; c < nr; ++c) C[r * ldc + c] += tmp[r * GB::NR + c];
+}
+
+inline void microKernelI32(const int32_t* Ap, const int32_t* Bp,
+                           int64_t kcLen, int32_t* C, int64_t ldc, int64_t mr,
+                           int64_t nr) {
+  if (mr == GB::MR && nr == GB::NR) {
+    Vec4i c00 = Vec4i::zero(), c01 = Vec4i::zero();
+    Vec4i c10 = Vec4i::zero(), c11 = Vec4i::zero();
+    Vec4i c20 = Vec4i::zero(), c21 = Vec4i::zero();
+    Vec4i c30 = Vec4i::zero(), c31 = Vec4i::zero();
+    for (int64_t k = 0; k < kcLen; ++k) {
+      Vec4i b0 = Vec4i::load(Bp + k * GB::NR);
+      Vec4i b1 = Vec4i::load(Bp + k * GB::NR + 4);
+      const int32_t* a = Ap + k * GB::MR;
+      Vec4i a0 = Vec4i::splat(a[0]);
+      c00 = c00.mulAdd(a0, b0);
+      c01 = c01.mulAdd(a0, b1);
+      Vec4i a1 = Vec4i::splat(a[1]);
+      c10 = c10.mulAdd(a1, b0);
+      c11 = c11.mulAdd(a1, b1);
+      Vec4i a2 = Vec4i::splat(a[2]);
+      c20 = c20.mulAdd(a2, b0);
+      c21 = c21.mulAdd(a2, b1);
+      Vec4i a3 = Vec4i::splat(a[3]);
+      c30 = c30.mulAdd(a3, b0);
+      c31 = c31.mulAdd(a3, b1);
+    }
+    (Vec4i::load(C) + c00).store(C);
+    (Vec4i::load(C + 4) + c01).store(C + 4);
+    int32_t* C1 = C + ldc;
+    (Vec4i::load(C1) + c10).store(C1);
+    (Vec4i::load(C1 + 4) + c11).store(C1 + 4);
+    int32_t* C2 = C + 2 * ldc;
+    (Vec4i::load(C2) + c20).store(C2);
+    (Vec4i::load(C2 + 4) + c21).store(C2 + 4);
+    int32_t* C3 = C + 3 * ldc;
+    (Vec4i::load(C3) + c30).store(C3);
+    (Vec4i::load(C3 + 4) + c31).store(C3 + 4);
+    return;
+  }
+  int32_t tmp[GB::MR * GB::NR] = {};
+  for (int64_t k = 0; k < kcLen; ++k) {
+    const int32_t* a = Ap + k * GB::MR;
+    const int32_t* b = Bp + k * GB::NR;
+    for (int64_t r = 0; r < GB::MR; ++r) {
+      int32_t av = a[r];
+      for (int64_t c = 0; c < GB::NR; ++c) tmp[r * GB::NR + c] += av * b[c];
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r)
+    for (int64_t c = 0; c < nr; ++c) C[r * ldc + c] += tmp[r * GB::NR + c];
+}
+
+// ---- panel kernels ----------------------------------------------------
+// One packed A panel (mc rows) times one NR-column strip of packed B.
+// The f32 panel pairs adjacent MR strips into the AVX twin-strip kernel
+// when the host supports it (bit-identical rounding; see gemm_avx.cpp)
+// and falls back to the SSE micro-kernel for the remainder and edges.
+
+void panelF32(const float* Ap, int64_t kcLen, int64_t mc, const float* Bs,
+              float* C, int64_t ldc, int64_t nr) {
+  const int64_t stripLen = GB::MR * kcLen;
+  int64_t ir = 0;
+  if (nr == GB::NR && detail::haveAvx()) {
+    for (; ir + 2 * GB::MR <= mc; ir += 2 * GB::MR) {
+      const float* strip = Ap + (ir / GB::MR) * stripLen;
+      detail::microKernelF32Avx(strip, strip + stripLen, Bs, kcLen,
+                                C + ir * ldc, ldc);
+    }
+  }
+  for (; ir < mc; ir += GB::MR)
+    microKernelF32(Ap + (ir / GB::MR) * stripLen, Bs, kcLen, C + ir * ldc,
+                   ldc, std::min(GB::MR, mc - ir), nr);
+}
+
+void panelI32(const int32_t* Ap, int64_t kcLen, int64_t mc,
+              const int32_t* Bs, int32_t* C, int64_t ldc, int64_t nr) {
+  const int64_t stripLen = GB::MR * kcLen;
+  for (int64_t ir = 0; ir < mc; ir += GB::MR)
+    microKernelI32(Ap + (ir / GB::MR) * stripLen, Bs, kcLen, C + ir * ldc,
+                   ldc, std::min(GB::MR, mc - ir), nr);
+}
+
+// ---- blocked driver ---------------------------------------------------
+// For each KC-deep panel: (1) pack every A row-panel and B col-panel once,
+// in parallel; (2) walk the (row-panel x col-panel) tile grid in parallel,
+// each task running the packed micro-kernels over its MC x NC tile of C.
+// C starts zeroed, so every panel accumulates.
+template <class T, class Panel>
+void gemmBlocked(Executor& exec, const T* A, const T* B, T* C, int64_t m,
+                 int64_t k, int64_t n, Panel panel) {
+  const int64_t numIc = ceilDiv(m, GB::MC), numJc = ceilDiv(n, GB::NC);
+  const int64_t aTileStride = GB::MC * GB::KC; // MC is a multiple of MR
+  const int64_t bTileStride = GB::NC * GB::KC; // NC is a multiple of NR
+  std::unique_ptr<T[]> Apack(new T[numIc * aTileStride]);
+  std::unique_ptr<T[]> Bpack(new T[numJc * bTileStride]);
+
+  for (int64_t kc = 0; kc < k; kc += GB::KC) {
+    const int64_t kcLen = std::min(GB::KC, k - kc);
+
+    // Pack pass: one task per panel; A panels first, then B panels.
+    exec.run(0, numIc + numJc, /*minGrain=*/2,
+             [&](int64_t lo, int64_t hi, unsigned) {
+               for (int64_t t = lo; t < hi; ++t) {
+                 if (t < numIc) {
+                   int64_t ic = t * GB::MC;
+                   packA(A + ic * k + kc, k, std::min(GB::MC, m - ic), kcLen,
+                         Apack.get() + t * aTileStride);
+                 } else {
+                   int64_t jc = (t - numIc) * GB::NC;
+                   packB(B + kc * n + jc, n, kcLen, std::min(GB::NC, n - jc),
+                         Bpack.get() + (t - numIc) * bTileStride);
+                 }
+               }
+             });
+    packedBytesCounter().add(
+        static_cast<uint64_t>((ceilDiv(m, GB::MR) * GB::MR +
+                               ceilDiv(n, GB::NR) * GB::NR) *
+                              kcLen * sizeof(T)));
+
+    // Compute pass over the 2D tile grid (ic-major so consecutive tasks
+    // share a packed A panel).
+    exec.run(0, numIc * numJc, /*minGrain=*/2,
+             [&](int64_t lo, int64_t hi, unsigned) {
+               for (int64_t t = lo; t < hi; ++t) {
+                 int64_t icT = t / numJc, jcT = t % numJc;
+                 int64_t ic = icT * GB::MC, jc = jcT * GB::NC;
+                 int64_t mc = std::min(GB::MC, m - ic);
+                 int64_t nc = std::min(GB::NC, n - jc);
+                 const T* Ap = Apack.get() + icT * aTileStride;
+                 const T* Bp = Bpack.get() + jcT * bTileStride;
+                 for (int64_t jr = 0; jr < nc; jr += GB::NR) {
+                   int64_t nr = std::min(GB::NR, nc - jr);
+                   const T* Bs = Bp + (jr / GB::NR) * (GB::NR * kcLen);
+                   panel(Ap, kcLen, mc, Bs, C + ic * n + jc + jr, n, nr);
+                 }
+               }
+             });
+    tilesCounter().add(static_cast<uint64_t>(numIc * numJc));
+  }
+}
+
+/// Minimum madds per parallel dispatch of the naive kernel; below this a
+/// fork costs more than the multiply (bench_forkjoin).
+constexpr int64_t kNaiveGrainWork = 16384;
+
+Matrix matmulNaiveChecked(Executor& exec, const Matrix& a, const Matrix& b) {
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Matrix out = Matrix::zeros(a.elem(), {m, n});
+  int64_t rowWork = std::max<int64_t>(1, k * n);
+  int64_t grainRows = kNaiveGrainWork / rowWork + 1;
+  if (a.elem() == Elem::F32) {
+    const float* A = a.f32();
+    const float* B = b.f32();
+    float* O = out.f32();
+    exec.run(0, m, grainRows, [&](int64_t lo, int64_t hi, unsigned) {
+      for (int64_t i = lo; i < hi; ++i)
+        for (int64_t kk = 0; kk < k; ++kk) {
+          float av = A[i * k + kk];
+          const float* Brow = B + kk * n;
+          float* Orow = O + i * n;
+          for (int64_t j = 0; j < n; ++j) Orow[j] += av * Brow[j];
+        }
+    });
+  } else {
+    const int32_t* A = a.i32();
+    const int32_t* B = b.i32();
+    int32_t* O = out.i32();
+    exec.run(0, m, grainRows, [&](int64_t lo, int64_t hi, unsigned) {
+      for (int64_t i = lo; i < hi; ++i)
+        for (int64_t kk = 0; kk < k; ++kk) {
+          int32_t av = A[i * k + kk];
+          for (int64_t j = 0; j < n; ++j)
+            O[i * n + j] += av * B[kk * n + j];
+        }
+    });
+  }
+  return out;
+}
+
+Matrix matmulTiledChecked(Executor& exec, const Matrix& a, const Matrix& b) {
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Matrix out = Matrix::zeros(a.elem(), {m, n});
+  if (a.elem() == Elem::F32)
+    gemmBlocked<float>(exec, a.f32(), b.f32(), out.f32(), m, k, n,
+                       panelF32);
+  else
+    gemmBlocked<int32_t>(exec, a.i32(), b.i32(), out.i32(), m, k, n,
+                         panelI32);
+  return out;
+}
+
+/// Below this many madds the packing setup and the two pool barriers per
+/// panel outweigh the multiply; the naive kernel runs such products
+/// inline via its grain.
+constexpr int64_t kTiledCutoff = 32 * 32 * 32;
+
+} // namespace
+
+Matrix matmulNaive(Executor& exec, const Matrix& a, const Matrix& b) {
+  checkMatmulArgs(a, b);
+  return matmulNaiveChecked(exec, a, b);
+}
+
+Matrix matmulTiled(Executor& exec, const Matrix& a, const Matrix& b) {
+  checkMatmulArgs(a, b);
+  return matmulTiledChecked(exec, a, b);
+}
+
+Matrix matmul(Executor& exec, const Matrix& a, const Matrix& b) {
+  checkMatmulArgs(a, b);
+  if (a.dim(0) * a.dim(1) * b.dim(1) < kTiledCutoff)
+    return matmulNaiveChecked(exec, a, b);
+  return matmulTiledChecked(exec, a, b);
+}
+
+} // namespace mmx::rt

@@ -1,0 +1,58 @@
+// Tiled, packed, SIMD matmul engine (paper §V: parallel + SSE-vectorized
+// matrix kernels). The naive i-k-j reference kernel is kept alongside the
+// blocked engine so benches and tests can measure and verify the tiling:
+//
+//   - A is packed into MR-row strips, B into NR-column strips, per
+//     (KC-deep) panel, so the micro-kernel reads both operands stride-1.
+//   - The micro-kernel keeps an MR x NR accumulator tile in SSE registers
+//     (Vec4f/Vec4i), accumulating over k with mul-then-add rounding.
+//   - The macro loop walks the 2D grid of (MC row-panel) x (NC col-panel)
+//     tiles through the Executor, so tall-skinny and short-wide shapes
+//     parallelize as well as square ones.
+//
+// Accumulation order per output element is k-ascending within each KC
+// panel (bit-identical to the naive kernel when k <= KC); panels are
+// combined through a per-panel register accumulator, which reassociates
+// f32 sums across KC boundaries (see DESIGN.md "Runtime kernels").
+#pragma once
+
+#include "runtime/matrix.hpp"
+#include "runtime/pool.hpp"
+
+namespace mmx::rt {
+
+/// Blocking parameters, exposed so tests can target tile edges and the
+/// KC accumulation boundary directly.
+struct GemmBlocking {
+  static constexpr int64_t MR = 4;   ///< micro-tile rows (A strip width)
+  static constexpr int64_t NR = 8;   ///< micro-tile cols (two Vec4 lanes)
+  static constexpr int64_t MC = 64;  ///< rows per packed A panel (L2)
+  static constexpr int64_t KC = 256; ///< panel depth (keeps strips in L1)
+  static constexpr int64_t NC = 256; ///< cols per packed B panel
+};
+
+namespace detail {
+
+/// Cached cpuid probe; the f32 engine upgrades to the AVX twin-strip
+/// micro-kernel when the host allows it.
+bool haveAvx();
+
+/// AVX micro-kernel covering two adjacent packed MR-row strips (8 rows)
+/// by one full NR-column strip. vmulps/vaddps round exactly like the SSE
+/// and scalar mul-then-add, so using it changes no result bit. Defined in
+/// gemm_avx.cpp, the one TU built with -mavx; only call when haveAvx().
+void microKernelF32Avx(const float* Ap0, const float* Ap1, const float* Bp,
+                       int64_t kcLen, float* C, int64_t ldc);
+
+} // namespace detail
+
+/// Reference kernel: the textbook row-parallel i-k-j loop the engine is
+/// benchmarked and bit-verified against.
+Matrix matmulNaive(Executor& exec, const Matrix& a, const Matrix& b);
+
+/// Cache-blocked, packed, register-tiled product, parallelized over the
+/// 2D tile grid. Requires the same shapes as matmulNaive (rank-2, inner
+/// dimensions agreeing, f32 or i32).
+Matrix matmulTiled(Executor& exec, const Matrix& a, const Matrix& b);
+
+} // namespace mmx::rt

@@ -1,0 +1,52 @@
+// AVX twin-strip micro-kernel for the tiled matmul engine. This is the
+// only translation unit built with -mavx (see CMakeLists.txt); every call
+// is guarded by detail::haveAvx(), so the rest of the runtime stays plain
+// SSE4.2 and the binary still runs on hosts without AVX.
+//
+// Rounding contract: each of the eight row accumulators sees its k terms
+// in ascending order as a vmulps followed by a vaddps. Those instructions
+// round exactly like mulps/addps and like the scalar reference, so the
+// AVX path is bit-identical to the SSE path and to the naive kernel
+// within a KC panel — picking it at runtime never changes a result.
+#include "runtime/gemm.hpp"
+
+#include <immintrin.h>
+
+namespace mmx::rt::detail {
+
+bool haveAvx() {
+  static const bool ok = __builtin_cpu_supports("avx");
+  return ok;
+}
+
+void microKernelF32Avx(const float* Ap0, const float* Ap1, const float* Bp,
+                       int64_t kcLen, float* C, int64_t ldc) {
+  constexpr int64_t MR = GemmBlocking::MR; // 4 rows per packed strip
+  __m256 c0 = _mm256_setzero_ps(), c1 = _mm256_setzero_ps();
+  __m256 c2 = _mm256_setzero_ps(), c3 = _mm256_setzero_ps();
+  __m256 c4 = _mm256_setzero_ps(), c5 = _mm256_setzero_ps();
+  __m256 c6 = _mm256_setzero_ps(), c7 = _mm256_setzero_ps();
+  const float* b = Bp;
+  for (int64_t k = 0; k < kcLen; ++k) {
+    __m256 bv = _mm256_loadu_ps(b);
+    b += GemmBlocking::NR;
+    const float* a0 = Ap0 + k * MR;
+    const float* a1 = Ap1 + k * MR;
+    c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_broadcast_ss(a0 + 0), bv));
+    c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_broadcast_ss(a0 + 1), bv));
+    c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_broadcast_ss(a0 + 2), bv));
+    c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_broadcast_ss(a0 + 3), bv));
+    c4 = _mm256_add_ps(c4, _mm256_mul_ps(_mm256_broadcast_ss(a1 + 0), bv));
+    c5 = _mm256_add_ps(c5, _mm256_mul_ps(_mm256_broadcast_ss(a1 + 1), bv));
+    c6 = _mm256_add_ps(c6, _mm256_mul_ps(_mm256_broadcast_ss(a1 + 2), bv));
+    c7 = _mm256_add_ps(c7, _mm256_mul_ps(_mm256_broadcast_ss(a1 + 3), bv));
+  }
+  __m256 rows[8] = {c0, c1, c2, c3, c4, c5, c6, c7};
+  for (int r = 0; r < 8; ++r) {
+    float* Cr = C + r * ldc;
+    _mm256_storeu_ps(Cr, _mm256_add_ps(_mm256_loadu_ps(Cr), rows[r]));
+  }
+  _mm256_zeroupper();
+}
+
+} // namespace mmx::rt::detail

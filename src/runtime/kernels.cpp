@@ -131,9 +131,14 @@ void ewRangeI(EwCtx& c, int64_t lo, int64_t hi) {
   }
 }
 
+/// Minimum elements per parallel dispatch: below this the pool's
+/// release/park round-trip costs more than the loop (bench_forkjoin), so
+/// grain-aware dispatch runs the body inline on the calling thread.
+constexpr int64_t kEwGrain = 4096;
+
 void ewDispatch(Executor& exec, EwCtx& c) {
   int64_t n = c.a->size();
-  exec.run(0, n, [&c](int64_t lo, int64_t hi, unsigned) {
+  exec.run(0, n, kEwGrain, [&c](int64_t lo, int64_t hi, unsigned) {
     if (c.a->elem() == Elem::F32)
       ewRangeF(c, lo, hi);
     else
@@ -214,7 +219,7 @@ void ewCompare(Executor& exec, CmpOp op, const Matrix& a, const Matrix& b,
   requireSameShape(a, b, "ewCompare");
   ensureOut(out, Elem::Bool, a);
   CmpCtx c{op, &a, &b, &out, 0.f, 0};
-  exec.run(0, a.size(),
+  exec.run(0, a.size(), kEwGrain,
            [&c](int64_t lo, int64_t hi, unsigned) { cmpRange(c, lo, hi); });
 }
 
@@ -222,7 +227,7 @@ void ewCompareScalarF(Executor& exec, CmpOp op, const Matrix& a, float s,
                       Matrix& out) {
   ensureOut(out, Elem::Bool, a);
   CmpCtx c{op, &a, nullptr, &out, s, 0};
-  exec.run(0, a.size(),
+  exec.run(0, a.size(), kEwGrain,
            [&c](int64_t lo, int64_t hi, unsigned) { cmpRange(c, lo, hi); });
 }
 
@@ -230,47 +235,12 @@ void ewCompareScalarI(Executor& exec, CmpOp op, const Matrix& a, int32_t s,
                       Matrix& out) {
   ensureOut(out, Elem::Bool, a);
   CmpCtx c{op, &a, nullptr, &out, 0.f, s};
-  exec.run(0, a.size(),
+  exec.run(0, a.size(), kEwGrain,
            [&c](int64_t lo, int64_t hi, unsigned) { cmpRange(c, lo, hi); });
 }
 
-Matrix matmul(Executor& exec, const Matrix& a, const Matrix& b) {
-  if (a.rank() != 2 || b.rank() != 2 || a.elem() != b.elem())
-    throw std::invalid_argument("matmul: two rank-2 matrices of one kind");
-  if (a.dim(1) != b.dim(0))
-    throw std::invalid_argument("matmul: inner dimensions disagree");
-  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Matrix out = Matrix::zeros(a.elem(), {m, n});
-  if (a.elem() == Elem::F32) {
-    const float* A = a.f32();
-    const float* B = b.f32();
-    float* O = out.f32();
-    exec.run(0, m, [&](int64_t lo, int64_t hi, unsigned) {
-      for (int64_t i = lo; i < hi; ++i)
-        for (int64_t kk = 0; kk < k; ++kk) {
-          float av = A[i * k + kk];
-          const float* Brow = B + kk * n;
-          float* Orow = O + i * n;
-          for (int64_t j = 0; j < n; ++j) Orow[j] += av * Brow[j];
-        }
-    });
-  } else if (a.elem() == Elem::I32) {
-    const int32_t* A = a.i32();
-    const int32_t* B = b.i32();
-    int32_t* O = out.i32();
-    exec.run(0, m, [&](int64_t lo, int64_t hi, unsigned) {
-      for (int64_t i = lo; i < hi; ++i)
-        for (int64_t kk = 0; kk < k; ++kk) {
-          int32_t av = A[i * k + kk];
-          for (int64_t j = 0; j < n; ++j)
-            O[i * n + j] += av * B[kk * n + j];
-        }
-    });
-  } else {
-    throw std::invalid_argument("matmul: bool matrices not supported");
-  }
-  return out;
-}
+// matmul lives in gemm.cpp: the tiled/packed engine plus the naive
+// reference it dispatches to for small products.
 
 namespace {
 /// Identity element so partial accumulators don't double-apply the fold's
@@ -297,7 +267,8 @@ float reduceF32(Executor& exec, BinOp op, float init, const Matrix& a,
   unsigned nt = exec.threads();
   std::vector<float> partial(nt, ident);
   const float* d = a.f32();
-  exec.run(0, a.size(), [&](int64_t lo, int64_t hi, unsigned tid) {
+  exec.run(0, a.size(), kEwGrain,
+           [&](int64_t lo, int64_t hi, unsigned tid) {
     float acc = ident;
     int64_t i = lo;
     if (simd && op == BinOp::Add) {
@@ -320,7 +291,8 @@ int32_t reduceI32(Executor& exec, BinOp op, int32_t init, const Matrix& a) {
   unsigned nt = exec.threads();
   std::vector<int32_t> partial(nt, ident);
   const int32_t* d = a.i32();
-  exec.run(0, a.size(), [&](int64_t lo, int64_t hi, unsigned tid) {
+  exec.run(0, a.size(), kEwGrain,
+           [&](int64_t lo, int64_t hi, unsigned tid) {
     int32_t acc = ident;
     for (int64_t i = lo; i < hi; ++i) acc = applyBin(op, acc, d[i]);
     partial[tid] = acc;
@@ -338,7 +310,8 @@ void sumInnermost3D(Executor& exec, const Matrix& a, Matrix& out, bool simd) {
     out = Matrix::zeros(Elem::F32, {m, n});
   const float* D = a.f32();
   float* O = out.f32();
-  exec.run(0, m * n, [&](int64_t lo, int64_t hi, unsigned) {
+  int64_t grain = kEwGrain / (p > 0 ? p : 1) + 1;
+  exec.run(0, m * n, grain, [&](int64_t lo, int64_t hi, unsigned) {
     for (int64_t ij = lo; ij < hi; ++ij) {
       const float* row = D + ij * p;
       float acc = 0.f;

@@ -45,6 +45,10 @@ const metrics::Counter& stopWaitCounter() {
   static const metrics::Counter c = metrics::counter("pool.stopwait_ns");
   return c;
 }
+const metrics::Counter& inlinedCounter() {
+  static const metrics::Counter c = metrics::counter("pool.inlinedDispatches");
+  return c;
+}
 
 /// Emits the per-region span + counter around a region body. The span is
 /// emitted by every executor so 1-thread traces still show regions.
@@ -84,6 +88,17 @@ std::unique_ptr<Executor> makeExecutor(ExecutorKind k, unsigned threads) {
     case ExecutorKind::Naive: return std::make_unique<NaiveForkJoin>(threads);
   }
   return nullptr;
+}
+
+void Executor::parallelForGrain(int64_t lo, int64_t hi, int64_t minGrain,
+                                RangeFn fn, void* ctx) {
+  if (hi <= lo) return;
+  if (hi - lo < minGrain) {
+    inlinedCounter().add();
+    fn(ctx, lo, hi, 0);
+    return;
+  }
+  parallelFor(lo, hi, fn, ctx);
 }
 
 void SerialExecutor::parallelFor(int64_t lo, int64_t hi, RangeFn fn,

@@ -38,12 +38,29 @@ public:
   /// (the with-loop partitioning of §III-C).
   virtual void parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) = 0;
 
+  /// Grain-aware dispatch: ranges shorter than `minGrain` iterations run
+  /// inline on the calling thread (tid 0), skipping the pool's
+  /// release/park round-trip that dominates tiny regions
+  /// (bench_forkjoin). Counted as `pool.inlinedDispatches`. Named
+  /// distinctly from parallelFor so subclass overrides don't hide it.
+  void parallelForGrain(int64_t lo, int64_t hi, int64_t minGrain, RangeFn fn,
+                        void* ctx);
+
   /// Lambda convenience (Fn: void(int64_t lo, int64_t hi, unsigned tid)).
   template <class Fn> void run(int64_t lo, int64_t hi, Fn&& fn) {
     auto thunk = [](void* c, int64_t l, int64_t h, unsigned t) {
       (*static_cast<Fn*>(c))(l, h, t);
     };
     parallelFor(lo, hi, thunk, &fn);
+  }
+
+  /// Grain-aware lambda convenience.
+  template <class Fn>
+  void run(int64_t lo, int64_t hi, int64_t minGrain, Fn&& fn) {
+    auto thunk = [](void* c, int64_t l, int64_t h, unsigned t) {
+      (*static_cast<Fn*>(c))(l, h, t);
+    };
+    parallelForGrain(lo, hi, minGrain, thunk, &fn);
   }
 };
 

@@ -26,6 +26,13 @@ struct Vec4f {
   Vec4f min(Vec4f b) const { return {_mm_min_ps(v, b.v)}; }
   Vec4f max(Vec4f b) const { return {_mm_max_ps(v, b.v)}; }
 
+  /// this + a*b, rounded as a multiply followed by an add (no FMA
+  /// contraction) — the tiled matmul micro-kernel relies on this matching
+  /// the scalar reference bit for bit.
+  Vec4f mulAdd(Vec4f a, Vec4f b) const {
+    return {_mm_add_ps(v, _mm_mul_ps(a.v, b.v))};
+  }
+
   float lane(int i) const {
     alignas(16) float t[4];
     _mm_store_ps(t, v);
@@ -39,14 +46,14 @@ struct Vec4f {
     return _mm_cvtss_f32(s);
   }
   float hmin() const {
-    float m = lane(0);
-    for (int i = 1; i < 4; ++i) m = lane(i) < m ? lane(i) : m;
-    return m;
+    __m128 m = _mm_min_ps(v, _mm_movehl_ps(v, v)); // {01∧23} in low lanes
+    m = _mm_min_ss(m, _mm_shuffle_ps(m, m, 0x55));
+    return _mm_cvtss_f32(m);
   }
   float hmax() const {
-    float m = lane(0);
-    for (int i = 1; i < 4; ++i) m = lane(i) > m ? lane(i) : m;
-    return m;
+    __m128 m = _mm_max_ps(v, _mm_movehl_ps(v, v));
+    m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 0x55));
+    return _mm_cvtss_f32(m);
   }
 };
 
@@ -71,6 +78,11 @@ struct Vec4i {
   }
   friend Vec4i operator*(Vec4i a, Vec4i b) {
     return {_mm_mullo_epi32(a.v, b.v)}; // SSE4.1
+  }
+
+  /// this + a*b (wrapping i32 lanes).
+  Vec4i mulAdd(Vec4i a, Vec4i b) const {
+    return {_mm_add_epi32(v, _mm_mullo_epi32(a.v, b.v))};
   }
 
   int32_t lane(int i) const {

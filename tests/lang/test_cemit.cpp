@@ -33,13 +33,17 @@ std::string emitOk(const std::string& src,
 
 /// Compiles the C text with the system compiler and runs it; returns the
 /// program stdout. Registers a test failure on any step going wrong.
-std::string compileAndRun(const std::string& cCode, const char* tag) {
+/// `ccExtra` lets tests drop -fopenmp (the emitted C must also build as
+/// plain serial C); `envPrefix` lets them pin OMP_NUM_THREADS.
+std::string compileAndRun(const std::string& cCode, const char* tag,
+                          const std::string& ccExtra = "-fopenmp",
+                          const std::string& envPrefix = "") {
   std::string base = std::string(::testing::TempDir()) + "cemit_" + tag;
   std::string cPath = base + ".c";
   std::string binPath = base + ".bin";
   std::ofstream(cPath) << cCode;
-  std::string cmd = "cc -O2 -std=gnu99 -msse4.2 -fopenmp " + cPath + " -o " +
-                    binPath + " -lm 2>" + base + ".err";
+  std::string cmd = "cc -O2 -std=gnu99 -msse4.2 " + ccExtra + " " + cPath +
+                    " -o " + binPath + " -lm 2>" + base + ".err";
   if (std::system(cmd.c_str()) != 0) {
     std::ifstream err(base + ".err");
     std::string msg((std::istreambuf_iterator<char>(err)),
@@ -48,7 +52,7 @@ std::string compileAndRun(const std::string& cCode, const char* tag) {
     return {};
   }
   std::string outPath = base + ".out";
-  if (std::system((binPath + " >" + outPath).c_str()) != 0) {
+  if (std::system((envPrefix + binPath + " >" + outPath).c_str()) != 0) {
     ADD_FAILURE() << "emitted binary exited nonzero";
     return {};
   }
@@ -324,6 +328,85 @@ TEST(CEmit, SimulatorBuiltinsAreRejectedWithClearMessage) {
   EXPECT_FALSE(c.ok);
   ASSERT_FALSE(c.errors.empty());
   EXPECT_NE(c.errors.front().find("interpreter-only"), std::string::npos);
+}
+
+rt::Matrix lcgF32(int64_t rows, int64_t cols, uint32_t seed) {
+  rt::Matrix m = rt::Matrix::zeros(rt::Elem::F32, {rows, cols});
+  uint32_t s = seed * 2654435761u + 1;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    s = s * 1664525u + 1013904223u;
+    m.f32()[i] = static_cast<float>(static_cast<int32_t>(s >> 16) % 97) / 8.0f;
+  }
+  return m;
+}
+
+rt::Matrix lcgI32(int64_t rows, int64_t cols, uint32_t seed) {
+  rt::Matrix m = rt::Matrix::zeros(rt::Elem::I32, {rows, cols});
+  uint32_t s = seed * 2246822519u + 7;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    s = s * 1664525u + 1013904223u;
+    m.i32()[i] = static_cast<int32_t>(s >> 24) - 128;
+  }
+  return m;
+}
+
+std::string matmulProgram(const char* elem, const std::string& aPath,
+                          const std::string& bPath, const char* printFn) {
+  return std::string(R"(
+int main() {
+  Matrix )") + elem + R"( <2> a = readMatrix(")" + aPath + R"(");
+  Matrix )" + elem + R"( <2> b = readMatrix(")" + bPath + R"(");
+  Matrix )" + elem + R"( <2> c = a * b;
+  )" + printFn + R"((c[0, 0]);
+  )" + printFn + R"((c[dimSize(c, 0) - 1, dimSize(c, 1) - 1]);
+  )" + printFn + R"((c[dimSize(c, 0) / 2, dimSize(c, 1) / 2]);
+  return 0;
+})";
+}
+
+TEST(CEmit, MatmulCompiledMatchesInterpreter) {
+  // Prime, off-tile shapes through both element kinds: the blocked
+  // emitted-C cores must agree with the interpreter's tiled engine. Both
+  // accumulate each output element in ascending-k order (k < KC here),
+  // so the printed values match bit for bit.
+  TempPath af("cemit_mma.mmx"), bf("cemit_mmb.mmx");
+  rt::writeMatrixFile(af.path, lcgF32(17, 31, 5));
+  rt::writeMatrixFile(bf.path, lcgF32(31, 13, 9));
+  std::string srcF = matmulProgram("float", af.path, bf.path, "printFloat");
+  std::string cF = emitOk(srcF);
+  ASSERT_FALSE(cF.empty());
+  EXPECT_NE(cF.find("mmx_matmul_coref"), std::string::npos);
+  EXPECT_EQ(compileAndRun(cF, "mmf"), runOk(srcF));
+
+  TempPath ai("cemit_mmai.mmx"), bi("cemit_mmbi.mmx");
+  rt::writeMatrixFile(ai.path, lcgI32(23, 19, 3));
+  rt::writeMatrixFile(bi.path, lcgI32(19, 29, 7));
+  std::string srcI = matmulProgram("int", ai.path, bi.path, "printInt");
+  std::string cI = emitOk(srcI);
+  ASSERT_FALSE(cI.empty());
+  EXPECT_NE(cI.find("mmx_matmul_corei"), std::string::npos);
+  EXPECT_EQ(compileAndRun(cI, "mmi"), runOk(srcI));
+}
+
+TEST(CEmit, MatmulRunsWithAndWithoutOpenmp) {
+  // The emitted matmul must build as plain serial C (pragma ignored) and,
+  // under OpenMP, produce the same bytes at any thread count: each row
+  // panel is owned by one thread and accumulated in a fixed order.
+  TempPath a("cemit_mmo_a.mmx"), b("cemit_mmo_b.mmx");
+  rt::writeMatrixFile(a.path, lcgF32(70, 80, 11));
+  rt::writeMatrixFile(b.path, lcgF32(80, 90, 13));
+  std::string src = matmulProgram("float", a.path, b.path, "printFloat");
+  std::string c = emitOk(src);
+  ASSERT_FALSE(c.empty());
+  EXPECT_NE(c.find("#pragma omp parallel for"), std::string::npos);
+
+  std::string interp = runOk(src);
+  ASSERT_FALSE(interp.empty());
+  EXPECT_EQ(compileAndRun(c, "mmo_serial", ""), interp);
+  EXPECT_EQ(compileAndRun(c, "mmo_omp1", "-fopenmp", "OMP_NUM_THREADS=1 "),
+            interp);
+  EXPECT_EQ(compileAndRun(c, "mmo_omp4", "-fopenmp", "OMP_NUM_THREADS=4 "),
+            interp);
 }
 
 TEST(CEmit, RefcountProgramCompiles) {

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <vector>
 
+#include "support/metrics.hpp"
+
 namespace mmx::rt {
 namespace {
 
@@ -112,6 +114,50 @@ TEST(ForkJoinPool, StressManySmallRegions) {
       total.fetch_add(hi - lo);
     });
   EXPECT_EQ(total.load(), 2000 * 8);
+}
+
+TEST(ForkJoinPool, GrainInlinesSmallRanges) {
+  // A range below the grain runs on the calling thread as tid 0 without
+  // waking the workers: the fork generation counter must not advance.
+  ForkJoinPool pool(4);
+  std::thread::id mainId = std::this_thread::get_id();
+  uint64_t genBefore = pool.generation();
+  int calls = 0;
+  int64_t covered = 0;
+  pool.run(0, 7, /*minGrain=*/16, [&](int64_t lo, int64_t hi, unsigned tid) {
+    ++calls;
+    covered += hi - lo;
+    EXPECT_EQ(tid, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), mainId);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(covered, 7);
+  EXPECT_EQ(pool.generation(), genBefore);
+}
+
+TEST(ForkJoinPool, GrainStillForksLargeRanges) {
+  ForkJoinPool pool(4);
+  uint64_t genBefore = pool.generation();
+  std::atomic<int64_t> covered{0};
+  pool.run(0, 64, /*minGrain=*/16, [&](int64_t lo, int64_t hi, unsigned) {
+    covered.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(covered.load(), 64);
+  EXPECT_EQ(pool.generation(), genBefore + 1); // a real fork happened
+}
+
+TEST(Executor, GrainCountsInlinedDispatches) {
+  metrics::enable(true);
+  metrics::reset();
+  SerialExecutor ser;
+  ser.run(0, 3, /*minGrain=*/8, [](int64_t, int64_t, unsigned) {});
+  ser.run(0, 30, /*minGrain=*/8, [](int64_t, int64_t, unsigned) {});
+  uint64_t inlined = 0;
+  for (const auto& row : metrics::snapshot().counters)
+    if (row.name == "pool.inlinedDispatches") inlined = row.value;
+  metrics::reset();
+  metrics::enable(false);
+  EXPECT_EQ(inlined, 1u); // only the below-grain range was inlined
 }
 
 TEST(NaiveForkJoin, CoversRangeOnce) {
