@@ -3,19 +3,72 @@
 // JSON (the same format as `mmc --stats-json`) is written there at exit.
 // The benches use benchmark_main, so this hooks process start/end from a
 // static registrar instead of a custom main().
+//
+// Both outputs a bench binary can produce — the google-benchmark report
+// (--benchmark_out) and the flat stats file — are stamped with host.*
+// fields (CPU model, core count, compiler, OS), so a checked-in baseline
+// records what machine produced it and `mmx-stats diff` can surface an
+// apples-to-oranges comparison instead of a phantom regression.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#if __has_include(<sys/utsname.h>)
+#include <sys/utsname.h>
+#define MMX_BENCH_HAVE_UTSNAME 1
+#endif
+
+#include <benchmark/benchmark.h>
 
 #include "support/metrics.hpp"
 
 namespace mmx::bench {
 
+/// Host facts worth pinning to a benchmark result. Values are best-effort:
+/// a field that cannot be determined reports "unknown" rather than
+/// disappearing, so baseline diffs always see the same key set.
+inline std::vector<std::pair<std::string, std::string>> hostInfo() {
+  std::string cpu = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  for (std::string line; std::getline(cpuinfo, line);) {
+    if (line.rfind("model name", 0) != 0) continue;
+    size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      size_t start = line.find_first_not_of(" \t", colon + 1);
+      if (start != std::string::npos) cpu = line.substr(start);
+    }
+    break;
+  }
+  std::string os = "unknown";
+#ifdef MMX_BENCH_HAVE_UTSNAME
+  if (utsname u; uname(&u) == 0)
+    os = std::string(u.sysname) + " " + u.release;
+#endif
+  return {
+      {"host.cpu", cpu},
+      {"host.cores", std::to_string(std::thread::hardware_concurrency())},
+#ifdef __VERSION__
+      {"host.compiler", __VERSION__},
+#else
+      {"host.compiler", "unknown"},
+#endif
+      {"host.os", os},
+  };
+}
+
 class StatsJsonAtExit {
 public:
   StatsJsonAtExit() {
+    // Into the google-benchmark report's "context" object, for every run
+    // of this binary (AddCustomContext is safe before Initialize()).
+    for (const auto& [k, v] : hostInfo()) benchmark::AddCustomContext(k, v);
     const char* path = std::getenv("MMX_STATS_JSON");
     if (!path || !*path) return;
     path_ = path;
@@ -28,7 +81,28 @@ public:
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
       return;
     }
-    out << metrics::renderStatsJson(metrics::snapshot());
+    // Splice the host.* strings into the flat object right after the
+    // opening brace; the numeric counters/timers follow unchanged.
+    std::string body = metrics::renderStatsJson(metrics::snapshot());
+    std::ostringstream host;
+    for (const auto& [k, v] : hostInfo()) {
+      host << "  \"" << k << "\": \"";
+      for (char c : v) {
+        if (c == '"' || c == '\\') host << '\\';
+        host << c;
+      }
+      host << "\",\n";
+    }
+    std::string hs = host.str();
+    size_t brace = body.find("{\n");
+    if (brace != std::string::npos) {
+      // An empty snapshot renders as "{\n\n}\n": the spliced host block
+      // must not leave a trailing comma before the closing brace.
+      if (body.compare(brace + 2, 2, "\n}") == 0 && hs.size() >= 2)
+        hs.replace(hs.size() - 2, 2, "\n");
+      body.insert(brace + 2, hs);
+    }
+    out << body;
   }
 
 private:

@@ -1,0 +1,17 @@
+// Profiling walkthrough for `mmc --instrument` (see README): two parallel
+// with-loops build the operands, a matmul combines them, and a fold
+// reduces the product. Uses only file-free builtins, so it works with
+// --emit-c — compile the output with OpenMP and run it under
+// MMX_PROF_JSON/MMX_PROF_TRACE to get runtime stats and a Chrome trace
+// with spans attributed back to the lines below.
+int main() {
+  int n = 96;
+  Matrix float <2> a = init(Matrix float <2>, n, n);
+  Matrix float <2> b = init(Matrix float <2>, n, n);
+  a = with ([0,0] <= [i,j] < [n,n]) genarray([n,n], i * 0.5 + j * 0.25);
+  b = with ([0,0] <= [i,j] < [n,n]) genarray([n,n], (i + 1) * 1.0 / (j + 1));
+  Matrix float <2> c = a * b;
+  float total = with ([0,0] <= [x,y] < [n,n]) fold(+, 0.0, c[x, y]);
+  printFloat(total / (n * n));
+  return 0;
+}

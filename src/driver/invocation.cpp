@@ -110,6 +110,21 @@ const std::vector<FlagSpec>& flagTable() {
        setOpt(&TranslateOptions::warnShape, true)},
       {"-Wno-shape", nullptr, "silence proven shape/bounds warnings",
        setOpt(&TranslateOptions::warnShape, false)},
+      {"--instrument", "MODE",
+       "compile profiling into emitted C: off, counters, or trace "
+       "(default off; see $MMX_PROF_JSON / $MMX_PROF_TRACE)",
+       [](CompilerInvocation& inv, const std::string& v) -> std::string {
+         if (v == "off")
+           inv.instrument = ir::InstrumentMode::Off;
+         else if (v == "counters")
+           inv.instrument = ir::InstrumentMode::Counters;
+         else if (v == "trace")
+           inv.instrument = ir::InstrumentMode::Trace;
+         else
+           return "invalid --instrument value '" + v +
+                  "' (expected off, counters, or trace)";
+         return {};
+       }},
       {"--time-report", nullptr,
        "print a phase-timing + counter table to stderr",
        set(&CompilerInvocation::timeReport, true)},
@@ -136,6 +151,15 @@ CompilerInvocation::ParseResult
 CompilerInvocation::parseArgv(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
+    // Value-taking flags accept both `--flag value` and `--flag=value`.
+    std::string joined;
+    bool hasJoined = false;
+    if (size_t eq = a.find('='); eq != std::string::npos && a.size() > 1 &&
+                                 a[0] == '-') {
+      joined = a.substr(eq + 1);
+      hasJoined = true;
+      a.resize(eq);
+    }
     const FlagSpec* spec = nullptr;
     for (const FlagSpec& f : flagTable())
       if (a == f.flag) {
@@ -143,16 +167,23 @@ CompilerInvocation::parseArgv(int argc, const char* const* argv) {
         break;
       }
     if (spec) {
+      if (hasJoined && !spec->metavar)
+        return {false, std::string(spec->flag) + " does not take a value"};
       std::string value;
       if (spec->metavar) {
-        if (i + 1 >= argc)
-          return {false, std::string(spec->flag) + " requires a value"};
-        value = argv[++i];
+        if (hasJoined) {
+          value = joined;
+        } else {
+          if (i + 1 >= argc)
+            return {false, std::string(spec->flag) + " requires a value"};
+          value = argv[++i];
+        }
       }
       std::string err = spec->apply(*this, value);
       if (!err.empty()) return {false, err};
       continue;
     }
+    if (hasJoined) a += "=" + joined; // restore for the error message
     if (!a.empty() && a[0] == '-')
       return {false, "unknown option '" + a + "'"};
     if (!inputPath.empty())

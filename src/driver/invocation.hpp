@@ -9,6 +9,7 @@
 #include <string>
 
 #include "driver/translator.hpp"
+#include "ir/cemit.hpp"
 #include "runtime/pool.hpp"
 
 namespace mmx::driver {
@@ -32,6 +33,10 @@ struct CompilerInvocation {
   bool timeReport = false;       // --time-report: human table on stderr
   std::string statsJsonPath;     // --stats-json <file>: flat counters
   std::string traceJsonPath;     // --trace-json <file>: Chrome trace events
+
+  // Runtime profiling compiled into emitted C (ISSUE 5). Off leaves the
+  // --emit-c output byte-identical to an uninstrumented build.
+  ir::InstrumentMode instrument = ir::InstrumentMode::Off;
 
   /// True when any observability output was requested (the metrics
   /// registry is only enabled in that case — no-op otherwise).

@@ -108,6 +108,8 @@ int main(int argc, char** argv) {
       mmx::ir::CEmitOptions eo;
       eo.boundsChecks = res.boundsChecks;
       eo.plan = res.guardPlan;
+      eo.instrument = inv.instrument;
+      eo.sourceManager = res.sourceManager;
       auto c = mmx::ir::emitC(*res.module, eo);
       if (!c.ok) {
         for (const auto& e : c.errors)

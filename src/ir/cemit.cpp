@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <set>
 #include <sstream>
+#include <string_view>
 
 namespace mmx::ir {
 
@@ -59,6 +61,7 @@ static mmx_mat* mmx_alloc_nc(int elem, int rank, const long long* dims) {
   m->elem = elem;
   m->rank = rank;
   for (int d = 0; d < rank; ++d) m->dims[d] = dims[d];
+  MMX_PROF_ALLOC(sizeof(mmx_mat) + (size_t)n * mmx_esize(elem));
   return m;
 }
 
@@ -105,6 +108,7 @@ static mmx_mat* mmx_cmp_nc(int op, mmx_mat* a, mmx_mat* b) {
 static mmx_mat* mmx_matmul_nc(mmx_mat* a, mmx_mat* b) {
   /* Shape checks elided; the blocked OpenMP cores from the prelude do the
    * work, so checked and unchecked builds share one matmul. */
+  MMX_PROF_KERNEL_BEGIN();
   long long m = a->dims[0], kk = a->dims[1], n = b->dims[1];
   long long dims[2] = {m, n};
   mmx_mat* r = mmx_alloc_nc(a->elem, 2, dims);
@@ -112,6 +116,7 @@ static mmx_mat* mmx_matmul_nc(mmx_mat* a, mmx_mat* b) {
     mmx_matmul_coref(mmx_f(a), mmx_f(b), mmx_f(r), m, kk, n);
   else
     mmx_matmul_corei(mmx_i(a), mmx_i(b), mmx_i(r), m, kk, n);
+  MMX_PROF_KERNEL_END();
   return r;
 }
 
@@ -201,6 +206,273 @@ static void mmx_index_store_b_nc(mmx_mat* m, const mmx_sel* sels,
 }
 )NCAPP";
 
+// mmx_prof runtime (ISSUE 5), emitted BEFORE the prelude when
+// --instrument != off so the MMX_PROF_* hook lines planted in the prelude
+// expand to real code. When instrumentation is off those hook lines are
+// stripped instead (see stripProfLines) and none of this text is emitted —
+// the output is byte-identical to the uninstrumented emitter.
+//
+// The dump honors the same env-var contract as the compiler's
+// MMX_STATS_JSON bench hook: $MMX_PROF_JSON gets the flat stats object
+// (same key schema as --stats-json: counters verbatim, sites as
+// <name>.count/.ns/.max_ns), $MMX_PROF_TRACE gets Chrome trace-event JSON
+// (same shape as --trace-json, but pid 2 so a merged file shows compiler
+// and runtime as two processes on one timeline).
+const char* kProfRuntime = R"PROF(/* ---- mmx_prof: runtime instrumentation (mmc --instrument) ------------- */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+
+typedef struct {
+  const char* name; /* span label, e.g. "with-loop@prog.xc:12" */
+  const char* cat;  /* trace category */
+  unsigned long long count, total_ns, max_ns;
+} mmx_prof_site;
+
+static unsigned long long mmx_prof_t0;
+
+static unsigned long long mmx_prof_raw_ns(void) {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (unsigned long long)ts.tv_sec * 1000000000ull +
+         (unsigned long long)ts.tv_nsec;
+}
+
+static unsigned long long mmx_prof_now(void) {
+  return mmx_prof_raw_ns() - mmx_prof_t0;
+}
+
+/* Global counters. The rt.* names match the interpreter runtime's metrics
+ * registry, so an instrumented emitted-C run and an interp --stats-json
+ * run of the same program produce directly comparable counter sets. */
+static unsigned long long mmx_prof_allocs, mmx_prof_alloc_bytes,
+    mmx_prof_live_bytes, mmx_prof_peak_bytes, mmx_prof_retains,
+    mmx_prof_releases, mmx_prof_mm_tiles;
+
+enum { MMX_PROF_MAX_THREADS = 256 };
+static unsigned long long mmx_prof_thread_busy[MMX_PROF_MAX_THREADS];
+
+static __thread int mmx_prof_tid_tls = -1;
+static int mmx_prof_ntids;
+static int mmx_prof_tid(void) {
+  if (mmx_prof_tid_tls < 0)
+    mmx_prof_tid_tls =
+        (int)__atomic_fetch_add(&mmx_prof_ntids, 1, __ATOMIC_RELAXED);
+  return mmx_prof_tid_tls;
+}
+
+#ifdef MMX_PROF_WANT_TRACE
+enum { MMX_PROF_MAX_EVENTS = 1 << 16 };
+typedef struct {
+  const char* name;
+  const char* cat;
+  unsigned long long ts, dur;
+  int tid;
+} mmx_prof_ev;
+static mmx_prof_ev mmx_prof_evs[MMX_PROF_MAX_EVENTS];
+static unsigned long long mmx_prof_ev_n; /* may exceed the cap: dropped */
+#endif
+
+static void mmx_prof_ev_push(const char* name, const char* cat,
+                             unsigned long long ts, unsigned long long dur) {
+#ifdef MMX_PROF_WANT_TRACE
+  unsigned long long k =
+      __atomic_fetch_add(&mmx_prof_ev_n, 1, __ATOMIC_RELAXED);
+  if (k < MMX_PROF_MAX_EVENTS) {
+    mmx_prof_evs[k].name = name;
+    mmx_prof_evs[k].cat = cat;
+    mmx_prof_evs[k].ts = ts;
+    mmx_prof_evs[k].dur = dur;
+    mmx_prof_evs[k].tid = mmx_prof_tid();
+  }
+#else
+  (void)name;
+  (void)cat;
+  (void)ts;
+  (void)dur;
+#endif
+}
+
+static void mmx_prof_u64_max(unsigned long long* slot, unsigned long long v) {
+  unsigned long long prev = __atomic_load_n(slot, __ATOMIC_RELAXED);
+  while (v > prev && !__atomic_compare_exchange_n(slot, &prev, v, 0,
+                                                  __ATOMIC_RELAXED,
+                                                  __ATOMIC_RELAXED)) {
+  }
+}
+
+static void mmx_prof_site_hit(mmx_prof_site* s, unsigned long long t0) {
+  unsigned long long dur = mmx_prof_now() - t0;
+  __atomic_fetch_add(&s->count, 1, __ATOMIC_RELAXED);
+  __atomic_fetch_add(&s->total_ns, dur, __ATOMIC_RELAXED);
+  mmx_prof_u64_max(&s->max_ns, dur);
+  mmx_prof_ev_push(s->name, s->cat, t0, dur);
+}
+
+static void mmx_prof_alloc_hit(unsigned long long bytes) {
+  __atomic_fetch_add(&mmx_prof_allocs, 1, __ATOMIC_RELAXED);
+  __atomic_fetch_add(&mmx_prof_alloc_bytes, bytes, __ATOMIC_RELAXED);
+  unsigned long long live =
+      __atomic_add_fetch(&mmx_prof_live_bytes, bytes, __ATOMIC_RELAXED);
+  mmx_prof_u64_max(&mmx_prof_peak_bytes, live);
+}
+
+static void mmx_prof_free_hit(unsigned long long bytes) {
+  __atomic_fetch_sub(&mmx_prof_live_bytes, bytes, __ATOMIC_RELAXED);
+}
+
+/* Per-thread busy time of the OMP row-panel loops, indexed by the dense
+ * mmx_prof thread id (0 = whichever thread hit the profiler first). */
+static void mmx_prof_panel_end(unsigned long long t0,
+                               unsigned long long tiles) {
+  int tid = mmx_prof_tid();
+  unsigned long long dur = mmx_prof_now() - t0;
+  if (tid < MMX_PROF_MAX_THREADS)
+    __atomic_fetch_add(&mmx_prof_thread_busy[tid], dur, __ATOMIC_RELAXED);
+  __atomic_fetch_add(&mmx_prof_mm_tiles, tiles, __ATOMIC_RELAXED);
+}
+
+static mmx_prof_site mmx_prof_site_matmul = {"kernel.matmul", "kernel",
+                                             0, 0, 0};
+
+/* Hooks the prelude's mmx_alloc / mmx_retain / mmx_release / matmul cores
+ * expand. The release hook reads refcount==1 before the atomic decrement
+ * to credit freed bytes; concurrent releases of one matrix can misattribute
+ * the final free, so live_bytes is near-exact under contention. */
+#define MMX_PROF_ALLOC(bytes) mmx_prof_alloc_hit((unsigned long long)(bytes))
+#define MMX_PROF_RETAIN(m) \
+  do { \
+    if (m) __atomic_fetch_add(&mmx_prof_retains, 1, __ATOMIC_RELAXED); \
+  } while (0)
+#define MMX_PROF_RELEASE(m) \
+  do { \
+    if (m) { \
+      __atomic_fetch_add(&mmx_prof_releases, 1, __ATOMIC_RELAXED); \
+      if ((m)->refcount == 1) \
+        mmx_prof_free_hit(sizeof(mmx_mat) + \
+                          (unsigned long long)mmx_count(m) * \
+                              mmx_esize((m)->elem)); \
+    } \
+  } while (0)
+#define MMX_PROF_PANEL_BEGIN() unsigned long long __mmx_pt0 = mmx_prof_now()
+#define MMX_PROF_PANEL_END(tiles) \
+  mmx_prof_panel_end(__mmx_pt0, (unsigned long long)(tiles))
+#define MMX_PROF_KERNEL_BEGIN() unsigned long long __mmx_kt0 = mmx_prof_now()
+#define MMX_PROF_KERNEL_END() \
+  mmx_prof_site_hit(&mmx_prof_site_matmul, __mmx_kt0)
+
+)PROF";
+
+// Emitted after the site table (it iterates mmx_prof_sites, which lists
+// every codegen site the emitter created plus the builtin matmul site).
+const char* kProfDump = R"PROFDUMP(
+static void mmx_prof_json_chars(FILE* f, const char* s) {
+  for (; *s; ++s) {
+    unsigned char c = (unsigned char)*s;
+    if (c == '"' || c == '\\') {
+      fputc('\\', f);
+      fputc(c, f);
+    } else if (c == '\n') {
+      fputs("\\n", f);
+    } else if (c == '\t') {
+      fputs("\\t", f);
+    } else if (c < 0x20) {
+      fprintf(f, "\\u%04x", c);
+    } else {
+      fputc(c, f);
+    }
+  }
+}
+
+static void mmx_prof_json_key(FILE* f, const char* name, const char* suffix) {
+  fputc('"', f);
+  mmx_prof_json_chars(f, name);
+  fputs(suffix, f);
+  fputc('"', f);
+}
+
+static void mmx_prof_dump(void) {
+  const char* path = getenv("MMX_PROF_JSON");
+  if (path && *path) {
+    FILE* f = fopen(path, "w");
+    if (f) {
+      fputs("{\n", f);
+      fprintf(f, "  \"rt.alloc.count\": %llu,\n", mmx_prof_allocs);
+      fprintf(f, "  \"rt.alloc.bytes\": %llu,\n", mmx_prof_alloc_bytes);
+      fprintf(f, "  \"rt.alloc.liveBytes\": %llu,\n",
+              __atomic_load_n(&mmx_prof_live_bytes, __ATOMIC_RELAXED));
+      fprintf(f, "  \"rt.alloc.peakBytes\": %llu,\n", mmx_prof_peak_bytes);
+      fprintf(f, "  \"rt.rc.retains\": %llu,\n", mmx_prof_retains);
+      fprintf(f, "  \"rt.rc.releases\": %llu,\n", mmx_prof_releases);
+      fprintf(f, "  \"kernel.matmul.tiles\": %llu", mmx_prof_mm_tiles);
+      for (int t = 0; t < mmx_prof_ntids && t < MMX_PROF_MAX_THREADS; ++t)
+        if (mmx_prof_thread_busy[t])
+          fprintf(f, ",\n  \"omp.t%d.busy_ns\": %llu", t,
+                  mmx_prof_thread_busy[t]);
+      for (int i = 0; mmx_prof_sites[i]; ++i) {
+        mmx_prof_site* s = mmx_prof_sites[i];
+        if (!s->count) continue;
+        fputs(",\n  ", f);
+        mmx_prof_json_key(f, s->name, ".count");
+        fprintf(f, ": %llu,\n  ", s->count);
+        mmx_prof_json_key(f, s->name, ".ns");
+        fprintf(f, ": %llu,\n  ", s->total_ns);
+        mmx_prof_json_key(f, s->name, ".max_ns");
+        fprintf(f, ": %llu", s->max_ns);
+      }
+      fputs("\n}\n", f);
+      fclose(f);
+    }
+  }
+#ifdef MMX_PROF_WANT_TRACE
+  path = getenv("MMX_PROF_TRACE");
+  if (path && *path) {
+    FILE* f = fopen(path, "w");
+    if (f) {
+      fputs("{\"traceEvents\":[", f);
+      fputs("\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+            "\"args\":{\"name\":\"mmx runtime\"}}",
+            f);
+      unsigned long long n =
+          __atomic_load_n(&mmx_prof_ev_n, __ATOMIC_RELAXED);
+      if (n > MMX_PROF_MAX_EVENTS) n = MMX_PROF_MAX_EVENTS;
+      for (unsigned long long k = 0; k < n; ++k) {
+        mmx_prof_ev* e = &mmx_prof_evs[k];
+        fputs(",\n{\"name\":", f);
+        mmx_prof_json_key(f, e->name, "");
+        fputs(",\"cat\":", f);
+        mmx_prof_json_key(f, e->cat, "");
+        fprintf(f,
+                ",\"ph\":\"X\",\"ts\":%llu.%03llu,\"dur\":%llu.%03llu,"
+                "\"pid\":2,\"tid\":%d}",
+                e->ts / 1000, e->ts % 1000, e->dur / 1000, e->dur % 1000,
+                e->tid);
+      }
+      fputs("\n],\"displayTimeUnit\":\"ms\"}\n", f);
+      fclose(f);
+    }
+  }
+#endif
+}
+)PROFDUMP";
+
+/// Removes every line containing an MMX_PROF hook marker. Applied to the
+/// prelude/appendix text when instrumentation is off: hooks are planted as
+/// whole lines, so stripping them restores the historical output exactly.
+std::string stripProfLines(const char* text) {
+  std::string out;
+  const char* p = text;
+  while (*p) {
+    const char* nl = strchr(p, '\n');
+    size_t len = nl ? static_cast<size_t>(nl - p) + 1 : strlen(p);
+    if (std::string_view(p, len).find("MMX_PROF") == std::string_view::npos)
+      out.append(p, len);
+    p += len;
+  }
+  return out;
+}
+
 int ewOpCode(ArithOp op) {
   switch (op) {
     case ArithOp::Add: return 0;
@@ -269,8 +541,13 @@ class FnEmitter {
 public:
   FnEmitter(const Function& f, std::vector<std::string>& errors,
             BoundsCheckMode mode = BoundsCheckMode::On,
-            const GuardPlan* plan = nullptr)
-      : f_(f), errors_(errors), mode_(mode), plan_(plan) {
+            const GuardPlan* plan = nullptr,
+            InstrumentMode instr = InstrumentMode::Off,
+            const SourceManager* sm = nullptr,
+            std::vector<std::string>* siteDecls = nullptr,
+            int* siteId = nullptr)
+      : f_(f), errors_(errors), mode_(mode), plan_(plan), instr_(instr),
+        sm_(sm), siteDecls_(siteDecls), siteId_(siteId) {
     names_.reserve(f.locals.size());
     for (size_t i = 0; i < f.locals.size(); ++i) {
       std::string n;
@@ -353,6 +630,31 @@ private:
   }
 
   void err(const std::string& m) { errors_.push_back(f_.name + ": " + m); }
+
+  // --- instrumentation sites (ISSUE 5) -----------------------------------
+  /// Span label with source attribution: "<kind>@file:line" when the
+  /// originating statement has a resolvable location, "<kind>@fnname"
+  /// otherwise (e.g. synthesized IR).
+  std::string siteLabel(const char* kind) const {
+    if (sm_ && curRange_.valid()) {
+      auto lc = sm_->lineCol(curRange_.begin);
+      return std::string(kind) + "@" + std::string(sm_->name(curRange_.begin.file)) +
+             ":" + std::to_string(lc.line);
+    }
+    return std::string(kind) + "@" + f_.name;
+  }
+
+  /// Registers a per-site aggregate struct; returns its C variable name.
+  /// Declarations are collected by the caller and emitted before the
+  /// function bodies (they are static, taken by address in the hooks).
+  std::string newSite(const char* kind, const char* cat) {
+    int id = (*siteId_)++;
+    std::string var = "mmx_prof_site_" + std::to_string(id);
+    siteDecls_->push_back("static mmx_prof_site " + var + " = {\"" +
+                          escapeC(siteLabel(kind)) + "\", \"" + cat +
+                          "\", 0, 0, 0};");
+    return var;
+  }
 
   /// True when the guard at `site` (the IR node's address, the key the
   /// shapecheck pass used) should be dropped from the emitted code.
@@ -448,10 +750,23 @@ private:
     if (e.ty == Ty::Mat) {
       if (aM && bM) {
         const char* sfx = skip(&e) ? "_nc" : "";
-        if (e.aop == ArithOp::Mul)
-          return matTemp("mmx_matmul" + std::string(sfx) + "(" +
-                         matVal(*e.args[0]) + ", " + matVal(*e.args[1]) +
-                         ")");
+        if (e.aop == ArithOp::Mul) {
+          // Evaluate the operands first so nested constructor statements
+          // don't land inside the matmul span.
+          std::string a = matVal(*e.args[0]);
+          std::string b = matVal(*e.args[1]);
+          std::string ctor =
+              "mmx_matmul" + std::string(sfx) + "(" + a + ", " + b + ")";
+          if (instr_ == InstrumentMode::Off) return matTemp(ctor);
+          std::string site = newSite("matmul", "matmul");
+          int id = tempId_++;
+          line() << "unsigned long long __mmt" << id
+                 << " = mmx_prof_now();\n";
+          std::string t = matTemp(ctor);
+          line() << "mmx_prof_site_hit(&" << site << ", __mmt" << id
+                 << ");\n";
+          return t;
+        }
         return matTemp("mmx_ew" + std::string(sfx) + "(" +
                        std::to_string(ewOpCode(e.aop)) + ", " +
                        matVal(*e.args[0]) + ", " + matVal(*e.args[1]) + ")");
@@ -598,6 +913,7 @@ private:
 
   // --- statements ---------------------------------------------------------
   void stmt(const Stmt& s) {
+    if (s.range.valid()) curRange_ = s.range;
     switch (s.k) {
       case Stmt::K::Block:
         for (const auto& k : s.kids)
@@ -815,6 +1131,19 @@ private:
     assigned.insert(s.slot);
     collectAssigned(*s.kids[0], assigned);
 
+    // One span per dynamic execution of the with-loop, attributed to its
+    // source line — the region the paper parallelizes is the unit a
+    // profile needs to rank.
+    std::string site;
+    int siteTmp = 0;
+    if (instr_ != InstrumentMode::Off) {
+      site = newSite("with-loop", "withloop");
+      siteTmp = tempId_++;
+      line() << "{ unsigned long long __pf" << siteTmp
+             << " = mmx_prof_now();\n";
+      ++indent_;
+    }
+
     std::string lo = expr(*s.exprs[0]);
     std::string hi = expr(*s.exprs[1]);
     line() << "{ long long __plo = " << lo << ", __phi = " << hi << ";\n";
@@ -841,6 +1170,12 @@ private:
     line() << "}\n";
     --indent_;
     line() << "}\n";
+    if (!site.empty()) {
+      line() << "mmx_prof_site_hit(&" << site << ", __pf" << siteTmp
+             << ");\n";
+      --indent_;
+      line() << "}\n";
+    }
   }
 
   // --- vectorized loops (SSE, Fig. 11) -----------------------------------
@@ -1034,6 +1369,11 @@ private:
   std::vector<std::string>& errors_;
   BoundsCheckMode mode_ = BoundsCheckMode::On;
   const GuardPlan* plan_ = nullptr;
+  InstrumentMode instr_ = InstrumentMode::Off;
+  const SourceManager* sm_ = nullptr;
+  std::vector<std::string>* siteDecls_ = nullptr;
+  int* siteId_ = nullptr;
+  SourceRange curRange_; // source range of the statement being emitted
   std::ostringstream body_;
   std::vector<std::string> names_;
   std::vector<std::string> extra_;
@@ -1049,16 +1389,36 @@ CEmitResult emitC(const Module& m) { return emitC(m, CEmitOptions{}); }
 
 CEmitResult emitC(const Module& m, const CEmitOptions& opts) {
   CEmitResult res;
+  const bool instr = opts.instrument != InstrumentMode::Off;
   std::ostringstream out;
-  out << kPrelude << kAppendix;
-  if (opts.boundsChecks != BoundsCheckMode::On) out << kNcAppendix;
+  if (instr) {
+    // The prof runtime precedes the prelude: its MMX_PROF_* macros expand
+    // the hook lines the prelude carries. When instrumentation is off
+    // those hook lines are stripped instead, so the default output is
+    // byte-identical to the uninstrumented emitter.
+    if (opts.instrument == InstrumentMode::Trace)
+      out << "#define MMX_PROF_WANT_TRACE 1\n";
+    out << kProfRuntime << kPrelude << kAppendix;
+    if (opts.boundsChecks != BoundsCheckMode::On) out << kNcAppendix;
+  } else {
+    out << stripProfLines(kPrelude) << stripProfLines(kAppendix);
+    if (opts.boundsChecks != BoundsCheckMode::On)
+      out << stripProfLines(kNcAppendix);
+  }
   out << "\n/* ---- forward declarations ---- */\n";
   for (const auto& f : m.functions)
     out << FnEmitter::signature(*f, nullptr) << ";\n";
   out << "\n";
 
+  // Bodies build into a side stream so the per-site aggregate structs they
+  // reference can be declared first.
+  std::vector<std::string> siteDecls;
+  int siteId = 0;
+  std::ostringstream bodies;
   for (const auto& f : m.functions) {
-    FnEmitter fe(*f, res.errors, opts.boundsChecks, opts.plan.get());
+    FnEmitter fe(*f, res.errors, opts.boundsChecks, opts.plan.get(),
+                 opts.instrument, opts.sourceManager.get(),
+                 instr ? &siteDecls : nullptr, instr ? &siteId : nullptr);
     std::string body = fe.run();
     // Splice the extra temp declarations after the opening brace, and
     // their releases before the cleanup label's releases.
@@ -1073,10 +1433,30 @@ CEmitResult emitC(const Module& m, const CEmitOptions& opts) {
       size_t cleanup = body.find("mmx_cleanup:;\n");
       body.insert(cleanup + std::string("mmx_cleanup:;\n").size(), rels);
     }
-    out << body << "\n";
+    bodies << body << "\n";
+  }
+
+  if (instr) {
+    out << "/* ---- mmx_prof: codegen spans ---- */\n";
+    for (const auto& d : siteDecls) out << d << "\n";
+    out << "\n";
+  }
+  out << bodies.str();
+
+  if (instr) {
+    // Null-terminated site table the dump walks; the builtin matmul
+    // kernel site leads so it sorts first in the stats object.
+    out << "static mmx_prof_site* mmx_prof_sites[] = {\n"
+        << "    &mmx_prof_site_matmul,\n";
+    for (int i = 0; i < siteId; ++i)
+      out << "    &mmx_prof_site_" << i << ",\n";
+    out << "    0,\n};\n" << kProfDump << "\n";
   }
 
   out << "int main(void) {\n";
+  if (instr)
+    out << "  mmx_prof_t0 = mmx_prof_raw_ns();\n"
+        << "  atexit(mmx_prof_dump);\n";
   const Function* mainFn = m.find("main");
   if (mainFn && mainFn->rets.size() == 1 && mainFn->rets[0] == Ty::I32)
     out << "  return xc_main();\n";

@@ -18,6 +18,7 @@
 
 #include "ir/guards.hpp"
 #include "ir/ir.hpp"
+#include "support/source.hpp"
 
 namespace mmx::ir {
 
@@ -33,9 +34,25 @@ struct CEmitResult {
 /// GuardPlan: sites the analysis proved safe use the unchecked form,
 /// everything else keeps its guard. Under Auto the plan's borrowed
 /// parameters also drop their per-call retain/release pair.
+/// Runtime instrumentation compiled into the translated program (ISSUE 5).
+/// `Off` strips every mmx_prof hook line from the prelude, so the output
+/// is byte-identical to the uninstrumented emitter. `Counters` plants the
+/// mmx_prof runtime: allocation/refcount traffic, per-thread OMP panel
+/// busy time, and per-site aggregates (with-loops, matmul) dumped as flat
+/// stats JSON to $MMX_PROF_JSON at exit. `Trace` additionally buffers one
+/// Chrome trace event per span and dumps them to $MMX_PROF_TRACE — the
+/// same schemas mmc's own --stats-json/--trace-json emit, so compile-time
+/// and run-time land on one Perfetto timeline (the runtime uses pid 2,
+/// the compiler pid 1).
+enum class InstrumentMode { Off, Counters, Trace };
+
 struct CEmitOptions {
   BoundsCheckMode boundsChecks = BoundsCheckMode::On;
   std::shared_ptr<const GuardPlan> plan; // consulted when Auto
+  InstrumentMode instrument = InstrumentMode::Off;
+  /// Source attribution for instrumented spans ("with-loop@file:line").
+  /// Optional: without it, spans fall back to the enclosing function name.
+  std::shared_ptr<const SourceManager> sourceManager;
 };
 
 /// Emits the module as a C99 translation unit. Compile with:

@@ -3,9 +3,34 @@
 #include <cstdlib>
 #include <new>
 
+#include "support/metrics.hpp"
+
 namespace mmx::rt {
 
 namespace {
+
+// Allocator telemetry (ISSUE 5): the §III-C bench allocators surface their
+// contention and growth through the same registry as the rc cells, so an
+// --stats-json run shows which backend the traffic went through.
+const metrics::Counter& mutexLockCounter() {
+  static const metrics::Counter c =
+      metrics::counter("rt.alloc.mutex.acquisitions");
+  return c;
+}
+const metrics::Counter& mutexReuseCounter() {
+  static const metrics::Counter c = metrics::counter("rt.alloc.mutex.reused");
+  return c;
+}
+const metrics::Counter& arenaChunkCounter() {
+  static const metrics::Counter c = metrics::counter("rt.alloc.arena.chunks");
+  return c;
+}
+const metrics::Counter& arenaChunkBytesCounter() {
+  static const metrics::Counter c =
+      metrics::counter("rt.alloc.arena.chunkBytes");
+  return c;
+}
+
 int bucketFor(size_t bytes) {
   int b = 0;
   size_t cap = 16;
@@ -31,9 +56,11 @@ void* MutexAllocator::allocate(size_t bytes) {
   int b = bucketFor(bytes + 16);
   std::lock_guard<std::mutex> lock(mu_);
   ++acquisitions_;
+  mutexLockCounter().add();
   Block* blk = freeList_[b];
   if (blk) {
     freeList_[b] = blk->next;
+    mutexReuseCounter().add();
   } else {
     blk = static_cast<Block*>(::operator new(bucketBytes(b),
                                              std::align_val_t{16}));
@@ -48,6 +75,7 @@ void MutexAllocator::deallocate(void* p) {
   int b = static_cast<int>(blk->bytes);
   std::lock_guard<std::mutex> lock(mu_);
   ++acquisitions_;
+  mutexLockCounter().add();
   blk->next = freeList_[b];
   freeList_[b] = blk;
 }
@@ -96,6 +124,8 @@ void* ArenaAllocator::allocate(size_t bytes) {
     size_t cap = need > kChunkSize ? need : kChunkSize;
     c = static_cast<Chunk*>(::operator new(sizeof(Chunk) + cap,
                                            std::align_val_t{16}));
+    arenaChunkCounter().add();
+    arenaChunkBytesCounter().add(cap);
     c->next = a.head;
     c->used = 0;
     c->cap = cap;

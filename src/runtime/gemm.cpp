@@ -348,6 +348,10 @@ Matrix matmulTiled(Executor& exec, const Matrix& a, const Matrix& b) {
 
 Matrix matmul(Executor& exec, const Matrix& a, const Matrix& b) {
   checkMatmulArgs(a, b);
+  // "kernel.matmul" matches the site the emitted-C mmx_prof runtime
+  // records around mmx_matmul, so both backends report the same
+  // kernel.matmul.{count,ns,max_ns} stats keys.
+  metrics::ScopedTimer t("kernel.matmul", "kernel");
   if (a.dim(0) * a.dim(1) * b.dim(1) < kTiledCutoff)
     return matmulNaiveChecked(exec, a, b);
   return matmulTiledChecked(exec, a, b);

@@ -50,6 +50,18 @@ const metrics::Counter& inlinedCounter() {
   return c;
 }
 
+/// Per-thread busy/idle counters (ISSUE 5): `pool.t<k>.busy_ns` /
+/// `pool.t<k>.idle_ns` split the aggregate spin/work totals by worker, the
+/// shape a load-imbalance investigation needs. Registered per worker
+/// thread, so the name construction runs once per thread, not per region.
+struct WorkerCounters {
+  metrics::Counter busy;
+  metrics::Counter idle;
+  explicit WorkerCounters(unsigned tid)
+      : busy(metrics::counter("pool.t" + std::to_string(tid) + ".busy_ns")),
+        idle(metrics::counter("pool.t" + std::to_string(tid) + ".idle_ns")) {}
+};
+
 /// Emits the per-region span + counter around a region body. The span is
 /// emitted by every executor so 1-thread traces still show regions.
 template <class Body> void tracedRegion(Body&& body) {
@@ -127,6 +139,7 @@ ForkJoinPool::~ForkJoinPool() {
 
 void ForkJoinPool::workerLoop(unsigned tid) {
   uint64_t seen = 0;
+  const WorkerCounters wc(tid);
   for (;;) {
     // Park in the spin gate until the main thread advances the generation.
     // When metrics are on, gate time counts as spin and region execution
@@ -140,13 +153,19 @@ void ForkJoinPool::workerLoop(unsigned tid) {
     if (metrics::enabled()) {
       released = metrics::nowNs();
       spinCounter().add(released - parked);
+      wc.idle.add(released - parked);
     }
 
     int64_t clo, chi;
     chunkOf(lo_, hi_, tid, nThreads_, clo, chi);
     if (chi > clo) fn_(ctx_, clo, chi, tid);
 
-    if (released) workCounter().add(metrics::nowNs() - released);
+    if (released) {
+      uint64_t busy = metrics::nowNs() - released;
+      workCounter().add(busy);
+      wc.busy.add(busy);
+      if (chi > clo) metrics::traceSpan("chunk", "pool", released, busy);
+    }
 
     // Stop barrier: last one out lets the main thread continue.
     running_.fetch_sub(1, std::memory_order_acq_rel);
@@ -172,7 +191,18 @@ void ForkJoinPool::parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) {
     // Main thread is worker 0.
     int64_t clo, chi;
     chunkOf(lo, hi, 0, nThreads_, clo, chi);
-    if (chi > clo) fn(ctx, clo, chi, 0);
+    if (chi > clo) {
+      if (metrics::enabled()) {
+        static const WorkerCounters wc0(0);
+        uint64_t start = metrics::nowNs();
+        fn(ctx, clo, chi, 0);
+        uint64_t busy = metrics::nowNs() - start;
+        wc0.busy.add(busy);
+        metrics::traceSpan("chunk", "pool", start, busy);
+      } else {
+        fn(ctx, clo, chi, 0);
+      }
+    }
 
     // Wait in the stop barrier for the workers.
     if (metrics::enabled()) {

@@ -39,6 +39,12 @@ int32_t rcCount(const void* p) noexcept;
 /// Number of live rcAlloc blocks (test invariant: leak detection).
 int64_t rcLiveBlocks() noexcept;
 
+/// Bytes currently held by live rcAlloc blocks (headers included), and the
+/// process-lifetime high-water mark. Also exposed as the
+/// `rt.alloc.liveBytes` / `rt.alloc.peakBytes` metrics gauges.
+uint64_t rcLiveBytes() noexcept;
+uint64_t rcPeakBytes() noexcept;
+
 /// Typed smart handle over an rcAlloc'd array of T (trivially destructible
 /// types only — the runtime stores scalars). Copying retains, destruction
 /// releases: the C++-side mirror of the refcount extension's pointers.

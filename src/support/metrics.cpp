@@ -73,6 +73,8 @@ struct Registry {
 
   std::atomic<unsigned> nextTid{0};
   TraceBuf trace;
+
+  std::vector<std::pair<std::string, GaugeFn>> gauges;
 };
 
 Registry& registry() {
@@ -121,6 +123,12 @@ ThreadShard& shard() {
   }
   return *owner.p;
 }
+
+// Every timestamp in this file derives from steady_clock: wall clocks can
+// be stepped (NTP) mid-run, which would produce negative span durations in
+// the trace output.
+static_assert(std::chrono::steady_clock::is_steady,
+              "metrics timestamps require a monotonic clock");
 
 uint64_t processStartNs() {
   static const uint64_t t0 = static_cast<uint64_t>(
@@ -231,6 +239,17 @@ Timer timer(std::string_view name) {
   return Timer(id);
 }
 
+void registerGauge(std::string_view name, GaugeFn fn) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& g : r.gauges)
+    if (g.first == name) {
+      g.second = fn;
+      return;
+    }
+  r.gauges.emplace_back(std::string(name), fn);
+}
+
 void Timer::record(uint64_t ns) const {
   if (!enabled()) return;
   shard().timers[id_].record(ns);
@@ -298,6 +317,10 @@ Snapshot snapshot() {
       v += s->counters[i].load(std::memory_order_relaxed);
     if (v) out.counters.push_back({r.counterNames[i], v});
   }
+  for (const auto& [name, fn] : r.gauges) {
+    uint64_t v = fn();
+    if (v) out.counters.push_back({name, v});
+  }
   std::sort(out.counters.begin(), out.counters.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
 
@@ -348,16 +371,30 @@ std::string renderTimeReport(const Snapshot& s) {
       out << line;
     }
   }
-  if (!s.counters.empty()) {
-    out << "=== counters ===\n";
-    size_t w = 0;
-    for (const auto& c : s.counters) w = std::max(w, c.name.size());
-    for (const auto& c : s.counters) {
-      char line[160];
-      std::snprintf(line, sizeof(line), "%-*s %12llu\n", static_cast<int>(w),
-                    c.name.c_str(), static_cast<unsigned long long>(c.value));
-      out << line;
-    }
+  // Zero-valued counters are omitted from the snapshot, but the runtime
+  // counters perf work steers by always print — their absence should read
+  // as "0", not "not instrumented".
+  static const char* const kAlwaysShown[] = {
+      "kernel.matmul.packedBytes",
+      "kernel.matmul.tiles",
+      "pool.inlinedDispatches",
+  };
+  std::vector<Snapshot::CounterRow> rows = s.counters;
+  for (const char* name : kAlwaysShown) {
+    bool present = std::any_of(rows.begin(), rows.end(),
+                               [&](const auto& c) { return c.name == name; });
+    if (!present) rows.push_back({name, 0});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  out << "=== counters ===\n";
+  size_t w = 0;
+  for (const auto& c : rows) w = std::max(w, c.name.size());
+  for (const auto& c : rows) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-*s %12llu\n", static_cast<int>(w),
+                  c.name.c_str(), static_cast<unsigned long long>(c.value));
+    out << line;
   }
   return out.str();
 }

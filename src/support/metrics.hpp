@@ -79,6 +79,18 @@ private:
 
 Timer timer(std::string_view name);
 
+/// Gauge callback: returns the current value of an externally-maintained
+/// quantity (live bytes, high-water marks, ...). Unlike counters, gauges
+/// are not accumulated here — they are polled once per snapshot(), so the
+/// callback must be cheap and safe to call from any thread.
+using GaugeFn = uint64_t (*)();
+
+/// Registers `fn` under `name`; its polled value appears among the counter
+/// rows of every subsequent snapshot. Registering the same name again
+/// replaces the callback. Gauges report even while metrics are disabled
+/// (the producer side maintains them unconditionally or not at all).
+void registerGauge(std::string_view name, GaugeFn fn);
+
 /// Appends one complete trace span (pre-measured). No-op while disabled.
 /// `name` and `category` must outlive the registry (string literals).
 void traceSpan(const char* name, const char* category, uint64_t startNs,

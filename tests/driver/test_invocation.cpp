@@ -70,6 +70,49 @@ TEST(CompilerInvocation, ObservabilityFlags) {
   EXPECT_TRUE(inv.metricsRequested());
 }
 
+TEST(CompilerInvocation, EqualsJoinedValuesParseLikeSeparateArgs) {
+  CompilerInvocation inv;
+  auto r = parse(inv, {"p.xc", "--stats-json=s.json", "--trace-json=t.json",
+                       "--threads=8", "--bounds-checks=off"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(inv.statsJsonPath, "s.json");
+  EXPECT_EQ(inv.traceJsonPath, "t.json");
+  EXPECT_EQ(inv.threads, 8u);
+  EXPECT_EQ(inv.opts.boundsChecks, ir::BoundsCheckMode::Off);
+
+  // Joined values still validate...
+  CompilerInvocation bad;
+  EXPECT_FALSE(parse(bad, {"p.xc", "--threads=zero"}).ok);
+  // ...valueless flags reject one...
+  CompilerInvocation val;
+  EXPECT_FALSE(parse(val, {"p.xc", "--time-report=yes"}).ok);
+  // ...and a positional with '=' is not treated as a flag.
+  CompilerInvocation pos;
+  ASSERT_TRUE(parse(pos, {"a=b.xc"}).ok);
+  EXPECT_EQ(pos.inputPath, "a=b.xc");
+}
+
+TEST(CompilerInvocation, InstrumentFlag) {
+  CompilerInvocation inv;
+  ASSERT_TRUE(parse(inv, {"p.xc"}).ok);
+  EXPECT_EQ(inv.instrument, ir::InstrumentMode::Off);
+
+  CompilerInvocation cnt;
+  ASSERT_TRUE(parse(cnt, {"p.xc", "--instrument", "counters"}).ok);
+  EXPECT_EQ(cnt.instrument, ir::InstrumentMode::Counters);
+
+  CompilerInvocation trc;
+  ASSERT_TRUE(parse(trc, {"p.xc", "--instrument=trace"}).ok);
+  EXPECT_EQ(trc.instrument, ir::InstrumentMode::Trace);
+
+  CompilerInvocation off;
+  ASSERT_TRUE(parse(off, {"p.xc", "--instrument=off"}).ok);
+  EXPECT_EQ(off.instrument, ir::InstrumentMode::Off);
+
+  CompilerInvocation bad;
+  EXPECT_FALSE(parse(bad, {"p.xc", "--instrument", "everything"}).ok);
+}
+
 TEST(CompilerInvocation, ErrorsOnUnknownFlagMissingValueExtraInput) {
   CompilerInvocation a;
   EXPECT_FALSE(parse(a, {"p.xc", "--frobnicate"}).ok);
@@ -103,7 +146,7 @@ TEST(CompilerInvocation, HelpTextListsEveryFlagOnce) {
        {"--emit-ir", "--emit-c", "--analyze", "--threads", "--executor",
         "--no-fusion", "--no-parallel", "--no-slice-elim", "--strict-parallel",
         "-Wparallel", "-Wno-parallel", "--time-report", "--stats-json",
-        "--trace-json", "--help"}) {
+        "--trace-json", "--instrument", "--help"}) {
     size_t first = help.find(flag);
     EXPECT_NE(first, std::string::npos) << flag << " missing from help";
   }

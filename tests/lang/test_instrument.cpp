@@ -1,0 +1,185 @@
+// Runtime-profiling tests (mmc --instrument): zero overhead when off,
+// source-attributed spans and counter parity with the interpreter's
+// metrics registry when on.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "ir/cemit.hpp"
+#include "support/metrics.hpp"
+#include "xc_helper.hpp"
+
+namespace mmx::test {
+namespace {
+
+// A file-free workload touching every instrumented surface: two parallel
+// with-loops (lines 4 and 5 of this source), one matmul (line 6), plus
+// the allocator/refcount traffic they imply. 96x96 is large enough that
+// both backends route the multiply through their tiled engines (the
+// interpreter skips tiling counters for tiny operands).
+const char* kWorkload = R"(int main() {
+  int n = 96;
+  Matrix float <2> a = init(Matrix float <2>, n, n);
+  a = with ([0,0] <= [i,j] < [n,n]) genarray([n,n], i * 1.0 + j);
+  Matrix float <2> b = with ([0,0] <= [i,j] < [n,n]) genarray([n,n], i - j * 0.5);
+  Matrix float <2> c = a * b;
+  printFloat(c[3, 4]);
+  return 0;
+})";
+
+ir::CEmitResult emitWith(const std::string& src, ir::InstrumentMode mode) {
+  auto res = translateXc(src);
+  EXPECT_TRUE(res.ok) << res.renderDiagnostics();
+  ir::CEmitOptions eo;
+  eo.boundsChecks = res.boundsChecks;
+  eo.plan = res.guardPlan;
+  eo.instrument = mode;
+  eo.sourceManager = res.sourceManager;
+  return ir::emitC(*res.module, eo);
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Compiles emitted C and runs it with MMX_PROF_JSON/MMX_PROF_TRACE
+/// pointed at temp files; returns their contents.
+struct ProfRun {
+  std::string stdoutText, statsJson, traceJson;
+};
+
+ProfRun compileAndProfile(const std::string& cCode, const char* tag) {
+  ProfRun r;
+  std::string base = std::string(::testing::TempDir()) + "instr_" + tag;
+  std::ofstream(base + ".c") << cCode;
+  std::string cmd = "cc -O2 -std=gnu99 -msse4.2 -fopenmp " + base + ".c -o " +
+                    base + ".bin -lm 2>" + base + ".err";
+  if (std::system(cmd.c_str()) != 0) {
+    ADD_FAILURE() << "cc failed:\n" << readFile(base + ".err");
+    return r;
+  }
+  cmd = "MMX_PROF_JSON=" + base + ".stats MMX_PROF_TRACE=" + base +
+        ".trace OMP_NUM_THREADS=2 " + base + ".bin >" + base + ".out";
+  if (std::system(cmd.c_str()) != 0) {
+    ADD_FAILURE() << "instrumented binary exited nonzero";
+    return r;
+  }
+  r.stdoutText = readFile(base + ".out");
+  r.statsJson = readFile(base + ".stats");
+  r.traceJson = readFile(base + ".trace");
+  for (const char* ext : {".c", ".bin", ".err", ".out", ".stats", ".trace"})
+    std::remove((base + ext).c_str());
+  return r;
+}
+
+/// Pulls the integer value of `"key": N` out of a flat stats JSON text.
+long long statValue(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\": ";
+  size_t at = json.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::atoll(json.c_str() + at + needle.size());
+}
+
+TEST(Instrument, OffModeIsByteIdenticalAndHookFree) {
+  auto res = translateXc(kWorkload);
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  // The two ways of asking for no instrumentation agree byte for byte
+  // (same bounds-check mode; only the instrument default differs)...
+  ir::CEmitOptions eo;
+  eo.boundsChecks = res.boundsChecks;
+  eo.plan = res.guardPlan;
+  auto plain = ir::emitC(*res.module, eo);
+  auto off = emitWith(kWorkload, ir::InstrumentMode::Off);
+  ASSERT_TRUE(plain.ok && off.ok);
+  EXPECT_EQ(plain.code, off.code);
+  // ...and neither leaks any profiling hook or runtime into the output.
+  EXPECT_EQ(plain.code.find("MMX_PROF"), std::string::npos);
+  EXPECT_EQ(plain.code.find("mmx_prof"), std::string::npos);
+}
+
+TEST(Instrument, CountersModeMatchesInterpreterRegistry) {
+  // Interpreter side: run the same program with the metrics registry on
+  // and capture the runtime counters.
+  metrics::reset();
+  metrics::enable(true);
+  runOk(kWorkload);
+  auto snap = metrics::snapshot();
+  metrics::enable(false);
+  auto counter = [&](const std::string& name) -> long long {
+    for (const auto& c : snap.counters)
+      if (c.name == name) return static_cast<long long>(c.value);
+    return -1;
+  };
+  auto timerCount = [&](const std::string& name) -> long long {
+    for (const auto& t : snap.timers)
+      if (t.name == name) return static_cast<long long>(t.count);
+    return -1;
+  };
+
+  // Emitted-C side: same program, instrumented binary, MMX_PROF_JSON dump.
+  auto c = emitWith(kWorkload, ir::InstrumentMode::Counters);
+  ASSERT_TRUE(c.ok) << (c.errors.empty() ? "" : c.errors.front());
+  ProfRun run = compileAndProfile(c.code, "parity");
+  ASSERT_FALSE(run.statsJson.empty());
+  EXPECT_TRUE(run.traceJson.empty()) << "counters mode must not trace";
+
+  // Counter parity: both backends report the same schema and agree on the
+  // machine-independent values (alloc events, kernel invocations, tiling).
+  EXPECT_EQ(statValue(run.statsJson, "rt.alloc.count"),
+            counter("rt.alloc.count"));
+  EXPECT_EQ(statValue(run.statsJson, "kernel.matmul.tiles"),
+            counter("kernel.matmul.tiles"));
+  EXPECT_EQ(statValue(run.statsJson, "kernel.matmul.count"),
+            timerCount("kernel.matmul"));
+  EXPECT_EQ(statValue(run.statsJson, "kernel.matmul.count"), 1);
+  // Refcount traffic exists on both sides (exact counts differ by design:
+  // the C emitter's borrowed-parameter elision drops retain/release pairs
+  // the interpreter performs).
+  EXPECT_GT(statValue(run.statsJson, "rt.rc.retains"), 0);
+  EXPECT_GT(statValue(run.statsJson, "rt.rc.releases"), 0);
+  EXPECT_GT(counter("rt.rc.retains"), 0);
+  // Everything allocated was released: live settles at zero, peak above.
+  EXPECT_EQ(statValue(run.statsJson, "rt.alloc.liveBytes"), 0);
+  EXPECT_GT(statValue(run.statsJson, "rt.alloc.peakBytes"), 0);
+}
+
+TEST(Instrument, TraceModeEmitsSourceAttributedSpans) {
+  auto c = emitWith(kWorkload, ir::InstrumentMode::Trace);
+  ASSERT_TRUE(c.ok);
+  // Span labels carry file:line of the originating construct.
+  EXPECT_NE(c.code.find("\"with-loop@test.xc:4\""), std::string::npos)
+      << c.code.substr(0, 2000);
+  EXPECT_NE(c.code.find("\"with-loop@test.xc:5\""), std::string::npos);
+  EXPECT_NE(c.code.find("\"matmul@test.xc:6\""), std::string::npos);
+
+  ProfRun run = compileAndProfile(c.code, "trace");
+  ASSERT_FALSE(run.traceJson.empty());
+  ASSERT_FALSE(run.statsJson.empty()) << "trace mode also dumps stats";
+  // The trace is the runtime half of a mergeable timeline: pid 2, named.
+  EXPECT_NE(run.traceJson.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(run.traceJson.find("\"mmx runtime\""), std::string::npos);
+  EXPECT_NE(run.traceJson.find("with-loop@test.xc:4"), std::string::npos);
+  EXPECT_NE(run.traceJson.find("matmul@test.xc:6"), std::string::npos);
+  EXPECT_NE(run.traceJson.find("kernel.matmul"), std::string::npos);
+  // Attributed spans also aggregate into the stats dump.
+  EXPECT_EQ(statValue(run.statsJson, "with-loop@test.xc:4.count"), 1);
+  EXPECT_EQ(statValue(run.statsJson, "matmul@test.xc:6.count"), 1);
+}
+
+TEST(Instrument, InstrumentedOutputMatchesUninstrumented) {
+  // Profiling must not change program behavior: all three modes print the
+  // same result the interpreter does.
+  std::string expected = runOk(kWorkload);
+  auto off = emitWith(kWorkload, ir::InstrumentMode::Off);
+  auto cnt = emitWith(kWorkload, ir::InstrumentMode::Counters);
+  auto trc = emitWith(kWorkload, ir::InstrumentMode::Trace);
+  ASSERT_TRUE(off.ok && cnt.ok && trc.ok);
+  EXPECT_EQ(compileAndProfile(off.code, "beh_off").stdoutText, expected);
+  EXPECT_EQ(compileAndProfile(cnt.code, "beh_cnt").stdoutText, expected);
+  EXPECT_EQ(compileAndProfile(trc.code, "beh_trc").stdoutText, expected);
+}
+
+} // namespace
+} // namespace mmx::test

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -148,6 +149,78 @@ TEST(Metrics, TraceJsonHasTraceEventsArray) {
   // Microsecond timestamps: 1000ns -> 1.000us, 2000ns -> 2.000us.
   EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos) << json;
   EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos) << json;
+}
+
+TEST(Metrics, SteadyClockBacksTimestamps) {
+  // The observability layer's timestamps must come from a monotonic
+  // source — wall-clock (system_clock) would tear spans across NTP steps.
+  // The compile-time assert lives in metrics.cpp; this documents and
+  // pins the runtime guarantee.
+  static_assert(std::chrono::steady_clock::is_steady);
+  uint64_t a = nowNs();
+  uint64_t b = nowNs();
+  EXPECT_LE(a, b);
+}
+
+TEST(Metrics, JsonEscapesHostileNames) {
+  // Span and counter names flow into JSON verbatim from instrumentation
+  // sites (which may embed file paths); quotes, backslashes, newlines,
+  // and control bytes must round-trip as valid JSON.
+  MetricsGuard g;
+  const char* hostile = "evil\"name\\with\nnewline\tand\x01" "ctrl";
+  counter(hostile).add(7);
+  traceSpan(hostile, "cat\"egory", 1000, 2000);
+  auto snap = snapshot();
+
+  std::string stats = renderStatsJson(snap);
+  EXPECT_NE(stats.find("\"evil\\\"name\\\\with\\nnewline\\tand\\u0001ctrl\""),
+            std::string::npos)
+      << stats;
+  // No raw quote/control byte survives inside any string literal.
+  EXPECT_EQ(stats.find("evil\"name"), std::string::npos);
+
+  std::string trace = renderTraceJson(snap);
+  EXPECT_NE(trace.find("\"evil\\\"name\\\\with\\nnewline\\tand\\u0001ctrl\""),
+            std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find("\"cat\\\"egory\""), std::string::npos);
+}
+
+TEST(Metrics, GaugesArePolledAtSnapshot) {
+  MetricsGuard g;
+  static uint64_t value = 0;
+  registerGauge("test.gauge", [] { return value; });
+  // Zero-valued gauges stay out of the snapshot (they'd be noise in every
+  // stats file); nonzero values appear as counter rows.
+  auto empty = snapshot();
+  for (const auto& c : empty.counters) EXPECT_NE(c.name, "test.gauge");
+  value = 41;
+  auto snap = snapshot();
+  bool found = false;
+  for (const auto& c : snap.counters)
+    if (c.name == "test.gauge") {
+      found = true;
+      EXPECT_EQ(c.value, 41u);
+    }
+  EXPECT_TRUE(found);
+  // Re-registering the same name replaces the callback instead of
+  // duplicating the row.
+  registerGauge("test.gauge", [] { return uint64_t{5}; });
+  int rows = 0;
+  for (const auto& c : snapshot().counters)
+    if (c.name == "test.gauge") ++rows;
+  EXPECT_EQ(rows, 1);
+}
+
+TEST(Metrics, TimeReportAlwaysShowsKernelCounters) {
+  // The --time-report counter section pins the kernel/pool headline rows
+  // even when they are zero, so a run that never hit the matmul engine
+  // still renders a comparable table.
+  MetricsGuard g;
+  std::string report = renderTimeReport(snapshot());
+  EXPECT_NE(report.find("kernel.matmul.tiles"), std::string::npos) << report;
+  EXPECT_NE(report.find("kernel.matmul.packedBytes"), std::string::npos);
+  EXPECT_NE(report.find("pool.inlinedDispatches"), std::string::npos);
 }
 
 TEST(Metrics, TimeReportMentionsPhaseAndCounter) {

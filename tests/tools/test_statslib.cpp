@@ -1,0 +1,145 @@
+// statslib: the JSON parsing / flattening / merge / diff / check logic
+// behind the mmx-stats CLI.
+#include "statslib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx::stats {
+namespace {
+
+Json parseOk(const std::string& text) {
+  Json v;
+  std::string err;
+  EXPECT_TRUE(parseJson(text, v, err)) << err;
+  return v;
+}
+
+TEST(StatsLib, ParsesScalarsStringsAndNesting) {
+  Json v = parseOk(R"({"a": 1, "b": -2.5e3, "s": "x\"y\\zA",
+                       "t": true, "n": null, "arr": [1, 2, {"k": 3}]})");
+  ASSERT_EQ(v.kind, Json::Kind::Obj);
+  EXPECT_EQ(v.get("a")->num, 1);
+  EXPECT_EQ(v.get("b")->num, -2500);
+  EXPECT_EQ(v.get("s")->str, "x\"y\\zA");
+  EXPECT_TRUE(v.get("t")->b);
+  EXPECT_EQ(v.get("n")->kind, Json::Kind::Null);
+  ASSERT_EQ(v.get("arr")->arr.size(), 3u);
+  EXPECT_EQ(v.get("arr")->arr[2].get("k")->num, 3);
+}
+
+TEST(StatsLib, RejectsMalformedInput) {
+  Json v;
+  std::string err;
+  EXPECT_FALSE(parseJson("{\"a\": }", v, err));
+  EXPECT_FALSE(parseJson("{\"a\": 1,}", v, err));
+  EXPECT_FALSE(parseJson("{\"a\": 1} trailing", v, err));
+  EXPECT_FALSE(parseJson("\"unterminated", v, err));
+  EXPECT_FALSE(parseJson("", v, err));
+}
+
+TEST(StatsLib, RoundTripsEscapedNames) {
+  // The names an instrumented run can emit (quotes, backslashes, control
+  // bytes from hostile file paths) must survive render -> parse.
+  Json obj;
+  obj.kind = Json::Kind::Obj;
+  Json num;
+  num.kind = Json::Kind::Num;
+  num.num = 3;
+  obj.obj.emplace_back("evil\"key\\with\nnl\x02", num);
+  Json back = parseOk(render(obj));
+  ASSERT_EQ(back.obj.size(), 1u);
+  EXPECT_EQ(back.obj[0].first, "evil\"key\\with\nnl\x02");
+  EXPECT_EQ(back.obj[0].second.num, 3);
+}
+
+TEST(StatsLib, FlattensFlatStatsAndBenchmarkReports) {
+  auto flat = flatten(parseOk(
+      R"({"rt.alloc.count": 5, "host.cpu": "Xeon", "kernel.matmul.ns": 99})"));
+  EXPECT_EQ(flat.size(), 2u); // strings don't flatten
+  EXPECT_EQ(flat.at("rt.alloc.count"), 5);
+  EXPECT_EQ(flat.at("kernel.matmul.ns"), 99);
+
+  auto bench = flatten(parseOk(R"({
+    "context": {"host.cpu": "Xeon"},
+    "benchmarks": [
+      {"name": "BM_Matmul/128", "family_index": 0, "repetitions": 1,
+       "iterations": 10, "real_time": 1.5, "cpu_time": 1.4,
+       "run_type": "iteration", "time_unit": "ms"},
+      {"name": "BM_Matmul/128_mean", "run_type": "aggregate",
+       "real_time": 1.5}
+    ]})"));
+  EXPECT_EQ(bench.at("BM_Matmul/128.real_time"), 1.5);
+  EXPECT_EQ(bench.at("BM_Matmul/128.cpu_time"), 1.4);
+  EXPECT_FALSE(bench.count("BM_Matmul/128.iterations")); // bookkeeping
+  EXPECT_FALSE(bench.count("BM_Matmul/128_mean.real_time")); // aggregate
+}
+
+TEST(StatsLib, MergesTracesOntoOneTimeline) {
+  Json compiler = parseOk(R"({"traceEvents": [
+    {"name": "parse", "ph": "X", "pid": 1, "tid": 0, "ts": 1, "dur": 2}
+  ], "displayTimeUnit": "ms"})");
+  Json runtime = parseOk(R"({"traceEvents": [
+    {"name": "kernel.matmul", "ph": "X", "pid": 2, "tid": 0, "ts": 5,
+     "dur": 7}
+  ], "displayTimeUnit": "ms"})");
+  Json merged = mergeTraces({compiler, runtime});
+  ASSERT_TRUE(isTrace(merged));
+  const Json* evs = merged.get("traceEvents");
+  ASSERT_EQ(evs->arr.size(), 2u);
+  EXPECT_EQ(evs->arr[0].get("pid")->num, 1);
+  EXPECT_EQ(evs->arr[1].get("pid")->num, 2);
+  EXPECT_EQ(merged.get("displayTimeUnit")->str, "ms");
+  // Rendered result is itself parseable (the CLI writes this verbatim).
+  parseOk(render(merged));
+}
+
+TEST(StatsLib, DiffSplitsCommonAndExclusiveMetrics) {
+  std::map<std::string, double> base{{"a", 10}, {"gone", 1}};
+  std::map<std::string, double> cur{{"a", 15}, {"new", 2}};
+  DiffResult r = diff(base, cur);
+  ASSERT_EQ(r.common.size(), 1u);
+  EXPECT_EQ(r.common[0].name, "a");
+  EXPECT_DOUBLE_EQ(r.common[0].relative(), 0.5);
+  ASSERT_EQ(r.onlyInBase.size(), 1u);
+  EXPECT_EQ(r.onlyInBase[0], "gone");
+  ASSERT_EQ(r.onlyInCurrent.size(), 1u);
+  EXPECT_EQ(r.onlyInCurrent[0], "new");
+}
+
+TEST(StatsLib, CheckEnforcesPerMetricTolerance) {
+  std::map<std::string, double> base{
+      {"kernel.matmul.tiles", 100}, {"BM_X.real_time", 50}, {"gone", 1}};
+  std::map<std::string, double> cur{
+      {"kernel.matmul.tiles", 100}, {"BM_X.real_time", 80}, {"extra", 9}};
+
+  // Exact default: the 60% time regression and the vanished metric fail;
+  // the new metric never does.
+  auto exact = check(base, cur, {}, 0);
+  ASSERT_EQ(exact.size(), 2u);
+
+  // A loose rule on the time metric lets it pass; presence still gates.
+  auto loose = check(base, cur, {{"BM_X", 1.0}}, 0);
+  ASSERT_EQ(loose.size(), 1u);
+  EXPECT_TRUE(loose[0].missing);
+  EXPECT_EQ(loose[0].name, "gone");
+
+  // Presence-only default (cross-machine mode): values never fail, but a
+  // metric disappearing still does.
+  auto presence = check(base, cur, {}, -1);
+  ASSERT_EQ(presence.size(), 1u);
+  EXPECT_TRUE(presence[0].missing);
+
+  // Later rules win: a specific override relaxes a strict general prefix.
+  auto layered =
+      check(base, cur, {{"BM_", 0.0}, {"BM_X.real_time", 2.0}}, -1);
+  EXPECT_TRUE(layered.empty() ||
+              (layered.size() == 1 && layered[0].missing));
+  ASSERT_EQ(layered.size(), 1u);
+
+  // Zero baseline with nonzero current reads as an infinite regression.
+  auto zero = check({{"z", 0}}, {{"z", 3}}, {}, 0.5);
+  ASSERT_EQ(zero.size(), 1u);
+}
+
+} // namespace
+} // namespace mmx::stats

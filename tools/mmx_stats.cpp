@@ -1,0 +1,171 @@
+// mmx-stats: merge / diff / gate the observability JSON the toolchain
+// emits (mmc --stats-json/--trace-json, MMX_STATS_JSON bench runs,
+// instrumented programs' MMX_PROF_JSON/MMX_PROF_TRACE, and the CI
+// google-benchmark reports).
+//
+//   mmx-stats merge OUT IN...          traces -> one timeline; stats ->
+//                                      one object (later files win)
+//   mmx-stats diff BASE CURRENT        print per-metric deltas
+//   mmx-stats check BASE CURRENT       exit 1 when CURRENT regresses past
+//       [--tol PREFIX=REL]...          tolerance (REL 0.25 = 25%; later
+//       [--default-tol REL]            rules win; REL < 0 = presence-only)
+//
+// The default tolerance is 0 (exact), right for deterministic counters.
+// Wall-clock metrics compared across machines should be presence-only
+// (--default-tol -1): a vanished benchmark still fails, values don't.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "statslib.hpp"
+
+namespace {
+
+using namespace mmx::stats;
+
+bool loadJson(const std::string& path, Json& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "mmx-stats: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  if (!parseJson(ss.str(), out, err)) {
+    std::cerr << "mmx-stats: " << path << ": " << err << "\n";
+    return false;
+  }
+  return true;
+}
+
+int usage() {
+  std::cerr << "usage: mmx-stats merge OUT IN...\n"
+               "       mmx-stats diff BASE CURRENT\n"
+               "       mmx-stats check BASE CURRENT [--tol PREFIX=REL]... "
+               "[--default-tol REL]\n";
+  return 2;
+}
+
+int cmdMerge(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  std::vector<Json> docs(args.size() - 1);
+  for (size_t i = 1; i < args.size(); ++i)
+    if (!loadJson(args[i], docs[i - 1])) return 1;
+
+  Json merged;
+  if (isTrace(docs.front())) {
+    merged = mergeTraces(docs);
+  } else {
+    // Stats merge: union of the flat objects, later files winning — the
+    // shape used to put a compile-time stats file and a runtime
+    // MMX_PROF_JSON dump into one report.
+    merged.kind = Json::Kind::Obj;
+    std::map<std::string, Json> byKey;
+    std::vector<std::string> order;
+    for (const Json& d : docs) {
+      if (d.kind != Json::Kind::Obj) {
+        std::cerr << "mmx-stats: merge inputs must all be objects\n";
+        return 1;
+      }
+      for (const auto& [k, v] : d.obj) {
+        if (!byKey.count(k)) order.push_back(k);
+        byKey[k] = v;
+      }
+    }
+    std::sort(order.begin(), order.end());
+    for (const std::string& k : order) merged.obj.emplace_back(k, byKey[k]);
+  }
+
+  std::ofstream out(args[0]);
+  if (!out) {
+    std::cerr << "mmx-stats: cannot write " << args[0] << "\n";
+    return 1;
+  }
+  out << render(merged) << "\n";
+  return 0;
+}
+
+int cmdDiff(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  Json base, cur;
+  if (!loadJson(args[0], base) || !loadJson(args[1], cur)) return 1;
+  DiffResult r = diff(flatten(base), flatten(cur));
+  for (const MetricDelta& d : r.common) {
+    double rel = d.relative();
+    std::printf("%-56s %16.6g %16.6g %+8.2f%%\n", d.name.c_str(), d.base,
+                d.current, rel * 100);
+  }
+  for (const std::string& k : r.onlyInBase)
+    std::printf("%-56s only in %s\n", k.c_str(), args[0].c_str());
+  for (const std::string& k : r.onlyInCurrent)
+    std::printf("%-56s only in %s\n", k.c_str(), args[1].c_str());
+  return 0;
+}
+
+int cmdCheck(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  std::vector<TolRule> rules;
+  double defaultTol = 0;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto needValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= args.size()) {
+        std::cerr << "mmx-stats: " << flag << " requires a value\n";
+        return nullptr;
+      }
+      return args[++i].c_str();
+    };
+    if (a == "--default-tol") {
+      const char* v = needValue("--default-tol");
+      if (!v) return 2;
+      defaultTol = std::strtod(v, nullptr);
+    } else if (a == "--tol") {
+      const char* v = needValue("--tol");
+      if (!v) return 2;
+      std::string spec = v;
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "mmx-stats: --tol expects PREFIX=REL, got '" << spec
+                  << "'\n";
+        return 2;
+      }
+      rules.push_back(
+          {spec.substr(0, eq), std::strtod(spec.c_str() + eq + 1, nullptr)});
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  Json base, cur;
+  if (!loadJson(paths[0], base) || !loadJson(paths[1], cur)) return 1;
+  auto failures = check(flatten(base), flatten(cur), rules, defaultTol);
+  for (const CheckFailure& f : failures) {
+    if (f.missing)
+      std::printf("FAIL %-52s missing from %s (baseline %.6g)\n",
+                  f.name.c_str(), paths[1].c_str(), f.base);
+    else
+      std::printf("FAIL %-52s %16.6g -> %16.6g (%+.2f%%, tol ±%.2f%%)\n",
+                  f.name.c_str(), f.base, f.current, f.relative * 100,
+                  f.tol * 100);
+  }
+  if (failures.empty()) {
+    std::printf("OK: all baseline metrics within tolerance\n");
+    return 0;
+  }
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "merge") return cmdMerge(args);
+  if (cmd == "diff") return cmdDiff(args);
+  if (cmd == "check") return cmdCheck(args);
+  return usage();
+}

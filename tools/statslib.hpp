@@ -1,0 +1,486 @@
+// statslib: the parsing/normalization core of the mmx-stats tool, kept
+// header-only so tests can exercise it without linking the CLI.
+//
+// Three JSON shapes flow through the project's observability pipeline:
+//   1. flat stats objects ({"metric": number, ...}) from `mmc --stats-json`,
+//      MMX_STATS_JSON bench runs, and instrumented programs' MMX_PROF_JSON;
+//   2. google-benchmark reports ({"context": ..., "benchmarks": [...]})
+//      from the CI bench jobs (BENCH_matmul.json, BENCH_shapecheck.json);
+//   3. Chrome trace-event files ({"traceEvents": [...]}) from
+//      `mmc --trace-json` and instrumented programs' MMX_PROF_TRACE.
+// `flatten` maps shapes 1 and 2 onto one metric->value map so diff/check
+// treat them uniformly; `mergeTraces` splices shape 3 files onto a single
+// timeline (the compiler emits pid 1, instrumented runtimes pid 2).
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmx::stats {
+
+// --- minimal JSON ---------------------------------------------------------
+
+struct Json {
+  enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  // Insertion-ordered object (flat stats files are written sorted already).
+  std::vector<std::pair<std::string, Json>> obj;
+
+  const Json* get(std::string_view key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  /// Parses one JSON value; returns false (with a message) on any error,
+  /// including trailing garbage.
+  bool parse(Json& out, std::string& err) {
+    if (!value(out, err)) return false;
+    ws();
+    if (pos_ != s_.size()) {
+      err = at("trailing characters after JSON value");
+      return false;
+    }
+    return true;
+  }
+
+private:
+  std::string at(const std::string& msg) const {
+    return msg + " (offset " + std::to_string(pos_) + ")";
+  }
+  void ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool lit(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(Json& out, std::string& err) {
+    ws();
+    if (pos_ >= s_.size()) {
+      err = at("unexpected end of input");
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{': return object(out, err);
+      case '[': return array(out, err);
+      case '"':
+        out.kind = Json::Kind::Str;
+        return string(out.str, err);
+      case 't':
+        out.kind = Json::Kind::Bool;
+        out.b = true;
+        if (lit("true")) return true;
+        err = at("bad literal");
+        return false;
+      case 'f':
+        out.kind = Json::Kind::Bool;
+        out.b = false;
+        if (lit("false")) return true;
+        err = at("bad literal");
+        return false;
+      case 'n':
+        out.kind = Json::Kind::Null;
+        if (lit("null")) return true;
+        err = at("bad literal");
+        return false;
+      default: return number(out, err);
+    }
+  }
+
+  bool number(Json& out, std::string& err) {
+    size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) {
+      err = at("expected a value");
+      return false;
+    }
+    out.kind = Json::Kind::Num;
+    std::string tok(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.num = std::strtod(tok.c_str(), &end);
+    if (!end || *end) {
+      err = at("malformed number '" + tok + "'");
+      return false;
+    }
+    return true;
+  }
+
+  bool string(std::string& out, std::string& err) {
+    ++pos_; // opening quote
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            err = at("truncated \\u escape");
+            return false;
+          }
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              v |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              err = at("bad \\u escape");
+              return false;
+            }
+          }
+          // Observability files only escape control chars; decode the
+          // BMP code point as UTF-8.
+          if (v < 0x80) {
+            out += static_cast<char>(v);
+          } else if (v < 0x800) {
+            out += static_cast<char>(0xC0 | (v >> 6));
+            out += static_cast<char>(0x80 | (v & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (v >> 12));
+            out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (v & 0x3F));
+          }
+          break;
+        }
+        default: {
+          err = at(std::string("unknown escape '\\") + e + "'");
+          return false;
+        }
+      }
+    }
+    if (pos_ >= s_.size()) {
+      err = at("unterminated string");
+      return false;
+    }
+    ++pos_; // closing quote
+    return true;
+  }
+
+  bool array(Json& out, std::string& err) {
+    out.kind = Json::Kind::Arr;
+    ++pos_;
+    ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Json v;
+      if (!value(v, err)) return false;
+      out.arr.push_back(std::move(v));
+      ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      err = at("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool object(Json& out, std::string& err) {
+    out.kind = Json::Kind::Obj;
+    ++pos_;
+    ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        err = at("expected object key");
+        return false;
+      }
+      std::string key;
+      if (!string(key, err)) return false;
+      ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        err = at("expected ':'");
+        return false;
+      }
+      ++pos_;
+      Json v;
+      if (!value(v, err)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      err = at("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+inline bool parseJson(std::string_view text, Json& out, std::string& err) {
+  return JsonParser(text).parse(out, err);
+}
+
+inline std::string renderJsonString(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out + "\"";
+}
+
+/// Numbers render integer-exact when they are integers (counter values
+/// survive a merge round-trip byte-identically).
+inline std::string renderJsonNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+inline std::string render(const Json& v) {
+  switch (v.kind) {
+    case Json::Kind::Null: return "null";
+    case Json::Kind::Bool: return v.b ? "true" : "false";
+    case Json::Kind::Num: return renderJsonNumber(v.num);
+    case Json::Kind::Str: return renderJsonString(v.str);
+    case Json::Kind::Arr: {
+      std::string out = "[";
+      for (size_t i = 0; i < v.arr.size(); ++i) {
+        if (i) out += ",";
+        out += render(v.arr[i]);
+      }
+      return out + "]";
+    }
+    case Json::Kind::Obj: {
+      std::string out = "{";
+      for (size_t i = 0; i < v.obj.size(); ++i) {
+        if (i) out += ",";
+        out += renderJsonString(v.obj[i].first) + ":" + render(v.obj[i].second);
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+// --- normalization --------------------------------------------------------
+
+/// Flattens a stats-bearing JSON document to metric -> value:
+///   - flat stats objects map through verbatim (numeric members only);
+///   - google-benchmark reports contribute
+///     "<benchmark name>.real_time" / ".cpu_time" (in the report's
+///     time_unit) plus any numeric user counters as "<name>.<counter>".
+/// Other shapes (e.g. traces) flatten to an empty map.
+inline std::map<std::string, double> flatten(const Json& doc) {
+  std::map<std::string, double> out;
+  if (doc.kind != Json::Kind::Obj) return out;
+  if (const Json* benchmarks = doc.get("benchmarks");
+      benchmarks && benchmarks->kind == Json::Kind::Arr) {
+    for (const Json& b : benchmarks->arr) {
+      const Json* name = b.get("name");
+      if (!name || name->kind != Json::Kind::Str) continue;
+      // Skip aggregate rows (mean/median/stddev) — the raw rows carry the
+      // regression signal and aggregates double-count them.
+      if (b.get("run_type") && b.get("run_type")->str == "aggregate")
+        continue;
+      for (const auto& [k, v] : b.obj) {
+        if (v.kind != Json::Kind::Num) continue;
+        // Bookkeeping fields carry no regression signal.
+        if (k == "family_index" || k == "per_family_instance_index" ||
+            k == "repetitions" || k == "repetition_index" ||
+            k == "iterations" || k == "threads")
+          continue;
+        out[name->str + "." + k] = v.num;
+      }
+    }
+    return out;
+  }
+  for (const auto& [k, v] : doc.obj)
+    if (v.kind == Json::Kind::Num) out[k] = v.num;
+  return out;
+}
+
+inline bool isTrace(const Json& doc) {
+  return doc.kind == Json::Kind::Obj && doc.get("traceEvents") != nullptr;
+}
+
+/// Splices several Chrome trace files onto one timeline: the result keeps
+/// the first file's top-level fields and concatenates everyone's events.
+/// Pass the compiler's --trace-json output and an instrumented program's
+/// MMX_PROF_TRACE dump to see translation (pid 1) above execution (pid 2).
+inline Json mergeTraces(const std::vector<Json>& docs) {
+  Json out;
+  out.kind = Json::Kind::Obj;
+  Json events;
+  events.kind = Json::Kind::Arr;
+  bool first = true;
+  for (const Json& d : docs) {
+    const Json* evs = d.get("traceEvents");
+    if (!evs || evs->kind != Json::Kind::Arr) continue;
+    for (const Json& e : evs->arr) events.arr.push_back(e);
+    if (first) {
+      for (const auto& [k, v] : d.obj)
+        if (k != "traceEvents") out.obj.emplace_back(k, v);
+      first = false;
+    }
+  }
+  out.obj.emplace_back("traceEvents", std::move(events));
+  // Canonical field order: traceEvents first, like the emitters write.
+  std::rotate(out.obj.begin(), out.obj.end() - 1, out.obj.end());
+  return out;
+}
+
+// --- diff / check ---------------------------------------------------------
+
+struct MetricDelta {
+  std::string name;
+  double base = 0;
+  double current = 0;
+  /// Relative change vs base; +inf when base == 0 and current != 0.
+  double relative() const {
+    if (base == 0) return current == 0 ? 0 : INFINITY;
+    return (current - base) / std::fabs(base);
+  }
+};
+
+struct DiffResult {
+  std::vector<MetricDelta> common;
+  std::vector<std::string> onlyInBase;
+  std::vector<std::string> onlyInCurrent;
+};
+
+inline DiffResult diff(const std::map<std::string, double>& base,
+                       const std::map<std::string, double>& current) {
+  DiffResult r;
+  for (const auto& [k, v] : base) {
+    auto it = current.find(k);
+    if (it == current.end())
+      r.onlyInBase.push_back(k);
+    else
+      r.common.push_back({k, v, it->second});
+  }
+  for (const auto& [k, v] : current)
+    if (!base.count(k)) r.onlyInCurrent.push_back(k);
+  return r;
+}
+
+/// One tolerance rule: metrics whose name starts with `prefix` may move by
+/// at most `tol` (relative, e.g. 0.25 = 25%). Later rules win, so generic
+/// defaults go first and specific overrides after.
+struct TolRule {
+  std::string prefix;
+  double tol = 0;
+};
+
+inline double toleranceFor(const std::string& name,
+                           const std::vector<TolRule>& rules,
+                           double defaultTol) {
+  double tol = defaultTol;
+  for (const TolRule& r : rules)
+    if (name.rfind(r.prefix, 0) == 0) tol = r.tol;
+  return tol;
+}
+
+struct CheckFailure {
+  std::string name;
+  double base = 0, current = 0, relative = 0, tol = 0;
+  bool missing = false; // metric present in baseline, absent now
+};
+
+/// Gate: every baseline metric must exist in `current` and sit within its
+/// tolerance. A negative tolerance is presence-only: the metric must still
+/// exist (a benchmark that stopped running is a regression) but any value
+/// passes — the right setting for wall-clock metrics when baseline and
+/// current runs come from different machines. Metrics only in `current`
+/// are informational, never failures (new counters appear whenever
+/// instrumentation grows).
+inline std::vector<CheckFailure>
+check(const std::map<std::string, double>& base,
+      const std::map<std::string, double>& current,
+      const std::vector<TolRule>& rules, double defaultTol) {
+  std::vector<CheckFailure> failures;
+  for (const auto& [k, v] : base) {
+    double tol = toleranceFor(k, rules, defaultTol);
+    auto it = current.find(k);
+    if (it == current.end()) {
+      failures.push_back({k, v, 0, 0, tol, true});
+      continue;
+    }
+    if (tol < 0) continue; // presence-only
+    MetricDelta d{k, v, it->second};
+    double rel = d.relative();
+    if (std::fabs(rel) > tol)
+      failures.push_back({k, v, it->second, rel, tol, false});
+  }
+  return failures;
+}
+
+} // namespace mmx::stats
