@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "analysis/dataflow.hpp"
 
@@ -78,7 +79,44 @@ struct LiveTransfer {
 
 } // namespace
 
-void lintFunction(const ir::Function& f, DiagnosticEngine& diags) {
+// ---------------------------------------------------------------------------
+// Allocated-but-dead matrices (ISSUE 6): a user-visible Mat local defined
+// in the function (not a parameter — stores into a borrowed parameter are
+// caller-observable) whose handle no expression anywhere reads. Element
+// stores into the matrix do not count as reads; passing it to any call,
+// returning it, loading from it, or taking a dimension all do.
+
+void lintDeadMatrices(const ir::Function& f, DiagnosticEngine& diags) {
+  std::vector<char> read(f.locals.size(), 0);
+  std::map<int32_t, const ir::Stmt*> firstDef; // Mat slot -> defining stmt
+  forEachStmt(*f.body, [&](const ir::Stmt& s) {
+    for (const auto& e : s.exprs)
+      if (e)
+        forEachExpr(*e, [&](const ir::Expr& x) {
+          if (x.k == ir::Expr::K::Var && x.slot >= 0 &&
+              static_cast<size_t>(x.slot) < read.size())
+            read[x.slot] = 1;
+        });
+    if (s.k == ir::Stmt::K::Assign && f.locals[s.slot].ty == ir::Ty::Mat)
+      firstDef.emplace(s.slot, &s);
+    if (s.k == ir::Stmt::K::CallAssign)
+      for (int32_t d : s.dsts)
+        if (d >= 0 && static_cast<size_t>(d) < f.locals.size() &&
+            f.locals[d].ty == ir::Ty::Mat)
+          firstDef.emplace(d, &s);
+  });
+  for (const auto& [slot, def] : firstDef) {
+    if (read[slot] || !userVisible(f, slot)) continue;
+    if (static_cast<size_t>(slot) < f.numParams) continue;
+    if (!def->range.valid()) continue;
+    diags.warning(def->range, "matrix '" + f.locals[slot].name +
+                                  "' is allocated but never read "
+                                  "[-Wdead-matrix]");
+  }
+}
+
+void lintFunction(const ir::Function& f, DiagnosticEngine& diags,
+                  const LintOptions& opts) {
   if (!f.body) return;
 
   InitTransfer init{f, diags, {}};
@@ -106,11 +144,14 @@ void lintFunction(const ir::Function& f, DiagnosticEngine& diags) {
     diags.warning(s.range, "value assigned to '" + f.locals[s.slot].name +
                                "' is never used");
   });
+
+  if (opts.deadMatrix) lintDeadMatrices(f, diags);
 }
 
-void lintModule(const ir::Module& m, DiagnosticEngine& diags) {
+void lintModule(const ir::Module& m, DiagnosticEngine& diags,
+                const LintOptions& opts) {
   for (const auto& f : m.functions)
-    if (f) lintFunction(*f, diags);
+    if (f) lintFunction(*f, diags, opts);
 }
 
 } // namespace mmx::analysis

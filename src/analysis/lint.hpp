@@ -3,7 +3,11 @@
 //  * definite initialization (forward, must-analysis): warns when a named
 //    local may be read before any assignment reaches it;
 //  * dead stores (backward liveness): warns when a scalar assignment is
-//    never observed — not read before the next write or the function end.
+//    never observed — not read before the next write or the function end;
+//  * allocated-but-dead matrices (ISSUE 6): warns when a whole-matrix
+//    temporary is allocated (and possibly stored into element by element)
+//    but no statement ever reads its handle or contents — the classic
+//    wasted with-loop result. Toggled by -W[no-]dead-matrix.
 //
 // Both report through the DiagnosticEngine against the Stmt source ranges
 // stamped during lowering. Compiler temporaries (slots named "%...") and
@@ -17,10 +21,16 @@
 
 namespace mmx::analysis {
 
-/// Runs both lints over one function.
-void lintFunction(const ir::Function& f, DiagnosticEngine& diags);
+struct LintOptions {
+  bool deadMatrix = true; // -W[no-]dead-matrix: allocated-but-dead matrices
+};
 
-/// Runs both lints over every function of the module.
-void lintModule(const ir::Module& m, DiagnosticEngine& diags);
+/// Runs the lints over one function.
+void lintFunction(const ir::Function& f, DiagnosticEngine& diags,
+                  const LintOptions& opts = {});
+
+/// Runs the lints over every function of the module.
+void lintModule(const ir::Module& m, DiagnosticEngine& diags,
+                const LintOptions& opts = {});
 
 } // namespace mmx::analysis

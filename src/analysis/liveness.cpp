@@ -1,0 +1,39 @@
+#include "analysis/liveness.hpp"
+
+namespace mmx::analysis {
+
+namespace {
+
+struct LiveTransfer {
+  using State = SlotSet;
+
+  Liveness& out;
+
+  State copy(const State& s) { return s; }
+  bool join(State& a, const State& b) { return a.unionWith(b); }
+
+  void transfer(const ir::Stmt& s, State& st) {
+    // Record the live-after set before rewriting it into live-before.
+    auto it = out.liveAfter.find(&s);
+    if (it == out.liveAfter.end())
+      out.liveAfter.emplace(&s, st);
+    else
+      it->second.unionWith(st);
+    // Kill writes first so `x = x + 1` still reports x live-before.
+    for (int32_t w : writtenSlots(s)) st.set(w, false);
+    for (int32_t r : readSlots(s)) st.set(r);
+  }
+};
+
+} // namespace
+
+Liveness computeLiveness(const ir::Function& f) {
+  Liveness out;
+  if (!f.body) return out;
+  LiveTransfer t{out};
+  BackwardEngine<LiveTransfer> bwd(t);
+  bwd.run(*f.body, SlotSet(f.locals.size()), SlotSet(f.locals.size()));
+  return out;
+}
+
+} // namespace mmx::analysis

@@ -1,0 +1,42 @@
+// Matrix/scalar liveness ranges over one function (ISSUE 6): a backward
+// may-analysis on the dataflow engine recording, for every statement, the
+// set of slots that may still be read after it on some path. The optimizer
+// (ir/optimize) consults these ranges to delete whole-matrix temporaries
+// whose values are never observed and to prove that a handle copy
+// `A = %wres` is the last use of the temporary, so A can absorb the
+// temporary's buffer (uniqueness.hpp builds on the same facts).
+//
+// Precision note: for leaf statements (Assign, StoreFlat, CallStmt, ...)
+// `liveAfter` is the exact fixpoint may-live set. For compound statements
+// (For/While/If) the engine presents the policy with header states from
+// every fixpoint iteration, so the recorded set over-approximates "live
+// after the whole construct" — conservative for every client here (a
+// larger live set only suppresses rewrites).
+#pragma once
+
+#include <map>
+
+#include "analysis/dataflow.hpp"
+#include "ir/ir.hpp"
+
+namespace mmx::analysis {
+
+struct Liveness {
+  /// Union over every abstract visit of the slots live *after* each
+  /// statement (may-liveness; see the precision note above).
+  std::map<const ir::Stmt*, SlotSet> liveAfter;
+
+  /// True when `slot` may still be read after `s`. Unknown statements
+  /// (never visited: dead code) report live — the conservative answer.
+  bool isLiveAfter(const ir::Stmt* s, int32_t slot) const {
+    auto it = liveAfter.find(s);
+    if (it == liveAfter.end()) return true;
+    return it->second.get(slot);
+  }
+};
+
+/// Runs the backward pass over `f`. Nothing is assumed live at function
+/// exit (locals die at return; returned values are read by Ret itself).
+Liveness computeLiveness(const ir::Function& f);
+
+} // namespace mmx::analysis

@@ -74,6 +74,44 @@ const std::vector<FlagSpec>& flagTable() {
          inv.executorExplicit = true;
          return {};
        }},
+      {"-O0", nullptr,
+       "disable the whole-program optimizer (default; output is "
+       "byte-identical to the unoptimized pipeline)",
+       [](CompilerInvocation& inv, const std::string&) -> std::string {
+         inv.opts.optFuse = inv.opts.optElimTemp = inv.opts.optInplace = false;
+         return {};
+       }},
+      {"-O1", nullptr,
+       "enable all optimizer passes (fuse, elim-temp, inplace)",
+       [](CompilerInvocation& inv, const std::string&) -> std::string {
+         inv.opts.optFuse = inv.opts.optElimTemp = inv.opts.optInplace = true;
+         return {};
+       }},
+      {"--opt", "LIST",
+       "enable individual optimizer passes: comma-separated fuse, "
+       "elim-temp, inplace (or none)",
+       [](CompilerInvocation& inv, const std::string& v) -> std::string {
+         inv.opts.optFuse = inv.opts.optElimTemp = inv.opts.optInplace = false;
+         size_t pos = 0;
+         while (pos <= v.size()) {
+           size_t comma = v.find(',', pos);
+           std::string p = v.substr(
+               pos, comma == std::string::npos ? std::string::npos
+                                               : comma - pos);
+           if (p == "fuse")
+             inv.opts.optFuse = true;
+           else if (p == "elim-temp")
+             inv.opts.optElimTemp = true;
+           else if (p == "inplace")
+             inv.opts.optInplace = true;
+           else if (p != "none" && !p.empty())
+             return "invalid --opt pass '" + p +
+                    "' (expected fuse, elim-temp, inplace, or none)";
+           if (comma == std::string::npos) break;
+           pos = comma + 1;
+         }
+         return {};
+       }},
       {"--no-fusion", nullptr, "disable with-loop/assignment fusion (ablation)",
        setOpt(&TranslateOptions::fusion, false)},
       {"--no-parallel", nullptr, "disable parallel code generation (ablation)",
@@ -110,6 +148,12 @@ const std::vector<FlagSpec>& flagTable() {
        setOpt(&TranslateOptions::warnShape, true)},
       {"-Wno-shape", nullptr, "silence proven shape/bounds warnings",
        setOpt(&TranslateOptions::warnShape, false)},
+      {"-Wdead-matrix", nullptr,
+       "warn on matrices allocated but never read (default; --analyze)",
+       setOpt(&TranslateOptions::warnDeadMatrix, true)},
+      {"-Wno-dead-matrix", nullptr,
+       "silence allocated-but-dead matrix warnings",
+       setOpt(&TranslateOptions::warnDeadMatrix, false)},
       {"--instrument", "MODE",
        "compile profiling into emitted C: off, counters, or trace "
        "(default off; see $MMX_PROF_JSON / $MMX_PROF_TRACE)",

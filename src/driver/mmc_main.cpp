@@ -32,7 +32,9 @@ int usage(const std::string& problem) {
 /// message on stderr) when a file cannot be written.
 bool emitMetrics(const mmx::driver::CompilerInvocation& inv) {
   if (!inv.metricsRequested()) return true;
-  mmx::metrics::Snapshot snap = mmx::metrics::snapshot();
+  // Under --analyze, include zero-valued counters: consumers of the
+  // per-pass sections (opt.*, shapecheck.*) key off their presence.
+  mmx::metrics::Snapshot snap = mmx::metrics::snapshot(inv.analyze);
   if (inv.timeReport) std::cerr << mmx::metrics::renderTimeReport(snap);
   auto writeFile = [](const std::string& path,
                       const std::string& body) -> bool {

@@ -7,6 +7,7 @@
 #include "analysis/shapecheck.hpp"
 #include "cminus/host_grammar.hpp"
 #include "cminus/sema.hpp"
+#include "ir/optimize.hpp"
 #include "parse/lalr.hpp"
 #include "support/metrics.hpp"
 
@@ -126,7 +127,22 @@ TranslateResult Translator::translate(const std::string& name,
 
   auto mod = std::make_unique<ir::Module>();
   bool ok = sema.translate(res.tree, *mod); // typecheck + lower phases
+  ir::OptStats optStats;
   if (ok) {
+    {
+      // Whole-program optimizer (ISSUE 6): fusion / temp elimination /
+      // in-place rewriting over the lowered IR, before parallel-safety
+      // enforcement (fused nests get re-verified and demoted like any
+      // other loop) and before shapecheck (the guard plan is keyed by
+      // statement addresses of the final IR). At -O0 no pass is enabled
+      // and optimizeModule only registers its counters.
+      metrics::ScopedTimer wpoTimer("optimizer");
+      ir::OptOptions oo;
+      oo.fuse = opts_.optFuse;
+      oo.elimTemp = opts_.optElimTemp;
+      oo.inplace = opts_.optInplace;
+      optStats = ir::optimizeModule(*mod, oo);
+    }
     // Post-lowering parallel-safety enforcement: loops the §III-C
     // auto-parallelizer or a `parallelize` clause marked parallel are
     // demoted to serial unless the race analysis proves them safe.
@@ -167,7 +183,14 @@ TranslateResult Translator::translate(const std::string& name,
       metrics::ScopedTimer analyzeTimer("analyze");
       analysis::ParSafe ps(*mod);
       res.analysisReport = analysis::renderAnalysis(*mod, ps.analyzeAll());
-      analysis::lintModule(*mod, diags);
+      res.analysisReport +=
+          "optimizer: fused=" + std::to_string(optStats.fused) +
+          " temps-eliminated=" + std::to_string(optStats.tempsEliminated) +
+          " inplace=" + std::to_string(optStats.inplaceConverted) +
+          " alias-blocked=" + std::to_string(optStats.aliasBlocked) + "\n";
+      analysis::LintOptions lo;
+      lo.deadMatrix = opts_.warnDeadMatrix;
+      analysis::lintModule(*mod, diags, lo);
     }
   }
   res.diagnostics = diags.take();

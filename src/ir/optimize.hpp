@@ -1,0 +1,54 @@
+// The opt-in whole-program optimizer (ISSUE 6): with-loop fusion,
+// whole-matrix temporary elimination, and copy-then-mutate -> in-place
+// rewriting over the lowered IR, driven by the interprocedural uniqueness
+// and liveness facts in analysis/{uniqueness,liveness}.hpp.
+//
+// The pipeline is OFF by default: `mmc -O0` (the default) never calls a
+// rewrite, so emitted C stays byte-identical to the unoptimized pipeline.
+// `mmc -O1` enables all passes; `--opt=fuse,elim-temp,inplace` picks them
+// individually. Both backends consume the same rewritten module, so the
+// interp-vs-emitted-C agreement oracle validates every rewrite.
+//
+// Every rewrite is counted in the metrics registry:
+//   opt.fusion.fused      producer/consumer nests merged
+//   opt.temps.eliminated  whole-matrix allocations removed
+//   opt.inplace.converted nests redirected to write their target directly
+//   opt.alias.blocked     in-place candidates rejected only because
+//                         uniqueness could not prove the target unshared
+#pragma once
+
+#include <cstdint>
+
+#include "ir/ir.hpp"
+
+namespace mmx::ir {
+
+struct OptOptions {
+  bool fuse = false;     // producer/consumer with-loop fusion
+  bool elimTemp = false; // dead whole-matrix temporary elimination
+  bool inplace = false;  // write with-loop results into their target
+
+  bool any() const { return fuse || elimTemp || inplace; }
+
+  static OptOptions none() { return {}; }
+  static OptOptions o1() {
+    OptOptions o;
+    o.fuse = o.elimTemp = o.inplace = true;
+    return o;
+  }
+};
+
+struct OptStats {
+  uint64_t fused = 0;
+  uint64_t tempsEliminated = 0;
+  uint64_t inplaceConverted = 0;
+  uint64_t aliasBlocked = 0;
+};
+
+/// Runs the enabled passes over every function of `m` (fuse -> inplace ->
+/// elim-temp) and bumps the opt.* counters. Always call it, even at -O0:
+/// with no pass enabled it registers the counters (so analyze-only runs
+/// report a fully populated registry) and returns without touching the IR.
+OptStats optimizeModule(Module& m, const OptOptions& opts);
+
+} // namespace mmx::ir

@@ -306,7 +306,7 @@ void reset() {
   r.trace.dropped = 0;
 }
 
-Snapshot snapshot() {
+Snapshot snapshot(bool includeZeros) {
   Snapshot out;
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -315,11 +315,11 @@ Snapshot snapshot() {
     uint64_t v = r.retiredCounters[i].load(std::memory_order_relaxed);
     for (ThreadShard* s : r.shards)
       v += s->counters[i].load(std::memory_order_relaxed);
-    if (v) out.counters.push_back({r.counterNames[i], v});
+    if (v || includeZeros) out.counters.push_back({r.counterNames[i], v});
   }
   for (const auto& [name, fn] : r.gauges) {
     uint64_t v = fn();
-    if (v) out.counters.push_back({name, v});
+    if (v || includeZeros) out.counters.push_back({name, v});
   }
   std::sort(out.counters.begin(), out.counters.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
@@ -334,7 +334,7 @@ Snapshot snapshot() {
     };
     fold(r.retiredTimers[i]);
     for (ThreadShard* s : r.shards) fold(s->timers[i]);
-    if (row.count) out.timers.push_back(std::move(row));
+    if (row.count || includeZeros) out.timers.push_back(std::move(row));
   }
   std::sort(out.timers.begin(), out.timers.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });

@@ -133,12 +133,18 @@ struct Snapshot {
     unsigned tid = 0;
   };
   std::vector<CounterRow> counters; // name-sorted; zero-valued rows omitted
+                                    //   unless snapshot(true)
   std::vector<TimerRow> timers;     // name-sorted; zero-count rows omitted
+                                    //   unless snapshot(true)
   std::vector<TraceEvent> events;   // in emission order
   uint64_t droppedEvents = 0;       // spans beyond the buffer cap
 };
 
-Snapshot snapshot();
+/// With `includeZeros` every registered counter and timer appears even when
+/// it never fired — analysis consumers (--analyze --stats-json) rely on
+/// this so per-pass sections (opt.*, shapecheck.*) are present with
+/// explicit zeros instead of silently missing keys.
+Snapshot snapshot(bool includeZeros = false);
 
 /// Human-readable table of phase timers followed by counters.
 std::string renderTimeReport(const Snapshot& s);

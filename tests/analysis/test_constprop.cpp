@@ -1,0 +1,228 @@
+// Direct tests for the constant/shape propagation pass
+// (analysis/constprop): expression folding including the overflow and
+// division edge cases, the shape-symbol kind of the lattice that
+// shapecheck and parsafe consume, and joins across ifs / loop headers
+// via ConstShapeProp over hand-built IR.
+#include "analysis/constprop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <climits>
+
+#include "ir/ir.hpp"
+
+namespace mmx {
+namespace {
+
+using analysis::ConstEnv;
+using analysis::ConstShapeProp;
+using analysis::ConstVal;
+using analysis::evalConst;
+
+/// f() with int locals n (0), a (1), b (2), matrices m (3), m2 (4),
+/// and loop vars i (5), j (6).
+ir::Function* scaffold(ir::Module& m) {
+  ir::Function* f = m.add("f");
+  f->numParams = 0;
+  f->addLocal("n", ir::Ty::I32);
+  f->addLocal("a", ir::Ty::I32);
+  f->addLocal("b", ir::Ty::I32);
+  f->addLocal("m", ir::Ty::Mat);
+  f->addLocal("m2", ir::Ty::Mat);
+  f->addLocal("i", ir::Ty::I32);
+  f->addLocal("j", ir::Ty::I32);
+  return f;
+}
+
+ir::ExprPtr iv(int32_t slot) { return ir::var(slot, ir::Ty::I32); }
+ir::ExprPtr mv(int32_t slot) { return ir::var(slot, ir::Ty::Mat); }
+
+ir::ExprPtr bin(ir::ArithOp op, ir::ExprPtr a, ir::ExprPtr b) {
+  return ir::arith(op, std::move(a), std::move(b), ir::Ty::I32);
+}
+
+TEST(ConstProp, FoldsIntegerArithmetic) {
+  ConstEnv env(8);
+  env[0] = ConstVal::intVal(6);
+
+  auto expectFold = [&](const ir::ExprPtr& e, int64_t want) {
+    ConstVal v = evalConst(*e, env);
+    ASSERT_TRUE(v.isInt());
+    EXPECT_EQ(v.i, want);
+  };
+
+  expectFold(bin(ir::ArithOp::Add, iv(0), ir::constI(7)), 13);
+  expectFold(bin(ir::ArithOp::Sub, ir::constI(3), iv(0)), -3);
+  expectFold(bin(ir::ArithOp::Mul, iv(0), iv(0)), 36);
+  expectFold(bin(ir::ArithOp::Div, ir::constI(20), iv(0)), 3);
+  expectFold(bin(ir::ArithOp::Mod, ir::constI(20), iv(0)), 2);
+  expectFold(bin(ir::ArithOp::Min, iv(0), ir::constI(2)), 2);
+  expectFold(bin(ir::ArithOp::Max, iv(0), ir::constI(2)), 6);
+  expectFold(ir::negE(iv(0), ir::Ty::I32), -6);
+  expectFold(ir::cast(ir::Ty::I32, iv(0)), 6);
+
+  // A slot with no binding stays unknown, and poisons any fold.
+  EXPECT_FALSE(evalConst(*iv(1), env).isInt());
+  EXPECT_FALSE(
+      evalConst(*bin(ir::ArithOp::Add, iv(1), ir::constI(1)), env).isInt());
+}
+
+TEST(ConstProp, DivisionAndModuloByZeroAreUnknown) {
+  // `n / 0` must not fold (and must not trap the compiler) — the runtime
+  // error belongs to the program, so the analysis answers "unknown".
+  ConstEnv env(8);
+  env[0] = ConstVal::intVal(0);
+  EXPECT_FALSE(
+      evalConst(*bin(ir::ArithOp::Div, ir::constI(5), iv(0)), env).isInt());
+  EXPECT_FALSE(
+      evalConst(*bin(ir::ArithOp::Mod, ir::constI(5), iv(0)), env).isInt());
+}
+
+TEST(ConstProp, FoldsWidenPastInt32Overflow) {
+  // The lattice carries int64: INT32_MAX + 1 folds to 2^31, it does not
+  // wrap. parsafe relies on this when strides multiply out past 32 bits.
+  ConstEnv env(8);
+  env[0] = ConstVal::intVal(INT32_MAX);
+  env[1] = ConstVal::intVal(INT32_MIN);
+
+  ConstVal grow = evalConst(*bin(ir::ArithOp::Add, iv(0), ir::constI(1)), env);
+  ASSERT_TRUE(grow.isInt());
+  EXPECT_EQ(grow.i, int64_t{INT32_MAX} + 1);
+
+  ConstVal sq = evalConst(*bin(ir::ArithOp::Mul, iv(0), iv(0)), env);
+  ASSERT_TRUE(sq.isInt());
+  EXPECT_EQ(sq.i, int64_t{INT32_MAX} * INT32_MAX);
+
+  // -INT32_MIN is UB in 32-bit arithmetic; in the widened lattice it is
+  // simply 2^31.
+  ConstVal neg = evalConst(*ir::negE(iv(1), ir::Ty::I32), env);
+  ASSERT_TRUE(neg.isInt());
+  EXPECT_EQ(neg.i, -int64_t{INT32_MIN});
+
+  // INT32_MIN / -1, the other classic trap, folds the same way.
+  ConstVal div = evalConst(
+      *bin(ir::ArithOp::Div, iv(1), ir::constI(-1)), env);
+  ASSERT_TRUE(div.isInt());
+  EXPECT_EQ(div.i, -int64_t{INT32_MIN});
+}
+
+TEST(ConstProp, ShapeSymbolsTrackDimensionIdentity) {
+  // This is the half of the lattice shapecheck/parsafe consume: two slots
+  // loaded from the same dimSize(m, d) compare equal; different matrices
+  // or different dims do not.
+  ConstEnv env(8);
+  ConstVal s0 = evalConst(*ir::dimSize(mv(3), ir::constI(0)), env);
+  ConstVal s0b = evalConst(*ir::dimSize(mv(3), ir::constI(0)), env);
+  ConstVal s1 = evalConst(*ir::dimSize(mv(3), ir::constI(1)), env);
+  ConstVal other = evalConst(*ir::dimSize(mv(4), ir::constI(0)), env);
+
+  EXPECT_EQ(s0.k, ConstVal::K::Shape);
+  EXPECT_TRUE(s0 == s0b);
+  EXPECT_FALSE(s0 == s1) << "same matrix, different dimension";
+  EXPECT_FALSE(s0 == other) << "different matrix";
+
+  // The dimension index may itself be a propagated constant...
+  env[0] = ConstVal::intVal(1);
+  EXPECT_TRUE(evalConst(*ir::dimSize(mv(3), iv(0)), env) == s1);
+
+  // ...but a variable dimension or a non-Var matrix is unknown, and
+  // shape symbols do not participate in arithmetic folds.
+  env[0] = ConstVal::unknown();
+  EXPECT_EQ(evalConst(*ir::dimSize(mv(3), iv(0)), env).k,
+            ConstVal::K::Unknown);
+  EXPECT_FALSE(
+      evalConst(
+          *bin(ir::ArithOp::Add, ir::dimSize(mv(3), ir::constI(0)),
+               ir::constI(1)),
+          env)
+          .isInt());
+}
+
+TEST(ConstProp, JoinAcrossIfKeepsOnlyAgreeingFacts) {
+  ir::Module m;
+  ir::Function* f = scaffold(m);
+  // n = 7; a = dimSize(m, 0); b = dimSize(m, 0);
+  // if (i < 1) { n = 7; a = dimSize(m, 0); b = dimSize(m2, 0); }
+  // else       { b = 3; }
+  // for (j ...) {}            <- query the env at this loop header
+  std::vector<ir::StmtPtr> thenKids;
+  thenKids.push_back(ir::assign(0, ir::constI(7)));
+  thenKids.push_back(ir::assign(1, ir::dimSize(mv(3), ir::constI(0))));
+  thenKids.push_back(ir::assign(2, ir::dimSize(mv(4), ir::constI(0))));
+
+  std::vector<ir::StmtPtr> body;
+  body.push_back(ir::assign(0, ir::constI(7)));
+  body.push_back(ir::assign(1, ir::dimSize(mv(3), ir::constI(0))));
+  body.push_back(ir::assign(2, ir::dimSize(mv(3), ir::constI(0))));
+  body.push_back(ir::ifStmt(
+      ir::cmp(ir::CmpKind::Lt, iv(5), ir::constI(1)),
+      ir::block(std::move(thenKids)), ir::assign(2, ir::constI(3))));
+  ir::StmtPtr loop =
+      ir::forLoop(6, ir::constI(0), ir::constI(4), ir::block({}), "j");
+  const ir::Stmt* loopPtr = loop.get();
+  body.push_back(std::move(loop));
+  f->body = ir::block(std::move(body));
+
+  ConstShapeProp prop(*f);
+  const ConstEnv* env = prop.atLoop(loopPtr);
+  ASSERT_NE(env, nullptr);
+  // n: both paths agree on 7.
+  ASSERT_TRUE((*env)[0].isInt());
+  EXPECT_EQ((*env)[0].i, 7);
+  // a: both paths bind the same shape symbol.
+  EXPECT_TRUE((*env)[1] == ConstVal::shape(3, 0));
+  // b: shape(m,0) vs shape(m2,0) vs 3 — the join gives up.
+  EXPECT_EQ((*env)[2].k, ConstVal::K::Unknown);
+}
+
+TEST(ConstProp, LoopHeaderEnvIsSoundOverTheBackEdge) {
+  ir::Module m;
+  ir::Function* f = scaffold(m);
+  // n = 1; a = 2;
+  // for (i = 0; i < 4; i++) {
+  //   for (j = 0; j < n; j++) {}   <- inner header env
+  //   n = 9;
+  // }
+  // The inner header sees a=2 (loop-invariant) but NOT n=1: the back edge
+  // brings n=9, so only the joined fact — unknown — is sound. The outer
+  // loop variable is likewise unknown inside.
+  ir::StmtPtr inner =
+      ir::forLoop(6, ir::constI(0), iv(0), ir::block({}), "j");
+  const ir::Stmt* innerPtr = inner.get();
+  std::vector<ir::StmtPtr> outerKids;
+  outerKids.push_back(std::move(inner));
+  outerKids.push_back(ir::assign(0, ir::constI(9)));
+  ir::StmtPtr outer = ir::forLoop(5, ir::constI(0), ir::constI(4),
+                                  ir::block(std::move(outerKids)), "i");
+  const ir::Stmt* outerPtr = outer.get();
+
+  std::vector<ir::StmtPtr> body;
+  body.push_back(ir::assign(0, ir::constI(1)));
+  body.push_back(ir::assign(1, ir::constI(2)));
+  body.push_back(std::move(outer));
+  f->body = ir::block(std::move(body));
+
+  ConstShapeProp prop(*f);
+  const ConstEnv* at = prop.atLoop(innerPtr);
+  ASSERT_NE(at, nullptr);
+  ASSERT_TRUE((*at)[1].isInt());
+  EXPECT_EQ((*at)[1].i, 2);
+  EXPECT_EQ((*at)[0].k, ConstVal::K::Unknown)
+      << "n=1 only holds on the first iteration";
+  EXPECT_EQ((*at)[5].k, ConstVal::K::Unknown) << "outer loop var varies";
+
+  // The recorded header env is the post-fixpoint join over ALL iterations
+  // (entry n=1 joins back-edge n=9), not the first-entry snapshot — the
+  // only env parsafe may trust for every trip through the loop.
+  const ConstEnv* atOuter = prop.atLoop(outerPtr);
+  ASSERT_NE(atOuter, nullptr);
+  EXPECT_EQ((*atOuter)[0].k, ConstVal::K::Unknown);
+  ASSERT_TRUE((*atOuter)[1].isInt());
+  EXPECT_EQ((*atOuter)[1].i, 2) << "loop-invariant facts survive";
+
+  EXPECT_EQ(prop.atLoop(f->body.get()), nullptr)
+      << "non-For statements have no header env";
+}
+
+} // namespace
+} // namespace mmx

@@ -187,6 +187,57 @@ int main() {
       << analyzed.renderDiagnostics();
 }
 
+TEST(LintLang, DeadMatrixIsReported) {
+  // ISSUE 6 satellite: an allocated matrix nothing ever reads is exactly
+  // the waste the optimizer's liveness pass can see — surface it.
+  std::string src = R"(
+int main() {
+  int n = 4;
+  Matrix float <2> unused = init(Matrix float <2>, n, n);
+  Matrix float <2> a = init(Matrix float <2>, n, n);
+  a = with ([0,0] <= [i,j] < [n,n]) genarray([n,n], i * 1.0 + j);
+  printFloat(a[1, 2]);
+  return 0;
+}
+)";
+  driver::TranslateOptions opts;
+  opts.analyze = true;
+  auto res = test::translateXc(src, opts);
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  std::string diags = res.renderDiagnostics();
+  EXPECT_NE(
+      diags.find(
+          "matrix 'unused' is allocated but never read [-Wdead-matrix]"),
+      std::string::npos)
+      << diags;
+  // `a` is read; exactly one matrix is flagged.
+  EXPECT_EQ(diags.find("matrix 'a'"), std::string::npos) << diags;
+}
+
+TEST(LintLang, WnoDeadMatrixSilencesTheLint) {
+  std::string src = R"(
+int main() {
+  Matrix float <2> unused = init(Matrix float <2>, 3, 3);
+  printInt(7);
+  return 0;
+}
+)";
+  driver::TranslateOptions on;
+  on.analyze = true;
+  auto loud = test::translateXc(src, on);
+  ASSERT_TRUE(loud.ok);
+  EXPECT_NE(loud.renderDiagnostics().find("-Wdead-matrix"),
+            std::string::npos);
+
+  driver::TranslateOptions off;
+  off.analyze = true;
+  off.warnDeadMatrix = false;
+  auto quiet = test::translateXc(src, off);
+  ASSERT_TRUE(quiet.ok);
+  EXPECT_EQ(quiet.renderDiagnostics().find("dead-matrix"), std::string::npos)
+      << quiet.renderDiagnostics();
+}
+
 TEST(LintLang, NoDeadStoreOnSplitVarInDemotedLoop) {
   // Regression (ISSUE 3): `split q by 8` lowers to a synthesized
   // `q = qout*8 + qin` in the loop body. When the fold body never reads

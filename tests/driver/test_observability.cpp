@@ -115,6 +115,23 @@ TEST_F(ObservabilityTest, TraceJsonIsWellFormedChromeFormat) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+TEST_F(ObservabilityTest, OptimizerCountersAppearAsExplicitZeros) {
+  // ISSUE 6 satellite: `--analyze --stats-json` used to emit an empty
+  // opt.* section when no pass fired. The optimizer registers its
+  // counters on every translation (even at -O0), so the include-zeros
+  // snapshot the analyze path takes must carry the full section.
+  runPipeline(/*threads=*/1);
+  metrics::Snapshot s = metrics::snapshot(/*includeZeros=*/true);
+  std::set<std::string> names;
+  for (const auto& row : s.counters) names.insert(row.name);
+  for (const char* key : {"opt.fusion.fused", "opt.temps.eliminated",
+                          "opt.inplace.converted", "opt.alias.blocked"})
+    EXPECT_TRUE(names.count(key)) << "missing counter: " << key;
+  std::set<std::string> timers;
+  for (const auto& row : s.timers) timers.insert(row.name);
+  EXPECT_TRUE(timers.count("optimizer"));
+}
+
 TEST_F(ObservabilityTest, TimersCoverThePhases) {
   metrics::Snapshot s = runPipeline(/*threads=*/2);
   std::set<std::string> names;

@@ -18,17 +18,21 @@ inline driver::Translator& sharedTranslator(driver::TranslateOptions opts = {}) 
   struct Key {
     bool fusion, slice, par, warnPar, strictPar, analyze;
     bool warnShape, strictShape;
+    bool optFuse, optElimTemp, optInplace, warnDeadMatrix;
     bool operator<(const Key& o) const {
       return std::tie(fusion, slice, par, warnPar, strictPar, analyze,
-                      warnShape, strictShape) <
+                      warnShape, strictShape, optFuse, optElimTemp,
+                      optInplace, warnDeadMatrix) <
              std::tie(o.fusion, o.slice, o.par, o.warnPar, o.strictPar,
-                      o.analyze, o.warnShape, o.strictShape);
+                      o.analyze, o.warnShape, o.strictShape, o.optFuse,
+                      o.optElimTemp, o.optInplace, o.warnDeadMatrix);
     }
   };
   static std::map<Key, std::unique_ptr<driver::Translator>> cache;
   Key k{opts.fusion, opts.sliceElimination, opts.autoParallel,
         opts.warnParallel, opts.strictParallel, opts.analyze,
-        opts.warnShape, opts.strictShape};
+        opts.warnShape, opts.strictShape, opts.optFuse, opts.optElimTemp,
+        opts.optInplace, opts.warnDeadMatrix};
   auto it = cache.find(k);
   if (it == cache.end()) {
     auto t = std::make_unique<driver::Translator>();

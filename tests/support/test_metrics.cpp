@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -210,6 +212,39 @@ TEST(Metrics, GaugesArePolledAtSnapshot) {
   for (const auto& c : snapshot().counters)
     if (c.name == "test.gauge") ++rows;
   EXPECT_EQ(rows, 1);
+}
+
+TEST(Metrics, SnapshotIncludeZerosKeepsExplicitZeroRows) {
+  // `--analyze --stats-json` consumers diff runs against baselines, so a
+  // pass that found nothing must still emit its counters as explicit
+  // zeros (ISSUE 6): snapshot(true) keeps zero-valued rows the default
+  // snapshot drops.
+  MetricsGuard g;
+  counter("test.zeroCounter");
+  timer("test.zeroTimer");
+  registerGauge("test.zeroGauge", [] { return uint64_t{0}; });
+  counter("test.nonzero").add(2);
+
+  auto names = [](const Snapshot& s) {
+    std::set<std::string> out;
+    for (const auto& c : s.counters) out.insert(c.name);
+    for (const auto& t : s.timers) out.insert(t.name);
+    return out;
+  };
+
+  auto dropped = names(snapshot());
+  EXPECT_FALSE(dropped.count("test.zeroCounter"));
+  EXPECT_FALSE(dropped.count("test.zeroTimer"));
+  EXPECT_FALSE(dropped.count("test.zeroGauge"));
+  EXPECT_TRUE(dropped.count("test.nonzero"));
+
+  auto kept = names(snapshot(/*includeZeros=*/true));
+  EXPECT_TRUE(kept.count("test.zeroCounter"));
+  EXPECT_TRUE(kept.count("test.zeroTimer"));
+  EXPECT_TRUE(kept.count("test.zeroGauge"));
+
+  std::string json = renderStatsJson(snapshot(true));
+  EXPECT_NE(json.find("\"test.zeroCounter\": 0"), std::string::npos) << json;
 }
 
 TEST(Metrics, TimeReportAlwaysShowsKernelCounters) {

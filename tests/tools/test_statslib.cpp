@@ -141,5 +141,36 @@ TEST(StatsLib, CheckEnforcesPerMetricTolerance) {
   ASSERT_EQ(zero.size(), 1u);
 }
 
+TEST(StatsLib, DiffExitCodeSeparatesSchemaFromNoise) {
+  std::map<std::string, double> base{{"a", 1}, {"b", 2}};
+
+  // Identical and value-drifted schemas are exit 0: diff reports, the
+  // check gate judges.
+  EXPECT_EQ(diffExitCode(diff(base, base)), 0);
+  EXPECT_EQ(diffExitCode(diff(base, {{"a", 5}, {"b", 2}})), 0);
+
+  // Current-only keys are informational (instrumentation grows; the
+  // omp.tN.* counters depend on the machine's thread count).
+  EXPECT_EQ(diffExitCode(diff(base, {{"a", 1}, {"b", 2}, {"omp.t8.x", 1}})),
+            0);
+
+  // A baseline key missing from current is a schema mismatch: exit 2.
+  EXPECT_EQ(diffExitCode(diff(base, {{"a", 1}})), 2);
+}
+
+TEST(StatsLib, CheckExitCodeRanksSchemaAboveTolerance) {
+  std::map<std::string, double> base{{"a", 100}, {"b", 1}};
+
+  EXPECT_EQ(checkExitCode(check(base, base, {}, 0)), 0);
+
+  // Pure value drift past tolerance: exit 1.
+  EXPECT_EQ(checkExitCode(check(base, {{"a", 200}, {"b", 1}}, {}, 0)), 1);
+
+  // A vanished metric is a schema mismatch: exit 2, even when value
+  // failures are present too.
+  EXPECT_EQ(checkExitCode(check(base, {{"b", 1}}, {}, 0)), 2);
+  EXPECT_EQ(checkExitCode(check(base, {{"b", 99}}, {}, 0)), 2);
+}
+
 } // namespace
 } // namespace mmx::stats

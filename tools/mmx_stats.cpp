@@ -5,10 +5,14 @@
 //
 //   mmx-stats merge OUT IN...          traces -> one timeline; stats ->
 //                                      one object (later files win)
-//   mmx-stats diff BASE CURRENT        print per-metric deltas
+//   mmx-stats diff BASE CURRENT        print per-metric deltas, one
+//                                      name-sorted listing; exit 2 when a
+//                                      baseline metric is missing
 //   mmx-stats check BASE CURRENT       exit 1 when CURRENT regresses past
-//       [--tol PREFIX=REL]...          tolerance (REL 0.25 = 25%; later
-//       [--default-tol REL]            rules win; REL < 0 = presence-only)
+//       [--tol PREFIX=REL]...          tolerance, 2 when a baseline metric
+//       [--default-tol REL]            vanished (schema mismatch)
+//                                      (REL 0.25 = 25%; later rules win;
+//                                      REL < 0 = presence-only)
 //
 // The default tolerance is 0 (exact), right for deterministic counters.
 // Wall-clock metrics compared across machines should be presence-only
@@ -92,16 +96,27 @@ int cmdDiff(const std::vector<std::string>& args) {
   Json base, cur;
   if (!loadJson(args[0], base) || !loadJson(args[1], cur)) return 1;
   DiffResult r = diff(flatten(base), flatten(cur));
+  // One merged, name-sorted listing: deltas and exclusives interleave so
+  // the report reads like the union keyspace, not three separate tables.
+  std::map<std::string, std::string> rows;
+  char line[256];
   for (const MetricDelta& d : r.common) {
-    double rel = d.relative();
-    std::printf("%-56s %16.6g %16.6g %+8.2f%%\n", d.name.c_str(), d.base,
-                d.current, rel * 100);
+    std::snprintf(line, sizeof(line), "%-56s %16.6g %16.6g %+8.2f%%",
+                  d.name.c_str(), d.base, d.current, d.relative() * 100);
+    rows[d.name] = line;
   }
-  for (const std::string& k : r.onlyInBase)
-    std::printf("%-56s only in %s\n", k.c_str(), args[0].c_str());
-  for (const std::string& k : r.onlyInCurrent)
-    std::printf("%-56s only in %s\n", k.c_str(), args[1].c_str());
-  return 0;
+  for (const std::string& k : r.onlyInBase) {
+    std::snprintf(line, sizeof(line), "%-56s only in %s", k.c_str(),
+                  args[0].c_str());
+    rows[k] = line;
+  }
+  for (const std::string& k : r.onlyInCurrent) {
+    std::snprintf(line, sizeof(line), "%-56s only in %s", k.c_str(),
+                  args[1].c_str());
+    rows[k] = line;
+  }
+  for (const auto& [name, text] : rows) std::printf("%s\n", text.c_str());
+  return diffExitCode(r);
 }
 
 int cmdCheck(const std::vector<std::string>& args) {
@@ -151,11 +166,8 @@ int cmdCheck(const std::vector<std::string>& args) {
                   f.name.c_str(), f.base, f.current, f.relative * 100,
                   f.tol * 100);
   }
-  if (failures.empty()) {
-    std::printf("OK: all baseline metrics within tolerance\n");
-    return 0;
-  }
-  return 1;
+  if (failures.empty()) std::printf("OK: all baseline metrics within tolerance\n");
+  return checkExitCode(failures);
 }
 
 } // namespace

@@ -483,4 +483,21 @@ check(const std::map<std::string, double>& base,
   return failures;
 }
 
+/// Exit code for `mmx-stats diff`: 0 when every baseline metric is still
+/// present (current-only keys are informational — instrumentation grows,
+/// and thread-count-dependent omp.tN.* metrics come and go), 2 when the
+/// baseline schema is no longer satisfied.
+inline int diffExitCode(const DiffResult& r) {
+  return r.onlyInBase.empty() ? 0 : 2;
+}
+
+/// Exit code for `mmx-stats check`: 2 when a baseline metric vanished
+/// (schema mismatch — more severe than any value drift), 1 when values
+/// moved past tolerance, 0 when clean.
+inline int checkExitCode(const std::vector<CheckFailure>& failures) {
+  bool missing = false, moved = false;
+  for (const CheckFailure& f : failures) (f.missing ? missing : moved) = true;
+  return missing ? 2 : moved ? 1 : 0;
+}
+
 } // namespace mmx::stats
