@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "bench_stats.hpp"
+#include "runtime/backend.hpp"
 #include "runtime/gemm.hpp"
 
 namespace mmx::bench {
@@ -61,6 +62,38 @@ void BM_MatmulTiled_F32(benchmark::State& state) {
 BENCHMARK(BM_MatmulTiled_F32)
     ->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
+
+// ---- backend registry: per-backend single-thread GEMM (ISSUE 7) -------
+// Rows are pinned via BackendOverride, so the row set is identical on
+// every MMX_BACKEND matrix leg (the CI baseline gates row presence). A
+// backend whose capability probe fails skips with an error instead of
+// silently dropping its rows.
+
+void BM_MatmulBackend_F32(benchmark::State& state, const char* backend) {
+  int64_t n = state.range(0);
+  const rt::KernelBackend* be = rt::findBackend(backend);
+  if (!be || !be->available()) {
+    state.SkipWithError("backend unavailable on this host");
+    return;
+  }
+  rt::BackendOverride pin(backend);
+  rt::SerialExecutor ser;
+  rt::Matrix a = denseF32(n, n, 1), b = denseF32(n, n, 2);
+  for (auto _ : state) {
+    rt::Matrix c = rt::matmul(ser, a, b);
+    benchmark::DoNotOptimize(c.f32()[0]);
+  }
+  setFlops(state, n, n, n);
+  state.SetLabel(backend);
+}
+BENCHMARK_CAPTURE(BM_MatmulBackend_F32, scalar, "scalar")
+    ->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MatmulBackend_F32, sse, "sse")
+    ->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MatmulBackend_F32, avx, "avx")
+    ->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MatmulBackend_F32, avx2fma, "avx2fma")
+    ->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 // ---- thread scaling over the 2D tile grid -----------------------------
 

@@ -5,9 +5,24 @@
 #include <sstream>
 #include <vector>
 
+#include "runtime/backend.hpp"
+
 namespace mmx::driver {
 
 namespace {
+
+/// --backend help text listing the registered backend names (built once;
+/// FlagSpec stores a const char*).
+const char* backendHelp() {
+  static const std::string text = [] {
+    std::string s = "kernel backend: ";
+    for (const std::string& n : rt::backendNames()) s += n + ", ";
+    s += "or auto = best available (default auto; $MMX_BACKEND overrides "
+         "auto)";
+    return s;
+  }();
+  return text.c_str();
+}
 
 /// Strict positive-integer parse: the whole string must be digits.
 bool parsePositive(const std::string& s, unsigned& out) {
@@ -167,6 +182,14 @@ const std::vector<FlagSpec>& flagTable() {
          else
            return "invalid --instrument value '" + v +
                   "' (expected off, counters, or trace)";
+         return {};
+       }},
+      {"--backend", "NAME", backendHelp(),
+       [](CompilerInvocation& inv, const std::string& v) -> std::string {
+         if (v.empty()) return "--backend requires a value";
+         // Names are validated against the registry by the driver (a
+         // structured diagnostic, so embedders see it too), not here.
+         inv.backend = v;
          return {};
        }},
       {"--time-report", nullptr,

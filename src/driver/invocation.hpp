@@ -10,6 +10,7 @@
 
 #include "driver/translator.hpp"
 #include "ir/cemit.hpp"
+#include "runtime/backend.hpp"
 #include "runtime/pool.hpp"
 
 namespace mmx::driver {
@@ -28,6 +29,7 @@ struct CompilerInvocation {
   unsigned threads = 1;
   rt::ExecutorKind executor = rt::ExecutorKind::ForkJoin;
   bool executorExplicit = false; // --executor given (else derived from threads)
+  std::string backend = "auto";  // --backend: kernel backend name or "auto"
 
   // Observability (ISSUE 2).
   bool timeReport = false;       // --time-report: human table on stderr
@@ -44,13 +46,26 @@ struct CompilerInvocation {
     return timeReport || !statsJsonPath.empty() || !traceJsonPath.empty();
   }
 
-  /// The executor this invocation runs on: --executor wins; otherwise
-  /// serial for 1 thread, the enhanced fork-join pool beyond.
+  /// The runtime configuration this invocation resolves to: --executor
+  /// wins (otherwise serial for 1 thread, the enhanced fork-join pool
+  /// beyond) plus the --backend kernel selection. runtimeConfig().make()
+  /// is the one construction point for drivers (ISSUE 7).
+  rt::RuntimeConfig runtimeConfig() const {
+    rt::RuntimeConfig c;
+    c.executor = executorExplicit
+                     ? executor
+                     : (threads > 1 ? rt::ExecutorKind::ForkJoin
+                                    : rt::ExecutorKind::Serial);
+    c.threads = threads;
+    c.backend = backend;
+    return c;
+  }
+
+  /// DEPRECATED (ISSUE 7, kept for one PR): builds the executor without
+  /// applying the backend selection; use runtimeConfig().make().
   std::unique_ptr<rt::Executor> makeExecutor() const {
-    if (executorExplicit) return rt::makeExecutor(executor, threads);
-    return rt::makeExecutor(threads > 1 ? rt::ExecutorKind::ForkJoin
-                                        : rt::ExecutorKind::Serial,
-                            threads);
+    rt::RuntimeConfig c = runtimeConfig();
+    return rt::makeExecutor(c.executor, c.threads);
   }
 
   struct ParseResult {

@@ -18,6 +18,8 @@
 #include "ext_refcount/refcount_ext.hpp"
 #include "ext_transform/transform_ext.hpp"
 #include "interp/interp.hpp"
+#include "runtime/backend.hpp"
+#include "support/diag.hpp"
 #include "support/metrics.hpp"
 
 namespace {
@@ -66,6 +68,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Validate the kernel backend selection (--backend, falling back to
+  // $MMX_BACKEND under auto) up front: an unknown or unavailable name is
+  // a structured diagnostic, not a usage error, and it also gates
+  // --emit-c (the emitted program selects the same backend at startup).
+  if (std::string err = mmx::rt::backendSelectionError(inv.backend);
+      !err.empty()) {
+    mmx::Diagnostic d;
+    d.severity = mmx::Severity::Error;
+    d.message = err;
+    d.extension = "backend";
+    std::cerr << mmx::renderDiagnostic(d, nullptr);
+    return 2;
+  }
+
   std::ifstream in(inv.inputPath);
   if (!in) {
     std::cerr << "mmc: cannot open " << inv.inputPath << "\n";
@@ -112,6 +128,7 @@ int main(int argc, char** argv) {
       eo.plan = res.guardPlan;
       eo.instrument = inv.instrument;
       eo.sourceManager = res.sourceManager;
+      eo.backend = inv.backend;
       auto c = mmx::ir::emitC(*res.module, eo);
       if (!c.ok) {
         for (const auto& e : c.errors)
@@ -125,7 +142,7 @@ int main(int argc, char** argv) {
     return emitMetrics(inv) ? 0 : 2;
   }
   try {
-    std::unique_ptr<mmx::rt::Executor> exec = inv.makeExecutor();
+    std::unique_ptr<mmx::rt::Executor> exec = inv.runtimeConfig().make();
     mmx::interp::Machine vm(*res.module, *exec);
     vm.setBoundsChecks(res.boundsChecks, res.guardPlan);
     int code;

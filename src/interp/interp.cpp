@@ -9,6 +9,7 @@
 
 #include "runtime/conncomp.hpp"
 #include "runtime/eddy.hpp"
+#include "runtime/backend.hpp"
 #include "runtime/kernels.hpp"
 #include "runtime/matio.hpp"
 #include "runtime/simd.hpp"
@@ -579,11 +580,10 @@ private:
           Matrix m = asM(v);
           Matrix out;
           if (m.elem() == rt::Elem::F32)
-            rt::ewBinaryScalarF(kexec(), rt::BinOp::Mul, m, -1.f, out,
-                                m_.simdKernels_);
+            rt::ew(kexec(), rt::BinOp::Mul, m, -1.f, out, m_.simdKernels_);
           else
-            rt::ewBinaryScalarI(kexec(), rt::BinOp::Mul, m, -1, out,
-                                m_.simdKernels_);
+            rt::ew(kexec(), rt::BinOp::Mul, m, int32_t{-1}, out,
+                   m_.simdKernels_);
           return out;
         }
         return -asI(v);
@@ -668,7 +668,7 @@ private:
       if (e.aop == ArithOp::Mul && ma.rank() == 2 && mb.rank() == 2)
         return rt::matmul(kexec(), ma, mb); // linear-algebra '*'
       Matrix out;
-      rt::ewBinary(kexec(), toRtBin(e.aop), ma, mb, out, m_.simdKernels_);
+      rt::ew(kexec(), toRtBin(e.aop), ma, mb, out, m_.simdKernels_);
       return out;
     }
     if (aMat || bMat) return matScalarArith(e.aop, a, b, aMat);
@@ -685,11 +685,9 @@ private:
     Matrix out;
     if (matFirst) {
       if (m.elem() == rt::Elem::F32)
-        rt::ewBinaryScalarF(kexec(), toRtBin(op), m, asF(s), out,
-                            m_.simdKernels_);
+        rt::ew(kexec(), toRtBin(op), m, asF(s), out, m_.simdKernels_);
       else
-        rt::ewBinaryScalarI(kexec(), toRtBin(op), m, asI(s), out,
-                            m_.simdKernels_);
+        rt::ew(kexec(), toRtBin(op), m, asI(s), out, m_.simdKernels_);
       return out;
     }
     // scalar (op) matrix: commutative ops reuse the kernel; Sub/Div/Mod

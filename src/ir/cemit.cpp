@@ -112,10 +112,11 @@ static mmx_mat* mmx_matmul_nc(mmx_mat* a, mmx_mat* b) {
   long long m = a->dims[0], kk = a->dims[1], n = b->dims[1];
   long long dims[2] = {m, n};
   mmx_mat* r = mmx_alloc_nc(a->elem, 2, dims);
+  if (!mmx_matmul_coref_ptr) mmx_backend_select();
   if (a->elem == 1)
-    mmx_matmul_coref(mmx_f(a), mmx_f(b), mmx_f(r), m, kk, n);
+    mmx_matmul_coref_ptr(mmx_f(a), mmx_f(b), mmx_f(r), m, kk, n);
   else
-    mmx_matmul_corei(mmx_i(a), mmx_i(b), mmx_i(r), m, kk, n);
+    mmx_matmul_corei_ptr(mmx_i(a), mmx_i(b), mmx_i(r), m, kk, n);
   MMX_PROF_KERNEL_END();
   return r;
 }
@@ -406,6 +407,13 @@ static void mmx_prof_dump(void) {
       fprintf(f, "  \"rt.rc.retains\": %llu,\n", mmx_prof_retains);
       fprintf(f, "  \"rt.rc.releases\": %llu,\n", mmx_prof_releases);
       fprintf(f, "  \"kernel.matmul.tiles\": %llu", mmx_prof_mm_tiles);
+      if (mmx_backend_name) {
+        fprintf(f, ",\n  \"backend.selected.%s\": 1", mmx_backend_name);
+        fprintf(f, ",\n  \"kernel.matmul.%s.count\": %llu", mmx_backend_name,
+                mmx_prof_site_matmul.count);
+        fprintf(f, ",\n  \"kernel.matmul.%s.ns\": %llu", mmx_backend_name,
+                mmx_prof_site_matmul.total_ns);
+      }
       for (int t = 0; t < mmx_prof_ntids && t < MMX_PROF_MAX_THREADS; ++t)
         if (mmx_prof_thread_busy[t])
           fprintf(f, ",\n  \"omp.t%d.busy_ns\": %llu", t,
@@ -1391,6 +1399,22 @@ CEmitResult emitC(const Module& m, const CEmitOptions& opts) {
   CEmitResult res;
   const bool instr = opts.instrument != InstrumentMode::Off;
   std::ostringstream out;
+  // Pin the kernel backend the emitted program selects at startup. Under
+  // "auto" (the default) nothing is emitted — the prelude's #ifndef
+  // fallback keeps the runtime $MMX_BACKEND lookup — so the default
+  // output is byte-identical across --backend=auto invocations.
+  if (opts.backend != "auto" && !opts.backend.empty()) {
+    bool safe = true;
+    for (char c : opts.backend)
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '-'))
+        safe = false;
+    if (!safe) {
+      res.errors.push_back("invalid backend name '" + opts.backend + "'");
+      return res;
+    }
+    out << "#define MMX_BACKEND_DEFAULT \"" << opts.backend << "\"\n";
+  }
   if (instr) {
     // The prof runtime precedes the prelude: its MMX_PROF_* macros expand
     // the hook lines the prelude carries. When instrumentation is off
@@ -1454,6 +1478,7 @@ CEmitResult emitC(const Module& m, const CEmitOptions& opts) {
   }
 
   out << "int main(void) {\n";
+  out << "  mmx_backend_select();\n";
   if (instr)
     out << "  mmx_prof_t0 = mmx_prof_raw_ns();\n"
         << "  atexit(mmx_prof_dump);\n";

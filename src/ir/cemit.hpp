@@ -53,6 +53,13 @@ struct CEmitOptions {
   /// Source attribution for instrumented spans ("with-loop@file:line").
   /// Optional: without it, spans fall back to the enclosing function name.
   std::shared_ptr<const SourceManager> sourceManager;
+  /// Kernel backend compiled into the program as MMX_BACKEND_DEFAULT: a
+  /// registry name pins the emitted selection; "auto" (the default) lets
+  /// the program consult $MMX_BACKEND at startup and otherwise pick the
+  /// best core the host supports. The emitted main() calls
+  /// mmx_backend_select() before xc_main(); see DESIGN.md "Kernel backend
+  /// registry" for the prelude hook ABI.
+  std::string backend = "auto";
 };
 
 /// Emits the module as a C99 translation unit. Compile with:

@@ -1,0 +1,456 @@
+// Process-wide kernel backend registry (ISSUE 7). Mechanisms live in
+// gemm.cpp / gemm_avx.cpp / gemm_avx2.cpp and ew_ops.hpp; this file holds
+// the policy: the KernelBackend interface defaults, the four builtin
+// backends, priority-ordered runtime selection with the
+// explicit > $MMX_BACKEND > auto precedence, and the rt::matmul entry
+// point that dispatches through the selection.
+#include "runtime/backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+#include "runtime/ew_ops.hpp"
+#include "runtime/gemm.hpp"
+#include "runtime/simd.hpp"
+#include "support/metrics.hpp"
+
+namespace mmx::rt {
+
+// ---- KernelBackend defaults ---------------------------------------------
+
+KernelBackend::KernelBackend(std::string name, int priority)
+    : name_(std::move(name)), priority_(priority),
+      matmulTimer_("kernel.matmul." + name_),
+      selectedCounter_("backend.selected." + name_) {}
+
+void KernelBackend::gemmF64(Executor& exec, const double* A, const double* B,
+                            double* C, int64_t m, int64_t k,
+                            int64_t n) const {
+  gemmNaiveF64(exec, A, B, C, m, k, n);
+}
+
+void KernelBackend::ewStripF32(BinOp op, const float* a, const float* b,
+                               float s, float* out, int64_t lo,
+                               int64_t hi) const {
+  int64_t i = lo;
+  if (detail::simdSupportsF(op)) {
+    if (b) {
+      for (; i + 4 <= hi; i += 4)
+        detail::applyBinV(op, Vec4f::load(a + i), Vec4f::load(b + i))
+            .store(out + i);
+    } else {
+      Vec4f sv = Vec4f::splat(s);
+      for (; i + 4 <= hi; i += 4)
+        detail::applyBinV(op, Vec4f::load(a + i), sv).store(out + i);
+    }
+  }
+  if (b) {
+    for (; i < hi; ++i) out[i] = detail::applyBin(op, a[i], b[i]);
+  } else {
+    for (; i < hi; ++i) out[i] = detail::applyBin(op, a[i], s);
+  }
+}
+
+void KernelBackend::ewStripI32(BinOp op, const int32_t* a, const int32_t* b,
+                               int32_t s, int32_t* out, int64_t lo,
+                               int64_t hi) const {
+  int64_t i = lo;
+  if (detail::simdSupportsI(op)) {
+    if (b) {
+      for (; i + 4 <= hi; i += 4)
+        detail::applyBinVI(op, Vec4i::load(a + i), Vec4i::load(b + i))
+            .store(out + i);
+    } else {
+      Vec4i sv = Vec4i::splat(s);
+      for (; i + 4 <= hi; i += 4)
+        detail::applyBinVI(op, Vec4i::load(a + i), sv).store(out + i);
+    }
+  }
+  if (b) {
+    for (; i < hi; ++i) out[i] = detail::applyBin(op, a[i], b[i]);
+  } else {
+    for (; i < hi; ++i) out[i] = detail::applyBin(op, a[i], s);
+  }
+}
+
+float KernelBackend::reduceStripF32(BinOp op, const float* d, int64_t lo,
+                                    int64_t hi) const {
+  float acc = detail::identityOf<float>(op);
+  int64_t i = lo;
+  if (op == BinOp::Add) {
+    Vec4f vacc = Vec4f::zero();
+    for (; i + 4 <= hi; i += 4) vacc = vacc + Vec4f::load(d + i);
+    acc += vacc.hsum();
+  }
+  for (; i < hi; ++i) acc = detail::applyBin(op, acc, d[i]);
+  return acc;
+}
+
+int32_t KernelBackend::reduceStripI32(BinOp op, const int32_t* d, int64_t lo,
+                                      int64_t hi) const {
+  int32_t acc = detail::identityOf<int32_t>(op);
+  for (int64_t i = lo; i < hi; ++i) acc = detail::applyBin(op, acc, d[i]);
+  return acc;
+}
+
+// ---- builtin backends ---------------------------------------------------
+
+namespace {
+
+/// Portable reference backend: plain-C loops only, always available. Its
+/// element-wise loops are per-element (identical bits to SSE by
+/// construction) and its Add-reduction emulates the SSE lane striping —
+/// four stride-4 partial sums over the leading aligned blocks combined as
+/// (l0+l1)+(l2+l3), exactly Vec4f::hsum()'s hadd order — so forcing
+/// `scalar` changes no output byte.
+class ScalarBackend final : public KernelBackend {
+public:
+  ScalarBackend() : KernelBackend("scalar", 0) {}
+  bool available() const override { return true; }
+
+  void gemmF32(Executor& exec, const float* A, const float* B, float* C,
+               int64_t m, int64_t k, int64_t n) const override {
+    gemmNaiveF32(exec, A, B, C, m, k, n);
+  }
+  void gemmI32(Executor& exec, const int32_t* A, const int32_t* B,
+               int32_t* C, int64_t m, int64_t k, int64_t n) const override {
+    gemmNaiveI32(exec, A, B, C, m, k, n);
+  }
+
+  void ewStripF32(BinOp op, const float* a, const float* b, float s,
+                  float* out, int64_t lo, int64_t hi) const override {
+    if (b)
+      for (int64_t i = lo; i < hi; ++i)
+        out[i] = detail::applyBin(op, a[i], b[i]);
+    else
+      for (int64_t i = lo; i < hi; ++i) out[i] = detail::applyBin(op, a[i], s);
+  }
+  void ewStripI32(BinOp op, const int32_t* a, const int32_t* b, int32_t s,
+                  int32_t* out, int64_t lo, int64_t hi) const override {
+    if (b)
+      for (int64_t i = lo; i < hi; ++i)
+        out[i] = detail::applyBin(op, a[i], b[i]);
+    else
+      for (int64_t i = lo; i < hi; ++i) out[i] = detail::applyBin(op, a[i], s);
+  }
+
+  float reduceStripF32(BinOp op, const float* d, int64_t lo,
+                       int64_t hi) const override {
+    float acc = detail::identityOf<float>(op);
+    int64_t i = lo;
+    if (op == BinOp::Add) {
+      float l0 = 0.f, l1 = 0.f, l2 = 0.f, l3 = 0.f;
+      for (; i + 4 <= hi; i += 4) {
+        l0 += d[i];
+        l1 += d[i + 1];
+        l2 += d[i + 2];
+        l3 += d[i + 3];
+      }
+      acc += (l0 + l1) + (l2 + l3);
+    }
+    for (; i < hi; ++i) acc = detail::applyBin(op, acc, d[i]);
+    return acc;
+  }
+};
+
+/// The BLIS-style tiled/packed engine with the SSE 4x8 micro-kernel —
+/// the historical default, kept byte-compatible with pre-registry output.
+class SseBackend final : public KernelBackend {
+public:
+  SseBackend() : KernelBackend("sse", 10) {}
+  bool available() const override { return true; }
+
+  void gemmF32(Executor& exec, const float* A, const float* B, float* C,
+               int64_t m, int64_t k, int64_t n) const override {
+    if (m * k * n < kMatmulTiledCutoff)
+      gemmNaiveF32(exec, A, B, C, m, k, n);
+    else
+      gemmTiledF32(exec, A, B, C, m, k, n, GemmKernel::Sse);
+  }
+  void gemmI32(Executor& exec, const int32_t* A, const int32_t* B,
+               int32_t* C, int64_t m, int64_t k, int64_t n) const override {
+    if (m * k * n < kMatmulTiledCutoff)
+      gemmNaiveI32(exec, A, B, C, m, k, n);
+    else
+      gemmTiledI32(exec, A, B, C, m, k, n);
+  }
+};
+
+/// Tiled engine with the AVX twin-strip micro-kernel (vmulps + vaddps):
+/// rounds exactly like the SSE path, so it is bit-identical to `sse` and
+/// exists purely for throughput.
+class AvxBackend final : public KernelBackend {
+public:
+  AvxBackend() : KernelBackend("avx", 20) {}
+  bool available() const override { return detail::haveAvx(); }
+
+  void gemmF32(Executor& exec, const float* A, const float* B, float* C,
+               int64_t m, int64_t k, int64_t n) const override {
+    if (m * k * n < kMatmulTiledCutoff)
+      gemmNaiveF32(exec, A, B, C, m, k, n);
+    else
+      gemmTiledF32(exec, A, B, C, m, k, n, GemmKernel::Avx);
+  }
+  void gemmI32(Executor& exec, const int32_t* A, const int32_t* B,
+               int32_t* C, int64_t m, int64_t k, int64_t n) const override {
+    if (m * k * n < kMatmulTiledCutoff)
+      gemmNaiveI32(exec, A, B, C, m, k, n);
+    else
+      gemmTiledI32(exec, A, B, C, m, k, n);
+  }
+};
+
+/// Tiled engine with the AVX2/FMA twin-strip micro-kernel. Fused
+/// multiply-add rounds once per madd, so f32/f64 results bit-match the
+/// other backends only on exactly representable data; small products use
+/// the naive-FMA path so the whole backend (and the emitted-C FMA core)
+/// rounds uniformly.
+class Avx2FmaBackend final : public KernelBackend {
+public:
+  Avx2FmaBackend() : KernelBackend("avx2fma", 30) {}
+  bool available() const override { return detail::haveAvx2Fma(); }
+
+  void gemmF32(Executor& exec, const float* A, const float* B, float* C,
+               int64_t m, int64_t k, int64_t n) const override {
+    if (m * k * n < kMatmulTiledCutoff)
+      exec.run(0, m, detail::naiveGrainRows(k, n),
+               [&](int64_t lo, int64_t hi, unsigned) {
+                 detail::gemmNaiveFmaRowsF32(A, B, C, k, n, lo, hi);
+               });
+    else
+      gemmTiledF32(exec, A, B, C, m, k, n, GemmKernel::Avx2Fma);
+  }
+  void gemmI32(Executor& exec, const int32_t* A, const int32_t* B,
+               int32_t* C, int64_t m, int64_t k, int64_t n) const override {
+    if (m * k * n < kMatmulTiledCutoff)
+      gemmNaiveI32(exec, A, B, C, m, k, n);
+    else
+      gemmTiledI32(exec, A, B, C, m, k, n);
+  }
+  void gemmF64(Executor& exec, const double* A, const double* B, double* C,
+               int64_t m, int64_t k, int64_t n) const override {
+    exec.run(0, m, detail::naiveGrainRows(k, n),
+             [&](int64_t lo, int64_t hi, unsigned) {
+               detail::gemmNaiveFmaRowsF64(A, B, C, k, n, lo, hi);
+             });
+  }
+};
+
+// ---- registry state -----------------------------------------------------
+
+struct Registry {
+  std::mutex mu;
+  std::vector<const KernelBackend*> list; // registration order
+  std::string requested = "auto";         // explicit selection ("auto" = lazy)
+};
+
+Registry& registry() {
+  // Builtins register on first registry touch, before any test or
+  // embedder registration can race them.
+  static Registry r;
+  static const bool seeded = [] {
+    static const ScalarBackend scalar;
+    static const SseBackend sse;
+    static const AvxBackend avx;
+    static const Avx2FmaBackend avx2fma;
+    r.list = {&scalar, &sse, &avx, &avx2fma};
+    return true;
+  }();
+  (void)seeded;
+  return r;
+}
+
+/// Resolved selection cache; null means "resolve on next activeBackend()".
+std::atomic<const KernelBackend*> g_active{nullptr};
+
+const KernelBackend* findLocked(const Registry& r, std::string_view name) {
+  for (const KernelBackend* be : r.list)
+    if (be->name() == name) return be;
+  return nullptr;
+}
+
+std::string namesLocked(const Registry& r) {
+  std::vector<const KernelBackend*> sorted = r.list;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const KernelBackend* a, const KernelBackend* b) {
+                     return a->priority() < b->priority();
+                   });
+  std::string out;
+  for (const KernelBackend* be : sorted) {
+    if (!out.empty()) out += ", ";
+    out += be->name();
+  }
+  return out;
+}
+
+/// Validates one concrete (non-"auto") name. Returns the backend or null
+/// with `err` set.
+const KernelBackend* lookupLocked(const Registry& r, std::string_view name,
+                                  std::string& err) {
+  const KernelBackend* be = findLocked(r, name);
+  if (!be) {
+    err = "unknown backend '" + std::string(name) +
+          "' (registered: " + namesLocked(r) + ")";
+    return nullptr;
+  }
+  if (!be->available()) {
+    err = "backend '" + std::string(name) +
+          "' is not available on this host (missing CPU support)";
+    return nullptr;
+  }
+  return be;
+}
+
+/// Resolves the full precedence chain (explicit > env > auto priority)
+/// without touching any state. Returns null with `err` set on failure;
+/// `viaEnv` reports whether $MMX_BACKEND drove the choice (error wording).
+const KernelBackend* resolveLocked(const Registry& r,
+                                   std::string_view requested,
+                                   std::string& err, bool& viaEnv) {
+  viaEnv = false;
+  if (requested != "auto") return lookupLocked(r, requested, err);
+  const char* env = std::getenv("MMX_BACKEND");
+  if (env && *env && std::strcmp(env, "auto") != 0) {
+    viaEnv = true;
+    const KernelBackend* be = lookupLocked(r, env, err);
+    if (!be) err = "MMX_BACKEND: " + err;
+    return be;
+  }
+  const KernelBackend* best = nullptr;
+  for (const KernelBackend* be : r.list)
+    if (be->available() && (!best || be->priority() > best->priority()))
+      best = be;
+  if (!best) err = "no kernel backend is available"; // unreachable: scalar
+  return best;
+}
+
+} // namespace
+
+// ---- registry API -------------------------------------------------------
+
+void registerBackend(const KernelBackend* be) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.list.push_back(be);
+  // A new backend can outrank the cached auto choice.
+  if (r.requested == "auto") g_active.store(nullptr, std::memory_order_release);
+}
+
+std::vector<const KernelBackend*> backends() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<const KernelBackend*> out = r.list;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const KernelBackend* a, const KernelBackend* b) {
+                     return a->priority() > b->priority();
+                   });
+  return out;
+}
+
+std::vector<std::string> backendNames() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<const KernelBackend*> sorted = r.list;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const KernelBackend* a, const KernelBackend* b) {
+                     return a->priority() < b->priority();
+                   });
+  std::vector<std::string> out;
+  out.reserve(sorted.size());
+  for (const KernelBackend* be : sorted) out.emplace_back(be->name());
+  return out;
+}
+
+const KernelBackend* findBackend(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return findLocked(r, name);
+}
+
+void selectBackend(std::string_view nameOrAuto) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (nameOrAuto == "auto") {
+    r.requested = "auto";
+    g_active.store(nullptr, std::memory_order_release); // re-read env lazily
+    return;
+  }
+  std::string err;
+  const KernelBackend* be = lookupLocked(r, nameOrAuto, err);
+  if (!be) throw std::invalid_argument(err);
+  r.requested = std::string(nameOrAuto);
+  g_active.store(be, std::memory_order_release);
+  metrics::counter(be->selectedCounterName()).add();
+}
+
+const KernelBackend& activeBackend() {
+  if (const KernelBackend* be = g_active.load(std::memory_order_acquire))
+    return *be;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (const KernelBackend* be = g_active.load(std::memory_order_acquire))
+    return *be;
+  std::string err;
+  bool viaEnv = false;
+  const KernelBackend* be = resolveLocked(r, r.requested, err, viaEnv);
+  if (!be) throw std::runtime_error(err);
+  g_active.store(be, std::memory_order_release);
+  metrics::counter(be->selectedCounterName()).add();
+  return *be;
+}
+
+std::string backendSelectionError(std::string_view requested) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::string err;
+  bool viaEnv = false;
+  resolveLocked(r, requested, err, viaEnv);
+  return err;
+}
+
+namespace {
+std::string currentRequest() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.requested;
+}
+} // namespace
+
+BackendOverride::BackendOverride(std::string_view name)
+    : prev_(currentRequest()) {
+  selectBackend(name);
+}
+
+BackendOverride::~BackendOverride() { selectBackend(prev_); }
+
+std::unique_ptr<Executor> RuntimeConfig::make() const {
+  selectBackend(backend);
+  return makeExecutor(executor, threads);
+}
+
+// ---- matmul entry point -------------------------------------------------
+
+Matrix matmul(Executor& exec, const Matrix& a, const Matrix& b) {
+  checkMatmulArgs(a, b);
+  const KernelBackend& be = activeBackend();
+  // "kernel.matmul" matches the site the emitted-C mmx_prof runtime
+  // records around mmx_matmul, so both runtimes report the same
+  // kernel.matmul.{count,ns,max_ns} stats keys; the per-backend twin
+  // attributes the same span to the selected backend.
+  metrics::ScopedTimer t("kernel.matmul", "kernel");
+  metrics::ScopedTimer tb(be.matmulTimerName(), "kernel");
+  metrics::counter(be.selectedCounterName()).add();
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Matrix out = Matrix::zeros(a.elem(), {m, n});
+  if (a.elem() == Elem::F32)
+    be.gemmF32(exec, a.f32(), b.f32(), out.f32(), m, k, n);
+  else
+    be.gemmI32(exec, a.i32(), b.i32(), out.i32(), m, k, n);
+  return out;
+}
+
+} // namespace mmx::rt

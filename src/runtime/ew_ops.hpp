@@ -1,0 +1,79 @@
+// Element-wise operator primitives shared by the generic kernels
+// (kernels.cpp) and the backend strip implementations (backend.cpp):
+// scalar apply, 4-wide SSE apply, SIMD support predicates, and fold
+// identities. Header-only so both TUs agree on rounding by construction.
+//
+// Not included by the -mavx/-mavx2 translation units: everything here is
+// plain SSE4.2 and must stay runnable on the baseline ISA.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+
+#include "runtime/kernels.hpp"
+#include "runtime/simd.hpp"
+
+namespace mmx::rt::detail {
+
+template <class T> inline T applyBin(BinOp op, T a, T b) {
+  switch (op) {
+    case BinOp::Add: return a + b;
+    case BinOp::Sub: return a - b;
+    case BinOp::Mul: return a * b;
+    case BinOp::Div: return a / b;
+    case BinOp::Mod:
+      if constexpr (std::is_integral_v<T>) return a % b;
+      else return std::fmod(a, b);
+    case BinOp::Min: return a < b ? a : b;
+    case BinOp::Max: return a > b ? a : b;
+  }
+  return T{};
+}
+
+inline Vec4f applyBinV(BinOp op, Vec4f a, Vec4f b) {
+  switch (op) {
+    case BinOp::Add: return a + b;
+    case BinOp::Sub: return a - b;
+    case BinOp::Mul: return a * b;
+    case BinOp::Div: return a / b;
+    case BinOp::Min: return a.min(b);
+    case BinOp::Max: return a.max(b);
+    case BinOp::Mod: break; // no SSE mod; caller falls back to scalar
+  }
+  return Vec4f::zero();
+}
+
+inline Vec4i applyBinVI(BinOp op, Vec4i a, Vec4i b) {
+  switch (op) {
+    case BinOp::Add: return a + b;
+    case BinOp::Sub: return a - b;
+    case BinOp::Mul: return a * b;
+    default: break; // others fall back to scalar
+  }
+  return Vec4i::zero();
+}
+
+inline bool simdSupportsF(BinOp op) { return op != BinOp::Mod; }
+inline bool simdSupportsI(BinOp op) {
+  return op == BinOp::Add || op == BinOp::Sub || op == BinOp::Mul;
+}
+
+/// Identity element so partial accumulators don't double-apply the fold's
+/// base value (it must be folded in exactly once). Only the associative
+/// fold operators the extension accepts are listed.
+template <class T> inline T identityOf(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return T{0};
+    case BinOp::Mul: return T{1};
+    case BinOp::Min: return std::numeric_limits<T>::max();
+    case BinOp::Max: return std::numeric_limits<T>::lowest();
+    default:
+      throw std::invalid_argument("reduce: fold operator must be associative "
+                                  "(+, *, min, max)");
+  }
+}
+
+} // namespace mmx::rt::detail

@@ -24,15 +24,6 @@ const metrics::Counter& packedBytesCounter() {
   return c;
 }
 
-void checkMatmulArgs(const Matrix& a, const Matrix& b) {
-  if (a.rank() != 2 || b.rank() != 2 || a.elem() != b.elem())
-    throw std::invalid_argument("matmul: two rank-2 matrices of one kind");
-  if (a.dim(1) != b.dim(0))
-    throw std::invalid_argument("matmul: inner dimensions disagree");
-  if (a.elem() == Elem::Bool)
-    throw std::invalid_argument("matmul: bool matrices not supported");
-}
-
 int64_t ceilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
 
 // ---- packing ----------------------------------------------------------
@@ -192,24 +183,32 @@ inline void microKernelI32(const int32_t* Ap, const int32_t* Bp,
 
 // ---- panel kernels ----------------------------------------------------
 // One packed A panel (mc rows) times one NR-column strip of packed B.
-// The f32 panel pairs adjacent MR strips into the AVX twin-strip kernel
-// when the host supports it (bit-identical rounding; see gemm_avx.cpp)
-// and falls back to the SSE micro-kernel for the remainder and edges.
+// The f32 panel pairs adjacent MR strips into a twin-strip kernel when
+// the requested GemmKernel has one (Avx: bit-identical rounding; Avx2Fma:
+// fused rounding) and falls back to the matching single-strip kernel for
+// the remainder and edges.
 
 void panelF32(const float* Ap, int64_t kcLen, int64_t mc, const float* Bs,
-              float* C, int64_t ldc, int64_t nr) {
+              float* C, int64_t ldc, int64_t nr, GemmKernel kern) {
   const int64_t stripLen = GB::MR * kcLen;
   int64_t ir = 0;
-  if (nr == GB::NR && detail::haveAvx()) {
+  if (nr == GB::NR && kern != GemmKernel::Sse) {
+    auto* twin = kern == GemmKernel::Avx2Fma ? detail::microKernelF32Avx2Fma
+                                             : detail::microKernelF32Avx;
     for (; ir + 2 * GB::MR <= mc; ir += 2 * GB::MR) {
       const float* strip = Ap + (ir / GB::MR) * stripLen;
-      detail::microKernelF32Avx(strip, strip + stripLen, Bs, kcLen,
-                                C + ir * ldc, ldc);
+      twin(strip, strip + stripLen, Bs, kcLen, C + ir * ldc, ldc);
     }
   }
-  for (; ir < mc; ir += GB::MR)
-    microKernelF32(Ap + (ir / GB::MR) * stripLen, Bs, kcLen, C + ir * ldc,
-                   ldc, std::min(GB::MR, mc - ir), nr);
+  for (; ir < mc; ir += GB::MR) {
+    const float* strip = Ap + (ir / GB::MR) * stripLen;
+    int64_t mr = std::min(GB::MR, mc - ir);
+    if (kern == GemmKernel::Avx2Fma)
+      detail::microKernelF32FmaEdge(strip, Bs, kcLen, C + ir * ldc, ldc, mr,
+                                    nr);
+    else
+      microKernelF32(strip, Bs, kcLen, C + ir * ldc, ldc, mr, nr);
+  }
 }
 
 void panelI32(const int32_t* Ap, int64_t kcLen, int64_t mc,
@@ -283,78 +282,99 @@ void gemmBlocked(Executor& exec, const T* A, const T* B, T* C, int64_t m,
 /// fork costs more than the multiply (bench_forkjoin).
 constexpr int64_t kNaiveGrainWork = 16384;
 
-Matrix matmulNaiveChecked(Executor& exec, const Matrix& a, const Matrix& b) {
-  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Matrix out = Matrix::zeros(a.elem(), {m, n});
-  int64_t rowWork = std::max<int64_t>(1, k * n);
-  int64_t grainRows = kNaiveGrainWork / rowWork + 1;
-  if (a.elem() == Elem::F32) {
-    const float* A = a.f32();
-    const float* B = b.f32();
-    float* O = out.f32();
-    exec.run(0, m, grainRows, [&](int64_t lo, int64_t hi, unsigned) {
-      for (int64_t i = lo; i < hi; ++i)
-        for (int64_t kk = 0; kk < k; ++kk) {
-          float av = A[i * k + kk];
-          const float* Brow = B + kk * n;
-          float* Orow = O + i * n;
-          for (int64_t j = 0; j < n; ++j) Orow[j] += av * Brow[j];
-        }
-    });
-  } else {
-    const int32_t* A = a.i32();
-    const int32_t* B = b.i32();
-    int32_t* O = out.i32();
-    exec.run(0, m, grainRows, [&](int64_t lo, int64_t hi, unsigned) {
-      for (int64_t i = lo; i < hi; ++i)
-        for (int64_t kk = 0; kk < k; ++kk) {
-          int32_t av = A[i * k + kk];
-          for (int64_t j = 0; j < n; ++j)
-            O[i * n + j] += av * B[kk * n + j];
-        }
-    });
-  }
-  return out;
-}
-
-Matrix matmulTiledChecked(Executor& exec, const Matrix& a, const Matrix& b) {
-  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Matrix out = Matrix::zeros(a.elem(), {m, n});
-  if (a.elem() == Elem::F32)
-    gemmBlocked<float>(exec, a.f32(), b.f32(), out.f32(), m, k, n,
-                       panelF32);
-  else
-    gemmBlocked<int32_t>(exec, a.i32(), b.i32(), out.i32(), m, k, n,
-                         panelI32);
-  return out;
-}
-
-/// Below this many madds the packing setup and the two pool barriers per
-/// panel outweigh the multiply; the naive kernel runs such products
-/// inline via its grain.
-constexpr int64_t kTiledCutoff = 32 * 32 * 32;
-
 } // namespace
+
+int64_t detail::naiveGrainRows(int64_t k, int64_t n) {
+  int64_t rowWork = std::max<int64_t>(1, k * n);
+  return kNaiveGrainWork / rowWork + 1;
+}
+
+void checkMatmulArgs(const Matrix& a, const Matrix& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.elem() != b.elem())
+    throw std::invalid_argument("matmul: two rank-2 matrices of one kind");
+  if (a.dim(1) != b.dim(0))
+    throw std::invalid_argument("matmul: inner dimensions disagree");
+  if (a.elem() == Elem::Bool)
+    throw std::invalid_argument("matmul: bool matrices not supported");
+}
+
+void gemmNaiveF32(Executor& exec, const float* A, const float* B, float* C,
+                  int64_t m, int64_t k, int64_t n) {
+  exec.run(0, m, detail::naiveGrainRows(k, n), [&](int64_t lo, int64_t hi, unsigned) {
+    for (int64_t i = lo; i < hi; ++i)
+      for (int64_t kk = 0; kk < k; ++kk) {
+        float av = A[i * k + kk];
+        const float* Brow = B + kk * n;
+        float* Orow = C + i * n;
+        for (int64_t j = 0; j < n; ++j) Orow[j] += av * Brow[j];
+      }
+  });
+}
+
+void gemmNaiveI32(Executor& exec, const int32_t* A, const int32_t* B,
+                  int32_t* C, int64_t m, int64_t k, int64_t n) {
+  exec.run(0, m, detail::naiveGrainRows(k, n), [&](int64_t lo, int64_t hi, unsigned) {
+    for (int64_t i = lo; i < hi; ++i)
+      for (int64_t kk = 0; kk < k; ++kk) {
+        int32_t av = A[i * k + kk];
+        for (int64_t j = 0; j < n; ++j)
+          C[i * n + j] += av * B[kk * n + j];
+      }
+  });
+}
+
+void gemmNaiveF64(Executor& exec, const double* A, const double* B, double* C,
+                  int64_t m, int64_t k, int64_t n) {
+  exec.run(0, m, detail::naiveGrainRows(k, n), [&](int64_t lo, int64_t hi, unsigned) {
+    for (int64_t i = lo; i < hi; ++i)
+      for (int64_t kk = 0; kk < k; ++kk) {
+        double av = A[i * k + kk];
+        const double* Brow = B + kk * n;
+        double* Orow = C + i * n;
+        for (int64_t j = 0; j < n; ++j) Orow[j] += av * Brow[j];
+      }
+  });
+}
+
+void gemmTiledF32(Executor& exec, const float* A, const float* B, float* C,
+                  int64_t m, int64_t k, int64_t n, GemmKernel kernel) {
+  gemmBlocked<float>(exec, A, B, C, m, k, n,
+                     [kernel](const float* Ap, int64_t kcLen, int64_t mc,
+                              const float* Bs, float* Cp, int64_t ldc,
+                              int64_t nr) {
+                       panelF32(Ap, kcLen, mc, Bs, Cp, ldc, nr, kernel);
+                     });
+}
+
+void gemmTiledI32(Executor& exec, const int32_t* A, const int32_t* B,
+                  int32_t* C, int64_t m, int64_t k, int64_t n) {
+  gemmBlocked<int32_t>(exec, A, B, C, m, k, n, panelI32);
+}
 
 Matrix matmulNaive(Executor& exec, const Matrix& a, const Matrix& b) {
   checkMatmulArgs(a, b);
-  return matmulNaiveChecked(exec, a, b);
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Matrix out = Matrix::zeros(a.elem(), {m, n});
+  if (a.elem() == Elem::F32)
+    gemmNaiveF32(exec, a.f32(), b.f32(), out.f32(), m, k, n);
+  else
+    gemmNaiveI32(exec, a.i32(), b.i32(), out.i32(), m, k, n);
+  return out;
 }
 
 Matrix matmulTiled(Executor& exec, const Matrix& a, const Matrix& b) {
   checkMatmulArgs(a, b);
-  return matmulTiledChecked(exec, a, b);
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Matrix out = Matrix::zeros(a.elem(), {m, n});
+  if (a.elem() == Elem::F32)
+    gemmTiledF32(exec, a.f32(), b.f32(), out.f32(), m, k, n,
+                 detail::haveAvx() ? GemmKernel::Avx : GemmKernel::Sse);
+  else
+    gemmTiledI32(exec, a.i32(), b.i32(), out.i32(), m, k, n);
+  return out;
 }
 
-Matrix matmul(Executor& exec, const Matrix& a, const Matrix& b) {
-  checkMatmulArgs(a, b);
-  // "kernel.matmul" matches the site the emitted-C mmx_prof runtime
-  // records around mmx_matmul, so both backends report the same
-  // kernel.matmul.{count,ns,max_ns} stats keys.
-  metrics::ScopedTimer t("kernel.matmul", "kernel");
-  if (a.dim(0) * a.dim(1) * b.dim(1) < kTiledCutoff)
-    return matmulNaiveChecked(exec, a, b);
-  return matmulTiledChecked(exec, a, b);
-}
+// rt::matmul lives in backend.cpp: it dispatches through the process-wide
+// kernel backend registry (ISSUE 7).
 
 } // namespace mmx::rt

@@ -14,6 +14,13 @@
 // panel (bit-identical to the naive kernel when k <= KC); panels are
 // combined through a per-panel register accumulator, which reassociates
 // f32 sums across KC boundaries (see DESIGN.md "Runtime kernels").
+//
+// Since ISSUE 7 the engine is a library of raw-buffer GEMM entry points
+// consumed by the kernel backends in backend.cpp: the f32 panel kernel is
+// parametrized over GemmKernel (SSE micro-tiles, the AVX twin-strip
+// pairing, or the AVX2/FMA twin-strip), and the naive reference is
+// callable on raw pointers. Policy (which kernel runs) lives in the
+// backend registry; this file only provides mechanisms.
 #pragma once
 
 #include "runtime/matrix.hpp"
@@ -31,11 +38,22 @@ struct GemmBlocking {
   static constexpr int64_t NC = 256; ///< cols per packed B panel
 };
 
+/// Inner-loop flavour of the tiled f32 engine. Sse and Avx round
+/// identically (mul then add); Avx2Fma fuses the multiply-add (single
+/// rounding) and so only bit-matches the others on exactly-representable
+/// data.
+enum class GemmKernel : uint8_t { Sse, Avx, Avx2Fma };
+
+/// Below this many madds the packing setup and the two pool barriers per
+/// panel outweigh the multiply; backends run smaller products through the
+/// naive kernel (which parallelizes via its own row grain).
+constexpr int64_t kMatmulTiledCutoff = 32 * 32 * 32;
+
 namespace detail {
 
-/// Cached cpuid probe; the f32 engine upgrades to the AVX twin-strip
-/// micro-kernel when the host allows it.
+/// Cached cpuid probes for the optional micro-kernels.
 bool haveAvx();
+bool haveAvx2Fma();
 
 /// AVX micro-kernel covering two adjacent packed MR-row strips (8 rows)
 /// by one full NR-column strip. vmulps/vaddps round exactly like the SSE
@@ -44,7 +62,60 @@ bool haveAvx();
 void microKernelF32Avx(const float* Ap0, const float* Ap1, const float* Bp,
                        int64_t kcLen, float* C, int64_t ldc);
 
+/// AVX2/FMA twin of the above: same 8x8 twin-strip shape, vfmadd231ps
+/// inner loop (one rounding per madd). Defined in gemm_avx2.cpp, the one
+/// TU built with -mavx2 -mfma; only call when haveAvx2Fma().
+void microKernelF32Avx2Fma(const float* Ap0, const float* Ap1,
+                           const float* Bp, int64_t kcLen, float* C,
+                           int64_t ldc);
+
+/// FMA edge kernel: one packed MR strip by one NR strip with mr/nr
+/// masking, fmaf accumulation in a padded local tile (same per-element
+/// rounding and k order as the twin-strip kernel). gemm_avx2.cpp.
+void microKernelF32FmaEdge(const float* Ap, const float* Bp, int64_t kcLen,
+                           float* C, int64_t ldc, int64_t mr, int64_t nr);
+
+/// Naive i-k-j row ranges with fused multiply-add accumulation — the
+/// small-product path of the avx2fma backend, matching the emitted-C FMA
+/// core's rounding. gemm_avx2.cpp; only call when haveAvx2Fma().
+void gemmNaiveFmaRowsF32(const float* A, const float* B, float* C, int64_t k,
+                         int64_t n, int64_t lo, int64_t hi);
+void gemmNaiveFmaRowsF64(const double* A, const double* B, double* C,
+                         int64_t k, int64_t n, int64_t lo, int64_t hi);
+
+/// Row grain of the naive kernels (kNaiveGrainWork madds per dispatch) —
+/// shared so the avx2fma backend's naive-FMA path parallelizes exactly
+/// like gemmNaiveF32.
+int64_t naiveGrainRows(int64_t k, int64_t n);
+
 } // namespace detail
+
+/// Shared argument contract of every matmul entry point: rank-2, one
+/// element kind (f32 or i32), agreeing inner dimensions. Throws
+/// std::invalid_argument.
+void checkMatmulArgs(const Matrix& a, const Matrix& b);
+
+// ---- raw-buffer GEMM entry points (backend building blocks) ------------
+// Row-major, C is m*n and caller-zeroed (accumulated into), A is m*k,
+// B is k*n.
+
+/// Textbook row-parallel i-k-j loops (mul then add).
+void gemmNaiveF32(Executor& exec, const float* A, const float* B, float* C,
+                  int64_t m, int64_t k, int64_t n);
+void gemmNaiveI32(Executor& exec, const int32_t* A, const int32_t* B,
+                  int32_t* C, int64_t m, int64_t k, int64_t n);
+void gemmNaiveF64(Executor& exec, const double* A, const double* B, double* C,
+                  int64_t m, int64_t k, int64_t n);
+
+/// Cache-blocked, packed, register-tiled product, parallelized over the
+/// 2D tile grid, with the requested f32 inner kernel (the caller has
+/// checked the kernel's cpuid probe).
+void gemmTiledF32(Executor& exec, const float* A, const float* B, float* C,
+                  int64_t m, int64_t k, int64_t n, GemmKernel kernel);
+void gemmTiledI32(Executor& exec, const int32_t* A, const int32_t* B,
+                  int32_t* C, int64_t m, int64_t k, int64_t n);
+
+// ---- Matrix-level reference entry points (tests and benches) -----------
 
 /// Reference kernel: the textbook row-parallel i-k-j loop the engine is
 /// benchmarked and bit-verified against.
@@ -52,7 +123,9 @@ Matrix matmulNaive(Executor& exec, const Matrix& a, const Matrix& b);
 
 /// Cache-blocked, packed, register-tiled product, parallelized over the
 /// 2D tile grid. Requires the same shapes as matmulNaive (rank-2, inner
-/// dimensions agreeing, f32 or i32).
+/// dimensions agreeing, f32 or i32). Uses the historical kernel choice
+/// (AVX twin-strip when the host has it, SSE otherwise) — bit-identical
+/// either way.
 Matrix matmulTiled(Executor& exec, const Matrix& a, const Matrix& b);
 
 } // namespace mmx::rt

@@ -1,0 +1,103 @@
+// AVX2/FMA micro-kernels for the `avx2fma` backend. This is the only
+// translation unit built with -mavx2 -mfma (see CMakeLists.txt),
+// mirroring the gemm_avx.cpp pattern; every entry point is guarded by
+// detail::haveAvx2Fma(), so the rest of the runtime stays plain SSE4.2
+// and the binary still runs on hosts without AVX2.
+//
+// Rounding contract: unlike the AVX twin-strip kernel, vfmadd231ps fuses
+// the multiply and add into one rounding, so results are NOT bit-identical
+// to the SSE/scalar mul-then-add on arbitrary data — only on exactly
+// representable products and partial sums (the oracle tests construct
+// such data). Every accumulator still sees its k terms in ascending
+// order, and the edge/naive kernels below use the same fused rounding, so
+// the backend is internally consistent and matches the emitted-C FMA core
+// bit for bit within a KC panel.
+#include "runtime/gemm.hpp"
+
+#include <immintrin.h>
+
+namespace mmx::rt::detail {
+
+bool haveAvx2Fma() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+
+void microKernelF32Avx2Fma(const float* Ap0, const float* Ap1,
+                           const float* Bp, int64_t kcLen, float* C,
+                           int64_t ldc) {
+  constexpr int64_t MR = GemmBlocking::MR; // 4 rows per packed strip
+  __m256 c0 = _mm256_setzero_ps(), c1 = _mm256_setzero_ps();
+  __m256 c2 = _mm256_setzero_ps(), c3 = _mm256_setzero_ps();
+  __m256 c4 = _mm256_setzero_ps(), c5 = _mm256_setzero_ps();
+  __m256 c6 = _mm256_setzero_ps(), c7 = _mm256_setzero_ps();
+  const float* b = Bp;
+  for (int64_t k = 0; k < kcLen; ++k) {
+    __m256 bv = _mm256_loadu_ps(b);
+    b += GemmBlocking::NR;
+    const float* a0 = Ap0 + k * MR;
+    const float* a1 = Ap1 + k * MR;
+    c0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 0), bv, c0);
+    c1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 1), bv, c1);
+    c2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 2), bv, c2);
+    c3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 3), bv, c3);
+    c4 = _mm256_fmadd_ps(_mm256_broadcast_ss(a1 + 0), bv, c4);
+    c5 = _mm256_fmadd_ps(_mm256_broadcast_ss(a1 + 1), bv, c5);
+    c6 = _mm256_fmadd_ps(_mm256_broadcast_ss(a1 + 2), bv, c6);
+    c7 = _mm256_fmadd_ps(_mm256_broadcast_ss(a1 + 3), bv, c7);
+  }
+  __m256 rows[8] = {c0, c1, c2, c3, c4, c5, c6, c7};
+  for (int r = 0; r < 8; ++r) {
+    float* Cr = C + r * ldc;
+    _mm256_storeu_ps(Cr, _mm256_add_ps(_mm256_loadu_ps(Cr), rows[r]));
+  }
+  _mm256_zeroupper();
+}
+
+void microKernelF32FmaEdge(const float* Ap, const float* Bp, int64_t kcLen,
+                           float* C, int64_t ldc, int64_t mr, int64_t nr) {
+  constexpr int64_t MR = GemmBlocking::MR;
+  constexpr int64_t NR = GemmBlocking::NR;
+  // Padded local tile, fused accumulation in ascending-k order (the
+  // compiler lowers __builtin_fmaf to vfmadd231ss under -mfma), then only
+  // the valid region is added to C — same shape as the SSE edge path.
+  float tmp[MR * NR] = {};
+  for (int64_t k = 0; k < kcLen; ++k) {
+    const float* a = Ap + k * MR;
+    const float* b = Bp + k * NR;
+    for (int64_t r = 0; r < MR; ++r) {
+      float av = a[r];
+      for (int64_t c = 0; c < NR; ++c)
+        tmp[r * NR + c] = __builtin_fmaf(av, b[c], tmp[r * NR + c]);
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r)
+    for (int64_t c = 0; c < nr; ++c) C[r * ldc + c] += tmp[r * NR + c];
+}
+
+void gemmNaiveFmaRowsF32(const float* A, const float* B, float* C, int64_t k,
+                         int64_t n, int64_t lo, int64_t hi) {
+  for (int64_t i = lo; i < hi; ++i)
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = A[i * k + kk];
+      const float* Brow = B + kk * n;
+      float* Orow = C + i * n;
+      for (int64_t j = 0; j < n; ++j)
+        Orow[j] = __builtin_fmaf(av, Brow[j], Orow[j]);
+    }
+}
+
+void gemmNaiveFmaRowsF64(const double* A, const double* B, double* C,
+                         int64_t k, int64_t n, int64_t lo, int64_t hi) {
+  for (int64_t i = lo; i < hi; ++i)
+    for (int64_t kk = 0; kk < k; ++kk) {
+      double av = A[i * k + kk];
+      const double* Brow = B + kk * n;
+      double* Orow = C + i * n;
+      for (int64_t j = 0; j < n; ++j)
+        Orow[j] = __builtin_fma(av, Brow[j], Orow[j]);
+    }
+}
+
+} // namespace mmx::rt::detail

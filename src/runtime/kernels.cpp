@@ -1,10 +1,11 @@
 #include "runtime/kernels.hpp"
 
-#include <cmath>
-#include <limits>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
+#include "runtime/backend.hpp"
+#include "runtime/ew_ops.hpp"
 #include "runtime/simd.hpp"
 
 namespace mmx::rt {
@@ -19,21 +20,6 @@ void requireSameShape(const Matrix& a, const Matrix& b, const char* what) {
       throw std::invalid_argument(std::string(what) + ": shape mismatch");
 }
 
-template <class T> T applyBin(BinOp op, T a, T b) {
-  switch (op) {
-    case BinOp::Add: return a + b;
-    case BinOp::Sub: return a - b;
-    case BinOp::Mul: return a * b;
-    case BinOp::Div: return a / b;
-    case BinOp::Mod:
-      if constexpr (std::is_integral_v<T>) return a % b;
-      else return std::fmod(a, b);
-    case BinOp::Min: return a < b ? a : b;
-    case BinOp::Max: return a > b ? a : b;
-  }
-  return T{};
-}
-
 template <class T> bool applyCmp(CmpOp op, T a, T b) {
   switch (op) {
     case CmpOp::Lt: return a < b;
@@ -46,35 +32,9 @@ template <class T> bool applyCmp(CmpOp op, T a, T b) {
   return false;
 }
 
-Vec4f applyBinV(BinOp op, Vec4f a, Vec4f b) {
-  switch (op) {
-    case BinOp::Add: return a + b;
-    case BinOp::Sub: return a - b;
-    case BinOp::Mul: return a * b;
-    case BinOp::Div: return a / b;
-    case BinOp::Min: return a.min(b);
-    case BinOp::Max: return a.max(b);
-    case BinOp::Mod: break; // no SSE mod; caller falls back to scalar
-  }
-  return Vec4f::zero();
-}
-
-Vec4i applyBinVI(BinOp op, Vec4i a, Vec4i b) {
-  switch (op) {
-    case BinOp::Add: return a + b;
-    case BinOp::Sub: return a - b;
-    case BinOp::Mul: return a * b;
-    default: break; // others fall back to scalar
-  }
-  return Vec4i::zero();
-}
-
-bool simdSupportsF(BinOp op) { return op != BinOp::Mod; }
-bool simdSupportsI(BinOp op) {
-  return op == BinOp::Add || op == BinOp::Sub || op == BinOp::Mul;
-}
-
-// Generic element-wise driver: b may be null (scalar broadcast via sb).
+// Generic element-wise driver: b may be null (scalar broadcast via sf/si).
+// The SIMD strips come from the active kernel backend; `simd = false`
+// forces the plain scalar loops below (the benches' ablation knob).
 struct EwCtx {
   BinOp op;
   const Matrix* a;
@@ -83,51 +43,36 @@ struct EwCtx {
   float sf;
   int32_t si;
   bool simd;
+  const KernelBackend* be;
 };
 
 void ewRangeF(EwCtx& c, int64_t lo, int64_t hi) {
   const float* a = c.a->f32();
+  const float* b = c.b ? c.b->f32() : nullptr;
   float* o = c.out->f32();
-  int64_t i = lo;
-  if (c.simd && simdSupportsF(c.op)) {
-    if (c.b) {
-      const float* b = c.b->f32();
-      for (; i + 4 <= hi; i += 4)
-        applyBinV(c.op, Vec4f::load(a + i), Vec4f::load(b + i)).store(o + i);
-    } else {
-      Vec4f s = Vec4f::splat(c.sf);
-      for (; i + 4 <= hi; i += 4)
-        applyBinV(c.op, Vec4f::load(a + i), s).store(o + i);
-    }
+  if (c.simd) {
+    c.be->ewStripF32(c.op, a, b, c.sf, o, lo, hi);
+    return;
   }
-  if (c.b) {
-    const float* b = c.b->f32();
-    for (; i < hi; ++i) o[i] = applyBin(c.op, a[i], b[i]);
+  if (b) {
+    for (int64_t i = lo; i < hi; ++i) o[i] = detail::applyBin(c.op, a[i], b[i]);
   } else {
-    for (; i < hi; ++i) o[i] = applyBin(c.op, a[i], c.sf);
+    for (int64_t i = lo; i < hi; ++i) o[i] = detail::applyBin(c.op, a[i], c.sf);
   }
 }
 
 void ewRangeI(EwCtx& c, int64_t lo, int64_t hi) {
   const int32_t* a = c.a->i32();
+  const int32_t* b = c.b ? c.b->i32() : nullptr;
   int32_t* o = c.out->i32();
-  int64_t i = lo;
-  if (c.simd && simdSupportsI(c.op)) {
-    if (c.b) {
-      const int32_t* b = c.b->i32();
-      for (; i + 4 <= hi; i += 4)
-        applyBinVI(c.op, Vec4i::load(a + i), Vec4i::load(b + i)).store(o + i);
-    } else {
-      Vec4i s = Vec4i::splat(c.si);
-      for (; i + 4 <= hi; i += 4)
-        applyBinVI(c.op, Vec4i::load(a + i), s).store(o + i);
-    }
+  if (c.simd) {
+    c.be->ewStripI32(c.op, a, b, c.si, o, lo, hi);
+    return;
   }
-  if (c.b) {
-    const int32_t* b = c.b->i32();
-    for (; i < hi; ++i) o[i] = applyBin(c.op, a[i], b[i]);
+  if (b) {
+    for (int64_t i = lo; i < hi; ++i) o[i] = detail::applyBin(c.op, a[i], b[i]);
   } else {
-    for (; i < hi; ++i) o[i] = applyBin(c.op, a[i], c.si);
+    for (int64_t i = lo; i < hi; ++i) o[i] = detail::applyBin(c.op, a[i], c.si);
   }
 }
 
@@ -154,32 +99,57 @@ void ensureOut(Matrix& out, Elem e, const Matrix& like) {
 
 } // namespace
 
+template <class Rhs>
+void ew(Executor& exec, BinOp op, const Matrix& a, const Rhs& b, Matrix& out,
+        bool simd) {
+  const KernelBackend* be = &activeBackend();
+  if constexpr (std::is_same_v<Rhs, Matrix>) {
+    requireSameShape(a, b, "ewBinary");
+    if (a.elem() == Elem::Bool)
+      throw std::invalid_argument("ewBinary: arithmetic on bool matrix");
+    ensureOut(out, a.elem(), a);
+    EwCtx c{op, &a, &b, &out, 0.f, 0, simd, be};
+    ewDispatch(exec, c);
+  } else if constexpr (std::is_same_v<Rhs, float>) {
+    if (a.elem() != Elem::F32)
+      throw std::invalid_argument("ewBinaryScalarF: f32 matrix required");
+    ensureOut(out, Elem::F32, a);
+    EwCtx c{op, &a, nullptr, &out, b, 0, simd, be};
+    ewDispatch(exec, c);
+  } else {
+    static_assert(std::is_same_v<Rhs, int32_t>,
+                  "ew: Rhs must be Matrix, float, or int32_t");
+    if (a.elem() != Elem::I32)
+      throw std::invalid_argument("ewBinaryScalarI: i32 matrix required");
+    ensureOut(out, Elem::I32, a);
+    EwCtx c{op, &a, nullptr, &out, 0.f, b, simd, be};
+    ewDispatch(exec, c);
+  }
+}
+
+template void ew<Matrix>(Executor&, BinOp, const Matrix&, const Matrix&,
+                         Matrix&, bool);
+template void ew<float>(Executor&, BinOp, const Matrix&, const float&,
+                        Matrix&, bool);
+template void ew<int32_t>(Executor&, BinOp, const Matrix&, const int32_t&,
+                          Matrix&, bool);
+
+// Deprecated shims (one PR, per ISSUE 7): the historical three-way entry
+// points forward to the templated ew<>.
+
 void ewBinary(Executor& exec, BinOp op, const Matrix& a, const Matrix& b,
               Matrix& out, bool simd) {
-  requireSameShape(a, b, "ewBinary");
-  if (a.elem() == Elem::Bool)
-    throw std::invalid_argument("ewBinary: arithmetic on bool matrix");
-  ensureOut(out, a.elem(), a);
-  EwCtx c{op, &a, &b, &out, 0.f, 0, simd};
-  ewDispatch(exec, c);
+  ew(exec, op, a, b, out, simd);
 }
 
 void ewBinaryScalarF(Executor& exec, BinOp op, const Matrix& a, float s,
                      Matrix& out, bool simd) {
-  if (a.elem() != Elem::F32)
-    throw std::invalid_argument("ewBinaryScalarF: f32 matrix required");
-  ensureOut(out, Elem::F32, a);
-  EwCtx c{op, &a, nullptr, &out, s, 0, simd};
-  ewDispatch(exec, c);
+  ew(exec, op, a, s, out, simd);
 }
 
 void ewBinaryScalarI(Executor& exec, BinOp op, const Matrix& a, int32_t s,
                      Matrix& out, bool simd) {
-  if (a.elem() != Elem::I32)
-    throw std::invalid_argument("ewBinaryScalarI: i32 matrix required");
-  ensureOut(out, Elem::I32, a);
-  EwCtx c{op, &a, nullptr, &out, 0.f, s, simd};
-  ewDispatch(exec, c);
+  ew(exec, op, a, s, out, simd);
 }
 
 namespace {
@@ -239,66 +209,46 @@ void ewCompareScalarI(Executor& exec, CmpOp op, const Matrix& a, int32_t s,
            [&c](int64_t lo, int64_t hi, unsigned) { cmpRange(c, lo, hi); });
 }
 
-// matmul lives in gemm.cpp: the tiled/packed engine plus the naive
-// reference it dispatches to for small products.
-
-namespace {
-/// Identity element so partial accumulators don't double-apply the fold's
-/// base value (it must be folded in exactly once). Only the associative
-/// fold operators the extension accepts are listed.
-template <class T> T identityOf(BinOp op) {
-  switch (op) {
-    case BinOp::Add: return T{0};
-    case BinOp::Mul: return T{1};
-    case BinOp::Min: return std::numeric_limits<T>::max();
-    case BinOp::Max: return std::numeric_limits<T>::lowest();
-    default:
-      throw std::invalid_argument("reduce: fold operator must be associative "
-                                  "(+, *, min, max)");
-  }
-}
-} // namespace
+// matmul lives in backend.cpp: it dispatches through the kernel backend
+// registry to the tiled/packed engine (gemm.cpp) or the naive reference.
 
 float reduceF32(Executor& exec, BinOp op, float init, const Matrix& a,
                 bool simd) {
   if (a.elem() != Elem::F32)
     throw std::invalid_argument("reduceF32: f32 matrix required");
-  const float ident = identityOf<float>(op);
+  const float ident = detail::identityOf<float>(op);
+  const KernelBackend& be = activeBackend();
   unsigned nt = exec.threads();
   std::vector<float> partial(nt, ident);
   const float* d = a.f32();
   exec.run(0, a.size(), kEwGrain,
            [&](int64_t lo, int64_t hi, unsigned tid) {
-    float acc = ident;
-    int64_t i = lo;
-    if (simd && op == BinOp::Add) {
-      Vec4f vacc = Vec4f::zero();
-      for (; i + 4 <= hi; i += 4) vacc = vacc + Vec4f::load(d + i);
-      acc += vacc.hsum();
+    if (simd) {
+      partial[tid] = be.reduceStripF32(op, d, lo, hi);
+      return;
     }
-    for (; i < hi; ++i) acc = applyBin(op, acc, d[i]);
+    float acc = ident;
+    for (int64_t i = lo; i < hi; ++i) acc = detail::applyBin(op, acc, d[i]);
     partial[tid] = acc;
   });
   float r = init;
-  for (float p : partial) r = applyBin(op, r, p);
+  for (float p : partial) r = detail::applyBin(op, r, p);
   return r;
 }
 
 int32_t reduceI32(Executor& exec, BinOp op, int32_t init, const Matrix& a) {
   if (a.elem() != Elem::I32)
     throw std::invalid_argument("reduceI32: i32 matrix required");
-  const int32_t ident = identityOf<int32_t>(op);
+  const KernelBackend& be = activeBackend();
   unsigned nt = exec.threads();
-  std::vector<int32_t> partial(nt, ident);
+  std::vector<int32_t> partial(nt, detail::identityOf<int32_t>(op));
   const int32_t* d = a.i32();
   exec.run(0, a.size(), kEwGrain,
            [&](int64_t lo, int64_t hi, unsigned tid) {
-    int32_t acc = ident;
-    for (int64_t i = lo; i < hi; ++i) acc = applyBin(op, acc, d[i]);
-    partial[tid] = acc;
+    partial[tid] = be.reduceStripI32(op, d, lo, hi);
   });
   int32_t r = init;
-  for (int32_t p : partial) r = applyBin(op, r, p);
+  for (int32_t p : partial) r = detail::applyBin(op, r, p);
   return r;
 }
 
@@ -311,6 +261,9 @@ void sumInnermost3D(Executor& exec, const Matrix& a, Matrix& out, bool simd) {
   const float* D = a.f32();
   float* O = out.f32();
   int64_t grain = kEwGrain / (p > 0 ? p : 1) + 1;
+  // Stays on the shared SSE row-sum (not backend-routed): its hadd order
+  // is the bit-contract every backend's reduceStripF32 emulates anyway,
+  // and the fused kernel predates the registry.
   exec.run(0, m * n, grain, [&](int64_t lo, int64_t hi, unsigned) {
     for (int64_t ij = lo; ij < hi; ++ij) {
       const float* row = D + ij * p;

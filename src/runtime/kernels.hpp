@@ -18,8 +18,13 @@ enum class BinOp : uint8_t { Add, Sub, Mul, Div, Mod, Min, Max };
 /// Comparisons produce Bool matrices (logical indexing, `ssh < i`).
 enum class CmpOp : uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
 
+// DEPRECATED (ISSUE 7, kept for one PR): the three historical entry
+// points below are thin shims over the templated rt::ew<> in backend.hpp,
+// which routes through the active kernel backend. New callers use
+// rt::ew(exec, op, a, rhs, out[, simd]).
+
 /// out = a (op) b, all same shape/kind. `exec` splits rows across threads;
-/// `simd` selects 4-wide SSE inner loops for f32/i32.
+/// `simd` selects the active backend's vector strips for f32/i32.
 void ewBinary(Executor& exec, BinOp op, const Matrix& a, const Matrix& b,
               Matrix& out, bool simd);
 
@@ -37,7 +42,9 @@ void ewCompareScalarF(Executor& exec, CmpOp op, const Matrix& a, float s,
 void ewCompareScalarI(Executor& exec, CmpOp op, const Matrix& a, int32_t s,
                       Matrix& out);
 
-/// Linear-algebra product of two rank-2 matrices (f32 or i32).
+/// Linear-algebra product of two rank-2 matrices (f32 or i32). Dispatches
+/// through the active kernel backend (backend.hpp); defined in
+/// backend.cpp.
 Matrix matmul(Executor& exec, const Matrix& a, const Matrix& b);
 
 /// Full reduction (fold over every element).

@@ -146,10 +146,58 @@ TEST(CompilerInvocation, HelpTextListsEveryFlagOnce) {
        {"--emit-ir", "--emit-c", "--analyze", "--threads", "--executor",
         "--no-fusion", "--no-parallel", "--no-slice-elim", "--strict-parallel",
         "-Wparallel", "-Wno-parallel", "--time-report", "--stats-json",
-        "--trace-json", "--instrument", "--help"}) {
+        "--trace-json", "--instrument", "--backend", "--help"}) {
     size_t first = help.find(flag);
     EXPECT_NE(first, std::string::npos) << flag << " missing from help";
   }
+}
+
+TEST(CompilerInvocation, BackendFlagParsesBothArgvSpellings) {
+  // ISSUE 7 bugfix: --backend must accept the =-joined and the
+  // space-separated spelling alike.
+  CompilerInvocation joined;
+  auto r = parse(joined, {"p.xc", "--backend=sse"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(joined.backend, "sse");
+
+  CompilerInvocation spaced;
+  r = parse(spaced, {"p.xc", "--backend", "scalar"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(spaced.backend, "scalar");
+
+  CompilerInvocation missing;
+  r = parse(missing, {"p.xc", "--backend"});
+  EXPECT_FALSE(r.ok);
+
+  // Names are not validated at parse time (the driver renders a
+  // structured diagnostic); any token is accepted into the field.
+  CompilerInvocation unknown;
+  r = parse(unknown, {"p.xc", "--backend=definitely-not-a-backend"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(unknown.backend, "definitely-not-a-backend");
+}
+
+TEST(CompilerInvocation, HelpListsRegisteredBackendNames) {
+  std::string help = CompilerInvocation::helpText();
+  for (const char* name : {"scalar", "sse", "avx", "avx2fma", "auto"})
+    EXPECT_NE(help.find(name), std::string::npos)
+        << name << " missing from --backend help";
+}
+
+TEST(CompilerInvocation, RuntimeConfigCarriesBackendAndExecutor) {
+  CompilerInvocation inv;
+  auto r = parse(inv, {"p.xc", "--threads", "4", "--backend=scalar"});
+  ASSERT_TRUE(r.ok) << r.error;
+  rt::RuntimeConfig cfg = inv.runtimeConfig();
+  EXPECT_EQ(cfg.executor, rt::ExecutorKind::ForkJoin);
+  EXPECT_EQ(cfg.threads, 4u);
+  EXPECT_EQ(cfg.backend, "scalar");
+
+  CompilerInvocation dflt;
+  ASSERT_TRUE(parse(dflt, {"p.xc"}).ok);
+  rt::RuntimeConfig d = dflt.runtimeConfig();
+  EXPECT_EQ(d.executor, rt::ExecutorKind::Serial);
+  EXPECT_EQ(d.backend, "auto");
 }
 
 } // namespace

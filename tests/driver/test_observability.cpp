@@ -10,6 +10,7 @@
 #include "driver/translator.hpp"
 #include "ext_matrix/matrix_ext.hpp"
 #include "interp/interp.hpp"
+#include "runtime/backend.hpp"
 #include "support/metrics.hpp"
 
 namespace mmx::driver {
@@ -139,6 +140,41 @@ TEST_F(ObservabilityTest, TimersCoverThePhases) {
   for (const char* phase :
        {"compose", "parse", "typecheck", "optimize", "lower"})
     EXPECT_TRUE(names.count(phase)) << "missing timer: " << phase;
+}
+
+TEST_F(ObservabilityTest, BackendSelectionReachesStatsJson) {
+  // ISSUE 7 satellite: a program that multiplies matrices must surface
+  // which kernel backend served it — backend.selected.<name> plus the
+  // per-backend kernel.matmul.<name> timer next to the generic one.
+  constexpr const char* kMatmulProgram = R"(
+int main() {
+  int n = 40;
+  Matrix float <2> a = with ([0,0] <= [i,j] < [n,n])
+      genarray([n,n], (float)((i * 7 + j) % 97) / 8.0);
+  Matrix float <2> c = a * a;
+  printFloat(c[1, 2]);
+  return 0;
+})";
+  Translator t;
+  t.addExtension(ext_matrix::matrixExtension());
+  ASSERT_TRUE(t.compose()) << t.renderComposeDiagnostics();
+  auto res = t.translate("obs_mm.xc", kMatmulProgram);
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  rt::RuntimeConfig cfg;
+  cfg.backend = "sse";
+  auto exec = cfg.make();
+  interp::Machine vm(*res.module, *exec);
+  EXPECT_EQ(vm.runMain(), 0);
+  rt::selectBackend("auto"); // undo the process-wide pin
+
+  metrics::Snapshot s = metrics::snapshot();
+  std::string json = metrics::renderStatsJson(s);
+  EXPECT_NE(json.find("\"backend.selected.sse\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kernel.matmul.ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"kernel.matmul.sse.ns\""), std::string::npos);
+  std::string report = metrics::renderTimeReport(s);
+  EXPECT_NE(report.find("kernel.matmul.sse"), std::string::npos);
+  EXPECT_NE(report.find("backend.selected.sse"), std::string::npos);
 }
 
 } // namespace

@@ -6,7 +6,10 @@
 #include <cstdlib>
 #include <fstream>
 
+#include <sys/wait.h>
+
 #include "ir/cemit.hpp"
+#include "runtime/backend.hpp"
 #include "runtime/matio.hpp"
 #include "runtime/ssh_synth.hpp"
 #include "xc_helper.hpp"
@@ -407,6 +410,91 @@ TEST(CEmit, MatmulRunsWithAndWithoutOpenmp) {
             interp);
   EXPECT_EQ(compileAndRun(c, "mmo_omp4", "-fopenmp", "OMP_NUM_THREADS=4 "),
             interp);
+}
+
+TEST(CEmit, MatmulBackendSelectableViaEnv) {
+  // The emitted program carries the backend registry mirror: every name
+  // accepted by $MMX_BACKEND must run and agree with the interpreter on
+  // exactly-representable data (products are exact, so the FMA core
+  // rounds identically — see DESIGN.md "Kernel backend registry").
+  TempPath a("cemit_be_a.mmx"), b("cemit_be_b.mmx");
+  rt::writeMatrixFile(a.path, lcgF32(37, 41, 17));
+  rt::writeMatrixFile(b.path, lcgF32(41, 23, 19));
+  std::string src = matmulProgram("float", a.path, b.path, "printFloat");
+  std::string c = emitOk(src);
+  ASSERT_FALSE(c.empty());
+  EXPECT_NE(c.find("mmx_backend_select"), std::string::npos);
+
+  std::string interp = runOk(src);
+  ASSERT_FALSE(interp.empty());
+  for (const char* be : {"scalar", "sse", "avx", "avx2fma"}) {
+    if (std::string(be) == "avx2fma" && !rt::findBackend("avx2fma")->available())
+      continue; // graceful skip on hosts without AVX2/FMA
+    EXPECT_EQ(compileAndRun(c, (std::string("be_") + be).c_str(), "-fopenmp",
+                            std::string("MMX_BACKEND=") + be + " "),
+              interp)
+        << "backend " << be;
+  }
+}
+
+TEST(CEmit, MatmulBackendUnknownEnvNameFails) {
+  TempPath a("cemit_beu_a.mmx"), b("cemit_beu_b.mmx");
+  rt::writeMatrixFile(a.path, lcgF32(5, 7, 1));
+  rt::writeMatrixFile(b.path, lcgF32(7, 3, 2));
+  std::string c =
+      emitOk(matmulProgram("float", a.path, b.path, "printFloat"));
+  ASSERT_FALSE(c.empty());
+
+  std::string base = std::string(::testing::TempDir()) + "cemit_beu";
+  std::ofstream(base + ".c") << c;
+  ASSERT_EQ(std::system(("cc -O2 -std=gnu99 -msse4.2 -fopenmp " + base +
+                         ".c -o " + base + ".bin -lm 2>" + base + ".err")
+                            .c_str()),
+            0);
+  int rc = std::system(("MMX_BACKEND=bogus " + base + ".bin >" + base +
+                        ".out 2>" + base + ".err2")
+                           .c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 3); // mmx_fail's runtime-error exit code
+  std::ifstream err(base + ".err2");
+  std::string msg((std::istreambuf_iterator<char>(err)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(msg.find("unknown backend 'bogus'"), std::string::npos);
+  for (const char* ext : {".c", ".bin", ".err", ".err2", ".out"})
+    std::remove((base + ext).c_str());
+}
+
+TEST(CEmit, MatmulBackendPinnedAtEmitTime) {
+  // --backend=<name> bakes MMX_BACKEND_DEFAULT into the program: the
+  // compiled-in pin wins over the environment.
+  TempPath a("cemit_bep_a.mmx"), b("cemit_bep_b.mmx");
+  rt::writeMatrixFile(a.path, lcgF32(11, 13, 23));
+  rt::writeMatrixFile(b.path, lcgF32(13, 9, 29));
+  std::string src = matmulProgram("float", a.path, b.path, "printFloat");
+  auto res = translateXc(src);
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  ir::CEmitOptions eo;
+  eo.backend = "scalar";
+  auto c = ir::emitC(*res.module, eo);
+  ASSERT_TRUE(c.ok) << (c.errors.empty() ? "" : c.errors.front());
+  EXPECT_NE(c.code.find("#define MMX_BACKEND_DEFAULT \"scalar\""),
+            std::string::npos);
+  // Runs fine even when the environment names a different (or bogus)
+  // backend — the pin is consulted first.
+  EXPECT_EQ(compileAndRun(c.code, "bep", "-fopenmp", "MMX_BACKEND=bogus "),
+            runOk(src));
+
+  // The default "auto" emits no pin (the prelude's #ifndef fallback is
+  // all that remains), keeping the output stable.
+  EXPECT_EQ(c.code.rfind("#define MMX_BACKEND_DEFAULT \"scalar\"", 0), 0u);
+  auto cAuto = ir::emitC(*res.module);
+  ASSERT_TRUE(cAuto.ok);
+  EXPECT_NE(cAuto.code.rfind("#define MMX_BACKEND_DEFAULT", 0), 0u);
+
+  ir::CEmitOptions bad;
+  bad.backend = "no\"good";
+  auto cBad = ir::emitC(*res.module, bad);
+  EXPECT_FALSE(cBad.ok);
 }
 
 TEST(CEmit, RefcountProgramCompiles) {

@@ -158,6 +158,40 @@ TEST(StatsLib, DiffExitCodeSeparatesSchemaFromNoise) {
   EXPECT_EQ(diffExitCode(diff(base, {{"a", 1}})), 2);
 }
 
+TEST(StatsLib, BackendMetricFamiliesFlowThroughCheck) {
+  // ISSUE 7 schema coverage: the backend.selected.* presence counters and
+  // the per-backend kernel.matmul.<name>.* timers gate like any other
+  // family — presence-only rules (tol < 0) ignore value drift, a
+  // backend-specific prefix rule scopes tolerance to one backend, and a
+  // baseline backend disappearing is a schema failure.
+  std::map<std::string, double> base{{"backend.selected.sse", 1},
+                                     {"kernel.matmul.sse.ns", 1000},
+                                     {"kernel.matmul.avx2fma.ns", 700}};
+  std::map<std::string, double> cur{{"backend.selected.sse", 3},
+                                    {"kernel.matmul.sse.ns", 1900},
+                                    {"kernel.matmul.avx2fma.ns", 710}};
+
+  // Presence-only on selection, loose rule on the sse timer: clean.
+  EXPECT_TRUE(check(cur, cur, {}, 0).empty());
+  auto gated = check(base, cur,
+                     {{"backend.selected.", -1}, {"kernel.matmul.sse", 1.0}},
+                     0.05);
+  EXPECT_TRUE(gated.empty());
+
+  // Without the sse rule the 90% regression fails under the 5% default.
+  auto strict = check(base, cur, {{"backend.selected.", -1}}, 0.05);
+  ASSERT_EQ(strict.size(), 1u);
+  EXPECT_EQ(strict[0].name, "kernel.matmul.sse.ns");
+
+  // A backend vanishing from the candidate is a schema mismatch (the CI
+  // matrix produces the same row set on every leg via BackendOverride).
+  std::map<std::string, double> vanished{{"backend.selected.sse", 1},
+                                         {"kernel.matmul.sse.ns", 1000}};
+  EXPECT_EQ(checkExitCode(check(base, vanished, {{"backend.selected.", -1}},
+                                -1)),
+            2);
+}
+
 TEST(StatsLib, CheckExitCodeRanksSchemaAboveTolerance) {
   std::map<std::string, double> base{{"a", 100}, {"b", 1}};
 
