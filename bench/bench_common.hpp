@@ -19,18 +19,18 @@ inline driver::Translator& translator(driver::TranslateOptions opts = {}) {
   struct Key {
     bool fusion, slice, par;
     int bounds; // BoundsCheckMode is baked in at compose time
-    bool optFuse, optElimTemp, optInplace;
+    bool optFuse, optElimTemp, optInplace, optAutopar;
     bool operator<(const Key& o) const {
       return std::tie(fusion, slice, par, bounds, optFuse, optElimTemp,
-                      optInplace) <
+                      optInplace, optAutopar) <
              std::tie(o.fusion, o.slice, o.par, o.bounds, o.optFuse,
-                      o.optElimTemp, o.optInplace);
+                      o.optElimTemp, o.optInplace, o.optAutopar);
     }
   };
   static std::map<Key, std::unique_ptr<driver::Translator>> cache;
   Key k{opts.fusion,  opts.sliceElimination, opts.autoParallel,
         static_cast<int>(opts.boundsChecks), opts.optFuse,
-        opts.optElimTemp, opts.optInplace};
+        opts.optElimTemp, opts.optInplace, opts.optAutopar};
   auto it = cache.find(k);
   if (it == cache.end()) {
     auto t = std::make_unique<driver::Translator>();

@@ -9,9 +9,11 @@
 // the machine is fast enough to hide the time).
 #include <benchmark/benchmark.h>
 
+#include "analysis/depend.hpp"
 #include "bench_common.hpp"
 #include "bench_stats.hpp"
 #include "ir/optimize.hpp"
+#include "runtime/pool.hpp"
 
 namespace mmx::bench {
 namespace {
@@ -102,6 +104,80 @@ void BM_TemporalMeanO1(benchmark::State& state) {
   attach(state, s);
 }
 BENCHMARK(BM_TemporalMeanO1)->Unit(benchmark::kMillisecond);
+
+// ISSUE 8 acceptance chain: the autopar pass on a host-loop workload the
+// §III-C auto-parallelizer never touches. The rep loop carries a
+// store-store dependence on `out` (every rep overwrites the same cells),
+// so autopar must leave it serial and count it blocked; the inner row
+// loop is provably independent, so it promotes. Both rows run on the
+// same fork-join pool, so the timing delta isolates the promotion; the
+// counters are the machine-independent part of the checked-in
+// BENCH_autopar.json baseline (exact on promoted, presence on depend.*).
+std::string hostChainProgram(int m, int n, int reps) {
+  std::string M = std::to_string(m), N = std::to_string(n);
+  return R"(
+int main() {
+  int m = )" + M + R"(;
+  int n = )" + N + R"(;
+  Matrix float <2> base = with ([0,0] <= [i,j] < [m,n])
+      genarray([m,n], i * 0.5 + j * 0.25);
+  Matrix float <2> out = init(Matrix float <2>, m, n);
+  for (int rep = 0; rep < )" + std::to_string(reps) + R"(; rep++) {
+    for (int i = 0; i < m; i++) {
+      for (int j = 0; j < n; j++) {
+        float s = base[i, j] * 2.0 + rep * 1.0;
+        out[i, j] = s + base[i, j] * 0.25;
+      }
+    }
+  }
+  printFloat(out[0, 0]);
+  return 0;
+}
+)";
+}
+
+driver::TranslateOptions autoparOpts() {
+  driver::TranslateOptions opts;
+  opts.optAutopar = true; // isolate the pass: no fuse/elim-temp/inplace
+  return opts;
+}
+
+void attachAutopar(benchmark::State& state) {
+  // Pass + dependence counters, recomputed on an unoptimized module so
+  // the numbers are observable (and machine-independent for the gate).
+  static ir::OptStats os = [] {
+    auto m = compile(hostChainProgram(kM, kN, kReps));
+    ir::OptOptions oo;
+    oo.autopar = true;
+    return ir::optimizeModule(*m, oo);
+  }();
+  static analysis::DependStats ds = [] {
+    auto m = compile(hostChainProgram(kM, kN, kReps));
+    analysis::DependStats s;
+    analysis::Depend(*m).analyzeModule(&s);
+    return s;
+  }();
+  state.counters["opt.autopar.promoted"] = double(os.autoparPromoted);
+  state.counters["opt.autopar.blocked"] = double(os.autoparBlocked);
+  state.counters["depend.nests"] = double(ds.nests);
+  state.counters["depend.vectors"] = double(ds.vectors);
+  state.counters["depend.unknown"] = double(ds.unknown);
+}
+
+void BM_AutoparHostChainOff(benchmark::State& state) {
+  static auto mod = compile(hostChainProgram(kM, kN, kReps));
+  rt::ForkJoinPool pool(4);
+  for (auto _ : state) runOn(*mod, pool);
+}
+BENCHMARK(BM_AutoparHostChainOff)->Unit(benchmark::kMillisecond);
+
+void BM_AutoparHostChainOn(benchmark::State& state) {
+  static auto mod = compile(hostChainProgram(kM, kN, kReps), autoparOpts());
+  rt::ForkJoinPool pool(4);
+  for (auto _ : state) runOn(*mod, pool);
+  attachAutopar(state);
+}
+BENCHMARK(BM_AutoparHostChainOn)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace mmx::bench

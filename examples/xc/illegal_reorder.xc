@@ -1,0 +1,22 @@
+// A `reorder` clause that reverses a loop-carried dependence: relax()
+// advances the recurrence v[i+1] = f(v[i]), so iteration (i,j) writes
+// the element iteration (i+1,j') reads — a dependence carried by i with
+// distance (1,*). Making j the outer loop runs some (i+1,j') before
+// (i,j), reversing it, so the dependence verifier rejects the clause
+// and names the store/load pair as witness. The default -Wtransform
+// mode warns (the clause still applies); under --strict-transform this
+// program fails to compile with exit code 2.
+float relax(Matrix float <1> v, int i) {
+  v[i + 1] = v[i] * 0.5 + 1.0;
+  return v[i + 1];
+}
+
+int main() {
+  Matrix float <1> v = with ([0] <= [k] < [8]) genarray([8], (float)k);
+  Matrix float <2> b = init(Matrix float <2>, 5, 7);
+  b = with ([0,0] <= [i,j] < [5,7])
+      genarray([5,7], relax(v, i) + (float)j)
+      transform { reorder j, i; };
+  printFloat(with ([0,0] <= [x,y] < [5,7]) fold(+, 0.0, b[x,y]));
+  return 0;
+}

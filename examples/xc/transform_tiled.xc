@@ -1,7 +1,9 @@
 // Fig. 9: the temporal mean with explicit transform clauses — split the
-// j loop, vectorize the inner strip, parallelize the i loop. All three
-// targets are provably safe, so `--analyze` reports the nest as safe and
-// the pragmas survive enforcement.
+// j loop, vectorize the inner strip, unroll the depth loop, swap the
+// tile loops, and parallelize the i loop. Every clause is provably
+// legal (the nest carries no dependence), so `--analyze` reports the
+// nest as safe and the pragmas survive enforcement — including under
+// --strict-transform.
 int main() {
   Matrix float <3> mat = synthSsh(6, 16, 12, 5, 2);
   int m = dimSize(mat, 0);
@@ -14,6 +16,8 @@ int main() {
     transform {
       split j by 4, jin, jout;
       vectorize jin;
+      unroll k by 2;
+      interchange i, jout;
       parallelize i;
     };
   printFloat(with ([0,0] <= [x,y] < [m,n]) fold(+, 0.0, means[x,y]));

@@ -1,0 +1,118 @@
+// Interprocedural affine dependence analysis over loop nests.
+//
+// For every pair of matrix accesses inside a For nest the pass computes
+// the set of distance vectors (one component per common enclosing loop,
+// outermost first) for which the two accesses can touch the same element
+// in different iterations. Index expressions are modeled as polynomials
+// over interned loop-invariant atoms (opaque locals, dimSize(m, k) of a
+// matrix, parameters inside call summaries) with loop-variable terms —
+// the same affine-form idea as shapecheck's lattice, extended with a
+// monomial-dominance solver so the row-major offsets the lowering emits
+// (`(i*s + j)` with a symbolic stride `s`) resolve exactly.
+//
+// Consumers:
+//   - the transform extension's legality verifier (reorder / parallelize
+//     / vectorize / tile / interchange clauses are checked against the
+//     vectors before the rewrite is applied),
+//   - the -O1 `autopar` pass (serial loops whose carried-dependence set
+//     is provably empty are promoted to parallel),
+//   - `mmc --analyze`'s `depend:` report section and the
+//     `depend.{nests,vectors,unknown}` counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "support/source.hpp"
+
+namespace mmx::analysis {
+
+/// Carried-dependence classification of a nest or a single loop level.
+enum class DepKind : uint8_t { None, Forward, Backward, Unknown };
+
+const char* depKindName(DepKind k);
+
+/// One side of a dependence: a matrix access inside the nest.
+struct DepAccess {
+  std::string mat;       // source-level matrix variable name
+  bool write = false;
+  SourceRange range;     // source range of the statement performing it
+};
+
+/// A may-dependence between two accesses as a distance vector over the
+/// loops enclosing both. `src` executes (lexicographically) no later
+/// than `dst` when the leading component is known; with unknown leading
+/// components the orientation is ambiguous and sign-sensitive consumers
+/// must treat the vector conservatively.
+struct DepVector {
+  DepAccess src, dst;
+  std::vector<const ir::Stmt*> chain;  // common enclosing For loops
+  std::vector<int64_t> dist;           // distance per chain level
+  std::vector<bool> known;             // !known[i] => dist[i] is unknown
+
+  bool fullyKnown() const;
+  /// Could this dependence be carried by chain[level] (all outer
+  /// components possibly zero, this component possibly nonzero)?
+  bool possiblyCarriedAt(size_t level) const;
+  bool possiblyCarriedBy(const ir::Stmt* loop) const;
+  /// "(1,0,*)" — '*' for unknown components.
+  std::string render() const;
+};
+
+/// Dependence summary of one loop nest.
+struct NestDeps {
+  const ir::Function* fn = nullptr;
+  const ir::Stmt* top = nullptr;            // outermost For
+  std::vector<const ir::Stmt*> loops;       // all For loops, preorder
+  std::vector<DepVector> vectors;           // carried / unknown only
+  bool hasIO = false;      // IO or calls with unknown effects inside
+  bool hasEscape = false;  // break / return leaves the nest
+  size_t accesses = 0;     // matrix accesses seen
+
+  DepKind classify() const;
+  /// Verdict restricted to dependences possibly carried by `loop`.
+  DepKind classifyLoop(const ir::Stmt* loop) const;
+  /// A vector possibly carried by `loop` (unknown preferred last), or
+  /// nullptr when none exists.
+  const DepVector* witnessFor(const ir::Stmt* loop) const;
+};
+
+struct DependStats {
+  uint64_t nests = 0;
+  uint64_t vectors = 0;
+  uint64_t unknown = 0;  // vectors with at least one unknown component
+};
+
+/// The analysis context. Builds per-function parameter-access summaries
+/// bottom-up once; nest queries are then independent.
+class Depend {
+public:
+  explicit Depend(const ir::Module& m);
+  ~Depend();
+
+  /// Analyzes the nest rooted at `top` (must be a For) inside `f`.
+  /// `context` lists the statements lexically surrounding the nest in
+  /// execution order (used to resolve loop-invariant temps such as the
+  /// shape/bound slots the with-loop lowering emits); pass the
+  /// statements emitted so far when the function body is still being
+  /// built (transformation hooks), or nullptr to use f.body.
+  NestDeps analyzeNest(const ir::Function& f, const ir::Stmt& top,
+                       const std::vector<const ir::Stmt*>* context =
+                           nullptr) const;
+
+  /// Every outermost For nest of every function, in program order.
+  std::vector<NestDeps> analyzeModule(DependStats* stats = nullptr) const;
+
+  struct Impl;  // public so the file-local walker can reference it
+
+private:
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The `depend:` section of `mmc --analyze`.
+std::string renderDependReport(const std::vector<NestDeps>& nests);
+
+}  // namespace mmx::analysis

@@ -1030,6 +1030,9 @@ std::vector<LoopFinding> enforceParallelSafety(ir::Module& m,
     if (!f->body) continue;
     forEachStmt(*f->body, [&](ir::Stmt& s) {
       if (s.k != ir::Stmt::K::For || !s.parallel) return;
+      // Autopar promotions carry a dependence-analysis proof; this pass's
+      // coarser exact-read-match test would wrongly demote them.
+      if (s.parSrc == ir::Stmt::Par::Proven) return;
       ++checked;
       LoopFinding lf = ps.classifyLoop(*f, s);
       if (lf.cls == LoopClass::Safe) return;
@@ -1074,10 +1077,14 @@ std::string renderAnalysis(const ir::Module& m,
     }
     out << "    loop '"
         << (lf.loop->loopName.empty() ? "<anon>" : lf.loop->loopName) << "'";
-    if (lf.loop->parallel)
-      out << (lf.loop->parSrc == ir::Stmt::Par::Explicit
-                  ? " [parallel, explicit]"
-                  : " [parallel]");
+    if (lf.loop->parallel) {
+      if (lf.loop->parSrc == ir::Stmt::Par::Explicit)
+        out << " [parallel, explicit]";
+      else if (lf.loop->parSrc == ir::Stmt::Par::Proven)
+        out << " [parallel, proven]";
+      else
+        out << " [parallel]";
+    }
     out << ": " << loopClassName(lf.cls);
     if (!lf.detail.empty()) out << " — " << lf.detail;
     out << '\n';

@@ -114,6 +114,18 @@ public:
 
   // --- lowering state -----------------------------------------------------
   ir::Function* fn() { return fn_; }
+  const ir::Module* module() const { return mod_; }
+  /// Statements emitted so far in the current function, outermost block
+  /// first. Hooks that run mid-lowering (the §V transformation verifier)
+  /// use this as the lexical context for resolving loop-invariant temps —
+  /// fn()->body is not assembled yet at that point.
+  std::vector<const ir::Stmt*> emittedStmts() const {
+    std::vector<const ir::Stmt*> out;
+    for (const auto& blk : blockStack_)
+      for (const auto& s : blk)
+        if (s) out.push_back(s.get());
+    return out;
+  }
   /// Appends a statement to the innermost open block.
   void emit(ir::StmtPtr s);
   /// Opens a fresh statement sink; popBlock returns it as a Block.
@@ -146,6 +158,8 @@ public:
   bool autoParallelEnabled = true;     // §III-C parallel code generation
   bool warnShape = true;               // -Wshape: warn on proven violations
   bool strictShape = false;            // proven shape violations are errors
+  bool warnTransform = true;           // -Wtransform: warn on illegal clauses
+  bool strictTransform = false;        // illegal transform clauses are errors
 
   // --- whole-program translation ------------------------------------------
   /// Lowers a parsed translation unit into `out`. Returns false when

@@ -93,20 +93,23 @@ const std::vector<FlagSpec>& flagTable() {
        "disable the whole-program optimizer (default; output is "
        "byte-identical to the unoptimized pipeline)",
        [](CompilerInvocation& inv, const std::string&) -> std::string {
-         inv.opts.optFuse = inv.opts.optElimTemp = inv.opts.optInplace = false;
+         inv.opts.optFuse = inv.opts.optElimTemp = inv.opts.optInplace =
+             inv.opts.optAutopar = false;
          return {};
        }},
       {"-O1", nullptr,
-       "enable all optimizer passes (fuse, elim-temp, inplace)",
+       "enable all optimizer passes (fuse, elim-temp, inplace, autopar)",
        [](CompilerInvocation& inv, const std::string&) -> std::string {
-         inv.opts.optFuse = inv.opts.optElimTemp = inv.opts.optInplace = true;
+         inv.opts.optFuse = inv.opts.optElimTemp = inv.opts.optInplace =
+             inv.opts.optAutopar = true;
          return {};
        }},
       {"--opt", "LIST",
        "enable individual optimizer passes: comma-separated fuse, "
-       "elim-temp, inplace (or none)",
+       "elim-temp, inplace, autopar (or none)",
        [](CompilerInvocation& inv, const std::string& v) -> std::string {
-         inv.opts.optFuse = inv.opts.optElimTemp = inv.opts.optInplace = false;
+         inv.opts.optFuse = inv.opts.optElimTemp = inv.opts.optInplace =
+             inv.opts.optAutopar = false;
          size_t pos = 0;
          while (pos <= v.size()) {
            size_t comma = v.find(',', pos);
@@ -119,9 +122,11 @@ const std::vector<FlagSpec>& flagTable() {
              inv.opts.optElimTemp = true;
            else if (p == "inplace")
              inv.opts.optInplace = true;
+           else if (p == "autopar")
+             inv.opts.optAutopar = true;
            else if (p != "none" && !p.empty())
              return "invalid --opt pass '" + p +
-                    "' (expected fuse, elim-temp, inplace, or none)";
+                    "' (expected fuse, elim-temp, inplace, autopar, or none)";
            if (comma == std::string::npos) break;
            pos = comma + 1;
          }
@@ -158,6 +163,15 @@ const std::vector<FlagSpec>& flagTable() {
       {"--strict-shape", nullptr,
        "treat proven shape/bounds violations as errors",
        setOpt(&TranslateOptions::strictShape, true)},
+      {"--strict-transform", nullptr,
+       "treat transformation clauses that cannot be proven legal as errors",
+       setOpt(&TranslateOptions::strictTransform, true)},
+      {"-Wtransform", nullptr,
+       "warn on transformation clauses that cannot be proven legal (default)",
+       setOpt(&TranslateOptions::warnTransform, true)},
+      {"-Wno-transform", nullptr,
+       "silence transformation-legality warnings",
+       setOpt(&TranslateOptions::warnTransform, false)},
       {"-Wshape", nullptr,
        "warn on proven shape/bounds violations (default)",
        setOpt(&TranslateOptions::warnShape, true)},

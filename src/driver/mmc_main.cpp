@@ -103,17 +103,29 @@ int main(int argc, char** argv) {
   }
   auto res = t.translate(inv.inputPath, buf.str());
   std::cerr << res.renderDiagnostics();
+  // Under --strict-transform an illegal transformation clause is a compile
+  // error with its own exit code (2, like usage/backend problems) so CI
+  // can distinguish "clause proven illegal" from ordinary translation
+  // failures.
+  auto strictTransformFailure = [&res, &inv] {
+    if (!inv.opts.strictTransform) return false;
+    for (const auto& d : res.diagnostics)
+      if (d.severity == mmx::Severity::Error && d.extension == "transform")
+        return true;
+    return false;
+  };
   if (inv.analyze) {
     // The report (whatever was produced before translation stopped) still
     // prints, and the exit code reflects any error-severity diagnostic —
     // not just outright translation failure — so CI can gate on analysis.
     std::cout << res.analysisReport;
     if (!emitMetrics(inv)) return 2;
-    return res.ok && !res.hasErrors() ? 0 : 1;
+    if (res.ok && !res.hasErrors()) return 0;
+    return strictTransformFailure() ? 2 : 1;
   }
   if (!res.ok) {
     emitMetrics(inv);
-    return 1;
+    return strictTransformFailure() ? 2 : 1;
   }
   if (inv.emitIr) {
     std::cout << mmx::ir::dump(*res.module);

@@ -2,6 +2,10 @@
 
 #include <set>
 
+#include <algorithm>
+#include <tuple>
+
+#include "analysis/depend.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/parsafe.hpp"
 #include "analysis/shapecheck.hpp"
@@ -80,6 +84,8 @@ bool Translator::compose(TranslateOptions opts) {
   sema_->autoParallelEnabled = opts.autoParallel;
   sema_->warnShape = opts.warnShape;
   sema_->strictShape = opts.strictShape;
+  sema_->warnTransform = opts.warnTransform;
+  sema_->strictTransform = opts.strictTransform;
   cm::installHostSemantics(*sema_);
   for (const auto& e : extensions_) e->installSemantics(*sema_);
 
@@ -122,6 +128,8 @@ TranslateResult Translator::translate(const std::string& name,
   sema.autoParallelEnabled = opts_.autoParallel;
   sema.warnShape = opts_.warnShape;
   sema.strictShape = opts_.strictShape;
+  sema.warnTransform = opts_.warnTransform;
+  sema.strictTransform = opts_.strictTransform;
   cm::installHostSemantics(sema);
   for (const auto& e : extensions_) e->installSemantics(sema);
 
@@ -141,6 +149,7 @@ TranslateResult Translator::translate(const std::string& name,
       oo.fuse = opts_.optFuse;
       oo.elimTemp = opts_.optElimTemp;
       oo.inplace = opts_.optInplace;
+      oo.autopar = opts_.optAutopar;
       optStats = ir::optimizeModule(*mod, oo);
     }
     // Post-lowering parallel-safety enforcement: loops the §III-C
@@ -179,21 +188,96 @@ TranslateResult Translator::translate(const std::string& name,
       violations.add(st.guardsViolating);
       pairs.add(st.borrowedParams);
     }
+    {
+      // Whole-module dependence analysis: feeds the depend.* counters and
+      // the --analyze report. Skipped when neither consumer is active.
+      static const metrics::Counter cNests = metrics::counter("depend.nests");
+      static const metrics::Counter cVectors =
+          metrics::counter("depend.vectors");
+      static const metrics::Counter cUnknown =
+          metrics::counter("depend.unknown");
+      if (opts_.analyze || metrics::enabled()) {
+        metrics::ScopedTimer dependTimer("depend");
+        analysis::Depend dep(*mod);
+        analysis::DependStats ds;
+        std::vector<analysis::NestDeps> nests = dep.analyzeModule(&ds);
+        cNests.add(ds.nests);
+        cVectors.add(ds.vectors);
+        cUnknown.add(ds.unknown);
+        if (opts_.analyze)
+          res.analysisReport += analysis::renderDependReport(nests);
+      }
+    }
     if (opts_.analyze) {
       metrics::ScopedTimer analyzeTimer("analyze");
       analysis::ParSafe ps(*mod);
-      res.analysisReport = analysis::renderAnalysis(*mod, ps.analyzeAll());
+      res.analysisReport =
+          analysis::renderAnalysis(*mod, ps.analyzeAll()) +
+          res.analysisReport;
       res.analysisReport +=
           "optimizer: fused=" + std::to_string(optStats.fused) +
           " temps-eliminated=" + std::to_string(optStats.tempsEliminated) +
           " inplace=" + std::to_string(optStats.inplaceConverted) +
-          " alias-blocked=" + std::to_string(optStats.aliasBlocked) + "\n";
+          " alias-blocked=" + std::to_string(optStats.aliasBlocked) +
+          " autopar-promoted=" + std::to_string(optStats.autoparPromoted) +
+          " autopar-blocked=" + std::to_string(optStats.autoparBlocked) +
+          "\n";
       analysis::LintOptions lo;
       lo.deadMatrix = opts_.warnDeadMatrix;
       analysis::lintModule(*mod, diags, lo);
     }
   }
   res.diagnostics = diags.take();
+  if (opts_.analyze) {
+    // Analyze mode runs parsafe and the dependence verifier over the same
+    // nests; identical findings (same pass, location, text) would render
+    // twice. Stable-sort by (location, pass) and drop exact duplicates —
+    // operating on groups (a warning/error plus its trailing notes) so
+    // witness notes stay attached to the finding they explain.
+    using Group = std::pair<size_t, size_t>; // [begin, end) indices
+    std::vector<Group> groups;
+    for (size_t i = 0; i < res.diagnostics.size();) {
+      size_t j = i + 1;
+      while (j < res.diagnostics.size() &&
+             res.diagnostics[j].severity == Severity::Note)
+        ++j;
+      groups.push_back({i, j});
+      i = j;
+    }
+    auto key = [&](const Group& g) {
+      const Diagnostic& d = res.diagnostics[g.first];
+      return std::make_tuple(d.range.begin.file, d.range.begin.offset,
+                             d.extension);
+    };
+    std::stable_sort(groups.begin(), groups.end(),
+                     [&](const Group& a, const Group& b) {
+                       return key(a) < key(b);
+                     });
+    auto sameDiag = [](const Diagnostic& a, const Diagnostic& b) {
+      return a.severity == b.severity &&
+             a.range.begin.file == b.range.begin.file &&
+             a.range.begin.offset == b.range.begin.offset &&
+             a.range.end == b.range.end && a.message == b.message &&
+             a.extension == b.extension;
+    };
+    std::vector<Diagnostic> out;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (g > 0) {
+        const Group& p = groups[g - 1];
+        const Group& c = groups[g];
+        if (c.second - c.first == p.second - p.first) {
+          bool dup = true;
+          for (size_t k = 0; dup && k < c.second - c.first; ++k)
+            dup = sameDiag(res.diagnostics[p.first + k],
+                           res.diagnostics[c.first + k]);
+          if (dup) continue;
+        }
+      }
+      for (size_t k = groups[g].first; k < groups[g].second; ++k)
+        out.push_back(res.diagnostics[k]);
+    }
+    res.diagnostics = std::move(out);
+  }
   res.boundsChecks = opts_.boundsChecks;
   if (!ok || res.hasErrors()) return res;
   res.ok = true;

@@ -41,12 +41,15 @@ struct TranslateOptions {
   ir::BoundsCheckMode boundsChecks = ir::BoundsCheckMode::Auto;
   bool warnShape = true;   // -Wshape: warn on proven shape violations
   bool strictShape = false; // proven shape violations are errors
+  bool warnTransform = true;   // -Wtransform: warn on illegal §V clauses
+  bool strictTransform = false; // illegal transform clauses are errors
   // Whole-program optimizer passes (ISSUE 6). All off by default: -O0
   // output stays byte-identical to the unoptimized pipeline. `-O1` turns
   // all three on; `--opt=fuse,elim-temp,inplace` picks individually.
   bool optFuse = false;     // producer/consumer with-loop fusion
   bool optElimTemp = false; // whole-matrix temporary elimination
   bool optInplace = false;  // copy-then-mutate -> in-place rewriting
+  bool optAutopar = false;  // promote dependence-free serial loops
   bool warnDeadMatrix = true; // -Wdead-matrix: allocated-but-dead matrices
 };
 

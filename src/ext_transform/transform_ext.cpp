@@ -1,5 +1,10 @@
 #include "ext_transform/transform_ext.hpp"
 
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "analysis/depend.hpp"
 #include "cminus/sema.hpp"
 #include "ext_matrix/matrix_ext.hpp"
 
@@ -23,6 +28,7 @@ ext::GrammarFragment transformFragment() {
   kw("reorder");
   kw("tile");
   kw("unroll");
+  kw("interchange");
   for (const char* n : {"TransformSeq", "TransformStmt", "TransformK",
                         "TIdList"})
     f.nonterminals.push_back(n);
@@ -44,6 +50,7 @@ ext::GrammarFragment transformFragment() {
   prod("tr_tile", "TransformK",
        {"'tile'", "ID", "','", "ID", "'by'", "INTLIT", "','", "INTLIT"});
   prod("tr_unroll", "TransformK", {"'unroll'", "ID", "'by'", "INTLIT"});
+  prod("tr_interchange", "TransformK", {"'interchange'", "ID", "','", "ID"});
   prod("tidlist_one", "TIdList", {"ID"});
   prod("tidlist_cons", "TIdList", {"TIdList", "','", "ID"});
   return f;
@@ -291,6 +298,226 @@ bool applyReorder(Sema& s, ir::StmtPtr& nest,
   return rewriteOk;
 }
 
+// --- transformation legality (dependence-analysis verifier) ---------------
+//
+// Every clause is checked against the nest's dependence vectors *before*
+// the rewrite. `split` and `unroll` preserve the sequential execution
+// order and are trivially legal; `parallelize`/`vectorize` need the loop
+// to carry no dependence; `reorder`/`interchange` must keep every vector
+// lexicographically positive under the new order; `tile` needs the two
+// loops permutable. Illegal clauses are diagnosed (warning by default,
+// error under --strict-transform) with the witness access pair attached
+// as notes, then still applied in warning mode so output matches the
+// historical behaviour (the -Wshape precedent).
+struct LegalityCtx {
+  Sema& s;
+  std::unique_ptr<analysis::Depend> dep;
+
+  bool enabled() const { return s.warnTransform || s.strictTransform; }
+
+  analysis::Depend& depend() {
+    if (!dep) dep = std::make_unique<analysis::Depend>(*s.module());
+    return *dep;
+  }
+
+  /// Dependences of every For nest inside `nest` (clauses like unroll can
+  /// turn the root into a Block of loops), against the statements lowered
+  /// so far as invariant-resolution context.
+  std::vector<analysis::NestDeps> analyze(const ir::Stmt& nest) {
+    std::vector<analysis::NestDeps> out;
+    std::vector<const ir::Stmt*> ctx = s.emittedStmts();
+    std::function<void(const ir::Stmt&)> rec = [&](const ir::Stmt& st) {
+      if (st.k == ir::Stmt::K::For) {
+        out.push_back(depend().analyzeNest(*s.fn(), st, &ctx));
+        return;
+      }
+      for (auto& k : st.kids)
+        if (k) rec(*k);
+    };
+    rec(nest);
+    return out;
+  }
+
+  static const analysis::NestDeps* nestOf(
+      const std::vector<analysis::NestDeps>& nds, const ir::Stmt* loop) {
+    for (auto& nd : nds)
+      if (std::find(nd.loops.begin(), nd.loops.end(), loop) !=
+          nd.loops.end())
+        return &nd;
+    return nullptr;
+  }
+
+  void report(SourceRange r, const std::string& msg,
+              const analysis::DepVector* w) {
+    DiagnosticEngine::OriginScope origin(s.diags(), "transform");
+    if (s.strictTransform)
+      s.diags().error(r, msg);
+    else
+      s.diags().warning(r, msg);
+    if (w) {
+      if (w->src.range.valid())
+        s.diags().note(w->src.range,
+                       std::string("witness: ") +
+                           (w->src.write ? "store to '" : "load of '") +
+                           w->src.mat + "' here");
+      if (w->dst.range.valid())
+        s.diags().note(w->dst.range,
+                       std::string("witness: ") +
+                           (w->dst.write ? "store to '" : "load of '") +
+                           w->dst.mat + "' here");
+    }
+  }
+};
+
+/// parallelize / vectorize: the named loop must carry no dependence.
+bool checkIterIndependent(LegalityCtx& lc, const ir::StmtPtr& nest,
+                          const std::string& x, const char* clause,
+                          SourceRange r) {
+  if (!lc.enabled()) return true;
+  ir::Stmt* l = findLoop(nest.get(), x);
+  if (!l) return true;  // the apply path reports the structural error
+  auto nds = lc.analyze(*nest);
+  const analysis::NestDeps* nd = LegalityCtx::nestOf(nds, l);
+  if (!nd) return true;
+  for (auto& v : nd->vectors) {
+    if (!v.possiblyCarriedBy(l)) continue;
+    std::string detail = v.fullyKnown()
+                             ? "distance " + v.render()
+                             : "distance " + v.render() + ", unresolved";
+    lc.report(r,
+              std::string(clause) + " '" + x +
+                  "': loop-carried dependence on '" + v.src.mat + "' (" +
+                  detail + "); iterations are not independent",
+              &v);
+    return false;
+  }
+  return true;
+}
+
+/// reorder / interchange: every vector must stay lexicographically
+/// positive once the named loops are rebuilt in the listed order.
+bool checkPermutation(LegalityCtx& lc, const ir::StmtPtr& nest,
+                      const std::vector<std::string>& order,
+                      const char* clause, SourceRange r) {
+  if (!lc.enabled() || order.empty()) return true;
+  std::vector<const ir::Stmt*> named;
+  for (auto& nm : order) {
+    ir::Stmt* l = findLoop(nest.get(), nm);
+    if (!l) return true;  // structural error reported by the apply path
+    named.push_back(l);
+  }
+  auto nds = lc.analyze(*nest);
+  const analysis::NestDeps* nd = LegalityCtx::nestOf(nds, named[0]);
+  if (!nd) return true;
+  if (nd->hasIO || nd->hasEscape) {
+    lc.report(r,
+              std::string(clause) +
+                  ": cannot verify legality: the loop nest performs IO or "
+                  "calls with unknown effects",
+              nullptr);
+    return false;
+  }
+  for (auto& v : nd->vectors) {
+    std::vector<size_t> pos;
+    for (auto* l : named) {
+      auto it = std::find(v.chain.begin(), v.chain.end(), l);
+      if (it != v.chain.end())
+        pos.push_back(static_cast<size_t>(it - v.chain.begin()));
+    }
+    if (pos.empty()) continue;
+    bool legal = true;
+    if (pos.size() != named.size()) {
+      legal = false;  // partial overlap — cannot model the permutation
+    } else {
+      // The named loops occupy chain slots `slots` (outer->inner); after
+      // the reorder slot slots[k] holds named[k]'s component.
+      std::vector<size_t> slots = pos;
+      std::sort(slots.begin(), slots.end());
+      std::vector<int64_t> dist = v.dist;
+      std::vector<bool> known = v.known;
+      for (size_t k = 0; k < pos.size(); ++k) {
+        dist[slots[k]] = v.dist[pos[k]];
+        known[slots[k]] = v.known[pos[k]];
+      }
+      legal = false;
+      for (size_t i = 0; i < dist.size(); ++i) {
+        if (known[i] && dist[i] > 0) {
+          legal = true;
+          break;
+        }
+        if (known[i] && dist[i] == 0) continue;
+        break;  // unknown or negative leading component
+      }
+    }
+    if (!legal) {
+      lc.report(r,
+                std::string(clause) +
+                    ": the new loop order reverses a dependence on '" +
+                    v.src.mat + "' (distance " + v.render() + ")",
+                &v);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// tile x,y: both loops' components must be known non-negative for every
+/// vector not already carried by a loop outside the pair.
+bool checkTile(LegalityCtx& lc, const ir::StmtPtr& nest, const std::string& x,
+               const std::string& y, SourceRange r) {
+  if (!lc.enabled()) return true;
+  ir::Stmt* lx = findLoop(nest.get(), x);
+  ir::Stmt* ly = findLoop(nest.get(), y);
+  if (!lx || !ly) return true;
+  auto nds = lc.analyze(*nest);
+  const analysis::NestDeps* nd = LegalityCtx::nestOf(nds, lx);
+  if (!nd) return true;
+  if (nd->hasIO || nd->hasEscape) {
+    lc.report(r,
+              "tile: cannot verify legality: the loop nest performs IO or "
+              "calls with unknown effects",
+              nullptr);
+    return false;
+  }
+  for (auto& v : nd->vectors) {
+    auto ix = std::find(v.chain.begin(), v.chain.end(), lx);
+    auto iy = std::find(v.chain.begin(), v.chain.end(), ly);
+    if (ix == v.chain.end() && iy == v.chain.end()) continue;
+    size_t px = ix == v.chain.end() ? v.chain.size()
+                                    : static_cast<size_t>(ix - v.chain.begin());
+    size_t py = iy == v.chain.end() ? v.chain.size()
+                                    : static_cast<size_t>(iy - v.chain.begin());
+    size_t first = std::min(px, py);
+    bool carriedOutside = false;
+    bool outsideUnclear = false;
+    for (size_t i = 0; i < first; ++i) {
+      if (!v.known[i] || v.dist[i] < 0) {
+        outsideUnclear = true;
+        break;
+      }
+      if (v.dist[i] > 0) {
+        carriedOutside = true;
+        break;
+      }
+    }
+    if (carriedOutside) continue;  // the outer loop keeps the order
+    bool ok = !outsideUnclear;
+    if (ok && px < v.chain.size() && (!v.known[px] || v.dist[px] < 0))
+      ok = false;
+    if (ok && py < v.chain.size() && (!v.known[py] || v.dist[py] < 0))
+      ok = false;
+    if (!ok) {
+      lc.report(r,
+                "tile: dependence on '" + v.src.mat + "' (distance " +
+                    v.render() + ") is not permutable at '" + x + "','" + y +
+                    "'",
+                &v);
+      return false;
+    }
+  }
+  return true;
+}
+
 /// The hook installed into the matrix extension's WithTail table.
 ir::StmtPtr transformHook(Sema& s, const ast::NodePtr& tail,
                           ir::StmtPtr nest) {
@@ -303,6 +530,8 @@ ir::StmtPtr transformHook(Sema& s, const ast::NodePtr& tail,
   }
   stmts.push_back(seq->child(0));
   std::reverse(stmts.begin(), stmts.end());
+
+  LegalityCtx lc{s, nullptr};
 
   for (const auto& ts : stmts) {
     const ast::NodePtr& t = ts->child(0);
@@ -332,6 +561,7 @@ ir::StmtPtr transformHook(Sema& s, const ast::NodePtr& tail,
                 "calls; only arithmetic assignment bodies vectorize");
         continue;
       }
+      checkIterIndependent(lc, nest, x, "vectorize", t->range);
       l->vecWidth = 4; // 128-bit SSE, 4 x f32 (paper §V)
     } else if (t->is("tr_parallelize")) {
       std::string x(t->child(1)->text());
@@ -340,6 +570,7 @@ ir::StmtPtr transformHook(Sema& s, const ast::NodePtr& tail,
         s.error(t->range, "parallelize: no loop named '" + x + "'");
         continue;
       }
+      checkIterIndependent(lc, nest, x, "parallelize", t->range);
       l->parallel = true;
       l->parSrc = ir::Stmt::Par::Explicit;
       if (!l->range.valid()) l->range = t->range;
@@ -354,6 +585,7 @@ ir::StmtPtr transformHook(Sema& s, const ast::NodePtr& tail,
       ids.push_back(il->child(0));
       std::reverse(ids.begin(), ids.end());
       for (auto& id : ids) order.emplace_back(id->text());
+      checkPermutation(lc, nest, order, "reorder", t->range);
       applyReorder(s, nest, order, t->range);
     } else if (t->is("tr_unroll")) {
       std::string x(t->child(1)->text());
@@ -362,7 +594,37 @@ ir::StmtPtr transformHook(Sema& s, const ast::NodePtr& tail,
         s.error(t->range, "unroll factor must be positive");
         continue;
       }
+      // unroll (like split) replays the iterations in their original
+      // sequential order — legal for every dependence pattern.
       applyUnroll(s, nest, x, n, t->range);
+    } else if (t->is("tr_interchange")) {
+      // Derived transformation: an adjacent-pair reorder with the swap
+      // legality check (the second §V clause built on the primitives).
+      std::string a(t->child(1)->text());
+      std::string b(t->child(3)->text());
+      ir::Stmt* la = findLoop(nest.get(), a);
+      ir::Stmt* lb = findLoop(nest.get(), b);
+      if (!la || !lb) {
+        s.error(t->range, "interchange: no loop named '" +
+                              (la ? b : a) + "' in this with-loop");
+        continue;
+      }
+      if (la == lb) {
+        s.error(t->range, "interchange: loops must be distinct");
+        continue;
+      }
+      std::vector<std::string> order;
+      if (findLoop(la, b))
+        order = {b, a};  // a is currently outer; swap
+      else if (findLoop(lb, a))
+        order = {a, b};
+      else {
+        s.error(t->range, "interchange: loops '" + a + "' and '" + b +
+                              "' do not form a nest");
+        continue;
+      }
+      checkPermutation(lc, nest, order, "interchange", t->range);
+      applyReorder(s, nest, order, t->range);
     } else if (t->is("tr_tile")) {
       // Derived transformation: two splits + a reorder (paper §V's
       // example of adding new transformation specifications).
@@ -374,6 +636,7 @@ ir::StmtPtr transformHook(Sema& s, const ast::NodePtr& tail,
         s.error(t->range, "tile factors must be positive");
         continue;
       }
+      checkTile(lc, nest, x, y, t->range);
       bool ok = applySplit(s, nest, x, n, x + "in", x + "out") &&
                 applySplit(s, nest, y, m, y + "in", y + "out");
       if (!ok) {

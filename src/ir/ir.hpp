@@ -125,10 +125,12 @@ struct Stmt {
   SourceRange range;
 
   // --- loop annotations (For only) ------------------------------------
-  /// Who asked for `parallel`: the §III-C auto-parallelizer or an explicit
-  /// §V `parallelize` clause. The parallel-safety pass demotes unsafe
-  /// `Auto` loops silently and diagnoses unsafe `Explicit` ones.
-  enum class Par : uint8_t { None, Auto, Explicit };
+  /// Who asked for `parallel`: the §III-C auto-parallelizer, an explicit
+  /// §V `parallelize` clause, or the `-O1` autopar pass after proving the
+  /// loop dependence-free. The parallel-safety pass demotes unsafe `Auto`
+  /// loops silently, diagnoses unsafe `Explicit` ones, and trusts `Proven`
+  /// promotions (its coarser read/write matching would demote them).
+  enum class Par : uint8_t { None, Auto, Explicit, Proven };
 
   bool parallel = false; // run iterations on the fork-join pool
   Par parSrc = Par::None;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/dataflow.hpp"
+#include "analysis/depend.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/uniqueness.hpp"
 #include "support/metrics.hpp"
@@ -1087,6 +1088,193 @@ void optimizeFunction(Function& f, const an::SummaryMap& sums,
   }
 }
 
+// ---------------------------------------------------------------------------
+// -O1 autopar: promote serial For loops whose carried-dependence set is
+// provably empty (the inverse of parsafe's demotion). Matrix accesses are
+// judged by the affine dependence analysis; scalars by a definite-
+// assignment walk — every scalar the body writes must be written before
+// it is read in each iteration (both backends privatize such slots:
+// cemit shadows them, the interp copies the frame per worker) and must
+// not be read outside the loop (the privatized final value is dropped).
+
+/// True when every read of a slot in `scalars` inside `body` is dominated
+/// by a write earlier in the same iteration.
+bool scalarsPrivatizable(const Stmt& body,
+                         const std::set<int32_t>& scalars) {
+  bool ok = true;
+  auto checkExpr = [&](const Expr& e, const std::set<int32_t>& defs) {
+    an::forEachExpr(e, [&](const Expr& x) {
+      if (x.k == Expr::K::Var && scalars.count(x.slot) && !defs.count(x.slot))
+        ok = false;
+    });
+  };
+  auto checkDims = [&](const std::vector<IndexDim>& dims,
+                       const std::set<int32_t>& defs) {
+    for (const auto& d : dims) {
+      if (d.a) checkExpr(*d.a, defs);
+      if (d.b) checkExpr(*d.b, defs);
+    }
+  };
+  // Returns the definitely-written set after the statement.
+  std::function<std::set<int32_t>(const Stmt&, std::set<int32_t>)> walk =
+      [&](const Stmt& s, std::set<int32_t> defs) -> std::set<int32_t> {
+    switch (s.k) {
+      case Stmt::K::Block:
+        for (const auto& k : s.kids)
+          if (k) defs = walk(*k, std::move(defs));
+        return defs;
+      case Stmt::K::Assign:
+        checkExpr(*s.exprs[0], defs);
+        defs.insert(s.slot);
+        return defs;
+      case Stmt::K::StoreFlat:
+        checkExpr(*s.exprs[0], defs);
+        checkExpr(*s.exprs[1], defs);
+        return defs;
+      case Stmt::K::IndexStore:
+        checkDims(s.dims, defs);
+        for (const auto& e : s.exprs)
+          if (e) checkExpr(*e, defs);
+        return defs;
+      case Stmt::K::For: {
+        checkExpr(*s.exprs[0], defs);
+        checkExpr(*s.exprs[1], defs);
+        std::set<int32_t> inner = defs;
+        inner.insert(s.slot);
+        walk(*s.kids[0], std::move(inner));  // may run zero times
+        return defs;
+      }
+      case Stmt::K::While:
+        checkExpr(*s.exprs[0], defs);
+        walk(*s.kids[0], defs);
+        return defs;
+      case Stmt::K::If: {
+        checkExpr(*s.exprs[0], defs);
+        std::set<int32_t> thenD =
+            s.kids[0] ? walk(*s.kids[0], defs) : defs;
+        std::set<int32_t> elseD =
+            s.kids.size() > 1 && s.kids[1] ? walk(*s.kids[1], defs) : defs;
+        std::set<int32_t> meet;
+        for (int32_t v : thenD)
+          if (elseD.count(v)) meet.insert(v);
+        return meet;
+      }
+      case Stmt::K::CallAssign:
+        for (const auto& e : s.exprs)
+          if (e) checkExpr(*e, defs);
+        for (int32_t d : s.dsts) defs.insert(d);
+        return defs;
+      case Stmt::K::CallStmt:
+      case Stmt::K::Ret:
+        for (const auto& e : s.exprs)
+          if (e) checkExpr(*e, defs);
+        return defs;
+      case Stmt::K::Break:
+      case Stmt::K::Continue:
+        ok = false;  // escape/skip paths are not modeled; stay serial
+        return defs;
+    }
+    return defs;
+  };
+  walk(body, {});
+  return ok;
+}
+
+/// True when any statement outside the `loop` subtree reads one of
+/// `slots` (the body-written scalars plus the loop variable); their
+/// post-loop values are dropped by the parallel backends.
+bool readOutsideLoop(const Function& f, const Stmt& loop,
+                     const std::set<int32_t>& slots) {
+  bool found = false;
+  auto checkExpr = [&](const Expr& e) {
+    an::forEachExpr(e, [&](const Expr& x) {
+      if (x.k == Expr::K::Var && slots.count(x.slot)) found = true;
+    });
+  };
+  std::function<void(const Stmt&)> rec = [&](const Stmt& s) {
+    if (&s == &loop) return;
+    for (const auto& e : s.exprs)
+      if (e) checkExpr(*e);
+    for (const auto& d : s.dims) {
+      if (d.a) checkExpr(*d.a);
+      if (d.b) checkExpr(*d.b);
+    }
+    for (const auto& k : s.kids)
+      if (k) rec(*k);
+  };
+  if (f.body) rec(*f.body);
+  return found;
+}
+
+bool tryPromote(const an::Depend& dep, Function& f, Stmt& loop,
+                OptStats& stats) {
+  if (loop.vecWidth > 1) {
+    ++stats.autoparBlocked;
+    OPTDBG("autopar: '%s' blocked (vectorized)\n", loop.loopName.c_str());
+    return false;
+  }
+  an::NestDeps nd = dep.analyzeNest(f, loop);
+  if (nd.hasIO || nd.hasEscape) {
+    ++stats.autoparBlocked;
+    OPTDBG("autopar: '%s' blocked (io/escape)\n", loop.loopName.c_str());
+    return false;
+  }
+  for (const auto& v : nd.vectors)
+    if (v.possiblyCarriedBy(&loop)) {
+      ++stats.autoparBlocked;
+      OPTDBG("autopar: '%s' blocked (dep %s on %s)\n", loop.loopName.c_str(),
+             v.render().c_str(), v.src.mat.c_str());
+      return false;
+    }
+
+  std::set<int32_t> scalarWr;
+  an::forEachStmt(*loop.kids[0], [&](const Stmt& s) {
+    for (int32_t w : an::writtenSlots(s))
+      if (w >= 0 && static_cast<size_t>(w) < f.locals.size() &&
+          f.locals[w].ty != Ty::Mat)
+        scalarWr.insert(w);
+  });
+  if (!scalarsPrivatizable(*loop.kids[0], scalarWr)) {
+    ++stats.autoparBlocked;
+    OPTDBG("autopar: '%s' blocked (scalar flow)\n", loop.loopName.c_str());
+    return false;
+  }
+  std::set<int32_t> escaping = scalarWr;
+  escaping.insert(loop.slot);
+  if (readOutsideLoop(f, loop, escaping)) {
+    ++stats.autoparBlocked;
+    OPTDBG("autopar: '%s' blocked (value escapes)\n", loop.loopName.c_str());
+    return false;
+  }
+
+  loop.parallel = true;
+  loop.parSrc = Stmt::Par::Proven;
+  ++stats.autoparPromoted;
+  OPTDBG("autopar: promoted '%s'\n", loop.loopName.c_str());
+  return true;
+}
+
+void runAutopar(Module& m, OptStats& stats) {
+  an::Depend dep(m);
+  for (auto& f : m.functions) {
+    if (!f || !f->body) continue;
+    // Outermost-first: a promoted loop's subtree is left alone (nested
+    // parallelism would oversubscribe the pool; the interp runs nested
+    // parallel loops serially anyway).
+    std::function<void(Stmt&)> rec = [&](Stmt& s) {
+      if (s.k == Stmt::K::For) {
+        if (s.parallel || tryPromote(dep, *f, s, stats)) return;
+        for (auto& k : s.kids)
+          if (k) rec(*k);
+        return;
+      }
+      for (auto& k : s.kids)
+        if (k) rec(*k);
+    };
+    rec(*f->body);
+  }
+}
+
 } // namespace
 
 OptStats optimizeModule(Module& m, const OptOptions& opts) {
@@ -1099,18 +1287,29 @@ OptStats optimizeModule(Module& m, const OptOptions& opts) {
       metrics::counter("opt.inplace.converted");
   static const metrics::Counter cBlocked =
       metrics::counter("opt.alias.blocked");
+  static const metrics::Counter cPromoted =
+      metrics::counter("opt.autopar.promoted");
+  static const metrics::Counter cParBlocked =
+      metrics::counter("opt.autopar.blocked");
 
   OptStats stats;
   if (!opts.any()) return stats;
 
-  an::SummaryMap sums = an::summarizeModule(m);
-  for (auto& f : m.functions)
-    if (f && f->body) optimizeFunction(*f, sums, opts, stats);
+  if (opts.fuse || opts.elimTemp || opts.inplace) {
+    an::SummaryMap sums = an::summarizeModule(m);
+    for (auto& f : m.functions)
+      if (f && f->body) optimizeFunction(*f, sums, opts, stats);
+  }
+  // Autopar runs after the structural rewrites so fused/in-place nests are
+  // judged in their final form.
+  if (opts.autopar) runAutopar(m, stats);
 
   cFused.add(stats.fused);
   cTemps.add(stats.tempsEliminated);
   cInplace.add(stats.inplaceConverted);
   cBlocked.add(stats.aliasBlocked);
+  cPromoted.add(stats.autoparPromoted);
+  cParBlocked.add(stats.autoparBlocked);
   return stats;
 }
 

@@ -27,13 +27,14 @@ struct OptOptions {
   bool fuse = false;     // producer/consumer with-loop fusion
   bool elimTemp = false; // dead whole-matrix temporary elimination
   bool inplace = false;  // write with-loop results into their target
+  bool autopar = false;  // promote provably dependence-free loops to parallel
 
-  bool any() const { return fuse || elimTemp || inplace; }
+  bool any() const { return fuse || elimTemp || inplace || autopar; }
 
   static OptOptions none() { return {}; }
   static OptOptions o1() {
     OptOptions o;
-    o.fuse = o.elimTemp = o.inplace = true;
+    o.fuse = o.elimTemp = o.inplace = o.autopar = true;
     return o;
   }
 };
@@ -43,6 +44,8 @@ struct OptStats {
   uint64_t tempsEliminated = 0;
   uint64_t inplaceConverted = 0;
   uint64_t aliasBlocked = 0;
+  uint64_t autoparPromoted = 0; // serial loops proven independent -> parallel
+  uint64_t autoparBlocked = 0;  // candidates rejected (deps / IO / scalars)
 };
 
 /// Runs the enabled passes over every function of `m` (fuse -> inplace ->

@@ -96,14 +96,14 @@ TEST(Optimize, FusionChainAgreesAndCounts) {
   expectAgreement(kFusionChain);
   EXPECT_EQ(counterLine(kFusionChain, o1()),
             "optimizer: fused=2 temps-eliminated=2 inplace=0 "
-            "alias-blocked=0");
+            "alias-blocked=0 autopar-promoted=0 autopar-blocked=0");
 }
 
 TEST(Optimize, InplaceUpdateAgreesAndCounts) {
   expectAgreement(kInplace);
   EXPECT_EQ(counterLine(kInplace, o1()),
             "optimizer: fused=0 temps-eliminated=0 inplace=1 "
-            "alias-blocked=0");
+            "alias-blocked=0 autopar-promoted=0 autopar-blocked=0");
 }
 
 TEST(Optimize, ObservedAliasBlocksInplace) {
@@ -111,14 +111,14 @@ TEST(Optimize, ObservedAliasBlocksInplace) {
   EXPECT_NE(out.find("2\n"), std::string::npos) << "rccount must print 2";
   EXPECT_EQ(counterLine(kAliasObserved, o1()),
             "optimizer: fused=1 temps-eliminated=0 inplace=0 "
-            "alias-blocked=1");
+            "alias-blocked=1 autopar-promoted=0 autopar-blocked=0");
 }
 
 TEST(Optimize, O0ReportsAllZeroCounters) {
   // The counters always appear — with explicit zeros when no pass ran.
   EXPECT_EQ(counterLine(kFusionChain, o0()),
             "optimizer: fused=0 temps-eliminated=0 inplace=0 "
-            "alias-blocked=0");
+            "alias-blocked=0 autopar-promoted=0 autopar-blocked=0");
 }
 
 TEST(Optimize, O1LeavesUnoptimizableProgramsByteIdentical) {

@@ -17,22 +17,25 @@ inline driver::Translator& sharedTranslator(driver::TranslateOptions opts = {}) 
   // Cache translators per option set: table construction is the slow part.
   struct Key {
     bool fusion, slice, par, warnPar, strictPar, analyze;
-    bool warnShape, strictShape;
-    bool optFuse, optElimTemp, optInplace, warnDeadMatrix;
+    bool warnShape, strictShape, warnTransform, strictTransform;
+    bool optFuse, optElimTemp, optInplace, optAutopar, warnDeadMatrix;
     bool operator<(const Key& o) const {
       return std::tie(fusion, slice, par, warnPar, strictPar, analyze,
-                      warnShape, strictShape, optFuse, optElimTemp,
-                      optInplace, warnDeadMatrix) <
+                      warnShape, strictShape, warnTransform, strictTransform,
+                      optFuse, optElimTemp, optInplace, optAutopar,
+                      warnDeadMatrix) <
              std::tie(o.fusion, o.slice, o.par, o.warnPar, o.strictPar,
-                      o.analyze, o.warnShape, o.strictShape, o.optFuse,
-                      o.optElimTemp, o.optInplace, o.warnDeadMatrix);
+                      o.analyze, o.warnShape, o.strictShape, o.warnTransform,
+                      o.strictTransform, o.optFuse, o.optElimTemp,
+                      o.optInplace, o.optAutopar, o.warnDeadMatrix);
     }
   };
   static std::map<Key, std::unique_ptr<driver::Translator>> cache;
   Key k{opts.fusion, opts.sliceElimination, opts.autoParallel,
         opts.warnParallel, opts.strictParallel, opts.analyze,
-        opts.warnShape, opts.strictShape, opts.optFuse, opts.optElimTemp,
-        opts.optInplace, opts.warnDeadMatrix};
+        opts.warnShape, opts.strictShape, opts.warnTransform,
+        opts.strictTransform, opts.optFuse, opts.optElimTemp,
+        opts.optInplace, opts.optAutopar, opts.warnDeadMatrix};
   auto it = cache.find(k);
   if (it == cache.end()) {
     auto t = std::make_unique<driver::Translator>();

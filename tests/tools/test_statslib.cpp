@@ -192,6 +192,49 @@ TEST(StatsLib, BackendMetricFamiliesFlowThroughCheck) {
             2);
 }
 
+TEST(StatsLib, DependAndAutoparFamiliesFlowThroughCheck) {
+  // ISSUE 8 schema coverage: the dependence-analysis counters
+  // (depend.nests/vectors/unknown) and the autopar pass counters
+  // (opt.autopar.promoted/blocked) gate like any other family. The
+  // baseline pins promoted as an exact value (tol 0: losing a promotion
+  // is a regression) while the vector counts take a presence-only rule
+  // (they grow as programs gain nests).
+  std::map<std::string, double> base{{"depend.nests", 3},
+                                     {"depend.vectors", 2},
+                                     {"depend.unknown", 0},
+                                     {"opt.autopar.promoted", 1},
+                                     {"opt.autopar.blocked", 2}};
+  std::map<std::string, double> cur{{"depend.nests", 4},
+                                    {"depend.vectors", 5},
+                                    {"depend.unknown", 1},
+                                    {"opt.autopar.promoted", 1},
+                                    {"opt.autopar.blocked", 3}};
+
+  auto gated = check(base, cur,
+                     {{"depend.", -1},
+                      {"opt.autopar.blocked", -1},
+                      {"opt.autopar.promoted", 0.0}},
+                     0.05);
+  EXPECT_TRUE(gated.empty());
+
+  // A promotion disappearing (the -O1 autopar acceptance bar) fails the
+  // exact rule even though every key is present.
+  std::map<std::string, double> lost = cur;
+  lost["opt.autopar.promoted"] = 0;
+  auto failed = check(base, lost,
+                      {{"depend.", -1},
+                       {"opt.autopar.blocked", -1},
+                       {"opt.autopar.promoted", 0.0}},
+                      0.05);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0].name, "opt.autopar.promoted");
+
+  // The depend.* family vanishing wholesale is a schema mismatch.
+  std::map<std::string, double> vanished{{"opt.autopar.promoted", 1},
+                                         {"opt.autopar.blocked", 2}};
+  EXPECT_EQ(checkExitCode(check(base, vanished, {{"depend.", -1}}, -1)), 2);
+}
+
 TEST(StatsLib, CheckExitCodeRanksSchemaAboveTolerance) {
   std::map<std::string, double> base{{"a", 100}, {"b", 1}};
 
