@@ -1,17 +1,25 @@
 // Experiment C4 (paper §III-C): memory-allocator behaviour under the
 // matrix workload's allocation pattern. The paper observes that naive
 // mutex-protected malloc scales poorly under parallel contention and that
-// arena designs behave better. We compare a global-mutex free-list
-// allocator against per-thread bump arenas, both standalone and as the
-// backing store of the refcount cells (setRcAllocHooks).
+// arena designs behave better. ISSUE 9 promotes that observation into the
+// production memory subsystem (runtime/memsys.hpp): the rows below compare
+// the three selectable strategies — system (per-block new/delete), cache
+// (thread-caching magazines over size classes), arena (per-thread bump
+// chunks) — on raw parallel churn, on matrix churn through the refcount
+// cells, and on an interpreted with-loop chain, plus the legacy
+// global-mutex free list as the paper's contention strawman.
+//
+// Under MMX_STATS_JSON the run also lands the machine-independent
+// rt.alloc.cache.{hits,misses,flushes} counters (bench_stats.hpp).
 #include <benchmark/benchmark.h>
 
-#include <thread>
-#include <vector>
+#include <cstdint>
 
+#include "bench_common.hpp"
+#include "bench_stats.hpp"
 #include "runtime/alloc.hpp"
 #include "runtime/matrix.hpp"
-#include "bench_stats.hpp"
+#include "runtime/memsys.hpp"
 #include "runtime/pool.hpp"
 #include "runtime/refcount.hpp"
 
@@ -21,77 +29,101 @@ namespace {
 constexpr int kAllocsPerIter = 512;
 constexpr size_t kBytes = 4096; // a small with-loop temporary
 
-void BM_MutexAllocator_1Thread(benchmark::State& state) {
-  auto& a = rt::MutexAllocator::instance();
-  for (auto _ : state) {
-    for (int i = 0; i < kAllocsPerIter; ++i) {
-      void* p = a.allocate(kBytes);
-      benchmark::DoNotOptimize(p);
-      a.deallocate(p);
-    }
-  }
-  a.trim();
-  state.counters["locks/iter"] = 2.0 * kAllocsPerIter;
-}
-BENCHMARK(BM_MutexAllocator_1Thread)->Unit(benchmark::kMicrosecond);
+// --- raw strategy churn (the headline system-vs-cache comparison) -------
 
-void BM_ArenaAllocator_1Thread(benchmark::State& state) {
-  auto& a = rt::ArenaAllocator::instance();
-  for (auto _ : state) {
-    for (int i = 0; i < kAllocsPerIter; ++i) {
-      void* p = a.allocate(kBytes);
-      benchmark::DoNotOptimize(p);
-      a.deallocate(p);
-    }
-    a.reset();
+/// One churn burst: with-loop-temporary sizes through a small live
+/// window, so magazines see both immediate reuse and depth. Runs on
+/// google-benchmark's own threads (->Threads(n)) — spawn cost stays
+/// outside the timed region, unlike hand-rolled std::thread fan-out.
+void rawChurnBurst(unsigned t) {
+  void* window[8] = {};
+  for (int i = 0; i < kAllocsPerIter; ++i) {
+    size_t bytes = 64 + static_cast<size_t>((t * 37 + i * 61) % 4096);
+    void* p = rt::msAlloc(bytes);
+    static_cast<char*>(p)[0] = static_cast<char>(i);
+    benchmark::DoNotOptimize(p);
+    void*& slot = window[i % 8];
+    if (slot) rt::msFree(slot);
+    slot = p;
   }
-  state.counters["locks/iter"] = 0;
+  for (void* p : window)
+    if (p) rt::msFree(p);
 }
-BENCHMARK(BM_ArenaAllocator_1Thread)->Unit(benchmark::kMicrosecond);
 
-template <class AllocFn, class FreeFn>
-void contend(unsigned threads, AllocFn&& alloc, FreeFn&& dealloc) {
-  std::vector<std::thread> ts;
-  for (unsigned t = 0; t < threads; ++t)
-    ts.emplace_back([&] {
-      for (int i = 0; i < kAllocsPerIter; ++i) {
-        void* p = alloc(kBytes);
-        benchmark::DoNotOptimize(p);
-        dealloc(p);
-      }
-    });
-  for (auto& t : ts) t.join();
+/// Setup/Teardown run once per benchmark run, before the worker threads
+/// start and after they join — the safe points to flip the process-wide
+/// selection and return the cached pages.
+void pinSystem(const benchmark::State&) { rt::selectAllocator("system"); }
+void pinCache(const benchmark::State&) { rt::selectAllocator("cache"); }
+void pinArena(const benchmark::State&) { rt::selectAllocator("arena"); }
+void unpin(const benchmark::State&) {
+  rt::msTrim();
+  rt::selectAllocator("auto");
 }
+
+void memsysChurn(benchmark::State& state) {
+  rt::MsCacheStats before = rt::msCacheStats();
+  for (auto _ : state)
+    rawChurnBurst(static_cast<unsigned>(state.thread_index()));
+  rt::MsCacheStats after = rt::msCacheStats();
+  uint64_t lookups = (after.hits - before.hits) +
+                     (after.misses - before.misses);
+  if (lookups) // cache only; system/arena never touch the magazines
+    state.counters["cache.hitRate"] = benchmark::Counter(
+        double(after.hits - before.hits) / double(lookups),
+        benchmark::Counter::kAvgThreads);
+}
+
+void BM_MemsysChurn_System(benchmark::State& state) { memsysChurn(state); }
+BENCHMARK(BM_MemsysChurn_System)
+    ->Setup(pinSystem)->Teardown(unpin)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_MemsysChurn_Cache(benchmark::State& state) { memsysChurn(state); }
+BENCHMARK(BM_MemsysChurn_Cache)
+    ->Setup(pinCache)->Teardown(unpin)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+/// Arena frees are deferred, so an open-ended churn loop would only grow:
+/// the arena row runs its intended phase pattern instead — one burst,
+/// then the quiescent-point trim that recycles the chunks — and stays
+/// single-threaded (trim requires no concurrent allocators).
+void BM_MemsysChurn_ArenaPhase(benchmark::State& state) {
+  for (auto _ : state) {
+    rawChurnBurst(0);
+    rt::msTrim();
+  }
+}
+BENCHMARK(BM_MemsysChurn_ArenaPhase)
+    ->Setup(pinArena)->Teardown(unpin)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+// --- the paper's strawman: one mutex around every alloc -----------------
 
 void BM_MutexAllocator_Contended(benchmark::State& state) {
   auto& a = rt::MutexAllocator::instance();
-  unsigned threads = static_cast<unsigned>(state.range(0));
-  for (auto _ : state)
-    contend(threads, [&](size_t b) { return a.allocate(b); },
-            [&](void* p) { a.deallocate(p); });
-  a.trim();
-  state.counters["threads"] = threads;
+  for (auto _ : state) {
+    for (int i = 0; i < kAllocsPerIter; ++i) {
+      void* p = a.allocate(kBytes);
+      benchmark::DoNotOptimize(p);
+      a.deallocate(p);
+    }
+  }
+  if (state.thread_index() == 0) {
+    a.trim();
+    state.counters["locks/alloc"] = 2;
+  }
 }
 BENCHMARK(BM_MutexAllocator_Contended)
-    ->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMicrosecond);
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
 
-void BM_ArenaAllocator_Contended(benchmark::State& state) {
-  auto& a = rt::ArenaAllocator::instance();
-  unsigned threads = static_cast<unsigned>(state.range(0));
-  for (auto _ : state) {
-    contend(threads, [&](size_t b) { return a.allocate(b); },
-            [&](void* p) { a.deallocate(p); });
-    a.reset();
-  }
-  state.counters["threads"] = threads;
-}
-BENCHMARK(BM_ArenaAllocator_Contended)
-    ->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMicrosecond);
+// --- matrix churn through the refcount cells (rcAlloc backing store) ----
 
-/// Matrix churn through the refcount cells, with each allocator behind
-/// them — the actual §III-C scenario (with-loop temporaries).
+/// The actual §III-C scenario: with-loop temporaries allocated and
+/// released inside a parallel region, through rcAlloc's default path.
 void matrixChurn(rt::Executor& exec) {
   exec.run(0, 256, [](int64_t lo, int64_t hi, unsigned) {
     for (int64_t i = lo; i < hi; ++i) {
@@ -102,31 +134,96 @@ void matrixChurn(rt::Executor& exec) {
   });
 }
 
-void BM_MatrixChurn_DefaultAllocator(benchmark::State& state) {
+/// `trimEachIter` is the arena contract: between exec.run() calls the
+/// pool workers are idle, so the quiescent-point trim that hands the
+/// deferred chunks back is legal — and part of what the row measures.
+void matrixChurnUnder(benchmark::State& state, const char* strategy,
+                      bool trimEachIter = false) {
+  rt::AllocatorOverride pin(strategy);
   rt::ForkJoinPool pool(4);
-  for (auto _ : state) matrixChurn(pool);
+  for (auto _ : state) {
+    matrixChurn(pool);
+    if (trimEachIter) rt::msTrim();
+  }
+  rt::msTrim();
 }
-BENCHMARK(BM_MatrixChurn_DefaultAllocator)->Unit(benchmark::kMicrosecond);
 
-void BM_MatrixChurn_MutexAllocator(benchmark::State& state) {
+void BM_MatrixChurn_System(benchmark::State& state) {
+  matrixChurnUnder(state, "system");
+}
+BENCHMARK(BM_MatrixChurn_System)->Unit(benchmark::kMicrosecond);
+
+void BM_MatrixChurn_Cache(benchmark::State& state) {
+  matrixChurnUnder(state, "cache");
+}
+BENCHMARK(BM_MatrixChurn_Cache)->Unit(benchmark::kMicrosecond);
+
+void BM_MatrixChurn_Arena(benchmark::State& state) {
+  matrixChurnUnder(state, "arena", /*trimEachIter=*/true);
+}
+BENCHMARK(BM_MatrixChurn_Arena)->Unit(benchmark::kMicrosecond);
+
+/// Explicit hook installation still bypasses the subsystem entirely —
+/// the pre-memsys comparison rows kept as a reference point.
+void BM_MatrixChurn_MutexHooks(benchmark::State& state) {
   rt::setRcAllocHooks({rt::mutexAllocHook, rt::mutexFreeHook});
   rt::ForkJoinPool pool(4);
   for (auto _ : state) matrixChurn(pool);
   rt::setRcAllocHooks({});
   rt::MutexAllocator::instance().trim();
 }
-BENCHMARK(BM_MatrixChurn_MutexAllocator)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MatrixChurn_MutexHooks)->Unit(benchmark::kMicrosecond);
 
-void BM_MatrixChurn_ArenaAllocator(benchmark::State& state) {
-  rt::setRcAllocHooks({rt::arenaAllocHook, rt::arenaFreeHook});
+// --- interpreted with-loop chain under each strategy --------------------
+
+/// A file-free chain of with-loop temporaries: every iteration allocates
+/// a fresh [n,n] genarray result and folds it away, so the interpreter's
+/// alloc/free cycle dominates once the arithmetic is this cheap.
+std::string withLoopChainProgram() {
+  return R"(
+int main() {
+  int n = 96;
+  Matrix float <2> a = init(Matrix float <2>, n, n);
+  a = with ([0,0] <= [i,j] < [n,n]) genarray([n,n], i * 0.25 + j);
+  float acc = 0.0;
+  for (int rep = 0; rep < 24; rep = rep + 1) {
+    Matrix float <2> t = init(Matrix float <2>, n, n);
+    t = with ([0,0] <= [i,j] < [n,n])
+        genarray([n,n], a[i, j] * 1.0001);
+    acc = acc + with ([0,0] <= [i,j] < [n,n]) fold(+, 0.0, t[i, j]);
+  }
+  printFloat(acc);
+  return 0;
+}
+)";
+}
+
+void withLoopChainUnder(benchmark::State& state, const char* strategy,
+                        bool trimEachIter = false) {
+  static auto mod = compile(withLoopChainProgram());
+  rt::AllocatorOverride pin(strategy);
   rt::ForkJoinPool pool(4);
   for (auto _ : state) {
-    matrixChurn(pool);
-    rt::ArenaAllocator::instance().reset();
+    runOn(*mod, pool);
+    if (trimEachIter) rt::msTrim();
   }
-  rt::setRcAllocHooks({});
+  rt::msTrim();
 }
-BENCHMARK(BM_MatrixChurn_ArenaAllocator)->Unit(benchmark::kMicrosecond);
+
+void BM_WithLoopChain_System(benchmark::State& state) {
+  withLoopChainUnder(state, "system");
+}
+BENCHMARK(BM_WithLoopChain_System)->Unit(benchmark::kMillisecond);
+
+void BM_WithLoopChain_Cache(benchmark::State& state) {
+  withLoopChainUnder(state, "cache");
+}
+BENCHMARK(BM_WithLoopChain_Cache)->Unit(benchmark::kMillisecond);
+
+void BM_WithLoopChain_Arena(benchmark::State& state) {
+  withLoopChainUnder(state, "arena", /*trimEachIter=*/true);
+}
+BENCHMARK(BM_WithLoopChain_Arena)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace mmx::bench

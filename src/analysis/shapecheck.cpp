@@ -1430,13 +1430,360 @@ ShapeCheckStats Checker::run() {
   return stats;
 }
 
+// --- genarray full-write detection (ISSUE 9) -------------------------------
+//
+// Matches the exact statement sequence lowerWith emits for a genarray:
+//
+//   res = initMatrix(elem, sh_0, ..., sh_{r-1});
+//   checkGenBounds(hi_0, sh_0); ... checkGenBounds(hi_{r-1}, sh_{r-1});
+//   for (i_0 = lo_0; i_0 < hi_0; i_0++)
+//     ...
+//       for (i_{r-1} = lo_{r-1}; i_{r-1} < hi_{r-1}; i_{r-1}++) {
+//         <element temps>; res.data[flat] = v;
+//       }
+//
+// and proves lo_d == 0 and hi_d == sh_d for every dimension, in which case
+// the nest stores to every element of `res` and the backends may allocate
+// the result uninitialized instead of zero-filling it (the interpreter via
+// Matrix::uninit, the C emitter via mmx_allocv_u). Anything the optimizer
+// or a transformation tail reshaped simply fails the match — a
+// conservative "keep the zero-fill".
+
+/// Expressions whose value depends only on the referenced local slots
+/// (no matrix reads, no calls) — safe to compare structurally.
+bool pureScalarExpr(const ir::Expr& e) {
+  switch (e.k) {
+    case ir::Expr::K::ConstI:
+    case ir::Expr::K::Var:
+      break;
+    case ir::Expr::K::Arith:
+    case ir::Expr::K::Neg:
+    case ir::Expr::K::Cast:
+      break;
+    default:
+      return false;
+  }
+  for (const auto& a : e.args)
+    if (!a || !pureScalarExpr(*a)) return false;
+  return true;
+}
+
+bool sameExpr(const ir::Expr& a, const ir::Expr& b) {
+  if (a.k != b.k || a.ty != b.ty) return false;
+  switch (a.k) {
+    case ir::Expr::K::ConstI:
+      if (a.i != b.i) return false;
+      break;
+    case ir::Expr::K::Var:
+      if (a.slot != b.slot) return false;
+      break;
+    case ir::Expr::K::Arith:
+      if (a.aop != b.aop) return false;
+      break;
+    case ir::Expr::K::Neg:
+    case ir::Expr::K::Cast:
+      break;
+    default:
+      return false;
+  }
+  if (a.args.size() != b.args.size()) return false;
+  for (size_t i = 0; i < a.args.size(); ++i)
+    if (!sameExpr(*a.args[i], *b.args[i])) return false;
+  return true;
+}
+
+void collectSlotRefs(const ir::Expr& e, std::set<int32_t>& out) {
+  if (e.k == ir::Expr::K::Var) out.insert(e.slot);
+  for (const auto& a : e.args)
+    if (a) collectSlotRefs(*a, out);
+  for (const auto& d : e.dims) {
+    if (d.a) collectSlotRefs(*d.a, out);
+    if (d.b) collectSlotRefs(*d.b, out);
+  }
+}
+
+/// Does `s` (recursively) store to local `slot` — including as a loop
+/// variable, a CallAssign destination, or the target of an IndexStore /
+/// StoreFlat (content mutation counts: the slot no longer holds the value
+/// it had)?
+bool writesSlot(const ir::Stmt& s, int32_t slot) {
+  switch (s.k) {
+    case ir::Stmt::K::Assign:
+    case ir::Stmt::K::IndexStore:
+    case ir::Stmt::K::StoreFlat:
+    case ir::Stmt::K::For:
+      if (s.slot == slot) return true;
+      break;
+    case ir::Stmt::K::CallAssign:
+      for (int32_t d : s.dsts)
+        if (d == slot) return true;
+      break;
+    default:
+      break;
+  }
+  for (const auto& k : s.kids)
+    if (k && writesSlot(*k, slot)) return true;
+  return false;
+}
+
+bool exprTouchesSlot(const ir::Expr& e, int32_t slot) {
+  if (e.k == ir::Expr::K::Var && e.slot == slot) return true;
+  for (const auto& a : e.args)
+    if (a && exprTouchesSlot(*a, slot)) return true;
+  for (const auto& d : e.dims) {
+    if (d.a && exprTouchesSlot(*d.a, slot)) return true;
+    if (d.b && exprTouchesSlot(*d.b, slot)) return true;
+  }
+  return false;
+}
+
+/// Any mention of `slot` inside `s` — read or write — other than as the
+/// store target of the single exempted StoreFlat (whose index/value
+/// operands are still checked).
+bool touchesSlot(const ir::Stmt& s, int32_t slot, const ir::Stmt* exempt) {
+  switch (s.k) {
+    case ir::Stmt::K::Assign:
+    case ir::Stmt::K::IndexStore:
+    case ir::Stmt::K::StoreFlat:
+    case ir::Stmt::K::For:
+      if (&s != exempt && s.slot == slot) return true;
+      break;
+    case ir::Stmt::K::CallAssign:
+      for (int32_t d : s.dsts)
+        if (d == slot) return true;
+      break;
+    default:
+      break;
+  }
+  for (const auto& e : s.exprs)
+    if (e && exprTouchesSlot(*e, slot)) return true;
+  for (const auto& d : s.dims) {
+    if (d.a && exprTouchesSlot(*d.a, slot)) return true;
+    if (d.b && exprTouchesSlot(*d.b, slot)) return true;
+  }
+  for (const auto& k : s.kids)
+    if (k && touchesSlot(*k, slot, exempt)) return true;
+  return false;
+}
+
+/// Break / Continue / Ret anywhere would let an iteration skip the store.
+bool hasEarlyExit(const ir::Stmt& s) {
+  if (s.k == ir::Stmt::K::Break || s.k == ir::Stmt::K::Continue ||
+      s.k == ir::Stmt::K::Ret)
+    return true;
+  for (const auto& k : s.kids)
+    if (k && hasEarlyExit(*k)) return true;
+  return false;
+}
+
+/// The last write to `slot` before `end` in this kid list is `slot = 0`.
+bool provedZero(const std::vector<ir::StmtPtr>& kids, size_t end,
+                int32_t slot) {
+  for (size_t i = end; i-- > 0;) {
+    const ir::Stmt& st = *kids[i];
+    if (st.k == ir::Stmt::K::Assign && st.slot == slot)
+      return st.exprs.size() == 1 &&
+             st.exprs[0]->k == ir::Expr::K::ConstI && st.exprs[0]->i == 0;
+    if (writesSlot(st, slot)) return false;
+  }
+  return false;
+}
+
+/// `a` and `b` provably hold the same value at statement `end`: their
+/// latest defining statements are simple assignments of structurally
+/// equal pure expressions (or one is a plain copy of the other), and
+/// nothing in between (or after, up to `end`) rewrites either slot or
+/// any slot the expressions read.
+bool provedEqual(const std::vector<ir::StmtPtr>& kids, size_t end, int32_t a,
+                 int32_t b) {
+  if (a == b) return true;
+  size_t defA = end, defB = end;
+  const ir::Expr *ea = nullptr, *eb = nullptr;
+  for (size_t i = end; i-- > 0;) {
+    const ir::Stmt& st = *kids[i];
+    if (!ea && writesSlot(st, a)) {
+      if (st.k != ir::Stmt::K::Assign || st.slot != a ||
+          st.exprs.size() != 1 || !pureScalarExpr(*st.exprs[0]))
+        return false;
+      ea = st.exprs[0].get();
+      defA = i;
+    }
+    if (!eb && writesSlot(st, b)) {
+      if (st.k != ir::Stmt::K::Assign || st.slot != b ||
+          st.exprs.size() != 1 || !pureScalarExpr(*st.exprs[0]))
+        return false;
+      eb = st.exprs[0].get();
+      defB = i;
+    }
+    if (ea && eb) break;
+  }
+  // Copy chains: `b = a` (or `a = b`) makes the pair equal as long as the
+  // copied-from slot is not rewritten before `end` — which the watched-set
+  // scan below enforces.
+  bool copyOfEachOther =
+      (eb && eb->k == ir::Expr::K::Var && eb->slot == a && defB > defA) ||
+      (ea && ea->k == ir::Expr::K::Var && ea->slot == b && defA > defB);
+  if (!copyOfEachOther) {
+    if (!ea || !eb || !sameExpr(*ea, *eb)) return false;
+  }
+  std::set<int32_t> watched;
+  if (ea) collectSlotRefs(*ea, watched);
+  if (eb) collectSlotRefs(*eb, watched);
+  watched.insert(a);
+  watched.insert(b);
+  size_t first = defA < defB ? defA : defB;
+  for (size_t i = first + 1; i < end; ++i) {
+    if (i == defA || i == defB) continue;
+    for (int32_t v : watched)
+      if (writesSlot(*kids[i], v)) return false;
+  }
+  return true;
+}
+
+void matchGenarrayFullWrites(const std::vector<ir::StmtPtr>& kids,
+                             ir::GuardPlan& plan) {
+  for (size_t i = 0; i < kids.size(); ++i) {
+    // Anchor: a For nest whose innermost body ends in a StoreFlat. Walk
+    // down collecting (loopVar, lo, hi) per level; every bound must be a
+    // plain local so the proofs below can reason about it.
+    const ir::Stmt& nest = *kids[i];
+    if (nest.k != ir::Stmt::K::For) continue;
+    std::vector<int32_t> lo, hi, iv;
+    const ir::Stmt* loop = &nest;
+    const ir::Stmt* store = nullptr;
+    bool nestOk = true;
+    while (true) {
+      if (loop->k != ir::Stmt::K::For || loop->exprs.size() != 2 ||
+          loop->exprs[0]->k != ir::Expr::K::Var ||
+          loop->exprs[1]->k != ir::Expr::K::Var || loop->kids.empty() ||
+          !loop->kids[0]) {
+        nestOk = false;
+        break;
+      }
+      lo.push_back(loop->exprs[0]->slot);
+      hi.push_back(loop->exprs[1]->slot);
+      iv.push_back(loop->slot);
+      const ir::Stmt* body = loop->kids[0].get();
+      if (body->k == ir::Stmt::K::Block && body->kids.size() == 1 &&
+          body->kids[0] && body->kids[0]->k == ir::Stmt::K::For) {
+        body = body->kids[0].get();
+      }
+      if (body->k == ir::Stmt::K::For) {
+        loop = body;
+        continue;
+      }
+      // Innermost: the unconditional store must be the last statement.
+      if (body->k == ir::Stmt::K::StoreFlat) {
+        store = body;
+      } else if (body->k == ir::Stmt::K::Block && !body->kids.empty() &&
+                 body->kids.back() &&
+                 body->kids.back()->k == ir::Stmt::K::StoreFlat) {
+        store = body->kids.back().get();
+      }
+      break;
+    }
+    size_t rank = lo.size();
+    if (!nestOk || !store || rank == 0) continue;
+    int32_t res = store->slot;
+
+    // The defining allocation: the last write to `res` before the nest
+    // must be `res = initMatrix(elem, dim_0, ..., dim_{rank-1})` with
+    // plain-local dims, and `res` untouched (and the path unbroken — no
+    // way to jump past the nest) in between.
+    size_t defIdx = kids.size();
+    for (size_t j = i; j-- > 0;) {
+      if (writesSlot(*kids[j], res)) {
+        defIdx = j;
+        break;
+      }
+    }
+    if (defIdx >= kids.size()) continue;
+    const ir::Stmt& def = *kids[defIdx];
+    if (def.k != ir::Stmt::K::Assign || def.exprs.size() != 1) continue;
+    const ir::Expr& init = *def.exprs[0];
+    if (init.k != ir::Expr::K::Call || init.s != "initMatrix") continue;
+    if (init.args.size() != rank + 1) continue;
+    if (init.args[0]->k != ir::Expr::K::ConstI) continue;
+    std::vector<int32_t> dim;
+    bool dimsOk = true;
+    for (size_t d = 0; d < rank; ++d) {
+      if (init.args[1 + d]->k != ir::Expr::K::Var) {
+        dimsOk = false;
+        break;
+      }
+      dim.push_back(init.args[1 + d]->slot);
+    }
+    if (!dimsOk) continue;
+    bool betweenOk = true;
+    for (size_t j = defIdx + 1; j < i && betweenOk; ++j)
+      betweenOk = !touchesSlot(*kids[j], res, nullptr) &&
+                  !hasEarlyExit(*kids[j]);
+    if (!betweenOk) continue;
+
+    // The store's flat index must be the canonical row-major form
+    //   ((iv_0 * s_1 + iv_1) * s_2 + ...) + iv_{rank-1}
+    // with each stride s_d provably equal to the allocated dim_d.
+    std::vector<int32_t> stride(rank, -1); // stride[0] unused
+    const ir::Expr* flat = store->exprs[0].get();
+    bool flatOk = true;
+    for (size_t d = rank; d-- > 1;) {
+      flatOk = flat->k == ir::Expr::K::Arith &&
+               flat->aop == ir::ArithOp::Add && flat->args.size() == 2 &&
+               flat->args[1]->k == ir::Expr::K::Var &&
+               flat->args[1]->slot == iv[d] &&
+               flat->args[0]->k == ir::Expr::K::Arith &&
+               flat->args[0]->aop == ir::ArithOp::Mul &&
+               flat->args[0]->args.size() == 2 &&
+               flat->args[0]->args[1]->k == ir::Expr::K::Var;
+      if (!flatOk) break;
+      stride[d] = flat->args[0]->args[1]->slot;
+      flat = flat->args[0]->args[0].get();
+    }
+    flatOk = flatOk && flat->k == ir::Expr::K::Var && flat->slot == iv[0];
+    if (!flatOk) continue;
+    // Distinct loop variables (a reused var would alias two dims).
+    std::set<int32_t> ivSet(iv.begin(), iv.end());
+    if (ivSet.size() != rank) continue;
+
+    if (hasEarlyExit(nest)) continue;
+    if (touchesSlot(nest, res, store)) continue;
+
+    // Bound proofs: lo_d == 0 and hi_d == dim_d (the allocated extent),
+    // strides match the allocated dims, and none of those slots move —
+    // not between the allocation and the nest, and not inside the nest
+    // (inner bounds are re-read every outer iteration).
+    bool proven = true;
+    for (size_t d = 0; d < rank && proven; ++d) {
+      proven = provedZero(kids, i, lo[d]) &&
+               provedEqual(kids, i, hi[d], dim[d]) &&
+               (d == 0 || provedEqual(kids, i, stride[d], dim[d])) &&
+               !writesSlot(nest, lo[d]) && !writesSlot(nest, hi[d]) &&
+               (d == 0 || !writesSlot(nest, stride[d]));
+      for (size_t j = defIdx + 1; j < i && proven; ++j)
+        proven = !writesSlot(*kids[j], dim[d]);
+    }
+    if (!proven) continue;
+
+    plan.fullyWritten.insert(def.exprs[0].get());
+  }
+}
+
+void walkFullWrites(const ir::Stmt& s, ir::GuardPlan& plan) {
+  if (s.k == ir::Stmt::K::Block) matchGenarrayFullWrites(s.kids, plan);
+  for (const auto& k : s.kids)
+    if (k) walkFullWrites(*k, plan);
+}
+
 } // namespace
 
 ShapeCheckStats checkShapes(const ir::Module& m, ir::GuardPlan& plan,
                             DiagnosticEngine& diags,
                             const ShapeCheckOptions& opts) {
   Checker ck(m, opts, plan, diags);
-  return ck.run();
+  ShapeCheckStats st = ck.run();
+  for (const auto& f : m.functions)
+    if (f->body) walkFullWrites(*f->body, plan);
+  return st;
 }
 
 } // namespace mmx::analysis

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "runtime/backend.hpp"
+#include "runtime/memsys.hpp"
 
 namespace mmx::driver {
 
@@ -19,6 +20,17 @@ const char* backendHelp() {
     for (const std::string& n : rt::backendNames()) s += n + ", ";
     s += "or auto = best available (default auto; $MMX_BACKEND overrides "
          "auto)";
+    return s;
+  }();
+  return text.c_str();
+}
+
+/// --alloc help text listing the memsys allocator names.
+const char* allocHelp() {
+  static const std::string text = [] {
+    std::string s = "matrix allocator: ";
+    for (const std::string& n : rt::allocatorNames()) s += n + ", ";
+    s += "or auto = cache (default auto; $MMX_ALLOC overrides auto)";
     return s;
   }();
   return text.c_str();
@@ -204,6 +216,14 @@ const std::vector<FlagSpec>& flagTable() {
          // Names are validated against the registry by the driver (a
          // structured diagnostic, so embedders see it too), not here.
          inv.backend = v;
+         return {};
+       }},
+      {"--alloc", "NAME", allocHelp(),
+       [](CompilerInvocation& inv, const std::string& v) -> std::string {
+         if (v.empty()) return "--alloc requires a value";
+         // Names are validated against the memsys registry by the driver
+         // (a structured diagnostic), not here.
+         inv.alloc = v;
          return {};
        }},
       {"--time-report", nullptr,

@@ -30,6 +30,7 @@ struct CompilerInvocation {
   rt::ExecutorKind executor = rt::ExecutorKind::ForkJoin;
   bool executorExplicit = false; // --executor given (else derived from threads)
   std::string backend = "auto";  // --backend: kernel backend name or "auto"
+  std::string alloc = "auto";    // --alloc: matrix allocator name or "auto"
 
   // Observability (ISSUE 2).
   bool timeReport = false;       // --time-report: human table on stderr
@@ -58,6 +59,7 @@ struct CompilerInvocation {
                                     : rt::ExecutorKind::Serial);
     c.threads = threads;
     c.backend = backend;
+    c.alloc = alloc;
     return c;
   }
 

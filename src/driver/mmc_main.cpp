@@ -19,6 +19,7 @@
 #include "ext_transform/transform_ext.hpp"
 #include "interp/interp.hpp"
 #include "runtime/backend.hpp"
+#include "runtime/memsys.hpp"
 #include "support/diag.hpp"
 #include "support/metrics.hpp"
 
@@ -78,6 +79,18 @@ int main(int argc, char** argv) {
     d.severity = mmx::Severity::Error;
     d.message = err;
     d.extension = "backend";
+    std::cerr << mmx::renderDiagnostic(d, nullptr);
+    return 2;
+  }
+  // Same pre-flight for the matrix allocator (--alloc, falling back to
+  // $MMX_ALLOC under auto): emitted programs select the same strategy at
+  // startup, so an unknown name fails here for --emit-c too.
+  if (std::string err = mmx::rt::allocatorSelectionError(inv.alloc);
+      !err.empty()) {
+    mmx::Diagnostic d;
+    d.severity = mmx::Severity::Error;
+    d.message = err;
+    d.extension = "alloc";
     std::cerr << mmx::renderDiagnostic(d, nullptr);
     return 2;
   }
@@ -141,6 +154,7 @@ int main(int argc, char** argv) {
       eo.instrument = inv.instrument;
       eo.sourceManager = res.sourceManager;
       eo.backend = inv.backend;
+      eo.alloc = inv.alloc;
       auto c = mmx::ir::emitC(*res.module, eo);
       if (!c.ok) {
         for (const auto& e : c.errors)

@@ -183,6 +183,9 @@ TranslateResult Translator::translate(const std::string& name,
           metrics::counter("shapecheck.guards.violations");
       static const metrics::Counter pairs =
           metrics::counter("shapecheck.refcount.elidedPairs");
+      static const metrics::Counter fullWrites =
+          metrics::counter("shapecheck.genarray.fullyWritten");
+      fullWrites.add(res.guardPlan->fullyWritten.size());
       elided.add(st.guardsSafe);
       kept.add(st.guardsKept());
       violations.add(st.guardsViolating);

@@ -888,7 +888,13 @@ private:
       auto kind = static_cast<rt::Elem>(asI(arg(0)));
       std::vector<int64_t> dims;
       for (size_t i = 1; i < e.args.size(); ++i) dims.push_back(asI(arg(i)));
-      return Matrix::zeros(kind, dims);
+      // Results the shape analysis proved fully written (every cell
+      // stored before any read) skip the zeroing pass: first touch then
+      // happens on the threads that compute the cells. Everything else
+      // zeroes with parallel first-touch when large enough.
+      if (m_.guardPlan_ && m_.guardPlan_->fullyWritten.count(&e))
+        return Matrix::uninit(kind, dims);
+      return Matrix::zeros(kind, dims, m_.exec_);
     }
     if (c == "cloneMatrix") return asM(arg(0)).clone();
     if (c == "connComp") return rt::connectedComponents(asM(arg(0)));

@@ -207,6 +207,310 @@ static void mmx_index_store_b_nc(mmx_mat* m, const mmx_sel* sels,
 }
 )NCAPP";
 
+// ---- memsys (ISSUE 9): thread-caching matrix allocator ------------------
+//
+// Spliced into the prelude unless --alloc=system (whose output must stay
+// byte-identical to the historical calloc/free emitter). The policy
+// constants and counter bump points mirror src/runtime/memsys.cpp
+// verbatim — see its header comment; single-threaded runs of the same
+// program must produce byte-equal rt.alloc.cache.* counters in the
+// interpreter and the emitted C. Touch one side only in lockstep with the
+// other.
+//
+// Inserted immediately after the prelude's mmx_esize line (mmx_fail is
+// already defined above that point; mmx_alloc below it calls into this).
+const char* kMsRuntime = R"MS(
+/* ---- mmx_ms: thread-caching matrix allocator (mmc --alloc) ------------ */
+#ifndef MMX_ALLOC_DEFAULT
+#define MMX_ALLOC_DEFAULT "auto"
+#endif
+enum {
+  MMX_MS_CLASSES = 24,
+  MMX_MS_SYSTEM = 1,
+  MMX_MS_CACHE = 2,
+  MMX_MS_ARENA = 3,
+  MMX_MS_HUGE = 4
+};
+typedef struct {
+  unsigned kind;
+  unsigned cls;
+  unsigned long long bytes;
+} mmx_ms_hdr;
+
+static int mmx_ms_mode; /* 0 = unresolved (mmx_ms_select not yet run) */
+static unsigned long long mmx_ms_hits, mmx_ms_misses, mmx_ms_flushes;
+static unsigned long long mmx_ms_cached_bytes;
+
+static size_t mmx_ms_cap(unsigned cls) { return (size_t)16 << cls; }
+static unsigned mmx_ms_class(size_t total) {
+  unsigned c = 0;
+  while (mmx_ms_cap(c) < total) ++c;
+  return c;
+}
+/* Magazine capacity: ~256 KiB of blocks per class, clamped to [4, 64]. */
+static unsigned mmx_ms_magcap(unsigned cls) {
+  size_t n = ((size_t)256 << 10) / mmx_ms_cap(cls);
+  if (n < 4) return 4;
+  if (n > 64) return 64;
+  return (unsigned)n;
+}
+static unsigned mmx_ms_depotcap(unsigned cls) { return 4 * mmx_ms_magcap(cls); }
+
+/* Free-list link, stored in the first word of the (dead) payload. */
+static void** mmx_ms_next(mmx_ms_hdr* h) { return (void**)(h + 1); }
+
+static int mmx_ms_depot_lock;
+static mmx_ms_hdr* mmx_ms_depot_head[MMX_MS_CLASSES];
+static unsigned mmx_ms_depot_count[MMX_MS_CLASSES];
+
+static void mmx_ms_lock(void) {
+  while (__atomic_exchange_n(&mmx_ms_depot_lock, 1, __ATOMIC_ACQUIRE))
+    ;
+}
+static void mmx_ms_unlock(void) {
+  __atomic_store_n(&mmx_ms_depot_lock, 0, __ATOMIC_RELEASE);
+}
+
+/* Caller holds the depot lock. Pushes one block; evicts to the system
+ * when the class is over capacity. */
+static void mmx_ms_depot_push(mmx_ms_hdr* h) {
+  unsigned cls = h->cls;
+  *mmx_ms_next(h) = (void*)mmx_ms_depot_head[cls];
+  mmx_ms_depot_head[cls] = h;
+  unsigned n = __atomic_add_fetch(&mmx_ms_depot_count[cls], 1, __ATOMIC_RELAXED);
+  while (n > mmx_ms_depotcap(cls)) {
+    mmx_ms_hdr* evict = mmx_ms_depot_head[cls];
+    mmx_ms_depot_head[cls] = (mmx_ms_hdr*)*mmx_ms_next(evict);
+    n = __atomic_sub_fetch(&mmx_ms_depot_count[cls], 1, __ATOMIC_RELAXED);
+    __atomic_sub_fetch(&mmx_ms_cached_bytes, mmx_ms_cap(cls), __ATOMIC_RELAXED);
+    free(evict);
+  }
+}
+
+static __thread mmx_ms_hdr* mmx_ms_mag_head[MMX_MS_CLASSES];
+static __thread unsigned mmx_ms_mag_count[MMX_MS_CLASSES];
+
+static void* mmx_ms_cache_alloc(size_t bytes, size_t total) {
+  unsigned cls = mmx_ms_class(total);
+  size_t cap = mmx_ms_cap(cls);
+  mmx_ms_hdr* h = 0;
+  if (mmx_ms_mag_head[cls]) {
+    __atomic_add_fetch(&mmx_ms_hits, 1, __ATOMIC_RELAXED);
+    h = mmx_ms_mag_head[cls];
+    mmx_ms_mag_head[cls] = (mmx_ms_hdr*)*mmx_ms_next(h);
+    --mmx_ms_mag_count[cls];
+    __atomic_sub_fetch(&mmx_ms_cached_bytes, cap, __ATOMIC_RELAXED);
+  } else {
+    __atomic_add_fetch(&mmx_ms_misses, 1, __ATOMIC_RELAXED);
+    if (__atomic_load_n(&mmx_ms_depot_count[cls], __ATOMIC_RELAXED) > 0) {
+      mmx_ms_lock();
+      unsigned want = mmx_ms_magcap(cls) / 2;
+      while (want > 0 && mmx_ms_depot_head[cls]) {
+        mmx_ms_hdr* b = mmx_ms_depot_head[cls];
+        mmx_ms_depot_head[cls] = (mmx_ms_hdr*)*mmx_ms_next(b);
+        __atomic_sub_fetch(&mmx_ms_depot_count[cls], 1, __ATOMIC_RELAXED);
+        --want;
+        if (!h) {
+          h = b; /* first refilled block services this allocation */
+          __atomic_sub_fetch(&mmx_ms_cached_bytes, cap, __ATOMIC_RELAXED);
+        } else {
+          *mmx_ms_next(b) = (void*)mmx_ms_mag_head[cls];
+          mmx_ms_mag_head[cls] = b;
+          ++mmx_ms_mag_count[cls];
+        }
+      }
+      mmx_ms_unlock();
+    }
+    if (!h) h = (mmx_ms_hdr*)malloc(cap);
+    if (!h) mmx_fail("out of memory");
+  }
+  h->kind = MMX_MS_CACHE;
+  h->cls = cls;
+  h->bytes = bytes;
+  return h + 1;
+}
+
+static void mmx_ms_cache_free(mmx_ms_hdr* h) {
+  unsigned cls = h->cls;
+  size_t cap = mmx_ms_cap(cls);
+  __atomic_add_fetch(&mmx_ms_cached_bytes, cap, __ATOMIC_RELAXED);
+  *mmx_ms_next(h) = (void*)mmx_ms_mag_head[cls];
+  mmx_ms_mag_head[cls] = h;
+  ++mmx_ms_mag_count[cls];
+  unsigned cap_n = mmx_ms_magcap(cls);
+  if (mmx_ms_mag_count[cls] > cap_n) {
+    /* Flush the older half to the depot; one flush event per overflow. */
+    __atomic_add_fetch(&mmx_ms_flushes, 1, __ATOMIC_RELAXED);
+    mmx_ms_lock();
+    while (mmx_ms_mag_count[cls] > cap_n / 2) {
+      mmx_ms_hdr* b = mmx_ms_mag_head[cls];
+      mmx_ms_mag_head[cls] = (mmx_ms_hdr*)*mmx_ms_next(b);
+      --mmx_ms_mag_count[cls];
+      mmx_ms_depot_push(b);
+    }
+    mmx_ms_unlock();
+  }
+}
+
+typedef struct mmx_ms_chunk {
+  struct mmx_ms_chunk* next;
+  size_t cap;
+} mmx_ms_chunk;
+
+static __thread mmx_ms_chunk* mmx_ms_arena_chunks;
+static __thread char* mmx_ms_arena_cur;
+static __thread size_t mmx_ms_arena_avail;
+
+static void* mmx_ms_arena_alloc(size_t bytes, size_t total) {
+  total = (total + 15) & ~(size_t)15;
+  if (mmx_ms_arena_avail < total) {
+    size_t payload = total > ((size_t)1 << 20) ? total : ((size_t)1 << 20);
+    mmx_ms_chunk* c = (mmx_ms_chunk*)malloc(sizeof(mmx_ms_chunk) + payload);
+    if (!c) mmx_fail("out of memory");
+    c->next = mmx_ms_arena_chunks;
+    c->cap = payload;
+    mmx_ms_arena_chunks = c;
+    mmx_ms_arena_cur = (char*)(c + 1);
+    mmx_ms_arena_avail = payload;
+  }
+  mmx_ms_hdr* h = (mmx_ms_hdr*)mmx_ms_arena_cur;
+  mmx_ms_arena_cur += total;
+  mmx_ms_arena_avail -= total;
+  h->kind = MMX_MS_ARENA;
+  h->cls = 0;
+  h->bytes = bytes;
+  return h + 1;
+}
+
+/* Precedence mirrors the mmc runtime: an emit-time-pinned
+ * MMX_ALLOC_DEFAULT beats $MMX_ALLOC, which beats the cache default
+ * (an env value of "" counts as unset, "auto" as the default chain). */
+static void mmx_ms_select(void) {
+  const char* nm = MMX_ALLOC_DEFAULT;
+  if (!strcmp(nm, "auto")) {
+    const char* env = getenv("MMX_ALLOC");
+    if (env && *env) nm = env;
+  }
+  if (!strcmp(nm, "auto") || !strcmp(nm, "cache")) mmx_ms_mode = MMX_MS_CACHE;
+  else if (!strcmp(nm, "system")) mmx_ms_mode = MMX_MS_SYSTEM;
+  else if (!strcmp(nm, "arena")) mmx_ms_mode = MMX_MS_ARENA;
+  else {
+    char msg[96];
+    snprintf(msg, sizeof msg,
+             "unknown allocator '%.32s' (available: system, cache, arena)",
+             nm);
+    mmx_fail(msg);
+  }
+}
+
+/* Classifies on bytes + 32: 16 for the mmx_ms_hdr plus 16 mirroring the
+ * mmc runtime's refcount cell header, so both backends see identical
+ * size-class sequences (and so byte-equal cache counters). */
+static void* mmx_ms_alloc(size_t bytes) {
+  if (!mmx_ms_mode) mmx_ms_select();
+  size_t total = bytes + 2 * sizeof(mmx_ms_hdr);
+  if (mmx_ms_mode == MMX_MS_CACHE) {
+    if (total <= ((size_t)16 << (MMX_MS_CLASSES - 1)))
+      return mmx_ms_cache_alloc(bytes, total);
+    mmx_ms_hdr* h = (mmx_ms_hdr*)malloc(sizeof(mmx_ms_hdr) + bytes);
+    if (!h) mmx_fail("out of memory");
+    h->kind = MMX_MS_HUGE;
+    h->cls = 0;
+    h->bytes = bytes;
+    return h + 1;
+  }
+  if (mmx_ms_mode == MMX_MS_ARENA) return mmx_ms_arena_alloc(bytes, total);
+  mmx_ms_hdr* h = (mmx_ms_hdr*)malloc(sizeof(mmx_ms_hdr) + bytes);
+  if (!h) mmx_fail("out of memory");
+  h->kind = MMX_MS_SYSTEM;
+  h->cls = 0;
+  h->bytes = bytes;
+  return h + 1;
+}
+
+static void mmx_ms_free(void* p) {
+  mmx_ms_hdr* h = (mmx_ms_hdr*)p - 1;
+  switch (h->kind) {
+  case MMX_MS_CACHE:
+    mmx_ms_cache_free(h);
+    return;
+  case MMX_MS_ARENA:
+    return; /* arena blocks are reclaimed wholesale at process exit */
+  default:
+    free(h);
+    return;
+  }
+}
+)MS";
+
+// Uninitialized-allocation helper, appended to the appendix only when the
+// shapecheck pass proved at least one genarray result fully written (every
+// element stored before any read) AND the memsys runtime is present. Keeps
+// mmx_alloc's negative-dimension guard but skips the element memset — only
+// the mmx_mat header is zeroed.
+const char* kMsUninit = R"MSU(
+static mmx_mat* mmx_allocv_u(int elem, int rank, ...) {
+  long long dims[8];
+  va_list ap;
+  va_start(ap, rank);
+  for (int d = 0; d < rank; ++d) dims[d] = va_arg(ap, long long);
+  va_end(ap);
+  long long n = 1;
+  for (int d = 0; d < rank; ++d) {
+    if (dims[d] < 0) mmx_fail("negative matrix dimension");
+    n *= dims[d];
+  }
+  size_t bytes = sizeof(mmx_mat) + (size_t)n * mmx_esize(elem);
+  mmx_mat* m = (mmx_mat*)mmx_ms_alloc(bytes);
+  memset(m, 0, sizeof(mmx_mat)); /* header only; every element is stored */
+  m->refcount = 1;
+  m->elem = elem;
+  m->rank = rank;
+  for (int d = 0; d < rank; ++d) m->dims[d] = dims[d];
+  MMX_PROF_ALLOC(bytes);
+  return m;
+}
+)MSU";
+
+// The splice anchors. kMsEsizeLine locates the insertion point for
+// kMsRuntime; kMsCallocLines is the calloc+guard pair replaced (in both
+// mmx_alloc and mmx_alloc_nc) by kMsAllocLines.
+const char* kMsEsizeLine =
+    "static size_t mmx_esize(int elem) { return elem == 2 ? 1 : 4; }\n";
+const char* kMsCallocLines =
+    "  mmx_mat* m = (mmx_mat*)calloc(1, sizeof(mmx_mat) + (size_t)n * "
+    "mmx_esize(elem));\n"
+    "  if (!m) mmx_fail(\"out of memory\");\n";
+const char* kMsAllocLines =
+    "  size_t bytes = sizeof(mmx_mat) + (size_t)n * mmx_esize(elem);\n"
+    "  mmx_mat* m = (mmx_mat*)mmx_ms_alloc(bytes);\n"
+    "  memset(m, 0, bytes);\n";
+
+// Cache-counter lines spliced into kProfDump after the rt.alloc.bytes
+// line when the memsys runtime is present.
+const char* kMsDumpAnchor =
+    "      fprintf(f, \"  \\\"rt.alloc.bytes\\\": %llu,\\n\", "
+    "mmx_prof_alloc_bytes);\n";
+const char* kMsDumpLines =
+    "      fprintf(f, \"  \\\"rt.alloc.cache.cachedBytes\\\": %llu,\\n\",\n"
+    "              __atomic_load_n(&mmx_ms_cached_bytes, __ATOMIC_RELAXED));\n"
+    "      fprintf(f, \"  \\\"rt.alloc.cache.flushes\\\": %llu,\\n\",\n"
+    "              __atomic_load_n(&mmx_ms_flushes, __ATOMIC_RELAXED));\n"
+    "      fprintf(f, \"  \\\"rt.alloc.cache.hits\\\": %llu,\\n\",\n"
+    "              __atomic_load_n(&mmx_ms_hits, __ATOMIC_RELAXED));\n"
+    "      fprintf(f, \"  \\\"rt.alloc.cache.misses\\\": %llu,\\n\",\n"
+    "              __atomic_load_n(&mmx_ms_misses, __ATOMIC_RELAXED));\n";
+
+/// Replaces the first occurrence of `from` in `hay`; false when absent
+/// (a missing splice anchor — reported as an internal emit error).
+bool replaceOnce(std::string& hay, std::string_view from,
+                 std::string_view to) {
+  size_t pos = hay.find(from);
+  if (pos == std::string::npos) return false;
+  hay.replace(pos, from.size(), to);
+  return true;
+}
+
 // mmx_prof runtime (ISSUE 5), emitted BEFORE the prelude when
 // --instrument != off so the MMX_PROF_* hook lines planted in the prelude
 // expand to real code. When instrumentation is off those hook lines are
@@ -553,9 +857,10 @@ public:
             InstrumentMode instr = InstrumentMode::Off,
             const SourceManager* sm = nullptr,
             std::vector<std::string>* siteDecls = nullptr,
-            int* siteId = nullptr)
+            int* siteId = nullptr, bool uninitOk = false)
       : f_(f), errors_(errors), mode_(mode), plan_(plan), instr_(instr),
-        sm_(sm), siteDecls_(siteDecls), siteId_(siteId) {
+        sm_(sm), siteDecls_(siteDecls), siteId_(siteId),
+        uninitOk_(uninitOk) {
     names_.reserve(f.locals.size());
     for (size_t i = 0; i < f.locals.size(); ++i) {
       std::string n;
@@ -829,8 +1134,17 @@ private:
     const std::string& c = e.s;
     auto arg = [&](size_t i) { return expr(*e.args[i]); };
     if (c == "initMatrix") {
-      std::string s = std::string(skip(&e) ? "mmx_allocv_nc(" : "mmx_allocv(") +
-                      arg(0) + ", " + std::to_string(e.args.size() - 1);
+      // Genarray results the shapecheck pass proved fully written take the
+      // uninitialized-allocation path (memsys builds only; mmx_allocv_u is
+      // appended to the appendix exactly when such sites exist). Gated on
+      // the plan being active (mode != On) like borrowedParams: a plan
+      // must not perturb On-mode output.
+      const char* fn = uninitOk_ && mode_ != BoundsCheckMode::On && plan_ &&
+                               plan_->fullyWritten.count(&e)
+                           ? "mmx_allocv_u("
+                           : skip(&e) ? "mmx_allocv_nc(" : "mmx_allocv(";
+      std::string s =
+          std::string(fn) + arg(0) + ", " + std::to_string(e.args.size() - 1);
       for (size_t i = 1; i < e.args.size(); ++i)
         s += ", (long long)(" + arg(i) + ")";
       s += ")";
@@ -1381,6 +1695,7 @@ private:
   const SourceManager* sm_ = nullptr;
   std::vector<std::string>* siteDecls_ = nullptr;
   int* siteId_ = nullptr;
+  bool uninitOk_ = false; // memsys present: fullyWritten sites → mmx_allocv_u
   SourceRange curRange_; // source range of the statement being emitted
   std::ostringstream body_;
   std::vector<std::string> names_;
@@ -1398,6 +1713,12 @@ CEmitResult emitC(const Module& m) { return emitC(m, CEmitOptions{}); }
 CEmitResult emitC(const Module& m, const CEmitOptions& opts) {
   CEmitResult res;
   const bool instr = opts.instrument != InstrumentMode::Off;
+  // "system" keeps the historical calloc/free prelude byte-for-byte; any
+  // other selection splices the mmx_ms_* thread-caching runtime in.
+  const bool useMs = opts.alloc != "system";
+  const bool wantUninit = useMs &&
+                          opts.boundsChecks != BoundsCheckMode::On &&
+                          opts.plan && !opts.plan->fullyWritten.empty();
   std::ostringstream out;
   // Pin the kernel backend the emitted program selects at startup. Under
   // "auto" (the default) nothing is emitted — the prelude's #ifndef
@@ -1415,6 +1736,47 @@ CEmitResult emitC(const Module& m, const CEmitOptions& opts) {
     }
     out << "#define MMX_BACKEND_DEFAULT \"" << opts.backend << "\"\n";
   }
+  // Same for the matrix allocator: an explicit non-system name is baked in
+  // as MMX_ALLOC_DEFAULT; "auto" leaves the runtime $MMX_ALLOC lookup.
+  if (useMs && opts.alloc != "auto" && !opts.alloc.empty()) {
+    bool safe = true;
+    for (char c : opts.alloc)
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '-'))
+        safe = false;
+    if (!safe) {
+      res.errors.push_back("invalid allocator name '" + opts.alloc + "'");
+      return res;
+    }
+    out << "#define MMX_ALLOC_DEFAULT \"" << opts.alloc << "\"\n";
+  }
+  // Prelude/appendix text is assembled into strings first so the memsys
+  // splices can rewrite the allocation sites; --alloc=system skips every
+  // splice, keeping those strings (and so the output) byte-identical to
+  // the historical emitter.
+  std::string prelude =
+      instr ? std::string(kPrelude) : stripProfLines(kPrelude);
+  std::string appendix =
+      instr ? std::string(kAppendix) : stripProfLines(kAppendix);
+  std::string ncAppendix;
+  if (opts.boundsChecks != BoundsCheckMode::On)
+    ncAppendix = instr ? std::string(kNcAppendix) : stripProfLines(kNcAppendix);
+  if (useMs) {
+    bool spliced =
+        replaceOnce(prelude, kMsEsizeLine,
+                    std::string(kMsEsizeLine) + kMsRuntime) &&
+        replaceOnce(prelude, kMsCallocLines, kMsAllocLines) &&
+        replaceOnce(prelude, "    free(m);\n", "    mmx_ms_free(m);\n") &&
+        (ncAppendix.empty() ||
+         replaceOnce(ncAppendix, kMsCallocLines, kMsAllocLines));
+    if (!spliced) {
+      res.errors.push_back(
+          "internal: memsys splice anchor missing from the C prelude");
+      return res;
+    }
+    if (wantUninit)
+      appendix += instr ? std::string(kMsUninit) : stripProfLines(kMsUninit);
+  }
   if (instr) {
     // The prof runtime precedes the prelude: its MMX_PROF_* macros expand
     // the hook lines the prelude carries. When instrumentation is off
@@ -1422,13 +1784,9 @@ CEmitResult emitC(const Module& m, const CEmitOptions& opts) {
     // byte-identical to the uninstrumented emitter.
     if (opts.instrument == InstrumentMode::Trace)
       out << "#define MMX_PROF_WANT_TRACE 1\n";
-    out << kProfRuntime << kPrelude << kAppendix;
-    if (opts.boundsChecks != BoundsCheckMode::On) out << kNcAppendix;
-  } else {
-    out << stripProfLines(kPrelude) << stripProfLines(kAppendix);
-    if (opts.boundsChecks != BoundsCheckMode::On)
-      out << stripProfLines(kNcAppendix);
+    out << kProfRuntime;
   }
+  out << prelude << appendix << ncAppendix;
   out << "\n/* ---- forward declarations ---- */\n";
   for (const auto& f : m.functions)
     out << FnEmitter::signature(*f, nullptr) << ";\n";
@@ -1442,7 +1800,8 @@ CEmitResult emitC(const Module& m, const CEmitOptions& opts) {
   for (const auto& f : m.functions) {
     FnEmitter fe(*f, res.errors, opts.boundsChecks, opts.plan.get(),
                  opts.instrument, opts.sourceManager.get(),
-                 instr ? &siteDecls : nullptr, instr ? &siteId : nullptr);
+                 instr ? &siteDecls : nullptr, instr ? &siteId : nullptr,
+                 useMs);
     std::string body = fe.run();
     // Splice the extra temp declarations after the opening brace, and
     // their releases before the cleanup label's releases.
@@ -1474,11 +1833,22 @@ CEmitResult emitC(const Module& m, const CEmitOptions& opts) {
         << "    &mmx_prof_site_matmul,\n";
     for (int i = 0; i < siteId; ++i)
       out << "    &mmx_prof_site_" << i << ",\n";
-    out << "    0,\n};\n" << kProfDump << "\n";
+    std::string profDump = kProfDump;
+    if (useMs &&
+        !replaceOnce(profDump, kMsDumpAnchor,
+                     std::string(kMsDumpAnchor) + kMsDumpLines)) {
+      res.errors.push_back(
+          "internal: memsys splice anchor missing from the prof dump");
+      return res;
+    }
+    out << "    0,\n};\n" << profDump << "\n";
   }
 
   out << "int main(void) {\n";
   out << "  mmx_backend_select();\n";
+  // Resolve the allocator eagerly too, so an unknown $MMX_ALLOC fails at
+  // startup (exit 3) rather than at the first allocation.
+  if (useMs) out << "  mmx_ms_select();\n";
   if (instr)
     out << "  mmx_prof_t0 = mmx_prof_raw_ns();\n"
         << "  atexit(mmx_prof_dump);\n";

@@ -60,6 +60,16 @@ struct CEmitOptions {
   /// mmx_backend_select() before xc_main(); see DESIGN.md "Kernel backend
   /// registry" for the prelude hook ABI.
   std::string backend = "auto";
+  /// Matrix allocator compiled into the program (ISSUE 9). "system" emits
+  /// the historical calloc/free prelude byte-for-byte — the compatibility
+  /// pin. Any other value splices the mmx_ms_* thread-caching runtime into
+  /// the prelude: "auto" (the default) consults $MMX_ALLOC at startup and
+  /// otherwise uses the cache strategy; an explicit name is baked in as
+  /// MMX_ALLOC_DEFAULT. The mmx_ms_* policy constants mirror
+  /// src/runtime/memsys.cpp verbatim (see its header comment) so the
+  /// rt.alloc.cache.* counters match the interpreter exactly on
+  /// single-threaded runs.
+  std::string alloc = "auto";
 };
 
 /// Emits the module as a C99 translation unit. Compile with:

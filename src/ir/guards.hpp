@@ -30,6 +30,11 @@ struct GuardPlan {
   /// writes through, so the entry retain / cleanup release pair can go
   /// (the caller's reference keeps the value alive for the whole call).
   std::map<const Function*, std::set<int32_t>> borrowedParams;
+  /// initMatrix Call-expr addresses (genarray results) whose following
+  /// loop nest provably stores to every element (lo == 0 and hi == shape
+  /// in every dimension), so the backends may allocate the result
+  /// uninitialized instead of zero-filling it first.
+  std::unordered_set<const void*> fullyWritten;
 
   bool blessed(const void* node) const { return safe.count(node) != 0; }
 };

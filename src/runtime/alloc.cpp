@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "runtime/memsys.hpp"
 #include "support/metrics.hpp"
 
 namespace mmx::rt {
@@ -41,6 +42,21 @@ int bucketFor(size_t bytes) {
   return b;
 }
 size_t bucketBytes(int b) { return size_t{16} << b; }
+
+// cachedBytes gauges so long-running stats stay truthful across trims
+// (ISSUE 9 satellite): polled at snapshot time, maintained by the
+// allocators' atomics.
+struct AllocGaugeRegistrar {
+  AllocGaugeRegistrar() {
+    metrics::registerGauge("rt.alloc.mutex.cachedBytes", [] {
+      return MutexAllocator::instance().cachedBytes();
+    });
+    metrics::registerGauge("rt.alloc.arena.cachedBytes", [] {
+      return ArenaAllocator::instance().cachedBytes();
+    });
+  }
+};
+const AllocGaugeRegistrar g_allocGaugeRegistrar;
 } // namespace
 
 MutexAllocator& MutexAllocator::instance() {
@@ -61,6 +77,7 @@ void* MutexAllocator::allocate(size_t bytes) {
   if (blk) {
     freeList_[b] = blk->next;
     mutexReuseCounter().add();
+    cachedBytes_.fetch_sub(bucketBytes(b), std::memory_order_relaxed);
   } else {
     blk = static_cast<Block*>(::operator new(bucketBytes(b),
                                              std::align_val_t{16}));
@@ -78,6 +95,7 @@ void MutexAllocator::deallocate(void* p) {
   mutexLockCounter().add();
   blk->next = freeList_[b];
   freeList_[b] = blk;
+  cachedBytes_.fetch_add(bucketBytes(b), std::memory_order_relaxed);
 }
 
 void MutexAllocator::trim() {
@@ -86,11 +104,13 @@ void MutexAllocator::trim() {
     Block* blk = freeList_[b];
     while (blk) {
       Block* next = blk->next;
+      cachedBytes_.fetch_sub(bucketBytes(b), std::memory_order_relaxed);
       ::operator delete(blk, std::align_val_t{16});
       blk = next;
     }
     freeList_[b] = nullptr;
   }
+  noteAllocTrim();
 }
 
 ArenaAllocator& ArenaAllocator::instance() {
@@ -126,6 +146,7 @@ void* ArenaAllocator::allocate(size_t bytes) {
                                            std::align_val_t{16}));
     arenaChunkCounter().add();
     arenaChunkBytesCounter().add(cap);
+    heldBytes_.fetch_add(cap, std::memory_order_relaxed);
     c->next = a.head;
     c->used = 0;
     c->cap = cap;
@@ -144,11 +165,13 @@ void ArenaAllocator::reset() {
     Chunk* c = a->head;
     while (c) {
       Chunk* next = c->next;
+      heldBytes_.fetch_sub(c->cap, std::memory_order_relaxed);
       ::operator delete(c, std::align_val_t{16});
       c = next;
     }
     a->head = nullptr;
   }
+  noteAllocTrim();
 }
 
 size_t ArenaAllocator::chunkCount() const {

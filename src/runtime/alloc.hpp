@@ -5,6 +5,7 @@
 // cells (refcount.hpp) can be pointed at either via setRcAllocHooks.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -21,10 +22,17 @@ public:
   void* allocate(size_t bytes);
   void deallocate(void* p);
 
-  /// Frees everything on the free lists (between bench runs).
+  /// Frees everything on the free lists (between bench runs). Bumps the
+  /// rt.alloc.trims gauge and drops rt.alloc.mutex.cachedBytes to zero.
   void trim();
 
   uint64_t lockAcquisitions() const { return acquisitions_; }
+
+  /// Bytes currently parked on the free lists (also the
+  /// rt.alloc.mutex.cachedBytes gauge).
+  uint64_t cachedBytes() const {
+    return cachedBytes_.load(std::memory_order_relaxed);
+  }
 
 private:
   MutexAllocator() = default;
@@ -39,6 +47,7 @@ private:
   std::mutex mu_;
   Block* freeList_[kBuckets] = {};
   uint64_t acquisitions_ = 0;
+  std::atomic<uint64_t> cachedBytes_{0};
 };
 
 /// Per-thread bump arenas: allocation is lock-free (thread-local chunk),
@@ -53,10 +62,17 @@ public:
   void deallocate(void* p) noexcept;
 
   /// Releases every thread's chunks. Call only while no other thread is
-  /// allocating (quiescent points between parallel regions).
+  /// allocating (quiescent points between parallel regions). Bumps the
+  /// rt.alloc.trims gauge and drops rt.alloc.arena.cachedBytes to zero.
   void reset();
 
   size_t chunkCount() const;
+
+  /// Bytes currently held in arena chunks (also the
+  /// rt.alloc.arena.cachedBytes gauge).
+  uint64_t cachedBytes() const {
+    return heldBytes_.load(std::memory_order_relaxed);
+  }
 
 private:
   ArenaAllocator() = default;
@@ -83,6 +99,7 @@ private:
   // Registry of all thread arenas so reset() can reach them.
   std::mutex registryMu_;
   std::vector<ThreadArena*> arenas_;
+  std::atomic<uint64_t> heldBytes_{0};
 };
 
 // C-style hooks matching rt::RcAllocHooks.

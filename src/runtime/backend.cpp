@@ -15,6 +15,7 @@
 
 #include "runtime/ew_ops.hpp"
 #include "runtime/gemm.hpp"
+#include "runtime/memsys.hpp"
 #include "runtime/simd.hpp"
 #include "support/metrics.hpp"
 
@@ -429,6 +430,7 @@ BackendOverride::~BackendOverride() { selectBackend(prev_); }
 
 std::unique_ptr<Executor> RuntimeConfig::make() const {
   selectBackend(backend);
+  selectAllocator(alloc);
   return makeExecutor(executor, threads);
 }
 
@@ -445,7 +447,9 @@ Matrix matmul(Executor& exec, const Matrix& a, const Matrix& b) {
   metrics::ScopedTimer tb(be.matmulTimerName(), "kernel");
   metrics::counter(be.selectedCounterName()).add();
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Matrix out = Matrix::zeros(a.elem(), {m, n});
+  // Parallel first-touch zeroing: large C pages land on the threads that
+  // will accumulate into them.
+  Matrix out = Matrix::zeros(a.elem(), {m, n}, exec);
   if (a.elem() == Elem::F32)
     be.gemmF32(exec, a.f32(), b.f32(), out.f32(), m, k, n);
   else

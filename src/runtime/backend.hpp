@@ -149,9 +149,10 @@ struct RuntimeConfig {
   ExecutorKind executor = ExecutorKind::Serial;
   unsigned threads = 1;
   std::string backend = "auto"; // registry name or "auto"
+  std::string alloc = "auto";   // matrix allocator name or "auto" (memsys)
 
-  /// Applies the backend selection process-wide (throws like
-  /// selectBackend) and builds the executor.
+  /// Applies the backend and allocator selections process-wide (throws
+  /// like selectBackend / selectAllocator) and builds the executor.
   std::unique_ptr<Executor> make() const;
 };
 

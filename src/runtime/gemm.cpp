@@ -219,6 +219,26 @@ void panelI32(const int32_t* Ap, int64_t kcLen, int64_t mc,
                    ldc, std::min(GB::MR, mc - ir), nr);
 }
 
+// ---- pack-buffer slabs ------------------------------------------------
+// Reusable per-thread scratch for the packed A/B panels (ISSUE 9): the
+// blocked driver used to `new T[]` both packs on every call, which under
+// matmul churn dominated the allocator and re-faulted the pages each
+// time. The slab grows monotonically and is reused by every subsequent
+// GEMM on the calling thread (gemmBlocked is not reentrant per thread).
+// Contents are never read before being packed, so reuse is bit-invisible.
+template <class T> T* packSlab(size_t elems) {
+  struct Slab {
+    std::unique_ptr<T[]> buf;
+    size_t cap = 0;
+  };
+  thread_local Slab s;
+  if (s.cap < elems) {
+    s.buf.reset(new T[elems]);
+    s.cap = elems;
+  }
+  return s.buf.get();
+}
+
 // ---- blocked driver ---------------------------------------------------
 // For each KC-deep panel: (1) pack every A row-panel and B col-panel once,
 // in parallel; (2) walk the (row-panel x col-panel) tile grid in parallel,
@@ -230,8 +250,10 @@ void gemmBlocked(Executor& exec, const T* A, const T* B, T* C, int64_t m,
   const int64_t numIc = ceilDiv(m, GB::MC), numJc = ceilDiv(n, GB::NC);
   const int64_t aTileStride = GB::MC * GB::KC; // MC is a multiple of MR
   const int64_t bTileStride = GB::NC * GB::KC; // NC is a multiple of NR
-  std::unique_ptr<T[]> Apack(new T[numIc * aTileStride]);
-  std::unique_ptr<T[]> Bpack(new T[numJc * bTileStride]);
+  const size_t aElems = static_cast<size_t>(numIc) * aTileStride;
+  T* slab = packSlab<T>(aElems + static_cast<size_t>(numJc) * bTileStride);
+  T* const Apack = slab;
+  T* const Bpack = slab + aElems;
 
   for (int64_t kc = 0; kc < k; kc += GB::KC) {
     const int64_t kcLen = std::min(GB::KC, k - kc);
@@ -243,11 +265,11 @@ void gemmBlocked(Executor& exec, const T* A, const T* B, T* C, int64_t m,
                  if (t < numIc) {
                    int64_t ic = t * GB::MC;
                    packA(A + ic * k + kc, k, std::min(GB::MC, m - ic), kcLen,
-                         Apack.get() + t * aTileStride);
+                         Apack + t * aTileStride);
                  } else {
                    int64_t jc = (t - numIc) * GB::NC;
                    packB(B + kc * n + jc, n, kcLen, std::min(GB::NC, n - jc),
-                         Bpack.get() + (t - numIc) * bTileStride);
+                         Bpack + (t - numIc) * bTileStride);
                  }
                }
              });
@@ -265,8 +287,8 @@ void gemmBlocked(Executor& exec, const T* A, const T* B, T* C, int64_t m,
                  int64_t ic = icT * GB::MC, jc = jcT * GB::NC;
                  int64_t mc = std::min(GB::MC, m - ic);
                  int64_t nc = std::min(GB::NC, n - jc);
-                 const T* Ap = Apack.get() + icT * aTileStride;
-                 const T* Bp = Bpack.get() + jcT * bTileStride;
+                 const T* Ap = Apack + icT * aTileStride;
+                 const T* Bp = Bpack + jcT * bTileStride;
                  for (int64_t jr = 0; jr < nc; jr += GB::NR) {
                    int64_t nr = std::min(GB::NR, nc - jr);
                    const T* Bs = Bp + (jr / GB::NR) * (GB::NR * kcLen);

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/pool.hpp"
+
 namespace mmx::rt {
 
 size_t elemSize(Elem e) {
@@ -34,18 +36,48 @@ static int64_t countOf(const std::vector<int64_t>& dims) {
   return n;
 }
 
-Matrix Matrix::zeros(Elem e, const std::vector<int64_t>& dims) {
+Matrix Matrix::uninit(Elem e, const std::vector<int64_t>& dims) {
   if (dims.empty() || dims.size() > kMaxRank)
     throw std::invalid_argument("matrix rank must be 1.." +
                                 std::to_string(kMaxRank));
   int64_t n = countOf(dims);
   size_t bytes = sizeof(Header) + static_cast<size_t>(n) * elemSize(e);
-  RcPtr<char> buf = RcPtr<char>::allocate(bytes); // zero-initialized
+  RcPtr<char> buf = RcPtr<char>::allocateUninit(bytes);
   Matrix m(std::move(buf));
   Header* h = m.hdr();
+  std::memset(h, 0, sizeof(Header)); // padding + unused dims deterministic
   h->elem = e;
   h->rank = static_cast<uint32_t>(dims.size());
   for (size_t i = 0; i < dims.size(); ++i) h->dims[i] = dims[i];
+  return m;
+}
+
+Matrix Matrix::zeros(Elem e, const std::vector<int64_t>& dims) {
+  Matrix m = uninit(e, dims);
+  std::memset(m.data<char>(), 0,
+              static_cast<size_t>(m.size()) * elemSize(e));
+  return m;
+}
+
+Matrix Matrix::zeros(Elem e, const std::vector<int64_t>& dims,
+                     Executor& exec) {
+  Matrix m = uninit(e, dims);
+  size_t bytes = static_cast<size_t>(m.size()) * elemSize(e);
+  if (bytes < kParallelZeroBytes || exec.threads() <= 1) {
+    std::memset(m.data<char>(), 0, bytes);
+    return m;
+  }
+  // 1 MiB chunks: large enough that the pool round-trip amortizes, small
+  // enough that every worker touches a share of the pages.
+  constexpr size_t kChunk = size_t{1} << 20;
+  char* d = m.data<char>();
+  int64_t chunks = static_cast<int64_t>((bytes + kChunk - 1) / kChunk);
+  exec.run(0, chunks, [d, bytes](int64_t lo, int64_t hi, unsigned) {
+    size_t from = static_cast<size_t>(lo) * kChunk;
+    size_t to = static_cast<size_t>(hi) * kChunk;
+    if (to > bytes) to = bytes;
+    std::memset(d + from, 0, to - from);
+  });
   return m;
 }
 

@@ -15,6 +15,8 @@
 
 namespace mmx::rt {
 
+class Executor;
+
 /// Element kinds supported by the extension ("matrices can only contain
 /// integers, booleans, or floating point numbers").
 enum class Elem : uint8_t { I32, F32, Bool };
@@ -32,6 +34,24 @@ public:
 
   /// Zero-initialized matrix (the extension's init()).
   static Matrix zeros(Elem e, const std::vector<int64_t>& dims);
+
+  /// zeros() with parallel first-touch: buffers at least
+  /// kParallelZeroBytes of data are zeroed in chunks through `exec`, so
+  /// pages land in the NUMA domains of the threads that will compute on
+  /// them. Must not be called from inside a parallel region (the pool is
+  /// not nest-safe); bit-identical to the serial zeros().
+  static Matrix zeros(Elem e, const std::vector<int64_t>& dims,
+                      Executor& exec);
+
+  /// Matrix with a fully-formed header but *uninitialized* element data.
+  /// Only for results the caller provably writes in full before any read
+  /// (genarray results the shape analysis marks fullyWritten): first
+  /// touch then happens on the computing threads, and the zeroing pass is
+  /// skipped entirely.
+  static Matrix uninit(Elem e, const std::vector<int64_t>& dims);
+
+  /// Parallel first-touch threshold (4 MiB of element data).
+  static constexpr size_t kParallelZeroBytes = size_t{4} << 20;
 
   /// Convenience constructors used by tests and examples.
   static Matrix fromF32(const std::vector<int64_t>& dims,

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "runtime/memsys.hpp"
 #include "support/metrics.hpp"
 
 namespace mmx::rt {
@@ -63,9 +64,12 @@ RcHeader* headerOf(const void* payload) noexcept {
   return const_cast<RcHeader*>(reinterpret_cast<const RcHeader*>(payload) - 1);
 }
 
+// Explicit hooks take absolute precedence (the bench/test redirection
+// surface); otherwise blocks come from the memory subsystem, whose
+// per-block tag keeps frees safe across --alloc strategy changes.
 void* rawAlloc(size_t bytes) {
   if (g_hooks.alloc) return g_hooks.alloc(bytes);
-  return ::operator new(bytes, std::align_val_t{16});
+  return msAlloc(bytes);
 }
 
 void rawFree(void* p) {
@@ -73,7 +77,7 @@ void rawFree(void* p) {
     g_hooks.free(p);
     return;
   }
-  ::operator delete(p, std::align_val_t{16});
+  msFree(p);
 }
 
 } // namespace

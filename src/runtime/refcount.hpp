@@ -8,6 +8,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <type_traits>
 
 namespace mmx::rt {
 
@@ -53,11 +55,22 @@ template <class T> class RcPtr {
 
 public:
   RcPtr() = default;
-  /// Allocates n elements (zero-initialized).
+  /// Allocates n elements (zero-initialized). T is a trivially-copyable
+  /// scalar, so all-zero-bytes IS value initialization — one memset
+  /// instead of the historical element-by-element `T{}` loop.
   static RcPtr allocate(size_t n) {
+    RcPtr p = allocateUninit(n);
+    std::memset(p.ptr_, 0, n * sizeof(T));
+    return p;
+  }
+
+  /// Allocates n elements without touching the payload. For buffers the
+  /// caller provably writes in full before any read (genarray results the
+  /// shape analysis marks fullyWritten, pack buffers): skips the zeroing
+  /// pass so first touch happens on the thread that computes each page.
+  static RcPtr allocateUninit(size_t n) {
     RcPtr p;
     p.ptr_ = static_cast<T*>(rcAlloc(n * sizeof(T)));
-    for (size_t i = 0; i < n; ++i) p.ptr_[i] = T{};
     return p;
   }
 

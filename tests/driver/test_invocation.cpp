@@ -184,6 +184,52 @@ TEST(CompilerInvocation, HelpListsRegisteredBackendNames) {
         << name << " missing from --backend help";
 }
 
+TEST(CompilerInvocation, AllocFlagParsesBothArgvSpellings) {
+  // ISSUE 9: --alloc selects the matrix allocator, mirroring --backend.
+  CompilerInvocation joined;
+  auto r = parse(joined, {"p.xc", "--alloc=arena"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(joined.alloc, "arena");
+
+  CompilerInvocation spaced;
+  r = parse(spaced, {"p.xc", "--alloc", "cache"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(spaced.alloc, "cache");
+
+  CompilerInvocation dflt;
+  ASSERT_TRUE(parse(dflt, {"p.xc"}).ok);
+  EXPECT_EQ(dflt.alloc, "auto");
+
+  CompilerInvocation missing;
+  EXPECT_FALSE(parse(missing, {"p.xc", "--alloc"}).ok);
+
+  // Like --backend, names validate in the driver (structured diagnostic
+  // with the available list), not at argv-parse time.
+  CompilerInvocation unknown;
+  r = parse(unknown, {"p.xc", "--alloc=definitely-not-an-allocator"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(unknown.alloc, "definitely-not-an-allocator");
+}
+
+TEST(CompilerInvocation, HelpListsRegisteredAllocatorNames) {
+  std::string help = CompilerInvocation::helpText();
+  EXPECT_NE(help.find("--alloc"), std::string::npos);
+  for (const char* name : {"system", "cache", "arena"})
+    EXPECT_NE(help.find(name), std::string::npos)
+        << name << " missing from --alloc help";
+}
+
+TEST(CompilerInvocation, RuntimeConfigCarriesAllocator) {
+  CompilerInvocation inv;
+  auto r = parse(inv, {"p.xc", "--alloc=cache"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(inv.runtimeConfig().alloc, "cache");
+
+  CompilerInvocation dflt;
+  ASSERT_TRUE(parse(dflt, {"p.xc"}).ok);
+  EXPECT_EQ(dflt.runtimeConfig().alloc, "auto");
+}
+
 TEST(CompilerInvocation, RuntimeConfigCarriesBackendAndExecutor) {
   CompilerInvocation inv;
   auto r = parse(inv, {"p.xc", "--threads", "4", "--backend=scalar"});

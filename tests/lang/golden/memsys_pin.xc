@@ -1,0 +1,18 @@
+// Golden source for the --alloc=system byte-identity pin (see
+// test_cemit.cpp AllocSystemEmissionIsByteIdenticalToGolden). Deterministic
+// and file-free: a parallel genarray chain, a matmul, and a fold, so the
+// emitted program exercises mmx_alloc/mmx_release, the with-loop
+// lowering, and the kernel prelude without embedding any host paths.
+// memsys_pin.c next to this file is the seed emission at default flags;
+// emitting with alloc="system" must reproduce it byte for byte.
+int main() {
+  int n = 24;
+  Matrix float <2> a = init(Matrix float <2>, n, n);
+  Matrix float <2> b = init(Matrix float <2>, n, n);
+  a = with ([0,0] <= [i,j] < [n,n]) genarray([n,n], i * 0.5 + j * 0.25);
+  b = with ([0,0] <= [i,j] < [n,n]) genarray([n,n], (i + 1) * 1.0 / (j + 1));
+  Matrix float <2> c = a * b;
+  float total = with ([0,0] <= [x,y] < [n,n]) fold(+, 0.0, c[x, y]);
+  printFloat(total / (n * n));
+  return 0;
+}

@@ -10,6 +10,7 @@
 
 #include "ir/cemit.hpp"
 #include "runtime/backend.hpp"
+#include "runtime/memsys.hpp"
 #include "runtime/matio.hpp"
 #include "runtime/ssh_synth.hpp"
 #include "xc_helper.hpp"
@@ -495,6 +496,176 @@ TEST(CEmit, MatmulBackendPinnedAtEmitTime) {
   bad.backend = "no\"good";
   auto cBad = ir::emitC(*res.module, bad);
   EXPECT_FALSE(cBad.ok);
+}
+
+// ---- memory subsystem (ISSUE 9) -----------------------------------------
+
+std::string slurpFile(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Extracts one "key": N counter from flat stats JSON; -1 when absent.
+long long jsonCounter(const std::string& json, const std::string& key) {
+  size_t pos = json.find("\"" + key + "\"");
+  if (pos == std::string::npos) return -1;
+  pos = json.find(':', pos);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(json.c_str() + pos + 1, nullptr, 10);
+}
+
+/// A program whose matrices live and die inside a called function: the
+/// emitted C releases its temps at function cleanup, so its alloc/free
+/// sequence (and thus the cache counters) lines up with the interpreter's
+/// eager releases exactly.
+const char* kAllocChurnProgram = R"(
+float work(int n) {
+  Matrix float <1> t = init(Matrix float <1>, n);
+  t = with ([0] <= [i] < [n]) genarray([n], i * 0.5);
+  float s = with ([0] <= [j] < [n]) fold(+, 0.0, t[j]);
+  return s;
+}
+
+int main() {
+  float acc = 0.0;
+  for (int r = 0; r < 6; r = r + 1) {
+    acc = acc + work(32 + r);
+  }
+  printFloat(acc);
+  return 0;
+})";
+
+TEST(CEmit, AllocSystemEmissionIsByteIdenticalToGolden) {
+  // --alloc=system is the compatibility pin: its output must match the
+  // pre-memsys emitter byte for byte (golden captured from the seed).
+  std::string src = slurpFile(std::string(MMX_GOLDEN_DIR) + "/memsys_pin.xc");
+  std::string golden = slurpFile(std::string(MMX_GOLDEN_DIR) + "/memsys_pin.c");
+  ASSERT_FALSE(src.empty());
+  ASSERT_FALSE(golden.empty());
+  auto res = translateXc(src);
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  ir::CEmitOptions sys;
+  sys.boundsChecks = res.boundsChecks;
+  sys.plan = res.guardPlan;
+  sys.alloc = "system";
+  auto c = ir::emitC(*res.module, sys);
+  ASSERT_TRUE(c.ok) << (c.errors.empty() ? "" : c.errors.front());
+  EXPECT_EQ(c.code, golden);
+  EXPECT_EQ(c.code.find("mmx_ms_"), std::string::npos);
+
+  // The default (auto) emission carries the thread-caching runtime and
+  // the uninitialized path for the proven fully-written genarrays.
+  ir::CEmitOptions dflt;
+  dflt.boundsChecks = res.boundsChecks;
+  dflt.plan = res.guardPlan;
+  auto cMs = ir::emitC(*res.module, dflt);
+  ASSERT_TRUE(cMs.ok);
+  EXPECT_NE(cMs.code.find("mmx_ms_alloc"), std::string::npos);
+  EXPECT_NE(cMs.code.find("mmx_allocv_u"), std::string::npos);
+  EXPECT_EQ(cMs.code.find("calloc"), std::string::npos);
+}
+
+TEST(CEmit, AllocSelectableViaEnvAndNumericallyIdentical) {
+  // Every $MMX_ALLOC strategy must run and print the same bytes as the
+  // interpreter — the allocator may never change numerics.
+  std::string c = emitOk(kAllocChurnProgram);
+  ASSERT_FALSE(c.empty());
+  EXPECT_NE(c.find("mmx_ms_select"), std::string::npos);
+  std::string interp = runOk(kAllocChurnProgram);
+  ASSERT_FALSE(interp.empty());
+  for (const char* alloc : {"system", "cache", "arena", "auto"})
+    EXPECT_EQ(compileAndRun(c, (std::string("alloc_") + alloc).c_str(),
+                            "-fopenmp", std::string("MMX_ALLOC=") + alloc + " "),
+              interp)
+        << "allocator " << alloc;
+}
+
+TEST(CEmit, AllocUnknownEnvNameFailsAtStartup) {
+  std::string c = emitOk(kAllocChurnProgram);
+  ASSERT_FALSE(c.empty());
+  std::string base = std::string(::testing::TempDir()) + "cemit_msu";
+  std::ofstream(base + ".c") << c;
+  ASSERT_EQ(std::system(("cc -O2 -std=gnu99 -msse4.2 -fopenmp " + base +
+                         ".c -o " + base + ".bin -lm 2>" + base + ".err")
+                            .c_str()),
+            0);
+  int rc = std::system(("MMX_ALLOC=bogus " + base + ".bin >" + base +
+                        ".out 2>" + base + ".err2")
+                           .c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 3); // mmx_fail's runtime-error exit code
+  std::string msg = slurpFile(base + ".err2");
+  EXPECT_NE(msg.find("unknown allocator 'bogus'"), std::string::npos) << msg;
+  // Fails at startup: nothing was printed before the diagnostic.
+  EXPECT_EQ(slurpFile(base + ".out"), "");
+  for (const char* ext : {".c", ".bin", ".err", ".err2", ".out"})
+    std::remove((base + ext).c_str());
+}
+
+TEST(CEmit, AllocPinnedAtEmitTime) {
+  // --alloc=<name> bakes MMX_ALLOC_DEFAULT into the program: the
+  // compiled-in pin wins over the environment.
+  auto res = translateXc(kAllocChurnProgram);
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  ir::CEmitOptions eo;
+  eo.boundsChecks = res.boundsChecks;
+  eo.plan = res.guardPlan;
+  eo.alloc = "arena";
+  auto c = ir::emitC(*res.module, eo);
+  ASSERT_TRUE(c.ok) << (c.errors.empty() ? "" : c.errors.front());
+  EXPECT_EQ(c.code.rfind("#define MMX_ALLOC_DEFAULT \"arena\"", 0), 0u);
+  EXPECT_EQ(compileAndRun(c.code, "msp", "-fopenmp", "MMX_ALLOC=bogus "),
+            runOk(kAllocChurnProgram));
+
+  ir::CEmitOptions bad;
+  bad.alloc = "no\"good";
+  auto cBad = ir::emitC(*res.module, bad);
+  EXPECT_FALSE(cBad.ok);
+}
+
+TEST(CEmit, CacheCountersMatchInterpreterExactly) {
+  // The machine-independent rt.alloc.cache.* counters must agree between
+  // the interpreter and the emitted C on a single-threaded run: the
+  // emitted mmx_ms_* runtime mirrors memsys.cpp's size-class math and
+  // magazine/depot policy verbatim (classifying on bytes + 32 so both
+  // backends see identical class sequences).
+  rt::AllocatorOverride pin("cache");
+  rt::msTrim(); // empty magazines: the same cold start the binary gets
+  rt::MsCacheStats before = rt::msCacheStats();
+  RunOutcome interp = runXc(kAllocChurnProgram);
+  ASSERT_TRUE(interp.ran) << interp.diagnostics << interp.runtimeError;
+  rt::MsCacheStats after = rt::msCacheStats();
+
+  auto res = translateXc(kAllocChurnProgram);
+  ASSERT_TRUE(res.ok) << res.renderDiagnostics();
+  ir::CEmitOptions eo;
+  eo.boundsChecks = res.boundsChecks;
+  eo.plan = res.guardPlan;
+  eo.instrument = ir::InstrumentMode::Counters;
+  auto c = ir::emitC(*res.module, eo);
+  ASSERT_TRUE(c.ok) << (c.errors.empty() ? "" : c.errors.front());
+
+  TempPath json("cemit_mspar.json");
+  // MMX_ALLOC pinned explicitly: the ambient environment (the CI
+  // sanitizer matrix exports MMX_ALLOC) must not steer the binary away
+  // from the strategy the interpreter side was measured under.
+  EXPECT_EQ(compileAndRun(c.code, "mspar", "-fopenmp",
+                          "MMX_ALLOC=cache OMP_NUM_THREADS=1 MMX_PROF_JSON=" +
+                              json.path + " "),
+            interp.output);
+  std::string stats = slurpFile(json.path);
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(jsonCounter(stats, "rt.alloc.cache.hits"),
+            static_cast<long long>(after.hits - before.hits));
+  EXPECT_EQ(jsonCounter(stats, "rt.alloc.cache.misses"),
+            static_cast<long long>(after.misses - before.misses));
+  EXPECT_EQ(jsonCounter(stats, "rt.alloc.cache.flushes"),
+            static_cast<long long>(after.flushes - before.flushes));
+  // Both sides snapshot after every program matrix died, with magazines
+  // intact: the parked bytes agree too (cachedBytes was 0 post-trim).
+  EXPECT_EQ(jsonCounter(stats, "rt.alloc.cache.cachedBytes"),
+            static_cast<long long>(after.cachedBytes));
 }
 
 TEST(CEmit, RefcountProgramCompiles) {
