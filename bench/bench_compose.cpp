@@ -14,6 +14,8 @@
 #include "ext_tuple/tuple_ext.hpp"
 #include "bench_stats.hpp"
 #include "parse/lalr.hpp"
+#include "runtime/pool.hpp"
+#include "support/metrics.hpp"
 
 namespace mmx::bench {
 namespace {
@@ -84,6 +86,35 @@ void BM_ParseThroughput(benchmark::State& state) {
   state.SetBytesProcessed(int64_t(state.iterations()) * src.size());
 }
 BENCHMARK(BM_ParseThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_MetricsOverhead(benchmark::State& state) {
+  // ISSUE 10 satellite: the telemetry tax. The same interpreted Fig. 1
+  // with-loop chain runs with the registry dark (Arg 0) and fully lit
+  // (Arg 1) — every counter, timer, and histogram hit in the hot paths
+  // (pool task latency, allocation size classes, kernel spans) firing on
+  // the enabled leg. CI divides the two rows and pins the enabled run at
+  // < 3% over baseline; a histogram hit that grows a lock or an
+  // allocation shows up here before it shows up in a profile.
+  bool lit = state.range(0) != 0;
+  static auto mod = compile(temporalMeanProgram(32, 64, 32, "", 2));
+  std::unique_ptr<rt::Executor> exec =
+      rt::makeExecutor(rt::ExecutorKind::Serial, 1);
+  bool was = metrics::enabled();
+  metrics::enable(lit);
+  for (auto _ : state) runOn(*mod, *exec);
+  metrics::enable(was);
+  state.counters["metricsEnabled"] = lit ? 1 : 0;
+  if (lit) {
+    // Attach the histogram row the enabled leg produced, so the baseline
+    // check sees the instrumentation actually fired (schema signal, not
+    // a timing one).
+    metrics::Snapshot snap = metrics::snapshot();
+    for (const auto& h : snap.histograms)
+      if (h.name == "rt.alloc.size")
+        state.counters["rt.alloc.size.count"] = double(h.count);
+  }
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_WelldefAnalysis(benchmark::State& state) {
   grammar::Grammar g;

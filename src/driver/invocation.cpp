@@ -240,6 +240,10 @@ const std::vector<FlagSpec>& flagTable() {
          inv.traceJsonPath = v;
          return {};
        }},
+      {"--perf-counters", nullptr,
+       "sample hardware PMU counters (cycles, instructions, cache/branch "
+       "misses) around kernel spans; skips gracefully when unavailable",
+       set(&CompilerInvocation::perfCounters, true)},
       {"--help", nullptr, "show this help",
        set(&CompilerInvocation::showHelp, true)},
   };

@@ -32,10 +32,12 @@ struct CompilerInvocation {
   std::string backend = "auto";  // --backend: kernel backend name or "auto"
   std::string alloc = "auto";    // --alloc: matrix allocator name or "auto"
 
-  // Observability (ISSUE 2).
+  // Observability (ISSUE 2, ISSUE 10).
   bool timeReport = false;       // --time-report: human table on stderr
   std::string statsJsonPath;     // --stats-json <file>: flat counters
   std::string traceJsonPath;     // --trace-json <file>: Chrome trace events
+  bool perfCounters = false;     // --perf-counters: PMU sampling around
+                                 //   kernel spans (perf_event_open)
 
   // Runtime profiling compiled into emitted C (ISSUE 5). Off leaves the
   // --emit-c output byte-identical to an uninstrumented build.
@@ -43,8 +45,10 @@ struct CompilerInvocation {
 
   /// True when any observability output was requested (the metrics
   /// registry is only enabled in that case — no-op otherwise).
+  /// --perf-counters counts: its pmu.* rows land in the same registry.
   bool metricsRequested() const {
-    return timeReport || !statsJsonPath.empty() || !traceJsonPath.empty();
+    return timeReport || !statsJsonPath.empty() || !traceJsonPath.empty() ||
+           perfCounters;
   }
 
   /// The runtime configuration this invocation resolves to: --executor

@@ -7,9 +7,13 @@
 // Observability: --time-report prints a phase/counters table to stderr;
 // --stats-json <file> writes flat counters; --trace-json <file> writes
 // Chrome trace-event JSON (open in about:tracing or Perfetto).
+#include <atomic>
+#include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string_view>
 
 #include "driver/invocation.hpp"
 #include "driver/translator.hpp"
@@ -20,8 +24,10 @@
 #include "interp/interp.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/memsys.hpp"
+#include "support/crash.hpp"
 #include "support/diag.hpp"
 #include "support/metrics.hpp"
+#include "support/perf.hpp"
 
 namespace {
 
@@ -31,10 +37,19 @@ int usage(const std::string& problem) {
   return 2;
 }
 
+// Abnormal-exit flush state (ISSUE 10 satellite): every controlled path
+// calls emitMetrics directly; the atexit/terminate hooks below catch the
+// rest (exit() from a library, an unhandled exception, mmx_fail-style
+// aborts) so --stats-json is not silently lost.
+const mmx::driver::CompilerInvocation* g_flushInv = nullptr;
+std::atomic<bool> g_metricsFlushed{false};
+
 /// Writes the requested observability outputs; returns false (with a
 /// message on stderr) when a file cannot be written.
 bool emitMetrics(const mmx::driver::CompilerInvocation& inv) {
+  mmx::metrics::stopIntervalExport(); // final JSONL delta before the dump
   if (!inv.metricsRequested()) return true;
+  if (g_metricsFlushed.exchange(true)) return true; // already written
   // Under --analyze, include zero-valued counters: consumers of the
   // per-pass sections (opt.*, shapecheck.*) key off their presence.
   mmx::metrics::Snapshot snap = mmx::metrics::snapshot(inv.analyze);
@@ -58,16 +73,54 @@ bool emitMetrics(const mmx::driver::CompilerInvocation& inv) {
   return true;
 }
 
+void flushMetricsAtExit() {
+  if (g_flushInv) emitMetrics(*g_flushInv);
+}
+
+/// Starts the continuous exporter (ISSUE 10 pillar 4) when
+/// $MMX_STATS_INTERVAL_MS is a positive integer. The JSONL lands at
+/// $MMX_STATS_JSONL (default mmx_stats.jsonl). Implies metrics.
+bool maybeStartIntervalExport() {
+  const char* ms = std::getenv("MMX_STATS_INTERVAL_MS");
+  if (!ms || !*ms) return false;
+  long interval = std::strtol(ms, nullptr, 10);
+  if (interval <= 0) return false;
+  const char* path = std::getenv("MMX_STATS_JSONL");
+  mmx::metrics::enable(true);
+  return mmx::metrics::startIntervalExport(
+      path && *path ? path : "mmx_stats.jsonl",
+      static_cast<unsigned>(interval));
+}
+
+/// Deliberate-fault hook for the crash-recorder fixtures: translating a
+/// real program first gives the dump counters and spans to carry.
+void maybeDebugCrash() {
+  const char* mode = std::getenv("MMX_DEBUG_CRASH");
+  if (!mode) return;
+  if (std::string_view(mode) == "segv") {
+    volatile int* p = nullptr;
+    *p = 42; // SIGSEGV through the installed flight recorder
+  } else if (std::string_view(mode) == "abort") {
+    std::abort();
+  }
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-  mmx::driver::CompilerInvocation inv;
+  // Static: the atexit flush hook below reads it after main's frame is
+  // gone (exit() runs handlers once locals are already destroyed).
+  static mmx::driver::CompilerInvocation inv;
   auto parsed = inv.parseArgv(argc, argv);
   if (!parsed.ok) return usage(parsed.error);
   if (inv.showHelp) {
     std::cout << mmx::driver::CompilerInvocation::helpText();
     return 0;
   }
+
+  // Flight recorder first (ISSUE 10 pillar 3): $MMX_CRASH_JSON arms the
+  // SIGSEGV/SIGABRT/SIGFPE/SIGBUS dump before any real work runs.
+  mmx::crash::installFromEnv();
 
   // Validate the kernel backend selection (--backend, falling back to
   // $MMX_BACKEND under auto) up front: an unknown or unavailable name is
@@ -104,6 +157,17 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
 
   if (inv.metricsRequested()) mmx::metrics::enable(true);
+  if (inv.perfCounters) mmx::perf::setRequested(true);
+  maybeStartIntervalExport();
+  // Abnormal-exit insurance: whatever path leaves the process — a clean
+  // return, exit() from a library, or an unhandled exception — the
+  // requested stats files get written exactly once.
+  g_flushInv = &inv;
+  std::atexit(flushMetricsAtExit);
+  std::set_terminate([] {
+    flushMetricsAtExit();
+    std::abort();
+  });
 
   mmx::driver::Translator t;
   t.addExtension(mmx::ext_matrix::matrixExtension());
@@ -116,6 +180,7 @@ int main(int argc, char** argv) {
   }
   auto res = t.translate(inv.inputPath, buf.str());
   std::cerr << res.renderDiagnostics();
+  maybeDebugCrash();
   // Under --strict-transform an illegal transformation clause is a compile
   // error with its own exit code (2, like usage/backend problems) so CI
   // can distinguish "clause proven illegal" from ordinary translation

@@ -524,10 +524,25 @@ bool replaceOnce(std::string& hay, std::string_view from,
 // (same shape as --trace-json, but pid 2 so a merged file shows compiler
 // and runtime as two processes on one timeline).
 const char* kProfRuntime = R"PROF(/* ---- mmx_prof: runtime instrumentation (mmc --instrument) ------------- */
+#include <math.h>
 #include <stdio.h>
 #include <stdlib.h>
 #include <string.h>
 #include <time.h>
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#endif
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#endif
 
 typedef struct {
   const char* name; /* span label, e.g. "with-loop@prog.xc:12" */
@@ -615,12 +630,129 @@ static void mmx_prof_site_hit(mmx_prof_site* s, unsigned long long t0) {
   mmx_prof_ev_push(s->name, s->cat, t0, dur);
 }
 
+/* Log2-bucketed distributions (ISSUE 10), bucket-compatible with the
+ * interpreter registry's metrics::Histogram (bucket 0 holds zero, bucket
+ * b holds [2^(b-1), 2^b)) so the dumped .count/.sum fields are directly
+ * comparable across the two runtimes. */
+enum { MMX_PROF_HIST_BUCKETS = 64 };
+typedef struct {
+  const char* name;
+  unsigned long long count, sum, max;
+  unsigned long long buckets[MMX_PROF_HIST_BUCKETS];
+} mmx_prof_hist;
+
+static mmx_prof_hist mmx_prof_hist_alloc = {"rt.alloc.size", 0, 0, 0, {0}};
+static mmx_prof_hist mmx_prof_hist_matmul = {"kernel.matmul.latency_ns",
+                                             0, 0, 0, {0}};
+static mmx_prof_hist mmx_prof_hist_panel = {"omp.panel.latency_ns",
+                                            0, 0, 0, {0}};
+
+static void mmx_prof_hist_hit(mmx_prof_hist* h, unsigned long long v) {
+  unsigned b = 0;
+  unsigned long long x = v;
+  while (x) {
+    ++b;
+    x >>= 1;
+  }
+  if (b >= MMX_PROF_HIST_BUCKETS) b = MMX_PROF_HIST_BUCKETS - 1;
+  __atomic_fetch_add(&h->count, 1, __ATOMIC_RELAXED);
+  __atomic_fetch_add(&h->sum, v, __ATOMIC_RELAXED);
+  mmx_prof_u64_max(&h->max, v);
+  __atomic_fetch_add(&h->buckets[b], 1, __ATOMIC_RELAXED);
+}
+
+/* Hardware PMU counters (ISSUE 10): opt-in via $MMX_PERF_COUNTERS, scoped
+ * around the matmul kernel like mmc --perf-counters around rt::matmul.
+ * Calling-thread scoped; a denied perf_event_open parks the group and
+ * every skipped scope counts into the presence-only pmu.skipped row. */
+static unsigned long long mmx_prof_pmu_vals[4];
+static unsigned long long mmx_prof_pmu_skips;
+static int mmx_prof_pmu_state; /* 0 untried, 1 open, -1 unavailable */
+#if defined(__linux__)
+static int mmx_prof_pmu_fds[4] = {-1, -1, -1, -1};
+#endif
+
+static int mmx_prof_pmu_wanted(void) {
+  static int cached = -1;
+  if (cached < 0) {
+    const char* e = getenv("MMX_PERF_COUNTERS");
+    cached = (e && *e && strcmp(e, "0") != 0) ? 1 : 0;
+  }
+  return cached;
+}
+
+static void mmx_prof_pmu_open(void) {
+#if defined(__linux__)
+  static const unsigned long long cfgs[4] = {
+      PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+  int i, j;
+  for (i = 0; i < 4; ++i) {
+    struct perf_event_attr a;
+    memset(&a, 0, sizeof(a));
+    a.type = PERF_TYPE_HARDWARE;
+    a.size = sizeof(a);
+    a.config = cfgs[i];
+    a.disabled = 1;
+    a.exclude_kernel = 1;
+    a.exclude_hv = 1;
+    mmx_prof_pmu_fds[i] =
+        (int)syscall(__NR_perf_event_open, &a, 0, -1, -1, 0);
+    if (mmx_prof_pmu_fds[i] < 0) {
+      for (j = 0; j < i; ++j) {
+        close(mmx_prof_pmu_fds[j]);
+        mmx_prof_pmu_fds[j] = -1;
+      }
+      mmx_prof_pmu_state = -1;
+      return;
+    }
+  }
+  mmx_prof_pmu_state = 1;
+#else
+  mmx_prof_pmu_state = -1;
+#endif
+}
+
+static void mmx_prof_pmu_begin(void) {
+  if (!mmx_prof_pmu_wanted()) return;
+  if (mmx_prof_pmu_state == 0) mmx_prof_pmu_open();
+  if (mmx_prof_pmu_state < 0) {
+    __atomic_fetch_add(&mmx_prof_pmu_skips, 1, __ATOMIC_RELAXED);
+    return;
+  }
+#if defined(__linux__)
+  {
+    int i;
+    for (i = 0; i < 4; ++i) {
+      ioctl(mmx_prof_pmu_fds[i], PERF_EVENT_IOC_RESET, 0);
+      ioctl(mmx_prof_pmu_fds[i], PERF_EVENT_IOC_ENABLE, 0);
+    }
+  }
+#endif
+}
+
+static void mmx_prof_pmu_end(void) {
+  if (mmx_prof_pmu_state != 1) return;
+#if defined(__linux__)
+  {
+    int i;
+    for (i = 0; i < 4; ++i) {
+      unsigned long long v = 0;
+      ioctl(mmx_prof_pmu_fds[i], PERF_EVENT_IOC_DISABLE, 0);
+      if (read(mmx_prof_pmu_fds[i], &v, sizeof(v)) == sizeof(v))
+        __atomic_fetch_add(&mmx_prof_pmu_vals[i], v, __ATOMIC_RELAXED);
+    }
+  }
+#endif
+}
+
 static void mmx_prof_alloc_hit(unsigned long long bytes) {
   __atomic_fetch_add(&mmx_prof_allocs, 1, __ATOMIC_RELAXED);
   __atomic_fetch_add(&mmx_prof_alloc_bytes, bytes, __ATOMIC_RELAXED);
   unsigned long long live =
       __atomic_add_fetch(&mmx_prof_live_bytes, bytes, __ATOMIC_RELAXED);
   mmx_prof_u64_max(&mmx_prof_peak_bytes, live);
+  mmx_prof_hist_hit(&mmx_prof_hist_alloc, bytes);
 }
 
 static void mmx_prof_free_hit(unsigned long long bytes) {
@@ -636,10 +768,17 @@ static void mmx_prof_panel_end(unsigned long long t0,
   if (tid < MMX_PROF_MAX_THREADS)
     __atomic_fetch_add(&mmx_prof_thread_busy[tid], dur, __ATOMIC_RELAXED);
   __atomic_fetch_add(&mmx_prof_mm_tiles, tiles, __ATOMIC_RELAXED);
+  mmx_prof_hist_hit(&mmx_prof_hist_panel, dur);
 }
 
 static mmx_prof_site mmx_prof_site_matmul = {"kernel.matmul", "kernel",
                                              0, 0, 0};
+
+static void mmx_prof_kernel_end(unsigned long long t0) {
+  mmx_prof_pmu_end();
+  mmx_prof_hist_hit(&mmx_prof_hist_matmul, mmx_prof_now() - t0);
+  mmx_prof_site_hit(&mmx_prof_site_matmul, t0);
+}
 
 /* Hooks the prelude's mmx_alloc / mmx_retain / mmx_release / matmul cores
  * expand. The release hook reads refcount==1 before the atomic decrement
@@ -663,9 +802,9 @@ static mmx_prof_site mmx_prof_site_matmul = {"kernel.matmul", "kernel",
 #define MMX_PROF_PANEL_BEGIN() unsigned long long __mmx_pt0 = mmx_prof_now()
 #define MMX_PROF_PANEL_END(tiles) \
   mmx_prof_panel_end(__mmx_pt0, (unsigned long long)(tiles))
-#define MMX_PROF_KERNEL_BEGIN() unsigned long long __mmx_kt0 = mmx_prof_now()
-#define MMX_PROF_KERNEL_END() \
-  mmx_prof_site_hit(&mmx_prof_site_matmul, __mmx_kt0)
+#define MMX_PROF_KERNEL_BEGIN() \
+  unsigned long long __mmx_kt0 = (mmx_prof_pmu_begin(), mmx_prof_now())
+#define MMX_PROF_KERNEL_END() mmx_prof_kernel_end(__mmx_kt0)
 
 )PROF";
 
@@ -697,7 +836,344 @@ static void mmx_prof_json_key(FILE* f, const char* name, const char* suffix) {
   fputc('"', f);
 }
 
+/* Quantile estimation mirroring the interpreter registry exactly: rank =
+ * ceil(q * count), linear interpolation within the owning bucket, clamped
+ * to the observed max (bucket 63 uses the max as its upper edge). */
+static unsigned long long mmx_prof_hist_quantile(const mmx_prof_hist* h,
+                                                 double q) {
+  unsigned long long count = h->count;
+  if (!count) return 0;
+  unsigned long long rank = (unsigned long long)ceil(q * (double)count);
+  if (!rank) rank = 1;
+  if (rank > count) rank = count;
+  unsigned long long cum = 0;
+  for (unsigned b = 0; b < MMX_PROF_HIST_BUCKETS; ++b) {
+    unsigned long long n = h->buckets[b];
+    if (!n) continue;
+    if (cum + n >= rank) {
+      unsigned long long lo = b == 0 ? 0 : (1ull << (b - 1));
+      unsigned long long hi = b == 0 ? 1 : (b == 63 ? h->max : (1ull << b));
+      double frac = (double)(rank - cum) / (double)n;
+      unsigned long long v =
+          lo + (unsigned long long)(frac * (double)(hi - lo));
+      return v < h->max ? v : h->max;
+    }
+    cum += n;
+  }
+  return h->max;
+}
+
+static void mmx_prof_dump_hist(FILE* f, const mmx_prof_hist* h) {
+  if (!h->count) return;
+  fprintf(f, ",\n  \"%s.count\": %llu", h->name, h->count);
+  fprintf(f, ",\n  \"%s.sum\": %llu", h->name, h->sum);
+  fprintf(f, ",\n  \"%s.p50\": %llu", h->name,
+          mmx_prof_hist_quantile(h, 0.50));
+  fprintf(f, ",\n  \"%s.p95\": %llu", h->name,
+          mmx_prof_hist_quantile(h, 0.95));
+  fprintf(f, ",\n  \"%s.p99\": %llu", h->name,
+          mmx_prof_hist_quantile(h, 0.99));
+  fprintf(f, ",\n  \"%s.max\": %llu", h->name, h->max);
+}
+
+/* Continuous stats export (ISSUE 10 pillar 4): $MMX_STATS_INTERVAL_MS
+ * spawns a sampler thread that appends one JSONL delta line per interval
+ * to $MMX_STATS_JSONL (default mmx_stats.jsonl). Monotonic keys emit as
+ * nonzero deltas; histogram max/p50/p95/p99 emit verbatim when nonzero,
+ * matching the mmc exporter's schema. */
+#if defined(__unix__) || defined(__APPLE__)
+static FILE* mmx_prof_export_file;
+static pthread_mutex_t mmx_prof_export_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_t mmx_prof_export_thread;
+static int mmx_prof_export_running;
+static unsigned mmx_prof_export_ms;
+static unsigned long long mmx_prof_export_seq;
+
+static void mmx_prof_export_delta(FILE* f, const char* name,
+                                  const char* suffix,
+                                  unsigned long long cur,
+                                  unsigned long long* prev) {
+  if (cur <= *prev) return;
+  fputs(", ", f);
+  mmx_prof_json_key(f, name, suffix);
+  fprintf(f, ": %llu", cur - *prev);
+  *prev = cur;
+}
+
+static void mmx_prof_export_instant(FILE* f, const char* name,
+                                    const char* suffix,
+                                    unsigned long long v) {
+  if (!v) return;
+  fputs(", ", f);
+  mmx_prof_json_key(f, name, suffix);
+  fprintf(f, ": %llu", v);
+}
+
+static void mmx_prof_export_line(void) {
+  enum { MMX_PROF_EXPORT_MAX_SITES = 256 };
+  static unsigned long long p_allocs, p_bytes, p_retains, p_releases,
+      p_tiles;
+  static unsigned long long p_sites[MMX_PROF_EXPORT_MAX_SITES][2];
+  static unsigned long long p_hists[3][2];
+  const mmx_prof_hist* hs[3] = {&mmx_prof_hist_alloc, &mmx_prof_hist_matmul,
+                                &mmx_prof_hist_panel};
+  FILE* f = mmx_prof_export_file;
+  if (!f) return;
+  pthread_mutex_lock(&mmx_prof_export_mu);
+  fprintf(f, "{\"export.seq\": %llu, \"export.ts_ms\": %llu",
+          mmx_prof_export_seq++,
+          (unsigned long long)(mmx_prof_raw_ns() / 1000000ull));
+  mmx_prof_export_delta(f, "rt.alloc.count", "", mmx_prof_allocs, &p_allocs);
+  mmx_prof_export_delta(f, "rt.alloc.bytes", "", mmx_prof_alloc_bytes,
+                        &p_bytes);
+  mmx_prof_export_delta(f, "rt.rc.retains", "", mmx_prof_retains, &p_retains);
+  mmx_prof_export_delta(f, "rt.rc.releases", "", mmx_prof_releases,
+                        &p_releases);
+  mmx_prof_export_delta(f, "kernel.matmul.tiles", "", mmx_prof_mm_tiles,
+                        &p_tiles);
+  for (int i = 0; mmx_prof_sites[i] && i < MMX_PROF_EXPORT_MAX_SITES; ++i) {
+    mmx_prof_site* s = mmx_prof_sites[i];
+    mmx_prof_export_delta(f, s->name, ".count", s->count, &p_sites[i][0]);
+    mmx_prof_export_delta(f, s->name, ".ns", s->total_ns, &p_sites[i][1]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    mmx_prof_export_delta(f, hs[i]->name, ".count", hs[i]->count,
+                          &p_hists[i][0]);
+    mmx_prof_export_delta(f, hs[i]->name, ".sum", hs[i]->sum,
+                          &p_hists[i][1]);
+    mmx_prof_export_instant(f, hs[i]->name, ".max", hs[i]->max);
+    mmx_prof_export_instant(f, hs[i]->name, ".p50",
+                            mmx_prof_hist_quantile(hs[i], 0.50));
+    mmx_prof_export_instant(f, hs[i]->name, ".p95",
+                            mmx_prof_hist_quantile(hs[i], 0.95));
+    mmx_prof_export_instant(f, hs[i]->name, ".p99",
+                            mmx_prof_hist_quantile(hs[i], 0.99));
+  }
+  fputs("}\n", f);
+  fflush(f);
+  pthread_mutex_unlock(&mmx_prof_export_mu);
+}
+
+static void* mmx_prof_export_loop(void* arg) {
+  (void)arg;
+  while (__atomic_load_n(&mmx_prof_export_running, __ATOMIC_RELAXED)) {
+    struct timespec ts;
+    ts.tv_sec = mmx_prof_export_ms / 1000u;
+    ts.tv_nsec = (long)(mmx_prof_export_ms % 1000u) * 1000000L;
+    nanosleep(&ts, 0);
+    mmx_prof_export_line();
+  }
+  return 0;
+}
+
+static void mmx_prof_export_start(void) {
+  const char* ms = getenv("MMX_STATS_INTERVAL_MS");
+  if (!ms || !*ms) return;
+  long interval = strtol(ms, 0, 10);
+  if (interval <= 0) return;
+  const char* path = getenv("MMX_STATS_JSONL");
+  mmx_prof_export_file =
+      fopen(path && *path ? path : "mmx_stats.jsonl", "w");
+  if (!mmx_prof_export_file) return;
+  mmx_prof_export_ms = (unsigned)interval;
+  mmx_prof_export_running = 1;
+  mmx_prof_export_line(); /* sync first line: schema visible immediately */
+  if (pthread_create(&mmx_prof_export_thread, 0, mmx_prof_export_loop, 0))
+    mmx_prof_export_running = 0;
+}
+
+static void mmx_prof_export_stop(void) {
+  if (!mmx_prof_export_file) return;
+  if (mmx_prof_export_running) {
+    __atomic_store_n(&mmx_prof_export_running, 0, __ATOMIC_RELAXED);
+    pthread_join(mmx_prof_export_thread, 0);
+  }
+  mmx_prof_export_line(); /* final deltas since the last tick */
+  fclose(mmx_prof_export_file);
+  mmx_prof_export_file = 0;
+}
+#else
+static void mmx_prof_export_start(void) {}
+static void mmx_prof_export_stop(void) {}
+#endif
+
+/* Crash-safe flight recorder (ISSUE 10 pillar 3): $MMX_CRASH_JSON arms
+ * SIGSEGV/SIGABRT/SIGFPE/SIGBUS handlers that dump the counter snapshot,
+ * the tail of the trace ring, and a raw backtrace using only write(2) and
+ * snprintf into stack buffers — no locks, no allocation, no stdio. */
+#if defined(__unix__) || defined(__APPLE__)
+static char mmx_prof_crash_path[1024];
+static volatile sig_atomic_t mmx_prof_crash_busy;
+
+static void mmx_prof_crash_put(int fd, const char* s, long n) {
+  while (n > 0) {
+    long w = (long)write(fd, s, (size_t)n);
+    if (w <= 0) return;
+    s += w;
+    n -= w;
+  }
+}
+
+static void mmx_prof_crash_str(int fd, const char* s) {
+  mmx_prof_crash_put(fd, s, (long)strlen(s));
+}
+
+/* Flattens characters the signal-safe writer cannot escape to '_'. */
+static void mmx_prof_crash_name(const char* s, char* out, int cap) {
+  int j = 0;
+  for (; *s && j < cap - 1; ++s) {
+    unsigned char c = (unsigned char)*s;
+    out[j++] = (c == '"' || c == '\\' || c < 0x20) ? '_' : (char)c;
+  }
+  out[j] = 0;
+}
+
+static void mmx_prof_crash_kv(int fd, const char* name, const char* suffix,
+                              unsigned long long v, int* first) {
+  char nb[128];
+  char buf[224];
+  mmx_prof_crash_name(name, nb, (int)sizeof(nb));
+  int n = snprintf(buf, sizeof(buf), "%s    \"%s%s\": %llu",
+                   *first ? "\n" : ",\n", nb, suffix, v);
+  if (n > 0 && n < (int)sizeof(buf)) mmx_prof_crash_put(fd, buf, n);
+  *first = 0;
+}
+
+static const char* mmx_prof_crash_signame(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGFPE: return "SIGFPE";
+    case SIGBUS: return "SIGBUS";
+    default: return "SIG?";
+  }
+}
+
+static void mmx_prof_crash_handler(int sig) {
+  char buf[320];
+  int n, first = 1;
+  if (mmx_prof_crash_busy) _exit(128 + sig);
+  mmx_prof_crash_busy = 1;
+  int fd = open(mmx_prof_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    n = snprintf(buf, sizeof(buf),
+                 "{\n  \"crash.signal\": %d,\n"
+                 "  \"crash.signalName\": \"%s\",\n"
+                 "  \"crash.ts_ns\": %llu,\n  \"counters\": {",
+                 sig, mmx_prof_crash_signame(sig),
+                 (unsigned long long)mmx_prof_raw_ns());
+    if (n > 0 && n < (int)sizeof(buf)) mmx_prof_crash_put(fd, buf, n);
+    mmx_prof_crash_kv(fd, "rt.alloc.count", "", mmx_prof_allocs, &first);
+    mmx_prof_crash_kv(fd, "rt.alloc.bytes", "", mmx_prof_alloc_bytes,
+                      &first);
+    mmx_prof_crash_kv(fd, "rt.rc.retains", "", mmx_prof_retains, &first);
+    mmx_prof_crash_kv(fd, "rt.rc.releases", "", mmx_prof_releases, &first);
+    mmx_prof_crash_kv(fd, "kernel.matmul.tiles", "", mmx_prof_mm_tiles,
+                      &first);
+    for (int i = 0; mmx_prof_sites[i]; ++i) {
+      mmx_prof_site* s = mmx_prof_sites[i];
+      if (!s->count) continue;
+      mmx_prof_crash_kv(fd, s->name, ".count", s->count, &first);
+      mmx_prof_crash_kv(fd, s->name, ".ns", s->total_ns, &first);
+    }
+    {
+      const mmx_prof_hist* hs[3] = {&mmx_prof_hist_alloc,
+                                    &mmx_prof_hist_matmul,
+                                    &mmx_prof_hist_panel};
+      for (int i = 0; i < 3; ++i) {
+        if (!hs[i]->count) continue;
+        mmx_prof_crash_kv(fd, hs[i]->name, ".count", hs[i]->count, &first);
+        mmx_prof_crash_kv(fd, hs[i]->name, ".sum", hs[i]->sum, &first);
+      }
+    }
+    mmx_prof_crash_str(fd, "\n  },\n  \"events\": [");
+    first = 1;
+#ifdef MMX_PROF_WANT_TRACE
+    {
+      unsigned long long evn =
+          __atomic_load_n(&mmx_prof_ev_n, __ATOMIC_RELAXED);
+      if (evn > MMX_PROF_MAX_EVENTS) evn = MMX_PROF_MAX_EVENTS;
+      unsigned long long k = evn > 64 ? evn - 64 : 0;
+      for (; k < evn; ++k) {
+        mmx_prof_ev* e = &mmx_prof_evs[k];
+        char nb[96], cb[32];
+        mmx_prof_crash_name(e->name, nb, (int)sizeof(nb));
+        mmx_prof_crash_name(e->cat, cb, (int)sizeof(cb));
+        n = snprintf(buf, sizeof(buf),
+                     "%s\n    {\"name\": \"%s\", \"cat\": \"%s\", "
+                     "\"ts_ns\": %llu, \"dur_ns\": %llu, \"tid\": %d}",
+                     first ? "" : ",", nb, cb, e->ts, e->dur, e->tid);
+        if (n > 0 && n < (int)sizeof(buf)) mmx_prof_crash_put(fd, buf, n);
+        first = 0;
+      }
+    }
+#endif
+    mmx_prof_crash_str(fd, "\n  ],\n  \"backtrace\": [");
+    first = 1;
+#if defined(__GLIBC__)
+    {
+      void* frames[64];
+      int nf = backtrace(frames, 64);
+      for (int i = 0; i < nf; ++i) {
+        n = snprintf(buf, sizeof(buf), "%s\"%p\"", first ? "" : ", ",
+                     frames[i]);
+        if (n > 0 && n < (int)sizeof(buf)) mmx_prof_crash_put(fd, buf, n);
+        first = 0;
+      }
+    }
+#endif
+    mmx_prof_crash_str(fd, "]\n}\n");
+    close(fd);
+  }
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+static void mmx_prof_crash_install(void) {
+  static char mmx_prof_crash_stack[64 * 1024];
+  const char* path = getenv("MMX_CRASH_JSON");
+  if (!path || !*path) return;
+  snprintf(mmx_prof_crash_path, sizeof(mmx_prof_crash_path), "%s", path);
+#if defined(__GLIBC__)
+  {
+    void* prime[2];
+    backtrace(prime, 2); /* fault-free libgcc load before any crash */
+  }
+#endif
+  stack_t st;
+  st.ss_sp = mmx_prof_crash_stack;
+  st.ss_size = sizeof(mmx_prof_crash_stack);
+  st.ss_flags = 0;
+  sigaltstack(&st, 0);
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = mmx_prof_crash_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_ONSTACK;
+  static const int sigs[4] = {SIGSEGV, SIGABRT, SIGFPE, SIGBUS};
+  for (int i = 0; i < 4; ++i) sigaction(sigs[i], &sa, 0);
+}
+#else
+static void mmx_prof_crash_install(void) {}
+#endif
+
+/* Deliberate-fault hook for the crash-recorder fixtures, mirroring mmc's
+ * $MMX_DEBUG_CRASH. Firing at dump time (atexit) means the crash JSON
+ * carries the full counter/span state of the finished program. */
+static void mmx_prof_debug_crash(void) {
+  const char* mode = getenv("MMX_DEBUG_CRASH");
+  if (!mode) return;
+  if (!strcmp(mode, "segv")) {
+    volatile int* p = 0;
+    *p = 42; /* SIGSEGV through the installed flight recorder */
+  } else if (!strcmp(mode, "abort")) {
+    abort();
+  }
+}
+
 static void mmx_prof_dump(void) {
+  mmx_prof_export_stop();
+  mmx_prof_debug_crash();
   const char* path = getenv("MMX_PROF_JSON");
   if (path && *path) {
     FILE* f = fopen(path, "w");
@@ -717,7 +1193,31 @@ static void mmx_prof_dump(void) {
                 mmx_prof_site_matmul.count);
         fprintf(f, ",\n  \"kernel.matmul.%s.ns\": %llu", mmx_backend_name,
                 mmx_prof_site_matmul.total_ns);
+        if (mmx_prof_pmu_state == 1) {
+          fprintf(f, ",\n  \"kernel.matmul.%s.pmu.cycles\": %llu",
+                  mmx_backend_name, mmx_prof_pmu_vals[0]);
+          fprintf(f, ",\n  \"kernel.matmul.%s.pmu.instructions\": %llu",
+                  mmx_backend_name, mmx_prof_pmu_vals[1]);
+          fprintf(f, ",\n  \"kernel.matmul.%s.pmu.cacheMisses\": %llu",
+                  mmx_backend_name, mmx_prof_pmu_vals[2]);
+          fprintf(f, ",\n  \"kernel.matmul.%s.pmu.branchMisses\": %llu",
+                  mmx_backend_name, mmx_prof_pmu_vals[3]);
+        }
       }
+      if (mmx_prof_pmu_skips)
+        fprintf(f, ",\n  \"pmu.skipped\": %llu", mmx_prof_pmu_skips);
+      mmx_prof_dump_hist(f, &mmx_prof_hist_alloc);
+      mmx_prof_dump_hist(f, &mmx_prof_hist_matmul);
+      mmx_prof_dump_hist(f, &mmx_prof_hist_panel);
+#ifdef MMX_PROF_WANT_TRACE
+      {
+        unsigned long long evn =
+            __atomic_load_n(&mmx_prof_ev_n, __ATOMIC_RELAXED);
+        if (evn > MMX_PROF_MAX_EVENTS)
+          fprintf(f, ",\n  \"trace.droppedEvents\": %llu",
+                  evn - MMX_PROF_MAX_EVENTS);
+      }
+#endif
       for (int t = 0; t < mmx_prof_ntids && t < MMX_PROF_MAX_THREADS; ++t)
         if (mmx_prof_thread_busy[t])
           fprintf(f, ",\n  \"omp.t%d.busy_ns\": %llu", t,
@@ -1851,6 +2351,8 @@ CEmitResult emitC(const Module& m, const CEmitOptions& opts) {
   if (useMs) out << "  mmx_ms_select();\n";
   if (instr)
     out << "  mmx_prof_t0 = mmx_prof_raw_ns();\n"
+        << "  mmx_prof_crash_install();\n"
+        << "  mmx_prof_export_start();\n"
         << "  atexit(mmx_prof_dump);\n";
   const Function* mainFn = m.find("main");
   if (mainFn && mainFn->rets.size() == 1 && mainFn->rets[0] == Ty::I32)

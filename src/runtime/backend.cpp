@@ -18,6 +18,7 @@
 #include "runtime/memsys.hpp"
 #include "runtime/simd.hpp"
 #include "support/metrics.hpp"
+#include "support/perf.hpp"
 
 namespace mmx::rt {
 
@@ -26,7 +27,8 @@ namespace mmx::rt {
 KernelBackend::KernelBackend(std::string name, int priority)
     : name_(std::move(name)), priority_(priority),
       matmulTimer_("kernel.matmul." + name_),
-      selectedCounter_("backend.selected." + name_) {}
+      selectedCounter_("backend.selected." + name_),
+      pmuPrefix_("kernel.matmul." + name_ + ".pmu.") {}
 
 void KernelBackend::gemmF64(Executor& exec, const double* A, const double* B,
                             double* C, int64_t m, int64_t k,
@@ -442,10 +444,16 @@ Matrix matmul(Executor& exec, const Matrix& a, const Matrix& b) {
   // "kernel.matmul" matches the site the emitted-C mmx_prof runtime
   // records around mmx_matmul, so both runtimes report the same
   // kernel.matmul.{count,ns,max_ns} stats keys; the per-backend twin
-  // attributes the same span to the selected backend.
+  // attributes the same span to the selected backend, and the
+  // kernel.matmul.latency_ns histogram (same name in the emitted-C dump)
+  // carries the per-call tail the aggregate timer cannot show.
   metrics::ScopedTimer t("kernel.matmul", "kernel");
   metrics::ScopedTimer tb(be.matmulTimerName(), "kernel");
   metrics::counter(be.selectedCounterName()).add();
+  static const metrics::Histogram latencyHist =
+      metrics::histogram("kernel.matmul.latency_ns");
+  uint64_t histStart = metrics::enabled() ? metrics::nowNs() : 0;
+  bool pmuArmed = perf::requested() && perf::begin();
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   // Parallel first-touch zeroing: large C pages land on the threads that
   // will accumulate into them.
@@ -454,6 +462,17 @@ Matrix matmul(Executor& exec, const Matrix& a, const Matrix& b) {
     be.gemmF32(exec, a.f32(), b.f32(), out.f32(), m, k, n);
   else
     be.gemmI32(exec, a.i32(), b.i32(), out.i32(), m, k, n);
+  if (pmuArmed) {
+    perf::Sample s = perf::end();
+    if (s.ok) {
+      const std::string& p = be.pmuCounterPrefix();
+      metrics::counter(p + "cycles").add(s.cycles);
+      metrics::counter(p + "instructions").add(s.instructions);
+      metrics::counter(p + "cacheMisses").add(s.cacheMisses);
+      metrics::counter(p + "branchMisses").add(s.branchMisses);
+    }
+  }
+  if (metrics::enabled()) latencyHist.record(metrics::nowNs() - histStart);
   return out;
 }
 

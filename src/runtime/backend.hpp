@@ -85,12 +85,17 @@ public:
   /// "backend.selected.<name>": presence-only counter bumped on selection
   /// and on every matmul dispatch.
   const char* selectedCounterName() const { return selectedCounter_.c_str(); }
+  /// "kernel.matmul.<name>.pmu." — rt::matmul appends cycles /
+  /// instructions / cacheMisses / branchMisses under --perf-counters
+  /// (ISSUE 10 pillar 2).
+  const std::string& pmuCounterPrefix() const { return pmuPrefix_; }
 
 private:
   std::string name_;
   int priority_;
   std::string matmulTimer_;
   std::string selectedCounter_;
+  std::string pmuPrefix_;
 };
 
 // ---- registry -----------------------------------------------------------

@@ -255,10 +255,17 @@ void gemmBlocked(Executor& exec, const T* A, const T* B, T* C, int64_t m,
   T* const Apack = slab;
   T* const Bpack = slab + aElems;
 
+  // Per-KC-block pack latency (ISSUE 10): the pack pass is the memory-
+  // bound phase, so its distribution surfaces bandwidth interference that
+  // the compute-dominated kernel.matmul.latency_ns total hides.
+  static const metrics::Histogram packHist =
+      metrics::histogram("kernel.matmul.pack_ns");
+
   for (int64_t kc = 0; kc < k; kc += GB::KC) {
     const int64_t kcLen = std::min(GB::KC, k - kc);
 
     // Pack pass: one task per panel; A panels first, then B panels.
+    uint64_t packStart = metrics::enabled() ? metrics::nowNs() : 0;
     exec.run(0, numIc + numJc, /*minGrain=*/2,
              [&](int64_t lo, int64_t hi, unsigned) {
                for (int64_t t = lo; t < hi; ++t) {
@@ -273,6 +280,8 @@ void gemmBlocked(Executor& exec, const T* A, const T* B, T* C, int64_t m,
                  }
                }
              });
+    if (metrics::enabled())
+      packHist.record(metrics::nowNs() - packStart);
     packedBytesCounter().add(
         static_cast<uint64_t>((ceilDiv(m, GB::MR) * GB::MR +
                                ceilDiv(n, GB::NR) * GB::NR) *

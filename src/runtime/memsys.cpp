@@ -456,6 +456,13 @@ std::string allocatorSelectionError(std::string_view requested) {
 }
 
 void* msAlloc(size_t bytes) {
+  // Requested-size distribution of the caching allocator specifically
+  // (rt.alloc.size covers every allocator at the refcount layer): the
+  // p95/p99 tail shows which size classes the magazine tiers actually
+  // absorb versus punt to the system path.
+  static const metrics::Histogram sizeHist =
+      metrics::histogram("rt.alloc.magazine.size");
+  sizeHist.record(bytes);
   size_t total = bytes + sizeof(MsHeader);
   AllocKind k = activeAllocator();
   if (k == AllocKind::Cache) {

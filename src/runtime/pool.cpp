@@ -50,6 +50,30 @@ const metrics::Counter& inlinedCounter() {
   return c;
 }
 
+/// Task-latency distribution (ISSUE 10): every chunk a worker (or the
+/// main thread, or a serial executor) executes folds its busy time here,
+/// so --stats-json reports pool.task.latency_ns.p50/.p95/.p99 tails that
+/// the aggregate work_ns totals flatten away. Sub-grain inlined dispatches
+/// are excluded: they are below the measurement floor by construction.
+const metrics::Histogram& taskHistogram() {
+  static const metrics::Histogram h =
+      metrics::histogram("pool.task.latency_ns");
+  return h;
+}
+
+/// Runs one chunk, recording its latency. Used by every path that does
+/// not already measure the chunk for per-worker counters.
+void runTimedChunk(RangeFn fn, void* ctx, int64_t lo, int64_t hi,
+                   unsigned tid) {
+  if (!metrics::enabled()) {
+    fn(ctx, lo, hi, tid);
+    return;
+  }
+  uint64_t start = metrics::nowNs();
+  fn(ctx, lo, hi, tid);
+  taskHistogram().record(metrics::nowNs() - start);
+}
+
 /// Per-thread busy/idle counters (ISSUE 5): `pool.t<k>.busy_ns` /
 /// `pool.t<k>.idle_ns` split the aggregate spin/work totals by worker, the
 /// shape a load-imbalance investigation needs. Registered per worker
@@ -116,7 +140,7 @@ void Executor::parallelForGrain(int64_t lo, int64_t hi, int64_t minGrain,
 void SerialExecutor::parallelFor(int64_t lo, int64_t hi, RangeFn fn,
                                  void* ctx) {
   if (hi <= lo) return;
-  tracedRegion([&] { fn(ctx, lo, hi, 0); });
+  tracedRegion([&] { runTimedChunk(fn, ctx, lo, hi, 0); });
 }
 
 void ForkJoinPool::chunkOf(int64_t lo, int64_t hi, unsigned tid, unsigned n,
@@ -164,7 +188,10 @@ void ForkJoinPool::workerLoop(unsigned tid) {
       uint64_t busy = metrics::nowNs() - released;
       workCounter().add(busy);
       wc.busy.add(busy);
-      if (chi > clo) metrics::traceSpan("chunk", "pool", released, busy);
+      if (chi > clo) {
+        taskHistogram().record(busy);
+        metrics::traceSpan("chunk", "pool", released, busy);
+      }
     }
 
     // Stop barrier: last one out lets the main thread continue.
@@ -175,7 +202,7 @@ void ForkJoinPool::workerLoop(unsigned tid) {
 void ForkJoinPool::parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) {
   if (hi <= lo) return;
   if (nThreads_ == 1) {
-    tracedRegion([&] { fn(ctx, lo, hi, 0); });
+    tracedRegion([&] { runTimedChunk(fn, ctx, lo, hi, 0); });
     return;
   }
 
@@ -198,6 +225,7 @@ void ForkJoinPool::parallelFor(int64_t lo, int64_t hi, RangeFn fn, void* ctx) {
         fn(ctx, clo, chi, 0);
         uint64_t busy = metrics::nowNs() - start;
         wc0.busy.add(busy);
+        taskHistogram().record(busy);
         metrics::traceSpan("chunk", "pool", start, busy);
       } else {
         fn(ctx, clo, chi, 0);
@@ -219,7 +247,7 @@ void NaiveForkJoin::parallelFor(int64_t lo, int64_t hi, RangeFn fn,
                                 void* ctx) {
   if (hi <= lo) return;
   if (nThreads_ == 1) {
-    tracedRegion([&] { fn(ctx, lo, hi, 0); });
+    tracedRegion([&] { runTimedChunk(fn, ctx, lo, hi, 0); });
     return;
   }
   tracedRegion([&] {
@@ -228,11 +256,12 @@ void NaiveForkJoin::parallelFor(int64_t lo, int64_t hi, RangeFn fn,
     for (unsigned t = 1; t < nThreads_; ++t) {
       int64_t clo, chi;
       staticChunk(lo, hi, t, nThreads_, clo, chi);
-      if (chi > clo) ts.emplace_back([=] { fn(ctx, clo, chi, t); });
+      if (chi > clo)
+        ts.emplace_back([=] { runTimedChunk(fn, ctx, clo, chi, t); });
     }
     int64_t clo, chi;
     staticChunk(lo, hi, 0, nThreads_, clo, chi);
-    if (chi > clo) fn(ctx, clo, chi, 0);
+    if (chi > clo) runTimedChunk(fn, ctx, clo, chi, 0);
     for (auto& t : ts) t.join();
   });
 }

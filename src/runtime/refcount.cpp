@@ -37,6 +37,13 @@ const metrics::Counter& allocBytesCounter() {
   static const metrics::Counter c = metrics::counter("rt.alloc.bytes");
   return c;
 }
+// Size-class distribution (ISSUE 10): one record per allocation, whatever
+// allocator serves it, so rt.alloc.size.count stays in exact parity with
+// the emitted-C mmx_prof alloc hook on single-threaded runs.
+const metrics::Histogram& allocSizeHistogram() {
+  static const metrics::Histogram h = metrics::histogram("rt.alloc.size");
+  return h;
+}
 const metrics::Counter& retainCounter() {
   static const metrics::Counter c = metrics::counter("rt.rc.retains");
   return c;
@@ -99,6 +106,7 @@ void* rcAlloc(size_t bytes) {
   }
   allocCounter().add();
   allocBytesCounter().add(total);
+  allocSizeHistogram().record(total);
   return h + 1;
 }
 

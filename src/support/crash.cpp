@@ -1,0 +1,121 @@
+#include "support/crash.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "support/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MMX_HAVE_CRASH_HANDLERS 1
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#if __has_include(<execinfo.h>)
+#define MMX_HAVE_BACKTRACE 1
+#include <execinfo.h>
+#endif
+#endif
+
+namespace mmx::crash {
+
+#ifdef MMX_HAVE_CRASH_HANDLERS
+
+namespace {
+
+char g_path[1024];
+bool g_installed = false;
+
+const int kSignals[] = {SIGSEGV, SIGABRT, SIGFPE, SIGBUS};
+
+const char* signalName(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGFPE: return "SIGFPE";
+    case SIGBUS: return "SIGBUS";
+  }
+  return "unknown";
+}
+
+// SIGSTKSZ is no longer a constant expression on recent glibc; 64 KiB is
+// comfortably above any writeCrashJson stack frame.
+alignas(16) char g_altStack[64 * 1024];
+
+void handler(int sig) {
+  // One dump per process: a fault inside the dump (or a second crashing
+  // thread) exits with the conventional signal status instead of looping.
+  static volatile sig_atomic_t busy = 0;
+  if (busy) _exit(128 + sig);
+  busy = 1;
+
+  void* frames[64];
+  int nFrames = 0;
+#ifdef MMX_HAVE_BACKTRACE
+  nFrames = backtrace(frames, 64);
+#endif
+
+  int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    metrics::writeCrashJson(fd, sig, signalName(sig), frames, nFrames);
+    ::close(fd);
+  }
+#ifdef MMX_HAVE_BACKTRACE
+  // Human-readable frames go to stderr, not into the JSON (symbol lines
+  // contain arbitrary characters the no-alloc writer cannot escape).
+  backtrace_symbols_fd(frames, nFrames, 2);
+#endif
+
+  // Re-raise with the default disposition: the wait status shows the real
+  // signal, and SIGABRT cores still drop where operators expect them.
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+} // namespace
+
+bool install(const char* path) {
+  if (!path || !*path) return false;
+  std::strncpy(g_path, path, sizeof(g_path) - 1);
+  g_path[sizeof(g_path) - 1] = 0;
+  if (g_installed) return true; // handlers already wired; path updated
+
+#ifdef MMX_HAVE_BACKTRACE
+  // Prime libgcc's unwinder: its first call may malloc/dlopen, which must
+  // not happen inside the handler.
+  void* prime[4];
+  backtrace(prime, 4);
+#endif
+
+  stack_t ss;
+  std::memset(&ss, 0, sizeof(ss));
+  ss.ss_sp = g_altStack;
+  ss.ss_size = sizeof(g_altStack);
+  sigaltstack(&ss, nullptr);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = handler;
+  sa.sa_flags = SA_ONSTACK;
+  sigemptyset(&sa.sa_mask);
+  for (int sig : kSignals) sigaction(sig, &sa, nullptr);
+  g_installed = true;
+  return true;
+}
+
+bool installFromEnv() {
+  const char* path = std::getenv("MMX_CRASH_JSON");
+  if (!path || !*path) return false;
+  return install(path);
+}
+
+bool installed() { return g_installed; }
+
+#else // !MMX_HAVE_CRASH_HANDLERS
+
+bool install(const char*) { return false; }
+bool installFromEnv() { return false; }
+bool installed() { return false; }
+
+#endif
+
+} // namespace mmx::crash

@@ -1,0 +1,25 @@
+// Crash-safe flight recorder (ISSUE 10 pillar 3): sigaction handlers for
+// SIGSEGV/SIGABRT/SIGFPE/SIGBUS that dump the metrics registry — counters,
+// timers, histograms, the newest trace-ring spans — plus a backtrace as
+// JSON to a pre-configured path, then re-raise with the default
+// disposition so the exit status (and core dump, if enabled) is untouched.
+//
+// The dump path is fixed at install time (no getenv in the handler), the
+// handlers run on a dedicated sigaltstack so stack-overflow SIGSEGVs still
+// dump, and the writer (metrics::writeCrashJson) takes no locks and
+// allocates nothing. backtrace() is primed at install time to force
+// libgcc's lazy load outside the handler.
+#pragma once
+
+namespace mmx::crash {
+
+/// Installs the handlers writing to `path`. Returns false when `path` is
+/// null/empty. Safe to call again (updates the path).
+bool install(const char* path);
+
+/// install($MMX_CRASH_JSON); false when the variable is unset or empty.
+bool installFromEnv();
+
+bool installed();
+
+} // namespace mmx::crash

@@ -1,12 +1,19 @@
 #include "support/metrics.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 namespace mmx::metrics {
 
@@ -18,7 +25,37 @@ namespace {
 
 constexpr size_t kMaxCounters = 256;
 constexpr size_t kMaxTimers = 128;
+constexpr size_t kMaxHistograms = 64;
+constexpr unsigned kHistBuckets = 64;
 constexpr size_t kMaxTraceEvents = 1u << 20;
+
+/// Bucket index for `v`: 0 holds zero, b holds [2^(b-1), 2^b).
+inline unsigned histBucket(uint64_t v) {
+  if (!v) return 0;
+  unsigned width = 64u - static_cast<unsigned>(__builtin_clzll(v));
+  return width < kHistBuckets ? width : kHistBuckets - 1;
+}
+
+/// One shared lock-free distribution cell. Unlike counters/timers these
+/// are not sharded per thread: a histogram record is already several
+/// atomics wide, and the hot sites (pool chunks, matmul calls, allocs)
+/// fire orders of magnitude less often than token counters.
+struct HistCell {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> sum{0};
+  std::atomic<uint64_t> max{0};
+  std::array<std::atomic<uint64_t>, kHistBuckets> buckets{};
+
+  void record(uint64_t v) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(v, std::memory_order_relaxed);
+    uint64_t prev = max.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+    buckets[histBucket(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+};
 
 struct TimerCell {
   std::atomic<uint64_t> count{0};
@@ -56,6 +93,7 @@ struct TraceBuf {
   };
   std::mutex mu;
   std::vector<Ev> events;
+  size_t cap = kMaxTraceEvents;
   uint64_t dropped = 0;
 };
 
@@ -65,6 +103,9 @@ struct Registry {
   std::vector<std::string> counterNames;
   std::map<std::string, uint32_t, std::less<>> timerIds;
   std::vector<std::string> timerNames;
+  std::map<std::string, uint32_t, std::less<>> histIds;
+  std::vector<std::string> histNames;
+  std::array<HistCell, kMaxHistograms> hists{};
 
   std::vector<ThreadShard*> shards; // live threads
   // Totals flushed by exited threads.
@@ -186,6 +227,32 @@ std::string humanNs(uint64_t ns) {
   return buf;
 }
 
+/// Rank-`q` estimate from folded log2 bucket counts: find the bucket
+/// holding the ceil(q*count)-th value, then interpolate linearly across
+/// its [2^(b-1), 2^b) span. Clamped to the observed max so a sparse top
+/// bucket cannot report an impossible tail.
+uint64_t histQuantile(const std::array<uint64_t, kHistBuckets>& buckets,
+                      uint64_t count, uint64_t maxValue, double q) {
+  if (!count) return 0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * double(count)));
+  if (!rank) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cum = 0;
+  for (unsigned b = 0; b < kHistBuckets; ++b) {
+    uint64_t n = buckets[b];
+    if (!n) continue;
+    if (cum + n >= rank) {
+      uint64_t lo = b == 0 ? 0 : (1ull << (b - 1));
+      uint64_t hi = b == 0 ? 1 : (b == 63 ? maxValue : (1ull << b));
+      double frac = double(rank - cum) / double(n);
+      uint64_t v = lo + static_cast<uint64_t>(frac * double(hi - lo));
+      return std::min(v, maxValue);
+    }
+    cum += n;
+  }
+  return maxValue;
+}
+
 } // namespace
 
 void enable(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
@@ -239,6 +306,24 @@ Timer timer(std::string_view name) {
   return Timer(id);
 }
 
+Histogram histogram(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.histIds.find(name);
+  if (it != r.histIds.end()) return Histogram(it->second);
+  if (r.histNames.size() >= kMaxHistograms)
+    return Histogram(kMaxHistograms - 1); // overflow bucket; never expected
+  uint32_t id = static_cast<uint32_t>(r.histNames.size());
+  r.histNames.emplace_back(name);
+  r.histIds.emplace(std::string(name), id);
+  return Histogram(id);
+}
+
+void Histogram::record(uint64_t value) const {
+  if (!enabled()) return;
+  registry().hists[id_].record(value);
+}
+
 void registerGauge(std::string_view name, GaugeFn fn) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -261,12 +346,20 @@ void traceSpan(const char* name, const char* category, uint64_t startNs,
   unsigned tid = threadId();
   TraceBuf& t = registry().trace;
   std::lock_guard<std::mutex> lock(t.mu);
-  if (t.events.size() >= kMaxTraceEvents) {
+  if (t.events.size() >= t.cap) {
     ++t.dropped;
     return;
   }
   t.events.push_back({name, category, startNs, durNs, tid});
 }
+
+namespace detail {
+void setTraceCapForTest(size_t cap) {
+  TraceBuf& t = registry().trace;
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.cap = cap;
+}
+} // namespace detail
 
 ScopedTimer::ScopedTimer(const char* name, const char* category)
     : name_(name), category_(category) {
@@ -301,9 +394,18 @@ void reset() {
       s->timers[i].maxNs.store(0, std::memory_order_relaxed);
     }
   }
+  for (size_t i = 0; i < kMaxHistograms; ++i) {
+    HistCell& h = r.hists[i];
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum.store(0, std::memory_order_relaxed);
+    h.max.store(0, std::memory_order_relaxed);
+    for (unsigned b = 0; b < kHistBuckets; ++b)
+      h.buckets[b].store(0, std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> tlock(r.trace.mu);
   r.trace.events.clear();
   r.trace.dropped = 0;
+  r.trace.cap = kMaxTraceEvents; // undo any setTraceCapForTest shrink
 }
 
 Snapshot snapshot(bool includeZeros) {
@@ -337,6 +439,24 @@ Snapshot snapshot(bool includeZeros) {
     if (row.count || includeZeros) out.timers.push_back(std::move(row));
   }
   std::sort(out.timers.begin(), out.timers.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+
+  for (size_t i = 0; i < r.histNames.size(); ++i) {
+    HistCell& h = r.hists[i];
+    Snapshot::HistogramRow row;
+    row.name = r.histNames[i];
+    row.count = h.count.load(std::memory_order_relaxed);
+    row.sum = h.sum.load(std::memory_order_relaxed);
+    row.max = h.max.load(std::memory_order_relaxed);
+    std::array<uint64_t, kHistBuckets> buckets;
+    for (unsigned b = 0; b < kHistBuckets; ++b)
+      buckets[b] = h.buckets[b].load(std::memory_order_relaxed);
+    row.p50 = histQuantile(buckets, row.count, row.max, 0.50);
+    row.p95 = histQuantile(buckets, row.count, row.max, 0.95);
+    row.p99 = histQuantile(buckets, row.count, row.max, 0.99);
+    if (row.count || includeZeros) out.histograms.push_back(std::move(row));
+  }
+  std::sort(out.histograms.begin(), out.histograms.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
 
   std::lock_guard<std::mutex> tlock(r.trace.mu);
@@ -387,6 +507,30 @@ std::string renderTimeReport(const Snapshot& s) {
   }
   std::sort(rows.begin(), rows.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
+  if (!s.histograms.empty()) {
+    out << "=== histograms ===\n";
+    size_t hw = 9;
+    for (const auto& h : s.histograms) hw = std::max(hw, h.name.size());
+    char head[160];
+    std::snprintf(head, sizeof(head), "%-*s %9s %10s %10s %10s %10s\n",
+                  static_cast<int>(hw), "histogram", "count", "p50", "p95",
+                  "p99", "max");
+    out << head;
+    // Values print raw: histograms mix units (latency ns, payload bytes),
+    // so pretty time formatting would mislabel the size rows.
+    for (const auto& h : s.histograms) {
+      char line[224];
+      std::snprintf(line, sizeof(line),
+                    "%-*s %9llu %10llu %10llu %10llu %10llu\n",
+                    static_cast<int>(hw), h.name.c_str(),
+                    static_cast<unsigned long long>(h.count),
+                    static_cast<unsigned long long>(h.p50),
+                    static_cast<unsigned long long>(h.p95),
+                    static_cast<unsigned long long>(h.p99),
+                    static_cast<unsigned long long>(h.max));
+      out << line;
+    }
+  }
   out << "=== counters ===\n";
   size_t w = 0;
   for (const auto& c : rows) w = std::max(w, c.name.size());
@@ -395,6 +539,14 @@ std::string renderTimeReport(const Snapshot& s) {
     std::snprintf(line, sizeof(line), "%-*s %12llu\n", static_cast<int>(w),
                   c.name.c_str(), static_cast<unsigned long long>(c.value));
     out << line;
+  }
+  if (s.droppedEvents) {
+    char warn[160];
+    std::snprintf(warn, sizeof(warn),
+                  "warning: trace buffer saturated; %llu span(s) dropped "
+                  "(see trace.droppedEvents)\n",
+                  static_cast<unsigned long long>(s.droppedEvents));
+    out << warn;
   }
   return out.str();
 }
@@ -416,6 +568,15 @@ std::string renderStatsJson(const Snapshot& s) {
     emit(t.name + ".ns", t.totalNs);
     emit(t.name + ".max_ns", t.maxNs);
   }
+  for (const auto& h : s.histograms) {
+    emit(h.name + ".count", h.count);
+    emit(h.name + ".sum", h.sum);
+    emit(h.name + ".p50", h.p50);
+    emit(h.name + ".p95", h.p95);
+    emit(h.name + ".p99", h.p99);
+    emit(h.name + ".max", h.max);
+  }
+  if (s.droppedEvents) emit("trace.droppedEvents", s.droppedEvents);
   out << "\n}\n";
   return out.str();
 }
@@ -437,6 +598,258 @@ std::string renderTraceJson(const Snapshot& s) {
   }
   out << "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out.str();
+}
+
+// ---- continuous export (ISSUE 10 pillar 4) -------------------------------
+
+namespace {
+
+struct Exporter {
+  std::thread th;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  std::ofstream out;
+  std::map<std::string, uint64_t> prev; // last value of monotonic keys
+  uint64_t seq = 0;
+  unsigned intervalMs = 0;
+};
+
+std::mutex g_exporterMu;
+Exporter* g_exporter = nullptr; // guarded by g_exporterMu
+
+/// Splits a snapshot into flat keys (same schema as --stats-json):
+/// monotonic quantities exported as deltas, instantaneous ones verbatim.
+void flattenForExport(const Snapshot& s,
+                      std::map<std::string, uint64_t>& monotonic,
+                      std::map<std::string, uint64_t>& instant) {
+  for (const auto& c : s.counters) monotonic[c.name] = c.value;
+  for (const auto& t : s.timers) {
+    monotonic[t.name + ".count"] = t.count;
+    monotonic[t.name + ".ns"] = t.totalNs;
+    instant[t.name + ".max_ns"] = t.maxNs;
+  }
+  for (const auto& h : s.histograms) {
+    monotonic[h.name + ".count"] = h.count;
+    monotonic[h.name + ".sum"] = h.sum;
+    instant[h.name + ".p50"] = h.p50;
+    instant[h.name + ".p95"] = h.p95;
+    instant[h.name + ".p99"] = h.p99;
+    instant[h.name + ".max"] = h.max;
+  }
+  if (s.droppedEvents) monotonic["trace.droppedEvents"] = s.droppedEvents;
+}
+
+/// One JSONL line: seq + monotonic timestamp, then every key whose delta
+/// (or instantaneous value) is nonzero. Zero deltas are elided so an idle
+/// interval costs two short keys, not the whole registry.
+void emitDeltaLine(Exporter& e) {
+  Snapshot s = snapshot();
+  std::map<std::string, uint64_t> monotonic, instant;
+  flattenForExport(s, monotonic, instant);
+  std::ostringstream line;
+  line << "{\"export.seq\": " << e.seq++
+       << ", \"export.ts_ms\": " << nowNs() / 1000000;
+  for (const auto& [key, value] : monotonic) {
+    uint64_t& last = e.prev[key];
+    uint64_t delta = value - last;
+    last = value;
+    if (!delta) continue;
+    line << ", ";
+    appendJsonString(line, key);
+    line << ": " << delta;
+  }
+  for (const auto& [key, value] : instant) {
+    if (!value) continue;
+    line << ", ";
+    appendJsonString(line, key);
+    line << ": " << value;
+  }
+  line << "}";
+  e.out << line.str() << "\n";
+  e.out.flush();
+}
+
+void exportLoop(Exporter* e) {
+  std::unique_lock<std::mutex> lk(e->mu);
+  for (;;) {
+    if (e->cv.wait_for(lk, std::chrono::milliseconds(e->intervalMs),
+                       [e] { return e->stop; }))
+      return;
+    lk.unlock();
+    emitDeltaLine(*e);
+    lk.lock();
+  }
+}
+
+} // namespace
+
+bool startIntervalExport(const std::string& path, unsigned intervalMs) {
+  if (!intervalMs) return false;
+  std::lock_guard<std::mutex> lock(g_exporterMu);
+  if (g_exporter) return false;
+  auto* e = new Exporter();
+  e->out.open(path);
+  if (!e->out) {
+    delete e;
+    return false;
+  }
+  e->intervalMs = intervalMs;
+  e->th = std::thread(exportLoop, e);
+  g_exporter = e;
+  return true;
+}
+
+void stopIntervalExport() {
+  Exporter* e = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_exporterMu);
+    e = g_exporter;
+    g_exporter = nullptr;
+  }
+  if (!e) return;
+  {
+    std::lock_guard<std::mutex> lock(e->mu);
+    e->stop = true;
+  }
+  e->cv.notify_all();
+  e->th.join();
+  emitDeltaLine(*e); // final line: runs shorter than one interval still export
+  delete e;
+}
+
+// ---- crash flight recorder (ISSUE 10 pillar 3) ---------------------------
+
+namespace {
+
+/// write(2) loop; gives up on error (there is no recovery in a handler).
+void crashPut(int fd, const char* s, size_t n) {
+  while (n) {
+    ssize_t w = ::write(fd, s, n);
+    if (w <= 0) return;
+    s += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void crashPut(int fd, const char* s) { crashPut(fd, s, std::strlen(s)); }
+
+/// Metric names are identifier-ish; anything that would break the JSON
+/// string is flattened instead of escaped (no buffers to grow here).
+void crashPutName(int fd, const char* s) {
+  char buf[128];
+  size_t n = 0;
+  for (; *s && n < sizeof(buf) - 1; ++s)
+    buf[n++] = (*s == '"' || *s == '\\' ||
+                static_cast<unsigned char>(*s) < 0x20)
+                   ? '_'
+                   : *s;
+  buf[n] = 0;
+  crashPut(fd, "\"");
+  crashPut(fd, buf);
+  crashPut(fd, "\"");
+}
+
+void crashKeyVal(int fd, const char* name, unsigned long long v,
+                 bool& first) {
+  char buf[64];
+  if (!first) crashPut(fd, ",\n    ");
+  first = false;
+  crashPutName(fd, name);
+  std::snprintf(buf, sizeof(buf), ": %llu", v);
+  crashPut(fd, buf);
+}
+
+} // namespace
+
+void writeCrashJson(int fd, int signo, const char* signame,
+                    void* const* frames, int frameCount) {
+  // Everything below reads the registry WITHOUT its mutex: the crashing
+  // thread may hold it, and a handler that blocks on a lock hangs the
+  // process instead of dumping. Torn counter reads are acceptable in a
+  // post-mortem artifact. Shard/event arrays are walked once with bounds
+  // captured up front so a racing registration cannot run us off the end.
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"crash.signal\": %d,\n  \"crash.signalName\": "
+                "\"%s\",\n  \"crash.ts_ns\": %llu,\n",
+                signo, signame && *signame ? signame : "unknown",
+                static_cast<unsigned long long>(nowNs()));
+  crashPut(fd, buf);
+
+  Registry& r = registry();
+  size_t nShards = r.shards.size();
+  if (nShards > 256) nShards = 256;
+  ThreadShard* const* shards = r.shards.data();
+
+  crashPut(fd, "  \"counters\": {\n    ");
+  bool first = true;
+  size_t nCounters = r.counterNames.size();
+  if (nCounters > kMaxCounters) nCounters = kMaxCounters;
+  for (size_t i = 0; i < nCounters; ++i) {
+    unsigned long long v =
+        r.retiredCounters[i].load(std::memory_order_relaxed);
+    for (size_t s = 0; s < nShards; ++s)
+      v += shards[s]->counters[i].load(std::memory_order_relaxed);
+    if (!v) continue;
+    crashKeyVal(fd, r.counterNames[i].c_str(), v, first);
+  }
+  size_t nTimers = r.timerNames.size();
+  if (nTimers > kMaxTimers) nTimers = kMaxTimers;
+  for (size_t i = 0; i < nTimers; ++i) {
+    unsigned long long count =
+        r.retiredTimers[i].count.load(std::memory_order_relaxed);
+    unsigned long long total =
+        r.retiredTimers[i].totalNs.load(std::memory_order_relaxed);
+    for (size_t s = 0; s < nShards; ++s) {
+      count += shards[s]->timers[i].count.load(std::memory_order_relaxed);
+      total += shards[s]->timers[i].totalNs.load(std::memory_order_relaxed);
+    }
+    if (!count) continue;
+    std::snprintf(buf, sizeof(buf), "%s.count", r.timerNames[i].c_str());
+    crashKeyVal(fd, buf, count, first);
+    std::snprintf(buf, sizeof(buf), "%s.ns", r.timerNames[i].c_str());
+    crashKeyVal(fd, buf, total, first);
+  }
+  size_t nHists = r.histNames.size();
+  if (nHists > kMaxHistograms) nHists = kMaxHistograms;
+  for (size_t i = 0; i < nHists; ++i) {
+    unsigned long long count =
+        r.hists[i].count.load(std::memory_order_relaxed);
+    if (!count) continue;
+    std::snprintf(buf, sizeof(buf), "%s.count", r.histNames[i].c_str());
+    crashKeyVal(fd, buf, count, first);
+    std::snprintf(buf, sizeof(buf), "%s.sum", r.histNames[i].c_str());
+    crashKeyVal(fd, buf, r.hists[i].sum.load(std::memory_order_relaxed),
+                first);
+  }
+  crashPut(fd, "\n  },\n");
+
+  // Newest ring-buffer spans (the flight recorder's last seconds).
+  crashPut(fd, "  \"events\": [");
+  size_t nEvents = r.trace.events.size();
+  const TraceBuf::Ev* evs = r.trace.events.data();
+  constexpr size_t kCrashEvents = 64;
+  size_t start = nEvents > kCrashEvents ? nEvents - kCrashEvents : 0;
+  for (size_t k = start; k < nEvents; ++k) {
+    crashPut(fd, k == start ? "\n    {\"name\": " : ",\n    {\"name\": ");
+    crashPutName(fd, evs[k].name ? evs[k].name : "?");
+    crashPut(fd, ", \"cat\": ");
+    crashPutName(fd, evs[k].category ? evs[k].category : "?");
+    std::snprintf(buf, sizeof(buf),
+                  ", \"ts_ns\": %llu, \"dur_ns\": %llu, \"tid\": %u}",
+                  static_cast<unsigned long long>(evs[k].startNs),
+                  static_cast<unsigned long long>(evs[k].durNs), evs[k].tid);
+    crashPut(fd, buf);
+  }
+  crashPut(fd, "\n  ],\n");
+
+  crashPut(fd, "  \"backtrace\": [");
+  for (int i = 0; i < frameCount; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\"%p\"", i ? ", " : "", frames[i]);
+    crashPut(fd, buf);
+  }
+  crashPut(fd, "]\n}\n");
 }
 
 } // namespace mmx::metrics

@@ -1,5 +1,7 @@
-// Pipeline observability (ISSUE 2): monotonic scoped timers, named
-// counters, and Chrome trace-event spans behind one global registry.
+// Pipeline observability (ISSUE 2) and production telemetry (ISSUE 10):
+// monotonic scoped timers, named counters, log2-bucketed latency/size
+// histograms, and Chrome trace-event spans behind one global registry,
+// plus continuous JSONL export and an async-signal-safe crash dump.
 //
 // Design constraints:
 //   - No-op when disabled: every instrumentation entry point is a relaxed
@@ -8,10 +10,14 @@
 //   - Thread-local aggregation: counters and timers accumulate into
 //     per-thread shards of relaxed atomics (no contention between pool
 //     workers); snapshot() sums live shards plus totals flushed by
-//     threads that already exited.
+//     threads that already exited. Histograms use one shared lock-free
+//     cell per name (relaxed fetch_add into power-of-two buckets).
 //   - Machine-readable: snapshot() renders as a human table
 //     (--time-report), a flat JSON object (--stats-json), or Chrome
 //     trace-event JSON (--trace-json, viewable in about:tracing/Perfetto).
+//     startIntervalExport() streams delta snapshots as JSONL for
+//     dashboards; writeCrashJson() dumps the registry from a signal
+//     handler without locks or allocation.
 //
 // Instrumented sites pass string literals (or otherwise immortal strings)
 // as names; handles are resolved once per call site:
@@ -79,6 +85,25 @@ private:
 
 Timer timer(std::string_view name);
 
+/// Handle to a named distribution (ISSUE 10 pillar 1). Values land in
+/// log2-spaced buckets (bucket 0 holds zero, bucket b holds
+/// [2^(b-1), 2^b)), so one cell covers nanosecond latencies through
+/// multi-gigabyte sizes with bounded memory. Recording is lock-free:
+/// three relaxed fetch_adds and one CAS-max on a shared cell.
+class Histogram {
+public:
+  /// Folds `value` into the distribution. No-op while disabled.
+  void record(uint64_t value) const;
+
+private:
+  friend Histogram histogram(std::string_view name);
+  explicit Histogram(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+/// Finds or registers the histogram `name`. Cache the handle in a static.
+Histogram histogram(std::string_view name);
+
 /// Gauge callback: returns the current value of an externally-maintained
 /// quantity (live bytes, high-water marks, ...). Unlike counters, gauges
 /// are not accumulated here — they are polled once per snapshot(), so the
@@ -125,6 +150,17 @@ struct Snapshot {
     uint64_t totalNs = 0;
     uint64_t maxNs = 0;
   };
+  struct HistogramRow {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    // Estimated quantiles: linear interpolation inside the log2 bucket
+    // holding the target rank, clamped to the observed max.
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+  };
   struct TraceEvent {
     std::string name;
     std::string category;
@@ -136,8 +172,11 @@ struct Snapshot {
                                     //   unless snapshot(true)
   std::vector<TimerRow> timers;     // name-sorted; zero-count rows omitted
                                     //   unless snapshot(true)
+  std::vector<HistogramRow> histograms; // name-sorted; zero-count rows
+                                        //   omitted unless snapshot(true)
   std::vector<TraceEvent> events;   // in emission order
-  uint64_t droppedEvents = 0;       // spans beyond the buffer cap
+  uint64_t droppedEvents = 0;       // spans beyond the buffer cap; reported
+                                    //   as trace.droppedEvents when nonzero
 };
 
 /// With `includeZeros` every registered counter and timer appears even when
@@ -146,14 +185,51 @@ struct Snapshot {
 /// explicit zeros instead of silently missing keys.
 Snapshot snapshot(bool includeZeros = false);
 
-/// Human-readable table of phase timers followed by counters.
+/// Human-readable table of phase timers, histograms, and counters. Ends
+/// with a warning line when trace spans were dropped at the buffer cap.
 std::string renderTimeReport(const Snapshot& s);
 
 /// One flat JSON object: counters verbatim, timers as "<name>.ns",
-/// "<name>.count", "<name>.max_ns".
+/// "<name>.count", "<name>.max_ns", histograms as "<name>.count",
+/// "<name>.sum", "<name>.p50", "<name>.p95", "<name>.p99", "<name>.max",
+/// plus "trace.droppedEvents" when spans were dropped.
 std::string renderStatsJson(const Snapshot& s);
 
 /// Chrome trace-event JSON ("X" complete events, microsecond timestamps).
 std::string renderTraceJson(const Snapshot& s);
+
+// ---- continuous export (ISSUE 10 pillar 4) -------------------------------
+//
+// A sampler thread wakes every `intervalMs`, takes a snapshot, and appends
+// one JSON object per line to `path`: monotonic quantities (counters,
+// timer/histogram counts and totals) as deltas since the previous line,
+// instantaneous ones (max, quantiles) at their current value, keyed
+// exactly like --stats-json plus "export.seq" / "export.ts_ms". mmc wires
+// this to $MMX_STATS_INTERVAL_MS / $MMX_STATS_JSONL.
+
+/// Starts the sampler; false when the file cannot be opened, an exporter
+/// is already running, or `intervalMs` is zero.
+bool startIntervalExport(const std::string& path, unsigned intervalMs);
+
+/// Stops the sampler (no-op when none runs). Always flushes one final
+/// delta line so short-lived runs still export at least once.
+void stopIntervalExport();
+
+// ---- crash flight recorder (ISSUE 10 pillar 3) ---------------------------
+
+/// Writes a JSON crash payload to `fd`: the signal, every counter / timer
+/// / histogram total, the newest trace-ring spans, and `frames` as hex
+/// addresses. Built for signal handlers: no locks are taken and nothing is
+/// allocated (fixed stack buffers + write(2)), at the cost of racing
+/// concurrent recorders — a torn read in a crash dump is acceptable.
+/// crash::install() wires this to SIGSEGV/SIGABRT/SIGFPE/SIGBUS.
+void writeCrashJson(int fd, int signo, const char* signame,
+                    void* const* frames, int frameCount);
+
+namespace detail {
+/// Shrinks the trace-ring cap so overflow tests don't need 2^20 spans.
+/// Takes effect for subsequent spans; reset() does not restore the cap.
+void setTraceCapForTest(size_t cap);
+} // namespace detail
 
 } // namespace mmx::metrics

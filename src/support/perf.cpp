@@ -1,0 +1,146 @@
+#include "support/perf.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "support/metrics.hpp"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define MMX_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mmx::perf {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+
+const metrics::Counter& skipCounter() {
+  static const metrics::Counter c = metrics::counter("pmu.skipped");
+  return c;
+}
+
+#ifdef MMX_HAVE_PERF_EVENT
+
+constexpr int kEvents = 4;
+constexpr uint64_t kConfigs[kEvents] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+/// Per-thread counter group. state: 0 = untried, 1 = open, -1 = denied.
+struct ThreadGroup {
+  int fds[kEvents] = {-1, -1, -1, -1};
+  int state = 0;
+
+  ~ThreadGroup() {
+    for (int fd : fds)
+      if (fd >= 0) ::close(fd);
+  }
+
+  bool open() {
+    for (int i = 0; i < kEvents; ++i) {
+      perf_event_attr attr;
+      std::memset(&attr, 0, sizeof(attr));
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.size = sizeof(attr);
+      attr.config = kConfigs[i];
+      attr.disabled = 1;
+      attr.exclude_kernel = 1;
+      attr.exclude_hv = 1;
+      long fd = ::syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0);
+      if (fd < 0) {
+        for (int j = 0; j < i; ++j) {
+          ::close(fds[j]);
+          fds[j] = -1;
+        }
+        state = -1;
+        return false;
+      }
+      fds[i] = static_cast<int>(fd);
+    }
+    state = 1;
+    return true;
+  }
+
+  void readInto(uint64_t out[kEvents]) {
+    for (int i = 0; i < kEvents; ++i) {
+      uint64_t v = 0;
+      if (::read(fds[i], &v, sizeof(v)) != sizeof(v)) v = 0;
+      out[i] = v;
+    }
+  }
+};
+
+ThreadGroup& group() {
+  thread_local ThreadGroup g;
+  return g;
+}
+
+#endif // MMX_HAVE_PERF_EVENT
+
+} // namespace
+
+void setRequested(bool on) {
+  g_requested.store(on, std::memory_order_relaxed);
+}
+
+bool requested() { return g_requested.load(std::memory_order_relaxed); }
+
+#ifdef MMX_HAVE_PERF_EVENT
+
+bool begin() {
+  ThreadGroup& g = group();
+  if (g.state == 0) g.open();
+  if (g.state < 0) {
+    skipCounter().add();
+    return false;
+  }
+  for (int fd : g.fds) {
+    ::ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ::ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+  return true;
+}
+
+Sample end() {
+  ThreadGroup& g = group();
+  Sample s;
+  if (g.state != 1) return s;
+  for (int fd : g.fds) ::ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  uint64_t v[kEvents];
+  g.readInto(v);
+  s.cycles = v[0];
+  s.instructions = v[1];
+  s.cacheMisses = v[2];
+  s.branchMisses = v[3];
+  s.ok = true;
+  return s;
+}
+
+bool available() {
+  ThreadGroup& g = group();
+  if (g.state == 0) g.open();
+  return g.state == 1;
+}
+
+#else // !MMX_HAVE_PERF_EVENT
+
+bool begin() {
+  skipCounter().add();
+  return false;
+}
+
+Sample end() { return {}; }
+
+bool available() { return false; }
+
+#endif
+
+} // namespace mmx::perf

@@ -1,0 +1,45 @@
+// Hardware PMU counters (ISSUE 10 pillar 2): a thin wrapper over Linux
+// perf_event_open that samples cycles / instructions / cache-misses /
+// branch-misses around kernel spans (rt::matmul wraps each call).
+//
+// Opt-in: nothing opens until setRequested(true) (mmc --perf-counters) AND
+// a scope begins. Counters are calling-thread scoped — pid=0/cpu=-1
+// without inherit — so single-threaded kernel runs are exact and
+// multi-threaded ones attribute the orchestrating thread's share.
+//
+// Degrades gracefully: containers and locked-down CI commonly deny the
+// syscall (perf_event_paranoid, seccomp) or lack PMU passthrough. The
+// first failed open parks the thread's group as unavailable and every
+// skipped scope bumps the `pmu.skipped` metrics counter, which baselines
+// gate presence-only.
+#pragma once
+
+#include <cstdint>
+
+namespace mmx::perf {
+
+/// Process-wide opt-in (mmc --perf-counters / $MMX_PERF_COUNTERS).
+void setRequested(bool on);
+bool requested();
+
+/// One begin/end sample. `ok` is false when the PMU was unavailable.
+struct Sample {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cacheMisses = 0;
+  uint64_t branchMisses = 0;
+  bool ok = false;
+};
+
+/// Arms the calling thread's counter group. Returns false (and records the
+/// skip) when PMU access is unavailable; end() must only follow a true
+/// begin(). Scopes do not nest.
+bool begin();
+
+/// Disarms and returns the deltas since begin().
+Sample end();
+
+/// True when this thread has proven the syscall works (diagnostics/tests).
+bool available();
+
+} // namespace mmx::perf

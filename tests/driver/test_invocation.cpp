@@ -70,6 +70,17 @@ TEST(CompilerInvocation, ObservabilityFlags) {
   EXPECT_TRUE(inv.metricsRequested());
 }
 
+TEST(CompilerInvocation, PerfCountersFlagImpliesMetrics) {
+  // --perf-counters alone must light up the registry: its pmu.* rows land
+  // there, and without metrics they would be sampled into the void.
+  CompilerInvocation inv;
+  EXPECT_FALSE(inv.perfCounters);
+  auto r = parse(inv, {"p.xc", "--perf-counters"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(inv.perfCounters);
+  EXPECT_TRUE(inv.metricsRequested());
+}
+
 TEST(CompilerInvocation, EqualsJoinedValuesParseLikeSeparateArgs) {
   CompilerInvocation inv;
   auto r = parse(inv, {"p.xc", "--stats-json=s.json", "--trace-json=t.json",

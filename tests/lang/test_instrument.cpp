@@ -181,5 +181,136 @@ TEST(Instrument, InstrumentedOutputMatchesUninstrumented) {
   EXPECT_EQ(compileAndProfile(trc.code, "beh_trc").stdoutText, expected);
 }
 
+TEST(Instrument, HistogramCountsMatchInterpreterRegistry) {
+  // ISSUE 10 acceptance: the log2-bucketed histograms must report the same
+  // event counts from the interpreter's metrics registry and the emitted
+  // C mmx_prof layer when the program runs single-threaded.
+  metrics::reset();
+  metrics::enable(true);
+  runOk(kWorkload);
+  auto snap = metrics::snapshot();
+  metrics::enable(false);
+  auto histCount = [&](const std::string& name) -> long long {
+    for (const auto& h : snap.histograms)
+      if (h.name == name) return static_cast<long long>(h.count);
+    return -1;
+  };
+
+  auto c = emitWith(kWorkload, ir::InstrumentMode::Counters);
+  ASSERT_TRUE(c.ok) << (c.errors.empty() ? "" : c.errors.front());
+  ProfRun run = compileAndProfile(c.code, "histparity");
+  ASSERT_FALSE(run.statsJson.empty());
+
+  // Allocation-size histogram: one record per rt alloc on both sides, so
+  // the counts agree exactly (rt.alloc.count parity is already pinned).
+  EXPECT_EQ(statValue(run.statsJson, "rt.alloc.size.count"),
+            histCount("rt.alloc.size"));
+  EXPECT_GT(statValue(run.statsJson, "rt.alloc.size.count"), 0);
+  // Kernel-latency histogram: one record per matmul call on both sides.
+  EXPECT_EQ(statValue(run.statsJson, "kernel.matmul.latency_ns.count"),
+            histCount("kernel.matmul.latency_ns"));
+  EXPECT_EQ(statValue(run.statsJson, "kernel.matmul.latency_ns.count"), 1);
+  // Full quantile schema present in the emitted dump.
+  for (const char* stem : {"rt.alloc.size", "kernel.matmul.latency_ns"})
+    for (const char* suffix : {".sum", ".p50", ".p95", ".p99", ".max"})
+      EXPECT_GE(statValue(run.statsJson, std::string(stem) + suffix), 0)
+          << stem << suffix << " missing:\n"
+          << run.statsJson;
+}
+
+TEST(Instrument, EmittedProgramWritesCrashJsonOnSegv) {
+  // ISSUE 10 acceptance: the translated program's flight recorder produces
+  // a valid $MMX_CRASH_JSON. MMX_DEBUG_CRASH=segv faults at dump time, so
+  // the dump carries the finished run's counters.
+  auto c = emitWith(kWorkload, ir::InstrumentMode::Counters);
+  ASSERT_TRUE(c.ok);
+  std::string base = std::string(::testing::TempDir()) + "instr_crash";
+  std::ofstream(base + ".c") << c.code;
+  std::string cmd = "cc -O2 -std=gnu99 -msse4.2 -fopenmp " + base +
+                    ".c -o " + base + ".bin -lm 2>" + base + ".err";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << readFile(base + ".err");
+  cmd = "MMX_CRASH_JSON=" + base + ".crash MMX_DEBUG_CRASH=segv " + base +
+        ".bin >/dev/null 2>&1";
+  EXPECT_NE(std::system(cmd.c_str()), 0) << "the run must die on SIGSEGV";
+  std::string json = readFile(base + ".crash");
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"crash.signal\": 11"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"crash.signalName\": \"SIGSEGV\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"rt.alloc.count\": "), std::string::npos)
+      << "dump must carry the finished run's counters";
+  EXPECT_NE(json.find("\"backtrace\": ["), std::string::npos);
+  size_t lastNonWs = json.find_last_not_of(" \n\t");
+  ASSERT_NE(lastNonWs, std::string::npos);
+  EXPECT_EQ(json[lastNonWs], '}');
+  for (const char* ext : {".c", ".bin", ".err", ".crash"})
+    std::remove((base + ext).c_str());
+}
+
+TEST(Instrument, EmittedProgramIntervalExportEmitsJsonl) {
+  // ISSUE 10 pillar 4 in the emitted runtime: $MMX_STATS_INTERVAL_MS spawns
+  // the sampler thread; the stream must carry export.seq-stamped object
+  // lines with the run's counters as deltas.
+  auto c = emitWith(kWorkload, ir::InstrumentMode::Counters);
+  ASSERT_TRUE(c.ok);
+  std::string base = std::string(::testing::TempDir()) + "instr_export";
+  std::ofstream(base + ".c") << c.code;
+  std::string cmd = "cc -O2 -std=gnu99 -msse4.2 -fopenmp " + base +
+                    ".c -o " + base + ".bin -lm 2>" + base + ".err";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << readFile(base + ".err");
+  cmd = "MMX_STATS_INTERVAL_MS=5 MMX_STATS_JSONL=" + base + ".jsonl " +
+        base + ".bin >/dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::ifstream in(base + ".jsonl");
+  ASSERT_TRUE(in.good());
+  size_t lines = 0;
+  bool sawAlloc = false;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    std::string seqKey = "\"export.seq\": " + std::to_string(lines);
+    EXPECT_NE(line.find(seqKey), std::string::npos) << line;
+    if (line.find("\"rt.alloc.count\": ") != std::string::npos)
+      sawAlloc = true;
+    ++lines;
+  }
+  EXPECT_GE(lines, 2u) << "sync first line + final flush at minimum";
+  EXPECT_TRUE(sawAlloc) << "alloc deltas never surfaced in the stream";
+  for (const char* ext : {".c", ".bin", ".err", ".jsonl"})
+    std::remove((base + ext).c_str());
+}
+
+TEST(Instrument, EmittedProgramPmuRowsOrGracefulSkip) {
+  // --perf-counters parity in the emitted runtime: with MMX_PERF_COUNTERS
+  // set, a capable host reports kernel.matmul.<backend>.pmu.* rows, every
+  // other host reports only the presence-only pmu.skipped counter. Either
+  // way the run succeeds and the dump stays well-formed.
+  auto c = emitWith(kWorkload, ir::InstrumentMode::Counters);
+  ASSERT_TRUE(c.ok);
+  std::string base = std::string(::testing::TempDir()) + "instr_pmu";
+  std::ofstream(base + ".c") << c.code;
+  std::string cmd = "cc -O2 -std=gnu99 -msse4.2 -fopenmp " + base +
+                    ".c -o " + base + ".bin -lm 2>" + base + ".err";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << readFile(base + ".err");
+  cmd = "MMX_PERF_COUNTERS=1 MMX_PROF_JSON=" + base + ".stats " + base +
+        ".bin >/dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::string json = readFile(base + ".stats");
+  ASSERT_FALSE(json.empty());
+  bool sampled = json.find(".pmu.cycles\": ") != std::string::npos;
+  bool skipped = json.find("\"pmu.skipped\": ") != std::string::npos;
+  EXPECT_TRUE(sampled != skipped)
+      << "exactly one of sampled/skipped must hold:\n"
+      << json;
+  if (sampled) {
+    EXPECT_NE(json.find(".pmu.instructions\": "), std::string::npos);
+    EXPECT_NE(json.find(".pmu.cacheMisses\": "), std::string::npos);
+    EXPECT_NE(json.find(".pmu.branchMisses\": "), std::string::npos);
+  }
+  for (const char* ext : {".c", ".bin", ".err", ".stats"})
+    std::remove((base + ext).c_str());
+}
+
 } // namespace
 } // namespace mmx::test

@@ -249,5 +249,89 @@ TEST(StatsLib, CheckExitCodeRanksSchemaAboveTolerance) {
   EXPECT_EQ(checkExitCode(check(base, {{"b", 99}}, {}, 0)), 2);
 }
 
+TEST(StatsLib, SuffixRulesMatchNameEndings) {
+  // '*SUFFIX' patterns cover histogram quantiles, whose stems vary.
+  EXPECT_TRUE(ruleMatches("pool.task.latency_ns.p50", "*.p50"));
+  EXPECT_TRUE(ruleMatches("rt.alloc.size.p50", "*.p50"));
+  EXPECT_FALSE(ruleMatches("rt.alloc.size.p50x", "*.p50"));
+  EXPECT_FALSE(ruleMatches("rt.alloc.size.count", "*.p50"));
+  // Plain patterns still match as prefixes.
+  EXPECT_TRUE(ruleMatches("pmu.skipped", "pmu."));
+  EXPECT_FALSE(ruleMatches("kernel.pmu.skipped", "pmu."));
+
+  EXPECT_EQ(toleranceFor("gemm.latency.p95", {{"*.p95", -1}}, 0), -1);
+  EXPECT_EQ(toleranceFor("gemm.latency.count", {{"*.p95", -1}}, 0), 0);
+}
+
+TEST(StatsLib, TelemetryRulesGateSchemaNotValues) {
+  // The telemetry preset keeps histogram counts exact (schema signal) but
+  // lets the latency-valued fields float (they change every run).
+  std::map<std::string, double> base{
+      {"pool.task.latency_ns.count", 4},
+      {"pool.task.latency_ns.p50", 1000},
+      {"pool.task.latency_ns.p99", 9000},
+      {"pool.task.latency_ns.max", 9500},
+      {"pool.task.latency_ns.sum", 12000},
+      {"kernel.matmul.sse.pmu.cycles", 123456},
+  };
+  std::map<std::string, double> current{
+      {"pool.task.latency_ns.count", 4},       // exact, matches
+      {"pool.task.latency_ns.p50", 2500},      // drifted: allowed
+      {"pool.task.latency_ns.p99", 90000},     // drifted: allowed
+      {"pool.task.latency_ns.max", 100000},    // drifted: allowed
+      {"pool.task.latency_ns.sum", 180000},    // drifted: allowed
+      {"kernel.matmul.sse.pmu.cycles", 99999}, // drifted: allowed
+  };
+  auto failures = check(base, current, telemetryTolRules(), 0);
+  EXPECT_TRUE(failures.empty());
+
+  // Count drift is NOT excused: a task that stopped running is a schema
+  // regression, exactly what the gate exists for.
+  current["pool.task.latency_ns.count"] = 3;
+  failures = check(base, current, telemetryTolRules(), 0);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].name, "pool.task.latency_ns.count");
+
+  // A vanished quantile row still fails: presence-only, not optional.
+  current["pool.task.latency_ns.count"] = 4;
+  current.erase("pool.task.latency_ns.p99");
+  failures = check(base, current, telemetryTolRules(), 0);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_TRUE(failures[0].missing);
+}
+
+TEST(StatsLib, ValidatesIntervalExportJsonl) {
+  JsonlSummary s;
+  std::string err;
+  std::string good =
+      "{\"export.seq\": 0, \"export.ts_ms\": 100}\n"
+      "{\"export.seq\": 1, \"export.ts_ms\": 120, \"rt.alloc.count\": 5, "
+      "\"pool.task.latency_ns.p50\": 800}\n"
+      "{\"export.seq\": 2, \"export.ts_ms\": 140, \"rt.alloc.count\": 3}\n";
+  ASSERT_TRUE(validateJsonl(good, s, err)) << err;
+  EXPECT_EQ(s.lines, 3u);
+  EXPECT_EQ(s.firstSeq, 0);
+  EXPECT_EQ(s.lastSeq, 2);
+  // Monotonic deltas sum back to run totals.
+  EXPECT_EQ(s.totals.at("rt.alloc.count"), 8);
+  EXPECT_TRUE(s.totals.count("pool.task.latency_ns.p50"));
+  EXPECT_FALSE(s.totals.count("export.ts_ms")) << "header keys excluded";
+
+  // Failure modes name the offending line.
+  EXPECT_FALSE(validateJsonl("", s, err));
+  EXPECT_FALSE(validateJsonl("not json\n", s, err));
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  EXPECT_FALSE(validateJsonl("{\"export.seq\": 0}\n", s, err));
+  EXPECT_NE(err.find("export.ts_ms"), std::string::npos) << err;
+  EXPECT_FALSE(validateJsonl("{\"export.ts_ms\": 1}\n", s, err));
+  EXPECT_NE(err.find("export.seq"), std::string::npos) << err;
+  std::string regressed =
+      "{\"export.seq\": 1, \"export.ts_ms\": 100}\n"
+      "{\"export.seq\": 1, \"export.ts_ms\": 120}\n";
+  EXPECT_FALSE(validateJsonl(regressed, s, err));
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("strictly increasing"), std::string::npos) << err;
+}
+
 } // namespace
 } // namespace mmx::stats

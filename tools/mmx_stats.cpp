@@ -9,14 +9,23 @@
 //                                      name-sorted listing; exit 2 when a
 //                                      baseline metric is missing
 //   mmx-stats check BASE CURRENT       exit 1 when CURRENT regresses past
-//       [--tol PREFIX=REL]...          tolerance, 2 when a baseline metric
-//       [--default-tol REL]            vanished (schema mismatch)
-//                                      (REL 0.25 = 25%; later rules win;
-//                                      REL < 0 = presence-only)
+//       [--telemetry]                  tolerance, 2 when a baseline metric
+//       [--tol PREFIX=REL]...          vanished (schema mismatch)
+//       [--default-tol REL]            (REL 0.25 = 25%; later rules win;
+//                                      REL < 0 = presence-only; PREFIX may
+//                                      be *SUFFIX to match name endings)
+//   mmx-stats jsonl FILE               validate a continuous-export JSONL
+//                                      stream ($MMX_STATS_INTERVAL_MS):
+//                                      every line an object, export.seq
+//                                      strictly increasing
 //
 // The default tolerance is 0 (exact), right for deterministic counters.
 // Wall-clock metrics compared across machines should be presence-only
 // (--default-tol -1): a vanished benchmark still fails, values don't.
+// --telemetry preloads presence-only rules for the volatile telemetry rows
+// (histogram quantiles, PMU samples, per-thread busy times) so baselines
+// can pin the histogram *schema* — counts stay exact — without pinning
+// latencies.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -47,8 +56,9 @@ bool loadJson(const std::string& path, Json& out) {
 int usage() {
   std::cerr << "usage: mmx-stats merge OUT IN...\n"
                "       mmx-stats diff BASE CURRENT\n"
-               "       mmx-stats check BASE CURRENT [--tol PREFIX=REL]... "
-               "[--default-tol REL]\n";
+               "       mmx-stats check BASE CURRENT [--telemetry] "
+               "[--tol PREFIX=REL]... [--default-tol REL]\n"
+               "       mmx-stats jsonl FILE\n";
   return 2;
 }
 
@@ -132,7 +142,11 @@ int cmdCheck(const std::vector<std::string>& args) {
       }
       return args[++i].c_str();
     };
-    if (a == "--default-tol") {
+    if (a == "--telemetry") {
+      // Prepend so explicit --tol rules still win (later rules override).
+      std::vector<TolRule> t = telemetryTolRules();
+      rules.insert(rules.begin(), t.begin(), t.end());
+    } else if (a == "--default-tol") {
       const char* v = needValue("--default-tol");
       if (!v) return 2;
       defaultTol = std::strtod(v, nullptr);
@@ -170,6 +184,27 @@ int cmdCheck(const std::vector<std::string>& args) {
   return checkExitCode(failures);
 }
 
+int cmdJsonl(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  std::ifstream in(args[0]);
+  if (!in) {
+    std::cerr << "mmx-stats: cannot open " << args[0] << "\n";
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  JsonlSummary summary;
+  std::string err;
+  if (!validateJsonl(ss.str(), summary, err)) {
+    std::cerr << "mmx-stats: " << args[0] << ": " << err << "\n";
+    return 1;
+  }
+  std::printf("OK: %zu line(s), export.seq %.0f..%.0f, %zu metric key(s)\n",
+              summary.lines, summary.firstSeq, summary.lastSeq,
+              summary.totals.size());
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -179,5 +214,6 @@ int main(int argc, char** argv) {
   if (cmd == "merge") return cmdMerge(args);
   if (cmd == "diff") return cmdDiff(args);
   if (cmd == "check") return cmdCheck(args);
+  if (cmd == "jsonl") return cmdJsonl(args);
   return usage();
 }

@@ -398,6 +398,68 @@ inline Json mergeTraces(const std::vector<Json>& docs) {
   return out;
 }
 
+// --- interval-export JSONL ------------------------------------------------
+
+struct JsonlSummary {
+  size_t lines = 0;
+  double firstSeq = 0;
+  double lastSeq = 0;
+  /// Numeric payload keys summed across all lines. The exporter writes
+  /// monotonic counters as per-interval deltas, so the sums reconstruct
+  /// the run totals (instantaneous keys like .p50 sum meaninglessly and
+  /// are simply informational here).
+  std::map<std::string, double> totals;
+};
+
+/// Validates one continuous-export JSONL stream: every non-empty line must
+/// parse as a JSON object carrying numeric export.seq / export.ts_ms, with
+/// export.seq strictly increasing. Both `mmc` ($MMX_STATS_INTERVAL_MS) and
+/// instrumented translated programs emit this shape, so one validator
+/// gates them both in CI. Returns false with a message naming the
+/// offending line.
+inline bool validateJsonl(std::string_view text, JsonlSummary& out,
+                          std::string& err) {
+  size_t lineNo = 0, pos = 0;
+  double prevSeq = -1;
+  out = {};
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    ++lineNo;
+    if (line.empty()) continue;
+    auto fail = [&](const std::string& what) {
+      err = "line " + std::to_string(lineNo) + ": " + what;
+      return false;
+    };
+    Json doc;
+    std::string perr;
+    if (!parseJson(line, doc, perr)) return fail(perr);
+    if (doc.kind != Json::Kind::Obj) return fail("not a JSON object");
+    const Json* seq = doc.get("export.seq");
+    const Json* ts = doc.get("export.ts_ms");
+    if (!seq || seq->kind != Json::Kind::Num)
+      return fail("missing numeric export.seq");
+    if (!ts || ts->kind != Json::Kind::Num)
+      return fail("missing numeric export.ts_ms");
+    if (seq->num <= prevSeq)
+      return fail("export.seq not strictly increasing");
+    if (out.lines == 0) out.firstSeq = seq->num;
+    prevSeq = out.lastSeq = seq->num;
+    ++out.lines;
+    for (const auto& [k, v] : doc.obj)
+      if (v.kind == Json::Kind::Num && k.rfind("export.", 0) != 0)
+        out.totals[k] += v.num;
+  }
+  if (!out.lines) {
+    err = "no JSONL lines";
+    return false;
+  }
+  return true;
+}
+
 // --- diff / check ---------------------------------------------------------
 
 struct MetricDelta {
@@ -433,20 +495,51 @@ inline DiffResult diff(const std::map<std::string, double>& base,
 }
 
 /// One tolerance rule: metrics whose name starts with `prefix` may move by
-/// at most `tol` (relative, e.g. 0.25 = 25%). Later rules win, so generic
-/// defaults go first and specific overrides after.
+/// at most `tol` (relative, e.g. 0.25 = 25%). A pattern beginning with '*'
+/// matches name *endings* instead — histogram quantiles (".p50") and other
+/// per-run-volatile fields live at the end of the key, after an arbitrary
+/// metric stem. Later rules win, so generic defaults go first and specific
+/// overrides after.
 struct TolRule {
   std::string prefix;
   double tol = 0;
 };
+
+inline bool ruleMatches(const std::string& name, const std::string& pat) {
+  if (!pat.empty() && pat[0] == '*') {
+    std::string_view suffix = std::string_view(pat).substr(1);
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  }
+  return name.rfind(pat, 0) == 0;
+}
 
 inline double toleranceFor(const std::string& name,
                            const std::vector<TolRule>& rules,
                            double defaultTol) {
   double tol = defaultTol;
   for (const TolRule& r : rules)
-    if (name.rfind(r.prefix, 0) == 0) tol = r.tol;
+    if (ruleMatches(name, r.prefix)) tol = r.tol;
   return tol;
+}
+
+/// Presence-only rules for the run-to-run-volatile telemetry rows: latency
+/// histogram quantiles/extremes/sums move every run, PMU samples are
+/// host-dependent, and per-thread busy times depend on scheduling. Counts
+/// stay exact under the default tolerance — for a fixed program the number
+/// of pool tasks, kernel calls, and allocations is deterministic, which is
+/// exactly the schema signal `mmx-stats check` gates on. Prepend these
+/// before user rules so explicit --tol flags still win.
+inline std::vector<TolRule> telemetryTolRules() {
+  return {{"*.p50", -1},         {"*.p95", -1},
+          {"*.p99", -1},         {"*.max", -1},
+          {"*.sum", -1},         {"*.max_ns", -1},
+          {"*.ns", -1},          {"*.busy_ns", -1},
+          {"pmu.", -1},          {"*.pmu.cycles", -1},
+          {"*.pmu.instructions", -1}, {"*.pmu.cacheMisses", -1},
+          {"*.pmu.branchMisses", -1}, {"export.", -1},
+          {"trace.droppedEvents", -1}};
 }
 
 struct CheckFailure {
